@@ -1,0 +1,142 @@
+//! Benchmarks for the theorem-scale experiments (E8–E10 of `DESIGN.md`):
+//! verifying the DRF guarantee, the semantic correspondences, and the
+//! out-of-thin-air guarantee over corpus programs and transformation
+//! closures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use transafety::checker::{
+    check_rewrite, drf_guarantee, no_thin_air, CheckOptions, Correspondence, DrfVerdict,
+    OotaVerdict,
+};
+use transafety::litmus::{random_program, GeneratorConfig};
+use transafety::lang::{extract_traceset, ExtractOptions};
+use transafety::litmus::parse_pair;
+use transafety::syntactic::{all_rewrites, transform_closure, RuleSet};
+use transafety::transform::{find_elim_reordering, is_elim_reordering_of, EliminationOptions};
+use transafety::traces::{Domain, Value};
+use transafety_bench::corpus_program;
+
+fn e8_drf_guarantee_per_rewrite(c: &mut Criterion) {
+    let p = corpus_program("fig3-a");
+    let rewrites = all_rewrites(&p);
+    assert!(!rewrites.is_empty());
+    let opts = CheckOptions::default();
+    c.bench_function("E8/drf_guarantee_all_rewrites_fig3a", |b| {
+        b.iter(|| {
+            for rw in &rewrites {
+                let v = drf_guarantee(black_box(&rw.result), &p, &opts);
+                assert!(matches!(v, DrfVerdict::Holds));
+            }
+            rewrites.len()
+        })
+    });
+}
+
+fn e8_lemma4_correspondence(c: &mut Criterion) {
+    let p = corpus_program("redundant-load-pair");
+    let rewrites = all_rewrites(&p);
+    let opts = CheckOptions::with_domain(Domain::zero_to(1));
+    c.bench_function("E8/lemma4_correspondence_redundant_load", |b| {
+        b.iter(|| {
+            for rw in &rewrites {
+                let v = check_rewrite(black_box(&p), rw, &opts);
+                assert!(matches!(v, Correspondence::Verified { .. }));
+            }
+            rewrites.len()
+        })
+    });
+}
+
+fn e9_reordering_verification(c: &mut Criterion) {
+    let p = corpus_program("roach-motel");
+    let rewrites: Vec<_> =
+        all_rewrites(&p).into_iter().filter(|r| r.rule.is_reordering()).collect();
+    assert!(!rewrites.is_empty());
+    let opts = CheckOptions::with_domain(Domain::zero_to(1));
+    c.bench_function("E9/lemma5_correspondence_roach_motel", |b| {
+        b.iter(|| {
+            for rw in &rewrites {
+                let v = check_rewrite(black_box(&p), rw, &opts);
+                assert!(matches!(v, Correspondence::Verified { .. }));
+            }
+            rewrites.len()
+        })
+    });
+}
+
+fn e10_oota_closure(c: &mut Criterion) {
+    let p = corpus_program("oota");
+    let opts = CheckOptions::with_domain(Domain::from_values([Value::new(1), Value::new(42)]));
+    c.bench_function("E10/no_thin_air_depth3", |b| {
+        b.iter(|| {
+            let v = no_thin_air(black_box(&p), Value::new(42), 3, &opts);
+            assert!(matches!(v, OotaVerdict::Safe { .. }));
+        })
+    });
+}
+
+fn e8_random_program_throughput(c: &mut Criterion) {
+    let config = GeneratorConfig::drf();
+    let programs: Vec<_> = (0..8).map(|s| random_program(s, &config)).collect();
+    let opts = CheckOptions::default();
+    c.bench_function("E8/drf_guarantee_random_drf_programs", |b| {
+        b.iter(|| {
+            let mut verified = 0;
+            for p in &programs {
+                for rw in all_rewrites(p).into_iter().take(2) {
+                    let v = drf_guarantee(&rw.result, p, &opts);
+                    assert!(!matches!(v, DrfVerdict::NewBehaviour(_)));
+                    verified += 1;
+                }
+            }
+            verified
+        })
+    });
+}
+
+/// Ablation for the DESIGN.md §5 memoisation decision: the shared
+/// elimination oracle vs. a fresh oracle per transformed trace.
+fn ablation_oracle_memoisation(c: &mut Criterion) {
+    let (o, t) = parse_pair("fig2-original", "fig2-transformed");
+    let d = Domain::zero_to(1);
+    let ex = ExtractOptions::default();
+    let to = extract_traceset(&o.program, &d, &ex).traceset;
+    let tt = extract_traceset(&t.program, &d, &ex).traceset;
+    let eo = EliminationOptions::default();
+    let mut group = c.benchmark_group("E12/oracle_memoisation_ablation");
+    group.bench_function("shared_oracle", |b| {
+        b.iter(|| is_elim_reordering_of(black_box(&tt), &to, &d, &eo).is_ok())
+    });
+    group.bench_function("fresh_oracle_per_trace", |b| {
+        b.iter(|| {
+            tt.traces()
+                .all(|tr| find_elim_reordering(black_box(&tr), &to, &d, &eo).is_some())
+        })
+    });
+    group.finish();
+}
+
+fn composition_closure(c: &mut Criterion) {
+    let p = corpus_program("fig3-a");
+    c.bench_function("E8/transform_closure_depth3", |b| {
+        b.iter(|| transform_closure(black_box(&p), RuleSet::All, 3).len())
+    });
+}
+
+criterion_group! {
+    name = theorems;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = e8_drf_guarantee_per_rewrite,
+    e8_lemma4_correspondence,
+    e9_reordering_verification,
+    e10_oota_closure,
+    e8_random_program_throughput,
+    ablation_oracle_memoisation,
+    composition_closure
+}
+criterion_main!(theorems);

@@ -1,0 +1,65 @@
+//! Benchmarks for the §8 TSO experiment (E11 of `DESIGN.md`): the
+//! store-buffer machine and the "TSO is explained by the
+//! transformations" check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use transafety::lang::{ExploreOptions, ProgramExplorer};
+use transafety::traces::Value;
+use transafety::tso::{explain_tso, TsoExplorer};
+use transafety_bench::corpus_program;
+
+fn tso_vs_sc_exploration(c: &mut Criterion) {
+    let opts = ExploreOptions::default();
+    let mut group = c.benchmark_group("E11/exploration");
+    for name in ["sb", "mp", "lb", "corr"] {
+        let p = corpus_program(name);
+        group.bench_function(format!("sc/{name}"), |b| {
+            b.iter(|| ProgramExplorer::new(black_box(&p)).behaviours(&opts).value.len())
+        });
+        group.bench_function(format!("tso/{name}"), |b| {
+            b.iter(|| TsoExplorer::new(black_box(&p)).behaviours(&opts).value.len())
+        });
+    }
+    group.finish();
+}
+
+fn tso_explained(c: &mut Criterion) {
+    let opts = ExploreOptions::default();
+    let sb = corpus_program("sb");
+    c.bench_function("E11/explain_sb_depth3", |b| {
+        b.iter(|| {
+            let e = explain_tso(black_box(&sb), 3, &opts);
+            assert!(e.relaxed && e.explained);
+            assert!(e.tso.contains(&vec![Value::new(0), Value::new(0)]));
+            e.closure_size
+        })
+    });
+    let mp = corpus_program("mp");
+    c.bench_function("E11/explain_mp_depth2", |b| {
+        b.iter(|| {
+            let e = explain_tso(black_box(&mp), 2, &opts);
+            assert!(!e.relaxed && e.explained);
+            e.closure_size
+        })
+    });
+}
+
+fn tso_state_space(c: &mut Criterion) {
+    let opts = ExploreOptions::default();
+    let p = corpus_program("iriw");
+    c.bench_function("E11/tso_states_iriw", |b| {
+        b.iter(|| TsoExplorer::new(black_box(&p)).count_reachable_states(&opts))
+    });
+}
+
+criterion_group! {
+    name = tso;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = tso_vs_sc_exploration, tso_explained, tso_state_space
+}
+criterion_main!(tso);

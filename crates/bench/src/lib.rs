@@ -1,0 +1,18 @@
+//! Shared helpers for the transafety benchmark harness.
+//!
+//! The benches regenerate the paper's figure/table claims while
+//! measuring the checker's performance (the evaluation substrate of this
+//! reproduction — see `EXPERIMENTS.md`): `figures` covers E1–E7,
+//! `theorems` covers E8–E10, `tso` covers E11 and `scaling` covers E12.
+
+#![forbid(unsafe_code)]
+
+use transafety::lang::Program;
+use transafety::litmus::by_name;
+
+/// Parses a corpus program by name (panics on unknown names — benches
+/// only use validated corpus entries).
+#[must_use]
+pub fn corpus_program(name: &str) -> Program {
+    by_name(name).unwrap_or_else(|| panic!("unknown corpus entry {name}")).parse().program
+}

@@ -1,0 +1,189 @@
+//! One-shot classification of a program transformation into the paper's
+//! safe classes — the entry point a compiler test-suite would embed.
+
+use std::fmt;
+
+use transafety_lang::Program;
+use transafety_traces::Trace;
+
+use crate::correspondence::{
+    check_elimination_correspondence, check_identity_correspondence,
+    check_reordering_correspondence, Correspondence, SemanticClass,
+};
+use crate::guarantee::{behaviour_refinement, Refinement};
+use crate::CheckOptions;
+
+/// The verdict of [`classify_transformation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformationClass {
+    /// `[P'] = [P]` — a trace-preserving transformation (§2.1); safe for
+    /// every program.
+    Identity,
+    /// `[P']` is a semantic elimination of `[P]` (§4) — covered by
+    /// Theorems 1/3.
+    Elimination,
+    /// `[P']` is a reordering of an elimination of `[P]` (§4, Lemma 5) —
+    /// covered by Theorems 2/4.
+    EliminationThenReordering,
+    /// Outside the paper's safe classes, but behaviour-refining for this
+    /// particular program (an SC-preserving compiler would accept it;
+    /// the DRF contract gives it no blanket licence).
+    ScRefiningOnly,
+    /// Outside every class: it changes this program's SC behaviours.
+    /// The offending trace (if the semantic searches produced one) and
+    /// behaviour help debugging.
+    Unsafe {
+        /// A transformed-traceset member with no semantic witness.
+        witness_trace: Option<Trace>,
+    },
+    /// Bounds were hit before a verdict.
+    Inconclusive,
+}
+
+impl TransformationClass {
+    /// Is the transformation in one of the paper's always-safe classes?
+    #[must_use]
+    pub fn is_paper_safe(&self) -> bool {
+        matches!(
+            self,
+            TransformationClass::Identity
+                | TransformationClass::Elimination
+                | TransformationClass::EliminationThenReordering
+        )
+    }
+}
+
+impl fmt::Display for TransformationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformationClass::Identity => f.write_str("trace-preserving (identity)"),
+            TransformationClass::Elimination => f.write_str("semantic elimination"),
+            TransformationClass::EliminationThenReordering => {
+                f.write_str("reordering of an elimination")
+            }
+            TransformationClass::ScRefiningOnly => {
+                f.write_str("outside the safe classes (SC-refining for this program only)")
+            }
+            TransformationClass::Unsafe { .. } => f.write_str("UNSAFE (changes SC behaviours)"),
+            TransformationClass::Inconclusive => f.write_str("inconclusive"),
+        }
+    }
+}
+
+/// Classifies the transformation `original ⇒ transformed` into the
+/// strongest class that holds: identity, elimination, elimination-then-
+/// reordering, SC-refining-only, or unsafe.
+///
+/// # Example
+///
+/// ```
+/// use transafety_checker::{classify_transformation, CheckOptions, TransformationClass};
+/// use transafety_lang::{parse_program, parse_program_with_symbols};
+///
+/// let original = parse_program("r1 := x; r2 := x; print r2;")?;
+/// let transformed = parse_program_with_symbols(
+///     "r1 := x; r2 := r1; print r2;", original.symbols.clone())?;
+/// let class = classify_transformation(
+///     &transformed.program, &original.program, &CheckOptions::default());
+/// assert_eq!(class, TransformationClass::Elimination);
+/// assert!(class.is_paper_safe());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn classify_transformation(
+    transformed: &Program,
+    original: &Program,
+    opts: &CheckOptions,
+) -> TransformationClass {
+    match check_identity_correspondence(transformed, original, opts) {
+        Correspondence::Verified { class: SemanticClass::Identity } => {
+            return TransformationClass::Identity
+        }
+        Correspondence::Inconclusive => return TransformationClass::Inconclusive,
+        _ => {}
+    }
+    match check_elimination_correspondence(transformed, original, opts) {
+        Correspondence::Verified { .. } => return TransformationClass::Elimination,
+        Correspondence::Inconclusive => return TransformationClass::Inconclusive,
+        Correspondence::Failed { .. } => {}
+    }
+    let witness = match check_reordering_correspondence(transformed, original, opts) {
+        Correspondence::Verified { .. } => {
+            return TransformationClass::EliminationThenReordering
+        }
+        Correspondence::Inconclusive => return TransformationClass::Inconclusive,
+        Correspondence::Failed { trace } => trace,
+    };
+    match behaviour_refinement(transformed, original, opts) {
+        Refinement::Refines => TransformationClass::ScRefiningOnly,
+        Refinement::NewBehaviour(_) => {
+            TransformationClass::Unsafe { witness_trace: Some(witness) }
+        }
+        Refinement::Inconclusive => TransformationClass::Inconclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::{parse_program, parse_program_with_symbols};
+    use transafety_traces::Domain;
+
+    fn pair(o: &str, t: &str) -> (Program, Program) {
+        let original = parse_program(o).unwrap();
+        let transformed =
+            parse_program_with_symbols(t, original.symbols.clone()).unwrap();
+        (original.program, transformed.program)
+    }
+
+    fn opts() -> CheckOptions {
+        CheckOptions::with_domain(Domain::zero_to(1))
+    }
+
+    #[test]
+    fn identity_class() {
+        // swapping a register move across an unrelated load is
+        // trace-preserving
+        let (o, t) = pair("r1 := 1; r2 := x; print r2;", "r2 := x; r1 := 1; print r2;");
+        assert_eq!(classify_transformation(&t, &o, &opts()), TransformationClass::Identity);
+    }
+
+    #[test]
+    fn elimination_class() {
+        let (o, t) = pair("r1 := x; r2 := x; print r2;", "r1 := x; r2 := r1; print r2;");
+        assert_eq!(
+            classify_transformation(&t, &o, &opts()),
+            TransformationClass::Elimination
+        );
+    }
+
+    #[test]
+    fn reordering_class() {
+        let (o, t) = pair("r1 := y; x := r0; print r1;", "x := r0; r1 := y; print r1;");
+        assert_eq!(
+            classify_transformation(&t, &o, &opts()),
+            TransformationClass::EliminationThenReordering
+        );
+    }
+
+    #[test]
+    fn read_introduction_is_sc_refining_only() {
+        // Fig. 3's (a) → (b): invisible under SC, outside the classes.
+        let (o, t) = pair(
+            "lock m; x := 1; print y; unlock m; || lock m; y := 1; print x; unlock m;",
+            "r1 := y; lock m; x := 1; print y; unlock m; \
+             || r2 := x; lock m; y := 1; print x; unlock m;",
+        );
+        let c = classify_transformation(&t, &o, &opts());
+        assert_eq!(c, TransformationClass::ScRefiningOnly);
+        assert!(!c.is_paper_safe());
+    }
+
+    #[test]
+    fn behaviour_changing_is_unsafe() {
+        let (o, t) = pair("print 1;", "print 2;");
+        let c = classify_transformation(&t, &o, &opts());
+        assert!(matches!(c, TransformationClass::Unsafe { .. }));
+        assert!(c.to_string().contains("UNSAFE"));
+    }
+}

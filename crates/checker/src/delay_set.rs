@@ -1,0 +1,356 @@
+//! A Shasha–Snir style *delay-set analysis* — the §7 baseline.
+//!
+//! The paper positions itself against the line of work that keeps
+//! **all** programs sequentially consistent by restricting the compiler
+//! (Shasha & Snir 1988 and descendants, §7). The centrepiece of that
+//! approach is the delay-set analysis: build the graph of program-order
+//! segments and inter-thread conflict edges, find *critical cycles*, and
+//! forbid reordering of the program-order pairs on them.
+//!
+//! This module implements the analysis (for the loop-free fragment, with
+//! the standard conservative merge of both branches of a conditional) so
+//! experiments can quantify the paper's motivation: how many reorderings
+//! does the DRF contract license that an SC-preserving compiler must
+//! refuse?
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use transafety_lang::{Program, Stmt};
+use transafety_traces::{Action, Loc, Value};
+
+use crate::CheckOptions;
+
+/// A static shared-memory access site: thread, position in the thread's
+/// flattened access sequence, location and kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AccessSite {
+    /// The thread index.
+    pub thread: usize,
+    /// Position within the thread's flattened access sequence.
+    pub index: usize,
+    /// The location accessed.
+    pub loc: Loc,
+    /// `true` for stores.
+    pub is_write: bool,
+}
+
+impl AccessSite {
+    fn conflicts_with(&self, other: &AccessSite) -> bool {
+        // To the SC-preserving baseline, volatile locations are ordinary
+        // shared memory — its conflict graph includes them (unlike the
+        // §3 race definition, which exempts them).
+        self.thread != other.thread
+            && self.loc == other.loc
+            && (self.is_write || other.is_write)
+    }
+
+    /// A representative dynamic action for reorderability comparisons.
+    fn representative(&self) -> Action {
+        if self.is_write {
+            Action::write(self.loc, Value::new(1))
+        } else {
+            Action::read(self.loc, Value::new(1))
+        }
+    }
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{}#{}:{}{}",
+            self.thread,
+            self.index,
+            if self.is_write { "W " } else { "R " },
+            self.loc
+        )
+    }
+}
+
+/// The per-thread flattened access sequences of a program.
+///
+/// Conditionals contribute both branches in sequence (the standard
+/// conservative approximation); loop bodies contribute one iteration.
+#[must_use]
+pub fn access_sites(program: &Program) -> Vec<Vec<AccessSite>> {
+    fn collect(s: &Stmt, thread: usize, out: &mut Vec<AccessSite>) {
+        match s {
+            Stmt::Store { loc, .. } => out.push(AccessSite {
+                thread,
+                index: out.len(),
+                loc: *loc,
+                is_write: true,
+            }),
+            Stmt::Load { loc, .. } => out.push(AccessSite {
+                thread,
+                index: out.len(),
+                loc: *loc,
+                is_write: false,
+            }),
+            Stmt::Block(b) => {
+                for s in b {
+                    collect(s, thread, out);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect(then_branch, thread, out);
+                collect(else_branch, thread, out);
+            }
+            Stmt::While { body, .. } => collect(body, thread, out),
+            _ => {}
+        }
+    }
+    program
+        .threads()
+        .iter()
+        .enumerate()
+        .map(|(t, body)| {
+            let mut v = Vec::new();
+            for s in body {
+                collect(s, t, &mut v);
+            }
+            v
+        })
+        .collect()
+}
+
+/// The delay set of a program: the program-order pairs that lie on some
+/// critical cycle and therefore may not be reordered by an SC-preserving
+/// compiler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DelaySet {
+    pairs: BTreeSet<(AccessSite, AccessSite)>,
+}
+
+impl DelaySet {
+    /// Must the SC-preserving compiler keep `first` before `second`?
+    #[must_use]
+    pub fn must_preserve(&self, first: &AccessSite, second: &AccessSite) -> bool {
+        self.pairs.contains(&(*first, *second))
+    }
+
+    /// The number of delay pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the delay set empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the delay pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(AccessSite, AccessSite)> {
+        self.pairs.iter()
+    }
+}
+
+/// Computes the delay set by enumerating critical cycles: sequences of
+/// per-thread segments (a single access, or an ordered program-order
+/// pair) connected by conflict edges, visiting each thread at most once,
+/// and closing back on the first segment.
+#[must_use]
+pub fn delay_set(program: &Program) -> DelaySet {
+    let sites = access_sites(program);
+    // per-thread candidate segments: single accesses and ordered pairs
+    #[derive(Clone, Copy)]
+    struct Segment {
+        first: AccessSite,
+        last: AccessSite,
+    }
+    let mut segments: Vec<Vec<Segment>> = Vec::new();
+    for thread_sites in &sites {
+        let mut segs = Vec::new();
+        for (i, &a) in thread_sites.iter().enumerate() {
+            segs.push(Segment { first: a, last: a });
+            for &b in &thread_sites[i + 1..] {
+                segs.push(Segment { first: a, last: b });
+            }
+        }
+        segments.push(segs);
+    }
+    let threads = segments.len();
+    let mut delays: BTreeSet<(AccessSite, AccessSite)> = BTreeSet::new();
+
+    // DFS over chains of segments connected by conflict edges.
+    fn dfs(
+        chain: &mut Vec<Segment>,
+        used: &mut Vec<bool>,
+        segments: &[Vec<Segment>],
+        delays: &mut BTreeSet<(AccessSite, AccessSite)>,
+    ) {
+        let last = chain.last().copied().expect("chain non-empty");
+        // try to close the cycle (needs ≥ 2 segments)
+        if chain.len() >= 2 {
+            let first = chain[0];
+            if last.last.conflicts_with(&first.first) {
+                for seg in chain.iter() {
+                    if seg.first != seg.last {
+                        delays.insert((seg.first, seg.last));
+                    }
+                }
+            }
+        }
+        // extend
+        for (t, segs) in segments.iter().enumerate() {
+            if used[t] {
+                continue;
+            }
+            for &next in segs {
+                if last.last.conflicts_with(&next.first) {
+                    used[t] = true;
+                    chain.push(next);
+                    dfs(chain, used, segments, delays);
+                    chain.pop();
+                    used[t] = false;
+                }
+            }
+        }
+    }
+
+    for t0 in 0..threads {
+        for &seg in &segments[t0] {
+            let mut used = vec![false; threads];
+            used[t0] = true;
+            let mut chain = vec![seg];
+            dfs(&mut chain, &mut used, &segments, &mut delays);
+        }
+    }
+    DelaySet { pairs: delays }
+}
+
+/// Summary counts comparing the paper's reorderability with the
+/// SC-preserving (delay-set) baseline on the *adjacent* program-order
+/// access pairs of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayStats {
+    /// Adjacent same-thread access pairs.
+    pub adjacent_pairs: usize,
+    /// Pairs the §4 reorderability relation lets a DRF-contract compiler
+    /// swap.
+    pub drf_reorderable: usize,
+    /// Pairs an SC-preserving compiler may swap (not in the delay set
+    /// and not same-location).
+    pub sc_reorderable: usize,
+    /// Pairs licensed by the DRF contract but forbidden by the delay set
+    /// — the paper's motivation, quantified.
+    pub drf_only: usize,
+}
+
+/// Computes [`DelayStats`] for a program.
+#[must_use]
+pub fn delay_stats(program: &Program, _opts: &CheckOptions) -> DelayStats {
+    let sites = access_sites(program);
+    let delays = delay_set(program);
+    let mut adjacent_pairs = 0;
+    let mut drf_reorderable = 0;
+    let mut sc_reorderable = 0;
+    let mut drf_only = 0;
+    for thread_sites in &sites {
+        for pair in thread_sites.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            adjacent_pairs += 1;
+            // §4: swapping a before-pair (a, b) needs b reorderable with a
+            let drf_ok =
+                transafety_transform::reorderable(&b.representative(), &a.representative());
+            let sc_ok = !delays.must_preserve(&a, &b) && a.loc != b.loc;
+            if drf_ok {
+                drf_reorderable += 1;
+            }
+            if sc_ok {
+                sc_reorderable += 1;
+            }
+            if drf_ok && !sc_ok {
+                drf_only += 1;
+            }
+        }
+    }
+    DelayStats { adjacent_pairs, drf_reorderable, sc_reorderable, drf_only }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::parse_program;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap().program
+    }
+
+    #[test]
+    fn sb_has_the_classic_critical_cycle() {
+        // SB: T0 = W x; R y — T1 = W y; R x. The W→R pairs form the
+        // canonical critical cycle, so both are delay pairs.
+        let program = p("x := 1; r1 := y; || y := 1; r2 := x;");
+        let d = delay_set(&program);
+        assert!(!d.is_empty());
+        let sites = access_sites(&program);
+        let (w_x, r_y) = (sites[0][0], sites[0][1]);
+        let (w_y, r_x) = (sites[1][0], sites[1][1]);
+        assert!(d.must_preserve(&w_x, &r_y), "delay pairs: {d:?}");
+        assert!(d.must_preserve(&w_y, &r_x));
+    }
+
+    #[test]
+    fn paper_allows_what_delay_set_forbids_on_sb() {
+        let program = p("x := 1; r1 := y; || y := 1; r2 := x;");
+        let stats = delay_stats(&program, &CheckOptions::default());
+        assert_eq!(stats.adjacent_pairs, 2);
+        assert_eq!(stats.drf_reorderable, 2, "W→R of different locations is §4-reorderable");
+        assert_eq!(stats.sc_reorderable, 0, "both pairs are on the critical cycle");
+        assert_eq!(stats.drf_only, 2, "the paper's motivation, quantified");
+    }
+
+    #[test]
+    fn independent_threads_have_empty_delay_sets() {
+        let program = p("x := 1; r1 := x; || y := 1; r2 := y;");
+        assert!(delay_set(&program).is_empty());
+        let stats = delay_stats(&program, &CheckOptions::default());
+        assert_eq!(stats.drf_only, 0);
+        // same-location pairs are not swappable for anyone
+        assert_eq!(stats.drf_reorderable, 0);
+        assert_eq!(stats.sc_reorderable, 0);
+    }
+
+    #[test]
+    fn volatile_sb_constrains_both_contracts() {
+        // To the baseline, the volatile SB is just SB: both W→R pairs lie
+        // on the critical cycle. The DRF contract forbids them as
+        // Rel/Acq reorderings. Neither compiler may touch them.
+        let program = p("volatile x, y; x := 1; r1 := y; || y := 1; r2 := x;");
+        assert!(!delay_set(&program).is_empty());
+        let stats = delay_stats(&program, &CheckOptions::default());
+        assert_eq!(stats.drf_reorderable, 0);
+        assert_eq!(stats.sc_reorderable, 0);
+        assert_eq!(stats.drf_only, 0);
+    }
+
+    #[test]
+    fn three_thread_cycles_are_found() {
+        // WRC-like shape: cycles through three threads.
+        let program = p("x := 1; || r1 := x; y := 1; || r2 := y; r3 := x;");
+        let d = delay_set(&program);
+        let sites = access_sites(&program);
+        // thread 1's R x → W y pair participates in a cycle with t0/t2
+        assert!(d.must_preserve(&sites[1][0], &sites[1][1]), "{d:?}");
+        // thread 2's R y → R x pair too
+        assert!(d.must_preserve(&sites[2][0], &sites[2][1]));
+    }
+
+    #[test]
+    fn branches_merge_conservatively() {
+        let program = p("if (r0 == 0) x := 1; else y := 1; r1 := x; || r9 := x; x := r9;");
+        let sites = access_sites(&program);
+        assert_eq!(sites[0].len(), 3, "both branch accesses and the load");
+    }
+
+    #[test]
+    fn display_of_sites() {
+        let program = p("x := 1;");
+        let sites = access_sites(&program);
+        assert_eq!(sites[0][0].to_string(), "t0#0:W l0");
+    }
+}

@@ -1,0 +1,55 @@
+//! Theorem-level decision procedures for the paper's claims on concrete
+//! programs:
+//!
+//! * [`drf_guarantee`] — Theorems 1–4: a transformation of a data-race
+//!   free program may not add behaviours and must preserve data race
+//!   freedom;
+//! * [`check_rewrite`] — Lemmas 4/5: each syntactic rewrite lands in its
+//!   promised semantic class (elimination, reordering∘elimination, or
+//!   traceset identity);
+//! * [`no_thin_air`] — Theorem 5: no composition of safe rewrites can
+//!   make a program read, write or output an unmentioned constant;
+//! * [`sc_only_accepts`] — the SC-preserving baseline compiler the paper
+//!   argues against (§1, §7);
+//! * [`classify_transformation`] — one-shot classification of a
+//!   transformation into the strongest safe class that holds.
+//!
+//! # Example
+//!
+//! ```
+//! use transafety_checker::{drf_guarantee, CheckOptions, DrfVerdict};
+//! use transafety_lang::parse_program;
+//!
+//! let original = parse_program(
+//!     "lock m; r1 := x; r2 := x; print r2; unlock m; || lock m; x := 1; unlock m;")?.program;
+//! let transformed = parse_program(
+//!     "lock m; r1 := x; r2 := r1; print r2; unlock m; || lock m; x := 1; unlock m;")?.program;
+//! assert_eq!(
+//!     drf_guarantee(&transformed, &original, &CheckOptions::default()),
+//!     DrfVerdict::Holds,
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod correspondence;
+mod delay_set;
+mod guarantee;
+mod oota;
+mod options;
+
+pub use classify::{classify_transformation, TransformationClass};
+pub use delay_set::{access_sites, delay_set, delay_stats, AccessSite, DelaySet, DelayStats};
+pub use correspondence::{
+    check_elimination_correspondence, check_identity_correspondence, check_rewrite,
+    check_reordering_correspondence, classify, Correspondence, SemanticClass,
+};
+pub use guarantee::{
+    behaviour_refinement, behaviours, drf_guarantee, execution_with_behaviour,
+    is_data_race_free, race_witness, sc_only_accepts, DrfVerdict, Refinement,
+};
+pub use oota::{no_thin_air, traceset_has_origin, OotaVerdict};
+pub use options::CheckOptions;

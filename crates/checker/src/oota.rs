@@ -1,0 +1,147 @@
+//! The out-of-thin-air guarantee (Theorem 5 and Lemmas 2, 3, 6), as an
+//! exhaustive bounded check.
+
+use std::fmt;
+
+use transafety_lang::{extract_traceset, Program};
+use transafety_syntactic::{transform_closure, RuleSet};
+use transafety_traces::Value;
+
+use crate::CheckOptions;
+
+/// The verdict of the out-of-thin-air check over a bounded composition
+/// closure of syntactic transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OotaVerdict {
+    /// The hypothesis of Theorem 5 does not apply: the program mentions
+    /// the constant.
+    MentionsConstant,
+    /// No program in the closure has an origin for the value — by
+    /// Lemma 3, no execution of any of them can read, write or output it.
+    Safe {
+        /// How many transformed programs were checked.
+        closure_size: usize,
+    },
+    /// A transformed program whose traceset has an origin for the value
+    /// — this would falsify Theorem 5.
+    OriginFound {
+        /// The offending transformed program.
+        program: Box<Program>,
+    },
+    /// Extraction bounds were hit; no verdict.
+    Inconclusive,
+}
+
+impl fmt::Display for OotaVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OotaVerdict::MentionsConstant => f.write_str("program mentions the constant"),
+            OotaVerdict::Safe { closure_size } => {
+                write!(f, "no thin-air origin across {closure_size} transformed programs")
+            }
+            OotaVerdict::OriginFound { .. } => f.write_str("VIOLATION: origin found"),
+            OotaVerdict::Inconclusive => f.write_str("inconclusive"),
+        }
+    }
+}
+
+/// Lemma 6, executably: if the program contains no statement `r := c`
+/// then no trace of `[P]` is an origin for `c`. Returns the origin
+/// check's result on the bounded traceset.
+#[must_use]
+pub fn traceset_has_origin(program: &Program, c: Value, opts: &CheckOptions) -> Option<bool> {
+    let e = extract_traceset(program, &opts.domain, &opts.extract);
+    (!e.truncated).then(|| e.traceset.has_origin_for(c))
+}
+
+/// Theorem 5, executably: for every composition of up to `depth`
+/// syntactic eliminations/reorderings of `program`, no trace can
+/// originate the non-default constant `c`, hence (Lemma 3) no execution
+/// can read, write or output it.
+///
+/// The value `c` should not be mentioned by the program and must not be
+/// the default value `0` — otherwise the theorem's hypothesis fails and
+/// [`OotaVerdict::MentionsConstant`] is returned.
+#[must_use]
+pub fn no_thin_air(
+    program: &Program,
+    c: Value,
+    depth: usize,
+    opts: &CheckOptions,
+) -> OotaVerdict {
+    if c.is_default() || program.mentions_constant(c) {
+        return OotaVerdict::MentionsConstant;
+    }
+    let closure = transform_closure(program, RuleSet::All, depth);
+    let closure_size = closure.len();
+    for q in closure {
+        match traceset_has_origin(&q, c, opts) {
+            None => return OotaVerdict::Inconclusive,
+            Some(true) => return OotaVerdict::OriginFound { program: Box::new(q) },
+            Some(false) => {}
+        }
+    }
+    OotaVerdict::Safe { closure_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::parse_program;
+    use transafety_traces::Domain;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap().program
+    }
+
+    fn opts_with(max: u32) -> CheckOptions {
+        CheckOptions::with_domain(Domain::zero_to(max))
+    }
+
+    #[test]
+    fn paper_oota_example() {
+        // §5: r2:=y; x:=r2 || r1:=x; y:=r1; print r2 — wait, the paper's
+        // program prints r2 in thread 0:
+        //   T0: r2:=y; x:=r2; print r2   T1: r1:=x; y:=r1
+        // No transformation may output 42.
+        let program = p("r2 := y; x := r2; print r2; || r1 := x; y := r1;");
+        // domain includes 42 so a thin-air 42 would be representable
+        let opts = CheckOptions::with_domain(Domain::from_values([
+            Value::new(1),
+            Value::new(42),
+        ]));
+        let verdict = no_thin_air(&program, Value::new(42), 3, &opts);
+        assert!(matches!(verdict, OotaVerdict::Safe { .. }), "{verdict}");
+    }
+
+    #[test]
+    fn mentioned_constants_are_excluded() {
+        let program = p("r1 := 42; x := r1;");
+        assert_eq!(
+            no_thin_air(&program, Value::new(42), 1, &opts_with(1)),
+            OotaVerdict::MentionsConstant
+        );
+        // zero is a default value: always excluded
+        assert_eq!(
+            no_thin_air(&program, Value::ZERO, 1, &opts_with(1)),
+            OotaVerdict::MentionsConstant
+        );
+    }
+
+    #[test]
+    fn origins_are_detected_when_constant_present() {
+        let program = p("r1 := 7; x := r1;");
+        assert_eq!(traceset_has_origin(&program, Value::new(7), &opts_with(7)), Some(true));
+        assert_eq!(traceset_has_origin(&program, Value::new(5), &opts_with(7)), Some(false));
+    }
+
+    #[test]
+    fn reads_do_not_originate() {
+        // the program can *read* 2 (domain), and then write it — but the
+        // write is preceded by the read, so it is not an origin.
+        let program = p("r1 := x; y := r1; print r1;");
+        assert_eq!(traceset_has_origin(&program, Value::new(2), &opts_with(2)), Some(false));
+        let verdict = no_thin_air(&program, Value::new(2), 2, &opts_with(2));
+        assert!(matches!(verdict, OotaVerdict::Safe { .. }));
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared configuration for the theorem-level checkers.
+
+use transafety_lang::{ExploreOptions, ExtractOptions};
+use transafety_traces::Domain;
+use transafety_transform::EliminationOptions;
+
+/// Bounds and domains used by every checker entry point.
+///
+/// # Example
+///
+/// ```
+/// use transafety_checker::CheckOptions;
+/// let opts = CheckOptions::default();
+/// assert!(opts.domain.len() >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// The finite read-value domain for traceset extraction and
+    /// wildcard-instance enumeration.
+    pub domain: Domain,
+    /// Bounds for traceset extraction.
+    pub extract: ExtractOptions,
+    /// Bounds for direct program exploration.
+    pub explore: ExploreOptions,
+    /// Bounds for the semantic elimination witness search.
+    pub elimination: EliminationOptions,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            domain: Domain::default(),
+            extract: ExtractOptions::default(),
+            explore: ExploreOptions::default(),
+            elimination: EliminationOptions::default(),
+        }
+    }
+}
+
+impl CheckOptions {
+    /// A configuration with the given read-value domain.
+    #[must_use]
+    pub fn with_domain(domain: Domain) -> Self {
+        CheckOptions { domain, ..CheckOptions::default() }
+    }
+}

@@ -1,0 +1,220 @@
+//! `drfcheck` — a command-line DRF-soundness validator for shared-memory
+//! program transformations, built on the `transafety` library.
+//!
+//! ```console
+//! $ drfcheck races program.tsl
+//! $ drfcheck behaviours program.tsl
+//! $ drfcheck guarantee original.tsl transformed.tsl
+//! $ drfcheck correspondence original.tsl transformed.tsl
+//! $ drfcheck rewrites program.tsl
+//! $ drfcheck oota program.tsl 42
+//! $ drfcheck tso program.tsl
+//! $ drfcheck litmus               # list the built-in corpus
+//! ```
+//!
+//! Program files use the concrete syntax of the paper's §6 language (see
+//! `transafety::lang::parse_program`); a corpus name (e.g. `sb`) can be
+//! used anywhere a file path is expected.
+
+use std::process::ExitCode;
+
+use transafety::checker::{
+    behaviours, classify_transformation, drf_guarantee, no_thin_air, race_witness,
+    CheckOptions, OotaVerdict, TransformationClass,
+};
+use transafety::lang::{parse_program_with_symbols, ExploreOptions, SourceProgram};
+use transafety::litmus::by_name;
+use transafety::traces::{Domain, Value};
+use transafety::tso::explain_tso;
+
+fn load(arg: &str) -> Result<SourceProgram, String> {
+    load_with(arg, transafety::lang::SymbolTable::default())
+}
+
+fn load_with(
+    arg: &str,
+    symbols: transafety::lang::SymbolTable,
+) -> Result<SourceProgram, String> {
+    let source = if let Some(l) = by_name(arg) {
+        l.source.to_string()
+    } else {
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?
+    };
+    parse_program_with_symbols(&source, symbols).map_err(|e| format!("{arg}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: drfcheck <command> [args]\n\
+         commands:\n  \
+           races <program>                      find a data race\n  \
+           behaviours <program>                 print all SC behaviours\n  \
+           guarantee <original> <transformed>   check the DRF guarantee\n  \
+           classify <original> <transformed>    strongest safe class (Lemma 4/5)\n  \
+           rewrites <program>                   list applicable safe rewrites\n  \
+           oota <program> <value>               out-of-thin-air check\n  \
+           tso <program>                        TSO behaviours + §8 explanation\n  \
+           pso <program>                        PSO behaviours + explanation\n  \
+           dot <program>                        Graphviz happens-before graph\n  \
+           litmus                               list the built-in corpus\n\
+         <program> is a file path or a corpus name (try `drfcheck litmus`)."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("drfcheck: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let opts = CheckOptions::default();
+    match args.first().map(String::as_str) {
+        Some("races") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            match race_witness(&p.program, &opts) {
+                None => {
+                    println!("data race free");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(w) => {
+                    println!("{w}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        Some("behaviours") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            let b = behaviours(&p.program, &opts);
+            if !b.complete {
+                println!("(bounded: exploration hit its limits)");
+            }
+            for beh in &b.value {
+                let rendered: Vec<String> = beh.iter().map(ToString::to_string).collect();
+                println!("[{}]", rendered.join(", "));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("guarantee") if args.len() == 3 => {
+            let original = load(&args[1])?;
+            let transformed = load_with(&args[2], original.symbols.clone())?;
+            let verdict = drf_guarantee(&transformed.program, &original.program, &opts);
+            println!("{verdict}");
+            Ok(if verdict.is_consistent_with_paper() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        Some("classify") | Some("correspondence") if args.len() == 3 => {
+            let original = load(&args[1])?;
+            let transformed = load_with(&args[2], original.symbols.clone())?;
+            let class =
+                classify_transformation(&transformed.program, &original.program, &opts);
+            println!("{class}");
+            if let TransformationClass::Unsafe { witness_trace: Some(t) } = &class {
+                println!("no semantic witness for trace {t}");
+            }
+            Ok(if class.is_paper_safe() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        Some("rewrites") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            for rw in transafety::syntactic::all_rewrites(&p.program) {
+                let verdict = drf_guarantee(&rw.result, &p.program, &opts);
+                println!("{rw} — {verdict}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("oota") if args.len() == 3 => {
+            let p = load(&args[1])?;
+            let value: u32 =
+                args[2].parse().map_err(|_| format!("not a value: {}", args[2]))?;
+            let value = Value::new(value);
+            let domain = Domain::from_values(
+                p.program.constants().into_iter().chain([value, Value::new(1)]),
+            );
+            let o = CheckOptions::with_domain(domain);
+            let verdict = no_thin_air(&p.program, value, 3, &o);
+            println!("{verdict}");
+            Ok(match verdict {
+                OotaVerdict::Safe { .. } | OotaVerdict::MentionsConstant => ExitCode::SUCCESS,
+                _ => ExitCode::FAILURE,
+            })
+        }
+        Some("tso") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            let e = explain_tso(&p.program, 3, &ExploreOptions::default());
+            println!(
+                "SC behaviours: {} — TSO behaviours: {}{}",
+                e.sc.len(),
+                e.tso.len(),
+                if e.relaxed { " (relaxed)" } else { "" }
+            );
+            println!(
+                "explained by W→R reordering + forwarding elimination \
+                 (closure of {} programs): {}",
+                e.closure_size,
+                if e.explained { "yes" } else { "NO" }
+            );
+            Ok(if e.explained { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        Some("pso") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            let e = transafety::tso::explain_pso(&p.program, 3, &ExploreOptions::default());
+            println!(
+                "SC behaviours: {} — PSO behaviours: {}{}",
+                e.sc.len(),
+                e.pso.len(),
+                if e.relaxed { " (relaxed)" } else { "" }
+            );
+            println!(
+                "explained by the W→R + W→W reordering fragment \
+                 (closure of {} programs): {}",
+                e.closure_size,
+                if e.explained { "yes" } else { "NO" }
+            );
+            Ok(if e.explained { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        Some("dot") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            // render the racy execution if there is one, otherwise any
+            // maximal execution of the (bounded) traceset
+            if let Some(w) = race_witness(&p.program, &opts) {
+                print!("{}", transafety::interleaving::hb_dot(&w.execution));
+                return Ok(ExitCode::SUCCESS);
+            }
+            let e = transafety::lang::extract_traceset(
+                &p.program,
+                &opts.domain,
+                &transafety::lang::ExtractOptions::default(),
+            );
+            let execs = transafety::interleaving::Explorer::new(&e.traceset)
+                .maximal_executions(transafety::interleaving::ExploreLimits {
+                    max_interleavings: 1,
+                });
+            match execs.first() {
+                Some(i) => print!("{}", transafety::interleaving::hb_dot(i)),
+                None => println!("// no executions"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("litmus") if args.len() == 1 => {
+            for l in transafety::litmus::corpus() {
+                println!(
+                    "{:<26} {:<12} {}",
+                    l.name,
+                    l.paper_ref.unwrap_or("-"),
+                    l.description
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}

@@ -1,0 +1,72 @@
+//! End-to-end tests of the `drfcheck` binary.
+
+use std::process::Command;
+
+fn drfcheck(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
+        .args(args)
+        .output()
+        .expect("drfcheck runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (stdout, out.status.success())
+}
+
+#[test]
+fn races_on_corpus_programs() {
+    let (out, ok) = drfcheck(&["races", "sb"]);
+    assert!(!ok, "sb is racy: non-zero exit");
+    assert!(out.contains("data race between"), "{out}");
+    let (out, ok) = drfcheck(&["races", "sb-volatile"]);
+    assert!(ok);
+    assert!(out.contains("data race free"));
+}
+
+#[test]
+fn classify_pairs() {
+    let (out, ok) = drfcheck(&["classify", "fig1-original", "fig1-transformed"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("elimination"), "{out}");
+    let (out, ok) = drfcheck(&["classify", "fig3-a", "fig3-b"]);
+    assert!(!ok, "read introduction is outside the safe classes");
+    assert!(out.contains("outside the safe classes"), "{out}");
+}
+
+#[test]
+fn behaviours_lists_prefix_closed_set() {
+    let (out, ok) = drfcheck(&["behaviours", "fig2-original"]);
+    assert!(ok);
+    assert!(out.lines().any(|l| l == "[]"), "empty behaviour always present: {out}");
+    assert!(out.lines().any(|l| l == "[0]"));
+    assert!(!out.lines().any(|l| l == "[1]"), "fig2 original cannot print 1");
+}
+
+#[test]
+fn oota_and_tso_and_dot() {
+    let (out, ok) = drfcheck(&["oota", "oota", "42"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("no thin-air origin"), "{out}");
+    let (out, ok) = drfcheck(&["tso", "sb"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("relaxed"), "{out}");
+    let (out, ok) = drfcheck(&["dot", "sb"]);
+    assert!(ok);
+    assert!(out.starts_with("digraph"));
+}
+
+#[test]
+fn usage_on_bad_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
+        .arg("frobnicate")
+        .output()
+        .expect("drfcheck runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn litmus_lists_corpus() {
+    let (out, ok) = drfcheck(&["litmus"]);
+    assert!(ok);
+    assert!(out.lines().count() >= 30);
+    assert!(out.contains("fig2-original"));
+}

@@ -1,0 +1,80 @@
+//! Interleaving events: thread-identifier/action pairs.
+
+use std::fmt;
+
+use transafety_traces::{Action, ThreadId};
+
+/// One element of an interleaving: the pair `p = (θ, a)` of §3, where
+/// `T(p) = θ` is the executing thread and `A(p) = a` the action.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, ThreadId, Value};
+/// use transafety_interleaving::Event;
+/// let e = Event::new(ThreadId::new(1), Action::external(Value::new(0)));
+/// assert_eq!(e.thread(), ThreadId::new(1));
+/// assert_eq!(e.to_string(), "(1, X(0))");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    thread: ThreadId,
+    action: Action,
+}
+
+impl Event {
+    /// Creates the pair `(thread, action)`.
+    #[must_use]
+    pub const fn new(thread: ThreadId, action: Action) -> Self {
+        Event { thread, action }
+    }
+
+    /// The projection `T(p)`: the executing thread.
+    #[must_use]
+    pub const fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The projection `A(p)`: the action.
+    #[must_use]
+    pub const fn action(&self) -> Action {
+        self.action
+    }
+}
+
+impl From<(ThreadId, Action)> for Event {
+    fn from((thread, action): (ThreadId, Action)) -> Self {
+        Event { thread, action }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.thread.index(), self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::{Loc, Value};
+
+    #[test]
+    fn projections() {
+        let e = Event::new(ThreadId::new(2), Action::read(Loc::normal(0), Value::ZERO));
+        assert_eq!(e.thread().index(), 2);
+        assert!(e.action().is_read());
+    }
+
+    #[test]
+    fn from_tuple() {
+        let e: Event = (ThreadId::new(0), Action::start(ThreadId::new(0))).into();
+        assert!(e.action().is_start());
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let e = Event::new(ThreadId::new(0), Action::write(Loc::normal(1), Value::new(1)));
+        assert_eq!(e.to_string(), "(0, W[l1=1])");
+    }
+}

@@ -1,0 +1,619 @@
+//! Exhaustive exploration of the sequentially consistent executions of a
+//! finite traceset.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+use transafety_traces::{Action, Loc, Monitor, Traceset, Value};
+
+use crate::{Event, IndexedTraceset, Interleaving};
+
+/// The behaviours of a program: a prefix-closed set of sequences of
+/// external-action values (§1/§5 of the paper observe programs through
+/// their external actions).
+pub type Behaviours = BTreeSet<Vec<Value>>;
+
+/// Caps on exploration size, used by the execution-enumerating entry
+/// points to stay total on adversarial inputs.
+///
+/// # Example
+///
+/// ```
+/// use transafety_interleaving::ExploreLimits;
+/// let limits = ExploreLimits::default();
+/// assert!(limits.max_interleavings > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Maximum number of maximal executions to materialise.
+    pub max_interleavings: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_interleavings: 1_000_000 }
+    }
+}
+
+/// A data race found by the explorer: a concrete execution ending in two
+/// adjacent conflicting actions of different threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceWitness {
+    /// The racy execution; the race is between its last two events.
+    pub execution: Interleaving,
+}
+
+impl RaceWitness {
+    /// The index of the first event of the racing pair.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.execution.len() - 2
+    }
+
+    /// The two racing events.
+    #[must_use]
+    pub fn pair(&self) -> (Event, Event) {
+        let n = self.execution.len();
+        (self.execution[n - 2], self.execution[n - 1])
+    }
+}
+
+impl std::fmt::Display for RaceWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (a, b) = self.pair();
+        write!(f, "data race between {a} and {b} in {}", self.execution)
+    }
+}
+
+/// Exhaustive explorer of the sequentially consistent executions of a
+/// [`Traceset`] (§3).
+///
+/// All entry points are *exact* for the (finite) traceset:
+///
+/// * [`behaviours`](Explorer::behaviours) — the set of behaviours of all
+///   executions, computed by memoised dynamic programming over explorer
+///   states (never materialises the exponentially many interleavings);
+/// * [`race_witness`](Explorer::race_witness) /
+///   [`is_data_race_free`](Explorer::is_data_race_free) — the §3
+///   adjacent-conflict data-race condition, by memoised search;
+/// * [`maximal_executions`](Explorer::maximal_executions) — the raw
+///   enumeration (exponential; intended for the paper's litmus-sized
+///   programs and for cross-validating the clever entry points);
+/// * [`count_maximal_executions`](Explorer::count_maximal_executions) —
+///   counting by dynamic programming.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, ThreadId, Trace, Traceset, Value};
+/// use transafety_interleaving::Explorer;
+/// let x = Loc::normal(0);
+/// let mut t = Traceset::new();
+/// t.insert(Trace::from_actions([
+///     Action::start(ThreadId::new(0)),
+///     Action::write(x, Value::new(1)),
+/// ]))?;
+/// t.insert(Trace::from_actions([
+///     Action::start(ThreadId::new(1)),
+///     Action::read(x, Value::new(1)),
+/// ]))?;
+/// let explorer = Explorer::new(&t);
+/// assert!(!explorer.is_data_race_free()); // unsynchronised W/R on x
+/// # Ok::<(), transafety_traces::TraceError>(())
+/// ```
+#[derive(Debug)]
+pub struct Explorer {
+    trie: IndexedTraceset,
+}
+
+/// The explorer's notion of machine state: per-thread trie node, shared
+/// memory contents and the lock state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct State {
+    cursors: Vec<usize>,
+    memory: BTreeMap<Loc, Value>,
+    locks: BTreeMap<Monitor, (usize, u32)>,
+}
+
+/// A single enabled move: thread index, the action, and the successor
+/// trie node for that thread.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    thread: usize,
+    action: Action,
+    next_node: usize,
+}
+
+impl Explorer {
+    /// Creates an explorer for the given traceset.
+    #[must_use]
+    pub fn new(t: &Traceset) -> Self {
+        Explorer { trie: IndexedTraceset::new(t) }
+    }
+
+    fn initial_state(&self) -> State {
+        State {
+            cursors: vec![IndexedTraceset::ROOT; self.trie.threads().len()],
+            memory: BTreeMap::new(),
+            locks: BTreeMap::new(),
+        }
+    }
+
+    /// Enabled moves at `state`, in deterministic order.
+    fn moves(&self, state: &State) -> Vec<Move> {
+        let mut out = Vec::new();
+        for (k, &node) in state.cursors.iter().enumerate() {
+            for (a, next) in self.trie.edges(node) {
+                let enabled = match *a {
+                    Action::Start(entry) => {
+                        node == IndexedTraceset::ROOT && entry == self.trie.threads()[k]
+                    }
+                    Action::Read { loc, value } => {
+                        state.memory.get(&loc).copied().unwrap_or(Value::ZERO) == value
+                    }
+                    Action::Write { .. } | Action::External(_) => true,
+                    Action::Lock(m) => match state.locks.get(&m) {
+                        None => true,
+                        Some(&(holder, _)) => holder == k,
+                    },
+                    Action::Unlock(m) => {
+                        matches!(state.locks.get(&m), Some(&(holder, depth)) if holder == k && depth > 0)
+                    }
+                };
+                if enabled {
+                    out.push(Move { thread: k, action: *a, next_node: next });
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies a move to a state.
+    fn apply(&self, state: &State, mv: &Move) -> State {
+        let mut next = state.clone();
+        next.cursors[mv.thread] = mv.next_node;
+        match mv.action {
+            Action::Write { loc, value } => {
+                next.memory.insert(loc, value);
+            }
+            Action::Lock(m) => {
+                let entry = next.locks.entry(m).or_insert((mv.thread, 0));
+                entry.1 += 1;
+            }
+            Action::Unlock(m) => {
+                if let Some(entry) = next.locks.get_mut(&m) {
+                    entry.1 -= 1;
+                    if entry.1 == 0 {
+                        next.locks.remove(&m);
+                    }
+                }
+            }
+            _ => {}
+        }
+        next
+    }
+
+    /// The set of behaviours of all executions of the traceset.
+    ///
+    /// Computed by memoised dynamic programming: the suffix-behaviour set
+    /// of a state is the union over enabled moves. Because executions are
+    /// prefix closed, the empty behaviour is always a member.
+    #[must_use]
+    pub fn behaviours(&self) -> Behaviours {
+        let mut memo: HashMap<State, Rc<Behaviours>> = HashMap::new();
+        let result = self.suffixes(self.initial_state(), &mut memo);
+        (*result).clone()
+    }
+
+    fn suffixes(&self, state: State, memo: &mut HashMap<State, Rc<Behaviours>>) -> Rc<Behaviours> {
+        if let Some(r) = memo.get(&state) {
+            return Rc::clone(r);
+        }
+        let mut set: Behaviours = BTreeSet::new();
+        set.insert(Vec::new());
+        for mv in self.moves(&state) {
+            let tail = self.suffixes(self.apply(&state, &mv), memo);
+            match mv.action {
+                Action::External(v) => {
+                    for suffix in tail.iter() {
+                        let mut b = Vec::with_capacity(suffix.len() + 1);
+                        b.push(v);
+                        b.extend_from_slice(suffix);
+                        set.insert(b);
+                    }
+                }
+                _ => set.extend(tail.iter().cloned()),
+            }
+        }
+        let rc = Rc::new(set);
+        memo.insert(state, Rc::clone(&rc));
+        rc
+    }
+
+    /// Searches for a data race (§3: two adjacent conflicting actions of
+    /// different threads in some execution). Returns a concrete witness
+    /// execution, or `None` if the traceset is data race free.
+    #[must_use]
+    pub fn race_witness(&self) -> Option<RaceWitness> {
+        // Key: (state, previous normal access as (thread, loc, was_write)).
+        let mut visited: HashSet<(State, Option<(usize, Loc, bool)>)> = HashSet::new();
+        let mut path: Vec<Event> = Vec::new();
+        self.race_dfs(self.initial_state(), None, &mut visited, &mut path)
+            .then(|| RaceWitness { execution: Interleaving::from_events(path) })
+    }
+
+    fn race_dfs(
+        &self,
+        state: State,
+        prev: Option<(usize, Loc, bool)>,
+        visited: &mut HashSet<(State, Option<(usize, Loc, bool)>)>,
+        path: &mut Vec<Event>,
+    ) -> bool {
+        if !visited.insert((state.clone(), prev)) {
+            return false;
+        }
+        for mv in self.moves(&state) {
+            let thread_id = self.trie.threads()[mv.thread];
+            // Race check against the immediately preceding event.
+            if let Some((pk, pl, pw)) = prev {
+                if pk != mv.thread && mv.action.is_access_to(pl) && !pl.is_volatile() {
+                    let racing = pw || mv.action.is_write();
+                    if racing {
+                        path.push(Event::new(thread_id, mv.action));
+                        return true;
+                    }
+                }
+            }
+            let next_prev = match mv.action {
+                Action::Read { loc, .. } if !loc.is_volatile() => {
+                    Some((mv.thread, loc, false))
+                }
+                Action::Write { loc, .. } if !loc.is_volatile() => {
+                    Some((mv.thread, loc, true))
+                }
+                _ => None,
+            };
+            path.push(Event::new(thread_id, mv.action));
+            if self.race_dfs(self.apply(&state, &mv), next_prev, visited, path) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    /// Is the traceset data race free (§3)?
+    #[must_use]
+    pub fn is_data_race_free(&self) -> bool {
+        self.race_witness().is_none()
+    }
+
+    /// Enumerates all maximal executions, stopping at
+    /// `limits.max_interleavings`. Exponential; intended for litmus-sized
+    /// programs.
+    #[must_use]
+    pub fn maximal_executions(&self, limits: ExploreLimits) -> Vec<Interleaving> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        self.enumerate(self.initial_state(), &mut path, &mut out, limits.max_interleavings);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        state: State,
+        path: &mut Vec<Event>,
+        out: &mut Vec<Interleaving>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        let moves = self.moves(&state);
+        if moves.is_empty() {
+            out.push(Interleaving::from_events(path.iter().copied()));
+            return;
+        }
+        for mv in moves {
+            path.push(Event::new(self.trie.threads()[mv.thread], mv.action));
+            self.enumerate(self.apply(&state, &mv), path, out, cap);
+            path.pop();
+        }
+    }
+
+    /// Counts the maximal executions by dynamic programming (no
+    /// materialisation).
+    #[must_use]
+    pub fn count_maximal_executions(&self) -> u128 {
+        let mut memo: HashMap<State, u128> = HashMap::new();
+        self.count(self.initial_state(), &mut memo)
+    }
+
+    fn count(&self, state: State, memo: &mut HashMap<State, u128>) -> u128 {
+        if let Some(&c) = memo.get(&state) {
+            return c;
+        }
+        let moves = self.moves(&state);
+        let c = if moves.is_empty() {
+            1
+        } else {
+            moves.iter().map(|mv| self.count(self.apply(&state, mv), memo)).sum()
+        };
+        memo.insert(state, c);
+        c
+    }
+
+    /// Is the traceset data race free under the *alternative* §3
+    /// definition: in every execution, all conflicting access pairs are
+    /// ordered by happens-before?
+    ///
+    /// The paper states the two definitions are equivalent; this method
+    /// exists so the equivalence is checkable (see the integration
+    /// suite) and costs a full enumeration of maximal executions —
+    /// prefer [`is_data_race_free`](Explorer::is_data_race_free) (the
+    /// adjacent-conflict search) for real use.
+    #[must_use]
+    pub fn is_data_race_free_hb(&self, limits: ExploreLimits) -> bool {
+        self.maximal_executions(limits)
+            .iter()
+            .all(|i| i.hb_unordered_conflicts().is_empty())
+    }
+
+    /// The number of distinct explorer states reachable from the initial
+    /// state (a size measure used by the scaling experiments).
+    #[must_use]
+    pub fn count_reachable_states(&self) -> usize {
+        let mut seen: HashSet<State> = HashSet::new();
+        let mut stack = vec![self.initial_state()];
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            for mv in self.moves(&s) {
+                stack.push(self.apply(&s, &mv));
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::{Domain, ThreadId, Trace};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    /// Fig. 2 original: T0 = r2:=x; y:=r2 — T1 = r1:=y; x:=1; print r1.
+    fn fig2_original() -> Traceset {
+        let (x, y) = (Loc::normal(0), Loc::normal(1));
+        let d = Domain::zero_to(1);
+        let mut ts = Traceset::new();
+        for val in d.iter() {
+            ts.insert(Trace::from_actions([
+                Action::start(t(0)),
+                Action::read(x, val),
+                Action::write(y, val),
+            ]))
+            .unwrap();
+            ts.insert(Trace::from_actions([
+                Action::start(t(1)),
+                Action::read(y, val),
+                Action::write(x, v(1)),
+                Action::external(val),
+            ]))
+            .unwrap();
+        }
+        ts
+    }
+
+    /// Fig. 2 transformed: T1 becomes x:=1; r1:=y; print r1.
+    fn fig2_transformed() -> Traceset {
+        let (x, y) = (Loc::normal(0), Loc::normal(1));
+        let d = Domain::zero_to(1);
+        let mut ts = Traceset::new();
+        for val in d.iter() {
+            ts.insert(Trace::from_actions([
+                Action::start(t(0)),
+                Action::read(x, val),
+                Action::write(y, val),
+            ]))
+            .unwrap();
+            ts.insert(Trace::from_actions([
+                Action::start(t(1)),
+                Action::write(x, v(1)),
+                Action::read(y, val),
+                Action::external(val),
+            ]))
+            .unwrap();
+        }
+        ts
+    }
+
+    #[test]
+    fn fig2_original_cannot_print_one() {
+        let b = Explorer::new(&fig2_original()).behaviours();
+        assert!(b.contains(&vec![]));
+        assert!(b.contains(&vec![v(0)]));
+        assert!(!b.contains(&vec![v(1)]), "§2.1: the original cannot print 1");
+    }
+
+    #[test]
+    fn fig2_transformed_can_print_one() {
+        let b = Explorer::new(&fig2_transformed()).behaviours();
+        assert!(b.contains(&vec![v(1)]), "§2.1: the transformed program can print 1");
+    }
+
+    #[test]
+    fn fig2_is_racy() {
+        let w = Explorer::new(&fig2_original()).race_witness().expect("x and y are racy");
+        let (a, b) = w.pair();
+        assert!(a.action().conflicts_with(&b.action()));
+        assert_ne!(a.thread(), b.thread());
+        // the witness execution really is an execution of the traceset
+        assert!(w.execution.is_interleaving_of(&fig2_original()));
+        assert!(w.execution.is_sequentially_consistent());
+    }
+
+    #[test]
+    fn lock_protected_program_is_drf() {
+        let x = Loc::normal(0);
+        let m = Monitor::new(0);
+        let mut ts = Traceset::new();
+        for th in [t(0), t(1)] {
+            for val in Domain::zero_to(1).iter() {
+                ts.insert(Trace::from_actions([
+                    Action::start(th),
+                    Action::lock(m),
+                    Action::read(x, val),
+                    Action::write(x, v(1)),
+                    Action::unlock(m),
+                ]))
+                .unwrap();
+            }
+        }
+        assert!(Explorer::new(&ts).is_data_race_free());
+    }
+
+    #[test]
+    fn volatile_program_is_drf() {
+        let vl = Loc::volatile(0);
+        let mut ts = Traceset::new();
+        for val in Domain::zero_to(1).iter() {
+            ts.insert(Trace::from_actions([
+                Action::start(t(0)),
+                Action::write(vl, v(1)),
+            ]))
+            .unwrap();
+            ts.insert(Trace::from_actions([
+                Action::start(t(1)),
+                Action::read(vl, val),
+                Action::external(val),
+            ]))
+            .unwrap();
+        }
+        let e = Explorer::new(&ts);
+        assert!(e.is_data_race_free());
+        let b = e.behaviours();
+        assert!(b.contains(&vec![v(0)]) && b.contains(&vec![v(1)]));
+    }
+
+    #[test]
+    fn maximal_executions_cross_validate_behaviours() {
+        let ts = fig2_original();
+        let ex = Explorer::new(&ts);
+        let all = ex.maximal_executions(ExploreLimits::default());
+        assert_eq!(all.len() as u128, ex.count_maximal_executions());
+        // behaviours from raw enumeration (with prefix closure) match DP
+        let mut raw: Behaviours = BTreeSet::new();
+        for i in &all {
+            let b = i.behaviour();
+            for n in 0..=b.len() {
+                raw.insert(b[..n].to_vec());
+            }
+            assert!(i.is_sequentially_consistent());
+            assert!(i.is_interleaving_of(&ts));
+        }
+        assert_eq!(raw, ex.behaviours());
+    }
+
+    #[test]
+    fn locks_exclude_interleavings() {
+        // Two threads, each: lock m; x:=1; r:=x; unlock m. Under mutual
+        // exclusion every read must see 1 from its own thread.
+        let x = Loc::normal(0);
+        let m = Monitor::new(0);
+        let mut ts = Traceset::new();
+        for th in [t(0), t(1)] {
+            for val in Domain::zero_to(1).iter() {
+                ts.insert(Trace::from_actions([
+                    Action::start(th),
+                    Action::lock(m),
+                    Action::write(x, v(1)),
+                    Action::read(x, val),
+                    Action::external(val),
+                    Action::unlock(m),
+                ]))
+                .unwrap();
+            }
+        }
+        let b = Explorer::new(&ts).behaviours();
+        assert!(b.contains(&vec![v(1), v(1)]));
+        assert!(!b.contains(&vec![v(0)]), "read under the lock must see the write");
+    }
+
+    #[test]
+    fn reentrant_locking_is_supported_by_state_machine() {
+        let m = Monitor::new(0);
+        let mut ts = Traceset::new();
+        ts.insert(Trace::from_actions([
+            Action::start(t(0)),
+            Action::lock(m),
+            Action::lock(m),
+            Action::unlock(m),
+            Action::unlock(m),
+            Action::external(v(1)),
+        ]))
+        .unwrap();
+        let b = Explorer::new(&ts).behaviours();
+        assert!(b.contains(&vec![v(1)]));
+    }
+
+    #[test]
+    fn execution_count_small_example() {
+        // Two independent single-action threads after their starts:
+        // S(0);X(1) and S(1);X(2) — executions = interleavings of 4 events
+        // with per-thread order fixed: C(4,2) = 6.
+        let mut ts = Traceset::new();
+        ts.insert(Trace::from_actions([Action::start(t(0)), Action::external(v(1))])).unwrap();
+        ts.insert(Trace::from_actions([Action::start(t(1)), Action::external(v(2))])).unwrap();
+        let ex = Explorer::new(&ts);
+        assert_eq!(ex.count_maximal_executions(), 6);
+        assert_eq!(ex.maximal_executions(ExploreLimits::default()).len(), 6);
+        let b = ex.behaviours();
+        assert!(b.contains(&vec![v(1), v(2)]));
+        assert!(b.contains(&vec![v(2), v(1)]));
+    }
+
+    #[test]
+    fn hb_definition_agrees_with_adjacent_definition() {
+        assert!(!Explorer::new(&fig2_original()).is_data_race_free_hb(ExploreLimits::default()));
+        let vl = Loc::volatile(0);
+        let mut ts = Traceset::new();
+        ts.insert(Trace::from_actions([Action::start(t(0)), Action::write(vl, v(1))])).unwrap();
+        for val in Domain::zero_to(1).iter() {
+            ts.insert(Trace::from_actions([Action::start(t(1)), Action::read(vl, val)]))
+                .unwrap();
+        }
+        let e = Explorer::new(&ts);
+        assert!(e.is_data_race_free());
+        assert!(e.is_data_race_free_hb(ExploreLimits::default()));
+    }
+
+    #[test]
+    fn execution_cap_is_respected() {
+        let ts = fig2_original();
+        let ex = Explorer::new(&ts);
+        let capped = ex.maximal_executions(ExploreLimits { max_interleavings: 3 });
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn race_witness_reports_index_and_pair() {
+        let w = Explorer::new(&fig2_original()).race_witness().unwrap();
+        assert_eq!(w.index(), w.execution.len() - 2);
+        let s = w.to_string();
+        assert!(s.contains("data race between"), "{s}");
+    }
+
+    #[test]
+    fn reachable_state_count_is_positive() {
+        let ts = fig2_original();
+        assert!(Explorer::new(&ts).count_reachable_states() > 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! The happens-before partial order of an interleaving.
+
+use std::fmt;
+
+use crate::Interleaving;
+
+/// The happens-before partial order `≤hb` of an interleaving (§3,
+/// "Orders on Actions"): the transitive closure of *program order*
+/// (same-thread sequencing, reflexive) and *synchronises-with* (a release
+/// followed by a matching acquire).
+///
+/// Because happens-before of an `n`-event interleaving is a subset of the
+/// total index order, it is represented as an `n × n` boolean matrix and
+/// is reflexive by construction.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, Monitor, ThreadId, Value};
+/// use transafety_interleaving::{Event, Interleaving};
+/// let m = Monitor::new(0);
+/// let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+/// let i = Interleaving::from_events([
+///     Event::new(t0, Action::start(t0)),
+///     Event::new(t0, Action::unlock(m)),   // release …
+///     Event::new(t1, Action::start(t1)),
+///     Event::new(t1, Action::lock(m)),     // … synchronises-with this acquire
+/// ]);
+/// let hb = i.happens_before();
+/// assert!(hb.ordered(0, 1)); // program order
+/// assert!(hb.ordered(1, 3)); // synchronises-with
+/// assert!(hb.ordered(0, 3)); // transitivity
+/// assert!(!hb.ordered(2, 1)); // no order across unsynchronised threads
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HappensBefore {
+    n: usize,
+    ordered: Vec<bool>,
+}
+
+impl HappensBefore {
+    /// Computes the happens-before order of an interleaving.
+    #[must_use]
+    pub fn of(i: &Interleaving) -> Self {
+        let n = i.len();
+        let mut m = vec![false; n * n];
+        let set = |m: &mut Vec<bool>, a: usize, b: usize| m[a * n + b] = true;
+        for a in 0..n {
+            set(&mut m, a, a);
+            for b in a + 1..n {
+                // program order
+                if i[a].thread() == i[b].thread() {
+                    set(&mut m, a, b);
+                }
+                // synchronises-with
+                if i[a].action().is_release_acquire_pair(&i[b].action()) {
+                    set(&mut m, a, b);
+                }
+            }
+        }
+        // transitive closure (Floyd–Warshall on booleans)
+        for k in 0..n {
+            for a in 0..n {
+                if m[a * n + k] {
+                    for b in 0..n {
+                        if m[k * n + b] {
+                            m[a * n + b] = true;
+                        }
+                    }
+                }
+            }
+        }
+        HappensBefore { n, ordered: m }
+    }
+
+    /// The number of events of the underlying interleaving.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the order is over the empty interleaving.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Does `a ≤hb b` hold? Reflexive; out-of-range indices are unordered.
+    #[must_use]
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        a < self.n && b < self.n && self.ordered[a * self.n + b]
+    }
+
+    /// Are `a` and `b` unrelated (neither `a ≤hb b` nor `b ≤hb a`)?
+    #[must_use]
+    pub fn unordered(&self, a: usize, b: usize) -> bool {
+        a < self.n && b < self.n && !self.ordered(a, b) && !self.ordered(b, a)
+    }
+}
+
+impl fmt::Display for HappensBefore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "happens-before over {} events:", self.n)?;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                write!(f, "{}", if self.ordered(a, b) { '1' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+    use transafety_traces::{Action, Loc, ThreadId, Value};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn program_order_is_included() {
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::external(Value::ZERO)),
+        ]);
+        let hb = HappensBefore::of(&i);
+        assert!(hb.ordered(0, 2));
+        assert!(!hb.ordered(1, 2));
+        assert!(hb.unordered(1, 2));
+        assert!(hb.ordered(1, 1), "reflexive");
+    }
+
+    #[test]
+    fn volatile_write_read_synchronises() {
+        let v = Loc::volatile(0);
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(v, Value::new(1))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(1), Action::read(v, Value::new(1))),
+            Event::new(t(1), Action::external(Value::ZERO)),
+        ]);
+        let hb = HappensBefore::of(&i);
+        assert!(hb.ordered(1, 3));
+        assert!(hb.ordered(0, 4), "start hb-precedes the other thread's print");
+    }
+
+    #[test]
+    fn normal_accesses_do_not_synchronise() {
+        let x = Loc::normal(0);
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(x, Value::new(1))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(1), Action::read(x, Value::new(1))),
+        ]);
+        let hb = HappensBefore::of(&i);
+        assert!(hb.unordered(1, 3));
+    }
+
+    #[test]
+    fn out_of_range_is_unordered_not_panic() {
+        let hb = HappensBefore::of(&Interleaving::new());
+        assert!(hb.is_empty());
+        assert!(!hb.ordered(0, 0));
+    }
+}

@@ -1,0 +1,124 @@
+//! A flattened, id-indexed view of a traceset trie.
+
+use std::collections::BTreeMap;
+
+use transafety_traces::{Action, ThreadId, Traceset};
+
+/// An immutable, integer-indexed copy of a [`Traceset`] trie.
+///
+/// The [`Explorer`](crate::Explorer) needs stable node identities to key
+/// its memo tables; this view assigns every trie node a dense `usize` id
+/// (the root is id 0).
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, ThreadId, Trace, Traceset};
+/// use transafety_interleaving::IndexedTraceset;
+/// let mut t = Traceset::new();
+/// t.insert(Trace::from_actions([Action::start(ThreadId::new(0))]))?;
+/// let ix = IndexedTraceset::new(&t);
+/// assert_eq!(ix.node_count(), 2);
+/// let next = ix.child(IndexedTraceset::ROOT, &Action::start(ThreadId::new(0)));
+/// assert!(next.is_some());
+/// # Ok::<(), transafety_traces::TraceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexedTraceset {
+    children: Vec<BTreeMap<Action, usize>>,
+    threads: Vec<ThreadId>,
+}
+
+impl IndexedTraceset {
+    /// The id of the root node (the empty trace).
+    pub const ROOT: usize = 0;
+
+    /// Flattens a traceset into an indexed view.
+    #[must_use]
+    pub fn new(t: &Traceset) -> Self {
+        let mut children: Vec<BTreeMap<Action, usize>> = vec![BTreeMap::new()];
+        // Depth-first copy. A trie is a tree, so each cursor position is
+        // reached exactly once.
+        let mut stack = vec![(t.cursor(), 0usize)];
+        while let Some((cursor, id)) = stack.pop() {
+            let actions: Vec<Action> = cursor.children().copied().collect();
+            for a in actions {
+                let child = cursor.step(&a).expect("listed child exists");
+                let cid = children.len();
+                children.push(BTreeMap::new());
+                children[id].insert(a, cid);
+                stack.push((child, cid));
+            }
+        }
+        IndexedTraceset { children, threads: t.threads() }
+    }
+
+    /// The number of nodes (member traces) in the trie.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The child of `node` along edge `a`, if present.
+    #[must_use]
+    pub fn child(&self, node: usize, a: &Action) -> Option<usize> {
+        self.children.get(node)?.get(a).copied()
+    }
+
+    /// The outgoing edges of `node`.
+    pub fn edges(&self, node: usize) -> impl Iterator<Item = (&Action, usize)> + '_ {
+        self.children[node].iter().map(|(a, &n)| (a, n))
+    }
+
+    /// Returns `true` if `node` has no children.
+    #[must_use]
+    pub fn is_leaf(&self, node: usize) -> bool {
+        self.children[node].is_empty()
+    }
+
+    /// The program's threads (entry points), sorted.
+    #[must_use]
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::{Loc, Trace, Value};
+
+    #[test]
+    fn node_count_matches_member_count() {
+        let x = Loc::normal(0);
+        let mut t = Traceset::new();
+        for v in 0..3 {
+            t.insert(Trace::from_actions([
+                Action::start(ThreadId::new(0)),
+                Action::read(x, Value::new(v)),
+                Action::write(x, Value::new(v)),
+            ]))
+            .unwrap();
+        }
+        let ix = IndexedTraceset::new(&t);
+        assert_eq!(ix.node_count(), t.member_count());
+        assert_eq!(ix.threads(), &[ThreadId::new(0)]);
+    }
+
+    #[test]
+    fn walks_agree_with_traceset() {
+        let x = Loc::normal(0);
+        let mut t = Traceset::new();
+        t.insert(Trace::from_actions([
+            Action::start(ThreadId::new(1)),
+            Action::write(x, Value::new(1)),
+        ]))
+        .unwrap();
+        let ix = IndexedTraceset::new(&t);
+        let n1 = ix.child(IndexedTraceset::ROOT, &Action::start(ThreadId::new(1))).unwrap();
+        let n2 = ix.child(n1, &Action::write(x, Value::new(1))).unwrap();
+        assert!(ix.is_leaf(n2));
+        assert_eq!(ix.child(n1, &Action::write(x, Value::new(2))), None);
+        assert_eq!(ix.edges(IndexedTraceset::ROOT).count(), 1);
+    }
+}

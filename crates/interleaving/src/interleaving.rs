@@ -1,0 +1,547 @@
+//! Interleavings and the sequential-consistency / data-race conditions.
+
+use std::fmt;
+
+use transafety_traces::{Action, Loc, Monitor, ThreadId, Trace, Traceset, Value};
+
+use crate::{Event, HappensBefore};
+
+/// An interleaving: a finite sequence of [`Event`]s (§3 of the paper).
+///
+/// The §3 judgements are methods:
+///
+/// * [`trace_of`](Interleaving::trace_of) — the trace of a thread in the
+///   interleaving;
+/// * [`is_interleaving_of`](Interleaving::is_interleaving_of) — thread
+///   traces are members, start actions are consistent, and lock actions
+///   respect mutual exclusion;
+/// * [`sees_most_recent_write`](Interleaving::sees_most_recent_write) and
+///   [`is_sequentially_consistent`](Interleaving::is_sequentially_consistent)
+///   — the SC conditions; an interleaving of `T` that is sequentially
+///   consistent is an *execution* of `T`;
+/// * [`first_adjacent_race`](Interleaving::first_adjacent_race) — the
+///   adjacent-conflict data-race condition;
+/// * [`happens_before`](Interleaving::happens_before) — the partial order
+///   used by the alternative race definition
+///   ([`hb_unordered_conflicts`](Interleaving::hb_unordered_conflicts)).
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, ThreadId, Value};
+/// use transafety_interleaving::{Event, Interleaving};
+/// let x = Loc::normal(0);
+/// let t0 = ThreadId::new(0);
+/// let t1 = ThreadId::new(1);
+/// let i = Interleaving::from_events([
+///     Event::new(t0, Action::start(t0)),
+///     Event::new(t1, Action::start(t1)),
+///     Event::new(t0, Action::write(x, Value::new(1))),
+///     Event::new(t1, Action::read(x, Value::new(1))),
+/// ]);
+/// assert!(i.is_sequentially_consistent());
+/// // W then R of the same location by different threads, adjacent: a race.
+/// assert_eq!(i.first_adjacent_race(), Some(2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Interleaving {
+    events: Vec<Event>,
+}
+
+impl Interleaving {
+    /// Creates an empty interleaving.
+    #[must_use]
+    pub fn new() -> Self {
+        Interleaving { events: Vec::new() }
+    }
+
+    /// Creates an interleaving from events.
+    #[must_use]
+    pub fn from_events<I: IntoIterator<Item = Event>>(events: I) -> Self {
+        Interleaving { events: events.into_iter().collect() }
+    }
+
+    /// The events as a slice.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The length of the interleaving.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` for the empty interleaving.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event at index `i`, if in range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&Event> {
+        self.events.get(i)
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// The prefix of length `n`.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Interleaving {
+        Interleaving { events: self.events[..n.min(self.len())].to_vec() }
+    }
+
+    /// The trace of thread `θ` in the interleaving:
+    /// `[A(p) | p ∈ I. T(p) = θ]`.
+    #[must_use]
+    pub fn trace_of(&self, thread: ThreadId) -> Trace {
+        self.events
+            .iter()
+            .filter(|e| e.thread() == thread)
+            .map(Event::action)
+            .collect()
+    }
+
+    /// The threads occurring in the interleaving, sorted.
+    #[must_use]
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut out: Vec<ThreadId> = self.events.iter().map(Event::thread).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The behaviour: the values of external actions, in order.
+    #[must_use]
+    pub fn behaviour(&self) -> Vec<Value> {
+        self.events
+            .iter()
+            .filter(|e| e.action().is_external())
+            .map(|e| e.action().value().expect("external action carries a value"))
+            .collect()
+    }
+
+    /// Is this an interleaving *of* the given traceset?
+    ///
+    /// Checks the three conditions of §3: every thread's trace is a member
+    /// of `t`; every start action `S(θ)` is performed by thread `θ`; and
+    /// every lock respects mutual exclusion (when a thread locks `m`,
+    /// every *other* thread has unlocked `m` as often as it locked it).
+    #[must_use]
+    pub fn is_interleaving_of(&self, t: &Traceset) -> bool {
+        for thread in self.threads() {
+            if !t.contains(&self.trace_of(thread)) {
+                return false;
+            }
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if let Action::Start(entry) = e.action() {
+                if entry != e.thread() {
+                    return false;
+                }
+            }
+            if let Action::Lock(m) = e.action() {
+                if !self.mutual_exclusion_holds_at(i, m, e.thread()) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn mutual_exclusion_holds_at(&self, i: usize, m: Monitor, locker: ThreadId) -> bool {
+        // For each other thread: #locks of m before i == #unlocks of m before i.
+        let mut balance: std::collections::BTreeMap<ThreadId, i64> = Default::default();
+        for e in &self.events[..i] {
+            match e.action() {
+                Action::Lock(m2) if m2 == m => *balance.entry(e.thread()).or_insert(0) += 1,
+                Action::Unlock(m2) if m2 == m => *balance.entry(e.thread()).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        balance.iter().all(|(&t, &b)| t == locker || b == 0)
+    }
+
+    /// Does index `r` *see* write `w` (§3)? True when `I_r = R[l=v]`,
+    /// `I_w = W[l=v]`, `w < r` and no write to `l` lies strictly between.
+    #[must_use]
+    pub fn sees_write(&self, r: usize, w: usize) -> bool {
+        let (Some(re), Some(we)) = (self.events.get(r), self.events.get(w)) else {
+            return false;
+        };
+        let (Action::Read { loc, value }, Action::Write { loc: wl, value: wv }) =
+            (re.action(), we.action())
+        else {
+            return false;
+        };
+        loc == wl
+            && value == wv
+            && w < r
+            && !self.events[w + 1..r]
+                .iter()
+                .any(|e| e.action().is_write() && e.action().loc() == Some(loc))
+    }
+
+    /// Does index `r` see the default (zero) value: a read of the default
+    /// value with no earlier write to the same location?
+    #[must_use]
+    pub fn sees_default(&self, r: usize) -> bool {
+        let Some(e) = self.events.get(r) else { return false };
+        let Action::Read { loc, value } = e.action() else { return false };
+        value == Value::ZERO
+            && !self.events[..r]
+                .iter()
+                .any(|p| p.action().is_write() && p.action().loc() == Some(loc))
+    }
+
+    /// Does index `r` see the most recent write: it is not a read, or it
+    /// sees the default value, or it sees some write?
+    #[must_use]
+    pub fn sees_most_recent_write(&self, r: usize) -> bool {
+        let Some(e) = self.events.get(r) else { return false };
+        if !e.action().is_read() {
+            return true;
+        }
+        if self.sees_default(r) {
+            return true;
+        }
+        (0..r).rev().any(|w| self.sees_write(r, w))
+    }
+
+    /// Is the interleaving sequentially consistent (every index sees the
+    /// most recent write)? SC interleavings of `T` are the *executions*
+    /// of `T`.
+    #[must_use]
+    pub fn is_sequentially_consistent(&self) -> bool {
+        (0..self.len()).all(|i| self.sees_most_recent_write(i))
+    }
+
+    /// The first index violating sequential consistency, if any.
+    #[must_use]
+    pub fn first_sc_violation(&self) -> Option<usize> {
+        (0..self.len()).find(|&i| !self.sees_most_recent_write(i))
+    }
+
+    /// The adjacent-conflict data race check: returns the first index `i`
+    /// such that `I_i` and `I_{i+1}` are conflicting actions of different
+    /// threads.
+    #[must_use]
+    pub fn first_adjacent_race(&self) -> Option<usize> {
+        (0..self.len().saturating_sub(1)).find(|&i| {
+            let (a, b) = (&self.events[i], &self.events[i + 1]);
+            a.thread() != b.thread() && a.action().conflicts_with(&b.action())
+        })
+    }
+
+    /// Returns `true` if the interleaving has an adjacent-conflict data
+    /// race.
+    #[must_use]
+    pub fn has_data_race(&self) -> bool {
+        self.first_adjacent_race().is_some()
+    }
+
+    /// Builds the happens-before partial order of this interleaving: the
+    /// transitive closure of program order and synchronises-with.
+    #[must_use]
+    pub fn happens_before(&self) -> HappensBefore {
+        HappensBefore::of(self)
+    }
+
+    /// All pairs `(i, j)`, `i < j`, of conflicting accesses not ordered by
+    /// happens-before. Non-empty results witness a data race under the
+    /// alternative §3 definition.
+    #[must_use]
+    pub fn hb_unordered_conflicts(&self) -> Vec<(usize, usize)> {
+        let hb = self.happens_before();
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            for j in i + 1..self.len() {
+                let (a, b) = (self.events[i].action(), self.events[j].action());
+                if a.conflicts_with(&b) && !hb.ordered(i, j) && !hb.ordered(j, i) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// The indices of all writes to `l`, in order.
+    #[must_use]
+    pub fn writes_to(&self, l: Loc) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| {
+                self.events[i].action().is_write() && self.events[i].action().loc() == Some(l)
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<Event> for Interleaving {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Interleaving::from_events(iter)
+    }
+}
+
+impl Extend<Event> for Interleaving {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl std::ops::Index<usize> for Interleaving {
+    type Output = Event;
+
+    fn index(&self, i: usize) -> &Event {
+        &self.events[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Interleaving {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl fmt::Display for Interleaving {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::Domain;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    /// The execution I' from Fig. 5 of the paper (with l0 for y and the
+    /// volatile location v9 for v):
+    /// [(0,S(0)), (1,S(1)), (0,W[y=1]), (1,R[v=0]), (1,X(0))]
+    fn fig5_execution() -> Interleaving {
+        let vol = Loc::volatile(9);
+        Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::write(y(), v(1))),
+            Event::new(t(1), Action::read(vol, v(0))),
+            Event::new(t(1), Action::external(v(0))),
+        ])
+    }
+
+    #[test]
+    fn trace_projection() {
+        let i = fig5_execution();
+        assert_eq!(i.trace_of(t(0)).len(), 2);
+        assert_eq!(i.trace_of(t(1)).len(), 3);
+        assert_eq!(i.trace_of(t(7)).len(), 0);
+        assert_eq!(i.threads(), vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn fig5_execution_is_sequentially_consistent() {
+        let i = fig5_execution();
+        assert!(i.is_sequentially_consistent());
+        assert!(i.sees_default(3), "volatile read of 0 with no writes sees default");
+        assert_eq!(i.first_sc_violation(), None);
+        assert_eq!(i.behaviour(), vec![v(0)]);
+    }
+
+    #[test]
+    fn sc_violation_detected() {
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(0), Action::read(x(), v(0))),
+        ]);
+        assert!(!i.is_sequentially_consistent());
+        assert_eq!(i.first_sc_violation(), Some(2));
+        // reading the written value is fine
+        let j = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(0), Action::read(x(), v(1))),
+        ]);
+        assert!(j.is_sequentially_consistent());
+        assert!(j.sees_write(2, 1));
+    }
+
+    #[test]
+    fn sees_write_requires_no_intervening_write() {
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(0), Action::write(x(), v(2))),
+            Event::new(t(0), Action::read(x(), v(1))),
+        ]);
+        assert!(!i.sees_write(3, 1), "W[x=2] intervenes");
+        assert!(!i.sees_most_recent_write(3));
+    }
+
+    #[test]
+    fn adjacent_race_detection() {
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(1), Action::read(x(), v(1))),
+        ]);
+        assert_eq!(i.first_adjacent_race(), Some(2));
+        // same-thread adjacency is not a race
+        let j = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(0), Action::read(x(), v(1))),
+        ]);
+        assert!(!j.has_data_race());
+        // volatile accesses never race
+        let vol = Loc::volatile(2);
+        let k = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::write(vol, v(1))),
+            Event::new(t(1), Action::read(vol, v(1))),
+        ]);
+        assert!(!k.has_data_race());
+    }
+
+    #[test]
+    fn hb_unordered_conflicts_agree_with_adjacent_definition_here() {
+        // Unsynchronised conflicting accesses by different threads.
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(1), Action::read(x(), v(1))),
+        ]);
+        assert_eq!(i.hb_unordered_conflicts(), vec![(2, 3)]);
+        // With a release-acquire (unlock/lock) pair between them: ordered.
+        let m = Monitor::new(0);
+        let j = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::lock(m)),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(0), Action::unlock(m)),
+            Event::new(t(1), Action::lock(m)),
+            Event::new(t(1), Action::read(x(), v(1))),
+            Event::new(t(1), Action::unlock(m)),
+        ]);
+        assert!(j.hb_unordered_conflicts().is_empty());
+        assert!(!j.has_data_race());
+    }
+
+    #[test]
+    fn interleaving_of_traceset() {
+        let d = Domain::zero_to(1);
+        let mut ts = Traceset::new();
+        for val in d.iter() {
+            ts.insert(Trace::from_actions([
+                Action::start(t(0)),
+                Action::write(y(), v(1)),
+            ]))
+            .unwrap();
+            ts.insert(Trace::from_actions([
+                Action::start(t(1)),
+                Action::read(y(), val),
+            ]))
+            .unwrap();
+        }
+        let ok = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::write(y(), v(1))),
+            Event::new(t(1), Action::read(y(), v(1))),
+        ]);
+        assert!(ok.is_interleaving_of(&ts));
+        // Wrong thread performing a start action:
+        let bad = Interleaving::from_events([Event::new(t(1), Action::start(t(0)))]);
+        assert!(!bad.is_interleaving_of(&ts));
+        // Trace not in the traceset:
+        let bad2 = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(y(), v(2))),
+        ]);
+        assert!(!bad2.is_interleaving_of(&ts));
+    }
+
+    #[test]
+    fn mutual_exclusion_enforced() {
+        let m = Monitor::new(0);
+        let mut ts = Traceset::new();
+        for th in [t(0), t(1)] {
+            ts.insert(Trace::from_actions([
+                Action::start(th),
+                Action::lock(m),
+                Action::unlock(m),
+            ]))
+            .unwrap();
+        }
+        // thread 1 locks while thread 0 still holds m
+        let bad = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::lock(m)),
+            Event::new(t(1), Action::lock(m)),
+        ]);
+        assert!(!bad.is_interleaving_of(&ts));
+        let good = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(1), Action::start(t(1))),
+            Event::new(t(0), Action::lock(m)),
+            Event::new(t(0), Action::unlock(m)),
+            Event::new(t(1), Action::lock(m)),
+            Event::new(t(1), Action::unlock(m)),
+        ]);
+        assert!(good.is_interleaving_of(&ts));
+    }
+
+    #[test]
+    fn writes_to_lists_indices() {
+        let i = Interleaving::from_events([
+            Event::new(t(0), Action::start(t(0))),
+            Event::new(t(0), Action::write(x(), v(1))),
+            Event::new(t(0), Action::write(y(), v(1))),
+            Event::new(t(0), Action::write(x(), v(2))),
+        ]);
+        assert_eq!(i.writes_to(x()), vec![1, 3]);
+        assert_eq!(i.writes_to(y()), vec![2]);
+    }
+
+    #[test]
+    fn display_form() {
+        let i = Interleaving::from_events([Event::new(t(0), Action::start(t(0)))]);
+        assert_eq!(i.to_string(), "[(0, S(0))]");
+    }
+}

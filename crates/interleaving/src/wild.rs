@@ -1,0 +1,283 @@
+//! Wildcard interleavings (§4 of the paper) and their unique instances.
+
+use std::fmt;
+
+use transafety_traces::{Action, Domain, Loc, ThreadId, Traceset, Value, WildAction, WildTrace};
+
+use crate::{Event, Interleaving};
+
+/// One element of a wildcard interleaving: a thread paired with a
+/// [`WildAction`].
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Loc, ThreadId, WildAction};
+/// use transafety_interleaving::WildEvent;
+/// let e = WildEvent::new(ThreadId::new(0), WildAction::wildcard_read(Loc::normal(0)));
+/// assert!(e.wild_action().is_wildcard());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WildEvent {
+    thread: ThreadId,
+    action: WildAction,
+}
+
+impl WildEvent {
+    /// Creates the pair `(thread, wild action)`.
+    #[must_use]
+    pub const fn new(thread: ThreadId, action: WildAction) -> Self {
+        WildEvent { thread, action }
+    }
+
+    /// The executing thread.
+    #[must_use]
+    pub const fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The (possibly wildcard) action.
+    #[must_use]
+    pub const fn wild_action(&self) -> WildAction {
+        self.action
+    }
+}
+
+impl From<Event> for WildEvent {
+    fn from(e: Event) -> Self {
+        WildEvent { thread: e.thread(), action: e.action().into() }
+    }
+}
+
+impl fmt::Display for WildEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.thread.index(), self.action)
+    }
+}
+
+/// A wildcard interleaving: an interleaving where some actions are
+/// wildcard reads (§4).
+///
+/// Unlike wildcard *traces*, the instance of a wildcard interleaving is
+/// **unique**: each wildcard read is replaced by a read of the value of
+/// the most recent write to the same location in the instantiated prefix
+/// (or the default value if there is none). See
+/// [`WildInterleaving::instance`].
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, ThreadId, Value, WildAction};
+/// use transafety_interleaving::{WildEvent, WildInterleaving};
+/// let x = Loc::normal(0);
+/// let t0 = ThreadId::new(0);
+/// let wi = WildInterleaving::from_events([
+///     WildEvent::new(t0, Action::start(t0).into()),
+///     WildEvent::new(t0, Action::write(x, Value::new(2)).into()),
+///     WildEvent::new(t0, WildAction::wildcard_read(x)),
+/// ]);
+/// let i = wi.instance();
+/// assert_eq!(i[2].action(), Action::read(x, Value::new(2)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WildInterleaving {
+    events: Vec<WildEvent>,
+}
+
+impl WildInterleaving {
+    /// Creates an empty wildcard interleaving.
+    #[must_use]
+    pub fn new() -> Self {
+        WildInterleaving { events: Vec::new() }
+    }
+
+    /// Creates a wildcard interleaving from events.
+    #[must_use]
+    pub fn from_events<I: IntoIterator<Item = WildEvent>>(events: I) -> Self {
+        WildInterleaving { events: events.into_iter().collect() }
+    }
+
+    /// Lifts a concrete interleaving (no wildcards).
+    #[must_use]
+    pub fn from_interleaving(i: &Interleaving) -> Self {
+        WildInterleaving { events: i.iter().map(|e| WildEvent::from(*e)).collect() }
+    }
+
+    /// The events as a slice.
+    #[must_use]
+    pub fn events(&self) -> &[WildEvent] {
+        &self.events
+    }
+
+    /// The length of the wildcard interleaving.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` for the empty wildcard interleaving.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: WildEvent) {
+        self.events.push(e);
+    }
+
+    /// The (wildcard) trace of a thread.
+    #[must_use]
+    pub fn trace_of(&self, thread: ThreadId) -> WildTrace {
+        self.events
+            .iter()
+            .filter(|e| e.thread() == thread)
+            .map(WildEvent::wild_action)
+            .collect()
+    }
+
+    /// The threads occurring in the wildcard interleaving, sorted.
+    #[must_use]
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut out: Vec<ThreadId> = self.events.iter().map(WildEvent::thread).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The unique instance (§4): every wildcard read observes the most
+    /// recent write to its location in the instantiated prefix, or the
+    /// default value if none exists.
+    #[must_use]
+    pub fn instance(&self) -> Interleaving {
+        let mut memory: std::collections::BTreeMap<Loc, Value> = Default::default();
+        let mut out = Interleaving::new();
+        for e in &self.events {
+            let action = match e.wild_action() {
+                WildAction::Concrete(a) => {
+                    if let Action::Write { loc, value } = a {
+                        memory.insert(loc, value);
+                    }
+                    a
+                }
+                WildAction::WildcardRead(l) => {
+                    Action::read(l, memory.get(&l).copied().unwrap_or(Value::ZERO))
+                }
+            };
+            out.push(Event::new(e.thread(), action));
+        }
+        out
+    }
+
+    /// The §4 belongs-to judgement for wildcard interleavings: the
+    /// (wildcard) trace of every thread belongs to `t` over `domain`.
+    #[must_use]
+    pub fn belongs_to(&self, t: &Traceset, domain: &Domain) -> bool {
+        self.threads().iter().all(|&th| t.belongs_to(&self.trace_of(th), domain))
+    }
+}
+
+impl FromIterator<WildEvent> for WildInterleaving {
+    fn from_iter<I: IntoIterator<Item = WildEvent>>(iter: I) -> Self {
+        WildInterleaving::from_events(iter)
+    }
+}
+
+impl fmt::Display for WildInterleaving {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn instance_reads_most_recent_write() {
+        let x = Loc::normal(0);
+        let wi = WildInterleaving::from_events([
+            WildEvent::new(t(0), Action::start(t(0)).into()),
+            WildEvent::new(t(1), Action::start(t(1)).into()),
+            WildEvent::new(t(0), Action::write(x, v(1)).into()),
+            WildEvent::new(t(1), WildAction::wildcard_read(x)),
+            WildEvent::new(t(0), Action::write(x, v(2)).into()),
+            WildEvent::new(t(1), WildAction::wildcard_read(x)),
+        ]);
+        let i = wi.instance();
+        assert_eq!(i[3].action(), Action::read(x, v(1)));
+        assert_eq!(i[5].action(), Action::read(x, v(2)));
+        assert!(i.is_sequentially_consistent());
+    }
+
+    #[test]
+    fn instance_defaults_to_zero() {
+        let x = Loc::normal(0);
+        let wi = WildInterleaving::from_events([
+            WildEvent::new(t(0), Action::start(t(0)).into()),
+            WildEvent::new(t(0), WildAction::wildcard_read(x)),
+        ]);
+        assert_eq!(wi.instance()[1].action(), Action::read(x, Value::ZERO));
+    }
+
+    #[test]
+    fn trace_projection_keeps_wildcards() {
+        let x = Loc::normal(0);
+        let wi = WildInterleaving::from_events([
+            WildEvent::new(t(0), Action::start(t(0)).into()),
+            WildEvent::new(t(1), Action::start(t(1)).into()),
+            WildEvent::new(t(0), WildAction::wildcard_read(x)),
+        ]);
+        let tr = wi.trace_of(t(0));
+        assert_eq!(tr.len(), 2);
+        assert!(tr.elements()[1].is_wildcard());
+        assert_eq!(wi.threads(), vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn belongs_to_checks_every_thread() {
+        use transafety_traces::{Trace, Traceset};
+        let x = Loc::normal(0);
+        let d = Domain::zero_to(1);
+        let mut ts = Traceset::new();
+        for val in d.iter() {
+            ts.insert(Trace::from_actions([Action::start(t(0)), Action::read(x, val)]))
+                .unwrap();
+        }
+        let wi = WildInterleaving::from_events([
+            WildEvent::new(t(0), Action::start(t(0)).into()),
+            WildEvent::new(t(0), WildAction::wildcard_read(x)),
+        ]);
+        assert!(wi.belongs_to(&ts, &d));
+        assert!(!wi.belongs_to(&ts, &Domain::zero_to(2)));
+    }
+
+    #[test]
+    fn lifting_concrete_interleavings() {
+        let i = Interleaving::from_events([Event::new(t(0), Action::start(t(0)))]);
+        let wi = WildInterleaving::from_interleaving(&i);
+        assert_eq!(wi.instance(), i);
+    }
+
+    #[test]
+    fn display_form() {
+        let x = Loc::normal(0);
+        let wi =
+            WildInterleaving::from_events([WildEvent::new(t(0), WildAction::wildcard_read(x))]);
+        assert_eq!(wi.to_string(), "[(0, R[l0=*])]");
+    }
+}

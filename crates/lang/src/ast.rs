@@ -1,0 +1,524 @@
+//! Abstract syntax of the §6 language (Fig. 6 of the paper).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use transafety_traces::{Loc, Monitor, Value};
+
+/// A thread-local register name (`r`, `r1`, `r2`, … in the paper; by the
+/// paper's convention, identifiers beginning with `r` are registers).
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::Reg;
+/// assert_eq!(Reg::new(1).to_string(), "r1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u32);
+
+impl Reg {
+    /// Creates a register with the given index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Reg(index)
+    }
+
+    /// The numeric index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The `ri` production of Fig. 6: a register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// A natural-number constant.
+    Const(Value),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Value> for Operand {
+    fn from(v: Value) -> Self {
+        Operand::Const(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The `T` production of Fig. 6: an (in)equality test on operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cond {
+    /// `ri == ri`.
+    Eq(Operand, Operand),
+    /// `ri != ri`.
+    Ne(Operand, Operand),
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Eq(a, b) => write!(f, "{a} == {b}"),
+            Cond::Ne(a, b) => write!(f, "{a} != {b}"),
+        }
+    }
+}
+
+/// The `S` production of Fig. 6: statements of the simple concurrent
+/// language.
+///
+/// The paper's syntax is kept verbatim; in particular the only
+/// shared-memory side effects are whole-location reads and writes, and
+/// there is no arithmetic (which is what makes the out-of-thin-air
+/// Theorem 5 stateable).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// `l := r;` — store register `src` to location `loc`.
+    Store {
+        /// The destination shared location.
+        loc: Loc,
+        /// The source register.
+        src: Reg,
+    },
+    /// `r := l;` — load location `loc` into register `dst`.
+    Load {
+        /// The destination register.
+        dst: Reg,
+        /// The source shared location.
+        loc: Loc,
+    },
+    /// `r := ri;` — a register move or constant load (no memory action).
+    Move {
+        /// The destination register.
+        dst: Reg,
+        /// The source operand.
+        src: Operand,
+    },
+    /// `lock m;`
+    Lock(Monitor),
+    /// `unlock m;`
+    Unlock(Monitor),
+    /// `skip;`
+    Skip,
+    /// `print r;` — an external action with the register's value.
+    Print(Reg),
+    /// `{ L }` — a block of statements.
+    Block(Vec<Stmt>),
+    /// `if (T) S else S`.
+    If {
+        /// The test.
+        cond: Cond,
+        /// The statement taken when the test holds.
+        then_branch: Box<Stmt>,
+        /// The statement taken otherwise.
+        else_branch: Box<Stmt>,
+    },
+    /// `while (T) S`.
+    While {
+        /// The loop test.
+        cond: Cond,
+        /// The loop body.
+        body: Box<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// The free shared-memory locations `fv(S)` of §6.1 — the locations
+    /// the statement may access.
+    #[must_use]
+    pub fn shared_locs(&self) -> BTreeSet<Loc> {
+        let mut out = BTreeSet::new();
+        self.collect_locs(&mut out);
+        out
+    }
+
+    fn collect_locs(&self, out: &mut BTreeSet<Loc>) {
+        match self {
+            Stmt::Store { loc, .. } | Stmt::Load { loc, .. } => {
+                out.insert(*loc);
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.collect_locs(out);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                then_branch.collect_locs(out);
+                else_branch.collect_locs(out);
+            }
+            Stmt::While { body, .. } => body.collect_locs(out),
+            _ => {}
+        }
+    }
+
+    /// The registers mentioned by the statement (read or written).
+    #[must_use]
+    pub fn regs(&self) -> BTreeSet<Reg> {
+        let mut out = BTreeSet::new();
+        self.collect_regs(&mut out);
+        out
+    }
+
+    fn collect_regs(&self, out: &mut BTreeSet<Reg>) {
+        fn operand(o: &Operand, out: &mut BTreeSet<Reg>) {
+            if let Operand::Reg(r) = o {
+                out.insert(*r);
+            }
+        }
+        fn cond(c: &Cond, out: &mut BTreeSet<Reg>) {
+            match c {
+                Cond::Eq(a, b) | Cond::Ne(a, b) => {
+                    operand(a, out);
+                    operand(b, out);
+                }
+            }
+        }
+        match self {
+            Stmt::Store { src, .. } => {
+                out.insert(*src);
+            }
+            Stmt::Load { dst, .. } => {
+                out.insert(*dst);
+            }
+            Stmt::Move { dst, src } => {
+                out.insert(*dst);
+                operand(src, out);
+            }
+            Stmt::Print(r) => {
+                out.insert(*r);
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.collect_regs(out);
+                }
+            }
+            Stmt::If { cond: c, then_branch, else_branch } => {
+                cond(c, out);
+                then_branch.collect_regs(out);
+                else_branch.collect_regs(out);
+            }
+            Stmt::While { cond: c, body } => {
+                cond(c, out);
+                body.collect_regs(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Is the statement *sync-free* (§6.1): no lock/unlock statements and
+    /// no accesses to volatile locations?
+    #[must_use]
+    pub fn is_sync_free(&self) -> bool {
+        match self {
+            Stmt::Lock(_) | Stmt::Unlock(_) => false,
+            Stmt::Store { loc, .. } | Stmt::Load { loc, .. } => !loc.is_volatile(),
+            Stmt::Move { .. } | Stmt::Skip | Stmt::Print(_) => true,
+            Stmt::Block(stmts) => stmts.iter().all(Stmt::is_sync_free),
+            Stmt::If { then_branch, else_branch, .. } => {
+                then_branch.is_sync_free() && else_branch.is_sync_free()
+            }
+            Stmt::While { body, .. } => body.is_sync_free(),
+        }
+    }
+
+    /// Does the statement (recursively) contain the constant `c` in a
+    /// `r := c` move? Theorem 5 (out of thin air) applies to programs with
+    /// no such statement for the value of interest.
+    #[must_use]
+    pub fn mentions_constant(&self, c: Value) -> bool {
+        match self {
+            Stmt::Move { src: Operand::Const(v), .. } => *v == c,
+            Stmt::Block(stmts) => stmts.iter().any(|s| s.mentions_constant(c)),
+            Stmt::If { then_branch, else_branch, .. } => {
+                then_branch.mentions_constant(c) || else_branch.mentions_constant(c)
+            }
+            Stmt::While { body, .. } => body.mentions_constant(c),
+            _ => false,
+        }
+    }
+
+    /// All constants appearing in the statement (in moves and in
+    /// conditions — the latter cannot flow into memory but are collected
+    /// for conservative analyses).
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<Value>) {
+        fn operand(o: &Operand, out: &mut BTreeSet<Value>) {
+            if let Operand::Const(v) = o {
+                out.insert(*v);
+            }
+        }
+        match self {
+            Stmt::Move { src, .. } => operand(src, out),
+            Stmt::If { cond, then_branch, else_branch } => {
+                match cond {
+                    Cond::Eq(a, b) | Cond::Ne(a, b) => {
+                        operand(a, out);
+                        operand(b, out);
+                    }
+                }
+                then_branch.collect_constants(out);
+                else_branch.collect_constants(out);
+            }
+            Stmt::While { cond, body } => {
+                match cond {
+                    Cond::Eq(a, b) | Cond::Ne(a, b) => {
+                        operand(a, out);
+                        operand(b, out);
+                    }
+                }
+                body.collect_constants(out);
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    s.collect_constants(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Stmt::Store { loc, src } => writeln!(f, "{pad}{loc} := {src};"),
+            Stmt::Load { dst, loc } => writeln!(f, "{pad}{dst} := {loc};"),
+            Stmt::Move { dst, src } => writeln!(f, "{pad}{dst} := {src};"),
+            Stmt::Lock(m) => writeln!(f, "{pad}lock {m};"),
+            Stmt::Unlock(m) => writeln!(f, "{pad}unlock {m};"),
+            Stmt::Skip => writeln!(f, "{pad}skip;"),
+            Stmt::Print(r) => writeln!(f, "{pad}print {r};"),
+            Stmt::Block(stmts) => {
+                writeln!(f, "{pad}{{")?;
+                for s in stmts {
+                    s.fmt_indented(f, indent + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                writeln!(f, "{pad}if ({cond})")?;
+                then_branch.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}else")?;
+                else_branch.fmt_indented(f, indent + 1)
+            }
+            Stmt::While { cond, body } => {
+                writeln!(f, "{pad}while ({cond})")?;
+                body.fmt_indented(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// A whole program `P ::= L || … || L` (Fig. 6): one statement list per
+/// statically-created thread.
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::{Program, Reg, Stmt};
+/// use transafety_traces::{Loc, Value};
+/// let x = Loc::normal(0);
+/// let p = Program::new(vec![
+///     vec![
+///         Stmt::Move { dst: Reg::new(0), src: Value::new(1).into() },
+///         Stmt::Store { loc: x, src: Reg::new(0) },
+///     ],
+///     vec![Stmt::Load { dst: Reg::new(1), loc: x }, Stmt::Print(Reg::new(1))],
+/// ]);
+/// assert_eq!(p.thread_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Program {
+    threads: Vec<Vec<Stmt>>,
+}
+
+impl Program {
+    /// Creates a program from one statement list per thread.
+    #[must_use]
+    pub fn new(threads: Vec<Vec<Stmt>>) -> Self {
+        Program { threads }
+    }
+
+    /// The number of threads.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The statement list of thread `i`.
+    #[must_use]
+    pub fn thread(&self, i: usize) -> Option<&[Stmt]> {
+        self.threads.get(i).map(Vec::as_slice)
+    }
+
+    /// All thread bodies.
+    #[must_use]
+    pub fn threads(&self) -> &[Vec<Stmt>] {
+        &self.threads
+    }
+
+    /// Mutable access to the thread bodies (used by the syntactic
+    /// transformation engine).
+    pub fn threads_mut(&mut self) -> &mut Vec<Vec<Stmt>> {
+        &mut self.threads
+    }
+
+    /// Every shared location the program mentions.
+    #[must_use]
+    pub fn shared_locs(&self) -> BTreeSet<Loc> {
+        let mut out = BTreeSet::new();
+        for t in &self.threads {
+            for s in t {
+                s.collect_locs(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Every constant appearing in the program text.
+    #[must_use]
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for t in &self.threads {
+            for s in t {
+                s.collect_constants(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Does the program contain a statement `r := c` for the given
+    /// constant (the hypothesis of Theorem 5)?
+    #[must_use]
+    pub fn mentions_constant(&self, c: Value) -> bool {
+        self.threads.iter().flatten().any(|s| s.mentions_constant(c))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // declare volatile locations so the printed program reparses
+        // with the same volatility
+        let volatiles: Vec<String> = self
+            .shared_locs()
+            .into_iter()
+            .filter(|l| l.is_volatile())
+            .map(|l| l.to_string())
+            .collect();
+        if !volatiles.is_empty() {
+            writeln!(f, "volatile {};", volatiles.join(", "))?;
+        }
+        for (i, t) in self.threads.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, "||")?;
+            }
+            writeln!(f, "// thread {i}")?;
+            for s in t {
+                s.fmt_indented(f, 0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn vol() -> Loc {
+        Loc::volatile(1)
+    }
+
+    #[test]
+    fn shared_locs_descend_into_control() {
+        let s = Stmt::If {
+            cond: Cond::Eq(Reg::new(0).into(), Value::new(1).into()),
+            then_branch: Box::new(Stmt::Store { loc: x(), src: Reg::new(0) }),
+            else_branch: Box::new(Stmt::Block(vec![Stmt::Load { dst: Reg::new(1), loc: vol() }])),
+        };
+        let locs = s.shared_locs();
+        assert!(locs.contains(&x()) && locs.contains(&vol()));
+    }
+
+    #[test]
+    fn sync_freedom() {
+        assert!(Stmt::Skip.is_sync_free());
+        assert!(Stmt::Store { loc: x(), src: Reg::new(0) }.is_sync_free());
+        assert!(!Stmt::Load { dst: Reg::new(0), loc: vol() }.is_sync_free());
+        assert!(!Stmt::Lock(Monitor::new(0)).is_sync_free());
+        assert!(!Stmt::Block(vec![Stmt::Skip, Stmt::Unlock(Monitor::new(0))]).is_sync_free());
+        assert!(Stmt::While {
+            cond: Cond::Ne(Reg::new(0).into(), Value::ZERO.into()),
+            body: Box::new(Stmt::Skip),
+        }
+        .is_sync_free());
+    }
+
+    #[test]
+    fn constant_mention() {
+        let p = Program::new(vec![vec![
+            Stmt::Move { dst: Reg::new(0), src: Value::new(42).into() },
+            Stmt::Store { loc: x(), src: Reg::new(0) },
+        ]]);
+        assert!(p.mentions_constant(Value::new(42)));
+        assert!(!p.mentions_constant(Value::new(7)));
+        assert!(p.constants().contains(&Value::new(42)));
+    }
+
+    #[test]
+    fn regs_collection() {
+        let s = Stmt::Block(vec![
+            Stmt::Move { dst: Reg::new(0), src: Reg::new(1).into() },
+            Stmt::Print(Reg::new(2)),
+        ]);
+        let regs = s.regs();
+        assert_eq!(regs.len(), 3);
+    }
+
+    #[test]
+    fn display_round_trippable_shape() {
+        let p = Program::new(vec![
+            vec![Stmt::Store { loc: x(), src: Reg::new(0) }],
+            vec![Stmt::Print(Reg::new(0))],
+        ]);
+        let s = p.to_string();
+        assert!(s.contains("l0 := r0;"));
+        assert!(s.contains("||"));
+        assert!(s.contains("print r0;"));
+    }
+}

@@ -1,0 +1,653 @@
+//! Direct exploration of a program's sequentially consistent executions.
+//!
+//! The traceset route (extract `[P]`, then run
+//! [`Explorer`](transafety_interleaving::Explorer)) is faithful to §3 but
+//! materialises wrong-value reads that sequential consistency immediately
+//! rules out. This module explores the *program* state space directly —
+//! reads observe the current memory — which is exponentially smaller and
+//! is the engine the checker and the benchmarks use for whole programs.
+//! The two routes are cross-validated in the test suites.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+use transafety_interleaving::{Behaviours, Event, Interleaving, RaceWitness};
+use transafety_traces::{Action, Domain, Loc, Monitor, ThreadId, Value};
+
+use crate::ast::Program;
+use crate::semantics::{Step, ThreadConfig};
+
+/// Bounds for program-level exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Maximum number of actions along any single execution considered by
+    /// [`ProgramExplorer::behaviours`] (loops make the exact set
+    /// infinite; the bounded set is exact for executions up to this
+    /// length).
+    pub max_actions: usize,
+    /// Maximum silent steps between two actions of one thread.
+    pub max_tau: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions { max_actions: 32, max_tau: 4096 }
+    }
+}
+
+/// A result that may have been cut short by exploration bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bounded<T> {
+    /// The computed value.
+    pub value: T,
+    /// `true` if no bound was hit, i.e. the value is exact for the
+    /// unbounded semantics.
+    pub complete: bool,
+}
+
+/// Exhaustive explorer of a program's SC executions (the direct,
+/// state-space analogue of [`transafety_interleaving::Explorer`]).
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::{ExploreOptions, Program, ProgramExplorer, Reg, Stmt};
+/// use transafety_traces::{Loc, Value};
+/// let x = Loc::normal(0);
+/// // T0: x := 1 — T1: r0 := x; print r0
+/// let p = Program::new(vec![
+///     vec![
+///         Stmt::Move { dst: Reg::new(0), src: Value::new(1).into() },
+///         Stmt::Store { loc: x, src: Reg::new(0) },
+///     ],
+///     vec![Stmt::Load { dst: Reg::new(0), loc: x }, Stmt::Print(Reg::new(0))],
+/// ]);
+/// let ex = ProgramExplorer::new(&p);
+/// let b = ex.behaviours(&ExploreOptions::default());
+/// assert!(b.complete);
+/// assert!(b.value.contains(&vec![Value::new(0)]));
+/// assert!(b.value.contains(&vec![Value::new(1)]));
+/// assert!(!ex.is_data_race_free(&ExploreOptions::default()), "unsynchronised");
+/// ```
+#[derive(Debug)]
+pub struct ProgramExplorer<'p> {
+    program: &'p Program,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PState {
+    threads: Vec<Option<ThreadConfig>>, // None = not yet started
+    memory: BTreeMap<Loc, Value>,
+    holders: BTreeMap<Monitor, usize>,
+}
+
+#[derive(Debug, Clone)]
+struct PMove {
+    thread: usize,
+    action: Action,
+    next: Option<ThreadConfig>, // None when the thread just terminated
+}
+
+impl<'p> ProgramExplorer<'p> {
+    /// Creates an explorer for the program.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        ProgramExplorer { program }
+    }
+
+    fn initial(&self) -> PState {
+        PState {
+            threads: vec![None; self.program.thread_count()],
+            memory: BTreeMap::new(),
+            holders: BTreeMap::new(),
+        }
+    }
+
+    /// Enabled moves; sets `*truncated` when a thread silently diverges
+    /// (its moves are then dropped).
+    fn moves(&self, state: &PState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PMove> {
+        // The read domain is irrelevant for direct exploration (loads read
+        // memory); pass a minimal domain to the stepper and project the
+        // read of the current value.
+        let domain = Domain::zero_to(0);
+        let mut out = Vec::new();
+        for (k, slot) in state.threads.iter().enumerate() {
+            let Some(cfg) = slot else {
+                out.push(PMove {
+                    thread: k,
+                    action: Action::start(ThreadId::new(k as u32)),
+                    next: Some(ThreadConfig::new(
+                        self.program.thread(k).expect("thread index in range").to_vec(),
+                    )),
+                });
+                continue;
+            };
+            let Some((_, step)) = cfg.tau_closure(&domain, opts.max_tau) else {
+                *truncated = true;
+                continue;
+            };
+            match step {
+                Step::Done => {}
+                Step::Tau(_) => unreachable!("tau_closure never returns Tau"),
+                Step::Emit(successors) => {
+                    // The closure was computed at the emitting statement;
+                    // reconstruct the post-closure config from any
+                    // successor (they differ only in the action effect).
+                    let (first_action, _) = &successors[0];
+                    match first_action {
+                        Action::Read { loc, .. } => {
+                            let v = state.memory.get(loc).copied().unwrap_or(Value::ZERO);
+                            // re-step only the emitting statement with a
+                            // domain containing the current value
+                            let at_emit = cfg
+                                .tau_closure(&domain, opts.max_tau)
+                                .expect("closure already succeeded")
+                                .0;
+                            let Step::Emit(succ2) = at_emit.step(&Domain::from_values([v]))
+                            else {
+                                unreachable!("closure stopped at an emitting statement")
+                            };
+                            let (a, next) = succ2
+                                .into_iter()
+                                .find(|(a, _)| a.value() == Some(v))
+                                .expect("domain contains v");
+                            out.push(PMove { thread: k, action: a, next: Some(next) });
+                        }
+                        Action::Lock(m) => {
+                            let free = match state.holders.get(m) {
+                                None => true,
+                                Some(&h) => h == k,
+                            };
+                            if free {
+                                let (a, next) = successors.into_iter().next().expect("one");
+                                out.push(PMove { thread: k, action: a, next: Some(next) });
+                            }
+                        }
+                        _ => {
+                            let (a, next) = successors.into_iter().next().expect("one");
+                            out.push(PMove { thread: k, action: a, next: Some(next) });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(&self, state: &PState, mv: &PMove) -> PState {
+        let mut next = state.clone();
+        let cfg = mv.next.clone().expect("moves carry successor configs");
+        // A finished thread's registers and monitor nesting can never be
+        // observed again (the holder table keeps any leaked locks), so
+        // normalise it to make states converge.
+        let terminal = cfg.is_done();
+        match mv.action {
+            Action::Write { loc, value } => {
+                next.memory.insert(loc, value);
+            }
+            Action::Lock(m) => {
+                next.holders.insert(m, mv.thread);
+            }
+            Action::Unlock(m) => {
+                if cfg.monitor_nesting(m) == 0 {
+                    next.holders.remove(&m);
+                }
+            }
+            _ => {}
+        }
+        // Normalise terminated threads so states converge.
+        next.threads[mv.thread] = Some(if terminal { ThreadConfig::new(vec![]) } else { cfg });
+        next
+    }
+
+    /// The behaviours of the program's executions, by memoised dynamic
+    /// programming.
+    ///
+    /// For loop-free programs the result is **exact** and the memo is
+    /// keyed on program states only (every action strictly consumes a
+    /// statement, so the state graph is a DAG). Programs with `while`
+    /// loops have infinitely many behaviours in general; they are
+    /// explored up to `opts.max_actions` actions per execution, with the
+    /// bound recorded in [`Bounded::complete`].
+    #[must_use]
+    pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
+        let mut memo: HashMap<(PState, usize), Rc<Behaviours>> = HashMap::new();
+        let mut truncated = false;
+        let fuel = if program_has_loops(self.program) { opts.max_actions } else { usize::MAX };
+        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
+        Bounded { value: (*set).clone(), complete: !truncated }
+    }
+
+    fn suffixes(
+        &self,
+        state: PState,
+        fuel: usize,
+        opts: &ExploreOptions,
+        memo: &mut HashMap<(PState, usize), Rc<Behaviours>>,
+        truncated: &mut bool,
+    ) -> Rc<Behaviours> {
+        let key = (state, fuel);
+        if let Some(r) = memo.get(&key) {
+            return Rc::clone(r);
+        }
+        let (state, fuel) = (&key.0, key.1);
+        let mut set = Behaviours::new();
+        set.insert(Vec::new());
+        let moves = self.moves(state, opts, truncated);
+        if fuel == 0 {
+            if !moves.is_empty() {
+                *truncated = true;
+            }
+        } else {
+            let next_fuel = if fuel == usize::MAX { usize::MAX } else { fuel - 1 };
+            for mv in moves {
+                let tail =
+                    self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
+                if let Action::External(v) = mv.action {
+                    for suffix in tail.iter() {
+                        let mut b = Vec::with_capacity(suffix.len() + 1);
+                        b.push(v);
+                        b.extend_from_slice(suffix);
+                        set.insert(b);
+                    }
+                } else {
+                    set.extend(tail.iter().cloned());
+                }
+            }
+        }
+        let rc = Rc::new(set);
+        memo.insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    /// Searches for a data race (§3's adjacent-conflict condition over
+    /// the program's executions). Exact: the program state space is
+    /// finite (values are drawn from program constants), so the visited
+    /// set needs no fuel.
+    #[must_use]
+    pub fn race_witness(&self, opts: &ExploreOptions) -> Option<RaceWitness> {
+        let mut visited: HashSet<(PState, Option<(usize, Loc, bool)>)> = HashSet::new();
+        let mut path = Vec::new();
+        let mut truncated = false;
+        self.race_dfs(self.initial(), None, opts, &mut visited, &mut path, &mut truncated)
+            .then(|| RaceWitness { execution: Interleaving::from_events(path) })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn race_dfs(
+        &self,
+        state: PState,
+        prev: Option<(usize, Loc, bool)>,
+        opts: &ExploreOptions,
+        visited: &mut HashSet<(PState, Option<(usize, Loc, bool)>)>,
+        path: &mut Vec<Event>,
+        truncated: &mut bool,
+    ) -> bool {
+        if !visited.insert((state.clone(), prev)) {
+            return false;
+        }
+        for mv in self.moves(&state, opts, truncated) {
+            let tid = ThreadId::new(mv.thread as u32);
+            if let Some((pk, pl, pw)) = prev {
+                if pk != mv.thread
+                    && mv.action.is_access_to(pl)
+                    && !pl.is_volatile()
+                    && (pw || mv.action.is_write())
+                {
+                    path.push(Event::new(tid, mv.action));
+                    return true;
+                }
+            }
+            let next_prev = match mv.action {
+                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
+                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
+                _ => None,
+            };
+            path.push(Event::new(tid, mv.action));
+            if self.race_dfs(self.apply(&state, &mv), next_prev, opts, visited, path, truncated)
+            {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    /// Is the program data race free?
+    #[must_use]
+    pub fn is_data_race_free(&self, opts: &ExploreOptions) -> bool {
+        self.race_witness(opts).is_none()
+    }
+
+    /// Finds an execution whose behaviour equals `behaviour`, if one
+    /// exists within the bounds — the witness extractor behind
+    /// counterexample reports.
+    #[must_use]
+    pub fn execution_with_behaviour(
+        &self,
+        behaviour: &[Value],
+        opts: &ExploreOptions,
+    ) -> Option<Interleaving> {
+        let mut visited: HashSet<(PState, usize)> = HashSet::new();
+        let mut path: Vec<Event> = Vec::new();
+        let mut truncated = false;
+        self.behaviour_dfs(
+            self.initial(),
+            behaviour,
+            0,
+            opts,
+            &mut visited,
+            &mut path,
+            &mut truncated,
+        )
+        .then(|| Interleaving::from_events(path))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn behaviour_dfs(
+        &self,
+        state: PState,
+        target: &[Value],
+        emitted: usize,
+        opts: &ExploreOptions,
+        visited: &mut HashSet<(PState, usize)>,
+        path: &mut Vec<Event>,
+        truncated: &mut bool,
+    ) -> bool {
+        if emitted == target.len() {
+            return true;
+        }
+        if path.len() > opts.max_actions || !visited.insert((state.clone(), emitted)) {
+            return false;
+        }
+        for mv in self.moves(&state, opts, truncated) {
+            let next_emitted = match mv.action {
+                Action::External(v) => {
+                    if target.get(emitted) != Some(&v) {
+                        continue; // wrong output — prune this branch
+                    }
+                    emitted + 1
+                }
+                _ => emitted,
+            };
+            path.push(Event::new(ThreadId::new(mv.thread as u32), mv.action));
+            if self.behaviour_dfs(
+                self.apply(&state, &mv),
+                target,
+                next_emitted,
+                opts,
+                visited,
+                path,
+                truncated,
+            ) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    /// Collects **all** racing location/thread combinations reachable in
+    /// any execution — a census for diagnostics, where
+    /// [`race_witness`](ProgramExplorer::race_witness) stops at the
+    /// first.
+    #[must_use]
+    pub fn racy_locations(&self, opts: &ExploreOptions) -> std::collections::BTreeSet<Loc> {
+        let mut races: std::collections::BTreeSet<Loc> = Default::default();
+        let mut visited: HashSet<(PState, Option<(usize, Loc, bool)>)> = HashSet::new();
+        let mut truncated = false;
+        let mut stack: Vec<(PState, Option<(usize, Loc, bool)>)> =
+            vec![(self.initial(), None)];
+        while let Some((state, prev)) = stack.pop() {
+            if !visited.insert((state.clone(), prev)) {
+                continue;
+            }
+            for mv in self.moves(&state, opts, &mut truncated) {
+                if let Some((pk, pl, pw)) = prev {
+                    if pk != mv.thread
+                        && mv.action.is_access_to(pl)
+                        && !pl.is_volatile()
+                        && (pw || mv.action.is_write())
+                    {
+                        races.insert(pl);
+                    }
+                }
+                let next_prev = match mv.action {
+                    Action::Read { loc, .. } if !loc.is_volatile() => {
+                        Some((mv.thread, loc, false))
+                    }
+                    Action::Write { loc, .. } if !loc.is_volatile() => {
+                        Some((mv.thread, loc, true))
+                    }
+                    _ => None,
+                };
+                stack.push((self.apply(&state, &mv), next_prev));
+            }
+        }
+        races
+    }
+
+    /// The number of distinct program states reachable under the bounds
+    /// (a size measure for the scaling experiments).
+    #[must_use]
+    pub fn count_reachable_states(&self, opts: &ExploreOptions) -> usize {
+        let mut seen: HashSet<PState> = HashSet::new();
+        let mut stack = vec![self.initial()];
+        let mut truncated = false;
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            for mv in self.moves(&s, opts, &mut truncated) {
+                stack.push(self.apply(&s, &mv));
+            }
+        }
+        seen.len()
+    }
+}
+
+
+/// Does the program contain a `while` loop (anywhere)?
+pub(crate) fn program_has_loops(p: &Program) -> bool {
+    fn stmt_has_loop(s: &crate::ast::Stmt) -> bool {
+        match s {
+            crate::ast::Stmt::While { .. } => true,
+            crate::ast::Stmt::Block(b) => b.iter().any(stmt_has_loop),
+            crate::ast::Stmt::If { then_branch, else_branch, .. } => {
+                stmt_has_loop(then_branch) || stmt_has_loop(else_branch)
+            }
+            _ => false,
+        }
+    }
+    p.threads().iter().flatten().any(stmt_has_loop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::semantics::{extract_traceset, ExtractOptions};
+    use transafety_interleaving::Explorer;
+
+    fn behaviours_via_tracesets(src: &str, domain: &Domain) -> Behaviours {
+        let parsed = parse_program(src).unwrap();
+        let e = extract_traceset(&parsed.program, domain, &ExtractOptions::default());
+        assert!(!e.truncated, "traceset extraction truncated");
+        Explorer::new(&e.traceset).behaviours()
+    }
+
+    fn behaviours_direct(src: &str) -> Behaviours {
+        let parsed = parse_program(src).unwrap();
+        let b = ProgramExplorer::new(&parsed.program).behaviours(&ExploreOptions::default());
+        assert!(b.complete, "direct exploration truncated");
+        b.value
+    }
+
+    #[test]
+    fn cross_validation_fig2_original() {
+        let src = "r2 := x; y := r2; || r1 := y; x := 1; print r1;";
+        let d = Domain::zero_to(1);
+        assert_eq!(behaviours_via_tracesets(src, &d), behaviours_direct(src));
+    }
+
+    #[test]
+    fn cross_validation_fig2_transformed() {
+        let src = "r2 := x; y := r2; || x := 1; r1 := y; print r1;";
+        let d = Domain::zero_to(1);
+        let b = behaviours_direct(src);
+        assert_eq!(behaviours_via_tracesets(src, &d), b);
+        assert!(b.contains(&vec![Value::new(1)]), "transformed can print 1");
+    }
+
+    #[test]
+    fn cross_validation_with_locks() {
+        let src = "lock m; x := 1; r0 := x; print r0; unlock m; \
+                   || lock m; x := 2; r1 := x; print r1; unlock m;";
+        let d = Domain::zero_to(2);
+        let direct = behaviours_direct(src);
+        assert_eq!(behaviours_via_tracesets(src, &d), direct);
+        assert!(direct.contains(&vec![Value::new(1), Value::new(2)]));
+        assert!(direct.contains(&vec![Value::new(2), Value::new(1)]));
+        assert!(!direct.contains(&vec![Value::new(2), Value::new(2)]));
+    }
+
+    #[test]
+    fn cross_validation_with_volatiles() {
+        let src = "volatile v; v := 1; || r0 := v; print r0;";
+        let d = Domain::zero_to(1);
+        let direct = behaviours_direct(src);
+        assert_eq!(behaviours_via_tracesets(src, &d), direct);
+        let parsed = parse_program(src).unwrap();
+        assert!(ProgramExplorer::new(&parsed.program)
+            .is_data_race_free(&ExploreOptions::default()));
+    }
+
+    #[test]
+    fn race_witness_agrees_with_traceset_explorer() {
+        let src = "x := 1; || r0 := x; print r0;";
+        let parsed = parse_program(src).unwrap();
+        let direct = ProgramExplorer::new(&parsed.program);
+        let w = direct.race_witness(&ExploreOptions::default()).expect("racy");
+        let (a, b) = w.pair();
+        assert!(a.action().conflicts_with(&b.action()));
+        // traceset route agrees
+        let e = extract_traceset(&parsed.program, &Domain::zero_to(1), &ExtractOptions::default());
+        assert!(!Explorer::new(&e.traceset).is_data_race_free());
+    }
+
+    #[test]
+    fn drf_by_locking_both_routes() {
+        let src = "lock m; x := 1; unlock m; || lock m; r0 := x; unlock m; print r0;";
+        let parsed = parse_program(src).unwrap();
+        assert!(ProgramExplorer::new(&parsed.program)
+            .is_data_race_free(&ExploreOptions::default()));
+        let e = extract_traceset(&parsed.program, &Domain::zero_to(1), &ExtractOptions::default());
+        assert!(Explorer::new(&e.traceset).is_data_race_free());
+    }
+
+    #[test]
+    fn intro_example_cannot_print_one_and_is_fixed_by_volatiles() {
+        let intro = |vols: &str| {
+            format!(
+                "{vols}
+                 data := 1;
+                 if (requestReady == 1) {{ data := 2; responseReady := 1; }}
+                 ||
+                 requestReady := 1;
+                 if (responseReady == 1) print data;"
+            )
+        };
+        // racy version: cannot print 1 under SC (the §1 claim)
+        let b = behaviours_direct(&intro(""));
+        assert!(!b.contains(&vec![Value::new(1)]));
+        assert!(b.contains(&vec![Value::new(2)]) || b.contains(&vec![]));
+        // with volatile flags the program is DRF (§3 end)
+        let src = intro("volatile requestReady, responseReady;");
+        let parsed = parse_program(&src).unwrap();
+        assert!(ProgramExplorer::new(&parsed.program)
+            .is_data_race_free(&ExploreOptions::default()));
+        // without them it is racy (data is written by T0 and read by T1)
+        let parsed_racy = parse_program(&intro("")).unwrap();
+        assert!(!ProgramExplorer::new(&parsed_racy.program)
+            .is_data_race_free(&ExploreOptions::default()));
+    }
+
+    #[test]
+    fn spin_loop_state_space_is_finite() {
+        // T0 signals; T1 spins until it sees the flag. The race search
+        // must terminate despite the loop (visited-state memoisation).
+        let src = "flag := 1; || while (flag != 1) skip; print 1;";
+        let parsed = parse_program(src).unwrap();
+        let ex = ProgramExplorer::new(&parsed.program);
+        assert!(ex.race_witness(&ExploreOptions::default()).is_some(), "flag is racy");
+        assert!(ex.count_reachable_states(&ExploreOptions::default()) > 0);
+    }
+
+    #[test]
+    fn behaviour_fuel_reports_truncation() {
+        let src = "while (r0 == r0) print 1;";
+        let parsed = parse_program(src).unwrap();
+        let b = ProgramExplorer::new(&parsed.program)
+            .behaviours(&ExploreOptions { max_actions: 4, max_tau: 100 });
+        assert!(!b.complete);
+        assert!(b.value.contains(&vec![Value::new(1); 3]));
+    }
+
+    #[test]
+    fn silent_divergence_truncates() {
+        let src = "while (r0 == r0) skip;";
+        let parsed = parse_program(src).unwrap();
+        let b = ProgramExplorer::new(&parsed.program)
+            .behaviours(&ExploreOptions { max_actions: 4, max_tau: 50 });
+        assert!(!b.complete);
+        assert_eq!(b.value.len(), 1, "only the empty behaviour");
+    }
+}
+
+#[cfg(test)]
+mod witness_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn behaviour_witness_for_fig2_transformed() {
+        let p = parse_program("r2 := x; y := r2; || x := 1; r1 := y; print r1;")
+            .unwrap()
+            .program;
+        let ex = ProgramExplorer::new(&p);
+        let opts = ExploreOptions::default();
+        let w = ex
+            .execution_with_behaviour(&[Value::new(1)], &opts)
+            .expect("the transformed Fig. 2 can print 1");
+        assert_eq!(
+            w.behaviour(),
+            vec![Value::new(1)],
+            "the witness really prints 1: {w}"
+        );
+        assert!(w.is_sequentially_consistent());
+        // and the impossible behaviour has no witness
+        assert!(ex.execution_with_behaviour(&[Value::new(2)], &opts).is_none());
+    }
+
+    #[test]
+    fn racy_location_census() {
+        let p = parse_program("x := 1; y := 1; || r1 := x; r2 := z;").unwrap().program;
+        let ex = ProgramExplorer::new(&p);
+        let races = ex.racy_locations(&ExploreOptions::default());
+        // x is written by t0 and read by t1: racy. y and z are private
+        // to one thread each: not racy.
+        assert_eq!(races.len(), 1);
+        let sym = parse_program("x := 1; y := 1; || r1 := x; r2 := z;").unwrap().symbols;
+        assert!(races.contains(&sym.loc("x").unwrap()));
+    }
+
+    #[test]
+    fn racy_census_empty_for_drf() {
+        let p = parse_program("lock m; x := 1; unlock m; || lock m; r1 := x; unlock m;")
+            .unwrap()
+            .program;
+        assert!(ProgramExplorer::new(&p)
+            .racy_locations(&ExploreOptions::default())
+            .is_empty());
+    }
+}

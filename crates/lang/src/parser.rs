@@ -1,0 +1,809 @@
+//! A parser for the concrete syntax of the §6 language.
+//!
+//! The kernel grammar is Fig. 6 verbatim. The paper's examples also use
+//! two pieces of surface sugar, which the parser desugars into the
+//! kernel:
+//!
+//! * `l := i` (store of a constant) becomes `r := i; l := r` with a fresh
+//!   register;
+//! * a shared location used as a condition or print operand (e.g.
+//!   `if (requestReady == 1) …`, the §1 example) becomes a load into a
+//!   fresh register; in `while` conditions the load is repeated at the
+//!   end of the body.
+//!
+//! Identifier conventions follow the paper: `r` followed by digits
+//! (`r`, `r0`, `r1`, …) names a register, identifiers in `lock`/`unlock`
+//! position name monitors, and all other names are shared locations
+//! (so the §1 example's `requestReady` is shared). Locations are
+//! non-volatile unless declared with `volatile x, y;` at the top of the
+//! program. Threads are separated by `||`, and `//` starts a comment.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use transafety_traces::{Loc, Monitor, Value};
+
+use crate::ast::{Cond, Operand, Program, Reg, Stmt};
+
+/// A parse error with a (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    /// The 1-based source line of the error.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseProgramError {}
+
+/// Name resolution produced by the parser: the mapping from source
+/// identifiers to locations, monitors and registers.
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::parse_program;
+/// let src = "volatile v; x := 1; || r1 := v; print r1;";
+/// let parsed = parse_program(src)?;
+/// assert!(parsed.symbols.loc("v").unwrap().is_volatile());
+/// assert!(!parsed.symbols.loc("x").unwrap().is_volatile());
+/// # Ok::<(), transafety_lang::ParseProgramError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    locs: BTreeMap<String, Loc>,
+    monitors: BTreeMap<String, Monitor>,
+    regs: BTreeMap<String, Reg>,
+}
+
+impl SymbolTable {
+    /// Resolves a location name.
+    #[must_use]
+    pub fn loc(&self, name: &str) -> Option<Loc> {
+        self.locs.get(name).copied()
+    }
+
+    /// Resolves a monitor name.
+    #[must_use]
+    pub fn monitor(&self, name: &str) -> Option<Monitor> {
+        self.monitors.get(name).copied()
+    }
+
+    /// Resolves a register name.
+    #[must_use]
+    pub fn reg(&self, name: &str) -> Option<Reg> {
+        self.regs.get(name).copied()
+    }
+
+    /// All declared location names, sorted.
+    #[must_use]
+    pub fn loc_names(&self) -> Vec<&str> {
+        self.locs.keys().map(String::as_str).collect()
+    }
+}
+
+/// A parsed program together with its symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceProgram {
+    /// The desugared kernel program.
+    pub program: Program,
+    /// The name resolution used while parsing.
+    pub symbols: SymbolTable,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u32),
+    Assign,   // :=
+    Eq,       // ==
+    Ne,       // !=
+    Semi,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Par, // ||
+    KwVolatile,
+    KwLock,
+    KwUnlock,
+    KwSkip,
+    KwPrint,
+    KwIf,
+    KwElse,
+    KwWhile,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Ident(s) => return write!(f, "identifier `{s}`"),
+            Tok::Number(n) => return write!(f, "number `{n}`"),
+            Tok::Assign => ":=",
+            Tok::Eq => "==",
+            Tok::Ne => "!=",
+            Tok::Semi => ";",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::Comma => ",",
+            Tok::Par => "||",
+            Tok::KwVolatile => "volatile",
+            Tok::KwLock => "lock",
+            Tok::KwUnlock => "unlock",
+            Tok::KwSkip => "skip",
+            Tok::KwPrint => "print",
+            Tok::KwIf => "if",
+            Tok::KwElse => "else",
+            Tok::KwWhile => "while",
+        };
+        write!(f, "`{s}`")
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseProgramError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                out.push((Tok::Semi, line));
+                i += 1;
+            }
+            '{' => {
+                out.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, line));
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, line));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, line));
+                i += 1;
+            }
+            ':' if bytes.get(i + 1) == Some(&'=') => {
+                out.push((Tok::Assign, line));
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&'=') => {
+                out.push((Tok::Eq, line));
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push((Tok::Ne, line));
+                i += 2;
+            }
+            '|' if bytes.get(i + 1) == Some(&'|') => {
+                out.push((Tok::Par, line));
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u32 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(bytes[i] as u32 - '0' as u32))
+                        .ok_or_else(|| ParseProgramError {
+                            line,
+                            message: "number literal overflows u32".into(),
+                        })?;
+                    i += 1;
+                }
+                out.push((Tok::Number(n), line));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "volatile" => Tok::KwVolatile,
+                    "lock" => Tok::KwLock,
+                    "unlock" => Tok::KwUnlock,
+                    "skip" => Tok::KwSkip,
+                    "print" => Tok::KwPrint,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    _ => Tok::Ident(word),
+                };
+                out.push((tok, line));
+            }
+            other => {
+                return Err(ParseProgramError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+    symbols: SymbolTable,
+    volatile_names: Vec<String>,
+    next_loc: u32,
+    next_vol: u32,
+    next_reg: u32,
+    next_monitor: u32,
+    fresh_reg: u32,
+}
+
+/// Does `name` match `prefix` followed by digits (e.g. `l0`, `v3`, `m1`)?
+fn digit_indexed(name: &str, prefix: char) -> Option<u32> {
+    let rest = name.strip_prefix(prefix)?;
+    if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(1, |(_, l)| *l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseProgramError {
+        ParseProgramError { line: self.line(), message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseProgramError> {
+        match self.peek() {
+            Some(got) if got == t => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(got) => Err(self.err(format!("expected {t}, found {got}"))),
+            None => Err(self.err(format!("expected {t}, found end of input"))),
+        }
+    }
+
+    /// Registers are `r` followed by digits (`r`, `r0`, `r1`, …); this
+    /// keeps location names like the §1 example's `requestReady` shared.
+    fn is_register_name(name: &str) -> bool {
+        name.starts_with('r') && name[1..].chars().all(|c| c.is_ascii_digit())
+    }
+
+    fn resolve_reg(&mut self, name: &str) -> Reg {
+        if let Some(r) = self.symbols.regs.get(name) {
+            return *r;
+        }
+        // `r<digits>` keeps its source index so pretty-printed programs
+        // read like the input; the bare name `r` gets a reserved index.
+        let r = match name[1..].parse::<u32>() {
+            Ok(n) => Reg::new(n),
+            Err(_) => Reg::new(900_000 + self.next_reg),
+        };
+        self.next_reg += 1;
+        self.symbols.regs.insert(name.to_string(), r);
+        r
+    }
+
+    fn resolve_loc(&mut self, name: &str) -> Loc {
+        if let Some(l) = self.symbols.locs.get(name) {
+            return *l;
+        }
+        let volatile = self.volatile_names.iter().any(|n| n == name);
+        // `l<digits>` / `v<digits>` names keep their index, so printed
+        // programs (which use that convention) reparse to the same
+        // locations.
+        let fixed = if volatile {
+            digit_indexed(name, 'v')
+        } else {
+            digit_indexed(name, 'l')
+        };
+        let l = if volatile {
+            let idx = fixed.unwrap_or_else(|| self.fresh_vol_index());
+            self.next_vol = self.next_vol.max(idx + 1);
+            Loc::volatile(idx)
+        } else {
+            let idx = fixed.unwrap_or_else(|| self.fresh_loc_index());
+            self.next_loc = self.next_loc.max(idx + 1);
+            Loc::normal(idx)
+        };
+        self.symbols.locs.insert(name.to_string(), l);
+        l
+    }
+
+    /// The next counter-assigned normal index not already taken by a
+    /// digit-named location.
+    fn fresh_loc_index(&mut self) -> u32 {
+        loop {
+            let idx = self.next_loc;
+            self.next_loc += 1;
+            if !self.symbols.locs.values().any(|l| !l.is_volatile() && l.index() == idx) {
+                return idx;
+            }
+        }
+    }
+
+    fn fresh_vol_index(&mut self) -> u32 {
+        loop {
+            let idx = self.next_vol;
+            self.next_vol += 1;
+            if !self.symbols.locs.values().any(|l| l.is_volatile() && l.index() == idx) {
+                return idx;
+            }
+        }
+    }
+
+    fn resolve_monitor(&mut self, name: &str) -> Monitor {
+        if let Some(m) = self.symbols.monitors.get(name) {
+            return *m;
+        }
+        let idx = digit_indexed(name, 'm').unwrap_or_else(|| {
+            let idx = self.next_monitor;
+            self.next_monitor += 1;
+            idx
+        });
+        self.next_monitor = self.next_monitor.max(idx + 1);
+        let m = Monitor::new(idx);
+        self.symbols.monitors.insert(name.to_string(), m);
+        m
+    }
+
+    fn fresh_register(&mut self) -> Reg {
+        let r = Reg::new(1_000_000 + self.fresh_reg);
+        self.fresh_reg += 1;
+        r
+    }
+
+    /// Parses an operand; shared locations desugar into a load into a
+    /// fresh register, appended to `prelude`.
+    fn parse_operand(&mut self, prelude: &mut Vec<Stmt>) -> Result<Operand, ParseProgramError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => Ok(Operand::Const(Value::new(n))),
+            Some(Tok::Ident(name)) => {
+                if Self::is_register_name(&name) {
+                    Ok(Operand::Reg(self.resolve_reg(&name)))
+                } else {
+                    let loc = self.resolve_loc(&name);
+                    let r = self.fresh_register();
+                    prelude.push(Stmt::Load { dst: r, loc });
+                    Ok(Operand::Reg(r))
+                }
+            }
+            Some(other) => Err(self.err(format!("expected an operand, found {other}"))),
+            None => Err(self.err("expected an operand, found end of input")),
+        }
+    }
+
+    fn parse_cond(&mut self, prelude: &mut Vec<Stmt>) -> Result<Cond, ParseProgramError> {
+        let a = self.parse_operand(prelude)?;
+        let op = self.bump();
+        let b = self.parse_operand(prelude)?;
+        match op {
+            Some(Tok::Eq) => Ok(Cond::Eq(a, b)),
+            Some(Tok::Ne) => Ok(Cond::Ne(a, b)),
+            Some(other) => Err(self.err(format!("expected `==` or `!=`, found {other}"))),
+            None => Err(self.err("expected `==` or `!=`, found end of input")),
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Vec<Stmt>, ParseProgramError> {
+        match self.peek().cloned() {
+            Some(Tok::KwSkip) => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(vec![Stmt::Skip])
+            }
+            Some(Tok::KwLock) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let m = self.resolve_monitor(&name);
+                self.expect(&Tok::Semi)?;
+                Ok(vec![Stmt::Lock(m)])
+            }
+            Some(Tok::KwUnlock) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let m = self.resolve_monitor(&name);
+                self.expect(&Tok::Semi)?;
+                Ok(vec![Stmt::Unlock(m)])
+            }
+            Some(Tok::KwPrint) => {
+                self.bump();
+                let mut prelude = Vec::new();
+                let op = self.parse_operand(&mut prelude)?;
+                self.expect(&Tok::Semi)?;
+                let reg = match op {
+                    Operand::Reg(r) => r,
+                    Operand::Const(v) => {
+                        // `print 1;` — move the constant into a fresh register.
+                        let r = self.fresh_register();
+                        prelude.push(Stmt::Move { dst: r, src: Operand::Const(v) });
+                        r
+                    }
+                };
+                prelude.push(Stmt::Print(reg));
+                Ok(prelude)
+            }
+            Some(Tok::LBrace) => {
+                self.bump();
+                let mut body = Vec::new();
+                while self.peek() != Some(&Tok::RBrace) {
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated block"));
+                    }
+                    body.extend(self.parse_stmt()?);
+                }
+                self.bump();
+                Ok(vec![Stmt::Block(body)])
+            }
+            Some(Tok::KwIf) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let mut prelude = Vec::new();
+                let cond = self.parse_cond(&mut prelude)?;
+                self.expect(&Tok::RParen)?;
+                let then_branch = self.parse_branch()?;
+                let else_branch = if self.peek() == Some(&Tok::KwElse) {
+                    self.bump();
+                    self.parse_branch()?
+                } else {
+                    Stmt::Skip
+                };
+                prelude.push(Stmt::If {
+                    cond,
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                });
+                Ok(prelude)
+            }
+            Some(Tok::KwWhile) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let mut prelude = Vec::new();
+                let cond = self.parse_cond(&mut prelude)?;
+                self.expect(&Tok::RParen)?;
+                let body = self.parse_branch()?;
+                // If the condition loaded shared locations, the loads must
+                // be repeated at the end of each iteration.
+                let body = if prelude.is_empty() {
+                    body
+                } else {
+                    let mut b = vec![body];
+                    b.extend(prelude.iter().cloned());
+                    Stmt::Block(b)
+                };
+                prelude.push(Stmt::While { cond, body: Box::new(body) });
+                Ok(prelude)
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                self.expect(&Tok::Assign)?;
+                if Self::is_register_name(&name) {
+                    let dst = self.resolve_reg(&name);
+                    match self.bump() {
+                        Some(Tok::Number(n)) => {
+                            self.expect(&Tok::Semi)?;
+                            Ok(vec![Stmt::Move { dst, src: Operand::Const(Value::new(n)) }])
+                        }
+                        Some(Tok::Ident(rhs)) => {
+                            self.expect(&Tok::Semi)?;
+                            if Self::is_register_name(&rhs) {
+                                let src = self.resolve_reg(&rhs);
+                                Ok(vec![Stmt::Move { dst, src: Operand::Reg(src) }])
+                            } else {
+                                let loc = self.resolve_loc(&rhs);
+                                Ok(vec![Stmt::Load { dst, loc }])
+                            }
+                        }
+                        other => Err(self.err(format!(
+                            "expected a register, constant or location after `:=`, found {}",
+                            other.map_or_else(|| "end of input".to_string(), |t| t.to_string())
+                        ))),
+                    }
+                } else {
+                    let loc = self.resolve_loc(&name);
+                    match self.bump() {
+                        Some(Tok::Ident(rhs)) if Self::is_register_name(&rhs) => {
+                            self.expect(&Tok::Semi)?;
+                            let src = self.resolve_reg(&rhs);
+                            Ok(vec![Stmt::Store { loc, src }])
+                        }
+                        Some(Tok::Number(n)) => {
+                            // sugar: l := i  ⇒  r := i; l := r
+                            self.expect(&Tok::Semi)?;
+                            let r = self.fresh_register();
+                            Ok(vec![
+                                Stmt::Move { dst: r, src: Operand::Const(Value::new(n)) },
+                                Stmt::Store { loc, src: r },
+                            ])
+                        }
+                        Some(Tok::Ident(rhs)) => Err(self.err(format!(
+                            "`{name} := {rhs}`: memory-to-memory moves are not in the \
+                             language; go through a register"
+                        ))),
+                        other => Err(self.err(format!(
+                            "expected a register or constant after `:=`, found {}",
+                            other.map_or_else(|| "end of input".to_string(), |t| t.to_string())
+                        ))),
+                    }
+                }
+            }
+            Some(other) => Err(self.err(format!("expected a statement, found {other}"))),
+            None => Err(self.err("expected a statement, found end of input")),
+        }
+    }
+
+    /// Parses a single-statement branch body (wrapping multi-statement
+    /// sequences requires braces, as in the paper's `{L}`).
+    fn parse_branch(&mut self) -> Result<Stmt, ParseProgramError> {
+        let stmts = self.parse_stmt()?;
+        Ok(if stmts.len() == 1 {
+            stmts.into_iter().next().expect("length checked")
+        } else {
+            Stmt::Block(stmts)
+        })
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseProgramError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(other) => Err(self.err(format!("expected an identifier, found {other}"))),
+            None => Err(self.err("expected an identifier, found end of input")),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseProgramError> {
+        // volatile declarations
+        while self.peek() == Some(&Tok::KwVolatile) {
+            self.bump();
+            loop {
+                let name = self.expect_ident()?;
+                self.volatile_names.push(name);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.expect(&Tok::Semi)?;
+        }
+        let mut threads: Vec<Vec<Stmt>> = Vec::new();
+        let mut current: Vec<Stmt> = Vec::new();
+        while let Some(t) = self.peek() {
+            if *t == Tok::Par {
+                self.bump();
+                threads.push(std::mem::take(&mut current));
+                continue;
+            }
+            current.extend(self.parse_stmt()?);
+        }
+        threads.push(current);
+        Ok(Program::new(threads))
+    }
+}
+
+/// Parses a program in the concrete syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseProgramError`] with a line number for lexical errors,
+/// malformed statements, or statements outside the (desugared) Fig. 6
+/// grammar.
+///
+/// # Example
+///
+/// The §1 introduction example:
+///
+/// ```
+/// use transafety_lang::parse_program;
+/// let src = r"
+///     data := 1;
+///     if (requestReady == 1) {
+///         data := 2;
+///         responseReady := 1;
+///     }
+/// ||
+///     requestReady := 1;
+///     if (responseReady == 1)
+///         print data;
+/// ";
+/// let parsed = parse_program(src)?;
+/// assert_eq!(parsed.program.thread_count(), 2);
+/// # Ok::<(), transafety_lang::ParseProgramError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<SourceProgram, ParseProgramError> {
+    parse_program_with_symbols(src, SymbolTable::default())
+}
+
+/// Parses a program, resolving names against (and extending) an existing
+/// symbol table. Use this to parse an original/transformed program pair
+/// into a **shared** namespace, so that `x` denotes the same location in
+/// both — required before comparing their tracesets or behaviours.
+///
+/// # Errors
+///
+/// As [`parse_program`].
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::{parse_program, parse_program_with_symbols};
+/// let original = parse_program("y := 1; || r1 := x; print r1;")?;
+/// let transformed =
+///     parse_program_with_symbols("r1 := x; print r1; || y := 1;", original.symbols.clone())?;
+/// assert_eq!(original.symbols.loc("x"), transformed.symbols.loc("x"));
+/// # Ok::<(), transafety_lang::ParseProgramError>(())
+/// ```
+pub fn parse_program_with_symbols(
+    src: &str,
+    symbols: SymbolTable,
+) -> Result<SourceProgram, ParseProgramError> {
+    let tokens = lex(src)?;
+    let next_loc =
+        symbols.locs.values().filter(|l| !l.is_volatile()).map(|l| l.index() + 1).max().unwrap_or(0);
+    let next_vol =
+        symbols.locs.values().filter(|l| l.is_volatile()).map(|l| l.index() + 1).max().unwrap_or(0);
+    let next_monitor = symbols.monitors.values().map(|m| m.index() + 1).max().unwrap_or(0);
+    let volatile_names = symbols
+        .locs
+        .iter()
+        .filter(|(_, l)| l.is_volatile())
+        .map(|(n, _)| n.clone())
+        .collect();
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        symbols,
+        volatile_names,
+        next_loc,
+        next_vol,
+        next_reg: 0,
+        next_monitor,
+        fresh_reg: 0,
+    };
+    let program = p.parse_program()?;
+    Ok(SourceProgram { program, symbols: p.symbols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig2_original() {
+        let src = "r2 := x; y := r2; || r1 := y; x := 1; print r1;";
+        let sp = parse_program(src).unwrap();
+        assert_eq!(sp.program.thread_count(), 2);
+        let t0 = sp.program.thread(0).unwrap();
+        assert!(matches!(t0[0], Stmt::Load { .. }));
+        assert!(matches!(t0[1], Stmt::Store { .. }));
+        // x := 1 desugars to move + store
+        let t1 = sp.program.thread(1).unwrap();
+        assert_eq!(t1.len(), 4);
+        assert!(matches!(t1[1], Stmt::Move { .. }));
+        assert!(matches!(t1[2], Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn volatile_declarations_apply() {
+        let sp = parse_program("volatile v, w; v := r0; u := r0;").unwrap();
+        assert!(sp.symbols.loc("v").unwrap().is_volatile());
+        assert!(sp.symbols.loc("w").is_none(), "w never used, never interned");
+        assert!(!sp.symbols.loc("u").unwrap().is_volatile());
+    }
+
+    #[test]
+    fn register_convention() {
+        let sp = parse_program("r1 := r2; r := r17; requestReady := r1;").unwrap();
+        // `r` and `r<digits>` are registers; `requestReady` is a location
+        assert!(sp.symbols.reg("r").is_some());
+        assert!(sp.symbols.reg("r17").is_some());
+        assert!(sp.symbols.loc("requestReady").is_some());
+        assert!(sp.symbols.reg("requestReady").is_none());
+    }
+
+    #[test]
+    fn condition_on_location_desugars_to_load() {
+        let sp = parse_program("if (flag == 1) print 1; else skip;").unwrap();
+        let t0 = sp.program.thread(0).unwrap();
+        assert!(matches!(t0[0], Stmt::Load { .. }), "prelude load inserted");
+        assert!(matches!(t0[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn while_on_location_reloads_each_iteration() {
+        let sp = parse_program("while (flag != 1) skip; print 1;").unwrap();
+        let t0 = sp.program.thread(0).unwrap();
+        assert!(matches!(t0[0], Stmt::Load { .. }));
+        let Stmt::While { body, .. } = &t0[1] else { panic!("expected while") };
+        let Stmt::Block(b) = &**body else { panic!("expected desugared block body") };
+        assert!(matches!(b.last(), Some(Stmt::Load { .. })), "reload at end of body");
+    }
+
+    #[test]
+    fn else_is_optional() {
+        let sp = parse_program("if (r0 == 0) skip;").unwrap();
+        let t0 = sp.program.thread(0).unwrap();
+        let Stmt::If { else_branch, .. } = &t0[0] else { panic!() };
+        assert_eq!(**else_branch, Stmt::Skip);
+    }
+
+    #[test]
+    fn rejects_memory_to_memory_moves() {
+        let err = parse_program("x := y;").unwrap_err();
+        assert!(err.message.contains("memory-to-memory"));
+    }
+
+    #[test]
+    fn error_carries_line_numbers() {
+        let err = parse_program("skip;\nskip;\n$;\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn lock_unlock_and_blocks() {
+        let sp =
+            parse_program("lock m; { x := r0; unlock m; } // done\n").unwrap();
+        let t0 = sp.program.thread(0).unwrap();
+        assert!(matches!(t0[0], Stmt::Lock(_)));
+        assert!(matches!(t0[1], Stmt::Block(_)));
+        assert!(sp.symbols.monitor("m").is_some());
+    }
+
+    #[test]
+    fn empty_threads_are_allowed() {
+        let sp = parse_program("||").unwrap();
+        assert_eq!(sp.program.thread_count(), 2);
+        assert!(sp.program.thread(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn number_overflow_is_an_error() {
+        let err = parse_program("r0 := 99999999999999999999;").unwrap_err();
+        assert!(err.message.contains("overflow"));
+    }
+}

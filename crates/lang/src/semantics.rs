@@ -1,0 +1,601 @@
+//! The labellised small-step semantics (Fig. 7–8) and traceset
+//! extraction `[P]`.
+
+use std::collections::BTreeMap;
+
+use transafety_traces::{Action, Domain, Monitor, ThreadId, Trace, Traceset, Value};
+
+use crate::ast::{Cond, Operand, Program, Reg, Stmt};
+
+/// A thread-local configuration `(λ, s, C)` of Fig. 7: the monitor
+/// nesting state, the register state, and the remaining code (kept as a
+/// flattened continuation list).
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::{Stmt, ThreadConfig, Reg};
+/// use transafety_traces::{Domain, Value};
+/// let cfg = ThreadConfig::new(vec![Stmt::Move {
+///     dst: Reg::new(0),
+///     src: Value::new(3).into(),
+/// }]);
+/// match cfg.step(&Domain::default()) {
+///     transafety_lang::Step::Tau(next) => assert_eq!(next.reg(Reg::new(0)), Value::new(3)),
+///     _ => panic!("a register move is a silent step"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThreadConfig {
+    monitors: BTreeMap<Monitor, u32>,
+    regs: BTreeMap<Reg, Value>,
+    code: Vec<Stmt>,
+}
+
+/// The result of one small step of a thread configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// The code is exhausted (`skip;`-equivalent terminal state).
+    Done,
+    /// A silent (`τ`) step.
+    Tau(ThreadConfig),
+    /// An action-emitting step; loads fan out over the read domain
+    /// (Fig. 7's READ rule reads *any* value of the location's type).
+    Emit(Vec<(Action, ThreadConfig)>),
+}
+
+impl ThreadConfig {
+    /// The initial configuration of a thread body: no monitors held, all
+    /// registers zero.
+    #[must_use]
+    pub fn new(code: Vec<Stmt>) -> Self {
+        ThreadConfig { monitors: BTreeMap::new(), regs: BTreeMap::new(), code }
+    }
+
+    /// The value of a register (zero if never assigned).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> Value {
+        self.regs.get(&r).copied().unwrap_or(Value::ZERO)
+    }
+
+    /// The nesting level `λ(m)` of a monitor.
+    #[must_use]
+    pub fn monitor_nesting(&self, m: Monitor) -> u32 {
+        self.monitors.get(&m).copied().unwrap_or(0)
+    }
+
+    /// The remaining code.
+    #[must_use]
+    pub fn code(&self) -> &[Stmt] {
+        &self.code
+    }
+
+    /// Has the configuration terminated?
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// `Val(s, ri)` of Fig. 7.
+    #[must_use]
+    pub fn eval(&self, o: Operand) -> Value {
+        match o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Const(v) => v,
+        }
+    }
+
+    /// `Val(s, T)` of Fig. 7.
+    #[must_use]
+    pub fn eval_cond(&self, c: &Cond) -> bool {
+        match c {
+            Cond::Eq(a, b) => self.eval(*a) == self.eval(*b),
+            Cond::Ne(a, b) => self.eval(*a) != self.eval(*b),
+        }
+    }
+
+    fn with_rest(&self, extra_front: Vec<Stmt>) -> ThreadConfig {
+        let mut code = extra_front;
+        code.extend_from_slice(&self.code[1..]);
+        ThreadConfig { monitors: self.monitors.clone(), regs: self.regs.clone(), code }
+    }
+
+    /// Performs one small step (Fig. 7). Loads fan out over `domain`
+    /// per the READ rule; every other statement is deterministic.
+    #[must_use]
+    pub fn step(&self, domain: &Domain) -> Step {
+        let Some(first) = self.code.first() else {
+            return Step::Done;
+        };
+        match first {
+            Stmt::Skip => Step::Tau(self.with_rest(vec![])),
+            Stmt::Move { dst, src } => {
+                let mut next = self.with_rest(vec![]);
+                next.regs.insert(*dst, self.eval(*src));
+                Step::Tau(next)
+            }
+            Stmt::Store { loc, src } => {
+                let v = self.reg(*src);
+                Step::Emit(vec![(Action::write(*loc, v), self.with_rest(vec![]))])
+            }
+            Stmt::Load { dst, loc } => Step::Emit(
+                domain
+                    .iter()
+                    .map(|v| {
+                        let mut next = self.with_rest(vec![]);
+                        next.regs.insert(*dst, v);
+                        (Action::read(*loc, v), next)
+                    })
+                    .collect(),
+            ),
+            Stmt::Lock(m) => {
+                let mut next = self.with_rest(vec![]);
+                *next.monitors.entry(*m).or_insert(0) += 1;
+                Step::Emit(vec![(Action::lock(*m), next)])
+            }
+            Stmt::Unlock(m) => {
+                if self.monitor_nesting(*m) > 0 {
+                    let mut next = self.with_rest(vec![]);
+                    let entry = next.monitors.entry(*m).or_insert(0);
+                    *entry -= 1;
+                    if *entry == 0 {
+                        next.monitors.remove(m);
+                    }
+                    Step::Emit(vec![(Action::unlock(*m), next)])
+                } else {
+                    // E-ULK: unlocking an unheld monitor is silent.
+                    Step::Tau(self.with_rest(vec![]))
+                }
+            }
+            Stmt::Print(r) => {
+                Step::Emit(vec![(Action::external(self.reg(*r)), self.with_rest(vec![]))])
+            }
+            Stmt::Block(stmts) => Step::Tau(self.with_rest(stmts.clone())),
+            Stmt::If { cond, then_branch, else_branch } => {
+                let taken =
+                    if self.eval_cond(cond) { then_branch } else { else_branch };
+                Step::Tau(self.with_rest(vec![(**taken).clone()]))
+            }
+            Stmt::While { cond, body } => {
+                if self.eval_cond(cond) {
+                    Step::Tau(self.with_rest(vec![(**body).clone(), first.clone()]))
+                } else {
+                    Step::Tau(self.with_rest(vec![]))
+                }
+            }
+        }
+    }
+
+    /// Follows silent steps until the next action-emitting statement,
+    /// termination, or `max_tau` steps.
+    ///
+    /// Returns `None` if the τ-budget is exhausted (a silent divergence
+    /// such as `while (r0 == r0) skip;`).
+    #[must_use]
+    pub fn tau_closure(&self, domain: &Domain, max_tau: usize) -> Option<(ThreadConfig, Step)> {
+        let mut cfg = self.clone();
+        for _ in 0..=max_tau {
+            match cfg.step(domain) {
+                Step::Tau(next) => cfg = next,
+                s => return Some((cfg, s)),
+            }
+        }
+        None
+    }
+}
+
+/// Bounds for traceset extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractOptions {
+    /// Maximum number of actions per trace.
+    pub max_actions: usize,
+    /// Maximum silent steps between two actions (guards against silent
+    /// divergence).
+    pub max_tau: usize,
+    /// Maximum number of maximal traces to extract in total. Loops whose
+    /// exit value lies outside the read domain would otherwise explore
+    /// `|domain|^max_actions` spin paths before hitting the per-trace
+    /// bound.
+    pub max_traces: usize,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions { max_actions: 16, max_tau: 4096, max_traces: 200_000 }
+    }
+}
+
+/// The result of traceset extraction: the traceset and whether any trace
+/// was cut short by the bounds.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// The (prefix-closed) traceset `[P]` up to the bounds.
+    pub traceset: Traceset,
+    /// `true` if some branch hit `max_actions` or `max_tau` — the
+    /// traceset is then a strict under-approximation of the unbounded
+    /// `[P]`.
+    pub truncated: bool,
+}
+
+/// Extracts the traceset `[P]` of §6: the prefix closure of the union
+/// over threads of the traces `S(i)` followed by the actions thread `i`
+/// may issue, with loads ranging over `domain`.
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::{extract_traceset, ExtractOptions, Program, Reg, Stmt};
+/// use transafety_traces::{Domain, Loc};
+/// let x = Loc::normal(0);
+/// let p = Program::new(vec![vec![
+///     Stmt::Load { dst: Reg::new(0), loc: x },
+///     Stmt::Print(Reg::new(0)),
+/// ]]);
+/// let e = extract_traceset(&p, &Domain::zero_to(1), &ExtractOptions::default());
+/// assert!(!e.truncated);
+/// assert_eq!(e.traceset.maximal_traces().count(), 2); // one per read value
+/// ```
+#[must_use]
+pub fn extract_traceset(
+    program: &Program,
+    domain: &Domain,
+    opts: &ExtractOptions,
+) -> Extraction {
+    let mut traceset = Traceset::new();
+    let mut truncated = false;
+    let mut budget = opts.max_traces;
+    for (i, body) in program.threads().iter().enumerate() {
+        let tid = ThreadId::new(i as u32);
+        let mut trace = Trace::from_actions([Action::start(tid)]);
+        let cfg = ThreadConfig::new(body.clone());
+        extract_thread(&cfg, domain, opts, &mut trace, &mut traceset, &mut truncated, &mut budget);
+    }
+    Extraction { traceset, truncated }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract_thread(
+    cfg: &ThreadConfig,
+    domain: &Domain,
+    opts: &ExtractOptions,
+    trace: &mut Trace,
+    out: &mut Traceset,
+    truncated: &mut bool,
+    budget: &mut usize,
+) {
+    if *budget == 0 {
+        *truncated = true;
+        return;
+    }
+    // `trace` includes the start action, so the action budget is
+    // max_actions + 1 elements.
+    if trace.len() > opts.max_actions {
+        *truncated = true;
+        *budget -= 1;
+        out.insert(trace.clone()).expect("extracted traces are well formed");
+        return;
+    }
+    match cfg.tau_closure(domain, opts.max_tau) {
+        None => {
+            *truncated = true;
+            *budget -= 1;
+            out.insert(trace.clone()).expect("extracted traces are well formed");
+        }
+        Some((_, Step::Done)) => {
+            *budget -= 1;
+            out.insert(trace.clone()).expect("extracted traces are well formed");
+        }
+        Some((_, Step::Emit(successors))) => {
+            for (a, next) in successors {
+                trace.push(a);
+                extract_thread(&next, domain, opts, trace, out, truncated, budget);
+                trace.pop();
+            }
+        }
+        Some((_, Step::Tau(_))) => unreachable!("tau_closure never returns Tau"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::Loc;
+
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn r(i: u32) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn store_emits_register_value() {
+        let cfg = ThreadConfig::new(vec![
+            Stmt::Move { dst: r(0), src: Value::new(2).into() },
+            Stmt::Store { loc: x(), src: r(0) },
+        ]);
+        let (_, step) = cfg.tau_closure(&Domain::default(), 10).unwrap();
+        match step {
+            Step::Emit(s) => {
+                assert_eq!(s.len(), 1);
+                assert_eq!(s[0].0, Action::write(x(), Value::new(2)));
+            }
+            _ => panic!("expected an emitting step"),
+        }
+    }
+
+    #[test]
+    fn load_fans_out_over_domain() {
+        let cfg = ThreadConfig::new(vec![Stmt::Load { dst: r(0), loc: x() }]);
+        match cfg.step(&Domain::zero_to(2)) {
+            Step::Emit(s) => {
+                assert_eq!(s.len(), 3);
+                for (a, next) in &s {
+                    assert_eq!(next.reg(r(0)), a.value().unwrap());
+                }
+            }
+            _ => panic!("expected an emitting step"),
+        }
+    }
+
+    #[test]
+    fn unlock_of_unheld_monitor_is_silent() {
+        let m = Monitor::new(0);
+        let cfg = ThreadConfig::new(vec![Stmt::Unlock(m), Stmt::Print(r(0))]);
+        // E-ULK: the unlock disappears; the next action is the print.
+        let (_, step) = cfg.tau_closure(&Domain::default(), 10).unwrap();
+        match step {
+            Step::Emit(s) => assert_eq!(s[0].0, Action::external(Value::ZERO)),
+            _ => panic!("expected the print"),
+        }
+    }
+
+    #[test]
+    fn lock_unlock_tracks_nesting() {
+        let m = Monitor::new(0);
+        let cfg = ThreadConfig::new(vec![Stmt::Lock(m), Stmt::Lock(m), Stmt::Unlock(m)]);
+        let Step::Emit(s1) = cfg.step(&Domain::default()) else { panic!() };
+        let c1 = &s1[0].1;
+        assert_eq!(c1.monitor_nesting(m), 1);
+        let Step::Emit(s2) = c1.step(&Domain::default()) else { panic!() };
+        let c2 = &s2[0].1;
+        assert_eq!(c2.monitor_nesting(m), 2);
+        let Step::Emit(s3) = c2.step(&Domain::default()) else { panic!() };
+        assert_eq!(s3[0].0, Action::unlock(m));
+        assert_eq!(s3[0].1.monitor_nesting(m), 1);
+    }
+
+    #[test]
+    fn conditionals_and_while_are_silent() {
+        // if (r0 == 0) print r0 else skip — then-branch taken
+        let cfg = ThreadConfig::new(vec![Stmt::If {
+            cond: Cond::Eq(r(0).into(), Value::ZERO.into()),
+            then_branch: Box::new(Stmt::Print(r(0))),
+            else_branch: Box::new(Stmt::Skip),
+        }]);
+        let (_, step) = cfg.tau_closure(&Domain::default(), 10).unwrap();
+        assert!(matches!(step, Step::Emit(_)));
+        // while with false condition terminates silently
+        let cfg2 = ThreadConfig::new(vec![Stmt::While {
+            cond: Cond::Ne(r(0).into(), Value::ZERO.into()),
+            body: Box::new(Stmt::Skip),
+        }]);
+        let (_, step2) = cfg2.tau_closure(&Domain::default(), 10).unwrap();
+        assert!(matches!(step2, Step::Done));
+    }
+
+    #[test]
+    fn silent_divergence_is_detected() {
+        let cfg = ThreadConfig::new(vec![Stmt::While {
+            cond: Cond::Eq(r(0).into(), r(0).into()),
+            body: Box::new(Stmt::Skip),
+        }]);
+        assert!(cfg.tau_closure(&Domain::default(), 100).is_none());
+    }
+
+    #[test]
+    fn extraction_of_fig2_left_program() {
+        // T0: r2:=x; y:=r2 — T1: r1:=y; x:=1; print r1
+        let d = Domain::zero_to(1);
+        let p = Program::new(vec![
+            vec![Stmt::Load { dst: r(2), loc: x() }, Stmt::Store { loc: y(), src: r(2) }],
+            vec![
+                Stmt::Load { dst: r(1), loc: y() },
+                Stmt::Move { dst: r(0), src: Value::new(1).into() },
+                Stmt::Store { loc: x(), src: r(0) },
+                Stmt::Print(r(1)),
+            ],
+        ]);
+        let e = extract_traceset(&p, &d, &ExtractOptions::default());
+        assert!(!e.truncated);
+        // thread 0: 2 maximal traces (one per read value); thread 1: 2.
+        assert_eq!(e.traceset.maximal_traces().count(), 4);
+        let expected = Trace::from_actions([
+            Action::start(ThreadId::new(1)),
+            Action::read(y(), Value::new(1)),
+            Action::write(x(), Value::new(1)),
+            Action::external(Value::new(1)),
+        ]);
+        assert!(e.traceset.contains(&expected));
+    }
+
+    #[test]
+    fn extraction_reports_truncation() {
+        // unbounded printing loop
+        let p = Program::new(vec![vec![Stmt::While {
+            cond: Cond::Eq(r(0).into(), r(0).into()),
+            body: Box::new(Stmt::Print(r(0))),
+        }]]);
+        let e = extract_traceset(
+            &p,
+            &Domain::zero_to(0),
+            &ExtractOptions { max_actions: 5, max_tau: 100, ..ExtractOptions::default() },
+        );
+        assert!(e.truncated);
+        assert!(e.traceset.contains(&Trace::from_actions([
+            Action::start(ThreadId::new(0)),
+            Action::external(Value::ZERO),
+            Action::external(Value::ZERO),
+        ])));
+    }
+
+    #[test]
+    fn blocks_flatten() {
+        let p = Program::new(vec![vec![Stmt::Block(vec![
+            Stmt::Block(vec![Stmt::Print(r(0))]),
+            Stmt::Print(r(0)),
+        ])]]);
+        let e = extract_traceset(&p, &Domain::zero_to(0), &ExtractOptions::default());
+        assert_eq!(e.traceset.maximal_traces().next().unwrap().len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod fig7_rules {
+    //! One test per rule of the Fig. 7 small-step semantics.
+
+    use super::*;
+    use crate::ast::{Cond, Operand, Stmt};
+    use transafety_traces::Loc;
+
+    fn d() -> Domain {
+        Domain::zero_to(2)
+    }
+    fn r(i: u32) -> Reg {
+        Reg::new(i)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+
+    #[test]
+    fn regs_rule_is_silent_and_updates_state() {
+        let cfg = ThreadConfig::new(vec![Stmt::Move { dst: r(0), src: Operand::Const(Value::new(2)) }]);
+        match cfg.step(&d()) {
+            Step::Tau(next) => {
+                assert_eq!(next.reg(r(0)), Value::new(2));
+                assert!(next.is_done());
+            }
+            other => panic!("REGS must be a τ step, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_rule_emits_register_value() {
+        let mut cfg = ThreadConfig::new(vec![
+            Stmt::Move { dst: r(1), src: Operand::Const(Value::new(2)) },
+            Stmt::Store { loc: x(), src: r(1) },
+        ]);
+        if let Step::Tau(next) = cfg.step(&d()) {
+            cfg = next;
+        }
+        match cfg.step(&d()) {
+            Step::Emit(s) => assert_eq!(s[0].0, Action::write(x(), Value::new(2))),
+            other => panic!("WRITE must emit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_rule_offers_every_domain_value() {
+        let cfg = ThreadConfig::new(vec![Stmt::Load { dst: r(0), loc: x() }]);
+        let Step::Emit(s) = cfg.step(&d()) else { panic!("READ must emit") };
+        let values: Vec<Value> = s.iter().filter_map(|(a, _)| a.value()).collect();
+        assert_eq!(values, d().values().to_vec(), "v ∈ t(x), all of them");
+    }
+
+    #[test]
+    fn lock_rule_increments_nesting() {
+        let m = Monitor::new(1);
+        let cfg = ThreadConfig::new(vec![Stmt::Lock(m)]);
+        let Step::Emit(s) = cfg.step(&d()) else { panic!() };
+        assert_eq!(s[0].0, Action::lock(m));
+        assert_eq!(s[0].1.monitor_nesting(m), 1);
+    }
+
+    #[test]
+    fn ulk_rule_requires_positive_nesting() {
+        let m = Monitor::new(1);
+        let mut cfg = ThreadConfig::new(vec![Stmt::Lock(m), Stmt::Unlock(m)]);
+        let Step::Emit(s) = cfg.step(&d()) else { panic!() };
+        cfg = s.into_iter().next().unwrap().1;
+        let Step::Emit(s) = cfg.step(&d()) else { panic!("ULK emits when λ(m) > 0") };
+        assert_eq!(s[0].0, Action::unlock(m));
+        assert_eq!(s[0].1.monitor_nesting(m), 0);
+    }
+
+    #[test]
+    fn e_ulk_rule_is_silent_when_unheld() {
+        let m = Monitor::new(1);
+        let cfg = ThreadConfig::new(vec![Stmt::Unlock(m)]);
+        assert!(matches!(cfg.step(&d()), Step::Tau(_)), "E-ULK: λ(m) = 0 ⇒ τ");
+    }
+
+    #[test]
+    fn ext_rule_emits_register_value() {
+        let cfg = ThreadConfig::new(vec![Stmt::Print(r(7))]);
+        let Step::Emit(s) = cfg.step(&d()) else { panic!() };
+        assert_eq!(s[0].0, Action::external(Value::ZERO), "unset registers read 0");
+    }
+
+    #[test]
+    fn cond_rules_select_branch_silently() {
+        for (cond, expect_then) in [
+            (Cond::Eq(Operand::Const(Value::new(1)), Operand::Const(Value::new(1))), true),
+            (Cond::Eq(Operand::Const(Value::new(1)), Operand::Const(Value::new(2))), false),
+            (Cond::Ne(Operand::Const(Value::new(1)), Operand::Const(Value::new(2))), true),
+        ] {
+            let cfg = ThreadConfig::new(vec![Stmt::If {
+                cond,
+                then_branch: Box::new(Stmt::Print(r(0))),
+                else_branch: Box::new(Stmt::Skip),
+            }]);
+            let Step::Tau(next) = cfg.step(&d()) else { panic!("COND is τ") };
+            let took_then = matches!(next.code().first(), Some(Stmt::Print(_)));
+            assert_eq!(took_then, expect_then, "{:?}", next.code());
+        }
+    }
+
+    #[test]
+    fn loop_rules_unfold_and_exit() {
+        // LOOP-T: body then the loop again
+        let t_loop = Stmt::While {
+            cond: Cond::Eq(Operand::Const(Value::ZERO), Operand::Const(Value::ZERO)),
+            body: Box::new(Stmt::Print(r(0))),
+        };
+        let cfg = ThreadConfig::new(vec![t_loop.clone()]);
+        let Step::Tau(next) = cfg.step(&d()) else { panic!("LOOP is τ") };
+        assert_eq!(next.code().len(), 2);
+        assert!(matches!(next.code()[0], Stmt::Print(_)));
+        assert!(matches!(next.code()[1], Stmt::While { .. }));
+        // LOOP-F: the loop vanishes
+        let f_loop = Stmt::While {
+            cond: Cond::Ne(Operand::Const(Value::ZERO), Operand::Const(Value::ZERO)),
+            body: Box::new(Stmt::Print(r(0))),
+        };
+        let cfg2 = ThreadConfig::new(vec![f_loop]);
+        let Step::Tau(next2) = cfg2.step(&d()) else { panic!() };
+        assert!(next2.is_done());
+    }
+
+    #[test]
+    fn block_rule_flattens_silently() {
+        let cfg = ThreadConfig::new(vec![Stmt::Block(vec![Stmt::Skip, Stmt::Print(r(0))])]);
+        let Step::Tau(next) = cfg.step(&d()) else { panic!("BLOCK is τ") };
+        assert_eq!(next.code().len(), 2);
+    }
+
+    #[test]
+    fn par_rule_prefixes_every_thread_with_its_start_action() {
+        let p = Program::new(vec![vec![Stmt::Skip], vec![Stmt::Print(r(0))]]);
+        let e = extract_traceset(&p, &d(), &ExtractOptions::default());
+        for (i, _) in p.threads().iter().enumerate() {
+            assert!(e
+                .traceset
+                .contains_actions(&[Action::start(ThreadId::new(i as u32))]));
+        }
+        assert_eq!(e.traceset.threads().len(), 2);
+    }
+}

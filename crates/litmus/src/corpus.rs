@@ -1,0 +1,361 @@
+//! The litmus corpus: every program from the paper plus the classic
+//! shared-memory litmus tests.
+
+use transafety_lang::{parse_program, parse_program_with_symbols, SourceProgram};
+
+/// A named litmus program with its provenance.
+///
+/// # Example
+///
+/// ```
+/// use transafety_litmus::{by_name, corpus};
+/// assert!(corpus().len() >= 20);
+/// let fig2 = by_name("fig2-original").unwrap();
+/// assert_eq!(fig2.paper_ref, Some("Fig. 2"));
+/// assert_eq!(fig2.parse().program.thread_count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Litmus {
+    /// A unique kebab-case name.
+    pub name: &'static str,
+    /// What the test demonstrates.
+    pub description: &'static str,
+    /// The paper figure/section it reproduces, if any.
+    pub paper_ref: Option<&'static str>,
+    /// Concrete syntax (see `transafety-lang`'s parser).
+    pub source: &'static str,
+}
+
+impl Litmus {
+    /// Parses the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not parse — corpus sources are
+    /// validated by the test suite, so this only happens on a corrupted
+    /// build.
+    #[must_use]
+    pub fn parse(&self) -> SourceProgram {
+        parse_program(self.source).unwrap_or_else(|e| {
+            panic!("corpus program {} failed to parse: {e}", self.name)
+        })
+    }
+}
+
+/// The full corpus.
+#[must_use]
+pub fn corpus() -> Vec<Litmus> {
+    vec![
+        // ---- programs from the paper --------------------------------
+        Litmus {
+            name: "intro-original",
+            description: "the §1 request/response example; cannot print 1 under SC",
+            paper_ref: Some("§1"),
+            source: "data := 1;
+                     if (requestReady == 1) { data := 2; responseReady := 1; }
+                     ||
+                     requestReady := 1;
+                     if (responseReady == 1) print data;",
+        },
+        Litmus {
+            name: "intro-constant-propagated",
+            description: "the §1 example after (unsafe under SC) constant propagation of data=1",
+            paper_ref: Some("§1"),
+            source: "data := 1;
+                     if (requestReady == 1) { data := 2; responseReady := 1; }
+                     ||
+                     requestReady := 1;
+                     if (responseReady == 1) print 1;",
+        },
+        Litmus {
+            name: "intro-volatile",
+            description: "the §1 example with volatile flags; data race free (§3)",
+            paper_ref: Some("§1, §3"),
+            source: "volatile requestReady, responseReady;
+                     data := 1;
+                     if (requestReady == 1) { data := 2; responseReady := 1; }
+                     ||
+                     requestReady := 1;
+                     if (responseReady == 1) print data;",
+        },
+        Litmus {
+            name: "fig1-original",
+            description: "elimination example, original: cannot print 1 then 0",
+            paper_ref: Some("Fig. 1"),
+            source: "x := 2; y := 1; x := 1;
+                     ||
+                     r1 := y; print r1; r1 := x; r2 := x; print r2;",
+        },
+        Litmus {
+            name: "fig1-transformed",
+            description: "elimination example, transformed: can print 1 then 0",
+            paper_ref: Some("Fig. 1"),
+            source: "y := 1; x := 1;
+                     ||
+                     r1 := y; print r1; r1 := x; r2 := r1; print r2;",
+        },
+        Litmus {
+            name: "fig2-original",
+            description: "reordering example, original: cannot print 1",
+            paper_ref: Some("Fig. 2"),
+            source: "r2 := x; y := r2; || r1 := y; x := 1; print r1;",
+        },
+        Litmus {
+            name: "fig2-transformed",
+            description: "reordering example, transformed: can print 1",
+            paper_ref: Some("Fig. 2"),
+            source: "r2 := x; y := r2; || x := 1; r1 := y; print r1;",
+        },
+        Litmus {
+            name: "fig3-a",
+            description: "irrelevant-read introduction, original: DRF, cannot print two zeros",
+            paper_ref: Some("Fig. 3(a)"),
+            source: "lock m; x := 1; print y; unlock m;
+                     ||
+                     lock m; y := 1; print x; unlock m;",
+        },
+        Litmus {
+            name: "fig3-b",
+            description: "irrelevant-read introduction, after inserting unused reads",
+            paper_ref: Some("Fig. 3(b)"),
+            source: "r1 := y; lock m; x := 1; print y; unlock m;
+                     ||
+                     r2 := x; lock m; y := 1; print x; unlock m;",
+        },
+        Litmus {
+            name: "fig3-c",
+            description: "irrelevant-read introduction, after reusing the reads: prints two zeros",
+            paper_ref: Some("Fig. 3(c)"),
+            source: "r1 := y; lock m; x := 1; print r1; unlock m;
+                     ||
+                     r2 := x; lock m; y := 1; print r2; unlock m;",
+        },
+        Litmus {
+            name: "fig5-volatile",
+            description: "the §5 unelimination example (v volatile)",
+            paper_ref: Some("Fig. 5"),
+            source: "volatile v; v := 1; y := 1; || r1 := x; r2 := v; print r2;",
+        },
+        Litmus {
+            name: "fig5-transformed",
+            description: "the §5 example after dropping the last release and the irrelevant read",
+            paper_ref: Some("Fig. 5"),
+            source: "volatile v; y := 1; || r2 := v; print r2;",
+        },
+        Litmus {
+            name: "oota",
+            description: "the §5 out-of-thin-air candidate: 42 must never appear",
+            paper_ref: Some("§5"),
+            source: "r2 := y; x := r2; print r2; || r1 := x; y := r1;",
+        },
+        Litmus {
+            name: "section4-worked",
+            description: "the §4 worked elimination example (conditional locked writes)",
+            paper_ref: Some("§4"),
+            source: "x := 1; r1 := y; r2 := x; print r2;
+                     if (r2 != 0) { lock m; x := 2; x := r2; unlock m; }",
+        },
+        // ---- classic litmus tests ------------------------------------
+        Litmus {
+            name: "sb",
+            description: "store buffering: 0,0 forbidden under SC, allowed under TSO",
+            paper_ref: None,
+            source: "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;",
+        },
+        Litmus {
+            name: "sb-volatile",
+            description: "store buffering with volatile (fenced) locations",
+            paper_ref: None,
+            source: "volatile x, y;
+                     x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;",
+        },
+        Litmus {
+            name: "mp",
+            description: "message passing via a racy flag",
+            paper_ref: None,
+            source: "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;",
+        },
+        Litmus {
+            name: "mp-volatile",
+            description: "message passing via a volatile flag; DRF",
+            paper_ref: None,
+            source: "volatile flag;
+                     x := 1; flag := 1;
+                     ||
+                     r1 := flag; if (r1 == 1) { r2 := x; print r2; }",
+        },
+        Litmus {
+            name: "mp-spin",
+            description: "message passing with a volatile spin loop; DRF",
+            paper_ref: None,
+            source: "volatile flag;
+                     x := 1; flag := 1;
+                     ||
+                     while (flag != 1) skip;
+                     r2 := x; print r2;",
+        },
+        Litmus {
+            name: "lb",
+            description: "load buffering: 1,1 forbidden under SC and TSO",
+            paper_ref: None,
+            source: "r1 := x; y := 1; print r1; || r2 := y; x := 1; print r2;",
+        },
+        Litmus {
+            name: "iriw",
+            description: "independent reads of independent writes",
+            paper_ref: None,
+            source: "x := 1; || y := 1;
+                     || r1 := x; r2 := y; print r1; print r2;
+                     || r3 := y; r4 := x; print r3; print r4;",
+        },
+        Litmus {
+            name: "corr",
+            description: "read coherence: two reads of x may not see 1 then 0 after a single write",
+            paper_ref: None,
+            source: "x := 1; || r1 := x; r2 := x; print r1; print r2;",
+        },
+        Litmus {
+            name: "locked-counter",
+            description: "a lock-protected read-modify-write pair; DRF",
+            paper_ref: None,
+            source: "lock m; r1 := c; r1 := 1; c := r1; unlock m;
+                     ||
+                     lock m; r2 := c; print r2; unlock m;",
+        },
+        Litmus {
+            name: "racy-counter",
+            description: "the same counter without locks; racy",
+            paper_ref: None,
+            source: "r1 := c; r1 := 1; c := r1; || r2 := c; print r2;",
+        },
+        Litmus {
+            name: "dekker-core",
+            description: "the core of Dekker's algorithm on volatile flags; DRF",
+            paper_ref: None,
+            source: "volatile a, b;
+                     a := 1; r1 := b; if (r1 == 0) { r2 := z; print r2; }
+                     ||
+                     b := 1; r3 := a; if (r3 == 0) { z := 1; }",
+        },
+        Litmus {
+            name: "redundant-load-pair",
+            description: "a single thread with a redundant load pair (E-RAR fodder)",
+            paper_ref: None,
+            source: "r1 := x; r2 := x; print r2;",
+        },
+        Litmus {
+            name: "store-forward",
+            description: "store-to-load forwarding within one thread (E-RAW fodder)",
+            paper_ref: None,
+            source: "x := 1; r1 := x; print r1; || r9 := x;",
+        },
+        Litmus {
+            name: "overwritten-store",
+            description: "an overwritten store (E-WBW fodder)",
+            paper_ref: None,
+            source: "x := 2; x := 1; || r1 := x; print r1;",
+        },
+        Litmus {
+            name: "sb-locked",
+            description: "store buffering with both sides lock-protected; DRF and SC-only",
+            paper_ref: None,
+            source: "lock m; x := 1; r1 := y; unlock m; print r1;
+                     ||
+                     lock m; y := 1; r2 := x; unlock m; print r2;",
+        },
+        Litmus {
+            name: "wrc",
+            description: "write-to-read causality: y=1 implies x visible under SC and TSO",
+            paper_ref: None,
+            source: "x := 1;
+                     || r1 := x; if (r1 == 1) y := 1;
+                     || r2 := y; r3 := x; print r2; print r3;",
+        },
+        Litmus {
+            name: "mp-two-payloads",
+            description: "message passing of two payloads through one volatile flag; DRF",
+            paper_ref: None,
+            source: "volatile flag;
+                     a := 1; b := 2; flag := 1;
+                     ||
+                     r0 := flag;
+                     if (r0 == 1) { r1 := a; r2 := b; print r1; print r2; }",
+        },
+        Litmus {
+            name: "roach-motel",
+            description: "accesses movable into an adjacent critical section",
+            paper_ref: None,
+            source: "x := r0; lock m; y := 1; unlock m; r1 := z;
+                     ||
+                     lock m; r2 := y; print r2; unlock m;",
+        },
+    ]
+}
+
+/// Finds a corpus entry by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Litmus> {
+    corpus().into_iter().find(|l| l.name == name)
+}
+
+/// Parses an original/transformed corpus pair into a **shared**
+/// namespace, so that the same source identifier denotes the same
+/// location, monitor and register in both programs (required before
+/// comparing tracesets or behaviours across the pair).
+///
+/// # Panics
+///
+/// Panics when either name is missing from the corpus (corpus names are
+/// validated by the test suite).
+///
+/// # Example
+///
+/// ```
+/// use transafety_litmus::parse_pair;
+/// let (orig, tran) = parse_pair("fig2-original", "fig2-transformed");
+/// assert_eq!(orig.symbols.loc("x"), tran.symbols.loc("x"));
+/// ```
+#[must_use]
+pub fn parse_pair(original: &str, transformed: &str) -> (SourceProgram, SourceProgram) {
+    let o = by_name(original)
+        .unwrap_or_else(|| panic!("unknown corpus entry {original}"))
+        .parse();
+    let t_entry = by_name(transformed)
+        .unwrap_or_else(|| panic!("unknown corpus entry {transformed}"));
+    let t = parse_program_with_symbols(t_entry.source, o.symbols.clone())
+        .unwrap_or_else(|e| panic!("corpus program {transformed} failed to parse: {e}"));
+    (o, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_corpus_program_parses() {
+        for l in corpus() {
+            let p = l.parse();
+            assert!(p.program.thread_count() >= 1, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = corpus().iter().map(|l| l.name).collect();
+        let set: BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn paper_programs_are_tagged() {
+        let tagged = corpus().iter().filter(|l| l.paper_ref.is_some()).count();
+        assert!(tagged >= 10, "all paper figures present");
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("sb").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

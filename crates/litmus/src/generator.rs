@@ -1,0 +1,257 @@
+//! A random program generator — the workload generator for the
+//! theorem-scale experiments (E8–E10 in `DESIGN.md`) and the property
+//! tests.
+//!
+//! Generated programs are well formed by construction: locks are
+//! generated as balanced `lock m; …; unlock m` blocks, loops are
+//! excluded by default (so behaviours are finite and the checkers are
+//! exact), and the configuration controls how racy the programs are
+//! (fully lock-disciplined programs are data race free by the §3
+//! argument).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use transafety_lang::{Cond, Operand, Program, Reg, Stmt};
+use transafety_traces::{Loc, Monitor, Value};
+
+/// Configuration for [`random_program`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of threads.
+    pub threads: usize,
+    /// Top-level statements per thread.
+    pub stmts_per_thread: usize,
+    /// Number of distinct shared locations.
+    pub locs: u32,
+    /// Number of distinct *volatile* locations (0 disables them).
+    pub volatile_locs: u32,
+    /// Probability that a generated access targets a volatile location
+    /// (when `volatile_locs > 0`).
+    pub volatile_prob: f64,
+    /// Number of distinct registers per thread.
+    pub regs: u32,
+    /// Number of distinct monitors.
+    pub monitors: u32,
+    /// Values used by constants, in `0..values`.
+    pub values: u32,
+    /// Probability that a generated access is guarded by a lock block.
+    pub lock_block_prob: f64,
+    /// Probability of generating a conditional.
+    pub if_prob: f64,
+    /// When `true`, every shared access is wrapped in a lock block on a
+    /// single global monitor, making the program data race free.
+    pub lock_discipline: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            threads: 2,
+            stmts_per_thread: 4,
+            locs: 2,
+            volatile_locs: 0,
+            volatile_prob: 0.25,
+            regs: 3,
+            monitors: 1,
+            values: 3,
+            lock_block_prob: 0.3,
+            if_prob: 0.2,
+            lock_discipline: false,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A configuration whose programs are data race free by lock
+    /// discipline.
+    #[must_use]
+    pub fn drf() -> Self {
+        GeneratorConfig { lock_discipline: true, ..GeneratorConfig::default() }
+    }
+
+    /// A configuration that mixes volatile (atomic) locations into the
+    /// generated accesses — programs synchronising through volatiles are
+    /// often DRF without locks.
+    #[must_use]
+    pub fn with_volatiles() -> Self {
+        GeneratorConfig { volatile_locs: 1, ..GeneratorConfig::default() }
+    }
+}
+
+/// Generates a random program from a seed. The same seed and
+/// configuration always produce the same program.
+///
+/// # Example
+///
+/// ```
+/// use transafety_litmus::{random_program, GeneratorConfig};
+/// let p = random_program(42, &GeneratorConfig::default());
+/// assert_eq!(p.thread_count(), 2);
+/// assert_eq!(p, random_program(42, &GeneratorConfig::default()));
+/// ```
+#[must_use]
+pub fn random_program(seed: u64, config: &GeneratorConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut threads = Vec::with_capacity(config.threads);
+    for _ in 0..config.threads {
+        let mut body = Vec::new();
+        for _ in 0..config.stmts_per_thread {
+            body.push(gen_stmt(&mut rng, config, 1));
+        }
+        threads.push(body);
+    }
+    Program::new(threads)
+}
+
+fn gen_loc(rng: &mut StdRng, config: &GeneratorConfig) -> Loc {
+    if config.volatile_locs > 0 && rng.gen_bool(config.volatile_prob) {
+        Loc::volatile(rng.gen_range(0..config.volatile_locs))
+    } else {
+        Loc::normal(rng.gen_range(0..config.locs.max(1)))
+    }
+}
+
+fn gen_reg(rng: &mut StdRng, config: &GeneratorConfig) -> Reg {
+    Reg::new(rng.gen_range(0..config.regs.max(1)))
+}
+
+fn gen_value(rng: &mut StdRng, config: &GeneratorConfig) -> Value {
+    Value::new(rng.gen_range(0..config.values.max(1)))
+}
+
+fn gen_access(rng: &mut StdRng, config: &GeneratorConfig) -> Stmt {
+    match rng.gen_range(0..4) {
+        0 => Stmt::Store { loc: gen_loc(rng, config), src: gen_reg(rng, config) },
+        1 => Stmt::Load { dst: gen_reg(rng, config), loc: gen_loc(rng, config) },
+        2 => Stmt::Move {
+            dst: gen_reg(rng, config),
+            src: Operand::Const(gen_value(rng, config)),
+        },
+        _ => Stmt::Print(gen_reg(rng, config)),
+    }
+}
+
+fn wrap_locked(rng: &mut StdRng, config: &GeneratorConfig, inner: Vec<Stmt>) -> Stmt {
+    let m = if config.lock_discipline {
+        Monitor::new(0)
+    } else {
+        Monitor::new(rng.gen_range(0..config.monitors.max(1)))
+    };
+    let mut body = vec![Stmt::Lock(m)];
+    body.extend(inner);
+    body.push(Stmt::Unlock(m));
+    Stmt::Block(body)
+}
+
+fn gen_stmt(rng: &mut StdRng, config: &GeneratorConfig, depth: usize) -> Stmt {
+    // conditionals (bounded nesting)
+    if depth < 3 && rng.gen_bool(config.if_prob) {
+        let cond = if rng.gen_bool(0.5) {
+            Cond::Eq(
+                Operand::Reg(gen_reg(rng, config)),
+                Operand::Const(gen_value(rng, config)),
+            )
+        } else {
+            Cond::Ne(
+                Operand::Reg(gen_reg(rng, config)),
+                Operand::Const(gen_value(rng, config)),
+            )
+        };
+        return Stmt::If {
+            cond,
+            then_branch: Box::new(gen_stmt(rng, config, depth + 1)),
+            else_branch: Box::new(gen_stmt(rng, config, depth + 1)),
+        };
+    }
+    let access = gen_access(rng, config);
+    let must_lock = config.lock_discipline
+        && matches!(access, Stmt::Store { .. } | Stmt::Load { .. });
+    if must_lock || rng.gen_bool(config.lock_block_prob) {
+        let mut inner = vec![access];
+        if rng.gen_bool(0.3) {
+            inner.push(gen_access(rng, config));
+            if config.lock_discipline {
+                // keep every access inside the block locked too — it is.
+            }
+        }
+        wrap_locked(rng, config, inner)
+    } else {
+        access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::{ExploreOptions, ProgramExplorer};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = GeneratorConfig::default();
+        assert_eq!(random_program(7, &c), random_program(7, &c));
+        assert_ne!(random_program(7, &c), random_program(8, &c));
+    }
+
+    #[test]
+    fn lock_discipline_produces_drf_programs() {
+        let c = GeneratorConfig::drf();
+        for seed in 0..30 {
+            let p = random_program(seed, &c);
+            assert!(
+                ProgramExplorer::new(&p).is_data_race_free(&ExploreOptions::default()),
+                "seed {seed} produced a racy program:\n{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_configuration_produces_some_racy_programs() {
+        let c = GeneratorConfig::default();
+        let racy = (0..30)
+            .filter(|&seed| {
+                let p = random_program(seed, &c);
+                !ProgramExplorer::new(&p).is_data_race_free(&ExploreOptions::default())
+            })
+            .count();
+        assert!(racy > 0, "expected some racy programs in 30 seeds");
+    }
+
+    #[test]
+    fn generated_programs_are_explorable() {
+        let c = GeneratorConfig::default();
+        for seed in 0..10 {
+            let p = random_program(seed, &c);
+            let b = ProgramExplorer::new(&p).behaviours(&ExploreOptions::default());
+            assert!(b.complete, "seed {seed} hit exploration bounds");
+        }
+    }
+}
+
+#[cfg(test)]
+mod volatile_tests {
+    use super::*;
+    use transafety_lang::{ExploreOptions, ProgramExplorer};
+
+    #[test]
+    fn volatile_configuration_generates_volatile_accesses() {
+        let c = GeneratorConfig::with_volatiles();
+        let any_volatile = (0..20).any(|seed| {
+            random_program(seed, &c)
+                .shared_locs()
+                .iter()
+                .any(|l| l.is_volatile())
+        });
+        assert!(any_volatile);
+    }
+
+    #[test]
+    fn volatile_programs_remain_explorable() {
+        let c = GeneratorConfig::with_volatiles();
+        for seed in 0..10 {
+            let p = random_program(seed, &c);
+            let b = ProgramExplorer::new(&p).behaviours(&ExploreOptions::default());
+            assert!(b.complete, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The litmus corpus of the reproduction: every program appearing in the
+//! paper (the §1 request/response example, Figures 1–5, the §4 worked
+//! example, the §5 out-of-thin-air candidate), the classic shared-memory
+//! litmus tests (SB, MP, LB, IRIW, CoRR, Dekker), and a deterministic
+//! random-program generator used as a workload source by the theorem
+//! experiments and property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use transafety_litmus::by_name;
+//! use transafety_lang::{ExploreOptions, ProgramExplorer};
+//!
+//! let fig3a = by_name("fig3-a").unwrap().parse();
+//! assert!(ProgramExplorer::new(&fig3a.program)
+//!     .is_data_race_free(&ExploreOptions::default()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod generator;
+
+pub use corpus::{by_name, corpus, parse_pair, Litmus};
+pub use generator::{random_program, GeneratorConfig};

@@ -1,0 +1,37 @@
+//! The syntactic program transformations of §6.1 of the paper: the
+//! Fig. 9 congruence template, the Fig. 10 elimination rules
+//! (E-RAR, E-RAW, E-WAR, E-WBW, E-IR) and the Fig. 11 reordering rules
+//! (R-RR, R-WW, R-WR, R-RW, R-WL, R-RL, R-UW, R-UR, R-XR, R-XW), plus
+//! the deliberately *unsafe* read-introduction of Fig. 3 in a separate
+//! module.
+//!
+//! Lemmas 4 and 5 of the paper relate these rewrites to the semantic
+//! transformations of `transafety-transform`; the checker crate verifies
+//! those correspondences executably on concrete programs.
+//!
+//! # Example
+//!
+//! ```
+//! use transafety_lang::parse_program;
+//! use transafety_syntactic::{reordering_rewrites, RuleName};
+//!
+//! // Fig. 2: r1:=y; x:=r0; print r1  —  the read and write may swap.
+//! let p = parse_program("r1 := y; x := r0; print r1;")?.program;
+//! let rewrites = reordering_rewrites(&p);
+//! assert!(rewrites.iter().any(|r| r.rule == RuleName::RRw));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod rules;
+mod unsafe_rules;
+
+pub use engine::{
+    all_rewrites, elimination_rewrites, reordering_rewrites, rewrites, transform_closure,
+    transform_closure_filtered, Rewrite, RuleSet,
+};
+pub use rules::RuleName;
+pub use unsafe_rules::introduce_irrelevant_read;

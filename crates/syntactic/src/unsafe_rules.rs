@@ -1,0 +1,69 @@
+//! Transformations that are **not** in the paper's safe classes.
+//!
+//! Fig. 3 of the paper demonstrates that *irrelevant read introduction*
+//! — inserting `r := x` whose value is never used — breaks the DRF
+//! guarantee once combined with otherwise-safe redundant read
+//! elimination, even on sequentially consistent hardware. To reproduce
+//! that experiment (E4 in `DESIGN.md`) the unsafe rewrite must be
+//! expressible; it lives in this clearly separated module and is *never*
+//! produced by [`all_rewrites`](crate::all_rewrites).
+
+use transafety_lang::{Program, Reg, Stmt};
+use transafety_traces::Loc;
+
+/// Inserts the irrelevant read `reg := loc` before statement `index` of
+/// thread `thread` (top level). Returns `None` if the indices are out of
+/// range.
+///
+/// This is the Fig. 3 step (a) → (b). It is **unsafe** in general: the
+/// paper shows a data-race-free program whose behaviours grow after this
+/// introduction is combined with safe eliminations.
+///
+/// # Example
+///
+/// ```
+/// use transafety_lang::{parse_program, Reg};
+/// use transafety_syntactic::introduce_irrelevant_read;
+/// let p = parse_program("lock m; x := 1; print y; unlock m;")?.program;
+/// let x = p.shared_locs().into_iter().next().unwrap();
+/// let q = introduce_irrelevant_read(&p, 0, 0, x, Reg::new(99)).unwrap();
+/// assert_eq!(q.thread(0).unwrap().len(), p.thread(0).unwrap().len() + 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn introduce_irrelevant_read(
+    program: &Program,
+    thread: usize,
+    index: usize,
+    loc: Loc,
+    reg: Reg,
+) -> Option<Program> {
+    let body = program.thread(thread)?;
+    if index > body.len() {
+        return None;
+    }
+    let mut threads = program.threads().to_vec();
+    threads[thread].insert(index, Stmt::Load { dst: reg, loc });
+    Some(Program::new(threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::parse_program;
+
+    #[test]
+    fn inserts_at_position() {
+        let p = parse_program("print r0;").unwrap().program;
+        let x = Loc::normal(7);
+        let q = introduce_irrelevant_read(&p, 0, 1, x, Reg::new(5)).unwrap();
+        assert!(matches!(q.thread(0).unwrap()[1], Stmt::Load { .. }));
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let p = parse_program("print r0;").unwrap().program;
+        assert!(introduce_irrelevant_read(&p, 5, 0, Loc::normal(0), Reg::new(0)).is_none());
+        assert!(introduce_irrelevant_read(&p, 0, 9, Loc::normal(0), Reg::new(0)).is_none());
+    }
+}

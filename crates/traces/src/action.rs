@@ -1,0 +1,340 @@
+//! Memory actions (§3 of the paper).
+
+use std::fmt;
+
+use crate::{Loc, Monitor, ThreadId, Value};
+
+/// A memory action of a single thread.
+///
+/// The six action kinds of §3:
+///
+/// * `R[l=v]` — a read from location `l` of value `v`;
+/// * `W[l=v]` — a write of value `v` to location `l`;
+/// * `L[m]` — a lock of monitor `m`;
+/// * `U[m]` — an unlock of monitor `m`;
+/// * `X(v)` — an external (I/O) action with value `v`;
+/// * `S(e)` — a thread-start action with entry point `e`.
+///
+/// The derived classifications of the paper are provided as predicates:
+/// [acquire](Action::is_acquire) (lock or volatile read),
+/// [release](Action::is_release) (unlock or volatile write),
+/// [synchronisation](Action::is_sync) (acquire or release), and
+/// [conflict](Action::conflicts_with) (two accesses to the same
+/// non-volatile location, at least one a write).
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, Value};
+/// let v = Loc::volatile(0);
+/// let read = Action::read(v, Value::ZERO);
+/// let write = Action::write(v, Value::new(1));
+/// assert!(read.is_acquire());
+/// assert!(write.is_release());
+/// // Volatile accesses never conflict (races on volatiles do not count).
+/// assert!(!read.conflicts_with(&write));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// `R[l=v]`: a read from `loc` observing `value`.
+    Read {
+        /// The location read from.
+        loc: Loc,
+        /// The value observed.
+        value: Value,
+    },
+    /// `W[l=v]`: a write of `value` to `loc`.
+    Write {
+        /// The location written to.
+        loc: Loc,
+        /// The value written.
+        value: Value,
+    },
+    /// `L[m]`: a lock of monitor `m`.
+    Lock(Monitor),
+    /// `U[m]`: an unlock of monitor `m`.
+    Unlock(Monitor),
+    /// `X(v)`: an externally observable input/output action.
+    External(Value),
+    /// `S(e)`: a thread start with entry point `e` (always the first action
+    /// of a thread's trace).
+    Start(ThreadId),
+}
+
+impl Action {
+    /// Creates a read action `R[loc=value]`.
+    #[must_use]
+    pub const fn read(loc: Loc, value: Value) -> Self {
+        Action::Read { loc, value }
+    }
+
+    /// Creates a write action `W[loc=value]`.
+    #[must_use]
+    pub const fn write(loc: Loc, value: Value) -> Self {
+        Action::Write { loc, value }
+    }
+
+    /// Creates a lock action `L[m]`.
+    #[must_use]
+    pub const fn lock(m: Monitor) -> Self {
+        Action::Lock(m)
+    }
+
+    /// Creates an unlock action `U[m]`.
+    #[must_use]
+    pub const fn unlock(m: Monitor) -> Self {
+        Action::Unlock(m)
+    }
+
+    /// Creates an external action `X(value)`.
+    #[must_use]
+    pub const fn external(value: Value) -> Self {
+        Action::External(value)
+    }
+
+    /// Creates a thread start action `S(thread)`.
+    #[must_use]
+    pub const fn start(thread: ThreadId) -> Self {
+        Action::Start(thread)
+    }
+
+    /// The location accessed, for reads and writes.
+    #[must_use]
+    pub const fn loc(&self) -> Option<Loc> {
+        match self {
+            Action::Read { loc, .. } | Action::Write { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+
+    /// The value carried by the action, for reads, writes and external
+    /// actions.
+    #[must_use]
+    pub const fn value(&self) -> Option<Value> {
+        match self {
+            Action::Read { value, .. }
+            | Action::Write { value, .. }
+            | Action::External(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The monitor, for lock and unlock actions.
+    #[must_use]
+    pub const fn monitor(&self) -> Option<Monitor> {
+        match self {
+            Action::Lock(m) | Action::Unlock(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for read actions.
+    #[must_use]
+    pub const fn is_read(&self) -> bool {
+        matches!(self, Action::Read { .. })
+    }
+
+    /// Returns `true` for write actions.
+    #[must_use]
+    pub const fn is_write(&self) -> bool {
+        matches!(self, Action::Write { .. })
+    }
+
+    /// Returns `true` for memory accesses (reads and writes).
+    #[must_use]
+    pub const fn is_access(&self) -> bool {
+        self.is_read() || self.is_write()
+    }
+
+    /// Returns `true` for memory accesses to the given location.
+    #[must_use]
+    pub fn is_access_to(&self, l: Loc) -> bool {
+        self.loc() == Some(l)
+    }
+
+    /// Returns `true` for *normal* memory accesses: accesses to a
+    /// non-volatile location.
+    #[must_use]
+    pub fn is_normal_access(&self) -> bool {
+        matches!(self.loc(), Some(l) if !l.is_volatile())
+    }
+
+    /// Returns `true` for volatile memory accesses.
+    #[must_use]
+    pub fn is_volatile_access(&self) -> bool {
+        matches!(self.loc(), Some(l) if l.is_volatile())
+    }
+
+    /// Returns `true` for acquire actions: a lock or a volatile read.
+    #[must_use]
+    pub fn is_acquire(&self) -> bool {
+        match self {
+            Action::Lock(_) => true,
+            Action::Read { loc, .. } => loc.is_volatile(),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for release actions: an unlock or a volatile write.
+    #[must_use]
+    pub fn is_release(&self) -> bool {
+        match self {
+            Action::Unlock(_) => true,
+            Action::Write { loc, .. } => loc.is_volatile(),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for synchronisation actions (acquire or release).
+    #[must_use]
+    pub fn is_sync(&self) -> bool {
+        self.is_acquire() || self.is_release()
+    }
+
+    /// Returns `true` for external actions.
+    #[must_use]
+    pub const fn is_external(&self) -> bool {
+        matches!(self, Action::External(_))
+    }
+
+    /// Returns `true` for thread start actions.
+    #[must_use]
+    pub const fn is_start(&self) -> bool {
+        matches!(self, Action::Start(_))
+    }
+
+    /// Two actions *conflict* if they access the same non-volatile location
+    /// and at least one of them is a write (§3, "Data Race Freedom").
+    #[must_use]
+    pub fn conflicts_with(&self, other: &Action) -> bool {
+        match (self.loc(), other.loc()) {
+            (Some(a), Some(b)) => {
+                a == b && !a.is_volatile() && (self.is_write() || other.is_write())
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if `self`, `other` form a *release–acquire pair*: an
+    /// unlock followed by a lock of the same monitor, or a volatile write
+    /// followed by a volatile read of the same location (§3,
+    /// "Orders on Actions").
+    #[must_use]
+    pub fn is_release_acquire_pair(&self, other: &Action) -> bool {
+        match (self, other) {
+            (Action::Unlock(m1), Action::Lock(m2)) => m1 == m2,
+            (Action::Write { loc: l1, .. }, Action::Read { loc: l2, .. }) => {
+                l1 == l2 && l1.is_volatile()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Read { loc, value } => write!(f, "R[{loc}={value}]"),
+            Action::Write { loc, value } => write!(f, "W[{loc}={value}]"),
+            Action::Lock(m) => write!(f, "L[{m}]"),
+            Action::Unlock(m) => write!(f, "U[{m}]"),
+            Action::External(v) => write!(f, "X({v})"),
+            Action::Start(t) => write!(f, "S({})", t.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn v() -> Loc {
+        Loc::volatile(1)
+    }
+
+    #[test]
+    fn classification_of_normal_accesses() {
+        let r = Action::read(x(), Value::ZERO);
+        let w = Action::write(x(), Value::new(1));
+        assert!(r.is_read() && r.is_access() && r.is_normal_access());
+        assert!(w.is_write() && w.is_access() && w.is_normal_access());
+        assert!(!r.is_acquire() && !r.is_release() && !r.is_sync());
+        assert!(!w.is_acquire() && !w.is_release() && !w.is_sync());
+    }
+
+    #[test]
+    fn volatile_reads_acquire_and_writes_release() {
+        let r = Action::read(v(), Value::ZERO);
+        let w = Action::write(v(), Value::ZERO);
+        assert!(r.is_acquire() && !r.is_release() && r.is_sync());
+        assert!(w.is_release() && !w.is_acquire() && w.is_sync());
+        assert!(r.is_volatile_access() && !r.is_normal_access());
+    }
+
+    #[test]
+    fn locks_acquire_unlocks_release() {
+        let m = Monitor::new(0);
+        assert!(Action::lock(m).is_acquire());
+        assert!(Action::unlock(m).is_release());
+        assert!(!Action::lock(m).is_access());
+    }
+
+    #[test]
+    fn conflicts_require_same_normal_location_and_a_write() {
+        let r = Action::read(x(), Value::ZERO);
+        let w = Action::write(x(), Value::new(1));
+        let w2 = Action::write(Loc::normal(9), Value::new(1));
+        assert!(r.conflicts_with(&w));
+        assert!(w.conflicts_with(&r));
+        assert!(w.conflicts_with(&w));
+        assert!(!r.conflicts_with(&r), "two reads never conflict");
+        assert!(!w.conflicts_with(&w2), "different locations");
+        // volatile accesses never conflict
+        let vr = Action::read(v(), Value::ZERO);
+        let vw = Action::write(v(), Value::ZERO);
+        assert!(!vr.conflicts_with(&vw));
+        assert!(!vw.conflicts_with(&vw));
+    }
+
+    #[test]
+    fn release_acquire_pairs() {
+        let m = Monitor::new(3);
+        assert!(Action::unlock(m).is_release_acquire_pair(&Action::lock(m)));
+        assert!(!Action::lock(m).is_release_acquire_pair(&Action::unlock(m)));
+        assert!(!Action::unlock(m).is_release_acquire_pair(&Action::lock(Monitor::new(4))));
+        let vw = Action::write(v(), Value::new(1));
+        let vr = Action::read(v(), Value::new(1));
+        assert!(vw.is_release_acquire_pair(&vr));
+        // value mismatch is irrelevant: the pair is by location
+        let vr0 = Action::read(v(), Value::ZERO);
+        assert!(vw.is_release_acquire_pair(&vr0));
+        // normal accesses never pair
+        let nw = Action::write(x(), Value::new(1));
+        let nr = Action::read(x(), Value::new(1));
+        assert!(!nw.is_release_acquire_pair(&nr));
+    }
+
+    #[test]
+    fn accessors() {
+        let a = Action::read(x(), Value::new(2));
+        assert_eq!(a.loc(), Some(x()));
+        assert_eq!(a.value(), Some(Value::new(2)));
+        assert_eq!(a.monitor(), None);
+        assert_eq!(Action::lock(Monitor::new(1)).monitor(), Some(Monitor::new(1)));
+        assert_eq!(Action::external(Value::new(5)).value(), Some(Value::new(5)));
+        assert_eq!(Action::start(ThreadId::new(0)).value(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Action::read(x(), Value::new(1)).to_string(), "R[l0=1]");
+        assert_eq!(Action::write(v(), Value::ZERO).to_string(), "W[v1=0]");
+        assert_eq!(Action::lock(Monitor::new(0)).to_string(), "L[m0]");
+        assert_eq!(Action::unlock(Monitor::new(0)).to_string(), "U[m0]");
+        assert_eq!(Action::external(Value::new(1)).to_string(), "X(1)");
+        assert_eq!(Action::start(ThreadId::new(1)).to_string(), "S(1)");
+    }
+}

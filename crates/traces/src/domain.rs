@@ -1,0 +1,128 @@
+//! Finite value domains for bounded exploration.
+
+use crate::Value;
+
+/// A finite, deduplicated, sorted set of values.
+///
+/// The paper's READ rule (`v ∈ t(x)`, Fig. 7) lets a thread-local read
+/// observe *any* value of the location's type, which makes tracesets
+/// infinite for unbounded types. This reproduction works with finite
+/// domains: traceset extraction, wildcard-trace instantiation and the
+/// `belongs-to` check are all parameterised by a [`Domain`].
+///
+/// All paper examples only mention values `{0, 1, 2}`, so small domains
+/// suffice to reproduce every figure; `DESIGN.md` §5 discusses why this
+/// bounding is a behaviour-preserving substitution.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Domain, Value};
+/// let d = Domain::zero_to(2);
+/// assert_eq!(d.len(), 3);
+/// assert!(d.contains(Value::new(2)));
+/// assert!(!d.contains(Value::new(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Domain {
+    values: Vec<Value>,
+}
+
+impl Domain {
+    /// Creates the domain `{0, 1, ..., max}`.
+    #[must_use]
+    pub fn zero_to(max: u32) -> Self {
+        Domain { values: (0..=max).map(Value::new).collect() }
+    }
+
+    /// Creates a domain from arbitrary values; duplicates are removed and
+    /// the zero (default) value is always included, since every location is
+    /// zero-initialised.
+    #[must_use]
+    pub fn from_values<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        let mut v: Vec<Value> = values.into_iter().collect();
+        v.push(Value::ZERO);
+        v.sort_unstable();
+        v.dedup();
+        Domain { values: v }
+    }
+
+    /// The values of the domain in increasing order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values in the domain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the domain is empty (it never is for domains built
+    /// by the provided constructors, which always include zero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, v: Value) -> bool {
+        self.values.binary_search(&v).is_ok()
+    }
+
+    /// Iterates over the values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+impl Default for Domain {
+    /// The default domain is `{0, 1, 2}`, enough for every example in the
+    /// paper.
+    fn default() -> Self {
+        Domain::zero_to(2)
+    }
+}
+
+impl FromIterator<Value> for Domain {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Domain::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_to_builds_inclusive_range() {
+        let d = Domain::zero_to(3);
+        assert_eq!(
+            d.values(),
+            &[Value::new(0), Value::new(1), Value::new(2), Value::new(3)]
+        );
+    }
+
+    #[test]
+    fn from_values_dedups_sorts_and_adds_zero() {
+        let d = Domain::from_values([Value::new(5), Value::new(1), Value::new(5)]);
+        assert_eq!(d.values(), &[Value::new(0), Value::new(1), Value::new(5)]);
+    }
+
+    #[test]
+    fn default_domain_covers_paper_examples() {
+        let d = Domain::default();
+        assert!(d.contains(Value::ZERO));
+        assert!(d.contains(Value::new(1)));
+        assert!(d.contains(Value::new(2)));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn collect_into_domain() {
+        let d: Domain = [Value::new(2), Value::new(4)].into_iter().collect();
+        assert!(d.contains(Value::ZERO) && d.contains(Value::new(4)));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for trace construction and traceset insertion.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Monitor;
+
+/// An error raised when a trace violates the well-formedness conditions
+/// that §3 of the paper imposes on traceset members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A non-empty trace whose first action is not a thread start action
+    /// ("all traces in a traceset must be properly started").
+    NotProperlyStarted,
+    /// A start action occurring after the first position of a trace.
+    StartNotFirst {
+        /// The offending index within the trace.
+        index: usize,
+    },
+    /// A prefix of the trace unlocks monitor `monitor` more times than it
+    /// locks it ("tracesets are well locked").
+    NotWellLocked {
+        /// The monitor whose lock/unlock balance went negative.
+        monitor: Monitor,
+        /// The index of the offending unlock action.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NotProperlyStarted => {
+                write!(f, "non-empty trace does not begin with a start action")
+            }
+            TraceError::StartNotFirst { index } => {
+                write!(f, "start action at non-initial index {index}")
+            }
+            TraceError::NotWellLocked { monitor, index } => write!(
+                f,
+                "unlock of {monitor} at index {index} exceeds the number of prior locks"
+            ),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TraceError::NotWellLocked { monitor: Monitor::new(1), index: 4 };
+        assert!(e.to_string().contains("m1"));
+        assert!(e.to_string().contains('4'));
+        assert!(!TraceError::NotProperlyStarted.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(TraceError::NotProperlyStarted);
+    }
+}

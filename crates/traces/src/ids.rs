@@ -1,0 +1,158 @@
+//! Identifiers: shared-memory locations, monitors and threads.
+
+use std::fmt;
+
+/// A shared-memory location.
+///
+/// Following §2 of the paper, the set of volatile locations is a static
+/// property of a program; we bake the volatility into the location
+/// identity so that actions are self-describing. Two locations with the
+/// same index but different volatility are *distinct* locations — language
+/// front-ends (see `transafety-lang`) keep a symbol table so each variable
+/// maps to a single consistent [`Loc`].
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::Loc;
+/// let x = Loc::normal(0);
+/// let v = Loc::volatile(1);
+/// assert!(!x.is_volatile());
+/// assert!(v.is_volatile());
+/// assert_ne!(Loc::normal(2), Loc::volatile(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    index: u32,
+    volatile: bool,
+}
+
+impl Loc {
+    /// Creates a normal (non-volatile) location.
+    #[must_use]
+    pub const fn normal(index: u32) -> Self {
+        Loc { index, volatile: false }
+    }
+
+    /// Creates a volatile location (an *atomic* in C++0x terminology).
+    ///
+    /// Data races on volatile locations do not count as data races for the
+    /// DRF guarantee; volatile reads are acquire actions and volatile
+    /// writes are release actions.
+    #[must_use]
+    pub const fn volatile(index: u32) -> Self {
+        Loc { index, volatile: true }
+    }
+
+    /// Returns the numeric index of this location.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Returns `true` if the location is volatile.
+    #[must_use]
+    pub const fn is_volatile(self) -> bool {
+        self.volatile
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.volatile {
+            write!(f, "v{}", self.index)
+        } else {
+            write!(f, "l{}", self.index)
+        }
+    }
+}
+
+/// A monitor (lock) name, as used by `lock m` / `unlock m`.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::Monitor;
+/// assert_eq!(Monitor::new(0).to_string(), "m0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Monitor(u32);
+
+impl Monitor {
+    /// Creates a monitor with the given index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Monitor(index)
+    }
+
+    /// Returns the numeric index of this monitor.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A thread identifier, which the paper also uses as a thread entry point
+/// (threads are created statically; see §3 "Actions, Traces and
+/// Interleavings").
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::ThreadId;
+/// assert_eq!(ThreadId::new(1).index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread identifier.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the numeric index of this thread.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatility_distinguishes_locations() {
+        assert_ne!(Loc::normal(0), Loc::volatile(0));
+        assert_eq!(Loc::normal(0), Loc::normal(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Loc::normal(3).to_string(), "l3");
+        assert_eq!(Loc::volatile(3).to_string(), "v3");
+        assert_eq!(Monitor::new(2).to_string(), "m2");
+        assert_eq!(ThreadId::new(1).to_string(), "t1");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut locs = vec![Loc::volatile(1), Loc::normal(2), Loc::normal(1)];
+        locs.sort();
+        assert_eq!(locs[0], Loc::normal(1));
+    }
+}

@@ -1,0 +1,264 @@
+//! Matchings: partial injective index maps between traces or interleavings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A *matching* between two sequences (§3 of the paper): a partial
+/// injective function `f` from indices of one sequence to indices of
+/// another such that matched elements are equal (the equality itself is
+/// checked by the users of this type, e.g. the elimination and reordering
+/// searches, because for wildcard traces "equal" means "instantiates").
+///
+/// A matching is *complete* if its domain covers all indices of the source
+/// sequence of length `n` (see [`Matching::is_complete`]).
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::Matching;
+/// let mut m = Matching::new();
+/// m.insert(0, 0).unwrap();
+/// m.insert(1, 2).unwrap();
+/// assert_eq!(m.get(1), Some(2));
+/// assert!(m.is_complete(2));
+/// assert!(!m.is_complete(3));
+/// // injectivity is enforced:
+/// assert!(m.insert(2, 2).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    forward: BTreeMap<usize, usize>,
+    backward: BTreeMap<usize, usize>,
+}
+
+/// Error returned by [`Matching::insert`] when injectivity or
+/// functionality would be violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingConflict {
+    /// The source index of the rejected pair.
+    pub from: usize,
+    /// The target index of the rejected pair.
+    pub to: usize,
+}
+
+impl fmt::Display for MatchingConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pair {} -> {} conflicts with an existing mapping", self.from, self.to)
+    }
+}
+
+impl std::error::Error for MatchingConflict {}
+
+impl Matching {
+    /// Creates an empty matching.
+    #[must_use]
+    pub fn new() -> Self {
+        Matching::default()
+    }
+
+    /// Creates a matching from `(from, to)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchingConflict`] if the pairs do not describe a partial
+    /// injective function.
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(
+        pairs: I,
+    ) -> Result<Self, MatchingConflict> {
+        let mut m = Matching::new();
+        for (a, b) in pairs {
+            m.insert(a, b)?;
+        }
+        Ok(m)
+    }
+
+    /// The identity matching on `{0, ..., n-1}`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matching::new();
+        for i in 0..n {
+            m.insert(i, i).expect("identity is injective");
+        }
+        m
+    }
+
+    /// Adds the pair `from -> to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchingConflict`] if `from` is already mapped to a
+    /// different index or another index is already mapped to `to`.
+    pub fn insert(&mut self, from: usize, to: usize) -> Result<(), MatchingConflict> {
+        match (self.forward.get(&from), self.backward.get(&to)) {
+            (Some(&t), _) if t != to => Err(MatchingConflict { from, to }),
+            (_, Some(&s)) if s != from => Err(MatchingConflict { from, to }),
+            _ => {
+                self.forward.insert(from, to);
+                self.backward.insert(to, from);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes the pair with source `from`, if present.
+    pub fn remove(&mut self, from: usize) {
+        if let Some(to) = self.forward.remove(&from) {
+            self.backward.remove(&to);
+        }
+    }
+
+    /// Looks up `f(from)`.
+    #[must_use]
+    pub fn get(&self, from: usize) -> Option<usize> {
+        self.forward.get(&from).copied()
+    }
+
+    /// Looks up `f⁻¹(to)`.
+    #[must_use]
+    pub fn get_inverse(&self, to: usize) -> Option<usize> {
+        self.backward.get(&to).copied()
+    }
+
+    /// The number of matched pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Returns `true` if no pairs are matched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Is the matching complete for a source of length `n`, i.e. is
+    /// `dom(f) = {0, ..., n-1}`?
+    #[must_use]
+    pub fn is_complete(&self, n: usize) -> bool {
+        self.forward.len() == n && self.forward.keys().all(|&k| k < n)
+    }
+
+    /// Iterates over the `(from, to)` pairs in increasing `from` order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.forward.iter().map(|(&a, &b)| (a, b))
+    }
+
+    /// The set of target indices (the range of the matching), sorted.
+    #[must_use]
+    pub fn range(&self) -> Vec<usize> {
+        self.backward.keys().copied().collect()
+    }
+
+    /// Is the matching order-preserving (monotone) on its domain?
+    #[must_use]
+    pub fn is_monotone(&self) -> bool {
+        let mut prev: Option<usize> = None;
+        for (_, to) in self.iter() {
+            if let Some(p) = prev {
+                if to <= p {
+                    return false;
+                }
+            }
+            prev = Some(to);
+        }
+        true
+    }
+
+    /// Composes two matchings: `(g ∘ f)(i) = g(f(i))`, defined where both
+    /// are defined.
+    #[must_use]
+    pub fn compose(&self, g: &Matching) -> Matching {
+        let mut out = Matching::new();
+        for (a, b) in self.iter() {
+            if let Some(c) = g.get(b) {
+                out.insert(a, c).expect("composition of injections is injective");
+            }
+        }
+        out
+    }
+
+    /// The inverse matching.
+    #[must_use]
+    pub fn inverse(&self) -> Matching {
+        Matching {
+            forward: self.backward.clone(),
+            backward: self.forward.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Matching {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}↦{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_enforces_injectivity() {
+        let mut m = Matching::new();
+        m.insert(0, 5).unwrap();
+        assert_eq!(m.insert(1, 5), Err(MatchingConflict { from: 1, to: 5 }));
+        assert_eq!(m.insert(0, 6), Err(MatchingConflict { from: 0, to: 6 }));
+        // re-inserting the same pair is fine
+        m.insert(0, 5).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn identity_and_completeness() {
+        let m = Matching::identity(3);
+        assert!(m.is_complete(3));
+        assert!(!m.is_complete(4));
+        assert!(m.is_monotone());
+        assert_eq!(m.get(2), Some(2));
+    }
+
+    #[test]
+    fn inverse_and_compose() {
+        let m = Matching::from_pairs([(0, 2), (1, 0)]).unwrap();
+        let inv = m.inverse();
+        assert_eq!(inv.get(2), Some(0));
+        assert_eq!(inv.get(0), Some(1));
+        let id = m.compose(&inv);
+        assert_eq!(id.get(0), Some(0));
+        assert_eq!(id.get(1), Some(1));
+    }
+
+    #[test]
+    fn monotonicity_detects_swaps() {
+        let m = Matching::from_pairs([(0, 1), (1, 0)]).unwrap();
+        assert!(!m.is_monotone());
+    }
+
+    #[test]
+    fn remove_clears_both_directions() {
+        let mut m = Matching::from_pairs([(0, 3)]).unwrap();
+        m.remove(0);
+        assert!(m.is_empty());
+        m.insert(7, 3).unwrap();
+        assert_eq!(m.get_inverse(3), Some(7));
+    }
+
+    #[test]
+    fn range_is_sorted() {
+        let m = Matching::from_pairs([(0, 9), (1, 2), (2, 5)]).unwrap();
+        assert_eq!(m.range(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn display_shows_pairs() {
+        let m = Matching::from_pairs([(0, 0), (1, 2)]).unwrap();
+        assert_eq!(m.to_string(), "{0↦0, 1↦2}");
+    }
+}

@@ -1,0 +1,506 @@
+//! Traces: finite sequences of memory actions of a single thread.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+use crate::{Action, Loc, Monitor, ThreadId, TraceError, Value};
+
+/// A trace: a finite sequence of [`Action`]s performed by one thread
+/// (§3 of the paper).
+///
+/// `Trace` provides the sequence notation of §3 as methods:
+/// concatenation ([`concat`](Trace::concat)), prefix tests
+/// ([`is_prefix_of`](Trace::is_prefix_of)), the filter
+/// `[a ∈ t. P(a)]` ([`filtered`](Trace::filtered)), the sublist
+/// `t|S` ([`restrict`](Trace::restrict)) and `ldom(t)`
+/// ([`indices`](Trace::indices)).
+///
+/// The §3 well-formedness conditions on traceset members are exposed as
+/// [`validate`](Trace::validate): non-empty traces must begin with a start
+/// action (and contain no other starts) and no prefix may unlock a monitor
+/// more often than it locked it.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, ThreadId, Trace, Value};
+/// let y = Loc::normal(1);
+/// let t = Trace::from_actions([
+///     Action::start(ThreadId::new(1)),
+///     Action::read(y, Value::new(1)),
+///     Action::external(Value::new(1)),
+/// ]);
+/// assert!(t.validate().is_ok());
+/// assert_eq!(t.behaviour(), vec![Value::new(1)]);
+/// assert_eq!(t.to_string(), "[S(1), R[l1=1], X(1)]");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Trace {
+    actions: Vec<Action>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace { actions: Vec::new() }
+    }
+
+    /// Creates a trace from a sequence of actions.
+    #[must_use]
+    pub fn from_actions<I: IntoIterator<Item = Action>>(actions: I) -> Self {
+        Trace { actions: actions.into_iter().collect() }
+    }
+
+    /// The actions of the trace as a slice.
+    #[must_use]
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// The length `|t|` of the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` for the empty trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Returns the action at `i`, if in range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&Action> {
+        self.actions.get(i)
+    }
+
+    /// Iterates over the actions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Action> {
+        self.actions.iter()
+    }
+
+    /// The list `ldom(t) = [0, ..., |t|-1]` of indices, in increasing order.
+    #[must_use]
+    pub fn indices(&self) -> Vec<usize> {
+        (0..self.len()).collect()
+    }
+
+    /// Appends an action to the end of the trace.
+    pub fn push(&mut self, a: Action) {
+        self.actions.push(a);
+    }
+
+    /// Removes and returns the last action, if any.
+    pub fn pop(&mut self) -> Option<Action> {
+        self.actions.pop()
+    }
+
+    /// Concatenation `t + t'`.
+    #[must_use]
+    pub fn concat(&self, other: &Trace) -> Trace {
+        let mut actions = self.actions.clone();
+        actions.extend_from_slice(&other.actions);
+        Trace { actions }
+    }
+
+    /// The prefix of length `n` (the whole trace if `n >= |t|`).
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Trace {
+        Trace { actions: self.actions[..n.min(self.len())].to_vec() }
+    }
+
+    /// Prefix order `t ⊑ t'`: `self` is a prefix of `other`.
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &Trace) -> bool {
+        other.actions.len() >= self.actions.len()
+            && other.actions[..self.actions.len()] == self.actions[..]
+    }
+
+    /// Strict prefix `t ⊏ t'`.
+    #[must_use]
+    pub fn is_strict_prefix_of(&self, other: &Trace) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// The filter `[a ∈ t. P(a)]`: the sub-trace of actions satisfying `p`.
+    #[must_use]
+    pub fn filtered<P: FnMut(&Action) -> bool>(&self, mut p: P) -> Trace {
+        Trace { actions: self.actions.iter().filter(|a| p(a)).copied().collect() }
+    }
+
+    /// The map-filter `[f(a) | a ∈ t. P(a)]` of §3.
+    #[must_use]
+    pub fn map_filtered<P, F, T>(&self, mut p: P, mut f: F) -> Vec<T>
+    where
+        P: FnMut(&Action) -> bool,
+        F: FnMut(&Action) -> T,
+    {
+        self.actions.iter().filter(|a| p(a)).map(|a| f(a)).collect()
+    }
+
+    /// The sublist `t|S`: the actions at the indices in `s`, in increasing
+    /// index order. Indices outside `dom(t)` are ignored.
+    #[must_use]
+    pub fn restrict<I: IntoIterator<Item = usize>>(&self, s: I) -> Trace {
+        let mut idx: Vec<usize> = s.into_iter().filter(|&i| i < self.len()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        Trace { actions: idx.into_iter().map(|i| self.actions[i]).collect() }
+    }
+
+    /// Checks the §3 well-formedness conditions for traceset membership.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::NotProperlyStarted`] if the trace is non-empty and
+    ///   does not begin with a start action;
+    /// * [`TraceError::StartNotFirst`] if a start action appears at a
+    ///   later position;
+    /// * [`TraceError::NotWellLocked`] if some prefix unlocks a monitor
+    ///   more often than it locks it.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if let Some(first) = self.actions.first() {
+            if !first.is_start() {
+                return Err(TraceError::NotProperlyStarted);
+            }
+        }
+        let mut depth: BTreeMap<Monitor, i64> = BTreeMap::new();
+        for (i, a) in self.actions.iter().enumerate() {
+            match a {
+                Action::Start(_) if i > 0 => {
+                    return Err(TraceError::StartNotFirst { index: i })
+                }
+                Action::Lock(m) => *depth.entry(*m).or_insert(0) += 1,
+                Action::Unlock(m) => {
+                    let d = depth.entry(*m).or_insert(0);
+                    *d -= 1;
+                    if *d < 0 {
+                        return Err(TraceError::NotWellLocked { monitor: *m, index: i });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The thread this trace belongs to, read off its start action.
+    #[must_use]
+    pub fn thread(&self) -> Option<ThreadId> {
+        match self.actions.first() {
+            Some(Action::Start(t)) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The *behaviour* of the trace: the values of its external actions, in
+    /// order (§1/§5 observe behaviours as sequences of external actions).
+    #[must_use]
+    pub fn behaviour(&self) -> Vec<Value> {
+        self.map_filtered(Action::is_external, |a| a.value().expect("external carries value"))
+    }
+
+    /// Returns `true` if there is a release–acquire pair strictly between
+    /// indices `lo` and `hi`: indices `r`, `a` with `lo < r < a < hi`,
+    /// `t_r` a release and `t_a` an acquire (Definition 1 of the paper).
+    #[must_use]
+    pub fn has_release_acquire_pair_between(&self, lo: usize, hi: usize) -> bool {
+        let hi = hi.min(self.len());
+        let Some(first_release) = (lo + 1..hi).find(|&r| self.actions[r].is_release()) else {
+            return false;
+        };
+        (first_release + 1..hi).any(|a| self.actions[a].is_acquire())
+    }
+
+    /// Returns `true` if any action strictly between `lo` and `hi` is a
+    /// write to `l`.
+    #[must_use]
+    pub fn has_write_to_between(&self, l: Loc, lo: usize, hi: usize) -> bool {
+        let hi = hi.min(self.len());
+        (lo + 1..hi).any(|i| self.actions[i].is_write() && self.actions[i].loc() == Some(l))
+    }
+
+    /// Returns `true` if any action strictly between `lo` and `hi` is a
+    /// memory access to `l`.
+    #[must_use]
+    pub fn has_access_to_between(&self, l: Loc, lo: usize, hi: usize) -> bool {
+        let hi = hi.min(self.len());
+        (lo + 1..hi).any(|i| self.actions[i].is_access_to(l))
+    }
+
+    /// Is this trace an *origin* for value `v`? (§5, out-of-thin-air.)
+    ///
+    /// A trace `t` is an origin for `v` if some `t_i` is a write of `v` or
+    /// an external action with value `v` and no earlier `t_j` is a read of
+    /// `v`.
+    #[must_use]
+    pub fn is_origin_for(&self, v: Value) -> bool {
+        for a in &self.actions {
+            match a {
+                Action::Read { value, .. } if *value == v => return false,
+                Action::Write { value, .. } | Action::External(value) if *value == v => {
+                    return true
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Action;
+
+    fn index(&self, i: usize) -> &Action {
+        &self.actions[i]
+    }
+}
+
+impl FromIterator<Action> for Trace {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        Trace::from_actions(iter)
+    }
+}
+
+impl Extend<Action> for Trace {
+    fn extend<I: IntoIterator<Item = Action>>(&mut self, iter: I) {
+        self.actions.extend(iter);
+    }
+}
+
+impl From<Vec<Action>> for Trace {
+    fn from(actions: Vec<Action>) -> Self {
+        Trace { actions }
+    }
+}
+
+impl From<Trace> for Vec<Action> {
+    fn from(t: Trace) -> Self {
+        t.actions
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Action;
+    type IntoIter = std::slice::Iter<'a, Action>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Action;
+    type IntoIter = std::vec::IntoIter<Action>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Loc, Monitor, ThreadId};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn val(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    fn sample() -> Trace {
+        Trace::from_actions([
+            Action::start(tid(1)),
+            Action::read(y(), val(1)),
+            Action::external(val(1)),
+            Action::read(x(), val(0)),
+            Action::external(val(0)),
+        ])
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let t = sample();
+        let p = t.prefix(2);
+        assert!(p.is_prefix_of(&t));
+        assert!(p.is_strict_prefix_of(&t));
+        assert!(t.is_prefix_of(&t));
+        assert!(!t.is_strict_prefix_of(&t));
+        assert!(!t.is_prefix_of(&p));
+        assert!(Trace::new().is_prefix_of(&t));
+    }
+
+    #[test]
+    fn restrict_matches_paper_example() {
+        // [a,b,c,d]|{1,3} = [b,d]
+        let a = Action::start(tid(0));
+        let b = Action::read(x(), val(0));
+        let c = Action::write(y(), val(1));
+        let d = Action::external(val(2));
+        let t = Trace::from_actions([a, b, c, d]);
+        assert_eq!(t.restrict([1, 3]), Trace::from_actions([b, d]));
+        // out-of-range and duplicate indices are ignored
+        assert_eq!(t.restrict([3, 1, 3, 99]), Trace::from_actions([b, d]));
+    }
+
+    #[test]
+    fn filters_and_behaviour() {
+        let t = sample();
+        assert_eq!(t.filtered(Action::is_external).len(), 2);
+        assert_eq!(t.behaviour(), vec![val(1), val(0)]);
+        let locs = t.map_filtered(Action::is_read, |a| a.loc().unwrap());
+        assert_eq!(locs, vec![y(), x()]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(sample().validate().is_ok());
+        assert!(Trace::new().validate().is_ok());
+        let m = Monitor::new(0);
+        let t = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::lock(m),
+            Action::lock(m),
+            Action::unlock(m),
+            Action::unlock(m),
+        ]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unstarted() {
+        let t = Trace::from_actions([Action::read(x(), val(0))]);
+        assert_eq!(t.validate(), Err(TraceError::NotProperlyStarted));
+    }
+
+    #[test]
+    fn validate_rejects_mid_trace_start() {
+        let t = Trace::from_actions([Action::start(tid(0)), Action::start(tid(1))]);
+        assert_eq!(t.validate(), Err(TraceError::StartNotFirst { index: 1 }));
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_unlock() {
+        let m = Monitor::new(2);
+        let t = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::lock(m),
+            Action::unlock(m),
+            Action::unlock(m),
+        ]);
+        assert_eq!(t.validate(), Err(TraceError::NotWellLocked { monitor: m, index: 3 }));
+    }
+
+    #[test]
+    fn release_acquire_pair_between_strict_bounds() {
+        let m = Monitor::new(0);
+        let t = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::write(x(), val(1)),
+            Action::unlock(m),
+            Action::lock(m),
+            Action::read(x(), val(1)),
+            Action::read(x(), val(1)),
+        ]);
+        // r=2 (release), a=3 (acquire) with 1 < 2 < 3 < 5
+        assert!(t.has_release_acquire_pair_between(1, 5));
+        assert!(t.has_release_acquire_pair_between(1, 4));
+        // no pair strictly inside (2, 4): only the acquire at 3
+        assert!(!t.has_release_acquire_pair_between(2, 4));
+        // a release with no later acquire inside the window is not a pair
+        assert!(!t.has_release_acquire_pair_between(1, 3));
+    }
+
+    #[test]
+    fn acquire_before_release_is_not_a_pair() {
+        let m = Monitor::new(0);
+        let t = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::lock(m),
+            Action::unlock(m),
+            Action::read(x(), val(0)),
+        ]);
+        // between 0 and 3: L at 1 (acquire), U at 2 (release): release must
+        // come first for a pair, so there is none.
+        assert!(!t.has_release_acquire_pair_between(0, 3));
+    }
+
+    #[test]
+    fn intervening_write_and_access_scans() {
+        let t = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::read(x(), val(0)),
+            Action::write(x(), val(1)),
+            Action::read(x(), val(1)),
+        ]);
+        assert!(t.has_write_to_between(x(), 1, 3));
+        assert!(!t.has_write_to_between(y(), 1, 3));
+        assert!(t.has_access_to_between(x(), 1, 3));
+        assert!(!t.has_access_to_between(x(), 2, 3), "strictly between");
+    }
+
+    #[test]
+    fn origin_detection() {
+        // write of 42 with no preceding read of 42: origin
+        let t = Trace::from_actions([Action::start(tid(0)), Action::write(x(), val(42))]);
+        assert!(t.is_origin_for(val(42)));
+        // read of 42 first: not an origin
+        let t2 = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::read(y(), val(42)),
+            Action::write(x(), val(42)),
+        ]);
+        assert!(!t2.is_origin_for(val(42)));
+        // external of 42 counts as producing it
+        let t3 = Trace::from_actions([Action::start(tid(0)), Action::external(val(42))]);
+        assert!(t3.is_origin_for(val(42)));
+        assert!(!t3.is_origin_for(val(7)));
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let t = Trace::from_actions([Action::start(tid(1)), Action::read(y(), val(1))]);
+        assert_eq!(t.to_string(), "[S(1), R[l1=1]]");
+        assert_eq!(Trace::new().to_string(), "[]");
+    }
+
+    #[test]
+    fn concat_and_extend() {
+        let a = Trace::from_actions([Action::start(tid(0))]);
+        let b = Trace::from_actions([Action::external(val(1))]);
+        let mut c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        c.extend([Action::external(val(2))]);
+        assert_eq!(c.behaviour(), vec![val(1), val(2)]);
+    }
+
+    #[test]
+    fn thread_projection() {
+        assert_eq!(sample().thread(), Some(tid(1)));
+        assert_eq!(Trace::new().thread(), None);
+    }
+}

@@ -1,0 +1,541 @@
+//! Tracesets: prefix-closed sets of traces, stored as a trie.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Action, Domain, ThreadId, Trace, TraceError, WildAction, WildTrace};
+
+/// A *traceset*: a prefix-closed, well-locked, properly-started set of
+/// traces representing a program (§3 of the paper).
+///
+/// The traceset is stored as a trie, which makes prefix closure
+/// structural: every trie node is a member trace. [`Traceset::insert`]
+/// validates the §3 well-formedness conditions and implicitly inserts all
+/// prefixes.
+///
+/// [`Traceset::belongs_to`] implements the §4 *belongs-to* judgement for
+/// wildcard traces: a wildcard trace belongs to `T` iff **all** of its
+/// instances over the given domain are members.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Domain, Loc, ThreadId, Trace, Traceset,
+///     Value, WildAction, WildTrace};
+/// let y = Loc::normal(1);
+/// let mut t = Traceset::new();
+/// for v in Domain::zero_to(1).iter() {
+///     t.insert(Trace::from_actions([
+///         Action::start(ThreadId::new(0)),
+///         Action::read(y, v),
+///     ]))?;
+/// }
+/// let wild = WildTrace::from_elements([
+///     Action::start(ThreadId::new(0)).into(),
+///     WildAction::wildcard_read(y),
+/// ]);
+/// assert!(t.belongs_to(&wild, &Domain::zero_to(1)));
+/// assert!(!t.belongs_to(&wild, &Domain::zero_to(2))); // no R[y=2] branch
+/// # Ok::<(), transafety_traces::TraceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Traceset {
+    root: Node,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Node {
+    children: BTreeMap<Action, Node>,
+}
+
+impl Node {
+    fn count(&self) -> usize {
+        1 + self.children.values().map(Node::count).sum::<usize>()
+    }
+}
+
+impl Traceset {
+    /// Creates the traceset containing only the empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Traceset::default()
+    }
+
+    /// Builds a traceset from traces, validating each.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] raised by
+    /// [`Trace::validate`].
+    pub fn from_traces<I: IntoIterator<Item = Trace>>(traces: I) -> Result<Self, TraceError> {
+        let mut t = Traceset::new();
+        for tr in traces {
+            t.insert(tr)?;
+        }
+        Ok(t)
+    }
+
+    /// Inserts a trace (and implicitly all of its prefixes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the trace is not properly started or
+    /// not well locked; nothing is inserted in that case.
+    pub fn insert(&mut self, trace: Trace) -> Result<(), TraceError> {
+        trace.validate()?;
+        let mut node = &mut self.root;
+        for a in &trace {
+            node = node.children.entry(*a).or_default();
+        }
+        Ok(())
+    }
+
+    /// Inserts every trace of `other` into `self`.
+    pub fn union_with(&mut self, other: &Traceset) {
+        fn merge(dst: &mut Node, src: &Node) {
+            for (a, child) in &src.children {
+                merge(dst.children.entry(*a).or_default(), child);
+            }
+        }
+        merge(&mut self.root, &other.root);
+    }
+
+    /// The union of two tracesets.
+    #[must_use]
+    pub fn union(mut self, other: &Traceset) -> Traceset {
+        self.union_with(other);
+        self
+    }
+
+    /// Membership test for a concrete trace. Because tracesets are prefix
+    /// closed, this is a simple trie walk.
+    #[must_use]
+    pub fn contains(&self, trace: &Trace) -> bool {
+        self.contains_actions(trace.actions())
+    }
+
+    /// Membership test for a sequence of actions.
+    #[must_use]
+    pub fn contains_actions(&self, actions: &[Action]) -> bool {
+        let mut node = &self.root;
+        for a in actions {
+            match node.children.get(a) {
+                Some(n) => node = n,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// The number of member traces, including the empty trace (i.e. the
+    /// number of trie nodes).
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.root.count()
+    }
+
+    /// Returns `true` if the traceset contains only the empty trace.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.root.children.is_empty()
+    }
+
+    /// Iterates over **all** member traces (every prefix), in
+    /// depth-first lexicographic order. The empty trace is yielded first.
+    #[must_use]
+    pub fn traces(&self) -> TracesetTraces<'_> {
+        TracesetTraces {
+            stack: vec![Frame { node: &self.root, depth: 0, label: None }],
+            prefix: Vec::new(),
+        }
+    }
+
+    /// Iterates over the maximal traces (trie leaves).
+    #[must_use]
+    pub fn maximal_traces(&self) -> MaximalTraces<'_> {
+        MaximalTraces { inner: self.traces() }
+    }
+
+    /// The entry points (thread identifiers) of the program: the threads
+    /// whose start action roots a branch of the trie.
+    #[must_use]
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut out: Vec<ThreadId> = self
+            .root
+            .children
+            .keys()
+            .filter_map(|a| match a {
+                Action::Start(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The sub-traceset of traces of the given thread.
+    #[must_use]
+    pub fn thread_traceset(&self, thread: ThreadId) -> Traceset {
+        let mut out = Traceset::new();
+        if let Some(n) = self.root.children.get(&Action::start(thread)) {
+            out.root
+                .children
+                .insert(Action::start(thread), n.clone());
+        }
+        out
+    }
+
+    /// The §4 *belongs-to* judgement: do **all** instances of `wild` over
+    /// `domain` belong to this traceset?
+    #[must_use]
+    pub fn belongs_to(&self, wild: &WildTrace, domain: &Domain) -> bool {
+        // Walk the trie breadth-wise, keeping the frontier of nodes reached
+        // by every partial instance. A concrete element must exist below
+        // every frontier node; a wildcard element fans each frontier node
+        // out to a read edge for every domain value.
+        let mut frontier: Vec<&Node> = vec![&self.root];
+        for e in wild.elements() {
+            let mut next = Vec::with_capacity(frontier.len());
+            match e {
+                WildAction::Concrete(a) => {
+                    for n in frontier {
+                        match n.children.get(a) {
+                            Some(c) => next.push(c),
+                            None => return false,
+                        }
+                    }
+                }
+                WildAction::WildcardRead(l) => {
+                    for n in frontier {
+                        for v in domain.iter() {
+                            match n.children.get(&Action::read(*l, v)) {
+                                Some(c) => next.push(c),
+                                None => return false,
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        true
+    }
+
+    /// A cursor at the root of the trie, for incremental searches.
+    #[must_use]
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor { node: &self.root }
+    }
+
+    /// Does any member trace act as an *origin* for value `v` (§5)?
+    ///
+    /// Implemented as a trie walk that stops descending once a read of `v`
+    /// is seen (everything below can no longer be an origin through this
+    /// branch).
+    #[must_use]
+    pub fn has_origin_for(&self, v: crate::Value) -> bool {
+        fn walk(node: &Node, v: crate::Value) -> bool {
+            for (a, child) in &node.children {
+                match a {
+                    Action::Read { value, .. } if *value == v => continue,
+                    Action::Write { value, .. } | Action::External(value) if *value == v => {
+                        return true
+                    }
+                    _ => {}
+                }
+                if walk(child, v) {
+                    return true;
+                }
+            }
+            false
+        }
+        walk(&self.root, v)
+    }
+}
+
+/// A read-only position inside a [`Traceset`] trie; created by
+/// [`Traceset::cursor`]. Searches (e.g. the elimination witness search in
+/// `transafety-transform`) use cursors to extend candidate traces one
+/// action at a time with trie pruning.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    node: &'a Node,
+}
+
+impl<'a> Cursor<'a> {
+    /// Steps along the edge labelled `a`, if it exists.
+    #[must_use]
+    pub fn step(&self, a: &Action) -> Option<Cursor<'a>> {
+        self.node.children.get(a).map(|n| Cursor { node: n })
+    }
+
+    /// The actions labelling the outgoing edges, in sorted order.
+    pub fn children(&self) -> impl Iterator<Item = &'a Action> + '_ {
+        self.node.children.keys()
+    }
+
+    /// Returns `true` if this position has no continuations (the trace so
+    /// far is maximal).
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.node.children.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct Frame<'a> {
+    node: &'a Node,
+    depth: usize,
+    label: Option<Action>,
+}
+
+/// Iterator over all member traces of a [`Traceset`]; see
+/// [`Traceset::traces`].
+#[derive(Debug)]
+pub struct TracesetTraces<'a> {
+    stack: Vec<Frame<'a>>,
+    prefix: Vec<Action>,
+}
+
+impl Iterator for TracesetTraces<'_> {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        // Depth-first pre-order walk; each node visit yields the trace of
+        // actions on the path to it.
+        let Frame { node, depth, label } = self.stack.pop()?;
+        self.prefix.truncate(depth.saturating_sub(1));
+        if let Some(a) = label {
+            self.prefix.push(a);
+        }
+        let result = Trace::from_actions(self.prefix.iter().copied());
+        // Push children in reverse-sorted order so iteration is sorted.
+        for (a, n) in node.children.iter().rev() {
+            self.stack.push(Frame { node: n, depth: depth + 1, label: Some(*a) });
+        }
+        Some(result)
+    }
+}
+
+/// Iterator over maximal traces of a [`Traceset`]; see
+/// [`Traceset::maximal_traces`].
+#[derive(Debug)]
+pub struct MaximalTraces<'a> {
+    inner: TracesetTraces<'a>,
+}
+
+impl Iterator for MaximalTraces<'_> {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        loop {
+            let is_leaf = self.inner.stack.last()?.node.children.is_empty();
+            let t = self.inner.next()?;
+            if is_leaf {
+                return Some(t);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Traceset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for t in self.maximal_traces() {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Loc, Value};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn val(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    fn fig2_left_thread1(domain: &Domain) -> Traceset {
+        // {[S(1), R[y=v], W[x=1], X(v)] | v in domain}
+        let mut t = Traceset::new();
+        for v in domain.iter() {
+            t.insert(Trace::from_actions([
+                Action::start(tid(1)),
+                Action::read(y(), v),
+                Action::write(x(), val(1)),
+                Action::external(v),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn prefix_closure_is_structural() {
+        let d = Domain::zero_to(1);
+        let t = fig2_left_thread1(&d);
+        assert!(t.contains_actions(&[]));
+        assert!(t.contains_actions(&[Action::start(tid(1))]));
+        assert!(t.contains_actions(&[Action::start(tid(1)), Action::read(y(), val(0))]));
+        assert!(!t.contains_actions(&[Action::read(y(), val(0))]));
+    }
+
+    #[test]
+    fn member_and_maximal_counts() {
+        let d = Domain::zero_to(1);
+        let t = fig2_left_thread1(&d);
+        // nodes: root, S, R0, R1, W after each R, X after each W = 1+1+2+2+2
+        assert_eq!(t.member_count(), 8);
+        assert_eq!(t.maximal_traces().count(), 2);
+        assert_eq!(t.traces().count(), 8);
+    }
+
+    #[test]
+    fn traces_iteration_yields_every_prefix_exactly_once() {
+        let d = Domain::zero_to(2);
+        let t = fig2_left_thread1(&d);
+        let mut all: Vec<Trace> = t.traces().collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert_eq!(n, t.member_count());
+        for tr in &all {
+            assert!(t.contains(tr));
+        }
+        assert!(all.contains(&Trace::new()));
+    }
+
+    #[test]
+    fn insert_rejects_ill_formed() {
+        let mut t = Traceset::new();
+        let bad = Trace::from_actions([Action::read(x(), val(0))]);
+        assert!(t.insert(bad).is_err());
+        assert!(t.is_trivial());
+    }
+
+    #[test]
+    fn union_merges_threads() {
+        let d = Domain::zero_to(0);
+        let mut a = fig2_left_thread1(&d);
+        let mut b = Traceset::new();
+        b.insert(Trace::from_actions([
+            Action::start(tid(0)),
+            Action::read(x(), val(0)),
+            Action::write(y(), val(0)),
+        ]))
+        .unwrap();
+        a.union_with(&b);
+        assert_eq!(a.threads(), vec![tid(0), tid(1)]);
+        let t0 = a.thread_traceset(tid(0));
+        assert_eq!(t0.threads(), vec![tid(0)]);
+        assert_eq!(t0.maximal_traces().count(), 1);
+    }
+
+    #[test]
+    fn belongs_to_requires_all_instances() {
+        let d = Domain::zero_to(1);
+        let t = fig2_left_thread1(&d);
+        let wild = WildTrace::from_elements([
+            Action::start(tid(1)).into(),
+            WildAction::wildcard_read(y()),
+            Action::write(x(), val(1)).into(),
+        ]);
+        assert!(t.belongs_to(&wild, &d));
+        // A larger domain has instances (R[y=2]) that are not members.
+        assert!(!t.belongs_to(&wild, &Domain::zero_to(2)));
+    }
+
+    #[test]
+    fn belongs_to_paper_counterexample() {
+        // §4: [S(0), W[y=1], R[x=*], X(1)] does not belong to the traceset
+        // of "y:=1; r1:=x; print r1" because e.g. the instance with R[x=2]
+        // is followed by X(2), not X(1).
+        let d = Domain::zero_to(2);
+        let mut t = Traceset::new();
+        for v in d.iter() {
+            t.insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(y(), val(1)),
+                Action::read(x(), v),
+                Action::external(v),
+            ]))
+            .unwrap();
+        }
+        let ok = WildTrace::from_elements([
+            Action::start(tid(0)).into(),
+            Action::write(y(), val(1)).into(),
+            WildAction::wildcard_read(x()),
+        ]);
+        assert!(t.belongs_to(&ok, &d));
+        let bad = WildTrace::from_elements([
+            Action::start(tid(0)).into(),
+            Action::write(y(), val(1)).into(),
+            WildAction::wildcard_read(x()),
+            Action::external(val(1)).into(),
+        ]);
+        assert!(!t.belongs_to(&bad, &d));
+    }
+
+    #[test]
+    fn cursor_walks_the_trie() {
+        let d = Domain::zero_to(1);
+        let t = fig2_left_thread1(&d);
+        let c = t.cursor();
+        assert!(!c.is_leaf());
+        let c1 = c.step(&Action::start(tid(1))).unwrap();
+        assert_eq!(c1.children().count(), 2);
+        assert!(c.step(&Action::start(tid(9))).is_none());
+        let c2 = c1.step(&Action::read(y(), val(0))).unwrap();
+        let c3 = c2.step(&Action::write(x(), val(1))).unwrap();
+        let c4 = c3.step(&Action::external(val(0))).unwrap();
+        assert!(c4.is_leaf());
+    }
+
+    #[test]
+    fn origin_detection_on_tracesets() {
+        let d = Domain::zero_to(1);
+        let t = fig2_left_thread1(&d);
+        // writes 1 without reading 1 first: origin for 1
+        assert!(t.has_origin_for(val(1)));
+        assert!(!t.has_origin_for(val(42)));
+        // X(v) after R[y=v] is not an origin for v != 1 (value was read)
+        let mut t2 = Traceset::new();
+        t2.insert(Trace::from_actions([
+            Action::start(tid(0)),
+            Action::read(y(), val(7)),
+            Action::external(val(7)),
+        ]))
+        .unwrap();
+        assert!(!t2.has_origin_for(val(7)));
+    }
+
+    #[test]
+    fn empty_traceset_has_empty_maximal_trace() {
+        let t = Traceset::new();
+        let all: Vec<Trace> = t.maximal_traces().collect();
+        assert_eq!(all, vec![Trace::new()]);
+        assert!(t.is_trivial());
+        assert_eq!(t.member_count(), 1);
+    }
+
+    #[test]
+    fn display_lists_maximal_traces() {
+        let mut t = Traceset::new();
+        t.insert(Trace::from_actions([Action::start(tid(0))])).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("[S(0)]"), "got: {s}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A runtime value: a natural number, as in the paper's §6 language.
+///
+/// Every shared-memory location and register holds a [`Value`]. The default
+/// value (the zero-initialisation of all memory assumed throughout the
+/// paper) is [`Value::ZERO`].
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::Value;
+/// assert_eq!(Value::default(), Value::ZERO);
+/// assert_eq!(Value::new(3).get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(u32);
+
+impl Value {
+    /// The default value of every location: zero.
+    pub const ZERO: Value = Value(0);
+
+    /// Creates a value from a natural number.
+    #[must_use]
+    pub const fn new(n: u32) -> Self {
+        Value(n)
+    }
+
+    /// Returns the underlying natural number.
+    #[must_use]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this is the default (zero) value.
+    ///
+    /// The out-of-thin-air guarantee (§5 of the paper) only applies to
+    /// values that are *not* default values, so checkers use this to skip
+    /// zero.
+    #[must_use]
+    pub const fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value(n)
+    }
+}
+
+impl From<Value> for u32 {
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert!(Value::ZERO.is_default());
+        assert!(Value::default().is_default());
+        assert!(!Value::new(1).is_default());
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v = Value::from(7u32);
+        assert_eq!(u32::from(v), 7);
+        assert_eq!(v.to_string(), "7");
+    }
+
+    #[test]
+    fn ordering_follows_naturals() {
+        assert!(Value::new(1) < Value::new(2));
+        assert_eq!(Value::new(5), Value::new(5));
+    }
+}

@@ -1,0 +1,404 @@
+//! Wildcard traces (§4 of the paper).
+
+use std::fmt;
+
+use crate::{Action, Domain, Loc, Trace, Value};
+
+/// An element of a wildcard trace: either an ordinary action or a
+/// wildcard read `R[l=*]`.
+///
+/// Wildcards express that the validity of a trace does not depend on the
+/// value an (irrelevant) read observes; semantic elimination (§4) removes
+/// such reads.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, Value, WildAction};
+/// let x = Loc::normal(0);
+/// let w = WildAction::wildcard_read(x);
+/// assert!(w.matches(&Action::read(x, Value::new(7))));
+/// assert!(!w.matches(&Action::write(x, Value::new(7))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WildAction {
+    /// An ordinary, concrete action.
+    Concrete(Action),
+    /// A wildcard read `R[l=*]` from the given location.
+    WildcardRead(Loc),
+}
+
+impl WildAction {
+    /// Creates a wildcard read of `loc`.
+    #[must_use]
+    pub const fn wildcard_read(loc: Loc) -> Self {
+        WildAction::WildcardRead(loc)
+    }
+
+    /// Returns `true` for wildcard reads.
+    #[must_use]
+    pub const fn is_wildcard(&self) -> bool {
+        matches!(self, WildAction::WildcardRead(_))
+    }
+
+    /// The concrete action, if this element is not a wildcard.
+    #[must_use]
+    pub const fn as_concrete(&self) -> Option<Action> {
+        match self {
+            WildAction::Concrete(a) => Some(*a),
+            WildAction::WildcardRead(_) => None,
+        }
+    }
+
+    /// The location, for wildcard reads and concrete memory accesses.
+    #[must_use]
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            WildAction::Concrete(a) => a.loc(),
+            WildAction::WildcardRead(l) => Some(*l),
+        }
+    }
+
+    /// Does the given concrete action instantiate this element?
+    ///
+    /// A concrete action matches itself; a wildcard read `R[l=*]` matches
+    /// any read from `l`.
+    #[must_use]
+    pub fn matches(&self, a: &Action) -> bool {
+        match self {
+            WildAction::Concrete(c) => c == a,
+            WildAction::WildcardRead(l) => {
+                matches!(a, Action::Read { loc, .. } if loc == l)
+            }
+        }
+    }
+
+    /// Is this element a read (concrete or wildcard) from a non-volatile
+    /// location? Irrelevant-read elimination (Definition 1, case 3) only
+    /// applies to such elements.
+    #[must_use]
+    pub fn is_normal_read(&self) -> bool {
+        match self {
+            WildAction::Concrete(a) => a.is_read() && a.is_normal_access(),
+            WildAction::WildcardRead(l) => !l.is_volatile(),
+        }
+    }
+}
+
+impl From<Action> for WildAction {
+    fn from(a: Action) -> Self {
+        WildAction::Concrete(a)
+    }
+}
+
+impl fmt::Display for WildAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WildAction::Concrete(a) => write!(f, "{a}"),
+            WildAction::WildcardRead(l) => write!(f, "R[{l}=*]"),
+        }
+    }
+}
+
+/// A wildcard trace: a sequence of [`WildAction`]s (§4).
+///
+/// A concrete [`Trace`] is an *instance* of a wildcard trace if it is
+/// obtained by replacing every wildcard with a read of some concrete
+/// value; [`WildTrace::instances`] enumerates all instances over a finite
+/// [`Domain`]. A wildcard trace *belongs-to* a traceset if all its
+/// instances are members — see
+/// [`Traceset::belongs_to`](crate::Traceset::belongs_to).
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Domain, Loc, ThreadId, Value, WildTrace};
+/// let x = Loc::normal(0);
+/// let wt = WildTrace::from_elements([
+///     Action::start(ThreadId::new(0)).into(),
+///     transafety_traces::WildAction::wildcard_read(x),
+/// ]);
+/// let d = Domain::zero_to(1);
+/// assert_eq!(wt.instances(&d).count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WildTrace {
+    elements: Vec<WildAction>,
+}
+
+impl WildTrace {
+    /// Creates an empty wildcard trace.
+    #[must_use]
+    pub fn new() -> Self {
+        WildTrace { elements: Vec::new() }
+    }
+
+    /// Creates a wildcard trace from its elements.
+    #[must_use]
+    pub fn from_elements<I: IntoIterator<Item = WildAction>>(elements: I) -> Self {
+        WildTrace { elements: elements.into_iter().collect() }
+    }
+
+    /// Lifts a concrete trace to a wildcard trace with no wildcards.
+    #[must_use]
+    pub fn from_trace(t: &Trace) -> Self {
+        WildTrace { elements: t.iter().map(|a| WildAction::Concrete(*a)).collect() }
+    }
+
+    /// The elements of the wildcard trace.
+    #[must_use]
+    pub fn elements(&self) -> &[WildAction] {
+        &self.elements
+    }
+
+    /// The length of the wildcard trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` for the empty wildcard trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, e: WildAction) {
+        self.elements.push(e);
+    }
+
+    /// The indices of the wildcard positions.
+    #[must_use]
+    pub fn wildcard_positions(&self) -> Vec<usize> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.is_wildcard().then_some(i))
+            .collect()
+    }
+
+    /// Returns `true` if the concrete trace `t` is an instance of this
+    /// wildcard trace.
+    #[must_use]
+    pub fn is_instance(&self, t: &Trace) -> bool {
+        self.len() == t.len()
+            && self.elements.iter().zip(t.iter()).all(|(e, a)| e.matches(a))
+    }
+
+    /// Instantiates the wildcard trace, reading the wildcard values from
+    /// `values` in order.
+    ///
+    /// Returns `None` if `values` does not supply exactly one value per
+    /// wildcard.
+    #[must_use]
+    pub fn instantiate(&self, values: &[Value]) -> Option<Trace> {
+        let mut it = values.iter();
+        let mut out = Trace::new();
+        for e in &self.elements {
+            match e {
+                WildAction::Concrete(a) => out.push(*a),
+                WildAction::WildcardRead(l) => out.push(Action::read(*l, *it.next()?)),
+            }
+        }
+        if it.next().is_some() {
+            return None;
+        }
+        Some(out)
+    }
+
+    /// Enumerates every instance of the wildcard trace over the domain:
+    /// the cartesian product of `domain` over the wildcard positions.
+    pub fn instances<'a>(&'a self, domain: &'a Domain) -> Instances<'a> {
+        Instances {
+            wild: self,
+            domain,
+            counter: vec![0; self.wildcard_positions().len()],
+            done: domain.is_empty() && !self.wildcard_positions().is_empty(),
+        }
+    }
+
+    /// The sublist of elements at the indices in `s` (cf. `t|S`).
+    #[must_use]
+    pub fn restrict<I: IntoIterator<Item = usize>>(&self, s: I) -> WildTrace {
+        let mut idx: Vec<usize> = s.into_iter().filter(|&i| i < self.len()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        WildTrace { elements: idx.into_iter().map(|i| self.elements[i]).collect() }
+    }
+
+    /// The prefix of length `n`.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> WildTrace {
+        WildTrace { elements: self.elements[..n.min(self.len())].to_vec() }
+    }
+}
+
+impl FromIterator<WildAction> for WildTrace {
+    fn from_iter<I: IntoIterator<Item = WildAction>>(iter: I) -> Self {
+        WildTrace::from_elements(iter)
+    }
+}
+
+impl From<Trace> for WildTrace {
+    fn from(t: Trace) -> Self {
+        WildTrace::from_trace(&t)
+    }
+}
+
+impl fmt::Display for WildTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over all instances of a [`WildTrace`] for a [`Domain`];
+/// produced by [`WildTrace::instances`].
+#[derive(Debug)]
+pub struct Instances<'a> {
+    wild: &'a WildTrace,
+    domain: &'a Domain,
+    counter: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for Instances<'_> {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        if self.done {
+            return None;
+        }
+        let values: Vec<Value> =
+            self.counter.iter().map(|&i| self.domain.values()[i]).collect();
+        let out = self.wild.instantiate(&values);
+        // advance the mixed-radix counter
+        let mut i = 0;
+        loop {
+            if i == self.counter.len() {
+                self.done = true;
+                break;
+            }
+            self.counter[i] += 1;
+            if self.counter[i] < self.domain.len() {
+                break;
+            }
+            self.counter[i] = 0;
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadId;
+
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+
+    #[test]
+    fn wildcard_matches_any_read_value() {
+        let w = WildAction::wildcard_read(x());
+        assert!(w.matches(&Action::read(x(), Value::ZERO)));
+        assert!(w.matches(&Action::read(x(), Value::new(9))));
+        assert!(!w.matches(&Action::read(y(), Value::ZERO)));
+        assert!(!w.matches(&Action::write(x(), Value::ZERO)));
+    }
+
+    #[test]
+    fn concrete_matches_only_itself() {
+        let a = Action::write(x(), Value::new(1));
+        let c = WildAction::from(a);
+        assert!(c.matches(&a));
+        assert!(!c.matches(&Action::write(x(), Value::new(2))));
+    }
+
+    #[test]
+    fn instance_enumeration_counts() {
+        // [S(0), R[x=*], W[y=1], R[y=*]] over {0,1,2}: 9 instances
+        let wt = WildTrace::from_elements([
+            Action::start(ThreadId::new(0)).into(),
+            WildAction::wildcard_read(x()),
+            Action::write(y(), Value::new(1)).into(),
+            WildAction::wildcard_read(y()),
+        ]);
+        let d = Domain::zero_to(2);
+        let all: Vec<Trace> = wt.instances(&d).collect();
+        assert_eq!(all.len(), 9);
+        for t in &all {
+            assert!(wt.is_instance(t));
+            assert_eq!(t.len(), 4);
+        }
+        // instances are pairwise distinct
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 9);
+    }
+
+    #[test]
+    fn no_wildcards_means_single_instance() {
+        let t = Trace::from_actions([Action::start(ThreadId::new(0))]);
+        let wt = WildTrace::from_trace(&t);
+        let d = Domain::zero_to(5);
+        let all: Vec<Trace> = wt.instances(&d).collect();
+        assert_eq!(all, vec![t]);
+    }
+
+    #[test]
+    fn instantiate_checks_arity() {
+        let wt = WildTrace::from_elements([WildAction::wildcard_read(x())]);
+        assert!(wt.instantiate(&[]).is_none());
+        assert!(wt.instantiate(&[Value::ZERO, Value::ZERO]).is_none());
+        let t = wt.instantiate(&[Value::new(4)]).unwrap();
+        assert_eq!(t[0], Action::read(x(), Value::new(4)));
+    }
+
+    #[test]
+    fn is_instance_rejects_length_mismatch() {
+        let wt = WildTrace::from_elements([WildAction::wildcard_read(x())]);
+        assert!(!wt.is_instance(&Trace::new()));
+    }
+
+    #[test]
+    fn display_uses_star_notation() {
+        let wt = WildTrace::from_elements([
+            Action::start(ThreadId::new(0)).into(),
+            WildAction::wildcard_read(x()),
+        ]);
+        assert_eq!(wt.to_string(), "[S(0), R[l0=*]]");
+    }
+
+    #[test]
+    fn normal_read_classification() {
+        assert!(WildAction::wildcard_read(x()).is_normal_read());
+        assert!(!WildAction::wildcard_read(Loc::volatile(0)).is_normal_read());
+        assert!(WildAction::from(Action::read(x(), Value::ZERO)).is_normal_read());
+        assert!(!WildAction::from(Action::write(x(), Value::ZERO)).is_normal_read());
+    }
+
+    #[test]
+    fn restrict_and_prefix() {
+        let wt = WildTrace::from_elements([
+            Action::start(ThreadId::new(0)).into(),
+            WildAction::wildcard_read(x()),
+            Action::external(Value::new(1)).into(),
+        ]);
+        assert_eq!(wt.prefix(2).len(), 2);
+        assert_eq!(wt.restrict([0, 2]).len(), 2);
+        assert_eq!(wt.restrict([0, 2]).elements()[1], Action::external(Value::new(1)).into());
+    }
+}

@@ -1,0 +1,233 @@
+//! The combined elimination-then-reordering transformation.
+//!
+//! §4's worked example and Lemma 5 show that syntactic reordering
+//! corresponds to a semantic *elimination followed by a reordering*: the
+//! de-permuted prefixes of a transformed trace need not be members of the
+//! original traceset, only eliminations of wildcard traces belonging to
+//! it (the paper's `T*`). This module provides that composite check.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use transafety_traces::{Domain, Trace, Traceset};
+
+use crate::elimination::{find_elimination, EliminationOptions};
+use crate::reordering::{find_reordering_with, ReorderingFn};
+
+/// The failure report of [`is_elim_reordering_of`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotATransformation {
+    /// The transformed-traceset member with no witness.
+    pub trace: Trace,
+}
+
+impl fmt::Display for NotATransformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace {} is not a reordering of any elimination of the original",
+            self.trace
+        )
+    }
+}
+
+impl std::error::Error for NotATransformation {}
+
+/// A memoising membership oracle for "is an elimination of some wildcard
+/// trace belonging to the original traceset".
+///
+/// This is the intermediate set `T*` of the §4 worked example, queried
+/// lazily: `T*` always contains the original traceset (the identity
+/// elimination) plus every bounded elimination of it.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Domain, Loc, ThreadId, Trace, Traceset, Value};
+/// use transafety_transform::{EliminationOptions, EliminationOracle};
+/// let y = Loc::normal(1);
+/// let mut t = Traceset::new();
+/// let d = Domain::zero_to(1);
+/// for v in d.iter() {
+///     t.insert(Trace::from_actions([
+///         Action::start(ThreadId::new(0)),
+///         Action::read(y, v),
+///         Action::write(Loc::normal(0), Value::new(1)),
+///     ]))?;
+/// }
+/// let mut oracle = EliminationOracle::new(&t, &d, EliminationOptions::default());
+/// // [S(0), W[x=1]] is the elimination of the wildcard trace
+/// // [S(0), R[y=*], W[x=1]] — the key step of the §4 worked example.
+/// let eliminated = Trace::from_actions([
+///     Action::start(ThreadId::new(0)),
+///     Action::write(Loc::normal(0), Value::new(1)),
+/// ]);
+/// assert!(oracle.is_member(&eliminated));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EliminationOracle<'a> {
+    original: &'a Traceset,
+    domain: &'a Domain,
+    opts: EliminationOptions,
+    memo: HashMap<Trace, bool>,
+}
+
+impl<'a> EliminationOracle<'a> {
+    /// Creates an oracle for eliminations of `original`.
+    #[must_use]
+    pub fn new(original: &'a Traceset, domain: &'a Domain, opts: EliminationOptions) -> Self {
+        EliminationOracle { original, domain, opts, memo: HashMap::new() }
+    }
+
+    /// Is `t` an elimination of some wildcard trace belonging to the
+    /// original traceset?
+    pub fn is_member(&mut self, t: &Trace) -> bool {
+        if let Some(&r) = self.memo.get(t) {
+            return r;
+        }
+        // Fast path: plain membership (the identity elimination).
+        let r = self.original.contains(t)
+            || find_elimination(t, self.original, self.domain, &self.opts).is_some();
+        self.memo.insert(t.clone(), r);
+        r
+    }
+}
+
+/// Searches for a function de-permuting `t` into the elimination closure
+/// of `original` (the composite transformation of Lemma 5).
+#[must_use]
+pub fn find_elim_reordering(
+    t: &Trace,
+    original: &Traceset,
+    domain: &Domain,
+    opts: &EliminationOptions,
+) -> Option<ReorderingFn> {
+    let mut oracle = EliminationOracle::new(original, domain, *opts);
+    find_reordering_with(t, |p| oracle.is_member(p))
+}
+
+/// Decides whether `transformed` is a reordering of an elimination of
+/// `original`: every member trace must de-permute into the elimination
+/// closure.
+///
+/// # Errors
+///
+/// Returns [`NotATransformation`] carrying the first member trace with no
+/// witness within the search bounds.
+pub fn is_elim_reordering_of(
+    transformed: &Traceset,
+    original: &Traceset,
+    domain: &Domain,
+    opts: &EliminationOptions,
+) -> Result<(), NotATransformation> {
+    let mut oracle = EliminationOracle::new(original, domain, *opts);
+    for t in transformed.traces() {
+        if find_reordering_with(&t, |p| oracle.is_member(p)).is_none() {
+            return Err(NotATransformation { trace: t });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::{Action, Loc, ThreadId, Value};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    /// Fig. 2 thread 1 original: r1:=y; x:=1; print r1.
+    fn fig2_original(d: &Domain) -> Traceset {
+        let mut t = Traceset::new();
+        for val in d.iter() {
+            t.insert(Trace::from_actions([
+                Action::start(tid(1)),
+                Action::read(y(), val),
+                Action::write(x(), v(1)),
+                Action::external(val),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn fig2_transformed_is_elim_reordering_of_original() {
+        // The §4 worked example, end to end: the transformed thread
+        // x:=1; r1:=y; print r1 de-permutes into the elimination closure.
+        let d = Domain::zero_to(1);
+        let original = fig2_original(&d);
+        let mut transformed = Traceset::new();
+        for val in d.iter() {
+            transformed
+                .insert(Trace::from_actions([
+                    Action::start(tid(1)),
+                    Action::write(x(), v(1)),
+                    Action::read(y(), val),
+                    Action::external(val),
+                ]))
+                .unwrap();
+        }
+        is_elim_reordering_of(&transformed, &original, &d, &EliminationOptions::default())
+            .expect("Fig. 2 is an elimination followed by a reordering");
+        // but it is NOT a plain reordering (the key subtlety of §4)
+        assert!(crate::reordering::is_reordering_of(&transformed, &original).is_err());
+    }
+
+    #[test]
+    fn oracle_memoises_and_answers_identity() {
+        let d = Domain::zero_to(1);
+        let original = fig2_original(&d);
+        let mut oracle = EliminationOracle::new(&original, &d, EliminationOptions::default());
+        for t in original.traces() {
+            assert!(oracle.is_member(&t), "members are eliminations of themselves");
+        }
+        let bogus = Trace::from_actions([Action::start(tid(1)), Action::external(v(9))]);
+        assert!(!oracle.is_member(&bogus));
+        assert!(!oracle.is_member(&bogus), "memoised second query");
+    }
+
+    #[test]
+    fn unsound_swap_is_rejected() {
+        // Swapping conflicting accesses must not be accepted even with
+        // eliminations available: original r:=x; x:=1 vs transformed
+        // x:=1; r:=x would change the read's provenance.
+        let d = Domain::zero_to(1);
+        let mut original = Traceset::new();
+        for val in d.iter() {
+            original
+                .insert(Trace::from_actions([
+                    Action::start(tid(0)),
+                    Action::read(x(), val),
+                    Action::write(x(), v(1)),
+                    Action::external(val),
+                ]))
+                .unwrap();
+        }
+        let mut transformed = Traceset::new();
+        transformed
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(x(), v(1)),
+                Action::read(x(), v(1)),
+                Action::external(v(1)),
+            ]))
+            .unwrap();
+        let err =
+            is_elim_reordering_of(&transformed, &original, &d, &EliminationOptions::default());
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("not a reordering"));
+    }
+}

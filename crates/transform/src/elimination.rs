@@ -1,0 +1,739 @@
+//! The semantic elimination transformation (§4 of the paper), as a
+//! complete bounded witness search.
+
+use std::fmt;
+
+use transafety_traces::{
+    Action, Domain, Loc, Matching, Trace, Traceset, WildAction, WildTrace,
+};
+
+use crate::kinds::{eliminable_kinds, is_eliminable, is_properly_eliminable, EliminationKind};
+
+/// Options bounding the elimination witness search.
+///
+/// # Example
+///
+/// ```
+/// use transafety_transform::EliminationOptions;
+/// let opts = EliminationOptions::default();
+/// assert_eq!(opts.max_extra, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EliminationOptions {
+    /// Maximum number of eliminated elements the candidate wildcard trace
+    /// may contain beyond the kept ones. The §4 definition allows any
+    /// finite number; the paper's examples never need more than three.
+    pub max_extra: usize,
+    /// Restrict the search to the *properly eliminable* kinds 1–5
+    /// (§6.1), excluding the last-action eliminations. Proper
+    /// eliminations compose under trace concatenation, which is why the
+    /// syntactic relation is defined in terms of them.
+    pub proper_only: bool,
+}
+
+impl Default for EliminationOptions {
+    fn default() -> Self {
+        EliminationOptions { max_extra: 4, proper_only: false }
+    }
+}
+
+impl EliminationOptions {
+    /// Options restricted to proper eliminations (kinds 1–5 of
+    /// Definition 1).
+    #[must_use]
+    pub fn proper() -> Self {
+        EliminationOptions { proper_only: true, ..EliminationOptions::default() }
+    }
+}
+
+/// A witness that a trace is an elimination of a wildcard trace
+/// belonging to the original traceset (§4): the wildcard trace, the
+/// (monotone) matching of kept positions, and the Definition 1 kinds
+/// justifying each eliminated position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationWitness {
+    /// The wildcard trace `t` that belongs to the original traceset.
+    pub wild: WildTrace,
+    /// The monotone matching from the transformed trace's indices to the
+    /// kept indices `S` of `t` (so `t|S` equals the transformed trace).
+    pub kept: Matching,
+    /// For each eliminated index of `t`, the Definition 1 kinds under
+    /// which it is eliminable.
+    pub eliminated: Vec<(usize, Vec<EliminationKind>)>,
+}
+
+impl EliminationWitness {
+    /// Re-validates the witness against the §4 definition: the kept
+    /// positions reproduce `t'` in order and every other position of the
+    /// wildcard trace is eliminable.
+    #[must_use]
+    pub fn check(&self, transformed: &Trace) -> bool {
+        if !self.kept.is_complete(transformed.len()) || !self.kept.is_monotone() {
+            return false;
+        }
+        for (i, j) in self.kept.iter() {
+            match self.wild.elements().get(j) {
+                Some(WildAction::Concrete(a)) if Some(a) == transformed.get(i) => {}
+                _ => return false,
+            }
+        }
+        let kept: std::collections::BTreeSet<usize> = self.kept.range().into_iter().collect();
+        (0..self.wild.len()).all(|j| kept.contains(&j) || is_eliminable(&self.wild, j))
+    }
+}
+
+impl fmt::Display for EliminationWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elimination of {} keeping {}", self.wild, self.kept)?;
+        for (i, kinds) in &self.eliminated {
+            write!(f, "; {i} eliminated as ")?;
+            for (n, k) in kinds.iter().enumerate() {
+                if n > 0 {
+                    write!(f, "/")?;
+                }
+                write!(f, "{k}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The failure report of [`is_elimination_of`]: a member trace of the
+/// transformed traceset with no elimination witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAnElimination {
+    /// The transformed-traceset member with no witness.
+    pub trace: Trace,
+}
+
+impl fmt::Display for NotAnElimination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace {} is not an elimination of any wildcard trace of the original", self.trace)
+    }
+}
+
+impl std::error::Error for NotAnElimination {}
+
+/// Finds an embedding of `transformed` into the *given* wildcard trace
+/// `wild` whose skipped positions are all eliminable (Definition 1), i.e.
+/// decides "`transformed` is an elimination of `wild`".
+///
+/// This is the per-pair core of the §4 elimination; callers that also
+/// need to *search* for the wildcard trace use [`find_elimination`].
+#[must_use]
+pub fn witness_against_wild(transformed: &Trace, wild: &WildTrace) -> Option<EliminationWitness> {
+    // Eliminability is a property of (wild, index) alone.
+    let eliminable: Vec<bool> = (0..wild.len()).map(|i| is_eliminable(wild, i)).collect();
+    // Backtracking embedding with failure memoisation.
+    fn embed(
+        t: &Trace,
+        w: &WildTrace,
+        eliminable: &[bool],
+        i: usize,
+        j: usize,
+        kept: &mut Vec<(usize, usize)>,
+        failed: &mut std::collections::HashSet<(usize, usize)>,
+    ) -> bool {
+        if i == t.len() {
+            if (j..w.len()).all(|k| eliminable[k]) {
+                return true;
+            }
+            return false;
+        }
+        if j == w.len() || failed.contains(&(i, j)) {
+            return false;
+        }
+        // Option 1: match position j.
+        if let WildAction::Concrete(a) = w.elements()[j] {
+            if Some(&a) == t.get(i) {
+                kept.push((i, j));
+                if embed(t, w, eliminable, i + 1, j + 1, kept, failed) {
+                    return true;
+                }
+                kept.pop();
+            }
+        }
+        // Option 2: skip position j (must be eliminable).
+        if eliminable[j] && embed(t, w, eliminable, i, j + 1, kept, failed) {
+            return true;
+        }
+        failed.insert((i, j));
+        false
+    }
+
+    let mut kept_pairs = Vec::new();
+    let mut failed = std::collections::HashSet::new();
+    if !embed(transformed, wild, &eliminable, 0, 0, &mut kept_pairs, &mut failed) {
+        return None;
+    }
+    let kept = Matching::from_pairs(kept_pairs.iter().copied()).expect("embedding is injective");
+    let kept_set: std::collections::BTreeSet<usize> =
+        kept_pairs.iter().map(|&(_, j)| j).collect();
+    let eliminated = (0..wild.len())
+        .filter(|j| !kept_set.contains(j))
+        .map(|j| (j, eliminable_kinds(wild, j)))
+        .collect();
+    Some(EliminationWitness { wild: wild.clone(), kept, eliminated })
+}
+
+/// The search context shared by [`find_elimination`] invocations: the
+/// candidate locations for inserted wildcard reads.
+fn wildcard_candidate_locs(original: &Traceset) -> Vec<Loc> {
+    let mut locs: Vec<Loc> = Vec::new();
+    for t in original.traces() {
+        for a in &t {
+            if let Action::Read { loc, .. } = a {
+                if !loc.is_volatile() {
+                    locs.push(*loc);
+                }
+            }
+        }
+    }
+    locs.sort();
+    locs.dedup();
+    locs
+}
+
+/// Searches for a wildcard trace `t` that **belongs to** `original` (all
+/// instances over `domain` are members) such that `transformed` is an
+/// elimination of `t` (§4). Complete up to `opts.max_extra` eliminated
+/// elements.
+#[must_use]
+pub fn find_elimination(
+    transformed: &Trace,
+    original: &Traceset,
+    domain: &Domain,
+    opts: &EliminationOptions,
+) -> Option<EliminationWitness> {
+    let wild_locs = wildcard_candidate_locs(original);
+    let mut wt: Vec<WildAction> = Vec::new();
+    let mut kept_positions: Vec<usize> = Vec::new();
+    let frontier = vec![original.cursor()];
+    search(
+        transformed,
+        original,
+        domain,
+        opts,
+        &wild_locs,
+        0,
+        &frontier,
+        &mut wt,
+        &mut kept_positions,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<'a>(
+    transformed: &Trace,
+    original: &'a Traceset,
+    domain: &Domain,
+    opts: &EliminationOptions,
+    wild_locs: &[Loc],
+    i: usize,
+    frontier: &[transafety_traces::Cursor<'a>],
+    wt: &mut Vec<WildAction>,
+    kept_positions: &mut Vec<usize>,
+    ) -> Option<EliminationWitness> {
+    // Accept if the whole transformed trace is matched and all inserted
+    // positions are eliminable in the completed wildcard trace.
+    if i == transformed.len() {
+        let wild = WildTrace::from_elements(wt.iter().copied());
+        let kept_set: std::collections::BTreeSet<usize> =
+            kept_positions.iter().copied().collect();
+        let ok = |j: usize| {
+            if opts.proper_only {
+                is_properly_eliminable(&wild, j)
+            } else {
+                is_eliminable(&wild, j)
+            }
+        };
+        if (0..wild.len()).all(|j| kept_set.contains(&j) || ok(j)) {
+            let kept = Matching::from_pairs(
+                kept_positions.iter().enumerate().map(|(a, &b)| (a, b)),
+            )
+            .expect("kept positions are strictly increasing");
+            let eliminated = (0..wild.len())
+                .filter(|j| !kept_set.contains(j))
+                .map(|j| (j, eliminable_kinds(&wild, j)))
+                .collect();
+            return Some(EliminationWitness { wild, kept, eliminated });
+        }
+        // fall through: try extending with more eliminated elements (they
+        // may repair future-dependent kinds — e.g. an overwritten write
+        // needs its overwriting successor).
+    }
+
+    // Option 1: match the next element of the transformed trace.
+    if i < transformed.len() {
+        let a = transformed[i];
+        if let Some(next) = step_all(frontier, &a) {
+            wt.push(a.into());
+            kept_positions.push(wt.len() - 1);
+            if let Some(w) = search(
+                transformed, original, domain, opts, wild_locs, i + 1, &next, wt,
+                kept_positions,
+            ) {
+                return Some(w);
+            }
+            kept_positions.pop();
+            wt.pop();
+        }
+    }
+
+    // Option 2: insert an eliminated element (bounded by max_extra).
+    let inserted_so_far = wt.len() - kept_positions.len();
+    if inserted_so_far >= opts.max_extra {
+        return None;
+    }
+
+    // 2a: a wildcard (irrelevant) read of a non-volatile location.
+    for &l in wild_locs {
+        if let Some(next) = step_all_wildcard(frontier, l, domain) {
+            wt.push(WildAction::wildcard_read(l));
+            if let Some(w) = search(
+                transformed, original, domain, opts, wild_locs, i, &next, wt, kept_positions,
+            ) {
+                return Some(w);
+            }
+            wt.pop();
+        }
+    }
+
+    // 2b: a concrete eliminated action, drawn from the edges available in
+    // every frontier node. Locks and starts are never eliminable; inserted
+    // concrete reads must already satisfy their backward-looking kind.
+    let candidates: Vec<Action> = frontier
+        .first()
+        .map(|c| c.children().copied().collect())
+        .unwrap_or_default();
+    for a in candidates {
+        if matches!(a, Action::Lock(_) | Action::Start(_)) {
+            continue;
+        }
+        if a.is_read() {
+            // Backward-looking kinds (1/2) must hold right now; volatile
+            // concrete reads are never eliminable.
+            let mut probe: Vec<WildAction> = wt.clone();
+            probe.push(a.into());
+            let probe_t = WildTrace::from_elements(probe);
+            if !is_eliminable(&probe_t, probe_t.len() - 1) {
+                continue;
+            }
+        }
+        if let Some(next) = step_all(frontier, &a) {
+            wt.push(a.into());
+            if let Some(w) = search(
+                transformed, original, domain, opts, wild_locs, i, &next, wt, kept_positions,
+            ) {
+                return Some(w);
+            }
+            wt.pop();
+        }
+    }
+    None
+}
+
+fn step_all<'a>(
+    frontier: &[transafety_traces::Cursor<'a>],
+    a: &Action,
+) -> Option<Vec<transafety_traces::Cursor<'a>>> {
+    let mut out = Vec::with_capacity(frontier.len());
+    for c in frontier {
+        out.push(c.step(a)?);
+    }
+    Some(out)
+}
+
+fn step_all_wildcard<'a>(
+    frontier: &[transafety_traces::Cursor<'a>],
+    l: Loc,
+    domain: &Domain,
+) -> Option<Vec<transafety_traces::Cursor<'a>>> {
+    let mut out = Vec::with_capacity(frontier.len() * domain.len());
+    for c in frontier {
+        for v in domain.iter() {
+            out.push(c.step(&Action::read(l, v))?);
+        }
+    }
+    Some(out)
+}
+
+/// Decides whether `transformed` is an elimination of `original` (§4):
+/// every member trace of `transformed` must be an elimination of some
+/// wildcard trace belonging to `original`.
+///
+/// # Errors
+///
+/// Returns [`NotAnElimination`] carrying the first member trace for which
+/// no witness exists within the search bound.
+pub fn is_elimination_of(
+    transformed: &Traceset,
+    original: &Traceset,
+    domain: &Domain,
+    opts: &EliminationOptions,
+) -> Result<(), NotAnElimination> {
+    for t in transformed.traces() {
+        if find_elimination(&t, original, domain, opts).is_none() {
+            return Err(NotAnElimination { trace: t });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::{Monitor, ThreadId, Value};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    /// Original thread 1 of Fig. 1: r1:=y; print r1; r1:=x; r2:=x; print r2
+    fn fig1_thread1_original(d: &Domain) -> Traceset {
+        let mut t = Traceset::new();
+        for vy in d.iter() {
+            for v1 in d.iter() {
+                for v2 in d.iter() {
+                    t.insert(Trace::from_actions([
+                        Action::start(tid(1)),
+                        Action::read(y(), vy),
+                        Action::external(vy),
+                        Action::read(x(), v1),
+                        Action::read(x(), v2),
+                        Action::external(v2),
+                    ]))
+                    .unwrap();
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn fig1_redundant_read_elimination() {
+        // Transformed thread 1: r1:=y; print r1; r1:=x; r2:=r1; print r2.
+        // The paper's §2.1 example trace:
+        //   t' = [S(1), R[y=1], X(1), R[x=0], X(0)]
+        // is an elimination of
+        //   [S(1), R[y=1], X(1), R[x=0], R[x=0], X(0)].
+        let d = Domain::zero_to(1);
+        let original = fig1_thread1_original(&d);
+        let t_prime = Trace::from_actions([
+            Action::start(tid(1)),
+            Action::read(y(), v(1)),
+            Action::external(v(1)),
+            Action::read(x(), v(0)),
+            Action::external(v(0)),
+        ]);
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
+            .expect("Fig. 1 elimination must be found");
+        assert!(w.check(&t_prime));
+        assert!(original.belongs_to(&w.wild, &d));
+        assert!(w
+            .eliminated
+            .iter()
+            .any(|(_, kinds)| kinds.contains(&EliminationKind::ReadAfterRead)));
+    }
+
+    #[test]
+    fn fig1_overwritten_write_elimination() {
+        // Thread 0 of Fig. 1: x:=2; y:=1; x:=1  —→  y:=1; x:=1.
+        let mut original = Traceset::new();
+        original
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(x(), v(2)),
+                Action::write(y(), v(1)),
+                Action::write(x(), v(1)),
+            ]))
+            .unwrap();
+        let d = Domain::zero_to(2);
+        let t_prime = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::write(y(), v(1)),
+            Action::write(x(), v(1)),
+        ]);
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
+            .expect("overwritten write");
+        assert!(w.check(&t_prime));
+        assert!(w
+            .eliminated
+            .iter()
+            .any(|(_, kinds)| kinds.contains(&EliminationKind::OverwrittenWrite)));
+    }
+
+    #[test]
+    fn paper_section4_traceset_example() {
+        // §4: all traces of the traceset of
+        //     x:=1; print 1; lock m; x:=1; unlock m
+        // are eliminations of wildcard traces belonging to the traceset of
+        //     x:=1; r1:=y; r2:=x; print r2;
+        //     if (r2!=0) { lock m; x:=2; x:=r2; unlock m }
+        let d = Domain::zero_to(2);
+        let m = Monitor::new(0);
+        let mut original = Traceset::new();
+        for vy in d.iter() {
+            for v2 in d.iter() {
+                let mut actions = vec![
+                    Action::start(tid(0)),
+                    Action::write(x(), v(1)),
+                    Action::read(y(), vy),
+                    Action::read(x(), v2),
+                    Action::external(v2),
+                ];
+                if v2 != Value::ZERO {
+                    actions.extend([
+                        Action::lock(m),
+                        Action::write(x(), v(2)),
+                        Action::write(x(), v2),
+                        Action::unlock(m),
+                    ]);
+                }
+                original.insert(Trace::from_actions(actions)).unwrap();
+            }
+        }
+        let mut transformed = Traceset::new();
+        transformed
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(x(), v(1)),
+                Action::external(v(1)),
+                Action::lock(m),
+                Action::write(x(), v(1)),
+                Action::unlock(m),
+            ]))
+            .unwrap();
+        is_elimination_of(&transformed, &original, &d, &EliminationOptions::default())
+            .expect("§4 example: the transformed traceset is an elimination");
+    }
+
+    #[test]
+    fn non_elimination_is_rejected() {
+        // The transformed trace prints a value the original never prints.
+        let d = Domain::zero_to(1);
+        let original = fig1_thread1_original(&d);
+        let bogus = Trace::from_actions([
+            Action::start(tid(1)),
+            Action::external(v(1)), // original always reads y first
+        ]);
+        assert!(find_elimination(&bogus, &original, &d, &EliminationOptions::default())
+            .is_none());
+    }
+
+    #[test]
+    fn identity_is_an_elimination() {
+        let d = Domain::zero_to(1);
+        let original = fig1_thread1_original(&d);
+        is_elimination_of(&original, &original, &d, &EliminationOptions::default())
+            .expect("every traceset is an elimination of itself");
+    }
+
+    #[test]
+    fn last_action_eliminations_found() {
+        // print 0; x:=1; unlock? — trailing write and release are droppable.
+        let m = Monitor::new(0);
+        let mut original = Traceset::new();
+        original
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::external(v(0)),
+                Action::lock(m),
+                Action::write(x(), v(1)),
+                Action::unlock(m),
+            ]))
+            .unwrap();
+        let d = Domain::zero_to(1);
+        // keep only [S(0), X(0), L[m]]
+        let t_prime = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::external(v(0)),
+            Action::lock(m),
+        ]);
+        // prefix membership makes this trivially an elimination (identity
+        // on a prefix); the interesting case keeps the lock but drops the
+        // write and unlock:
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
+            .expect("prefix");
+        assert!(w.check(&t_prime));
+        // Dropping only the *write* while keeping the unlock must fail:
+        // the write is not a redundant last write (a release follows) and
+        // is not overwritten.
+        let t_bad = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::external(v(0)),
+            Action::lock(m),
+            Action::unlock(m),
+        ]);
+        assert!(find_elimination(&t_bad, &original, &d, &EliminationOptions::default())
+            .is_none());
+    }
+
+    #[test]
+    fn witness_against_wild_rejects_non_eliminable_skips() {
+        let wild = WildTrace::from_elements([
+            Action::start(tid(0)).into(),
+            Action::write(x(), v(1)).into(),
+            Action::external(v(1)).into(),
+        ]);
+        // skipping the write would change behaviour; it is not eliminable
+        // (an external action follows, so it is not a redundant last write
+        // — wait, externals do not block case 6; but the location is read
+        // by nothing and no release follows... case 6 applies!).
+        // Use a release to make it genuinely non-eliminable.
+        let m = Monitor::new(0);
+        let wild2 = WildTrace::from_elements([
+            Action::start(tid(0)).into(),
+            Action::lock(m).into(),
+            Action::write(x(), v(1)).into(),
+            Action::unlock(m).into(),
+            Action::external(v(1)).into(),
+        ]);
+        let t_prime = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::lock(m),
+            Action::unlock(m),
+            Action::external(v(1)),
+        ]);
+        assert!(witness_against_wild(&t_prime, &wild2).is_none());
+        // sanity: the full trace embeds
+        let t_full = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::write(x(), v(1)),
+            Action::external(v(1)),
+        ]);
+        assert!(witness_against_wild(&t_full, &wild).is_some());
+    }
+
+    #[test]
+    fn irrelevant_read_elimination_uses_wildcards() {
+        // Original: r:=y; x:=1 (read of y is irrelevant).
+        let d = Domain::zero_to(1);
+        let mut original = Traceset::new();
+        for vy in d.iter() {
+            original
+                .insert(Trace::from_actions([
+                    Action::start(tid(0)),
+                    Action::read(y(), vy),
+                    Action::write(x(), v(1)),
+                ]))
+                .unwrap();
+        }
+        let t_prime =
+            Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]);
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
+            .expect("irrelevant read");
+        assert!(w.check(&t_prime));
+        assert!(w
+            .eliminated
+            .iter()
+            .any(|(_, kinds)| kinds.contains(&EliminationKind::IrrelevantRead)));
+        assert!(original.belongs_to(&w.wild, &d));
+    }
+
+    #[test]
+    fn display_of_witness_mentions_kinds() {
+        let d = Domain::zero_to(1);
+        let mut original = Traceset::new();
+        for vy in d.iter() {
+            original
+                .insert(Trace::from_actions([
+                    Action::start(tid(0)),
+                    Action::read(y(), vy),
+                    Action::write(x(), v(1)),
+                ]))
+                .unwrap();
+        }
+        let t_prime =
+            Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]);
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
+            .unwrap();
+        assert!(w.to_string().contains("irrelevant read"), "{w}");
+    }
+}
+
+#[cfg(test)]
+mod proper_tests {
+    use super::*;
+    use transafety_traces::{Monitor, ThreadId, Value};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn proper_search_rejects_last_action_only_eliminations() {
+        // [S, W[x=1], X(2)]: the write is a *redundant last write*
+        // (kind 6 — no later release, no later access to x; a later
+        // external is allowed). Eliminating it yields [S, X(2)], which is
+        // NOT a prefix, so the witness genuinely needs the last-action
+        // kind: found in default mode, rejected in proper mode.
+        let x = Loc::normal(0);
+        let mut original = Traceset::new();
+        original
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(x, v(1)),
+                Action::external(v(2)),
+            ]))
+            .unwrap();
+        let d = Domain::zero_to(2);
+        let t_prime = Trace::from_actions([Action::start(tid(0)), Action::external(v(2))]);
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
+            .expect("kind 6 applies in default mode");
+        assert!(w
+            .eliminated
+            .iter()
+            .any(|(_, kinds)| kinds.contains(&EliminationKind::RedundantLastWrite)));
+        assert!(
+            find_elimination(&t_prime, &original, &d, &EliminationOptions::proper()).is_none(),
+            "proper mode must reject the last-action-only witness"
+        );
+    }
+
+    #[test]
+    fn proper_search_finds_proper_witnesses() {
+        let x = Loc::normal(0);
+        let d = Domain::zero_to(1);
+        let mut original = Traceset::new();
+        for v1 in d.iter() {
+            for v2 in d.iter() {
+                original
+                    .insert(Trace::from_actions([
+                        Action::start(tid(0)),
+                        Action::read(x, v1),
+                        Action::read(x, v2),
+                        Action::external(v2),
+                    ]))
+                    .unwrap();
+            }
+        }
+        let t_prime = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::read(x, v(1)),
+            Action::external(v(1)),
+        ]);
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::proper())
+            .expect("redundant read after read is proper");
+        assert!(w.eliminated.iter().all(|(_, kinds)| kinds.iter().any(|k| k.is_proper())));
+    }
+
+    #[test]
+    fn proper_options_constructor() {
+        let o = EliminationOptions::proper();
+        assert!(o.proper_only);
+        assert_eq!(o.max_extra, EliminationOptions::default().max_extra);
+    }
+}

@@ -1,0 +1,538 @@
+//! Definition 1 of the paper: the eight kinds of eliminable actions.
+
+use std::fmt;
+
+use transafety_traces::{Loc, WildAction, WildTrace};
+
+/// The kind of redundancy justifying the elimination of an action
+/// (Definition 1 of the paper).
+///
+/// Kinds 1–5 are *properly eliminable* (§6.1): they compose under trace
+/// concatenation and correspond to the syntactic elimination rules of
+/// Fig. 10. Kinds 6–8 are *last-action* eliminations, needed to make the
+/// semantic reordering transformation work (see the §4 worked example,
+/// where an irrelevant read is eliminated before reordering).
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, ThreadId, Value, WildAction, WildTrace};
+/// use transafety_transform::{eliminable_kinds, EliminationKind};
+/// let x = Loc::normal(0);
+/// let t = WildTrace::from_elements([
+///     Action::start(ThreadId::new(0)).into(),
+///     Action::read(x, Value::new(1)).into(),
+///     Action::read(x, Value::new(1)).into(),
+/// ]);
+/// assert_eq!(eliminable_kinds(&t, 2), vec![EliminationKind::ReadAfterRead]);
+/// assert!(eliminable_kinds(&t, 1).is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EliminationKind {
+    /// Case 1: a read of the same value as an earlier read of the same
+    /// non-volatile location, with no intervening release–acquire pair or
+    /// write to the location.
+    ReadAfterRead,
+    /// Case 2: a read of the value written by an earlier write to the same
+    /// non-volatile location, with no intervening release–acquire pair or
+    /// write to the location.
+    ReadAfterWrite,
+    /// Case 3: a wildcard (irrelevant) read of a non-volatile location.
+    IrrelevantRead,
+    /// Case 4: a write of the value obtained by an earlier read of the
+    /// same non-volatile location, with no intervening release–acquire
+    /// pair or other access to the location.
+    WriteAfterRead,
+    /// Case 5: a write overwritten by a later write to the same
+    /// non-volatile location, with no intervening release–acquire pair or
+    /// other access to the location.
+    OverwrittenWrite,
+    /// Case 6: a normal write with no later release action and no later
+    /// access to the same location.
+    RedundantLastWrite,
+    /// Case 7: a release with no later synchronisation or external
+    /// actions.
+    RedundantRelease,
+    /// Case 8: an external action with no later synchronisation or
+    /// external actions.
+    RedundantExternal,
+}
+
+impl EliminationKind {
+    /// All eight kinds, in Definition 1 order.
+    pub const ALL: [EliminationKind; 8] = [
+        EliminationKind::ReadAfterRead,
+        EliminationKind::ReadAfterWrite,
+        EliminationKind::IrrelevantRead,
+        EliminationKind::WriteAfterRead,
+        EliminationKind::OverwrittenWrite,
+        EliminationKind::RedundantLastWrite,
+        EliminationKind::RedundantRelease,
+        EliminationKind::RedundantExternal,
+    ];
+
+    /// Is this one of the *properly eliminable* kinds 1–5 (§6.1), the
+    /// composable subset used by the syntactic elimination relation?
+    #[must_use]
+    pub const fn is_proper(self) -> bool {
+        matches!(
+            self,
+            EliminationKind::ReadAfterRead
+                | EliminationKind::ReadAfterWrite
+                | EliminationKind::IrrelevantRead
+                | EliminationKind::WriteAfterRead
+                | EliminationKind::OverwrittenWrite
+        )
+    }
+}
+
+impl fmt::Display for EliminationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EliminationKind::ReadAfterRead => "redundant read after read",
+            EliminationKind::ReadAfterWrite => "redundant read after write",
+            EliminationKind::IrrelevantRead => "irrelevant read",
+            EliminationKind::WriteAfterRead => "redundant write after read",
+            EliminationKind::OverwrittenWrite => "overwritten write",
+            EliminationKind::RedundantLastWrite => "redundant last write",
+            EliminationKind::RedundantRelease => "redundant release",
+            EliminationKind::RedundantExternal => "redundant external action",
+        };
+        f.write_str(s)
+    }
+}
+
+// --- classification helpers on wildcard elements ------------------------
+
+pub(crate) fn is_release(e: &WildAction) -> bool {
+    match e {
+        WildAction::Concrete(a) => a.is_release(),
+        WildAction::WildcardRead(_) => false,
+    }
+}
+
+pub(crate) fn is_acquire(e: &WildAction) -> bool {
+    match e {
+        WildAction::Concrete(a) => a.is_acquire(),
+        WildAction::WildcardRead(l) => l.is_volatile(),
+    }
+}
+
+pub(crate) fn is_sync(e: &WildAction) -> bool {
+    is_release(e) || is_acquire(e)
+}
+
+pub(crate) fn is_external(e: &WildAction) -> bool {
+    matches!(e, WildAction::Concrete(a) if a.is_external())
+}
+
+pub(crate) fn is_write_to(e: &WildAction, l: Loc) -> bool {
+    matches!(e, WildAction::Concrete(a) if a.is_write() && a.loc() == Some(l))
+}
+
+pub(crate) fn is_access_to(e: &WildAction, l: Loc) -> bool {
+    e.loc() == Some(l)
+}
+
+/// Is there a release–acquire pair strictly between `lo` and `hi` in the
+/// wildcard trace (Definition 1's "release-acquire pair between")?
+pub(crate) fn release_acquire_pair_between(t: &WildTrace, lo: usize, hi: usize) -> bool {
+    let hi = hi.min(t.len());
+    let Some(r) = (lo + 1..hi).find(|&r| is_release(&t.elements()[r])) else {
+        return false;
+    };
+    (r + 1..hi).any(|a| is_acquire(&t.elements()[a]))
+}
+
+fn write_to_between(t: &WildTrace, l: Loc, lo: usize, hi: usize) -> bool {
+    let hi = hi.min(t.len());
+    (lo + 1..hi).any(|i| is_write_to(&t.elements()[i], l))
+}
+
+fn access_to_between(t: &WildTrace, l: Loc, lo: usize, hi: usize) -> bool {
+    let hi = hi.min(t.len());
+    (lo + 1..hi).any(|i| is_access_to(&t.elements()[i], l))
+}
+
+/// Computes every [`EliminationKind`] under which index `i` of the
+/// wildcard trace `t` is eliminable (Definition 1).
+///
+/// Returns the empty vector when `i` is not eliminable (or out of range).
+#[must_use]
+pub fn eliminable_kinds(t: &WildTrace, i: usize) -> Vec<EliminationKind> {
+    use transafety_traces::Action;
+
+    let mut kinds = Vec::new();
+    let Some(e) = t.elements().get(i) else { return kinds };
+    match e {
+        WildAction::WildcardRead(l) => {
+            if !l.is_volatile() {
+                kinds.push(EliminationKind::IrrelevantRead);
+            }
+        }
+        WildAction::Concrete(Action::Read { loc, value }) if !loc.is_volatile() => {
+            for j in (0..i).rev() {
+                match t.elements()[j] {
+                    // Case 1: earlier read of the same value.
+                    WildAction::Concrete(Action::Read { loc: l2, value: v2 })
+                        if l2 == *loc && v2 == *value =>
+                    {
+                        if !release_acquire_pair_between(t, j, i)
+                            && !write_to_between(t, *loc, j, i)
+                        {
+                            kinds.push(EliminationKind::ReadAfterRead);
+                        }
+                    }
+                    // Case 2: earlier write of the same value.
+                    WildAction::Concrete(Action::Write { loc: l2, value: v2 })
+                        if l2 == *loc && v2 == *value =>
+                    {
+                        if !release_acquire_pair_between(t, j, i)
+                            && !write_to_between(t, *loc, j, i)
+                        {
+                            kinds.push(EliminationKind::ReadAfterWrite);
+                        }
+                    }
+                    _ => continue,
+                }
+            }
+            kinds.sort();
+            kinds.dedup();
+        }
+        WildAction::Concrete(Action::Write { loc, value }) if !loc.is_volatile() => {
+            // Case 4: earlier read of the same value with clean interval.
+            if (0..i).any(|j| {
+                matches!(t.elements()[j],
+                    WildAction::Concrete(Action::Read { loc: l2, value: v2 })
+                        if l2 == *loc && v2 == *value)
+                    && !release_acquire_pair_between(t, j, i)
+                    && !access_to_between(t, *loc, j, i)
+            }) {
+                kinds.push(EliminationKind::WriteAfterRead);
+            }
+            // Case 5: later write to the same location with clean interval.
+            if (i + 1..t.len()).any(|j| {
+                matches!(t.elements()[j],
+                    WildAction::Concrete(Action::Write { loc: l2, .. }) if l2 == *loc)
+                    && !release_acquire_pair_between(t, i, j)
+                    && !access_to_between(t, *loc, i, j)
+            }) {
+                kinds.push(EliminationKind::OverwrittenWrite);
+            }
+            // Case 6: redundant last write.
+            let tail = &t.elements()[i + 1..];
+            if !tail.iter().any(is_release) && !tail.iter().any(|e2| is_access_to(e2, *loc)) {
+                kinds.push(EliminationKind::RedundantLastWrite);
+            }
+        }
+        WildAction::Concrete(a) => {
+            let tail = &t.elements()[i + 1..];
+            let clean = !tail.iter().any(|e2| is_sync(e2) || is_external(e2));
+            // Case 7: redundant release.
+            if a.is_release() && clean {
+                kinds.push(EliminationKind::RedundantRelease);
+            }
+            // Case 8: redundant external.
+            if a.is_external() && clean {
+                kinds.push(EliminationKind::RedundantExternal);
+            }
+        }
+    }
+    kinds
+}
+
+/// Is index `i` eliminable in `t` under any kind (Definition 1)?
+#[must_use]
+pub fn is_eliminable(t: &WildTrace, i: usize) -> bool {
+    !eliminable_kinds(t, i).is_empty()
+}
+
+/// Is index `i` *properly* eliminable in `t` (kinds 1–5 only, §6.1)?
+#[must_use]
+pub fn is_properly_eliminable(t: &WildTrace, i: usize) -> bool {
+    eliminable_kinds(t, i).iter().any(|k| k.is_proper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::{Action, Monitor, ThreadId, Value};
+
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+    fn start() -> WildAction {
+        Action::start(ThreadId::new(0)).into()
+    }
+
+    /// The §4 example: [S(0), W[x=1], R[y=*], R[x=1], X(1), L[m], W[x=2],
+    /// W[x=1], U[m]] — eliminable indices are 2, 3 and 6.
+    fn paper_example() -> WildTrace {
+        let m = Monitor::new(0);
+        WildTrace::from_elements([
+            start(),
+            Action::write(x(), v(1)).into(),
+            WildAction::wildcard_read(y()),
+            Action::read(x(), v(1)).into(),
+            Action::external(v(1)).into(),
+            Action::lock(m).into(),
+            Action::write(x(), v(2)).into(),
+            Action::write(x(), v(1)).into(),
+            Action::unlock(m).into(),
+        ])
+    }
+
+    #[test]
+    fn paper_example_eliminable_indices() {
+        let t = paper_example();
+        // §4's prose lists 2, 3 and 6 (the indices its elimination uses).
+        // The trailing unlock at 8 is additionally eliminable by case 7
+        // (a redundant release, trivially sound: dropping the final
+        // element yields a member of the prefix-closed traceset).
+        let eliminable: Vec<usize> =
+            (0..t.len()).filter(|&i| is_eliminable(&t, i)).collect();
+        assert_eq!(eliminable, vec![2, 3, 6, 8]);
+        assert_eq!(eliminable_kinds(&t, 2), vec![EliminationKind::IrrelevantRead]);
+        assert_eq!(eliminable_kinds(&t, 3), vec![EliminationKind::ReadAfterWrite]);
+        assert_eq!(eliminable_kinds(&t, 6), vec![EliminationKind::OverwrittenWrite]);
+    }
+
+    #[test]
+    fn read_after_read() {
+        let t = WildTrace::from_elements([
+            start(),
+            Action::read(x(), v(1)).into(),
+            Action::read(x(), v(1)).into(),
+        ]);
+        assert_eq!(eliminable_kinds(&t, 2), vec![EliminationKind::ReadAfterRead]);
+        // different value: not eliminable
+        let t2 = WildTrace::from_elements([
+            start(),
+            Action::read(x(), v(1)).into(),
+            Action::read(x(), v(2)).into(),
+        ]);
+        assert!(eliminable_kinds(&t2, 2).is_empty());
+    }
+
+    #[test]
+    fn intervening_write_blocks_read_elimination() {
+        let t = WildTrace::from_elements([
+            start(),
+            Action::read(x(), v(1)).into(),
+            Action::write(x(), v(2)).into(),
+            Action::read(x(), v(1)).into(),
+        ]);
+        assert!(eliminable_kinds(&t, 3).is_empty());
+    }
+
+    #[test]
+    fn release_acquire_pair_blocks_elimination() {
+        let m = Monitor::new(0);
+        // R[x=1]; U[m]; L[m]; R[x=1] — the unlock/lock pair blocks case 1.
+        let t = WildTrace::from_elements([
+            start(),
+            Action::lock(m).into(),
+            Action::read(x(), v(1)).into(),
+            Action::unlock(m).into(),
+            Action::lock(m).into(),
+            Action::read(x(), v(1)).into(),
+        ]);
+        assert!(eliminable_kinds(&t, 5).is_empty());
+        // a release alone does not block
+        let t2 = WildTrace::from_elements([
+            start(),
+            Action::lock(m).into(),
+            Action::read(x(), v(1)).into(),
+            Action::unlock(m).into(),
+            Action::read(x(), v(1)).into(),
+        ]);
+        assert_eq!(eliminable_kinds(&t2, 4), vec![EliminationKind::ReadAfterRead]);
+    }
+
+    #[test]
+    fn write_after_read() {
+        // r:=x (reads 1); x:=1 — the write is redundant.
+        let t = WildTrace::from_elements([
+            start(),
+            Action::read(x(), v(1)).into(),
+            Action::write(x(), v(1)).into(),
+        ]);
+        assert!(eliminable_kinds(&t, 2).contains(&EliminationKind::WriteAfterRead));
+        // an intervening write to x blocks it (and there is no other read
+        // of the written value to justify the elimination)
+        let t2 = WildTrace::from_elements([
+            start(),
+            Action::read(x(), v(1)).into(),
+            Action::write(x(), v(2)).into(),
+            Action::write(x(), v(1)).into(),
+        ]);
+        assert!(!eliminable_kinds(&t2, 3).contains(&EliminationKind::WriteAfterRead));
+    }
+
+    #[test]
+    fn overwritten_write_is_the_earlier_one() {
+        let t = WildTrace::from_elements([
+            start(),
+            Action::write(x(), v(1)).into(),
+            Action::write(x(), v(2)).into(),
+        ]);
+        assert!(eliminable_kinds(&t, 1).contains(&EliminationKind::OverwrittenWrite));
+        // the later write is a redundant last write instead
+        assert_eq!(eliminable_kinds(&t, 2), vec![EliminationKind::RedundantLastWrite]);
+    }
+
+    #[test]
+    fn volatile_accesses_are_never_eliminable() {
+        let vl = Loc::volatile(5);
+        let t = WildTrace::from_elements([
+            start(),
+            Action::read(vl, v(1)).into(),
+            Action::read(vl, v(1)).into(),
+            Action::write(vl, v(1)).into(),
+        ]);
+        assert!(eliminable_kinds(&t, 2).is_empty());
+        // ... except that a trailing volatile write is a redundant release
+        assert_eq!(eliminable_kinds(&t, 3), vec![EliminationKind::RedundantRelease]);
+        // and a volatile wildcard read is not an irrelevant read
+        let t2 = WildTrace::from_elements([start(), WildAction::wildcard_read(vl)]);
+        assert!(eliminable_kinds(&t2, 1).is_empty());
+    }
+
+    #[test]
+    fn redundant_last_write_requires_clean_tail() {
+        let m = Monitor::new(0);
+        // write followed by an unlock (a release): not a last write.
+        let t = WildTrace::from_elements([
+            start(),
+            Action::lock(m).into(),
+            Action::write(x(), v(1)).into(),
+            Action::unlock(m).into(),
+        ]);
+        assert!(eliminable_kinds(&t, 2).is_empty());
+        // write followed only by unrelated accesses: eliminable.
+        let t2 = WildTrace::from_elements([
+            start(),
+            Action::write(x(), v(1)).into(),
+            Action::read(y(), v(0)).into(),
+        ]);
+        assert!(eliminable_kinds(&t2, 1).contains(&EliminationKind::RedundantLastWrite));
+    }
+
+    #[test]
+    fn redundant_release_and_external() {
+        let m = Monitor::new(0);
+        let t = WildTrace::from_elements([
+            start(),
+            Action::external(v(1)).into(),
+            Action::lock(m).into(),
+            Action::unlock(m).into(),
+        ]);
+        // the unlock is last: redundant release
+        assert_eq!(eliminable_kinds(&t, 3), vec![EliminationKind::RedundantRelease]);
+        // the external at 1 is followed by sync actions: not eliminable
+        assert!(eliminable_kinds(&t, 1).is_empty());
+        let t2 = WildTrace::from_elements([
+            start(),
+            Action::external(v(1)).into(),
+            Action::read(x(), v(0)).into(),
+        ]);
+        assert_eq!(eliminable_kinds(&t2, 1), vec![EliminationKind::RedundantExternal]);
+    }
+
+    #[test]
+    fn proper_kinds_are_cases_one_to_five() {
+        let proper: Vec<bool> = EliminationKind::ALL.iter().map(|k| k.is_proper()).collect();
+        assert_eq!(proper, vec![true, true, true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn start_actions_are_never_eliminable() {
+        let t = WildTrace::from_elements([start()]);
+        assert!(eliminable_kinds(&t, 0).is_empty());
+        assert!(eliminable_kinds(&t, 7).is_empty(), "out of range is empty");
+    }
+}
+
+#[cfg(test)]
+mod compositionality_tests {
+    //! §6.1: proper eliminability composes under trace concatenation —
+    //! the reason the syntactic relation excludes last-action kinds.
+
+    use super::*;
+    use transafety_traces::{Action, Monitor, ThreadId, Value};
+
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn proper_kinds_survive_concatenation() {
+        // t1 has a properly eliminable redundant read (index 2).
+        let t1: Vec<WildAction> = vec![
+            Action::start(ThreadId::new(0)).into(),
+            Action::read(x(), v(1)).into(),
+            Action::read(x(), v(1)).into(),
+        ];
+        // t2 is an arbitrary continuation, including synchronisation.
+        let m = Monitor::new(0);
+        let t2: Vec<WildAction> = vec![
+            Action::lock(m).into(),
+            Action::write(x(), v(2)).into(),
+            Action::unlock(m).into(),
+            Action::external(v(2)).into(),
+        ];
+        let whole = WildTrace::from_elements(t1.iter().chain(t2.iter()).copied());
+        let prefix = WildTrace::from_elements(t1.iter().copied());
+        assert!(is_properly_eliminable(&prefix, 2));
+        assert!(
+            is_properly_eliminable(&whole, 2),
+            "proper eliminability is stable under appending a continuation"
+        );
+    }
+
+    #[test]
+    fn last_action_kinds_do_not_survive_concatenation() {
+        // In isolation, the trailing write is a redundant last write …
+        let t1: Vec<WildAction> = vec![
+            Action::start(ThreadId::new(0)).into(),
+            Action::write(x(), v(1)).into(),
+        ];
+        let prefix = WildTrace::from_elements(t1.iter().copied());
+        assert_eq!(eliminable_kinds(&prefix, 1), vec![EliminationKind::RedundantLastWrite]);
+        // … but appending a read of it destroys the justification.
+        let t2: Vec<WildAction> = vec![Action::read(x(), v(1)).into()];
+        let whole = WildTrace::from_elements(t1.iter().chain(t2.iter()).copied());
+        assert!(
+            !eliminable_kinds(&whole, 1).contains(&EliminationKind::RedundantLastWrite),
+            "last-action eliminations are not compositional (the §6.1 point)"
+        );
+    }
+
+    #[test]
+    fn proper_eliminability_is_stable_under_prefixing() {
+        // prepending a (disjoint) prefix cannot break the backward-looking
+        // justification of a proper elimination
+        let suffix: Vec<WildAction> = vec![
+            Action::read(x(), v(1)).into(),
+            Action::read(x(), v(1)).into(),
+        ];
+        let t = WildTrace::from_elements(suffix.iter().copied());
+        assert!(is_properly_eliminable(&t, 1));
+        let y = Loc::normal(9);
+        let prefixed = WildTrace::from_elements(
+            [Action::start(ThreadId::new(0)).into(), Action::write(y, v(3)).into()]
+                .into_iter()
+                .chain(suffix.iter().copied()),
+        );
+        assert!(is_properly_eliminable(&prefixed, 3));
+    }
+}

@@ -1,0 +1,87 @@
+//! The semantic program transformations of §4–§5 of the paper:
+//! **eliminations** and **reorderings** of memory-action traces, with
+//! complete bounded witness searches, the Lemma 1 unelimination
+//! construction, and the out-of-thin-air origin analysis.
+//!
+//! The paper proves that any composition of these transformations is
+//! sound for data-race-free programs and cannot manufacture
+//! out-of-thin-air values. This crate makes every definition executable:
+//!
+//! * [`eliminable_kinds`] — Definition 1 (the eight kinds of redundant
+//!   actions on wildcard traces);
+//! * [`find_elimination`] / [`is_elimination_of`] — the §4 semantic
+//!   elimination between tracesets, as a witness search;
+//! * [`reorderable`] / [`reorder_matrix`] — the §4 reorderability
+//!   relation and its summary table, including roach-motel asymmetry;
+//! * [`ReorderingFn`], [`de_permute_prefix`], [`find_reordering`] /
+//!   [`is_reordering_of`] — the §4 semantic reordering;
+//! * [`find_elim_reordering`] — the composite transformation that
+//!   Lemma 5 relates to syntactic reordering;
+//! * [`find_unelimination`] / [`find_unordering`] — the §5 untransformation
+//!   constructions (Lemma 1 / the unordering merge);
+//! * origin analysis for the out-of-thin-air guarantee lives on
+//!   [`Traceset::has_origin_for`](transafety_traces::Traceset::has_origin_for)
+//!   and is composed into verdicts by `transafety-checker`.
+//!
+//! # Example
+//!
+//! The Fig. 1 elimination: `r1:=x; r2:=x; print r2` can drop the second
+//! read.
+//!
+//! ```
+//! use transafety_traces::{Action, Domain, Loc, ThreadId, Trace, Traceset, Value};
+//! use transafety_transform::{find_elimination, EliminationOptions};
+//!
+//! let x = Loc::normal(0);
+//! let d = Domain::zero_to(1);
+//! let mut original = Traceset::new();
+//! for v1 in d.iter() {
+//!     for v2 in d.iter() {
+//!         original.insert(Trace::from_actions([
+//!             Action::start(ThreadId::new(0)),
+//!             Action::read(x, v1),
+//!             Action::read(x, v2),
+//!             Action::external(v2),
+//!         ]))?;
+//!     }
+//! }
+//! // transformed thread: r1:=x; r2:=r1; print r2  — one shared read
+//! let transformed = Trace::from_actions([
+//!     Action::start(ThreadId::new(0)),
+//!     Action::read(x, Value::new(1)),
+//!     Action::external(Value::new(1)),
+//! ]);
+//! let witness = find_elimination(&transformed, &original, &d,
+//!     &EliminationOptions::default()).expect("redundant read after read");
+//! assert!(witness.check(&transformed));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod combined;
+mod elimination;
+mod kinds;
+mod reorderable;
+mod reordering;
+mod unelim;
+mod unorder;
+
+pub use combined::{
+    find_elim_reordering, is_elim_reordering_of, EliminationOracle, NotATransformation,
+};
+pub use elimination::{
+    find_elimination, is_elimination_of, witness_against_wild, EliminationOptions,
+    EliminationWitness, NotAnElimination,
+};
+pub use kinds::{eliminable_kinds, is_eliminable, is_properly_eliminable, EliminationKind};
+pub use reorderable::{
+    render_reorder_matrix, reorder_matrix, reorderable, MatrixEntry, ReorderClass,
+};
+pub use reordering::{
+    de_permute, de_permute_prefix, de_permutes_with, find_reordering, find_reordering_with,
+    is_reordering_of, NotAPermutation, NotAReordering, ReorderingFn,
+};
+pub use unelim::{find_unelimination, UneliminationWitness};
+pub use unorder::{find_unordering, UnorderingWitness};

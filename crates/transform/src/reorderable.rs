@@ -1,0 +1,273 @@
+//! The reorderability relation and the §4 reordering table.
+
+use std::fmt;
+
+use transafety_traces::{Action, Loc, Monitor, Value};
+
+/// Is action `a` *reorderable with* a later action `b` (§4)?
+///
+/// `a` is reorderable with `b` iff
+///
+/// 1. `a` is a non-volatile memory access and `b` is a non-conflicting
+///    non-volatile memory access, an acquire, or an external action; or
+/// 2. `b` is a non-volatile memory access and `a` is a non-conflicting
+///    non-volatile memory access, a release, or an external action.
+///
+/// The relation is deliberately **asymmetric** to allow roach-motel
+/// reordering (moving normal accesses *into* synchronised blocks): a
+/// normal access may move past a later acquire, and a release may move
+/// past a later normal access, but not vice versa.
+///
+/// Thread start actions are reorderable with nothing.
+///
+/// # Example
+///
+/// ```
+/// use transafety_traces::{Action, Loc, Monitor, Value};
+/// use transafety_transform::reorderable;
+/// let x = Loc::normal(0);
+/// let m = Monitor::new(0);
+/// let w = Action::write(x, Value::new(1));
+/// // roach motel: a write may sink below a later lock …
+/// assert!(reorderable(&w, &Action::lock(m)));
+/// // … but a lock may not sink below a later write.
+/// assert!(!reorderable(&Action::lock(m), &w));
+/// ```
+#[must_use]
+pub fn reorderable(a: &Action, b: &Action) -> bool {
+    let case1 = a.is_normal_access()
+        && ((b.is_normal_access() && !a.conflicts_with(b)) || b.is_acquire() || b.is_external());
+    let case2 = b.is_normal_access()
+        && ((a.is_normal_access() && !a.conflicts_with(b)) || a.is_release() || a.is_external());
+    case1 || case2
+}
+
+/// A row/column label of the §4 reordering table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReorderClass {
+    /// A write to a non-volatile location, `W[x=v]`.
+    Write,
+    /// A read from a non-volatile location, `R[x=v]`.
+    Read,
+    /// An acquire action (lock or volatile read).
+    Acquire,
+    /// A release action (unlock or volatile write).
+    Release,
+    /// An external action.
+    External,
+}
+
+impl ReorderClass {
+    /// The five classes in the paper's table order.
+    pub const ALL: [ReorderClass; 5] = [
+        ReorderClass::Write,
+        ReorderClass::Read,
+        ReorderClass::Acquire,
+        ReorderClass::Release,
+        ReorderClass::External,
+    ];
+
+    /// Representative actions of the class. Accesses take a location so
+    /// the table can probe the same-location and different-location
+    /// cases; synchronisation classes include both the monitor and the
+    /// volatile representative.
+    fn representatives(self, loc: Loc) -> Vec<Action> {
+        let volatile = Loc::volatile(1000);
+        match self {
+            ReorderClass::Write => vec![Action::write(loc, Value::new(1))],
+            ReorderClass::Read => vec![Action::read(loc, Value::new(1))],
+            ReorderClass::Acquire => {
+                vec![Action::lock(Monitor::new(0)), Action::read(volatile, Value::ZERO)]
+            }
+            ReorderClass::Release => {
+                vec![Action::unlock(Monitor::new(0)), Action::write(volatile, Value::ZERO)]
+            }
+            ReorderClass::External => vec![Action::external(Value::ZERO)],
+        }
+    }
+}
+
+impl fmt::Display for ReorderClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReorderClass::Write => "W[x=v]",
+            ReorderClass::Read => "R[x=v]",
+            ReorderClass::Acquire => "Acquire",
+            ReorderClass::Release => "Release",
+            ReorderClass::External => "External",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One cell of the §4 reordering table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixEntry {
+    /// Reorderable for any pair of representatives (the table's `✓`).
+    Always,
+    /// Reorderable only when the two accesses touch different locations
+    /// (the table's `x ≠ y`).
+    DifferentLocation,
+    /// Never reorderable (the table's `✗`).
+    Never,
+}
+
+impl fmt::Display for MatrixEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MatrixEntry::Always => "✓",
+            MatrixEntry::DifferentLocation => "x≠y",
+            MatrixEntry::Never => "✗",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Regenerates the §4 reordering table by probing [`reorderable`] with
+/// representative actions: entry `[i][j]` says when an action of class
+/// `ALL[i]` is reorderable with a later action of class `ALL[j]`.
+///
+/// Every representative pair of a class combination must agree, otherwise
+/// the classes would not be well-defined table labels; this invariant is
+/// asserted by the unit tests.
+#[must_use]
+pub fn reorder_matrix() -> [[MatrixEntry; 5]; 5] {
+    let same = Loc::normal(0);
+    let diff = Loc::normal(1);
+    let mut out = [[MatrixEntry::Never; 5]; 5];
+    for (i, ca) in ReorderClass::ALL.iter().enumerate() {
+        for (j, cb) in ReorderClass::ALL.iter().enumerate() {
+            let same_loc = ca
+                .representatives(same)
+                .iter()
+                .any(|a| cb.representatives(same).iter().any(|b| reorderable(a, b)));
+            let diff_loc = ca
+                .representatives(same)
+                .iter()
+                .any(|a| cb.representatives(diff).iter().any(|b| reorderable(a, b)));
+            out[i][j] = match (same_loc, diff_loc) {
+                (true, true) => MatrixEntry::Always,
+                (false, true) => MatrixEntry::DifferentLocation,
+                (false, false) => MatrixEntry::Never,
+                (true, false) => unreachable!("same-location reorderability implies different-location"),
+            };
+        }
+    }
+    out
+}
+
+/// Renders the reordering table in the paper's layout.
+#[must_use]
+pub fn render_reorder_matrix() -> String {
+    let m = reorder_matrix();
+    let mut s = String::from("a \\ b    | W[y]  R[y]  Acq   Rel   Ext\n");
+    for (i, c) in ReorderClass::ALL.iter().enumerate() {
+        s.push_str(&format!("{:<8} |", c.to_string()));
+        for cell in &m[i] {
+            s.push_str(&format!(" {:<5}", cell.to_string()));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn matrix_matches_the_paper_table() {
+        use MatrixEntry::{Always as A, DifferentLocation as D, Never as N};
+        let expected = [
+            // b =      W  R  Acq Rel Ext        a =
+            [D, D, A, N, A], // W[x]
+            [D, A, A, N, A], // R[x]
+            [N, N, N, N, N], // Acquire
+            [A, A, N, N, N], // Release
+            [A, A, N, N, N], // External
+        ];
+        assert_eq!(reorder_matrix(), expected);
+    }
+
+    #[test]
+    fn reads_of_same_location_are_reorderable() {
+        let r1 = Action::read(x(), v(1));
+        let r2 = Action::read(x(), v(2));
+        assert!(reorderable(&r1, &r2), "reads never conflict");
+    }
+
+    #[test]
+    fn conflicting_accesses_are_not_reorderable() {
+        let w = Action::write(x(), v(1));
+        let r = Action::read(x(), v(1));
+        assert!(!reorderable(&w, &r));
+        assert!(!reorderable(&r, &w));
+        assert!(!reorderable(&w, &w));
+        assert!(reorderable(&w, &Action::read(y(), v(1))));
+    }
+
+    #[test]
+    fn roach_motel_asymmetry() {
+        let m = Monitor::new(0);
+        let w = Action::write(x(), v(1));
+        let r = Action::read(x(), v(1));
+        // into the critical section: allowed
+        assert!(reorderable(&w, &Action::lock(m)), "W may sink past a later acquire");
+        assert!(reorderable(&Action::unlock(m), &w), "a release may sink past a later W");
+        // out of the critical section: forbidden
+        assert!(!reorderable(&Action::lock(m), &w));
+        assert!(!reorderable(&w, &Action::unlock(m)));
+        assert!(!reorderable(&r, &Action::unlock(m)));
+    }
+
+    #[test]
+    fn volatile_accesses_behave_as_their_sync_class() {
+        let vl = Loc::volatile(7);
+        let vw = Action::write(vl, v(1)); // release
+        let vr = Action::read(vl, v(1)); // acquire
+        let w = Action::write(x(), v(1));
+        assert!(reorderable(&w, &vr), "normal write past later volatile read (acquire)");
+        assert!(!reorderable(&w, &vw), "not past a later volatile write (release)");
+        assert!(reorderable(&vw, &w), "volatile write (release) past later normal write");
+        assert!(!reorderable(&vr, &w), "volatile read (acquire) blocks");
+        assert!(!reorderable(&vr, &vw) && !reorderable(&vw, &vr));
+    }
+
+    #[test]
+    fn externals_reorder_with_normal_accesses_only() {
+        let e = Action::external(v(1));
+        let w = Action::write(x(), v(1));
+        let m = Monitor::new(0);
+        assert!(reorderable(&e, &w) && reorderable(&w, &e));
+        assert!(!reorderable(&e, &Action::external(v(2))));
+        assert!(!reorderable(&e, &Action::lock(m)));
+        assert!(!reorderable(&Action::unlock(m), &e));
+    }
+
+    #[test]
+    fn start_actions_never_reorder() {
+        use transafety_traces::ThreadId;
+        let s = Action::start(ThreadId::new(0));
+        let w = Action::write(x(), v(1));
+        assert!(!reorderable(&s, &w));
+        assert!(!reorderable(&w, &s));
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render_reorder_matrix();
+        for c in ReorderClass::ALL {
+            assert!(s.contains(&c.to_string().split('[').next().unwrap().to_string()), "{s}");
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The semantic reordering transformation (§4): reordering functions,
+//! de-permutations of prefixes, and the witness search.
+
+use std::fmt;
+
+use transafety_traces::{Trace, Traceset};
+
+use crate::reorderable::reorderable;
+
+/// A witness that a trace de-permutes into the original traceset: the
+/// reordering function `f` mapping indices of the transformed trace to
+/// indices of the original trace.
+///
+/// # Example
+///
+/// The Fig. 4 walkthrough: `f = {0↦0, 1↦2, 2↦1, 3↦3}` de-permutes
+/// `t' = [S(0), W[x=1], R[y=1], X(1)]` back to
+/// `[S(0), R[y=1], W[x=1], X(1)]`.
+///
+/// ```
+/// use transafety_traces::{Action, Loc, ThreadId, Trace, Value};
+/// use transafety_transform::{de_permute, ReorderingFn};
+/// let (x, y) = (Loc::normal(0), Loc::normal(1));
+/// let t_prime = Trace::from_actions([
+///     Action::start(ThreadId::new(0)),
+///     Action::write(x, Value::new(1)),
+///     Action::read(y, Value::new(1)),
+///     Action::external(Value::new(1)),
+/// ]);
+/// let f = ReorderingFn::new(vec![0, 2, 1, 3]).unwrap();
+/// assert!(f.is_reordering_function_for(&t_prime));
+/// let original = de_permute(&t_prime, &f);
+/// assert_eq!(original[1], Action::read(y, Value::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderingFn {
+    map: Vec<usize>,
+}
+
+/// Error returned by [`ReorderingFn::new`] when the map is not a
+/// permutation of `{0, …, n-1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAPermutation;
+
+impl fmt::Display for NotAPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("the index map is not a permutation of 0..n")
+    }
+}
+
+impl std::error::Error for NotAPermutation {}
+
+impl ReorderingFn {
+    /// Creates a reordering function from `f(i) = map[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotAPermutation`] if `map` is not a bijection on
+    /// `{0, …, map.len()-1}`.
+    pub fn new(map: Vec<usize>) -> Result<Self, NotAPermutation> {
+        let mut seen = vec![false; map.len()];
+        for &v in &map {
+            if v >= map.len() || seen[v] {
+                return Err(NotAPermutation);
+            }
+            seen[v] = true;
+        }
+        Ok(ReorderingFn { map })
+    }
+
+    /// The identity function on `{0, …, n-1}`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        ReorderingFn { map: (0..n).collect() }
+    }
+
+    /// `f(i)`.
+    #[must_use]
+    pub fn apply(&self, i: usize) -> usize {
+        self.map[i]
+    }
+
+    /// The domain size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` for the empty function.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The underlying index map.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// Is this a *reordering function* for the (transformed) trace `t`
+    /// (§4)? For all `i < j`, `f(j) < f(i)` implies `t_j` is reorderable
+    /// with `t_i`.
+    #[must_use]
+    pub fn is_reordering_function_for(&self, t: &Trace) -> bool {
+        if self.map.len() != t.len() {
+            return false;
+        }
+        for i in 0..t.len() {
+            for j in i + 1..t.len() {
+                if self.map[j] < self.map[i] && !reorderable(&t[j], &t[i]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for ReorderingFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}↦{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The de-permutation of the length-`n` prefix of `t` under `f` (§4):
+/// the first `n` elements of `t`, arranged in increasing order of their
+/// `f`-images.
+///
+/// `de_permute_prefix(t, f, |t|)` is the full de-permutation `f↓(t)`.
+#[must_use]
+pub fn de_permute_prefix(t: &Trace, f: &ReorderingFn, n: usize) -> Trace {
+    let n = n.min(t.len());
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| f.apply(i));
+    idx.into_iter().map(|i| t[i]).collect()
+}
+
+/// The full de-permutation `f↓(t)`.
+#[must_use]
+pub fn de_permute(t: &Trace, f: &ReorderingFn) -> Trace {
+    de_permute_prefix(t, f, t.len())
+}
+
+/// Does `f` *de-permute* `t` into the set recognised by `member` (§4)?
+/// `f` must be a reordering function for `t` and every prefix
+/// de-permutation must be a member.
+///
+/// `member` abstracts the target set: plain traceset membership for the
+/// pure reordering transformation, or "is an elimination of a wildcard
+/// trace belonging to T" for the combined transformation of Lemma 5.
+#[must_use]
+pub fn de_permutes_with<F: FnMut(&Trace) -> bool>(
+    t: &Trace,
+    f: &ReorderingFn,
+    mut member: F,
+) -> bool {
+    f.is_reordering_function_for(t)
+        && (0..=t.len()).all(|n| member(&de_permute_prefix(t, f, n)))
+}
+
+/// Searches for a function de-permuting `t` into the set recognised by
+/// `member`. Complete (backtracking over all permutations, pruned by the
+/// reorderability constraint and by prefix membership).
+#[must_use]
+pub fn find_reordering_with<F: FnMut(&Trace) -> bool>(
+    t: &Trace,
+    mut member: F,
+) -> Option<ReorderingFn> {
+    if !member(&Trace::new()) {
+        return None;
+    }
+    let n = t.len();
+    let mut assignment: Vec<usize> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    fn dfs<F: FnMut(&Trace) -> bool>(
+        t: &Trace,
+        n: usize,
+        assignment: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        member: &mut F,
+    ) -> bool {
+        let k = assignment.len();
+        if k == n {
+            return true;
+        }
+        'target: for target in 0..n {
+            if used[target] {
+                continue;
+            }
+            // reorderability constraint against already-assigned indices
+            for (i, &fi) in assignment.iter().enumerate() {
+                if target < fi && !reorderable(&t[k], &t[i]) {
+                    continue 'target;
+                }
+            }
+            assignment.push(target);
+            used[target] = true;
+            // prefix membership: de-permute the first k+1 elements
+            let mut idx: Vec<usize> = (0..=k).collect();
+            idx.sort_by_key(|&i| assignment[i]);
+            let prefix: Trace = idx.iter().map(|&i| t[i]).collect();
+            if member(&prefix) && dfs(t, n, assignment, used, member) {
+                return true;
+            }
+            used[target] = false;
+            assignment.pop();
+        }
+        false
+    }
+    if dfs(t, n, &mut assignment, &mut used, &mut member) {
+        Some(ReorderingFn { map: assignment })
+    } else {
+        None
+    }
+}
+
+/// Searches for a function de-permuting `t` into the traceset `original`.
+#[must_use]
+pub fn find_reordering(t: &Trace, original: &Traceset) -> Option<ReorderingFn> {
+    find_reordering_with(t, |p| original.contains(p))
+}
+
+/// The failure report of [`is_reordering_of`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAReordering {
+    /// The transformed-traceset member with no de-permuting function.
+    pub trace: Trace,
+}
+
+impl fmt::Display for NotAReordering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace {} has no function de-permuting it into the original", self.trace)
+    }
+}
+
+impl std::error::Error for NotAReordering {}
+
+/// Decides whether `transformed` is a reordering of `original` (§4):
+/// every member trace of `transformed` must de-permute into `original`.
+///
+/// # Errors
+///
+/// Returns [`NotAReordering`] carrying the first member trace with no
+/// witness.
+pub fn is_reordering_of(
+    transformed: &Traceset,
+    original: &Traceset,
+) -> Result<(), NotAReordering> {
+    for t in transformed.traces() {
+        if find_reordering(&t, original).is_none() {
+            return Err(NotAReordering { trace: t });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_traces::{Action, Domain, Loc, Monitor, ThreadId, Value};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    fn fig4_t_prime() -> Trace {
+        Trace::from_actions([
+            Action::start(tid(0)),
+            Action::write(x(), v(1)),
+            Action::read(y(), v(1)),
+            Action::external(v(1)),
+        ])
+    }
+
+    fn fig4_f() -> ReorderingFn {
+        ReorderingFn::new(vec![0, 2, 1, 3]).unwrap()
+    }
+
+    #[test]
+    fn fig4_de_permutations_by_length() {
+        // Fig. 4 of the paper: de-permutations of t' for n = 0..4.
+        let t = fig4_t_prime();
+        let f = fig4_f();
+        assert!(f.is_reordering_function_for(&t));
+        let expect = |actions: Vec<Action>| Trace::from_actions(actions);
+        assert_eq!(de_permute_prefix(&t, &f, 0), Trace::new());
+        assert_eq!(de_permute_prefix(&t, &f, 1), expect(vec![Action::start(tid(0))]));
+        assert_eq!(
+            de_permute_prefix(&t, &f, 2),
+            expect(vec![Action::start(tid(0)), Action::write(x(), v(1))])
+        );
+        assert_eq!(
+            de_permute_prefix(&t, &f, 3),
+            expect(vec![
+                Action::start(tid(0)),
+                Action::read(y(), v(1)),
+                Action::write(x(), v(1)),
+            ])
+        );
+        assert_eq!(
+            de_permute(&t, &f),
+            expect(vec![
+                Action::start(tid(0)),
+                Action::read(y(), v(1)),
+                Action::write(x(), v(1)),
+                Action::external(v(1)),
+            ])
+        );
+    }
+
+    #[test]
+    fn fig4_function_is_not_a_reordering_without_elimination() {
+        // §4: T' is NOT a plain reordering of T because [S(0), W[x=1]]
+        // (the n = 2 de-permutation) is not in T. It becomes one after
+        // adding the eliminated trace (tested in combined.rs).
+        let d = Domain::zero_to(1);
+        let mut original = transafety_traces::Traceset::new();
+        for val in d.iter() {
+            original
+                .insert(Trace::from_actions([
+                    Action::start(tid(0)),
+                    Action::read(y(), val),
+                    Action::write(x(), v(1)),
+                    Action::external(val),
+                ]))
+                .unwrap();
+        }
+        let t = fig4_t_prime();
+        assert!(find_reordering(&t, &original).is_none());
+        // with T* = T ∪ {[S(0), W[x=1]]} it works:
+        let mut t_star = original.clone();
+        t_star
+            .insert(Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]))
+            .unwrap();
+        let f = find_reordering(&t, &t_star).expect("de-permutes into T*");
+        assert!(de_permutes_with(&t, &f, |p| t_star.contains(p)));
+        assert_eq!(f, fig4_f());
+    }
+
+    #[test]
+    fn reordering_function_validation() {
+        let t = fig4_t_prime();
+        assert!(ReorderingFn::new(vec![0, 0, 1, 2]).is_err(), "not injective");
+        assert!(ReorderingFn::new(vec![0, 1, 2, 9]).is_err(), "out of range");
+        let id = ReorderingFn::identity(4);
+        assert!(id.is_reordering_function_for(&t));
+        // swapping the external with the start is not permitted
+        let bad = ReorderingFn::new(vec![3, 1, 2, 0]).unwrap();
+        assert!(!bad.is_reordering_function_for(&t));
+        // length mismatch
+        assert!(!ReorderingFn::identity(2).is_reordering_function_for(&t));
+    }
+
+    #[test]
+    fn conflicting_accesses_cannot_swap() {
+        let t = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::write(x(), v(1)),
+            Action::read(x(), v(1)),
+        ]);
+        // f swapping the write and read of x
+        let f = ReorderingFn::new(vec![0, 2, 1]).unwrap();
+        assert!(!f.is_reordering_function_for(&t));
+    }
+
+    #[test]
+    fn roach_motel_reordering_function() {
+        let m = Monitor::new(0);
+        // transformed: lock m; x:=1  (write moved into the lock region)
+        let t = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::lock(m),
+            Action::write(x(), v(1)),
+        ]);
+        // original: x:=1; lock m
+        let f = ReorderingFn::new(vec![0, 2, 1]).unwrap();
+        assert!(f.is_reordering_function_for(&t), "W[x] reorderable with later acquire");
+        let original_trace = de_permute(&t, &f);
+        assert_eq!(
+            original_trace,
+            Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(x(), v(1)),
+                Action::lock(m),
+            ])
+        );
+        // the opposite move (hoisting out of the lock region) has no
+        // reordering function
+        let t_out = Trace::from_actions([
+            Action::start(tid(0)),
+            Action::write(x(), v(1)),
+            Action::lock(m),
+        ]);
+        let f_out = ReorderingFn::new(vec![0, 2, 1]).unwrap();
+        assert!(!f_out.is_reordering_function_for(&t_out));
+    }
+
+    #[test]
+    fn is_reordering_of_full_tracesets() {
+        // Fig. 2: thread-1 traceset {[S(1), W[x=1], R[y=v], X(v)]} is a
+        // reordering of T* (original + eliminated trace), thread-wise.
+        let d = Domain::zero_to(1);
+        let mut t_star = transafety_traces::Traceset::new();
+        let mut transformed = transafety_traces::Traceset::new();
+        for val in d.iter() {
+            t_star
+                .insert(Trace::from_actions([
+                    Action::start(tid(1)),
+                    Action::read(y(), val),
+                    Action::write(x(), v(1)),
+                    Action::external(val),
+                ]))
+                .unwrap();
+            transformed
+                .insert(Trace::from_actions([
+                    Action::start(tid(1)),
+                    Action::write(x(), v(1)),
+                    Action::read(y(), val),
+                    Action::external(val),
+                ]))
+                .unwrap();
+        }
+        t_star
+            .insert(Trace::from_actions([Action::start(tid(1)), Action::write(x(), v(1))]))
+            .unwrap();
+        is_reordering_of(&transformed, &t_star).expect("Fig. 2 reordering");
+        // and the identity always works
+        is_reordering_of(&t_star, &t_star).expect("identity reordering");
+    }
+
+    #[test]
+    fn non_reordering_rejected_with_witness_trace() {
+        let mut original = transafety_traces::Traceset::new();
+        original
+            .insert(Trace::from_actions([Action::start(tid(0)), Action::external(v(1))]))
+            .unwrap();
+        let mut transformed = transafety_traces::Traceset::new();
+        transformed
+            .insert(Trace::from_actions([Action::start(tid(0)), Action::external(v(2))]))
+            .unwrap();
+        let err = is_reordering_of(&transformed, &original).unwrap_err();
+        assert_eq!(err.trace.len(), 2);
+        assert!(err.to_string().contains("de-permuting"));
+    }
+
+    #[test]
+    fn display_of_reordering_fn() {
+        assert_eq!(fig4_f().to_string(), "{0↦0, 1↦2, 2↦1, 3↦3}");
+    }
+}

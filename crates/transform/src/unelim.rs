@@ -1,0 +1,382 @@
+//! The unelimination construction (Lemma 1 of the paper, Fig. 5).
+//!
+//! Given an execution `I'` of an eliminated traceset `T'` and the
+//! original traceset `T`, Lemma 1 produces a wildcard interleaving `I`
+//! belonging to `T` and an *unelimination function* from `I'` to `I`.
+//! The safety proof of eliminations rests on this construction: the
+//! instance of `I` is an execution of `T` with the same behaviour as
+//! `I'` (provided `T` is data race free).
+//!
+//! The construction follows the paper's three steps: decompose `I'` into
+//! thread traces, uneliminate each thread trace (the elimination witness
+//! search of [`find_elimination`]), and re-interleave so that the order
+//! of matched synchronisation/external actions is preserved while all
+//! *introduced* synchronisation/external actions come last.
+
+use std::fmt;
+
+use transafety_interleaving::{Interleaving, WildEvent, WildInterleaving};
+use transafety_traces::{Domain, Matching, ThreadId, Traceset, WildTrace};
+
+use crate::elimination::{find_elimination, EliminationOptions, EliminationWitness};
+use crate::kinds::{is_eliminable, is_external, is_sync};
+
+/// The output of the Lemma 1 construction: the wildcard interleaving and
+/// the unelimination function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UneliminationWitness {
+    /// The uneliminated wildcard interleaving `I` (belongs to the
+    /// original traceset).
+    pub wild: WildInterleaving,
+    /// The unelimination function `f`: a complete matching from the
+    /// indices of `I'` to indices of `I`.
+    pub matching: Matching,
+    /// The indices of `I` that were introduced (not in the range of `f`).
+    pub introduced: Vec<usize>,
+}
+
+impl UneliminationWitness {
+    /// Validates the four conditions of the unelimination definition
+    /// against the transformed execution `I'`:
+    ///
+    /// 1. matched same-thread events preserve their order;
+    /// 2. matched synchronisation/external events preserve their order;
+    /// 3. every matched synchronisation/external event precedes every
+    ///    introduced one;
+    /// 4. every introduced index is eliminable in `I`.
+    ///
+    /// Also checks that `f` is complete and relates equal events.
+    #[must_use]
+    pub fn check(&self, transformed: &Interleaving) -> bool {
+        let n = transformed.len();
+        if !self.matching.is_complete(n) {
+            return false;
+        }
+        // matched events must be equal (thread and concrete action)
+        for (i, fi) in self.matching.iter() {
+            let e = &transformed[i];
+            let w = &self.wild.events()[fi];
+            if w.thread() != e.thread() || w.wild_action().as_concrete() != Some(e.action()) {
+                return false;
+            }
+        }
+        // (i) and (ii)
+        for i in 0..n {
+            for j in i + 1..n {
+                let (fi, fj) = (
+                    self.matching.get(i).expect("complete"),
+                    self.matching.get(j).expect("complete"),
+                );
+                let (a, b) = (&transformed[i], &transformed[j]);
+                if a.thread() == b.thread() && fi >= fj {
+                    return false;
+                }
+                let sync_or_ext = |e: &transafety_interleaving::Event| {
+                    e.action().is_sync() || e.action().is_external()
+                };
+                if sync_or_ext(a) && sync_or_ext(b) && fi >= fj {
+                    return false;
+                }
+            }
+        }
+        // (iii)
+        let range: std::collections::BTreeSet<usize> =
+            self.matching.range().into_iter().collect();
+        for (k, w) in self.wild.events().iter().enumerate() {
+            let se = is_sync(&w.wild_action()) || is_external(&w.wild_action());
+            if !se {
+                continue;
+            }
+            if range.contains(&k) {
+                // matched sync/ext: must precede all introduced sync/ext
+                for &j in &self.introduced {
+                    let wj = &self.wild.events()[j];
+                    if (is_sync(&wj.wild_action()) || is_external(&wj.wild_action())) && j < k
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        // (iv): introduced indices are eliminable in their thread's trace
+        for &j in &self.introduced {
+            if range.contains(&j) {
+                return false;
+            }
+            let thread = self.wild.events()[j].thread();
+            let trace_index = self.trace_index_of(j, thread);
+            let trace = self.wild.trace_of(thread);
+            if !is_eliminable(&trace, trace_index) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The position within its thread's trace of global index `j`.
+    fn trace_index_of(&self, j: usize, thread: ThreadId) -> usize {
+        self.wild.events()[..j].iter().filter(|e| e.thread() == thread).count()
+    }
+}
+
+impl fmt::Display for UneliminationWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unelimination {} via {}", self.wild, self.matching)
+    }
+}
+
+/// The Lemma 1 construction: uneliminate the execution `transformed` of
+/// an elimination of `original`.
+///
+/// Returns `None` when some thread trace of `transformed` has no
+/// elimination witness within the search bounds (in particular, when
+/// `transformed` is not an execution of an elimination of `original`).
+#[must_use]
+pub fn find_unelimination(
+    transformed: &Interleaving,
+    original: &Traceset,
+    domain: &Domain,
+    opts: &EliminationOptions,
+) -> Option<UneliminationWitness> {
+    // Step 1: decompose into thread traces and uneliminate each.
+    let threads = transformed.threads();
+    let mut witnesses: Vec<(ThreadId, EliminationWitness)> = Vec::new();
+    for &th in &threads {
+        let trace = transformed.trace_of(th);
+        let w = find_elimination(&trace, original, domain, opts)?;
+        witnesses.push((th, w));
+    }
+
+    // Step 2: re-interleave. Matched elements are emitted in I' order;
+    // unmatched non-sync/non-external elements are emitted as soon as
+    // their thread reaches them; once a thread hits an unmatched
+    // synchronisation or external element, the rest of that thread is
+    // deferred to a final phase (such elements are last-action
+    // eliminations, so no matched sync/external element can follow them).
+    struct ThreadState<'w> {
+        wild: &'w WildTrace,
+        kept: &'w Matching,
+        emitted: usize,   // elements of `wild` already emitted
+        consumed: usize,  // events of I' of this thread already matched
+        deferred: bool,
+    }
+    let mut states: std::collections::BTreeMap<ThreadId, ThreadState<'_>> = witnesses
+        .iter()
+        .map(|(th, w)| {
+            (*th, ThreadState { wild: &w.wild, kept: &w.kept, emitted: 0, consumed: 0, deferred: false })
+        })
+        .collect();
+
+    let mut out: Vec<WildEvent> = Vec::new();
+    let mut matching = Matching::new();
+
+    for (i, e) in transformed.iter().enumerate() {
+        let th = e.thread();
+        let st = states.get_mut(&th)?;
+        let target = st.kept.get(st.consumed)?;
+        if st.deferred {
+            // This matched element lies after an introduced sync/external
+            // element; Lemma 1's kinds guarantee it is not sync/external
+            // itself, so its emission can wait for the final phase.
+            st.consumed += 1;
+            continue;
+        }
+        // Emit pending unmatched elements before the matched one, unless
+        // one of them is sync/external (then defer the tail).
+        while st.emitted < target {
+            let w = st.wild.elements()[st.emitted];
+            if is_sync(&w) || is_external(&w) {
+                st.deferred = true;
+                break;
+            }
+            out.push(WildEvent::new(th, w));
+            st.emitted += 1;
+        }
+        if st.deferred {
+            st.consumed += 1;
+            continue;
+        }
+        // Emit the matched element itself.
+        out.push(WildEvent::new(th, st.wild.elements()[target]));
+        matching.insert(i, out.len() - 1).ok()?;
+        st.emitted = target + 1;
+        st.consumed += 1;
+    }
+
+    // Step 3: final phase — flush every remaining element (including the
+    // deferred tails) in thread order, recording matches for deferred
+    // matched elements.
+    for (&th, st) in &mut states {
+        while st.emitted < st.wild.len() {
+            let w = st.wild.elements()[st.emitted];
+            out.push(WildEvent::new(th, w));
+            if let Some(iprime) = st.kept.get_inverse(st.emitted) {
+                // find the I' index: kept maps trace'-index -> wild index;
+                // convert the trace'-index back to the global I' index.
+                let global = nth_event_of_thread(transformed, th, iprime)?;
+                matching.insert(global, out.len() - 1).ok()?;
+            }
+            st.emitted += 1;
+        }
+    }
+
+    let range: std::collections::BTreeSet<usize> = matching.range().into_iter().collect();
+    let introduced = (0..out.len()).filter(|k| !range.contains(k)).collect();
+    Some(UneliminationWitness {
+        wild: WildInterleaving::from_events(out),
+        matching,
+        introduced,
+    })
+}
+
+/// The global index in `i` of the `n`-th event of thread `th`.
+fn nth_event_of_thread(i: &Interleaving, th: ThreadId, n: usize) -> Option<usize> {
+    let mut count = 0;
+    for (k, e) in i.iter().enumerate() {
+        if e.thread() == th {
+            if count == n {
+                return Some(k);
+            }
+            count += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_interleaving::{Event, Explorer};
+    use transafety_traces::{Action, Loc, Trace, Value};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    /// The Fig. 5 program (v volatile):
+    /// thread 0: v:=1; y:=1   — thread 1: r1:=x; r2:=v; print r2.
+    fn fig5_original(d: &Domain) -> Traceset {
+        let vol = Loc::volatile(9);
+        let x = Loc::normal(0);
+        let y = Loc::normal(1);
+        let mut t = Traceset::new();
+        t.insert(Trace::from_actions([
+            Action::start(tid(0)),
+            Action::write(vol, v(1)),
+            Action::write(y, v(1)),
+        ]))
+        .unwrap();
+        for v1 in d.iter() {
+            for v2 in d.iter() {
+                t.insert(Trace::from_actions([
+                    Action::start(tid(1)),
+                    Action::read(x, v1),
+                    Action::read(vol, v2),
+                    Action::external(v2),
+                ]))
+                .unwrap();
+            }
+        }
+        t
+    }
+
+    /// The Fig. 5 execution of the transformed program:
+    /// I' = [(0,S(0)), (1,S(1)), (0,W[y=1]), (1,R[v=0]), (1,X(0))].
+    fn fig5_transformed_execution() -> Interleaving {
+        let vol = Loc::volatile(9);
+        let y = Loc::normal(1);
+        Interleaving::from_events([
+            Event::new(tid(0), Action::start(tid(0))),
+            Event::new(tid(1), Action::start(tid(1))),
+            Event::new(tid(0), Action::write(y, v(1))),
+            Event::new(tid(1), Action::read(vol, v(0))),
+            Event::new(tid(1), Action::external(v(0))),
+        ])
+    }
+
+    #[test]
+    fn fig5_unelimination_matches_the_paper() {
+        let d = Domain::zero_to(1);
+        let original = fig5_original(&d);
+        let i_prime = fig5_transformed_execution();
+        let w = find_unelimination(&i_prime, &original, &d, &EliminationOptions::default())
+            .expect("Lemma 1 construction");
+        assert!(w.check(&i_prime), "all four unelimination conditions hold");
+        // The wildcard interleaving belongs to the original traceset.
+        assert!(w.wild.belongs_to(&original, &d));
+        // The paper's key observation: the unelimination function moves
+        // the second action of I' (index 2, W[y=1]) to the last position.
+        assert_eq!(w.matching.get(2), Some(w.wild.len() - 1));
+        // The introduced volatile write (a release) comes after every
+        // matched synchronisation/external action.
+        let instance = w.wild.instance();
+        assert!(instance.is_sequentially_consistent(),
+            "the instance is an execution (Lemma 1 consequence for race-free prefixes)");
+        assert!(instance.is_interleaving_of(&original));
+        assert_eq!(instance.behaviour(), i_prime.behaviour(), "same behaviour");
+    }
+
+    #[test]
+    fn unelimination_of_untransformed_execution_is_identity_like() {
+        let d = Domain::zero_to(1);
+        let original = fig5_original(&d);
+        // any execution of the original itself uneliminates
+        let execs = Explorer::new(&original)
+            .maximal_executions(transafety_interleaving::ExploreLimits::default());
+        for e in execs.iter().take(10) {
+            let w = find_unelimination(e, &original, &d, &EliminationOptions::default())
+                .expect("executions of T uneliminate into T");
+            assert!(w.check(e));
+        }
+    }
+
+    #[test]
+    fn unelimination_fails_for_foreign_executions() {
+        let d = Domain::zero_to(1);
+        let original = fig5_original(&d);
+        let bogus = Interleaving::from_events([
+            Event::new(tid(0), Action::start(tid(0))),
+            Event::new(tid(0), Action::external(v(7))),
+        ]);
+        assert!(find_unelimination(&bogus, &original, &d, &EliminationOptions::default())
+            .is_none());
+    }
+
+    #[test]
+    fn behaviour_preservation_on_all_transformed_executions() {
+        // Build the transformed traceset (after both eliminations) and
+        // check every execution's behaviour is reproduced by its
+        // unelimination instance — the heart of Theorem 1.
+        let d = Domain::zero_to(1);
+        let original = fig5_original(&d);
+        let vol = Loc::volatile(9);
+        let y = Loc::normal(1);
+        let mut transformed = Traceset::new();
+        transformed
+            .insert(Trace::from_actions([Action::start(tid(0)), Action::write(y, v(1))]))
+            .unwrap();
+        for v2 in d.iter() {
+            transformed
+                .insert(Trace::from_actions([
+                    Action::start(tid(1)),
+                    Action::read(vol, v2),
+                    Action::external(v2),
+                ]))
+                .unwrap();
+        }
+        let execs = Explorer::new(&transformed)
+            .maximal_executions(transafety_interleaving::ExploreLimits::default());
+        assert!(!execs.is_empty());
+        for e in &execs {
+            let w = find_unelimination(e, &original, &d, &EliminationOptions::default())
+                .unwrap_or_else(|| panic!("unelimination of {e}"));
+            assert!(w.check(e), "conditions for {e}");
+            let instance = w.wild.instance();
+            assert!(instance.is_sequentially_consistent(), "{e} -> {instance}");
+            assert_eq!(instance.behaviour(), e.behaviour());
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The unordering construction (§5, "Reordering"): the reordering
+//! analogue of unelimination.
+//!
+//! Given an execution `I'` of a reordered traceset and the original
+//! traceset `T`, an *unordering* is a permutation `f` of `dom(I')` such
+//! that (i) non-reorderable same-thread pairs keep their order, (ii)
+//! synchronisation/external actions keep their order, and (iii) per
+//! thread, `f` de-permutes the thread's trace into `T`. The paper proves
+//! by induction on `|I'|` that for data-race-free `T` the permuted
+//! interleaving is an execution of `T` — which the tests check
+//! executably on the paper's examples.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use transafety_interleaving::{Event, Interleaving};
+use transafety_traces::{ThreadId, Traceset};
+
+use crate::reorderable::reorderable;
+use crate::reordering::{de_permute, find_reordering, ReorderingFn};
+
+/// The output of [`find_unordering`]: the permutation and the permuted
+/// (untransformed) interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnorderingWitness {
+    /// `f(i)` = the position in the unordered interleaving of `I'`'s
+    /// `i`-th event.
+    pub map: Vec<usize>,
+    /// The unordered interleaving `f↓(I')`.
+    pub unordered: Interleaving,
+}
+
+impl UnorderingWitness {
+    /// Validates the three unordering conditions against `I'` and `T`.
+    #[must_use]
+    pub fn check(&self, transformed: &Interleaving, original: &Traceset) -> bool {
+        let n = transformed.len();
+        if self.map.len() != n || self.unordered.len() != n {
+            return false;
+        }
+        // f is a permutation and the unordered interleaving is f↓(I')
+        let mut seen = vec![false; n];
+        for (i, &fi) in self.map.iter().enumerate() {
+            if fi >= n || seen[fi] {
+                return false;
+            }
+            seen[fi] = true;
+            if self.unordered[fi] != transformed[i] {
+                return false;
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let (a, b) = (&transformed[i], &transformed[j]);
+                // (i): same-thread non-reorderable pairs keep order.
+                // The §4 convention applies: swapping i < j in the
+                // transformed program requires A(I'_j) reorderable with
+                // A(I'_i).
+                if a.thread() == b.thread()
+                    && !reorderable(&b.action(), &a.action())
+                    && self.map[i] >= self.map[j]
+                {
+                    return false;
+                }
+                // (ii): sync/external order is preserved.
+                let se = |e: &Event| e.action().is_sync() || e.action().is_external();
+                if se(a) && se(b) && self.map[i] >= self.map[j] {
+                    return false;
+                }
+            }
+        }
+        // (iii): per-thread de-permutation into T.
+        for th in transformed.threads() {
+            let trace = transformed.trace_of(th);
+            let f = self.thread_function(transformed, th);
+            let Ok(f) = ReorderingFn::new(f) else { return false };
+            if !f.is_reordering_function_for(&trace) {
+                return false;
+            }
+            if !original.contains(&de_permute(&trace, &f)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The restriction of `f` to the events of one thread, renumbered to
+    /// trace positions.
+    fn thread_function(&self, transformed: &Interleaving, th: ThreadId) -> Vec<usize> {
+        let indices: Vec<usize> = (0..transformed.len())
+            .filter(|&i| transformed[i].thread() == th)
+            .collect();
+        // rank of f(i) among this thread's f-images
+        let mut images: Vec<usize> = indices.iter().map(|&i| self.map[i]).collect();
+        let sorted = {
+            let mut s = images.clone();
+            s.sort_unstable();
+            s
+        };
+        for v in &mut images {
+            *v = sorted.binary_search(v).expect("image present");
+        }
+        images
+    }
+}
+
+impl fmt::Display for UnorderingWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unordering {:?} yielding {}", self.map, self.unordered)
+    }
+}
+
+/// Searches for an unordering of the execution `transformed` into the
+/// traceset `original` (§5).
+///
+/// The construction mirrors the paper's: de-permute each thread trace
+/// into `T` (the [`find_reordering`] witness search), then merge the
+/// de-permuted threads so synchronisation/external events keep their
+/// `I'` order. Returns `None` when some thread trace has no de-permuting
+/// function (in particular, when `transformed` is not an execution of a
+/// reordering of `original`).
+#[must_use]
+pub fn find_unordering(
+    transformed: &Interleaving,
+    original: &Traceset,
+) -> Option<UnorderingWitness> {
+    let threads = transformed.threads();
+    // Step 1: per-thread reordering functions.
+    let mut per_thread: BTreeMap<ThreadId, ReorderingFn> = BTreeMap::new();
+    for &th in &threads {
+        let trace = transformed.trace_of(th);
+        per_thread.insert(th, find_reordering(&trace, original)?);
+    }
+    // Step 2: merge. Each thread contributes its de-permuted sequence;
+    // an element is emittable when it is the thread's next de-permuted
+    // event and, if it is sync/external, all earlier (in I') sync/
+    // external events have been emitted.
+    //
+    // Build, per thread, the list of I' indices in de-permuted order.
+    let mut queues: BTreeMap<ThreadId, std::collections::VecDeque<usize>> = BTreeMap::new();
+    for &th in &threads {
+        let f = &per_thread[&th];
+        let indices: Vec<usize> = (0..transformed.len())
+            .filter(|&i| transformed[i].thread() == th)
+            .collect();
+        // order thread events by their f-image
+        let mut order: Vec<usize> = (0..indices.len()).collect();
+        order.sort_by_key(|&k| f.apply(k));
+        queues.insert(th, order.into_iter().map(|k| indices[k]).collect());
+    }
+    let se = |i: usize| {
+        let a = transformed[i].action();
+        a.is_sync() || a.is_external()
+    };
+    // pending sync/ext events in I' order
+    let mut pending_se: std::collections::VecDeque<usize> =
+        (0..transformed.len()).filter(|&i| se(i)).collect();
+    let mut map = vec![usize::MAX; transformed.len()];
+    let mut out: Vec<Event> = Vec::new();
+    while out.len() < transformed.len() {
+        // prefer a non-sync head
+        let mut emitted = false;
+        for th in &threads {
+            let Some(&head) = queues[th].front() else { continue };
+            if !se(head) {
+                queues.get_mut(th).expect("thread present").pop_front();
+                map[head] = out.len();
+                out.push(transformed[head]);
+                emitted = true;
+                break;
+            }
+        }
+        if emitted {
+            continue;
+        }
+        // otherwise the earliest pending sync/ext event must be some
+        // thread's head (condition (ii) of the §4 reorderability rules
+        // guarantees sync/ext order is preserved per thread)
+        let target = *pending_se.front()?;
+        let th = transformed[target].thread();
+        let head = *queues[&th].front()?;
+        if head != target {
+            // the per-thread de-permutation disagrees with the global
+            // sync order — no unordering from these witnesses
+            return None;
+        }
+        queues.get_mut(&th).expect("thread present").pop_front();
+        pending_se.pop_front();
+        map[target] = out.len();
+        out.push(transformed[target]);
+    }
+    Some(UnorderingWitness { map, unordered: Interleaving::from_events(out) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_interleaving::Explorer;
+    use transafety_traces::{Action, Domain, Loc, Trace, Value};
+
+    fn tid(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+    fn x() -> Loc {
+        Loc::normal(0)
+    }
+    fn y() -> Loc {
+        Loc::normal(1)
+    }
+
+    /// Fig. 2 with the intermediate set T* (original ∪ the eliminated
+    /// trace), against which the transformed program is a plain
+    /// reordering.
+    fn fig2_t_star(d: &Domain) -> Traceset {
+        let mut t = Traceset::new();
+        for val in d.iter() {
+            t.insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::read(x(), val),
+                Action::write(y(), val),
+            ]))
+            .unwrap();
+            t.insert(Trace::from_actions([
+                Action::start(tid(1)),
+                Action::read(y(), val),
+                Action::write(x(), v(1)),
+                Action::external(val),
+            ]))
+            .unwrap();
+        }
+        t.insert(Trace::from_actions([Action::start(tid(1)), Action::write(x(), v(1))]))
+            .unwrap();
+        t
+    }
+
+    fn fig2_transformed(d: &Domain) -> Traceset {
+        let mut t = Traceset::new();
+        for val in d.iter() {
+            t.insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::read(x(), val),
+                Action::write(y(), val),
+            ]))
+            .unwrap();
+            t.insert(Trace::from_actions([
+                Action::start(tid(1)),
+                Action::write(x(), v(1)),
+                Action::read(y(), val),
+                Action::external(val),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn unorderings_exist_for_all_fig2_executions() {
+        let d = Domain::zero_to(1);
+        let t_star = fig2_t_star(&d);
+        let transformed = fig2_transformed(&d);
+        let execs = Explorer::new(&transformed)
+            .maximal_executions(transafety_interleaving::ExploreLimits::default());
+        assert!(!execs.is_empty());
+        for e in &execs {
+            let w = find_unordering(e, &t_star).unwrap_or_else(|| panic!("no unordering for {e}"));
+            assert!(w.check(e, &t_star), "conditions failed for {e} -> {w}");
+            // the §5 induction's conclusion: the unordered interleaving is
+            // an interleaving of T* (it is an execution when T* is DRF;
+            // Fig. 2 is racy so we only require interleaving-ness here)
+            assert!(w.unordered.is_interleaving_of(&t_star), "{e} -> {}", w.unordered);
+        }
+    }
+
+    #[test]
+    fn unordered_executions_of_drf_programs_stay_executions() {
+        // A DRF reordering instance: thread 0 = y:=1 under lock, thread 1
+        // reads z then locks — reorder r:=z into the lock (roach motel).
+        use transafety_traces::Monitor;
+        let m = Monitor::new(0);
+        let d = Domain::zero_to(1);
+        let z = Loc::normal(2);
+        let mut original = Traceset::new();
+        let mut transformed = Traceset::new();
+        for val in d.iter() {
+            original
+                .insert(Trace::from_actions([
+                    Action::start(tid(0)),
+                    Action::lock(m),
+                    Action::write(y(), v(1)),
+                    Action::unlock(m),
+                ]))
+                .unwrap();
+            original
+                .insert(Trace::from_actions([
+                    Action::start(tid(1)),
+                    Action::read(z, val),
+                    Action::lock(m),
+                    Action::external(val),
+                    Action::unlock(m),
+                ]))
+                .unwrap();
+            transformed
+                .insert(Trace::from_actions([
+                    Action::start(tid(0)),
+                    Action::lock(m),
+                    Action::write(y(), v(1)),
+                    Action::unlock(m),
+                ]))
+                .unwrap();
+            transformed
+                .insert(Trace::from_actions([
+                    Action::start(tid(1)),
+                    Action::lock(m),
+                    Action::read(z, val),
+                    Action::external(val),
+                    Action::unlock(m),
+                ]))
+                .unwrap();
+        }
+        assert!(Explorer::new(&original).is_data_race_free());
+        // Roach-motel reordering is a reordering of an *elimination* of
+        // the original (§4): the n = 2 prefix de-permutation [S(1), L]
+        // exists only after eliminating the irrelevant read of z from
+        // the wildcard prefix [S(1), R[z=*], L]. Build that T*.
+        let mut t_star = original.clone();
+        t_star
+            .insert(Trace::from_actions([Action::start(tid(1)), Action::lock(m)]))
+            .unwrap();
+        let original = t_star;
+        for e in Explorer::new(&transformed)
+            .maximal_executions(transafety_interleaving::ExploreLimits::default())
+        {
+            let w = find_unordering(&e, &original)
+                .unwrap_or_else(|| panic!("no unordering for {e}"));
+            assert!(w.check(&e, &original));
+            // Theorem 2's conclusion, executably: an execution with the
+            // same behaviour.
+            assert!(w.unordered.is_sequentially_consistent(), "{e} -> {}", w.unordered);
+            assert!(w.unordered.is_interleaving_of(&original));
+            assert_eq!(w.unordered.behaviour(), e.behaviour());
+        }
+    }
+
+    #[test]
+    fn no_unordering_for_unrelated_tracesets() {
+        let d = Domain::zero_to(1);
+        let t_star = fig2_t_star(&d);
+        let bogus = Interleaving::from_events([
+            Event::new(tid(0), Action::start(tid(0))),
+            Event::new(tid(0), Action::external(v(9))),
+        ]);
+        assert!(find_unordering(&bogus, &t_star).is_none());
+    }
+}

@@ -1,0 +1,412 @@
+//! An operational TSO machine (per-thread FIFO store buffers) for the
+//! §6 language.
+//!
+//! §8 of the paper observes that the Sun TSO memory model (used by most
+//! SPARC processors, and equivalent to x86-TSO) is *explained* by the
+//! paper's transformations: every TSO behaviour of a program is a
+//! sequentially consistent behaviour of a program obtained by
+//! write→read reordering plus forwarding elimination. This module
+//! provides the machine side of that claim: an exhaustive explorer of
+//! TSO executions.
+//!
+//! The machine model is the standard operational presentation
+//! (x86-TSO): writes enqueue into the writing thread's FIFO buffer;
+//! buffers drain into shared memory nondeterministically; reads consult
+//! the own buffer first (store-to-load forwarding); locks, unlocks and
+//! volatile accesses act as fences (they require the thread's buffer to
+//! have drained).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use transafety_interleaving::Behaviours;
+use transafety_lang::{Bounded, ExploreOptions, Program, Step, ThreadConfig};
+use transafety_traces::{Action, Domain, Loc, Monitor, Value};
+
+/// Exhaustive explorer of the TSO executions of a program.
+///
+/// # Example
+///
+/// The store-buffering litmus test (SB): under SC at least one thread
+/// must see the other's write; under TSO both may read 0.
+///
+/// ```
+/// use transafety_lang::{parse_program, ExploreOptions, ProgramExplorer};
+/// use transafety_tso::TsoExplorer;
+/// use transafety_traces::Value;
+///
+/// let src = "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
+/// let p = parse_program(src)?.program;
+/// let opts = ExploreOptions::default();
+/// let sc = ProgramExplorer::new(&p).behaviours(&opts).value;
+/// let tso = TsoExplorer::new(&p).behaviours(&opts).value;
+/// let zero_zero = vec![Value::new(0), Value::new(0)];
+/// assert!(!sc.contains(&zero_zero));
+/// assert!(tso.contains(&zero_zero));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TsoExplorer<'p> {
+    program: &'p Program,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TsoState {
+    threads: Vec<Option<ThreadConfig>>,
+    buffers: Vec<VecDeque<(Loc, Value)>>,
+    memory: BTreeMap<Loc, Value>,
+    holders: BTreeMap<Monitor, usize>,
+}
+
+#[derive(Debug, Clone)]
+enum TsoMove {
+    /// Thread `thread` starts.
+    Start { thread: usize },
+    /// Thread `thread` performs the action (already resolved against the
+    /// buffer/memory) and becomes `next`.
+    Act { thread: usize, action: Action, next: ThreadConfig },
+    /// The oldest buffered store of `thread` drains to memory.
+    Flush { thread: usize },
+}
+
+impl<'p> TsoExplorer<'p> {
+    /// Creates a TSO explorer for the program.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        TsoExplorer { program }
+    }
+
+    fn initial(&self) -> TsoState {
+        let n = self.program.thread_count();
+        TsoState {
+            threads: vec![None; n],
+            buffers: vec![VecDeque::new(); n],
+            memory: BTreeMap::new(),
+            holders: BTreeMap::new(),
+        }
+    }
+
+    /// The value thread `k` reads from `loc`: the youngest buffered store
+    /// to `loc` in its own buffer, else shared memory.
+    fn read_value(&self, state: &TsoState, k: usize, loc: Loc) -> Value {
+        state.buffers[k]
+            .iter()
+            .rev()
+            .find(|(l, _)| *l == loc)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| state.memory.get(&loc).copied().unwrap_or(Value::ZERO))
+    }
+
+    fn moves(&self, state: &TsoState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<TsoMove> {
+        let domain = Domain::zero_to(0);
+        let mut out = Vec::new();
+        for (k, buffer) in state.buffers.iter().enumerate() {
+            if !buffer.is_empty() {
+                out.push(TsoMove::Flush { thread: k });
+            }
+        }
+        for (k, slot) in state.threads.iter().enumerate() {
+            let Some(cfg) = slot else {
+                out.push(TsoMove::Start { thread: k });
+                continue;
+            };
+            let Some((_, step)) = cfg.tau_closure(&domain, opts.max_tau) else {
+                *truncated = true;
+                continue;
+            };
+            let Step::Emit(successors) = step else { continue };
+            let (first_action, _) = &successors[0];
+            match *first_action {
+                Action::Read { loc, .. } if !loc.is_volatile() => {
+                    let v = self.read_value(state, k, loc);
+                    let (a, next) = resolved_read(cfg, v, opts);
+                    out.push(TsoMove::Act { thread: k, action: a, next });
+                }
+                Action::Read { loc, .. } => {
+                    // volatile read: fence — buffer must be empty
+                    if state.buffers[k].is_empty() {
+                        let v = state.memory.get(&loc).copied().unwrap_or(Value::ZERO);
+                        let (a, next) = resolved_read(cfg, v, opts);
+                        out.push(TsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Write { loc, .. } if loc.is_volatile() => {
+                    // volatile write: fence — buffer must be empty
+                    if state.buffers[k].is_empty() {
+                        let (a, next) = successors.into_iter().next().expect("one");
+                        out.push(TsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Write { .. } | Action::External(_) => {
+                    let (a, next) = successors.into_iter().next().expect("one");
+                    out.push(TsoMove::Act { thread: k, action: a, next });
+                }
+                Action::Lock(m) => {
+                    let free = match state.holders.get(&m) {
+                        None => true,
+                        Some(&h) => h == k,
+                    };
+                    if free && state.buffers[k].is_empty() {
+                        let (a, next) = successors.into_iter().next().expect("one");
+                        out.push(TsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Unlock(_) => {
+                    if state.buffers[k].is_empty() {
+                        let (a, next) = successors.into_iter().next().expect("one");
+                        out.push(TsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Start(_) => unreachable!("start is not emitted by thread bodies"),
+            }
+        }
+        out
+    }
+
+    fn apply(&self, state: &TsoState, mv: &TsoMove) -> TsoState {
+        let mut next = state.clone();
+        match mv {
+            TsoMove::Start { thread } => {
+                next.threads[*thread] = Some(ThreadConfig::new(
+                    self.program.thread(*thread).expect("in range").to_vec(),
+                ));
+            }
+            TsoMove::Flush { thread } => {
+                if let Some((loc, v)) = next.buffers[*thread].pop_front() {
+                    next.memory.insert(loc, v);
+                }
+            }
+            TsoMove::Act { thread, action, next: cfg } => {
+                match *action {
+                    Action::Write { loc, value } if !loc.is_volatile() => {
+                        next.buffers[*thread].push_back((loc, value));
+                    }
+                    Action::Write { loc, value } => {
+                        next.memory.insert(loc, value);
+                    }
+                    Action::Lock(m) => {
+                        next.holders.insert(m, *thread);
+                    }
+                    Action::Unlock(m) => {
+                        if cfg.monitor_nesting(m) == 0 {
+                            next.holders.remove(&m);
+                        }
+                    }
+                    _ => {}
+                }
+                next.threads[*thread] =
+                    Some(if cfg.is_done() { ThreadConfig::new(vec![]) } else { cfg.clone() });
+            }
+        }
+        next
+    }
+
+    /// The TSO behaviours of the program, bounded by `opts.max_actions`
+    /// actions (flushes do not count as actions).
+    #[must_use]
+    pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
+        let mut memo: HashMap<(TsoState, usize), Rc<Behaviours>> = HashMap::new();
+        let mut truncated = false;
+        let fuel = if crate::machine::program_has_loops(self.program) {
+            opts.max_actions
+        } else {
+            usize::MAX
+        };
+        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
+        Bounded { value: (*set).clone(), complete: !truncated }
+    }
+
+    fn suffixes(
+        &self,
+        state: TsoState,
+        fuel: usize,
+        opts: &ExploreOptions,
+        memo: &mut HashMap<(TsoState, usize), Rc<Behaviours>>,
+        truncated: &mut bool,
+    ) -> Rc<Behaviours> {
+        let key = (state, fuel);
+        if let Some(r) = memo.get(&key) {
+            return Rc::clone(r);
+        }
+        let (state, fuel) = (&key.0, key.1);
+        let mut set = Behaviours::new();
+        set.insert(Vec::new());
+        let moves = self.moves(state, opts, truncated);
+        if fuel == 0 {
+            if moves.iter().any(|m| !matches!(m, TsoMove::Flush { .. })) {
+                *truncated = true;
+            }
+        } else {
+            for mv in moves {
+                // Flushes are free: they do not consume action fuel
+                // (otherwise long buffers would starve the bound), but
+                // they strictly shrink a buffer so the recursion is
+                // well-founded.
+                let next_fuel = match mv {
+                    TsoMove::Flush { .. } => fuel,
+                    _ if fuel == usize::MAX => usize::MAX,
+                    _ => fuel - 1,
+                };
+                let tail =
+                    self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
+                if let TsoMove::Act { action: Action::External(v), .. } = mv {
+                    for suffix in tail.iter() {
+                        let mut b = Vec::with_capacity(suffix.len() + 1);
+                        b.push(v);
+                        b.extend_from_slice(suffix);
+                        set.insert(b);
+                    }
+                } else {
+                    set.extend(tail.iter().cloned());
+                }
+            }
+        }
+        let rc = Rc::new(set);
+        memo.insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    /// The number of distinct TSO machine states reachable under the
+    /// bounds.
+    #[must_use]
+    pub fn count_reachable_states(&self, opts: &ExploreOptions) -> usize {
+        let mut seen: std::collections::HashSet<TsoState> = Default::default();
+        let mut stack = vec![self.initial()];
+        let mut truncated = false;
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            for mv in self.moves(&s, opts, &mut truncated) {
+                stack.push(self.apply(&s, &mv));
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Resolves the pending read of `cfg` against the concrete value `v` by
+/// re-stepping only the emitting statement.
+fn resolved_read(
+    cfg: &ThreadConfig,
+    v: Value,
+    opts: &ExploreOptions,
+) -> (Action, ThreadConfig) {
+    let at_emit = cfg
+        .tau_closure(&Domain::zero_to(0), opts.max_tau)
+        .expect("closure already succeeded")
+        .0;
+    let Step::Emit(succ) = at_emit.step(&Domain::from_values([v])) else {
+        unreachable!("closure stopped at an emitting statement")
+    };
+    succ.into_iter().find(|(a, _)| a.value() == Some(v)).expect("domain contains v")
+}
+
+/// Does the program contain a `while` loop? Loop-free programs admit
+/// exact, fuel-free memoisation (every action consumes a statement and
+/// every flush shrinks a buffer, so the state graph is a DAG).
+pub(crate) fn program_has_loops(p: &Program) -> bool {
+    fn stmt_has_loop(s: &transafety_lang::Stmt) -> bool {
+        match s {
+            transafety_lang::Stmt::While { .. } => true,
+            transafety_lang::Stmt::Block(b) => b.iter().any(stmt_has_loop),
+            transafety_lang::Stmt::If { then_branch, else_branch, .. } => {
+                stmt_has_loop(then_branch) || stmt_has_loop(else_branch)
+            }
+            _ => false,
+        }
+    }
+    p.threads().iter().flatten().any(stmt_has_loop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::{parse_program, ProgramExplorer};
+
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    fn tso_behaviours(src: &str) -> Behaviours {
+        let p = parse_program(src).unwrap().program;
+        let b = TsoExplorer::new(&p).behaviours(&ExploreOptions::default());
+        assert!(b.complete, "TSO exploration truncated");
+        b.value
+    }
+
+    fn sc_behaviours(src: &str) -> Behaviours {
+        let p = parse_program(src).unwrap().program;
+        let b = ProgramExplorer::new(&p).behaviours(&ExploreOptions::default());
+        assert!(b.complete);
+        b.value
+    }
+
+    #[test]
+    fn sb_allows_zero_zero_under_tso_only() {
+        let src = "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
+        let zz = vec![v(0), v(0)];
+        assert!(!sc_behaviours(src).contains(&zz));
+        assert!(tso_behaviours(src).contains(&zz));
+        // TSO is a superset of SC
+        let sc = sc_behaviours(src);
+        let tso = tso_behaviours(src);
+        assert!(sc.is_subset(&tso));
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        // A thread always sees its own buffered store.
+        let src = "x := 1; r1 := x; print r1;";
+        let tso = tso_behaviours(src);
+        assert!(tso.contains(&vec![v(1)]));
+        assert!(!tso.contains(&vec![v(0)]));
+    }
+
+    #[test]
+    fn message_passing_violated_without_fences() {
+        // MP: T0: x:=1; flag:=1 — T1: r1:=flag; r2:=x; print r1; print r2.
+        // TSO preserves store order, so flag=1 implies x=1 (no 1,0).
+        let src = "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;";
+        let tso = tso_behaviours(src);
+        assert!(tso.contains(&vec![v(1), v(1)]));
+        assert!(!tso.contains(&vec![v(1), v(0)]), "TSO keeps store order");
+    }
+
+    #[test]
+    fn volatile_writes_fence_sb() {
+        // SB with volatile locations: the relaxed outcome disappears.
+        let src = "volatile x, y; x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
+        let tso = tso_behaviours(src);
+        assert!(!tso.contains(&vec![v(0), v(0)]), "volatiles are fenced on TSO");
+        assert_eq!(tso, sc_behaviours(src), "fenced program: TSO = SC");
+    }
+
+    #[test]
+    fn locks_fence_and_exclude() {
+        let src = "lock m; x := 1; r1 := x; unlock m; print r1; \
+                   || lock m; x := 2; r2 := x; unlock m; print r2;";
+        let tso = tso_behaviours(src);
+        let sc = sc_behaviours(src);
+        assert_eq!(tso, sc, "lock-protected program: TSO = SC");
+        assert!(!tso.contains(&vec![v(2), v(1)]) || tso.contains(&vec![v(1), v(2)]));
+    }
+
+    #[test]
+    fn iriw_is_sc_on_tso() {
+        // Independent reads of independent writes: TSO (unlike weaker
+        // models) forbids the non-SC outcome 1,0,1,0.
+        let src = "x := 1; || y := 1; \
+                   || r1 := x; r2 := y; print r1; print r2; \
+                   || r3 := y; r4 := x; print r3; print r4;";
+        let tso = tso_behaviours(src);
+        let sc = sc_behaviours(src);
+        assert_eq!(tso, sc, "IRIW: TSO admits exactly the SC behaviours");
+    }
+
+    #[test]
+    fn state_count_positive() {
+        let p = parse_program("x := 1; || r1 := x;").unwrap().program;
+        assert!(TsoExplorer::new(&p).count_reachable_states(&ExploreOptions::default()) > 3);
+    }
+}

@@ -1,0 +1,395 @@
+//! A PSO (partial store order) machine — the paper's §8 future-work
+//! direction, executably.
+//!
+//! §8 closes with: *"We believe that similar results can be achieved for
+//! other processor memory models."* PSO (SPARC's weaker sibling of TSO)
+//! additionally relaxes write→write order: store buffers are per
+//! location, so stores to different locations may drain out of order.
+//! The corresponding transformation fragment adds the W→W reordering
+//! rule (R-WW) to TSO's W→R + forwarding fragment; [`explain_pso`]
+//! checks that this fragment explains every PSO behaviour, supporting
+//! the paper's conjecture on the corpus.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use transafety_interleaving::Behaviours;
+use transafety_lang::{Bounded, ExploreOptions, Program, ProgramExplorer, Step, ThreadConfig};
+use transafety_syntactic::{transform_closure_filtered, RuleName};
+use transafety_traces::{Action, Domain, Loc, Monitor, Value};
+
+/// Exhaustive explorer of the PSO executions of a program: per-thread,
+/// **per-location** FIFO store buffers with forwarding; locks, unlocks
+/// and volatile accesses drain all of the thread's buffers.
+///
+/// # Example
+///
+/// Message passing is broken by PSO (unlike TSO): the flag may become
+/// visible before the data.
+///
+/// ```
+/// use transafety_lang::{parse_program, ExploreOptions};
+/// use transafety_tso::{PsoExplorer, TsoExplorer};
+/// use transafety_traces::Value;
+///
+/// let src = "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;";
+/// let p = parse_program(src)?.program;
+/// let opts = ExploreOptions::default();
+/// let stale = vec![Value::new(1), Value::new(0)];
+/// assert!(!TsoExplorer::new(&p).behaviours(&opts).value.contains(&stale));
+/// assert!(PsoExplorer::new(&p).behaviours(&opts).value.contains(&stale));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PsoExplorer<'p> {
+    program: &'p Program,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PsoState {
+    threads: Vec<Option<ThreadConfig>>,
+    buffers: Vec<BTreeMap<Loc, VecDeque<Value>>>,
+    memory: BTreeMap<Loc, Value>,
+    holders: BTreeMap<Monitor, usize>,
+}
+
+#[derive(Debug, Clone)]
+enum PsoMove {
+    Start { thread: usize },
+    Act { thread: usize, action: Action, next: ThreadConfig },
+    Flush { thread: usize, loc: Loc },
+}
+
+impl<'p> PsoExplorer<'p> {
+    /// Creates a PSO explorer for the program.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        PsoExplorer { program }
+    }
+
+    fn initial(&self) -> PsoState {
+        let n = self.program.thread_count();
+        PsoState {
+            threads: vec![None; n],
+            buffers: vec![BTreeMap::new(); n],
+            memory: BTreeMap::new(),
+            holders: BTreeMap::new(),
+        }
+    }
+
+    fn buffers_empty(state: &PsoState, k: usize) -> bool {
+        state.buffers[k].values().all(VecDeque::is_empty)
+    }
+
+    fn read_value(state: &PsoState, k: usize, loc: Loc) -> Value {
+        state.buffers[k]
+            .get(&loc)
+            .and_then(|q| q.back().copied())
+            .unwrap_or_else(|| state.memory.get(&loc).copied().unwrap_or(Value::ZERO))
+    }
+
+    fn resolved_read(
+        cfg: &ThreadConfig,
+        v: Value,
+        opts: &ExploreOptions,
+    ) -> (Action, ThreadConfig) {
+        let at_emit = cfg
+            .tau_closure(&Domain::zero_to(0), opts.max_tau)
+            .expect("closure already succeeded")
+            .0;
+        let Step::Emit(succ) = at_emit.step(&Domain::from_values([v])) else {
+            unreachable!("closure stopped at an emitting statement")
+        };
+        succ.into_iter().find(|(a, _)| a.value() == Some(v)).expect("domain contains v")
+    }
+
+    fn moves(&self, state: &PsoState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PsoMove> {
+        let domain = Domain::zero_to(0);
+        let mut out = Vec::new();
+        for (k, per_loc) in state.buffers.iter().enumerate() {
+            for (&loc, q) in per_loc {
+                if !q.is_empty() {
+                    out.push(PsoMove::Flush { thread: k, loc });
+                }
+            }
+        }
+        for (k, slot) in state.threads.iter().enumerate() {
+            let Some(cfg) = slot else {
+                out.push(PsoMove::Start { thread: k });
+                continue;
+            };
+            let Some((_, step)) = cfg.tau_closure(&domain, opts.max_tau) else {
+                *truncated = true;
+                continue;
+            };
+            let Step::Emit(successors) = step else { continue };
+            let (first_action, _) = &successors[0];
+            match *first_action {
+                Action::Read { loc, .. } if !loc.is_volatile() => {
+                    let v = Self::read_value(state, k, loc);
+                    let (a, next) = Self::resolved_read(cfg, v, opts);
+                    out.push(PsoMove::Act { thread: k, action: a, next });
+                }
+                Action::Read { loc, .. } => {
+                    if Self::buffers_empty(state, k) {
+                        let v = state.memory.get(&loc).copied().unwrap_or(Value::ZERO);
+                        let (a, next) = Self::resolved_read(cfg, v, opts);
+                        out.push(PsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Write { loc, .. } if loc.is_volatile() => {
+                    if Self::buffers_empty(state, k) {
+                        let (a, next) = successors.into_iter().next().expect("one");
+                        out.push(PsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Write { .. } | Action::External(_) => {
+                    let (a, next) = successors.into_iter().next().expect("one");
+                    out.push(PsoMove::Act { thread: k, action: a, next });
+                }
+                Action::Lock(m) => {
+                    let free = match state.holders.get(&m) {
+                        None => true,
+                        Some(&h) => h == k,
+                    };
+                    if free && Self::buffers_empty(state, k) {
+                        let (a, next) = successors.into_iter().next().expect("one");
+                        out.push(PsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Unlock(_) => {
+                    if Self::buffers_empty(state, k) {
+                        let (a, next) = successors.into_iter().next().expect("one");
+                        out.push(PsoMove::Act { thread: k, action: a, next });
+                    }
+                }
+                Action::Start(_) => unreachable!("start is not emitted by thread bodies"),
+            }
+        }
+        out
+    }
+
+    fn apply(&self, state: &PsoState, mv: &PsoMove) -> PsoState {
+        let mut next = state.clone();
+        match mv {
+            PsoMove::Start { thread } => {
+                next.threads[*thread] = Some(ThreadConfig::new(
+                    self.program.thread(*thread).expect("in range").to_vec(),
+                ));
+            }
+            PsoMove::Flush { thread, loc } => {
+                if let Some(q) = next.buffers[*thread].get_mut(loc) {
+                    if let Some(v) = q.pop_front() {
+                        next.memory.insert(*loc, v);
+                    }
+                    if q.is_empty() {
+                        next.buffers[*thread].remove(loc);
+                    }
+                }
+            }
+            PsoMove::Act { thread, action, next: cfg } => {
+                match *action {
+                    Action::Write { loc, value } if !loc.is_volatile() => {
+                        next.buffers[*thread].entry(loc).or_default().push_back(value);
+                    }
+                    Action::Write { loc, value } => {
+                        next.memory.insert(loc, value);
+                    }
+                    Action::Lock(m) => {
+                        next.holders.insert(m, *thread);
+                    }
+                    Action::Unlock(m) => {
+                        if cfg.monitor_nesting(m) == 0 {
+                            next.holders.remove(&m);
+                        }
+                    }
+                    _ => {}
+                }
+                next.threads[*thread] =
+                    Some(if cfg.is_done() { ThreadConfig::new(vec![]) } else { cfg.clone() });
+            }
+        }
+        next
+    }
+
+    /// The PSO behaviours of the program, bounded by `opts.max_actions`.
+    #[must_use]
+    pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
+        let mut memo: HashMap<(PsoState, usize), Rc<Behaviours>> = HashMap::new();
+        let mut truncated = false;
+        let fuel = if crate::machine::program_has_loops(self.program) {
+            opts.max_actions
+        } else {
+            usize::MAX
+        };
+        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
+        Bounded { value: (*set).clone(), complete: !truncated }
+    }
+
+    fn suffixes(
+        &self,
+        state: PsoState,
+        fuel: usize,
+        opts: &ExploreOptions,
+        memo: &mut HashMap<(PsoState, usize), Rc<Behaviours>>,
+        truncated: &mut bool,
+    ) -> Rc<Behaviours> {
+        let key = (state, fuel);
+        if let Some(r) = memo.get(&key) {
+            return Rc::clone(r);
+        }
+        let (state, fuel) = (&key.0, key.1);
+        let mut set = Behaviours::new();
+        set.insert(Vec::new());
+        let moves = self.moves(state, opts, truncated);
+        if fuel == 0 {
+            if moves.iter().any(|m| !matches!(m, PsoMove::Flush { .. })) {
+                *truncated = true;
+            }
+        } else {
+            for mv in moves {
+                let next_fuel = match mv {
+                    PsoMove::Flush { .. } => fuel,
+                    _ if fuel == usize::MAX => usize::MAX,
+                    _ => fuel - 1,
+                };
+                let tail =
+                    self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
+                if let PsoMove::Act { action: Action::External(v), .. } = mv {
+                    for suffix in tail.iter() {
+                        let mut b = Vec::with_capacity(suffix.len() + 1);
+                        b.push(v);
+                        b.extend_from_slice(suffix);
+                        set.insert(b);
+                    }
+                } else {
+                    set.extend(tail.iter().cloned());
+                }
+            }
+        }
+        let rc = Rc::new(set);
+        memo.insert(key, Rc::clone(&rc));
+        rc
+    }
+}
+
+/// The PSO rule fragment: TSO's fragment plus write→write reordering.
+#[must_use]
+pub fn pso_fragment(rule: RuleName) -> bool {
+    crate::tso_fragment(rule) || rule == RuleName::RWw
+}
+
+/// The result of [`explain_pso`] (mirrors
+/// [`TsoExplanation`](crate::TsoExplanation)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsoExplanation {
+    /// The PSO behaviours of the program.
+    pub pso: Behaviours,
+    /// The SC behaviours of the untransformed program.
+    pub sc: Behaviours,
+    /// The union of SC behaviours over the PSO-fragment closure.
+    pub closure_union: Behaviours,
+    /// Closure size.
+    pub closure_size: usize,
+    /// Did PSO add non-SC behaviour?
+    pub relaxed: bool,
+    /// `pso ⊆ closure_union`.
+    pub explained: bool,
+    /// No exploration bound was hit.
+    pub complete: bool,
+}
+
+/// Checks the §8 conjecture for PSO on one program: every PSO behaviour
+/// is an SC behaviour of some member of the `{R-WR, R-WW, E-RAW, E-RAR,
+/// T-MOV}` closure (up to `depth` steps).
+#[must_use]
+pub fn explain_pso(program: &Program, depth: usize, opts: &ExploreOptions) -> PsoExplanation {
+    let pso_b = PsoExplorer::new(program).behaviours(opts);
+    let sc_b = ProgramExplorer::new(program).behaviours(opts);
+    let closure = transform_closure_filtered(program, depth, pso_fragment);
+    let closure_size = closure.len();
+    let mut union: Behaviours = Behaviours::new();
+    let mut complete = pso_b.complete && sc_b.complete;
+    for q in closure {
+        let b = ProgramExplorer::new(&q).behaviours(opts);
+        complete &= b.complete;
+        union.extend(b.value);
+    }
+    let relaxed = !pso_b.value.is_subset(&sc_b.value);
+    let explained = pso_b.value.is_subset(&union);
+    PsoExplanation {
+        pso: pso_b.value,
+        sc: sc_b.value,
+        closure_union: union,
+        closure_size,
+        relaxed,
+        explained,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TsoExplorer;
+    use transafety_lang::parse_program;
+
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn pso_includes_tso_behaviours_on_sb() {
+        let p = parse_program("x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;")
+            .unwrap()
+            .program;
+        let opts = ExploreOptions::default();
+        let tso = TsoExplorer::new(&p).behaviours(&opts).value;
+        let pso = PsoExplorer::new(&p).behaviours(&opts).value;
+        assert!(tso.is_subset(&pso));
+        assert!(pso.contains(&vec![v(0), v(0)]));
+    }
+
+    #[test]
+    fn mp_breaks_under_pso_and_is_explained() {
+        let p = parse_program(
+            "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;",
+        )
+        .unwrap()
+        .program;
+        let opts = ExploreOptions::default();
+        let stale = vec![v(1), v(0)];
+        assert!(!TsoExplorer::new(&p).behaviours(&opts).value.contains(&stale));
+        let e = explain_pso(&p, 3, &opts);
+        assert!(e.complete);
+        assert!(e.relaxed, "PSO reorders the two stores");
+        assert!(e.pso.contains(&stale));
+        assert!(e.explained, "R-WW explains the stale read");
+    }
+
+    #[test]
+    fn volatile_flag_repairs_mp_under_pso() {
+        let p = parse_program(
+            "volatile flag; x := 1; flag := 1; \
+             || r1 := flag; if (r1 == 1) { r2 := x; print r2; }",
+        )
+        .unwrap()
+        .program;
+        let opts = ExploreOptions::default();
+        let pso = PsoExplorer::new(&p).behaviours(&opts).value;
+        assert!(!pso.contains(&vec![v(0)]), "fenced flag keeps the data visible");
+    }
+
+    #[test]
+    fn pso_explained_on_small_corpus() {
+        for src in [
+            "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;",
+            "x := 2; x := 1; || r1 := x; print r1;",
+            "x := 1; y := 1; || r1 := y; r2 := x; print r1; print r2;",
+        ] {
+            let p = parse_program(src).unwrap().program;
+            let e = explain_pso(&p, 3, &ExploreOptions::default());
+            assert!(e.explained, "{src}: pso={:?} union={:?}", e.pso, e.closure_union);
+        }
+    }
+}

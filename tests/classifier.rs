@@ -1,0 +1,77 @@
+//! Integration tests for the transformation classifier: every syntactic
+//! rewrite of every (small) corpus program must land in a paper-safe
+//! class, and the classifier must place known-unsafe transformations
+//! outside them.
+
+use transafety::checker::{classify_transformation, CheckOptions, TransformationClass};
+use transafety::lang::Reg;
+use transafety::litmus::{by_name, corpus};
+use transafety::syntactic::{all_rewrites, introduce_irrelevant_read};
+use transafety::traces::Domain;
+
+fn opts() -> CheckOptions {
+    CheckOptions::with_domain(Domain::zero_to(1))
+}
+
+#[test]
+fn corpus_rewrites_classify_as_paper_safe() {
+    let opts = opts();
+    let mut classified = 0;
+    for l in corpus() {
+        let p = l.parse().program;
+        if p.threads().iter().flatten().count() > 8 {
+            continue;
+        }
+        for rw in all_rewrites(&p).into_iter().take(6) {
+            let class = classify_transformation(&rw.result, &p, &opts);
+            if class == TransformationClass::Inconclusive {
+                continue;
+            }
+            assert!(
+                class.is_paper_safe(),
+                "{}: {rw} classified as {class}",
+                l.name
+            );
+            classified += 1;
+        }
+    }
+    assert!(classified > 15, "classified only {classified} rewrites");
+}
+
+#[test]
+fn rule_families_map_to_expected_classes() {
+    let opts = opts();
+    let p = by_name("redundant-load-pair").unwrap().parse().program;
+    for rw in all_rewrites(&p) {
+        let class = classify_transformation(&rw.result, &p, &opts);
+        if rw.rule.is_trace_preserving() {
+            assert_eq!(class, TransformationClass::Identity, "{rw}");
+        } else if rw.rule.is_elimination() {
+            assert_eq!(class, TransformationClass::Elimination, "{rw}");
+        } else {
+            assert!(class.is_paper_safe(), "{rw}: {class}");
+        }
+    }
+}
+
+#[test]
+fn read_introduction_classifies_outside_safe_classes() {
+    let a = by_name("fig3-a").unwrap().parse();
+    let y = a.symbols.loc("y").unwrap();
+    let b = introduce_irrelevant_read(&a.program, 0, 0, y, Reg::new(777)).unwrap();
+    let class = classify_transformation(&b, &a.program, &opts());
+    assert_eq!(class, TransformationClass::ScRefiningOnly);
+    assert!(!class.is_paper_safe());
+}
+
+#[test]
+fn reversed_pairs_are_not_automatically_safe() {
+    // classification is directional: the fig1 pair in reverse (treating
+    // the optimised program as the original) is not an elimination.
+    let (o, t) = transafety::litmus::parse_pair("fig1-original", "fig1-transformed");
+    let class = classify_transformation(&o.program, &t.program, &opts());
+    assert!(
+        !class.is_paper_safe(),
+        "un-eliminating must not classify as safe: {class}"
+    );
+}

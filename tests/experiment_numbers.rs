@@ -1,0 +1,33 @@
+//! Pins the corpus-level numbers recorded in `EXPERIMENTS.md` so the
+//! documented results cannot silently drift from the code.
+
+use transafety::checker::{delay_stats, CheckOptions};
+use transafety::litmus::corpus;
+
+/// E13: the DRF-vs-SC-baseline totals over the corpus.
+#[test]
+fn e13_totals_match_experiments_md() {
+    let opts = CheckOptions::default();
+    let mut pairs = 0;
+    let mut drf = 0;
+    let mut sc = 0;
+    let mut only = 0;
+    for l in corpus() {
+        let s = delay_stats(&l.parse().program, &opts);
+        pairs += s.adjacent_pairs;
+        drf += s.drf_reorderable;
+        sc += s.sc_reorderable;
+        only += s.drf_only;
+    }
+    assert_eq!(
+        (pairs, drf, sc, only),
+        (75, 60, 23, 40),
+        "EXPERIMENTS.md E13 records 75/60/23/40 — update both places together"
+    );
+}
+
+/// The corpus size quoted in `EXPERIMENTS.md`.
+#[test]
+fn corpus_size_matches_experiments_md() {
+    assert_eq!(corpus().len(), 32, "EXPERIMENTS.md says 32-program corpus");
+}

@@ -1,0 +1,163 @@
+//! Integration tests: internal consistency of the semantics engines.
+//!
+//! * the two §3 data-race definitions (adjacent conflicts vs.
+//!   happens-before-unordered conflicts) agree on every corpus program;
+//! * the traceset route (`[P]` + interleaving explorer) and the direct
+//!   program explorer compute the same behaviours and the same DRF
+//!   verdicts;
+//! * Lemma 1 (unelimination) holds along real transformed executions.
+
+use transafety::interleaving::{Behaviours, ExploreLimits, Explorer};
+use transafety::lang::{
+    extract_traceset, ExploreOptions, ExtractOptions, Program, ProgramExplorer,
+};
+use transafety::litmus::{corpus, parse_pair};
+use transafety::traces::Domain;
+use transafety::transform::{find_unelimination, EliminationOptions};
+
+fn small(p: &Program) -> bool {
+    p.threads().iter().flatten().count() <= 9 && p.thread_count() <= 3
+}
+
+fn has_loop(p: &Program) -> bool {
+    fn stmt_has_loop(s: &transafety::lang::Stmt) -> bool {
+        match s {
+            transafety::lang::Stmt::While { .. } => true,
+            transafety::lang::Stmt::Block(b) => b.iter().any(stmt_has_loop),
+            transafety::lang::Stmt::If { then_branch, else_branch, .. } => {
+                stmt_has_loop(then_branch) || stmt_has_loop(else_branch)
+            }
+            _ => false,
+        }
+    }
+    p.threads().iter().flatten().any(stmt_has_loop)
+}
+
+/// The value domain that makes traceset extraction complete for a
+/// program: all constants it can ever store.
+fn domain_for(p: &Program) -> Domain {
+    Domain::from_values(p.constants())
+}
+
+#[test]
+fn traceset_and_direct_explorers_agree_on_behaviours() {
+    let ex = ExtractOptions::default();
+    let opts = ExploreOptions::default();
+    let mut compared = 0;
+    for l in corpus() {
+        let p = l.parse().program;
+        if !small(&p) || has_loop(&p) {
+            continue;
+        }
+        let d = domain_for(&p);
+        let extraction = extract_traceset(&p, &d, &ex);
+        assert!(!extraction.truncated, "{}", l.name);
+        let via_tracesets: Behaviours = Explorer::new(&extraction.traceset).behaviours();
+        let direct = ProgramExplorer::new(&p).behaviours(&opts);
+        assert!(direct.complete, "{}", l.name);
+        assert_eq!(via_tracesets, direct.value, "behaviours disagree on {}", l.name);
+        compared += 1;
+    }
+    assert!(compared >= 8, "compared only {compared} corpus programs");
+}
+
+#[test]
+fn drf_definitions_agree() {
+    let ex = ExtractOptions::default();
+    let opts = ExploreOptions::default();
+    for l in corpus() {
+        let p = l.parse().program;
+        if !small(&p) || has_loop(&p) {
+            continue;
+        }
+        let d = domain_for(&p);
+        let extraction = extract_traceset(&p, &d, &ex);
+        let explorer = Explorer::new(&extraction.traceset);
+        // definition 1: adjacent conflicting actions in some execution
+        let adjacent_race = !explorer.is_data_race_free();
+        // definition 2: hb-unordered conflicting accesses in some
+        // maximal execution
+        let hb_race = explorer
+            .maximal_executions(ExploreLimits::default())
+            .iter()
+            .any(|i| !i.hb_unordered_conflicts().is_empty());
+        assert_eq!(
+            adjacent_race, hb_race,
+            "the two §3 race definitions disagree on {}",
+            l.name
+        );
+        // and the direct explorer agrees with both
+        let direct_race = !ProgramExplorer::new(&p).is_data_race_free(&opts);
+        assert_eq!(adjacent_race, direct_race, "{}", l.name);
+    }
+}
+
+#[test]
+fn race_witnesses_are_real_executions() {
+    let ex = ExtractOptions::default();
+    for l in corpus() {
+        let p = l.parse().program;
+        if !small(&p) || has_loop(&p) {
+            continue;
+        }
+        let d = domain_for(&p);
+        let extraction = extract_traceset(&p, &d, &ex);
+        if let Some(w) = Explorer::new(&extraction.traceset).race_witness() {
+            assert!(w.execution.is_interleaving_of(&extraction.traceset), "{}", l.name);
+            assert!(w.execution.is_sequentially_consistent(), "{}", l.name);
+            let (a, b) = w.pair();
+            assert!(a.action().conflicts_with(&b.action()), "{}", l.name);
+            assert_ne!(a.thread(), b.thread(), "{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn lemma1_unelimination_on_fig1_executions() {
+    // Every execution of the Fig. 1 transformed program uneliminates
+    // into the original traceset; when the execution's strict prefixes
+    // are race free the instance is again an execution (the paper's
+    // Lemma 1 consequence — Fig. 1 is racy, so we only require the
+    // construction and its conditions, not instance SC-ness).
+    let (o, t) = parse_pair("fig1-original", "fig1-transformed");
+    let d = Domain::zero_to(2);
+    let ex = ExtractOptions::default();
+    let to = extract_traceset(&o.program, &d, &ex);
+    let tt = extract_traceset(&t.program, &d, &ex);
+    assert!(!to.truncated && !tt.truncated);
+    let execs = Explorer::new(&tt.traceset)
+        .maximal_executions(ExploreLimits { max_interleavings: 40 });
+    let opts = EliminationOptions::default();
+    let mut constructed = 0;
+    for e in execs.iter().take(20) {
+        let w = find_unelimination(e, &to.traceset, &d, &opts)
+            .unwrap_or_else(|| panic!("no unelimination for {e}"));
+        assert!(w.check(e), "conditions failed for {e}");
+        assert!(w.wild.belongs_to(&to.traceset, &d));
+        constructed += 1;
+    }
+    assert!(constructed >= 10);
+}
+
+#[test]
+fn lemma1_instances_are_executions_for_drf_originals() {
+    // For a DRF original (Fig. 5), Lemma 1's consequence holds in full:
+    // the instance of the unelimination is an execution of the original
+    // with the same behaviour.
+    let (o, t) = parse_pair("fig5-volatile", "fig5-transformed");
+    let d = Domain::zero_to(1);
+    let ex = ExtractOptions::default();
+    let to = extract_traceset(&o.program, &d, &ex);
+    let tt = extract_traceset(&t.program, &d, &ex);
+    assert!(Explorer::new(&to.traceset).is_data_race_free());
+    let opts = EliminationOptions::default();
+    for e in Explorer::new(&tt.traceset).maximal_executions(ExploreLimits::default()) {
+        let w = find_unelimination(&e, &to.traceset, &d, &opts)
+            .unwrap_or_else(|| panic!("no unelimination for {e}"));
+        assert!(w.check(&e));
+        let instance = w.wild.instance();
+        assert!(instance.is_sequentially_consistent(), "{e} -> {instance}");
+        assert!(instance.is_interleaving_of(&to.traceset));
+        assert_eq!(instance.behaviour(), e.behaviour());
+    }
+}
