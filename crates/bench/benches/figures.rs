@@ -2,10 +2,10 @@
 //! `DESIGN.md`): each bench recomputes one figure's claim and asserts it
 //! still holds, so `cargo bench` doubles as an experiment re-run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use transafety_bench::{criterion_group, criterion_main, Criterion};
 
-use transafety::checker::{behaviours, CheckOptions};
+use transafety::checker::{behaviours, Analysis};
 use transafety::interleaving::{Event, Interleaving};
 use transafety::lang::{extract_traceset, ExtractOptions};
 use transafety::litmus::parse_pair;
@@ -23,7 +23,7 @@ fn v(n: u32) -> Value {
 fn e1_intro(c: &mut Criterion) {
     let original = corpus_program("intro-original");
     let transformed = corpus_program("intro-constant-propagated");
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     c.bench_function("E1/intro_behaviour_check", |b| {
         b.iter(|| {
             let bo = behaviours(black_box(&original), &opts).value;
@@ -67,7 +67,7 @@ fn e3_fig2(c: &mut Criterion) {
 fn e4_fig3(c: &mut Criterion) {
     let a = corpus_program("fig3-a");
     let cc = corpus_program("fig3-c");
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     c.bench_function("E4/fig3_two_zero_check", |b| {
         b.iter(|| {
             let ba = behaviours(black_box(&a), &opts).value;
@@ -95,8 +95,7 @@ fn e6_fig5_unelimination(c: &mut Criterion) {
     let eo = EliminationOptions::default();
     c.bench_function("E6/fig5_unelimination", |b| {
         b.iter(|| {
-            let w = find_unelimination(black_box(&i_prime), &original, &d, &eo)
-                .expect("Lemma 1");
+            let w = find_unelimination(black_box(&i_prime), &original, &d, &eo).expect("Lemma 1");
             assert!(w.check(&i_prime));
             w.wild.len()
         })

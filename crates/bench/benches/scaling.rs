@@ -3,8 +3,8 @@
 //! substrate (the paper itself has no performance section; these sweeps
 //! characterise the bounded model checkers it is reproduced on).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use transafety_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use transafety::interleaving::Explorer;
 use transafety::lang::{
@@ -32,7 +32,12 @@ fn behaviours_vs_threads(c: &mut Criterion) {
     for threads in [1usize, 2, 3, 4] {
         let p = chain_program(threads);
         group.bench_with_input(BenchmarkId::from_parameter(threads), &p, |b, p| {
-            b.iter(|| ProgramExplorer::new(black_box(p)).behaviours(&opts).value.len())
+            b.iter(|| {
+                ProgramExplorer::new(black_box(p))
+                    .behaviours(&opts)
+                    .value
+                    .len()
+            })
         });
     }
     group.finish();
@@ -42,7 +47,10 @@ fn race_check_vs_statements(c: &mut Criterion) {
     let opts = ExploreOptions::default();
     let mut group = c.benchmark_group("E12/race_check_vs_stmts");
     for stmts in [2usize, 4, 6, 8] {
-        let config = GeneratorConfig { stmts_per_thread: stmts, ..GeneratorConfig::default() };
+        let config = GeneratorConfig {
+            stmts_per_thread: stmts,
+            ..GeneratorConfig::default()
+        };
         let programs: Vec<_> = (0..4).map(|s| random_program(s, &config)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(stmts), &programs, |b, ps| {
             b.iter(|| {
@@ -56,13 +64,19 @@ fn race_check_vs_statements(c: &mut Criterion) {
 }
 
 fn extraction_vs_domain(c: &mut Criterion) {
-    let p = parse_program("r1 := x; r2 := y; r3 := x; print r3;").unwrap().program;
+    let p = parse_program("r1 := x; r2 := y; r3 := x; print r3;")
+        .unwrap()
+        .program;
     let ex = ExtractOptions::default();
     let mut group = c.benchmark_group("E12/extraction_vs_domain");
     for max in [1u32, 2, 4, 8] {
         let d = Domain::zero_to(max);
         group.bench_with_input(BenchmarkId::from_parameter(max + 1), &d, |b, d| {
-            b.iter(|| extract_traceset(black_box(&p), d, &ex).traceset.member_count())
+            b.iter(|| {
+                extract_traceset(black_box(&p), d, &ex)
+                    .traceset
+                    .member_count()
+            })
         });
     }
     group.finish();
@@ -78,10 +92,19 @@ fn interleaving_explorer_vs_direct(c: &mut Criterion) {
     let opts = ExploreOptions::default();
     let mut group = c.benchmark_group("E12/engine_comparison");
     group.bench_function("traceset_route", |b| {
-        b.iter(|| Explorer::new(black_box(&extraction.traceset)).behaviours().len())
+        b.iter(|| {
+            Explorer::new(black_box(&extraction.traceset))
+                .behaviours()
+                .len()
+        })
     });
     group.bench_function("direct_route", |b| {
-        b.iter(|| ProgramExplorer::new(black_box(&p)).behaviours(&opts).value.len())
+        b.iter(|| {
+            ProgramExplorer::new(black_box(&p))
+                .behaviours(&opts)
+                .value
+                .len()
+        })
     });
     group.finish();
 }
@@ -97,7 +120,11 @@ fn reordering_search_vs_length(c: &mut Criterion) {
             .collect();
         // original: the reverse order of writes
         let reversed: Trace = std::iter::once(Action::start(ThreadId::new(0)))
-            .chain((0..n).rev().map(|i| Action::write(Loc::normal(i as u32), Value::new(1))))
+            .chain(
+                (0..n)
+                    .rev()
+                    .map(|i| Action::write(Loc::normal(i as u32), Value::new(1))),
+            )
             .collect();
         // target traceset contains every prefix-de-permutation we need:
         // all permutations of the write set (prefix closure handles the
@@ -106,7 +133,10 @@ fn reordering_search_vs_length(c: &mut Criterion) {
         let mut perm: Vec<usize> = (0..n).collect();
         loop {
             let tr: Trace = std::iter::once(Action::start(ThreadId::new(0)))
-                .chain(perm.iter().map(|&i| Action::write(Loc::normal(i as u32), Value::new(1))))
+                .chain(
+                    perm.iter()
+                        .map(|&i| Action::write(Loc::normal(i as u32), Value::new(1))),
+                )
                 .collect();
             ts.insert(tr).unwrap();
             if !next_permutation(&mut perm) {
@@ -114,9 +144,11 @@ fn reordering_search_vs_length(c: &mut Criterion) {
             }
         }
         ts.insert(reversed).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(t_prime, ts), |b, (t, ts)| {
-            b.iter(|| find_reordering(black_box(t), ts).expect("permutation exists"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(t_prime, ts),
+            |b, (t, ts)| b.iter(|| find_reordering(black_box(t), ts).expect("permutation exists")),
+        );
     }
     group.finish();
 }
@@ -128,18 +160,59 @@ fn elimination_search_vs_extra(c: &mut Criterion) {
     let tt = extract_traceset(&t.program, &d, &ExtractOptions::default()).traceset;
     let mut group = c.benchmark_group("E12/elimination_search_vs_budget");
     for extra in [1usize, 2, 4, 8] {
-        let eo = EliminationOptions { max_extra: extra, ..EliminationOptions::default() };
+        let eo = EliminationOptions {
+            max_extra: extra,
+            ..EliminationOptions::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(extra), &eo, |b, eo| {
             b.iter(|| {
-                transafety::transform::is_elimination_of(
-                    black_box(&tt),
-                    black_box(&to),
-                    &d,
-                    eo,
-                )
-                .is_ok()
+                transafety::transform::is_elimination_of(black_box(&tt), black_box(&to), &d, eo)
+                    .is_ok()
             })
         });
+    }
+    group.finish();
+}
+
+fn worker_scaling(c: &mut Criterion) {
+    // E14: the parallel work-stealing driver against the sequential
+    // reference (`jobs = 1` dispatches to the memoised recursion) on the
+    // heaviest litmus entries and every shipped `programs/*.tsl`. On a
+    // multi-core host this sweep is where the ≥1.5× jobs=4 speedup
+    // shows up; on a single-core host it measures the pool's overhead.
+    let mut corpus: Vec<(String, transafety::lang::Program)> = Vec::new();
+    for name in ["iriw", "wrc", "dekker-core", "mp-spin"] {
+        let l = transafety::litmus::by_name(name).expect("corpus name");
+        corpus.push((name.to_string(), l.parse().program));
+    }
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("programs/ directory exists")
+        .map(|e| e.expect("readable directory entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tsl"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable program file");
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        corpus.push((
+            name,
+            parse_program(&src).expect("valid .tsl program").program,
+        ));
+    }
+    let opts = ExploreOptions::default();
+    let mut group = c.benchmark_group("E14/worker_scaling");
+    for (name, p) in &corpus {
+        for jobs in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(name, jobs), &jobs, |b, &jobs| {
+                b.iter(|| {
+                    ProgramExplorer::new(black_box(p))
+                        .behaviours_par(&opts, jobs)
+                        .value
+                        .len()
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -176,6 +249,7 @@ criterion_group! {
     extraction_vs_domain,
     interleaving_explorer_vs_direct,
     reordering_search_vs_length,
-    elimination_search_vs_extra
+    elimination_search_vs_extra,
+    worker_scaling
 }
 criterion_main!(scaling);

@@ -3,26 +3,25 @@
 //! out-of-thin-air guarantee over corpus programs and transformation
 //! closures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use transafety_bench::{criterion_group, criterion_main, Criterion};
 
 use transafety::checker::{
-    check_rewrite, drf_guarantee, no_thin_air, CheckOptions, Correspondence, DrfVerdict,
-    OotaVerdict,
+    check_rewrite, drf_guarantee, no_thin_air, Analysis, Correspondence, DrfVerdict, OotaVerdict,
 };
-use transafety::litmus::{random_program, GeneratorConfig};
 use transafety::lang::{extract_traceset, ExtractOptions};
 use transafety::litmus::parse_pair;
+use transafety::litmus::{random_program, GeneratorConfig};
 use transafety::syntactic::{all_rewrites, transform_closure, RuleSet};
-use transafety::transform::{find_elim_reordering, is_elim_reordering_of, EliminationOptions};
 use transafety::traces::{Domain, Value};
+use transafety::transform::{find_elim_reordering, is_elim_reordering_of, EliminationOptions};
 use transafety_bench::corpus_program;
 
 fn e8_drf_guarantee_per_rewrite(c: &mut Criterion) {
     let p = corpus_program("fig3-a");
     let rewrites = all_rewrites(&p);
     assert!(!rewrites.is_empty());
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     c.bench_function("E8/drf_guarantee_all_rewrites_fig3a", |b| {
         b.iter(|| {
             for rw in &rewrites {
@@ -37,7 +36,7 @@ fn e8_drf_guarantee_per_rewrite(c: &mut Criterion) {
 fn e8_lemma4_correspondence(c: &mut Criterion) {
     let p = corpus_program("redundant-load-pair");
     let rewrites = all_rewrites(&p);
-    let opts = CheckOptions::with_domain(Domain::zero_to(1));
+    let opts = Analysis::with_domain(Domain::zero_to(1));
     c.bench_function("E8/lemma4_correspondence_redundant_load", |b| {
         b.iter(|| {
             for rw in &rewrites {
@@ -51,10 +50,12 @@ fn e8_lemma4_correspondence(c: &mut Criterion) {
 
 fn e9_reordering_verification(c: &mut Criterion) {
     let p = corpus_program("roach-motel");
-    let rewrites: Vec<_> =
-        all_rewrites(&p).into_iter().filter(|r| r.rule.is_reordering()).collect();
+    let rewrites: Vec<_> = all_rewrites(&p)
+        .into_iter()
+        .filter(|r| r.rule.is_reordering())
+        .collect();
     assert!(!rewrites.is_empty());
-    let opts = CheckOptions::with_domain(Domain::zero_to(1));
+    let opts = Analysis::with_domain(Domain::zero_to(1));
     c.bench_function("E9/lemma5_correspondence_roach_motel", |b| {
         b.iter(|| {
             for rw in &rewrites {
@@ -68,7 +69,7 @@ fn e9_reordering_verification(c: &mut Criterion) {
 
 fn e10_oota_closure(c: &mut Criterion) {
     let p = corpus_program("oota");
-    let opts = CheckOptions::with_domain(Domain::from_values([Value::new(1), Value::new(42)]));
+    let opts = Analysis::with_domain(Domain::from_values([Value::new(1), Value::new(42)]));
     c.bench_function("E10/no_thin_air_depth3", |b| {
         b.iter(|| {
             let v = no_thin_air(black_box(&p), Value::new(42), 3, &opts);
@@ -80,7 +81,7 @@ fn e10_oota_closure(c: &mut Criterion) {
 fn e8_random_program_throughput(c: &mut Criterion) {
     let config = GeneratorConfig::drf();
     let programs: Vec<_> = (0..8).map(|s| random_program(s, &config)).collect();
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     c.bench_function("E8/drf_guarantee_random_drf_programs", |b| {
         b.iter(|| {
             let mut verified = 0;

@@ -2,8 +2,8 @@
 //! store-buffer machine and the "TSO is explained by the
 //! transformations" check.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use transafety_bench::{criterion_group, criterion_main, Criterion};
 
 use transafety::lang::{ExploreOptions, ProgramExplorer};
 use transafety::traces::Value;
@@ -16,10 +16,20 @@ fn tso_vs_sc_exploration(c: &mut Criterion) {
     for name in ["sb", "mp", "lb", "corr"] {
         let p = corpus_program(name);
         group.bench_function(format!("sc/{name}"), |b| {
-            b.iter(|| ProgramExplorer::new(black_box(&p)).behaviours(&opts).value.len())
+            b.iter(|| {
+                ProgramExplorer::new(black_box(&p))
+                    .behaviours(&opts)
+                    .value
+                    .len()
+            })
         });
         group.bench_function(format!("tso/{name}"), |b| {
-            b.iter(|| TsoExplorer::new(black_box(&p)).behaviours(&opts).value.len())
+            b.iter(|| {
+                TsoExplorer::new(black_box(&p))
+                    .behaviours(&opts)
+                    .value
+                    .len()
+            })
         });
     }
     group.finish();

@@ -3,9 +3,19 @@
 //! The benches regenerate the paper's figure/table claims while
 //! measuring the checker's performance (the evaluation substrate of this
 //! reproduction — see `EXPERIMENTS.md`): `figures` covers E1–E7,
-//! `theorems` covers E8–E10, `tso` covers E11 and `scaling` covers E12.
+//! `theorems` covers E8–E10, `tso` covers E11 and `scaling` covers E12 and E14.
+//!
+//! The crate also carries a small self-contained measurement harness
+//! (`Criterion`, `Bencher`, [`criterion_group!`], [`criterion_main!`])
+//! exposing the subset of the `criterion` API the benches use. The
+//! build environment is fully offline, so the external crate cannot be
+//! fetched; the shim keeps the bench sources idiomatic and lets a real
+//! `criterion` be swapped back in by changing one import line.
 
 #![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
 
 use transafety::lang::Program;
 use transafety::litmus::by_name;
@@ -14,5 +24,236 @@ use transafety::litmus::by_name;
 /// only use validated corpus entries).
 #[must_use]
 pub fn corpus_program(name: &str) -> Program {
-    by_name(name).unwrap_or_else(|| panic!("unknown corpus entry {name}")).parse().program
+    by_name(name)
+        .unwrap_or_else(|| panic!("unknown corpus entry {name}"))
+        .parse()
+        .program
+}
+
+/// One measured benchmark: name plus per-iteration statistics.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark name (`group/function`).
+    pub name: String,
+    /// Fastest observed per-iteration time.
+    pub min: Duration,
+    /// Median per-iteration time over the collected samples.
+    pub median: Duration,
+}
+
+/// The measurement driver: collects timing samples for each registered
+/// benchmark function and prints a summary table at the end of the run.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(800),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Runs closures under timing; handed to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it as many times as the harness requested for
+    /// this sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Registers and immediately measures one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        let name = name.to_string();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let per_iter = loop {
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up {
+                break b.elapsed.max(Duration::from_nanos(1));
+            }
+        };
+        // Size each sample so the whole measurement fits the budget.
+        let budget_per_sample = self.measurement / self.sample_size as u32;
+        let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+        let mut times: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            times.push(b.elapsed / iters as u32);
+        }
+        times.sort();
+        let sample = Sample {
+            name: name.clone(),
+            min: times[0],
+            median: times[times.len() / 2],
+        };
+        println!(
+            "{:<52} {:>12} /iter (min {})",
+            name,
+            fmt_dur(sample.median),
+            fmt_dur(sample.min)
+        );
+        self.results.push(sample);
+    }
+
+    /// Opens a named group; benchmarks registered through it are
+    /// prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// Prints the summary table (called by [`criterion_main!`]).
+    pub fn print_summary(&self) {
+        println!("\n== summary ({} benchmarks) ==", self.results.len());
+        for s in &self.results {
+            println!("{:<52} {:>12}", s.name, fmt_dur(s.median));
+        }
+    }
+
+    /// The collected samples, for harnesses that post-process results.
+    #[must_use]
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+}
+
+/// A named family of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) {
+        let full = format!("{}/{}", self.prefix, name);
+        self.c.bench_function(full, f);
+    }
+
+    /// Registers one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.prefix, id);
+        self.c.bench_function(full, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Criterion-style benchmark id built from a parameter value.
+#[derive(Debug)]
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    /// Renders the parameter as the benchmark id.
+    #[must_use]
+    pub fn from_parameter(p: impl Display) -> String {
+        p.to_string()
+    }
+
+    /// Renders a `function/parameter` benchmark id (mirrors
+    /// `criterion::BenchmarkId::new`, which also does not return `Self`
+    /// in this shim — ids are plain strings).
+    #[must_use]
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(function: impl Display, p: impl Display) -> String {
+        format!("{function}/{p}")
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c.print_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
 }

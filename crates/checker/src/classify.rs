@@ -11,7 +11,7 @@ use crate::correspondence::{
     check_reordering_correspondence, Correspondence, SemanticClass,
 };
 use crate::guarantee::{behaviour_refinement, Refinement};
-use crate::CheckOptions;
+use crate::Analysis;
 
 /// The verdict of [`classify_transformation`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,14 +77,14 @@ impl fmt::Display for TransformationClass {
 /// # Example
 ///
 /// ```
-/// use transafety_checker::{classify_transformation, CheckOptions, TransformationClass};
+/// use transafety_checker::{classify_transformation, Analysis, TransformationClass};
 /// use transafety_lang::{parse_program, parse_program_with_symbols};
 ///
 /// let original = parse_program("r1 := x; r2 := x; print r2;")?;
 /// let transformed = parse_program_with_symbols(
 ///     "r1 := x; r2 := r1; print r2;", original.symbols.clone())?;
 /// let class = classify_transformation(
-///     &transformed.program, &original.program, &CheckOptions::default());
+///     &transformed.program, &original.program, &Analysis::default());
 /// assert_eq!(class, TransformationClass::Elimination);
 /// assert!(class.is_paper_safe());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -93,12 +93,12 @@ impl fmt::Display for TransformationClass {
 pub fn classify_transformation(
     transformed: &Program,
     original: &Program,
-    opts: &CheckOptions,
+    opts: &Analysis,
 ) -> TransformationClass {
     match check_identity_correspondence(transformed, original, opts) {
-        Correspondence::Verified { class: SemanticClass::Identity } => {
-            return TransformationClass::Identity
-        }
+        Correspondence::Verified {
+            class: SemanticClass::Identity,
+        } => return TransformationClass::Identity,
         Correspondence::Inconclusive => return TransformationClass::Inconclusive,
         _ => {}
     }
@@ -108,17 +108,15 @@ pub fn classify_transformation(
         Correspondence::Failed { .. } => {}
     }
     let witness = match check_reordering_correspondence(transformed, original, opts) {
-        Correspondence::Verified { .. } => {
-            return TransformationClass::EliminationThenReordering
-        }
+        Correspondence::Verified { .. } => return TransformationClass::EliminationThenReordering,
         Correspondence::Inconclusive => return TransformationClass::Inconclusive,
         Correspondence::Failed { trace } => trace,
     };
     match behaviour_refinement(transformed, original, opts) {
         Refinement::Refines => TransformationClass::ScRefiningOnly,
-        Refinement::NewBehaviour(_) => {
-            TransformationClass::Unsafe { witness_trace: Some(witness) }
-        }
+        Refinement::NewBehaviour(_) => TransformationClass::Unsafe {
+            witness_trace: Some(witness),
+        },
         Refinement::Inconclusive => TransformationClass::Inconclusive,
     }
 }
@@ -131,13 +129,12 @@ mod tests {
 
     fn pair(o: &str, t: &str) -> (Program, Program) {
         let original = parse_program(o).unwrap();
-        let transformed =
-            parse_program_with_symbols(t, original.symbols.clone()).unwrap();
+        let transformed = parse_program_with_symbols(t, original.symbols.clone()).unwrap();
         (original.program, transformed.program)
     }
 
-    fn opts() -> CheckOptions {
-        CheckOptions::with_domain(Domain::zero_to(1))
+    fn opts() -> Analysis {
+        Analysis::with_domain(Domain::zero_to(1))
     }
 
     #[test]
@@ -145,12 +142,18 @@ mod tests {
         // swapping a register move across an unrelated load is
         // trace-preserving
         let (o, t) = pair("r1 := 1; r2 := x; print r2;", "r2 := x; r1 := 1; print r2;");
-        assert_eq!(classify_transformation(&t, &o, &opts()), TransformationClass::Identity);
+        assert_eq!(
+            classify_transformation(&t, &o, &opts()),
+            TransformationClass::Identity
+        );
     }
 
     #[test]
     fn elimination_class() {
-        let (o, t) = pair("r1 := x; r2 := x; print r2;", "r1 := x; r2 := r1; print r2;");
+        let (o, t) = pair(
+            "r1 := x; r2 := x; print r2;",
+            "r1 := x; r2 := r1; print r2;",
+        );
         assert_eq!(
             classify_transformation(&t, &o, &opts()),
             TransformationClass::Elimination

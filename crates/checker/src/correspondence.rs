@@ -14,7 +14,7 @@ use transafety_syntactic::{Rewrite, RuleName};
 use transafety_traces::{Trace, Traceset};
 use transafety_transform::{is_elim_reordering_of, is_elimination_of};
 
-use crate::CheckOptions;
+use crate::Analysis;
 
 /// The outcome of checking one syntactic rewrite against its semantic
 /// class.
@@ -58,9 +58,26 @@ impl fmt::Display for SemanticClass {
 }
 
 /// Extracts `[P]`, reporting `None` when truncated.
-fn traceset_of(p: &Program, opts: &CheckOptions) -> Option<Traceset> {
+fn traceset_of(p: &Program, opts: &Analysis) -> Option<Traceset> {
     let e = extract_traceset(p, &opts.domain, &opts.extract);
     (!e.truncated).then_some(e.traceset)
+}
+
+/// Extracts `[transformed]` and `[original]`, on two workers when the
+/// configuration allows it.
+fn traceset_pair(
+    transformed: &Program,
+    original: &Program,
+    opts: &Analysis,
+) -> Option<(Traceset, Traceset)> {
+    let mut pair = transafety_interleaving::par::parallel_map(
+        opts.jobs.min(2),
+        vec![transformed, original],
+        |p| traceset_of(p, opts),
+    );
+    let o = pair.pop().expect("two inputs")?;
+    let t = pair.pop().expect("two inputs")?;
+    Some((t, o))
 }
 
 /// Checks Lemma 4 for a concrete pair: `[transformed]` is a semantic
@@ -69,14 +86,15 @@ fn traceset_of(p: &Program, opts: &CheckOptions) -> Option<Traceset> {
 pub fn check_elimination_correspondence(
     transformed: &Program,
     original: &Program,
-    opts: &CheckOptions,
+    opts: &Analysis,
 ) -> Correspondence {
-    let (Some(t), Some(o)) = (traceset_of(transformed, opts), traceset_of(original, opts))
-    else {
+    let Some((t, o)) = traceset_pair(transformed, original, opts) else {
         return Correspondence::Inconclusive;
     };
     match is_elimination_of(&t, &o, &opts.domain, &opts.elimination) {
-        Ok(()) => Correspondence::Verified { class: SemanticClass::Elimination },
+        Ok(()) => Correspondence::Verified {
+            class: SemanticClass::Elimination,
+        },
         Err(e) => Correspondence::Failed { trace: e.trace },
     }
 }
@@ -87,14 +105,15 @@ pub fn check_elimination_correspondence(
 pub fn check_reordering_correspondence(
     transformed: &Program,
     original: &Program,
-    opts: &CheckOptions,
+    opts: &Analysis,
 ) -> Correspondence {
-    let (Some(t), Some(o)) = (traceset_of(transformed, opts), traceset_of(original, opts))
-    else {
+    let Some((t, o)) = traceset_pair(transformed, original, opts) else {
         return Correspondence::Inconclusive;
     };
     match is_elim_reordering_of(&t, &o, &opts.domain, &opts.elimination) {
-        Ok(()) => Correspondence::Verified { class: SemanticClass::EliminationThenReordering },
+        Ok(()) => Correspondence::Verified {
+            class: SemanticClass::EliminationThenReordering,
+        },
         Err(e) => Correspondence::Failed { trace: e.trace },
     }
 }
@@ -104,14 +123,15 @@ pub fn check_reordering_correspondence(
 pub fn check_identity_correspondence(
     transformed: &Program,
     original: &Program,
-    opts: &CheckOptions,
+    opts: &Analysis,
 ) -> Correspondence {
-    let (Some(t), Some(o)) = (traceset_of(transformed, opts), traceset_of(original, opts))
-    else {
+    let Some((t, o)) = traceset_pair(transformed, original, opts) else {
         return Correspondence::Inconclusive;
     };
     if t == o {
-        Correspondence::Verified { class: SemanticClass::Identity }
+        Correspondence::Verified {
+            class: SemanticClass::Identity,
+        }
     } else {
         // report some trace present in one and not the other
         let witness = t
@@ -127,7 +147,7 @@ pub fn check_identity_correspondence(
 /// semantic class its rule family promises (the per-instance executable
 /// content of Lemmas 4 and 5).
 #[must_use]
-pub fn check_rewrite(original: &Program, rewrite: &Rewrite, opts: &CheckOptions) -> Correspondence {
+pub fn check_rewrite(original: &Program, rewrite: &Rewrite, opts: &Analysis) -> Correspondence {
     match classify(rewrite.rule) {
         SemanticClass::Elimination => {
             check_elimination_correspondence(&rewrite.result, original, opts)
@@ -135,9 +155,7 @@ pub fn check_rewrite(original: &Program, rewrite: &Rewrite, opts: &CheckOptions)
         SemanticClass::EliminationThenReordering => {
             check_reordering_correspondence(&rewrite.result, original, opts)
         }
-        SemanticClass::Identity => {
-            check_identity_correspondence(&rewrite.result, original, opts)
-        }
+        SemanticClass::Identity => check_identity_correspondence(&rewrite.result, original, opts),
     }
 }
 
@@ -165,8 +183,8 @@ mod tests {
         parse_program(src).unwrap().program
     }
 
-    fn opts() -> CheckOptions {
-        CheckOptions::with_domain(Domain::zero_to(1))
+    fn opts() -> Analysis {
+        Analysis::with_domain(Domain::zero_to(1))
     }
 
     #[test]
@@ -201,7 +219,12 @@ mod tests {
         for rw in all_rewrites(&original) {
             if rw.rule.is_trace_preserving() {
                 let c = check_rewrite(&original, &rw, &opts());
-                assert_eq!(c, Correspondence::Verified { class: SemanticClass::Identity });
+                assert_eq!(
+                    c,
+                    Correspondence::Verified {
+                        class: SemanticClass::Identity
+                    }
+                );
             }
         }
     }

@@ -19,7 +19,7 @@ use std::fmt;
 use transafety_lang::{Program, Stmt};
 use transafety_traces::{Action, Loc, Value};
 
-use crate::CheckOptions;
+use crate::Analysis;
 
 /// A static shared-memory access site: thread, position in the thread's
 /// flattened access sequence, location and kind.
@@ -40,9 +40,7 @@ impl AccessSite {
         // To the SC-preserving baseline, volatile locations are ordinary
         // shared memory — its conflict graph includes them (unlike the
         // §3 race definition, which exempts them).
-        self.thread != other.thread
-            && self.loc == other.loc
-            && (self.is_write || other.is_write)
+        self.thread != other.thread && self.loc == other.loc && (self.is_write || other.is_write)
     }
 
     /// A representative dynamic action for reorderability comparisons.
@@ -93,7 +91,11 @@ pub fn access_sites(program: &Program) -> Vec<Vec<AccessSite>> {
                     collect(s, thread, out);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect(then_branch, thread, out);
                 collect(else_branch, thread, out);
             }
@@ -242,7 +244,7 @@ pub struct DelayStats {
 
 /// Computes [`DelayStats`] for a program.
 #[must_use]
-pub fn delay_stats(program: &Program, _opts: &CheckOptions) -> DelayStats {
+pub fn delay_stats(program: &Program, _opts: &Analysis) -> DelayStats {
     let sites = access_sites(program);
     let delays = delay_set(program);
     let mut adjacent_pairs = 0;
@@ -268,7 +270,12 @@ pub fn delay_stats(program: &Program, _opts: &CheckOptions) -> DelayStats {
             }
         }
     }
-    DelayStats { adjacent_pairs, drf_reorderable, sc_reorderable, drf_only }
+    DelayStats {
+        adjacent_pairs,
+        drf_reorderable,
+        sc_reorderable,
+        drf_only,
+    }
 }
 
 #[cfg(test)]
@@ -297,10 +304,16 @@ mod tests {
     #[test]
     fn paper_allows_what_delay_set_forbids_on_sb() {
         let program = p("x := 1; r1 := y; || y := 1; r2 := x;");
-        let stats = delay_stats(&program, &CheckOptions::default());
+        let stats = delay_stats(&program, &Analysis::default());
         assert_eq!(stats.adjacent_pairs, 2);
-        assert_eq!(stats.drf_reorderable, 2, "W→R of different locations is §4-reorderable");
-        assert_eq!(stats.sc_reorderable, 0, "both pairs are on the critical cycle");
+        assert_eq!(
+            stats.drf_reorderable, 2,
+            "W→R of different locations is §4-reorderable"
+        );
+        assert_eq!(
+            stats.sc_reorderable, 0,
+            "both pairs are on the critical cycle"
+        );
         assert_eq!(stats.drf_only, 2, "the paper's motivation, quantified");
     }
 
@@ -308,7 +321,7 @@ mod tests {
     fn independent_threads_have_empty_delay_sets() {
         let program = p("x := 1; r1 := x; || y := 1; r2 := y;");
         assert!(delay_set(&program).is_empty());
-        let stats = delay_stats(&program, &CheckOptions::default());
+        let stats = delay_stats(&program, &Analysis::default());
         assert_eq!(stats.drf_only, 0);
         // same-location pairs are not swappable for anyone
         assert_eq!(stats.drf_reorderable, 0);
@@ -322,7 +335,7 @@ mod tests {
         // Rel/Acq reorderings. Neither compiler may touch them.
         let program = p("volatile x, y; x := 1; r1 := y; || y := 1; r2 := x;");
         assert!(!delay_set(&program).is_empty());
-        let stats = delay_stats(&program, &CheckOptions::default());
+        let stats = delay_stats(&program, &Analysis::default());
         assert_eq!(stats.drf_reorderable, 0);
         assert_eq!(stats.sc_reorderable, 0);
         assert_eq!(stats.drf_only, 0);

@@ -7,25 +7,25 @@ use transafety_interleaving::{Behaviours, RaceWitness};
 use transafety_lang::{Program, ProgramExplorer};
 use transafety_traces::Value;
 
-use crate::CheckOptions;
+use crate::Analysis;
 
 /// The behaviours of a program under the configured bounds (the direct
 /// state-space engine).
 #[must_use]
-pub fn behaviours(program: &Program, opts: &CheckOptions) -> transafety_lang::Bounded<Behaviours> {
-    ProgramExplorer::new(program).behaviours(&opts.explore)
+pub fn behaviours(program: &Program, opts: &Analysis) -> transafety_lang::Bounded<Behaviours> {
+    ProgramExplorer::new(program).behaviours_par(&opts.explore, opts.jobs)
 }
 
 /// Is the program data race free (§3)?
 #[must_use]
-pub fn is_data_race_free(program: &Program, opts: &CheckOptions) -> bool {
-    ProgramExplorer::new(program).is_data_race_free(&opts.explore)
+pub fn is_data_race_free(program: &Program, opts: &Analysis) -> bool {
+    ProgramExplorer::new(program).is_data_race_free_par(&opts.explore, opts.jobs)
 }
 
 /// A data race witness for the program, if any.
 #[must_use]
-pub fn race_witness(program: &Program, opts: &CheckOptions) -> Option<RaceWitness> {
-    ProgramExplorer::new(program).race_witness(&opts.explore)
+pub fn race_witness(program: &Program, opts: &Analysis) -> Option<RaceWitness> {
+    ProgramExplorer::new(program).race_witness_par(&opts.explore, opts.jobs)
 }
 
 /// An execution of the program exhibiting exactly the given behaviour,
@@ -35,7 +35,7 @@ pub fn race_witness(program: &Program, opts: &CheckOptions) -> Option<RaceWitnes
 pub fn execution_with_behaviour(
     program: &Program,
     behaviour: &[Value],
-    opts: &CheckOptions,
+    opts: &Analysis,
 ) -> Option<transafety_interleaving::Interleaving> {
     ProgramExplorer::new(program).execution_with_behaviour(behaviour, &opts.explore)
 }
@@ -80,7 +80,7 @@ impl fmt::Display for Refinement {
 pub fn behaviour_refinement(
     transformed: &Program,
     original: &Program,
-    opts: &CheckOptions,
+    opts: &Analysis,
 ) -> Refinement {
     let bt = behaviours(transformed, opts);
     let bo = behaviours(original, opts);
@@ -142,11 +142,7 @@ impl fmt::Display for DrfVerdict {
 /// original is data race free then the transformed program must refine
 /// its behaviours and stay data race free (Theorems 1–4).
 #[must_use]
-pub fn drf_guarantee(
-    transformed: &Program,
-    original: &Program,
-    opts: &CheckOptions,
-) -> DrfVerdict {
+pub fn drf_guarantee(transformed: &Program, original: &Program, opts: &Analysis) -> DrfVerdict {
     if let Some(w) = race_witness(original, opts) {
         return DrfVerdict::OriginalRacy(Box::new(w));
     }
@@ -167,12 +163,11 @@ pub fn drf_guarantee(
 /// this baseline must reject common optimisations that the DRF contract
 /// accepts.
 #[must_use]
-pub fn sc_only_accepts(
-    transformed: &Program,
-    original: &Program,
-    opts: &CheckOptions,
-) -> bool {
-    matches!(behaviour_refinement(transformed, original, opts), Refinement::Refines)
+pub fn sc_only_accepts(transformed: &Program, original: &Program, opts: &Analysis) -> bool {
+    matches!(
+        behaviour_refinement(transformed, original, opts),
+        Refinement::Refines
+    )
 }
 
 #[cfg(test)]
@@ -188,9 +183,10 @@ mod tests {
     fn fig1_original_and_transformed() {
         // Fig. 1: both racy; the transformation adds behaviour (1 then 0)
         // but the DRF guarantee is vacuous because the original races.
-        let original = p("x := 2; y := 1; x := 1; || r1 := y; print r1; r1 := x; r2 := x; print r2;");
+        let original =
+            p("x := 2; y := 1; x := 1; || r1 := y; print r1; r1 := x; r2 := x; print r2;");
         let transformed = p("y := 1; x := 1; || r1 := y; print r1; r1 := x; r2 := r1; print r2;");
-        let opts = CheckOptions::default();
+        let opts = Analysis::default();
         let verdict = drf_guarantee(&transformed, &original, &opts);
         assert!(matches!(verdict, DrfVerdict::OriginalRacy(_)));
         assert!(verdict.is_consistent_with_paper());
@@ -210,7 +206,7 @@ mod tests {
             p("lock m; r1 := x; r2 := x; print r2; unlock m; || lock m; x := 1; unlock m;");
         let transformed =
             p("lock m; r1 := x; r2 := r1; print r2; unlock m; || lock m; x := 1; unlock m;");
-        let verdict = drf_guarantee(&transformed, &original, &CheckOptions::default());
+        let verdict = drf_guarantee(&transformed, &original, &Analysis::default());
         assert_eq!(verdict, DrfVerdict::Holds);
     }
 
@@ -218,7 +214,7 @@ mod tests {
     fn detects_behaviour_violations() {
         let original = p("print 1;");
         let bogus = p("print 2;");
-        let verdict = drf_guarantee(&bogus, &original, &CheckOptions::default());
+        let verdict = drf_guarantee(&bogus, &original, &Analysis::default());
         assert_eq!(verdict, DrfVerdict::NewBehaviour(vec![Value::new(2)]));
         assert!(!verdict.is_consistent_with_paper());
     }
@@ -228,7 +224,7 @@ mod tests {
         // original: thread 1 never touches x; transformed: it reads x.
         let original = p("x := 1; || skip; print 1;");
         let transformed = p("x := 1; || r9 := x; print 1;");
-        let verdict = drf_guarantee(&transformed, &original, &CheckOptions::default());
+        let verdict = drf_guarantee(&transformed, &original, &Analysis::default());
         assert!(matches!(verdict, DrfVerdict::RaceIntroduced(_)));
     }
 

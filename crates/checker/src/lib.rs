@@ -17,7 +17,7 @@
 //! # Example
 //!
 //! ```
-//! use transafety_checker::{drf_guarantee, CheckOptions, DrfVerdict};
+//! use transafety_checker::{drf_guarantee, Analysis, DrfVerdict};
 //! use transafety_lang::parse_program;
 //!
 //! let original = parse_program(
@@ -25,7 +25,7 @@
 //! let transformed = parse_program(
 //!     "lock m; r1 := x; r2 := r1; print r2; unlock m; || lock m; x := 1; unlock m;")?.program;
 //! assert_eq!(
-//!     drf_guarantee(&transformed, &original, &CheckOptions::default()),
+//!     drf_guarantee(&transformed, &original, &Analysis::new()),
 //!     DrfVerdict::Holds,
 //! );
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -42,14 +42,16 @@ mod oota;
 mod options;
 
 pub use classify::{classify_transformation, TransformationClass};
-pub use delay_set::{access_sites, delay_set, delay_stats, AccessSite, DelaySet, DelayStats};
 pub use correspondence::{
-    check_elimination_correspondence, check_identity_correspondence, check_rewrite,
-    check_reordering_correspondence, classify, Correspondence, SemanticClass,
+    check_elimination_correspondence, check_identity_correspondence,
+    check_reordering_correspondence, check_rewrite, classify, Correspondence, SemanticClass,
 };
+pub use delay_set::{access_sites, delay_set, delay_stats, AccessSite, DelaySet, DelayStats};
 pub use guarantee::{
-    behaviour_refinement, behaviours, drf_guarantee, execution_with_behaviour,
-    is_data_race_free, race_witness, sc_only_accepts, DrfVerdict, Refinement,
+    behaviour_refinement, behaviours, drf_guarantee, execution_with_behaviour, is_data_race_free,
+    race_witness, sc_only_accepts, DrfVerdict, Refinement,
 };
 pub use oota::{no_thin_air, traceset_has_origin, OotaVerdict};
+#[allow(deprecated)]
 pub use options::CheckOptions;
+pub use options::{Analysis, AnalysisReport};

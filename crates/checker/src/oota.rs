@@ -7,7 +7,7 @@ use transafety_lang::{extract_traceset, Program};
 use transafety_syntactic::{transform_closure, RuleSet};
 use transafety_traces::Value;
 
-use crate::CheckOptions;
+use crate::Analysis;
 
 /// The verdict of the out-of-thin-air check over a bounded composition
 /// closure of syntactic transformations.
@@ -37,7 +37,10 @@ impl fmt::Display for OotaVerdict {
         match self {
             OotaVerdict::MentionsConstant => f.write_str("program mentions the constant"),
             OotaVerdict::Safe { closure_size } => {
-                write!(f, "no thin-air origin across {closure_size} transformed programs")
+                write!(
+                    f,
+                    "no thin-air origin across {closure_size} transformed programs"
+                )
             }
             OotaVerdict::OriginFound { .. } => f.write_str("VIOLATION: origin found"),
             OotaVerdict::Inconclusive => f.write_str("inconclusive"),
@@ -49,7 +52,7 @@ impl fmt::Display for OotaVerdict {
 /// then no trace of `[P]` is an origin for `c`. Returns the origin
 /// check's result on the bounded traceset.
 #[must_use]
-pub fn traceset_has_origin(program: &Program, c: Value, opts: &CheckOptions) -> Option<bool> {
+pub fn traceset_has_origin(program: &Program, c: Value, opts: &Analysis) -> Option<bool> {
     let e = extract_traceset(program, &opts.domain, &opts.extract);
     (!e.truncated).then(|| e.traceset.has_origin_for(c))
 }
@@ -63,21 +66,27 @@ pub fn traceset_has_origin(program: &Program, c: Value, opts: &CheckOptions) -> 
 /// the default value `0` — otherwise the theorem's hypothesis fails and
 /// [`OotaVerdict::MentionsConstant`] is returned.
 #[must_use]
-pub fn no_thin_air(
-    program: &Program,
-    c: Value,
-    depth: usize,
-    opts: &CheckOptions,
-) -> OotaVerdict {
+pub fn no_thin_air(program: &Program, c: Value, depth: usize, opts: &Analysis) -> OotaVerdict {
     if c.is_default() || program.mentions_constant(c) {
         return OotaVerdict::MentionsConstant;
     }
     let closure = transform_closure(program, RuleSet::All, depth);
     let closure_size = closure.len();
-    for q in closure {
-        match traceset_has_origin(&q, c, opts) {
+    // Each transformed program is checked independently, so the closure
+    // scan fans out over the worker pool; the verdict scan below runs in
+    // closure order, so the reported program matches the sequential one.
+    let verdicts = transafety_interleaving::par::parallel_map(opts.jobs, closure, |q| {
+        let origin = traceset_has_origin(&q, c, opts);
+        (q, origin)
+    });
+    for (q, origin) in verdicts {
+        match origin {
             None => return OotaVerdict::Inconclusive,
-            Some(true) => return OotaVerdict::OriginFound { program: Box::new(q) },
+            Some(true) => {
+                return OotaVerdict::OriginFound {
+                    program: Box::new(q),
+                }
+            }
             Some(false) => {}
         }
     }
@@ -94,8 +103,8 @@ mod tests {
         parse_program(src).unwrap().program
     }
 
-    fn opts_with(max: u32) -> CheckOptions {
-        CheckOptions::with_domain(Domain::zero_to(max))
+    fn opts_with(max: u32) -> Analysis {
+        Analysis::with_domain(Domain::zero_to(max))
     }
 
     #[test]
@@ -106,10 +115,7 @@ mod tests {
         // No transformation may output 42.
         let program = p("r2 := y; x := r2; print r2; || r1 := x; y := r1;");
         // domain includes 42 so a thin-air 42 would be representable
-        let opts = CheckOptions::with_domain(Domain::from_values([
-            Value::new(1),
-            Value::new(42),
-        ]));
+        let opts = Analysis::with_domain(Domain::from_values([Value::new(1), Value::new(42)]));
         let verdict = no_thin_air(&program, Value::new(42), 3, &opts);
         assert!(matches!(verdict, OotaVerdict::Safe { .. }), "{verdict}");
     }
@@ -131,8 +137,14 @@ mod tests {
     #[test]
     fn origins_are_detected_when_constant_present() {
         let program = p("r1 := 7; x := r1;");
-        assert_eq!(traceset_has_origin(&program, Value::new(7), &opts_with(7)), Some(true));
-        assert_eq!(traceset_has_origin(&program, Value::new(5), &opts_with(7)), Some(false));
+        assert_eq!(
+            traceset_has_origin(&program, Value::new(7), &opts_with(7)),
+            Some(true)
+        );
+        assert_eq!(
+            traceset_has_origin(&program, Value::new(5), &opts_with(7)),
+            Some(false)
+        );
     }
 
     #[test]
@@ -140,7 +152,10 @@ mod tests {
         // the program can *read* 2 (domain), and then write it — but the
         // write is preceded by the read, so it is not an origin.
         let program = p("r1 := x; y := r1; print r1;");
-        assert_eq!(traceset_has_origin(&program, Value::new(2), &opts_with(2)), Some(false));
+        assert_eq!(
+            traceset_has_origin(&program, Value::new(2), &opts_with(2)),
+            Some(false)
+        );
         let verdict = no_thin_air(&program, Value::new(2), 2, &opts_with(2));
         assert!(matches!(verdict, OotaVerdict::Safe { .. }));
     }

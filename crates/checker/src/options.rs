@@ -1,20 +1,46 @@
-//! Shared configuration for the theorem-level checkers.
+//! The unified analysis configuration — one builder-style type carrying
+//! every knob of the checker pipeline: the read-value domain, the
+//! extraction/exploration/elimination bounds, the interleaving cap and
+//! the worker count for the parallel exploration engine.
+//!
+//! [`Analysis`] subsumes the older trio of option types
+//! (`CheckOptions`, plus the engine-level
+//! [`ExploreOptions`](transafety_lang::ExploreOptions) and
+//! [`ExploreLimits`](transafety_interleaving::ExploreLimits), which it
+//! projects via its `explore` field and [`Analysis::limits`]).
+//! `CheckOptions` remains as a deprecated alias so existing code keeps
+//! compiling.
 
-use transafety_lang::{ExploreOptions, ExtractOptions};
+use transafety_interleaving::{available_jobs, Behaviours, ExploreLimits, RaceWitness};
+use transafety_lang::{Bounded, ExploreOptions, ExtractOptions, Program, ProgramExplorer};
 use transafety_traces::Domain;
 use transafety_transform::EliminationOptions;
 
-/// Bounds and domains used by every checker entry point.
+/// Bounds, domains and parallelism used by every checker entry point.
+///
+/// Build one fluently and either pass it to the theorem checkers
+/// ([`drf_guarantee`](crate::drf_guarantee), …) or call
+/// [`run`](Analysis::run) for a one-shot whole-program report:
 ///
 /// # Example
 ///
 /// ```
-/// use transafety_checker::CheckOptions;
-/// let opts = CheckOptions::default();
-/// assert!(opts.domain.len() >= 2);
+/// use transafety_checker::Analysis;
+/// use transafety_lang::parse_program;
+/// use transafety_traces::Domain;
+///
+/// let program = parse_program("volatile v; v := 1; || r0 := v; print r0;")?.program;
+/// let report = Analysis::new()
+///     .jobs(2)
+///     .max_interleavings(1_000_000)
+///     .domain(Domain::zero_to(1))
+///     .run(&program);
+/// assert!(report.is_data_race_free());
+/// assert!(report.behaviours.complete);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CheckOptions {
+pub struct Analysis {
     /// The finite read-value domain for traceset extraction and
     /// wildcard-instance enumeration.
     pub domain: Domain,
@@ -24,23 +50,189 @@ pub struct CheckOptions {
     pub explore: ExploreOptions,
     /// Bounds for the semantic elimination witness search.
     pub elimination: EliminationOptions,
+    /// Worker threads for the parallel exploration engine. `1` (the
+    /// default) selects the sequential reference driver; higher values
+    /// fan exploration out over a work-stealing pool. Results are
+    /// identical either way.
+    pub jobs: usize,
+    /// Cap on enumerated interleavings (the old `ExploreLimits` knob);
+    /// exceeding it is reported as truncation, never silently.
+    pub max_interleavings: usize,
 }
 
-impl Default for CheckOptions {
+impl Default for Analysis {
     fn default() -> Self {
-        CheckOptions {
+        Analysis {
             domain: Domain::default(),
             extract: ExtractOptions::default(),
             explore: ExploreOptions::default(),
             elimination: EliminationOptions::default(),
+            jobs: 1,
+            max_interleavings: ExploreLimits::default().max_interleavings,
         }
     }
 }
 
-impl CheckOptions {
-    /// A configuration with the given read-value domain.
+impl Analysis {
+    /// A default configuration (sequential, default domain and bounds).
+    #[must_use]
+    pub fn new() -> Self {
+        Analysis::default()
+    }
+
+    /// A configuration with the given read-value domain (the historical
+    /// `CheckOptions::with_domain` constructor).
     #[must_use]
     pub fn with_domain(domain: Domain) -> Self {
-        CheckOptions { domain, ..CheckOptions::default() }
+        Analysis {
+            domain,
+            ..Analysis::default()
+        }
+    }
+
+    /// Sets the read-value domain.
+    #[must_use]
+    pub fn domain(mut self, domain: Domain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Uses every available core (`std::thread::available_parallelism`).
+    #[must_use]
+    pub fn auto_jobs(self) -> Self {
+        let jobs = available_jobs();
+        self.jobs(jobs)
+    }
+
+    /// Sets the interleaving-enumeration cap.
+    #[must_use]
+    pub fn max_interleavings(mut self, max: usize) -> Self {
+        self.max_interleavings = max;
+        self
+    }
+
+    /// Sets the per-execution action bound for direct exploration.
+    #[must_use]
+    pub fn max_actions(mut self, max: usize) -> Self {
+        self.explore.max_actions = max;
+        self
+    }
+
+    /// Sets the silent-step bound between two actions of one thread.
+    #[must_use]
+    pub fn max_tau(mut self, max: usize) -> Self {
+        self.explore.max_tau = max;
+        self
+    }
+
+    /// The interleaving-level limits this configuration projects to
+    /// (for calling [`Explorer`](transafety_interleaving::Explorer)
+    /// directly).
+    #[must_use]
+    pub fn limits(&self) -> ExploreLimits {
+        ExploreLimits {
+            max_interleavings: self.max_interleavings,
+        }
+    }
+
+    /// Runs the full single-program analysis — behaviours, race search
+    /// and state census — on [`jobs`](Analysis::jobs) workers.
+    #[must_use]
+    pub fn run(&self, program: &Program) -> AnalysisReport {
+        let ex = ProgramExplorer::new(program);
+        AnalysisReport {
+            behaviours: ex.behaviours_par(&self.explore, self.jobs),
+            race: ex.race_witness_par(&self.explore, self.jobs),
+            reachable_states: ex.count_reachable_states_par(&self.explore, self.jobs),
+            jobs: self.jobs,
+        }
+    }
+}
+
+/// The result of [`Analysis::run`]: everything the checker can say
+/// about one program under the configured bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// The behaviours of the program's SC executions (with the
+    /// completeness flag of the bounded exploration).
+    pub behaviours: Bounded<Behaviours>,
+    /// A data race witness, if the program races.
+    pub race: Option<RaceWitness>,
+    /// The number of distinct reachable program states.
+    pub reachable_states: usize,
+    /// The worker count the analysis ran with.
+    pub jobs: usize,
+}
+
+impl AnalysisReport {
+    /// Is the program data race free (§3)?
+    #[must_use]
+    pub fn is_data_race_free(&self) -> bool {
+        self.race.is_none()
+    }
+}
+
+/// The pre-0.2 name of [`Analysis`].
+#[deprecated(note = "renamed to `Analysis`; use `Analysis::new()` and its builder methods")]
+pub type CheckOptions = Analysis;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::parse_program;
+    use transafety_traces::Value;
+
+    #[test]
+    fn builder_round_trip() {
+        let a = Analysis::new()
+            .jobs(8)
+            .max_interleavings(123)
+            .max_actions(17)
+            .max_tau(99)
+            .domain(Domain::zero_to(3));
+        assert_eq!(a.jobs, 8);
+        assert_eq!(a.max_interleavings, 123);
+        assert_eq!(a.limits().max_interleavings, 123);
+        assert_eq!(a.explore.max_actions, 17);
+        assert_eq!(a.explore.max_tau, 99);
+        assert_eq!(a.domain.len(), 4);
+    }
+
+    #[test]
+    fn jobs_clamped_to_one() {
+        assert_eq!(Analysis::new().jobs(0).jobs, 1);
+        assert!(Analysis::new().auto_jobs().jobs >= 1);
+    }
+
+    #[test]
+    fn run_report_is_jobs_independent() {
+        let program = parse_program("x := 1; || r0 := x; print r0;")
+            .unwrap()
+            .program;
+        let seq = Analysis::new().run(&program);
+        let par = Analysis::new().jobs(4).run(&program);
+        assert_eq!(seq.behaviours, par.behaviours);
+        assert_eq!(
+            seq.race, par.race,
+            "witness is canonical, not schedule-dependent"
+        );
+        assert_eq!(seq.reachable_states, par.reachable_states);
+        assert!(!par.is_data_race_free());
+        assert!(par.behaviours.value.contains(&vec![Value::new(1)]));
+    }
+
+    #[test]
+    fn deprecated_alias_still_works() {
+        #[allow(deprecated)]
+        let opts: CheckOptions = CheckOptions::with_domain(Domain::zero_to(1));
+        assert_eq!(opts.domain.len(), 2);
+        assert_eq!(opts.jobs, 1);
     }
 }

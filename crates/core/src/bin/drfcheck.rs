@@ -4,25 +4,33 @@
 //! ```console
 //! $ drfcheck races program.tsl
 //! $ drfcheck behaviours program.tsl
-//! $ drfcheck guarantee original.tsl transformed.tsl
+//! $ drfcheck --jobs 8 guarantee original.tsl transformed.tsl
 //! $ drfcheck correspondence original.tsl transformed.tsl
 //! $ drfcheck rewrites program.tsl
 //! $ drfcheck oota program.tsl 42
 //! $ drfcheck tso program.tsl
+//! $ drfcheck --max-interleavings 10000 executions program.tsl
 //! $ drfcheck litmus               # list the built-in corpus
 //! ```
+//!
+//! `--jobs N` selects the worker count for the parallel exploration
+//! engine (default: all available cores; `--jobs 1` forces the
+//! sequential reference driver — results are identical either way).
+//! `--max-interleavings N` caps execution enumeration; exceeding the cap
+//! exits with code 3 after reporting the limit.
 //!
 //! Program files use the concrete syntax of the paper's §6 language (see
 //! `transafety::lang::parse_program`); a corpus name (e.g. `sb`) can be
 //! used anywhere a file path is expected.
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use transafety::checker::{
-    behaviours, classify_transformation, drf_guarantee, no_thin_air, race_witness,
-    CheckOptions, OotaVerdict, TransformationClass,
+    behaviours, classify_transformation, drf_guarantee, no_thin_air, race_witness, Analysis,
+    OotaVerdict, TransformationClass,
 };
-use transafety::lang::{parse_program_with_symbols, ExploreOptions, SourceProgram};
+use transafety::lang::{parse_program_with_symbols, SourceProgram};
 use transafety::litmus::by_name;
 use transafety::traces::{Domain, Value};
 use transafety::tso::explain_tso;
@@ -31,10 +39,7 @@ fn load(arg: &str) -> Result<SourceProgram, String> {
     load_with(arg, transafety::lang::SymbolTable::default())
 }
 
-fn load_with(
-    arg: &str,
-    symbols: transafety::lang::SymbolTable,
-) -> Result<SourceProgram, String> {
+fn load_with(arg: &str, symbols: transafety::lang::SymbolTable) -> Result<SourceProgram, String> {
     let source = if let Some(l) = by_name(arg) {
         l.source.to_string()
     } else {
@@ -43,12 +48,16 @@ fn load_with(
     parse_program_with_symbols(&source, symbols).map_err(|e| format!("{arg}: {e}"))
 }
 
+/// Exit code when the interleaving-enumeration cap is exceeded.
+const EXIT_LIMIT_EXCEEDED: u8 = 3;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: drfcheck <command> [args]\n\
+        "usage: drfcheck [--jobs N] [--max-interleavings N] <command> [args]\n\
          commands:\n  \
            races <program>                      find a data race\n  \
            behaviours <program>                 print all SC behaviours\n  \
+           executions <program>                 enumerate maximal SC executions\n  \
            guarantee <original> <transformed>   check the DRF guarantee\n  \
            classify <original> <transformed>    strongest safe class (Lemma 4/5)\n  \
            rewrites <program>                   list applicable safe rewrites\n  \
@@ -57,14 +66,46 @@ fn usage() -> ExitCode {
            pso <program>                        PSO behaviours + explanation\n  \
            dot <program>                        Graphviz happens-before graph\n  \
            litmus                               list the built-in corpus\n\
+         flags:\n  \
+           --jobs N               worker threads (default: all cores; 1 = sequential)\n  \
+           --max-interleavings N  cap on enumerated executions (exceeding exits 3)\n\
          <program> is a file path or a corpus name (try `drfcheck litmus`)."
     );
     ExitCode::from(2)
 }
 
+/// Splits global flags off the argument list into an [`Analysis`]
+/// configuration; everything else is handed to the subcommands.
+fn parse_flags(args: &[String]) -> Result<(Analysis, Vec<String>), String> {
+    let mut opts = Analysis::new().auto_jobs();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs requires a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: not a number: {v}"))?;
+                opts = opts.jobs(n);
+            }
+            "--max-interleavings" => {
+                let v = it.next().ok_or("--max-interleavings requires a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-interleavings: not a number: {v}"))?;
+                opts = opts.max_interleavings(n);
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((opts, rest))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let result = parse_flags(&args).and_then(|(opts, rest)| run(&rest, &opts));
+    match result {
         Ok(code) => code,
         Err(e) => {
             eprintln!("drfcheck: {e}");
@@ -73,12 +114,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
-    let opts = CheckOptions::default();
+fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("races") if args.len() == 2 => {
             let p = load(&args[1])?;
-            match race_witness(&p.program, &opts) {
+            match race_witness(&p.program, opts) {
                 None => {
                     println!("data race free");
                     Ok(ExitCode::SUCCESS)
@@ -91,7 +131,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         Some("behaviours") if args.len() == 2 => {
             let p = load(&args[1])?;
-            let b = behaviours(&p.program, &opts);
+            let b = behaviours(&p.program, opts);
             if !b.complete {
                 println!("(bounded: exploration hit its limits)");
             }
@@ -101,10 +141,34 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        Some("executions") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            let e = transafety::lang::extract_traceset(&p.program, &opts.domain, &opts.extract);
+            let (execs, capped) = transafety::interleaving::Explorer::new(&e.traceset)
+                .maximal_executions_checked(opts.limits());
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for i in &execs {
+                if writeln!(out, "{i}").is_err() {
+                    // Downstream closed the pipe (e.g. `| head`); stop
+                    // quietly instead of panicking on the next print.
+                    return Ok(ExitCode::SUCCESS);
+                }
+            }
+            if capped {
+                eprintln!(
+                    "drfcheck: interleaving limit exceeded: more than {} maximal \
+                     executions (raise the cap with --max-interleavings)",
+                    opts.max_interleavings
+                );
+                return Ok(ExitCode::from(EXIT_LIMIT_EXCEEDED));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         Some("guarantee") if args.len() == 3 => {
             let original = load(&args[1])?;
             let transformed = load_with(&args[2], original.symbols.clone())?;
-            let verdict = drf_guarantee(&transformed.program, &original.program, &opts);
+            let verdict = drf_guarantee(&transformed.program, &original.program, opts);
             println!("{verdict}");
             Ok(if verdict.is_consistent_with_paper() {
                 ExitCode::SUCCESS
@@ -115,31 +179,41 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("classify") | Some("correspondence") if args.len() == 3 => {
             let original = load(&args[1])?;
             let transformed = load_with(&args[2], original.symbols.clone())?;
-            let class =
-                classify_transformation(&transformed.program, &original.program, &opts);
+            let class = classify_transformation(&transformed.program, &original.program, opts);
             println!("{class}");
-            if let TransformationClass::Unsafe { witness_trace: Some(t) } = &class {
+            if let TransformationClass::Unsafe {
+                witness_trace: Some(t),
+            } = &class
+            {
                 println!("no semantic witness for trace {t}");
             }
-            Ok(if class.is_paper_safe() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if class.is_paper_safe() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         Some("rewrites") if args.len() == 2 => {
             let p = load(&args[1])?;
             for rw in transafety::syntactic::all_rewrites(&p.program) {
-                let verdict = drf_guarantee(&rw.result, &p.program, &opts);
+                let verdict = drf_guarantee(&rw.result, &p.program, opts);
                 println!("{rw} — {verdict}");
             }
             Ok(ExitCode::SUCCESS)
         }
         Some("oota") if args.len() == 3 => {
             let p = load(&args[1])?;
-            let value: u32 =
-                args[2].parse().map_err(|_| format!("not a value: {}", args[2]))?;
+            let value: u32 = args[2]
+                .parse()
+                .map_err(|_| format!("not a value: {}", args[2]))?;
             let value = Value::new(value);
             let domain = Domain::from_values(
-                p.program.constants().into_iter().chain([value, Value::new(1)]),
+                p.program
+                    .constants()
+                    .into_iter()
+                    .chain([value, Value::new(1)]),
             );
-            let o = CheckOptions::with_domain(domain);
+            let o = opts.clone().domain(domain);
             let verdict = no_thin_air(&p.program, value, 3, &o);
             println!("{verdict}");
             Ok(match verdict {
@@ -149,7 +223,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         Some("tso") if args.len() == 2 => {
             let p = load(&args[1])?;
-            let e = explain_tso(&p.program, 3, &ExploreOptions::default());
+            let e = explain_tso(&p.program, 3, &opts.explore);
             println!(
                 "SC behaviours: {} — TSO behaviours: {}{}",
                 e.sc.len(),
@@ -162,11 +236,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 e.closure_size,
                 if e.explained { "yes" } else { "NO" }
             );
-            Ok(if e.explained { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if e.explained {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         Some("pso") if args.len() == 2 => {
             let p = load(&args[1])?;
-            let e = transafety::tso::explain_pso(&p.program, 3, &ExploreOptions::default());
+            let e = transafety::tso::explain_pso(&p.program, 3, &opts.explore);
             println!(
                 "SC behaviours: {} — PSO behaviours: {}{}",
                 e.sc.len(),
@@ -179,13 +257,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 e.closure_size,
                 if e.explained { "yes" } else { "NO" }
             );
-            Ok(if e.explained { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if e.explained {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         Some("dot") if args.len() == 2 => {
             let p = load(&args[1])?;
             // render the racy execution if there is one, otherwise any
             // maximal execution of the (bounded) traceset
-            if let Some(w) = race_witness(&p.program, &opts) {
+            if let Some(w) = race_witness(&p.program, opts) {
                 print!("{}", transafety::interleaving::hb_dot(&w.execution));
                 return Ok(ExitCode::SUCCESS);
             }
@@ -194,10 +276,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 &opts.domain,
                 &transafety::lang::ExtractOptions::default(),
             );
-            let execs = transafety::interleaving::Explorer::new(&e.traceset)
-                .maximal_executions(transafety::interleaving::ExploreLimits {
+            let execs = transafety::interleaving::Explorer::new(&e.traceset).maximal_executions(
+                transafety::interleaving::ExploreLimits {
                     max_interleavings: 1,
-                });
+                },
+            );
             match execs.first() {
                 Some(i) => print!("{}", transafety::interleaving::hb_dot(i)),
                 None => println!("// no executions"),

@@ -28,14 +28,15 @@
 //! the syntactic engine:
 //!
 //! ```
-//! use transafety::checker::{check_rewrite, drf_guarantee, CheckOptions, Correspondence, DrfVerdict};
+//! use transafety::checker::{check_rewrite, drf_guarantee, Correspondence, DrfVerdict};
 //! use transafety::lang::parse_program;
 //! use transafety::syntactic::elimination_rewrites;
+//! use transafety::Analysis;
 //!
 //! let original = parse_program(
 //!     "lock m; r1 := x; r2 := x; print r2; unlock m; || lock m; x := 1; unlock m;",
 //! )?.program;
-//! let opts = CheckOptions::default();
+//! let opts = Analysis::new();
 //! for rewrite in elimination_rewrites(&original) {
 //!     // Lemma 4: the rewrite is a semantic elimination …
 //!     assert!(matches!(check_rewrite(&original, &rewrite, &opts),
@@ -51,6 +52,9 @@
 
 pub use transafety_checker as checker;
 pub use transafety_interleaving as interleaving;
+
+pub use transafety_checker::{Analysis, AnalysisReport};
+pub use transafety_interleaving::available_jobs;
 pub use transafety_lang as lang;
 pub use transafety_litmus as litmus;
 pub use transafety_syntactic as syntactic;

@@ -35,9 +35,15 @@ fn classify_pairs() {
 fn behaviours_lists_prefix_closed_set() {
     let (out, ok) = drfcheck(&["behaviours", "fig2-original"]);
     assert!(ok);
-    assert!(out.lines().any(|l| l == "[]"), "empty behaviour always present: {out}");
+    assert!(
+        out.lines().any(|l| l == "[]"),
+        "empty behaviour always present: {out}"
+    );
     assert!(out.lines().any(|l| l == "[0]"));
-    assert!(!out.lines().any(|l| l == "[1]"), "fig2 original cannot print 1");
+    assert!(
+        !out.lines().any(|l| l == "[1]"),
+        "fig2 original cannot print 1"
+    );
 }
 
 #[test]

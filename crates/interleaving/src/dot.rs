@@ -31,7 +31,9 @@ use crate::{HappensBefore, Interleaving};
 #[must_use]
 pub fn hb_dot(i: &Interleaving) -> String {
     let hb = HappensBefore::of(i);
-    let mut out = String::from("digraph happens_before {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph happens_before {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     // nodes, clustered per thread
     for th in i.threads() {
         let _ = writeln!(out, "  subgraph cluster_t{} {{", th.index());

@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper() {
-        let e = Event::new(ThreadId::new(0), Action::write(Loc::normal(1), Value::new(1)));
+        let e = Event::new(
+            ThreadId::new(0),
+            Action::write(Loc::normal(1), Value::new(1)),
+        );
         assert_eq!(e.to_string(), "(0, W[l1=1])");
     }
 }

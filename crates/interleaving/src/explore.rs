@@ -2,11 +2,11 @@
 //! finite traceset.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use transafety_traces::{Action, Loc, Monitor, Traceset, Value};
 
-use crate::{Event, IndexedTraceset, Interleaving};
+use crate::{par, Event, IndexedTraceset, Interleaving};
 
 /// The behaviours of a program: a prefix-closed set of sequences of
 /// external-action values (§1/§5 of the paper observe programs through
@@ -31,7 +31,9 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
-        ExploreLimits { max_interleavings: 1_000_000 }
+        ExploreLimits {
+            max_interleavings: 1_000_000,
+        }
     }
 }
 
@@ -124,11 +126,17 @@ struct Move {
     next_node: usize,
 }
 
+/// Memo key of the race search: the explorer state plus the previous
+/// normal access as `(thread, location, was_write)`.
+type RaceKey = (State, Option<(usize, Loc, bool)>);
+
 impl Explorer {
     /// Creates an explorer for the given traceset.
     #[must_use]
     pub fn new(t: &Traceset) -> Self {
-        Explorer { trie: IndexedTraceset::new(t) }
+        Explorer {
+            trie: IndexedTraceset::new(t),
+        }
     }
 
     fn initial_state(&self) -> State {
@@ -161,7 +169,11 @@ impl Explorer {
                     }
                 };
                 if enabled {
-                    out.push(Move { thread: k, action: *a, next_node: next });
+                    out.push(Move {
+                        thread: k,
+                        action: *a,
+                        next_node: next,
+                    });
                 }
             }
         }
@@ -200,14 +212,46 @@ impl Explorer {
     /// prefix closed, the empty behaviour is always a member.
     #[must_use]
     pub fn behaviours(&self) -> Behaviours {
-        let mut memo: HashMap<State, Rc<Behaviours>> = HashMap::new();
+        let mut memo: HashMap<State, Arc<Behaviours>> = HashMap::new();
         let result = self.suffixes(self.initial_state(), &mut memo);
         (*result).clone()
     }
 
-    fn suffixes(&self, state: State, memo: &mut HashMap<State, Rc<Behaviours>>) -> Rc<Behaviours> {
+    /// The set of behaviours, computed on `jobs` worker threads by the
+    /// work-stealing parallel driver (see [`par`]): the reachable
+    /// state graph is built by parallel deduplicated expansion, then
+    /// the suffix-behaviour dynamic program is evaluated bottom-up in
+    /// parallel. Bit-identical to [`behaviours`](Explorer::behaviours)
+    /// for every traceset; `jobs <= 1` runs the sequential reference
+    /// implementation.
+    #[must_use]
+    pub fn behaviours_par(&self, jobs: usize) -> Behaviours {
+        if jobs <= 1 {
+            return self.behaviours();
+        }
+        let graph = self.state_graph(jobs);
+        par::behaviours_of(&graph, jobs)
+    }
+
+    /// Builds the explicit reachable state graph on `jobs` workers.
+    fn state_graph(&self, jobs: usize) -> par::StateGraph<State> {
+        par::build_state_graph(jobs, self.initial_state(), |state| par::Expansion {
+            moves: self
+                .moves(state)
+                .into_iter()
+                .map(|mv| (mv.action, self.apply(state, &mv)))
+                .collect(),
+            truncated: false,
+        })
+    }
+
+    fn suffixes(
+        &self,
+        state: State,
+        memo: &mut HashMap<State, Arc<Behaviours>>,
+    ) -> Arc<Behaviours> {
         if let Some(r) = memo.get(&state) {
-            return Rc::clone(r);
+            return Arc::clone(r);
         }
         let mut set: Behaviours = BTreeSet::new();
         set.insert(Vec::new());
@@ -225,8 +269,8 @@ impl Explorer {
                 _ => set.extend(tail.iter().cloned()),
             }
         }
-        let rc = Rc::new(set);
-        memo.insert(state, Rc::clone(&rc));
+        let rc = Arc::new(set);
+        memo.insert(state, Arc::clone(&rc));
         rc
     }
 
@@ -236,17 +280,19 @@ impl Explorer {
     #[must_use]
     pub fn race_witness(&self) -> Option<RaceWitness> {
         // Key: (state, previous normal access as (thread, loc, was_write)).
-        let mut visited: HashSet<(State, Option<(usize, Loc, bool)>)> = HashSet::new();
+        let mut visited: HashSet<RaceKey> = HashSet::new();
         let mut path: Vec<Event> = Vec::new();
         self.race_dfs(self.initial_state(), None, &mut visited, &mut path)
-            .then(|| RaceWitness { execution: Interleaving::from_events(path) })
+            .then(|| RaceWitness {
+                execution: Interleaving::from_events(path),
+            })
     }
 
     fn race_dfs(
         &self,
         state: State,
         prev: Option<(usize, Loc, bool)>,
-        visited: &mut HashSet<(State, Option<(usize, Loc, bool)>)>,
+        visited: &mut HashSet<RaceKey>,
         path: &mut Vec<Event>,
     ) -> bool {
         if !visited.insert((state.clone(), prev)) {
@@ -265,12 +311,8 @@ impl Explorer {
                 }
             }
             let next_prev = match mv.action {
-                Action::Read { loc, .. } if !loc.is_volatile() => {
-                    Some((mv.thread, loc, false))
-                }
-                Action::Write { loc, .. } if !loc.is_volatile() => {
-                    Some((mv.thread, loc, true))
-                }
+                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
+                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
                 _ => None,
             };
             path.push(Event::new(thread_id, mv.action));
@@ -288,15 +330,93 @@ impl Explorer {
         self.race_witness().is_none()
     }
 
+    /// The parallel form of [`race_witness`](Explorer::race_witness):
+    /// the exhaustive reachability search for an adjacent conflicting
+    /// pair runs on `jobs` workers with early exit. The racy/DRF
+    /// verdict is identical to the sequential search; when a race
+    /// exists, the canonical sequential witness is reconstructed so
+    /// the returned execution is deterministic too.
+    #[must_use]
+    pub fn race_witness_par(&self, jobs: usize) -> Option<RaceWitness> {
+        if jobs <= 1 {
+            return self.race_witness();
+        }
+        type Prev = Option<(usize, Loc, bool)>;
+        let racy = par::parallel_reach(
+            jobs,
+            (self.initial_state(), None as Prev),
+            |(state, prev)| {
+                let mut found = false;
+                let mut successors = Vec::new();
+                for mv in self.moves(state) {
+                    if let Some((pk, pl, pw)) = *prev {
+                        if pk != mv.thread
+                            && mv.action.is_access_to(pl)
+                            && !pl.is_volatile()
+                            && (pw || mv.action.is_write())
+                        {
+                            found = true;
+                            break;
+                        }
+                    }
+                    let next_prev = match mv.action {
+                        Action::Read { loc, .. } if !loc.is_volatile() => {
+                            Some((mv.thread, loc, false))
+                        }
+                        Action::Write { loc, .. } if !loc.is_volatile() => {
+                            Some((mv.thread, loc, true))
+                        }
+                        _ => None,
+                    };
+                    successors.push((self.apply(state, &mv), next_prev));
+                }
+                par::SearchStep { successors, found }
+            },
+        );
+        // The parallel search only decides existence; the witness path
+        // is rebuilt sequentially so parallel and sequential drivers
+        // report the same execution (racy programs yield one quickly).
+        if racy {
+            let w = self.race_witness();
+            debug_assert!(w.is_some(), "parallel search found a race the DFS did not");
+            w
+        } else {
+            None
+        }
+    }
+
+    /// Is the traceset data race free, decided on `jobs` workers?
+    #[must_use]
+    pub fn is_data_race_free_par(&self, jobs: usize) -> bool {
+        self.race_witness_par(jobs).is_none()
+    }
+
     /// Enumerates all maximal executions, stopping at
     /// `limits.max_interleavings`. Exponential; intended for litmus-sized
     /// programs.
     #[must_use]
     pub fn maximal_executions(&self, limits: ExploreLimits) -> Vec<Interleaving> {
+        self.maximal_executions_checked(limits).0
+    }
+
+    /// Like [`maximal_executions`](Explorer::maximal_executions), but
+    /// also reports whether the `max_interleavings` cap cut the
+    /// enumeration short (`true` = at least one maximal execution was
+    /// *not* materialised). Callers that must not silently truncate —
+    /// the `drfcheck` CLI, for instance — use this form.
+    #[must_use]
+    pub fn maximal_executions_checked(&self, limits: ExploreLimits) -> (Vec<Interleaving>, bool) {
         let mut out = Vec::new();
         let mut path = Vec::new();
-        self.enumerate(self.initial_state(), &mut path, &mut out, limits.max_interleavings);
-        out
+        let mut capped = false;
+        self.enumerate(
+            self.initial_state(),
+            &mut path,
+            &mut out,
+            limits.max_interleavings,
+            &mut capped,
+        );
+        (out, capped)
     }
 
     fn enumerate(
@@ -305,8 +425,12 @@ impl Explorer {
         path: &mut Vec<Event>,
         out: &mut Vec<Interleaving>,
         cap: usize,
+        capped: &mut bool,
     ) {
         if out.len() >= cap {
+            // Every pending branch extends to at least one maximal
+            // execution, so entering here means results were dropped.
+            *capped = true;
             return;
         }
         let moves = self.moves(&state);
@@ -316,7 +440,7 @@ impl Explorer {
         }
         for mv in moves {
             path.push(Event::new(self.trie.threads()[mv.thread], mv.action));
-            self.enumerate(self.apply(&state, &mv), path, out, cap);
+            self.enumerate(self.apply(&state, &mv), path, out, cap, capped);
             path.pop();
         }
     }
@@ -329,6 +453,17 @@ impl Explorer {
         self.count(self.initial_state(), &mut memo)
     }
 
+    /// The execution count, computed on `jobs` workers (identical to
+    /// [`count_maximal_executions`](Explorer::count_maximal_executions)).
+    #[must_use]
+    pub fn count_maximal_executions_par(&self, jobs: usize) -> u128 {
+        if jobs <= 1 {
+            return self.count_maximal_executions();
+        }
+        let graph = self.state_graph(jobs);
+        par::count_leaves(&graph, jobs)
+    }
+
     fn count(&self, state: State, memo: &mut HashMap<State, u128>) -> u128 {
         if let Some(&c) = memo.get(&state) {
             return c;
@@ -337,7 +472,10 @@ impl Explorer {
         let c = if moves.is_empty() {
             1
         } else {
-            moves.iter().map(|mv| self.count(self.apply(&state, mv), memo)).sum()
+            moves
+                .iter()
+                .map(|mv| self.count(self.apply(&state, mv), memo))
+                .sum()
         };
         memo.insert(state, c);
         c
@@ -374,6 +512,20 @@ impl Explorer {
             }
         }
         seen.len()
+    }
+
+    /// The reachable-state count, computed on `jobs` workers.
+    #[must_use]
+    pub fn count_reachable_states_par(&self, jobs: usize) -> usize {
+        if jobs <= 1 {
+            return self.count_reachable_states();
+        }
+        par::parallel_state_count(jobs, self.initial_state(), |state| {
+            self.moves(state)
+                .iter()
+                .map(|mv| self.apply(state, mv))
+                .collect()
+        })
     }
 }
 
@@ -440,18 +592,26 @@ mod tests {
         let b = Explorer::new(&fig2_original()).behaviours();
         assert!(b.contains(&vec![]));
         assert!(b.contains(&vec![v(0)]));
-        assert!(!b.contains(&vec![v(1)]), "§2.1: the original cannot print 1");
+        assert!(
+            !b.contains(&vec![v(1)]),
+            "§2.1: the original cannot print 1"
+        );
     }
 
     #[test]
     fn fig2_transformed_can_print_one() {
         let b = Explorer::new(&fig2_transformed()).behaviours();
-        assert!(b.contains(&vec![v(1)]), "§2.1: the transformed program can print 1");
+        assert!(
+            b.contains(&vec![v(1)]),
+            "§2.1: the transformed program can print 1"
+        );
     }
 
     #[test]
     fn fig2_is_racy() {
-        let w = Explorer::new(&fig2_original()).race_witness().expect("x and y are racy");
+        let w = Explorer::new(&fig2_original())
+            .race_witness()
+            .expect("x and y are racy");
         let (a, b) = w.pair();
         assert!(a.action().conflicts_with(&b.action()));
         assert_ne!(a.thread(), b.thread());
@@ -544,7 +704,10 @@ mod tests {
         }
         let b = Explorer::new(&ts).behaviours();
         assert!(b.contains(&vec![v(1), v(1)]));
-        assert!(!b.contains(&vec![v(0)]), "read under the lock must see the write");
+        assert!(
+            !b.contains(&vec![v(0)]),
+            "read under the lock must see the write"
+        );
     }
 
     #[test]
@@ -570,8 +733,16 @@ mod tests {
         // S(0);X(1) and S(1);X(2) — executions = interleavings of 4 events
         // with per-thread order fixed: C(4,2) = 6.
         let mut ts = Traceset::new();
-        ts.insert(Trace::from_actions([Action::start(t(0)), Action::external(v(1))])).unwrap();
-        ts.insert(Trace::from_actions([Action::start(t(1)), Action::external(v(2))])).unwrap();
+        ts.insert(Trace::from_actions([
+            Action::start(t(0)),
+            Action::external(v(1)),
+        ]))
+        .unwrap();
+        ts.insert(Trace::from_actions([
+            Action::start(t(1)),
+            Action::external(v(2)),
+        ]))
+        .unwrap();
         let ex = Explorer::new(&ts);
         assert_eq!(ex.count_maximal_executions(), 6);
         assert_eq!(ex.maximal_executions(ExploreLimits::default()).len(), 6);
@@ -585,10 +756,17 @@ mod tests {
         assert!(!Explorer::new(&fig2_original()).is_data_race_free_hb(ExploreLimits::default()));
         let vl = Loc::volatile(0);
         let mut ts = Traceset::new();
-        ts.insert(Trace::from_actions([Action::start(t(0)), Action::write(vl, v(1))])).unwrap();
+        ts.insert(Trace::from_actions([
+            Action::start(t(0)),
+            Action::write(vl, v(1)),
+        ]))
+        .unwrap();
         for val in Domain::zero_to(1).iter() {
-            ts.insert(Trace::from_actions([Action::start(t(1)), Action::read(vl, val)]))
-                .unwrap();
+            ts.insert(Trace::from_actions([
+                Action::start(t(1)),
+                Action::read(vl, val),
+            ]))
+            .unwrap();
         }
         let e = Explorer::new(&ts);
         assert!(e.is_data_race_free());
@@ -599,7 +777,9 @@ mod tests {
     fn execution_cap_is_respected() {
         let ts = fig2_original();
         let ex = Explorer::new(&ts);
-        let capped = ex.maximal_executions(ExploreLimits { max_interleavings: 3 });
+        let capped = ex.maximal_executions(ExploreLimits {
+            max_interleavings: 3,
+        });
         assert_eq!(capped.len(), 3);
     }
 

@@ -147,7 +147,10 @@ mod tests {
         ]);
         let hb = HappensBefore::of(&i);
         assert!(hb.ordered(1, 3));
-        assert!(hb.ordered(0, 4), "start hb-precedes the other thread's print");
+        assert!(
+            hb.ordered(0, 4),
+            "start hb-precedes the other thread's print"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl IndexedTraceset {
                 stack.push((child, cid));
             }
         }
-        IndexedTraceset { children, threads: t.threads() }
+        IndexedTraceset {
+            children,
+            threads: t.threads(),
+        }
     }
 
     /// The number of nodes (member traces) in the trie.
@@ -115,7 +118,9 @@ mod tests {
         ]))
         .unwrap();
         let ix = IndexedTraceset::new(&t);
-        let n1 = ix.child(IndexedTraceset::ROOT, &Action::start(ThreadId::new(1))).unwrap();
+        let n1 = ix
+            .child(IndexedTraceset::ROOT, &Action::start(ThreadId::new(1)))
+            .unwrap();
         let n2 = ix.child(n1, &Action::write(x, Value::new(1))).unwrap();
         assert!(ix.is_leaf(n2));
         assert_eq!(ix.child(n1, &Action::write(x, Value::new(2))), None);

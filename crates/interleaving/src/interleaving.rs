@@ -58,7 +58,9 @@ impl Interleaving {
     /// Creates an interleaving from events.
     #[must_use]
     pub fn from_events<I: IntoIterator<Item = Event>>(events: I) -> Self {
-        Interleaving { events: events.into_iter().collect() }
+        Interleaving {
+            events: events.into_iter().collect(),
+        }
     }
 
     /// The events as a slice.
@@ -98,7 +100,9 @@ impl Interleaving {
     /// The prefix of length `n`.
     #[must_use]
     pub fn prefix(&self, n: usize) -> Interleaving {
-        Interleaving { events: self.events[..n.min(self.len())].to_vec() }
+        Interleaving {
+            events: self.events[..n.min(self.len())].to_vec(),
+        }
     }
 
     /// The trace of thread `θ` in the interleaving:
@@ -196,8 +200,12 @@ impl Interleaving {
     /// value with no earlier write to the same location?
     #[must_use]
     pub fn sees_default(&self, r: usize) -> bool {
-        let Some(e) = self.events.get(r) else { return false };
-        let Action::Read { loc, value } = e.action() else { return false };
+        let Some(e) = self.events.get(r) else {
+            return false;
+        };
+        let Action::Read { loc, value } = e.action() else {
+            return false;
+        };
         value == Value::ZERO
             && !self.events[..r]
                 .iter()
@@ -208,7 +216,9 @@ impl Interleaving {
     /// sees the default value, or it sees some write?
     #[must_use]
     pub fn sees_most_recent_write(&self, r: usize) -> bool {
-        let Some(e) = self.events.get(r) else { return false };
+        let Some(e) = self.events.get(r) else {
+            return false;
+        };
         if !e.action().is_read() {
             return true;
         }
@@ -373,7 +383,10 @@ mod tests {
     fn fig5_execution_is_sequentially_consistent() {
         let i = fig5_execution();
         assert!(i.is_sequentially_consistent());
-        assert!(i.sees_default(3), "volatile read of 0 with no writes sees default");
+        assert!(
+            i.sees_default(3),
+            "volatile read of 0 with no writes sees default"
+        );
         assert_eq!(i.first_sc_violation(), None);
         assert_eq!(i.behaviour(), vec![v(0)]);
     }

@@ -59,6 +59,7 @@ mod explore;
 mod happens_before;
 mod indexed;
 mod interleaving;
+pub mod par;
 mod wild;
 
 pub use dot::hb_dot;
@@ -67,4 +68,5 @@ pub use explore::{Behaviours, ExploreLimits, Explorer, RaceWitness};
 pub use happens_before::HappensBefore;
 pub use indexed::IndexedTraceset;
 pub use interleaving::Interleaving;
+pub use par::available_jobs;
 pub use wild::{WildEvent, WildInterleaving};

@@ -1,0 +1,655 @@
+//! The parallel exploration substrate: a small work-stealing thread
+//! pool and graph-shaped drivers built on it.
+//!
+//! Stateless model checkers scale by exploring independent scheduling
+//! branches on separate cores; this module provides the three
+//! primitives the explorers need, with **no external dependencies**
+//! (the build environment is fully offline, so `rayon` cannot be
+//! used — the pool is a ~100-line work-stealing scheduler over
+//! `std::thread::scope`):
+//!
+//! * [`run_tasks`] — the scheduler: each worker owns a deque, pushes
+//!   spawned work locally (LIFO) and steals from other workers (FIFO)
+//!   when empty;
+//! * [`build_state_graph`] — parallel deduplicated expansion of a
+//!   state space into an explicit graph (states interned in a sharded
+//!   concurrent table);
+//! * [`behaviours_of`] / [`count_leaves`] — parallel bottom-up
+//!   evaluation of a DAG-shaped state graph (Kahn-style: a node is
+//!   evaluated once all of its successors are), used for the memoised
+//!   behaviour and execution-count dynamic programs;
+//! * [`parallel_reach`] — parallel reachability with early exit, used
+//!   by the data-race searches.
+//!
+//! Every driver is *deterministic in its result*: behaviours are
+//! canonical [`BTreeSet`](std::collections::BTreeSet)s assembled by
+//! order-independent unions, counts are sums over a fixed graph, and
+//! reachability verdicts are exhaustive — so the parallel entry points
+//! return bit-identical values to their sequential references
+//! regardless of scheduling.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use transafety_traces::Action;
+
+use crate::explore::Behaviours;
+
+/// The number of worker threads to use by default: the machine's
+/// available parallelism (1 if it cannot be determined).
+#[must_use]
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing scheduler
+// ---------------------------------------------------------------------
+
+struct TaskQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    /// Tasks queued or currently being processed; the pool is done when
+    /// this reaches zero.
+    pending: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// Handle given to task handlers for spawning follow-up work and for
+/// cooperative early exit.
+pub struct TaskContext<'q, T> {
+    queue: &'q TaskQueue<T>,
+    worker: usize,
+}
+
+impl<T> TaskContext<'_, T> {
+    /// Spawns a follow-up task (onto this worker's own deque, so
+    /// recently produced work is processed depth-first unless stolen).
+    pub fn push(&self, task: T) {
+        self.queue.pending.fetch_add(1, Ordering::AcqRel);
+        self.queue.shards[self.worker]
+            .lock()
+            .expect("task deque poisoned")
+            .push_back(task);
+    }
+
+    /// Requests early termination of the whole pool (remaining tasks
+    /// are dropped). Used by searches once a witness is found.
+    pub fn stop(&self) {
+        self.queue.stop.store(true, Ordering::Release);
+    }
+
+    /// Has early termination been requested?
+    #[must_use]
+    pub fn stopped(&self) -> bool {
+        self.queue.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Runs `seeds` and all transitively spawned tasks to completion on
+/// `jobs` workers (clamped to at least 1). Tasks may spawn further
+/// tasks through the [`TaskContext`]; idle workers steal queued tasks
+/// from the back of their own deque first and from the front of other
+/// workers' deques otherwise.
+pub fn run_tasks<T, F>(jobs: usize, seeds: Vec<T>, handler: F)
+where
+    T: Send,
+    F: Fn(T, &TaskContext<'_, T>) + Sync,
+{
+    let jobs = jobs.max(1);
+    let queue = TaskQueue {
+        shards: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(seeds.len()),
+        stop: AtomicBool::new(false),
+    };
+    // Scatter the seeds round-robin so workers start with local work.
+    for (i, seed) in seeds.into_iter().enumerate() {
+        queue.shards[i % jobs]
+            .lock()
+            .expect("task deque poisoned")
+            .push_back(seed);
+    }
+    if jobs == 1 {
+        // Inline execution: no threads, same semantics.
+        let ctx = TaskContext {
+            queue: &queue,
+            worker: 0,
+        };
+        while !ctx.stopped() {
+            let next = queue.shards[0]
+                .lock()
+                .expect("task deque poisoned")
+                .pop_back();
+            match next {
+                Some(task) => {
+                    handler(task, &ctx);
+                    queue.pending.fetch_sub(1, Ordering::AcqRel);
+                }
+                None => break,
+            }
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let queue = &queue;
+            let handler = &handler;
+            scope.spawn(move || {
+                let ctx = TaskContext { queue, worker };
+                let mut spins = 0u32;
+                loop {
+                    if ctx.stopped() {
+                        break;
+                    }
+                    // Own deque first (LIFO), then steal (FIFO).
+                    let mut task = queue.shards[worker]
+                        .lock()
+                        .expect("task deque poisoned")
+                        .pop_back();
+                    if task.is_none() {
+                        // Steal half of the first non-empty victim deque
+                        // in one lock acquisition: batching amortises the
+                        // lock traffic, and `try_lock` keeps contending
+                        // stealers from serialising on a busy producer.
+                        for off in 1..queue.shards.len() {
+                            let victim = (worker + off) % queue.shards.len();
+                            let Ok(mut v) = queue.shards[victim].try_lock() else {
+                                continue;
+                            };
+                            let take = v.len().div_ceil(2);
+                            if take == 0 {
+                                continue;
+                            }
+                            let mut grabbed: VecDeque<T> = v.drain(..take).collect();
+                            drop(v);
+                            task = grabbed.pop_front();
+                            if !grabbed.is_empty() {
+                                queue.shards[worker]
+                                    .lock()
+                                    .expect("task deque poisoned")
+                                    .extend(grabbed);
+                            }
+                            break;
+                        }
+                    }
+                    match task {
+                        Some(task) => {
+                            spins = 0;
+                            handler(task, &ctx);
+                            queue.pending.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        None => {
+                            if queue.pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            spins += 1;
+                            if spins > 64 {
+                                std::thread::sleep(std::time::Duration::from_micros(50));
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Sharded state interning
+// ---------------------------------------------------------------------
+
+const SHARD_BITS: u32 = 6;
+const SHARDS: usize = 1 << SHARD_BITS; // 64
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() >> (64 - SHARD_BITS)) as usize
+}
+
+struct InternShard<K> {
+    map: HashMap<K, u32>,
+    keys: Vec<K>,
+    edges: Vec<Vec<(Action, u64)>>, // packed successor ids, remapped later
+}
+
+struct Interner<K> {
+    shards: Vec<Mutex<InternShard<K>>>,
+}
+
+fn pack(shard: usize, local: u32) -> u64 {
+    ((shard as u64) << 32) | u64::from(local)
+}
+
+impl<K: Eq + Hash + Clone> Interner<K> {
+    fn new() -> Self {
+        Interner {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(InternShard {
+                        map: HashMap::new(),
+                        keys: Vec::new(),
+                        edges: Vec::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Interns `key`, returning its packed id and whether it was new.
+    fn intern(&self, key: &K) -> (u64, bool) {
+        let s = shard_of(key);
+        let mut shard = self.shards[s].lock().expect("intern shard poisoned");
+        if let Some(&local) = shard.map.get(key) {
+            return (pack(s, local), false);
+        }
+        let local = u32::try_from(shard.keys.len()).expect("more than 2^32 states in one shard");
+        shard.map.insert(key.clone(), local);
+        shard.keys.push(key.clone());
+        shard.edges.push(Vec::new());
+        (pack(s, local), true)
+    }
+
+    fn set_edges(&self, packed: u64, edges: Vec<(Action, u64)>) {
+        let (s, local) = ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize);
+        self.shards[s].lock().expect("intern shard poisoned").edges[local] = edges;
+    }
+}
+
+/// An explicit, deduplicated state graph: node `i` has key `nodes[i]`
+/// and deterministic, move-ordered labelled edges `edges[i]`.
+pub struct StateGraph<K> {
+    /// The interned state of each node.
+    pub nodes: Vec<K>,
+    /// Action-labelled successor edges per node, in the move order the
+    /// expansion function produced them.
+    pub edges: Vec<Vec<(Action, u32)>>,
+    /// The node index of the initial state.
+    pub root: u32,
+    /// `true` if any expansion reported hitting a bound.
+    pub truncated: bool,
+}
+
+/// One state expansion: the enabled moves (action label plus successor
+/// state) and whether a bound was hit at this state.
+pub struct Expansion<K> {
+    /// Enabled moves in deterministic order.
+    pub moves: Vec<(Action, K)>,
+    /// Did expanding this state hit an exploration bound?
+    pub truncated: bool,
+}
+
+/// Builds the full reachable state graph from `root` using `jobs`
+/// workers. `expand` must be pure: equal states must produce equal
+/// move lists (the function is called exactly once per distinct state).
+pub fn build_state_graph<K, F>(jobs: usize, root: K, expand: F) -> StateGraph<K>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&K) -> Expansion<K> + Sync,
+{
+    let interner: Interner<K> = Interner::new();
+    let truncated = AtomicBool::new(false);
+    let (root_id, _) = interner.intern(&root);
+    run_tasks(
+        jobs,
+        vec![(root_id, root)],
+        |(id, state), ctx: &TaskContext<'_, (u64, K)>| {
+            let expansion = expand(&state);
+            if expansion.truncated {
+                truncated.store(true, Ordering::Relaxed);
+            }
+            let mut edges = Vec::with_capacity(expansion.moves.len());
+            for (action, succ) in expansion.moves {
+                let (succ_id, new) = interner.intern(&succ);
+                edges.push((action, succ_id));
+                if new {
+                    ctx.push((succ_id, succ));
+                }
+            }
+            interner.set_edges(id, edges);
+        },
+    );
+    // Compact packed (shard, local) ids into dense indices.
+    let shards: Vec<InternShard<K>> = interner
+        .shards
+        .into_iter()
+        .map(|m| m.into_inner().expect("intern shard poisoned"))
+        .collect();
+    let mut base = vec![0u32; SHARDS];
+    let mut total: u32 = 0;
+    for (s, shard) in shards.iter().enumerate() {
+        base[s] = total;
+        total = total
+            .checked_add(u32::try_from(shard.keys.len()).expect("shard size"))
+            .expect("more than 2^32 explorer states");
+    }
+    let dense =
+        |packed: u64| -> u32 { base[(packed >> 32) as usize] + (packed & 0xFFFF_FFFF) as u32 };
+    let mut nodes = Vec::with_capacity(total as usize);
+    let mut edges = Vec::with_capacity(total as usize);
+    for shard in shards {
+        nodes.extend(shard.keys);
+        edges.extend(shard.edges.into_iter().map(|es| {
+            es.into_iter()
+                .map(|(a, p)| (a, dense(p)))
+                .collect::<Vec<_>>()
+        }));
+    }
+    StateGraph {
+        nodes,
+        edges,
+        root: dense(root_id),
+        truncated: truncated.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel bottom-up DAG evaluation
+// ---------------------------------------------------------------------
+
+/// Evaluates a node of the behaviour dynamic program from its
+/// successor sets: the union over enabled moves, with external actions
+/// prepending their value (and the empty behaviour always present, for
+/// prefix closure).
+fn behaviour_step(edges: &[(Action, u32)], tails: &[Arc<Behaviours>]) -> Behaviours {
+    let mut set = Behaviours::new();
+    set.insert(Vec::new());
+    for ((action, _), tail) in edges.iter().zip(tails) {
+        if let Action::External(v) = action {
+            for suffix in tail.iter() {
+                let mut b = Vec::with_capacity(suffix.len() + 1);
+                b.push(*v);
+                b.extend_from_slice(suffix);
+                set.insert(b);
+            }
+        } else {
+            set.extend(tail.iter().cloned());
+        }
+    }
+    set
+}
+
+/// Runs the Kahn-style bottom-up evaluation of `value` over the DAG on
+/// `jobs` workers: a node is evaluated once every successor is done.
+///
+/// # Panics
+///
+/// Panics if the graph contains a cycle (the sequential memoised
+/// recursion has the same DAG precondition — it would not terminate).
+fn evaluate_dag<K, V, F>(graph: &StateGraph<K>, jobs: usize, value: F) -> V
+where
+    K: Sync,
+    V: Clone + Send + Sync,
+    F: Fn(&[(Action, u32)], &[V]) -> V + Sync,
+{
+    let n = graph.nodes.len();
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut ready: Vec<u32> = Vec::new();
+    for (i, es) in graph.edges.iter().enumerate() {
+        if es.is_empty() {
+            ready.push(i as u32);
+        }
+        for &(_, j) in es {
+            preds[j as usize].push(i as u32);
+        }
+    }
+    let remaining: Vec<AtomicUsize> = graph
+        .edges
+        .iter()
+        .map(|es| AtomicUsize::new(es.len()))
+        .collect();
+    let results: Vec<OnceLock<V>> = (0..n).map(|_| OnceLock::new()).collect();
+    run_tasks(jobs, ready, |i, ctx: &TaskContext<'_, u32>| {
+        let es = &graph.edges[i as usize];
+        let tails: Vec<V> = es
+            .iter()
+            .map(|&(_, j)| {
+                results[j as usize]
+                    .get()
+                    .expect("successor evaluated first")
+                    .clone()
+            })
+            .collect();
+        let v = value(es, &tails);
+        results[i as usize]
+            .set(v)
+            .unwrap_or_else(|_| panic!("node evaluated twice"));
+        for &p in &preds[i as usize] {
+            if remaining[p as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ctx.push(p);
+            }
+        }
+    });
+    results[graph.root as usize]
+        .get()
+        .expect("state graph contains a cycle — bounded exploration required")
+        .clone()
+}
+
+/// The behaviours of the state graph (the parallel form of the
+/// memoised suffix-behaviour dynamic program). Bit-identical to the
+/// sequential computation: sets are canonical and unions commute.
+#[must_use]
+pub fn behaviours_of<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> Behaviours {
+    evaluate_dag(graph, jobs, |edges, tails: &[Arc<Behaviours>]| {
+        Arc::new(behaviour_step(edges, tails))
+    })
+    .as_ref()
+    .clone()
+}
+
+/// The number of maximal paths (executions) of the state graph, by the
+/// parallel form of the counting dynamic program.
+#[must_use]
+pub fn count_leaves<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> u128 {
+    evaluate_dag(graph, jobs, |_edges, tails: &[u128]| {
+        if tails.is_empty() {
+            1
+        } else {
+            tails.iter().sum()
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Parallel reachability search with early exit
+// ---------------------------------------------------------------------
+
+/// One search expansion: successor states plus whether the target was
+/// hit while expanding this state.
+pub struct SearchStep<K> {
+    /// Successor search states.
+    pub successors: Vec<K>,
+    /// Was the search target found at this state?
+    pub found: bool,
+}
+
+/// Explores the search space from `root` on `jobs` workers, returning
+/// `true` as soon as any expansion reports `found` (the pool drains
+/// early) and `false` only after exhausting the space. The verdict is
+/// deterministic because the search is exhaustive in the negative case.
+pub fn parallel_reach<K, F>(jobs: usize, root: K, expand: F) -> bool
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&K) -> SearchStep<K> + Sync,
+{
+    let visited: Vec<Mutex<HashSet<K>>> = (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
+    let found = AtomicBool::new(false);
+    visited[shard_of(&root)]
+        .lock()
+        .expect("visited shard poisoned")
+        .insert(root.clone());
+    run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
+        if found.load(Ordering::Acquire) {
+            return;
+        }
+        let step = expand(&state);
+        if step.found {
+            found.store(true, Ordering::Release);
+            ctx.stop();
+            return;
+        }
+        for succ in step.successors {
+            let fresh = visited[shard_of(&succ)]
+                .lock()
+                .expect("visited shard poisoned")
+                .insert(succ.clone());
+            if fresh {
+                ctx.push(succ);
+            }
+        }
+    });
+    found.load(Ordering::Acquire)
+}
+
+/// Applies `f` to every item on `jobs` workers, returning the results
+/// in input order (so the output is independent of scheduling).
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    run_tasks(
+        jobs,
+        indexed,
+        |(i, item), _ctx: &TaskContext<'_, (usize, T)>| {
+            *results[i].lock().expect("result slot poisoned") = Some(f(item));
+        },
+    );
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item was mapped")
+        })
+        .collect()
+}
+
+/// Counts the distinct states reachable from `root` on `jobs` workers.
+pub fn parallel_state_count<K, F>(jobs: usize, root: K, expand: F) -> usize
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&K) -> Vec<K> + Sync,
+{
+    let visited: Vec<Mutex<HashSet<K>>> = (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
+    visited[shard_of(&root)]
+        .lock()
+        .expect("visited shard poisoned")
+        .insert(root.clone());
+    run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
+        for succ in expand(&state) {
+            let fresh = visited[shard_of(&succ)]
+                .lock()
+                .expect("visited shard poisoned")
+                .insert(succ.clone());
+            if fresh {
+                ctx.push(succ);
+            }
+        }
+    });
+    visited
+        .iter()
+        .map(|s| s.lock().expect("visited shard poisoned").len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        for jobs in [1, 2, 4, 8] {
+            let items: Vec<u64> = (0..100).collect();
+            let out = parallel_map(jobs, items, |x| x * x);
+            assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn run_tasks_processes_spawned_work() {
+        for jobs in [1, 2, 4] {
+            let count = AtomicUsize::new(0);
+            // Seed 1 task that spawns a binary tree of depth 10.
+            run_tasks(jobs, vec![0u32], |depth, ctx: &TaskContext<'_, u32>| {
+                count.fetch_add(1, Ordering::Relaxed);
+                if depth < 10 {
+                    ctx.push(depth + 1);
+                    ctx.push(depth + 1);
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), (1 << 11) - 1, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn early_stop_terminates() {
+        let count = AtomicUsize::new(0);
+        run_tasks(4, vec![0u64], |n, ctx: &TaskContext<'_, u64>| {
+            if count.fetch_add(1, Ordering::Relaxed) > 100 {
+                ctx.stop();
+                return;
+            }
+            ctx.push(n + 1);
+            ctx.push(n + 2);
+        });
+        // the pool stopped rather than exploring the infinite space
+        assert!(count.load(Ordering::Relaxed) < 100_000);
+    }
+
+    #[test]
+    fn graph_build_and_count_on_grid() {
+        // states (i, j) with i, j <= N, edges increment one coordinate;
+        // leaves = 1, path count = C(2N, N).
+        let n = 8u32;
+        for jobs in [1, 4] {
+            let g = build_state_graph(jobs, (0u32, 0u32), |&(i, j)| {
+                let mut moves = Vec::new();
+                if i < n {
+                    moves.push((
+                        Action::external(transafety_traces::Value::new(0)),
+                        (i + 1, j),
+                    ));
+                }
+                if j < n {
+                    moves.push((
+                        Action::external(transafety_traces::Value::new(1)),
+                        (i, j + 1),
+                    ));
+                }
+                Expansion {
+                    moves,
+                    truncated: false,
+                }
+            });
+            assert_eq!(g.nodes.len(), ((n + 1) * (n + 1)) as usize);
+            assert!(!g.truncated);
+            assert_eq!(count_leaves(&g, jobs), 12870); // C(16, 8)
+        }
+    }
+
+    #[test]
+    fn parallel_reach_finds_and_exhausts() {
+        let hit = |target: u32, jobs| {
+            parallel_reach(jobs, 0u32, |&s| SearchStep {
+                successors: if s < 20 { vec![s + 1] } else { vec![] },
+                found: s == target,
+            })
+        };
+        for jobs in [1, 3] {
+            assert!(hit(20, jobs));
+            assert!(!hit(21, jobs));
+        }
+    }
+}

@@ -45,7 +45,10 @@ impl WildEvent {
 
 impl From<Event> for WildEvent {
     fn from(e: Event) -> Self {
-        WildEvent { thread: e.thread(), action: e.action().into() }
+        WildEvent {
+            thread: e.thread(),
+            action: e.action().into(),
+        }
     }
 }
 
@@ -94,13 +97,17 @@ impl WildInterleaving {
     /// Creates a wildcard interleaving from events.
     #[must_use]
     pub fn from_events<I: IntoIterator<Item = WildEvent>>(events: I) -> Self {
-        WildInterleaving { events: events.into_iter().collect() }
+        WildInterleaving {
+            events: events.into_iter().collect(),
+        }
     }
 
     /// Lifts a concrete interleaving (no wildcards).
     #[must_use]
     pub fn from_interleaving(i: &Interleaving) -> Self {
-        WildInterleaving { events: i.iter().map(|e| WildEvent::from(*e)).collect() }
+        WildInterleaving {
+            events: i.iter().map(|e| WildEvent::from(*e)).collect(),
+        }
     }
 
     /// The events as a slice.
@@ -173,7 +180,9 @@ impl WildInterleaving {
     /// (wildcard) trace of every thread belongs to `t` over `domain`.
     #[must_use]
     pub fn belongs_to(&self, t: &Traceset, domain: &Domain) -> bool {
-        self.threads().iter().all(|&th| t.belongs_to(&self.trace_of(th), domain))
+        self.threads()
+            .iter()
+            .all(|&th| t.belongs_to(&self.trace_of(th), domain))
     }
 }
 
@@ -255,8 +264,11 @@ mod tests {
         let d = Domain::zero_to(1);
         let mut ts = Traceset::new();
         for val in d.iter() {
-            ts.insert(Trace::from_actions([Action::start(t(0)), Action::read(x, val)]))
-                .unwrap();
+            ts.insert(Trace::from_actions([
+                Action::start(t(0)),
+                Action::read(x, val),
+            ]))
+            .unwrap();
         }
         let wi = WildInterleaving::from_events([
             WildEvent::new(t(0), Action::start(t(0)).into()),

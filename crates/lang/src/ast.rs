@@ -163,7 +163,11 @@ impl Stmt {
                     s.collect_locs(out);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.collect_locs(out);
                 else_branch.collect_locs(out);
             }
@@ -213,7 +217,11 @@ impl Stmt {
                     s.collect_regs(out);
                 }
             }
-            Stmt::If { cond: c, then_branch, else_branch } => {
+            Stmt::If {
+                cond: c,
+                then_branch,
+                else_branch,
+            } => {
                 cond(c, out);
                 then_branch.collect_regs(out);
                 else_branch.collect_regs(out);
@@ -235,9 +243,11 @@ impl Stmt {
             Stmt::Store { loc, .. } | Stmt::Load { loc, .. } => !loc.is_volatile(),
             Stmt::Move { .. } | Stmt::Skip | Stmt::Print(_) => true,
             Stmt::Block(stmts) => stmts.iter().all(Stmt::is_sync_free),
-            Stmt::If { then_branch, else_branch, .. } => {
-                then_branch.is_sync_free() && else_branch.is_sync_free()
-            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.is_sync_free() && else_branch.is_sync_free(),
             Stmt::While { body, .. } => body.is_sync_free(),
         }
     }
@@ -248,11 +258,16 @@ impl Stmt {
     #[must_use]
     pub fn mentions_constant(&self, c: Value) -> bool {
         match self {
-            Stmt::Move { src: Operand::Const(v), .. } => *v == c,
+            Stmt::Move {
+                src: Operand::Const(v),
+                ..
+            } => *v == c,
             Stmt::Block(stmts) => stmts.iter().any(|s| s.mentions_constant(c)),
-            Stmt::If { then_branch, else_branch, .. } => {
-                then_branch.mentions_constant(c) || else_branch.mentions_constant(c)
-            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.mentions_constant(c) || else_branch.mentions_constant(c),
             Stmt::While { body, .. } => body.mentions_constant(c),
             _ => false,
         }
@@ -276,7 +291,11 @@ impl Stmt {
         }
         match self {
             Stmt::Move { src, .. } => operand(src, out),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 match cond {
                     Cond::Eq(a, b) | Cond::Ne(a, b) => {
                         operand(a, out);
@@ -321,7 +340,11 @@ impl Stmt {
                 }
                 writeln!(f, "{pad}}}")
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 writeln!(f, "{pad}if ({cond})")?;
                 then_branch.fmt_indented(f, indent + 1)?;
                 writeln!(f, "{pad}else")?;
@@ -423,7 +446,10 @@ impl Program {
     /// constant (the hypothesis of Theorem 5)?
     #[must_use]
     pub fn mentions_constant(&self, c: Value) -> bool {
-        self.threads.iter().flatten().any(|s| s.mentions_constant(c))
+        self.threads
+            .iter()
+            .flatten()
+            .any(|s| s.mentions_constant(c))
     }
 }
 
@@ -468,8 +494,14 @@ mod tests {
     fn shared_locs_descend_into_control() {
         let s = Stmt::If {
             cond: Cond::Eq(Reg::new(0).into(), Value::new(1).into()),
-            then_branch: Box::new(Stmt::Store { loc: x(), src: Reg::new(0) }),
-            else_branch: Box::new(Stmt::Block(vec![Stmt::Load { dst: Reg::new(1), loc: vol() }])),
+            then_branch: Box::new(Stmt::Store {
+                loc: x(),
+                src: Reg::new(0),
+            }),
+            else_branch: Box::new(Stmt::Block(vec![Stmt::Load {
+                dst: Reg::new(1),
+                loc: vol(),
+            }])),
         };
         let locs = s.shared_locs();
         assert!(locs.contains(&x()) && locs.contains(&vol()));
@@ -478,8 +510,16 @@ mod tests {
     #[test]
     fn sync_freedom() {
         assert!(Stmt::Skip.is_sync_free());
-        assert!(Stmt::Store { loc: x(), src: Reg::new(0) }.is_sync_free());
-        assert!(!Stmt::Load { dst: Reg::new(0), loc: vol() }.is_sync_free());
+        assert!(Stmt::Store {
+            loc: x(),
+            src: Reg::new(0)
+        }
+        .is_sync_free());
+        assert!(!Stmt::Load {
+            dst: Reg::new(0),
+            loc: vol()
+        }
+        .is_sync_free());
         assert!(!Stmt::Lock(Monitor::new(0)).is_sync_free());
         assert!(!Stmt::Block(vec![Stmt::Skip, Stmt::Unlock(Monitor::new(0))]).is_sync_free());
         assert!(Stmt::While {
@@ -492,8 +532,14 @@ mod tests {
     #[test]
     fn constant_mention() {
         let p = Program::new(vec![vec![
-            Stmt::Move { dst: Reg::new(0), src: Value::new(42).into() },
-            Stmt::Store { loc: x(), src: Reg::new(0) },
+            Stmt::Move {
+                dst: Reg::new(0),
+                src: Value::new(42).into(),
+            },
+            Stmt::Store {
+                loc: x(),
+                src: Reg::new(0),
+            },
         ]]);
         assert!(p.mentions_constant(Value::new(42)));
         assert!(!p.mentions_constant(Value::new(7)));
@@ -503,7 +549,10 @@ mod tests {
     #[test]
     fn regs_collection() {
         let s = Stmt::Block(vec![
-            Stmt::Move { dst: Reg::new(0), src: Reg::new(1).into() },
+            Stmt::Move {
+                dst: Reg::new(0),
+                src: Reg::new(1).into(),
+            },
             Stmt::Print(Reg::new(2)),
         ]);
         let regs = s.regs();
@@ -513,7 +562,10 @@ mod tests {
     #[test]
     fn display_round_trippable_shape() {
         let p = Program::new(vec![
-            vec![Stmt::Store { loc: x(), src: Reg::new(0) }],
+            vec![Stmt::Store {
+                loc: x(),
+                src: Reg::new(0),
+            }],
             vec![Stmt::Print(Reg::new(0))],
         ]);
         let s = p.to_string();

@@ -9,9 +9,9 @@
 //! The two routes are cross-validated in the test suites.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
-use transafety_interleaving::{Behaviours, Event, Interleaving, RaceWitness};
+use transafety_interleaving::{par, Behaviours, Event, Interleaving, RaceWitness};
 use transafety_traces::{Action, Domain, Loc, Monitor, ThreadId, Value};
 
 use crate::ast::Program;
@@ -31,7 +31,10 @@ pub struct ExploreOptions {
 
 impl Default for ExploreOptions {
     fn default() -> Self {
-        ExploreOptions { max_actions: 32, max_tau: 4096 }
+        ExploreOptions {
+            max_actions: 32,
+            max_tau: 4096,
+        }
     }
 }
 
@@ -88,6 +91,10 @@ struct PMove {
     next: Option<ThreadConfig>, // None when the thread just terminated
 }
 
+/// Memo key of the race searches: the program state plus the previous
+/// normal access as `(thread, location, was_write)`.
+type RaceKey = (PState, Option<(usize, Loc, bool)>);
+
 impl<'p> ProgramExplorer<'p> {
     /// Creates an explorer for the program.
     #[must_use]
@@ -117,7 +124,10 @@ impl<'p> ProgramExplorer<'p> {
                     thread: k,
                     action: Action::start(ThreadId::new(k as u32)),
                     next: Some(ThreadConfig::new(
-                        self.program.thread(k).expect("thread index in range").to_vec(),
+                        self.program
+                            .thread(k)
+                            .expect("thread index in range")
+                            .to_vec(),
                     )),
                 });
                 continue;
@@ -143,15 +153,18 @@ impl<'p> ProgramExplorer<'p> {
                                 .tau_closure(&domain, opts.max_tau)
                                 .expect("closure already succeeded")
                                 .0;
-                            let Step::Emit(succ2) = at_emit.step(&Domain::from_values([v]))
-                            else {
+                            let Step::Emit(succ2) = at_emit.step(&Domain::from_values([v])) else {
                                 unreachable!("closure stopped at an emitting statement")
                             };
                             let (a, next) = succ2
                                 .into_iter()
                                 .find(|(a, _)| a.value() == Some(v))
                                 .expect("domain contains v");
-                            out.push(PMove { thread: k, action: a, next: Some(next) });
+                            out.push(PMove {
+                                thread: k,
+                                action: a,
+                                next: Some(next),
+                            });
                         }
                         Action::Lock(m) => {
                             let free = match state.holders.get(m) {
@@ -160,12 +173,20 @@ impl<'p> ProgramExplorer<'p> {
                             };
                             if free {
                                 let (a, next) = successors.into_iter().next().expect("one");
-                                out.push(PMove { thread: k, action: a, next: Some(next) });
+                                out.push(PMove {
+                                    thread: k,
+                                    action: a,
+                                    next: Some(next),
+                                });
                             }
                         }
                         _ => {
                             let (a, next) = successors.into_iter().next().expect("one");
-                            out.push(PMove { thread: k, action: a, next: Some(next) });
+                            out.push(PMove {
+                                thread: k,
+                                action: a,
+                                next: Some(next),
+                            });
                         }
                     }
                 }
@@ -188,15 +209,17 @@ impl<'p> ProgramExplorer<'p> {
             Action::Lock(m) => {
                 next.holders.insert(m, mv.thread);
             }
-            Action::Unlock(m) => {
-                if cfg.monitor_nesting(m) == 0 {
-                    next.holders.remove(&m);
-                }
+            Action::Unlock(m) if cfg.monitor_nesting(m) == 0 => {
+                next.holders.remove(&m);
             }
             _ => {}
         }
         // Normalise terminated threads so states converge.
-        next.threads[mv.thread] = Some(if terminal { ThreadConfig::new(vec![]) } else { cfg });
+        next.threads[mv.thread] = Some(if terminal {
+            ThreadConfig::new(vec![])
+        } else {
+            cfg
+        });
         next
     }
 
@@ -211,11 +234,18 @@ impl<'p> ProgramExplorer<'p> {
     /// bound recorded in [`Bounded::complete`].
     #[must_use]
     pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
-        let mut memo: HashMap<(PState, usize), Rc<Behaviours>> = HashMap::new();
+        let mut memo: HashMap<(PState, usize), Arc<Behaviours>> = HashMap::new();
         let mut truncated = false;
-        let fuel = if program_has_loops(self.program) { opts.max_actions } else { usize::MAX };
+        let fuel = if program_has_loops(self.program) {
+            opts.max_actions
+        } else {
+            usize::MAX
+        };
         let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
-        Bounded { value: (*set).clone(), complete: !truncated }
+        Bounded {
+            value: (*set).clone(),
+            complete: !truncated,
+        }
     }
 
     fn suffixes(
@@ -223,12 +253,12 @@ impl<'p> ProgramExplorer<'p> {
         state: PState,
         fuel: usize,
         opts: &ExploreOptions,
-        memo: &mut HashMap<(PState, usize), Rc<Behaviours>>,
+        memo: &mut HashMap<(PState, usize), Arc<Behaviours>>,
         truncated: &mut bool,
-    ) -> Rc<Behaviours> {
+    ) -> Arc<Behaviours> {
         let key = (state, fuel);
         if let Some(r) = memo.get(&key) {
-            return Rc::clone(r);
+            return Arc::clone(r);
         }
         let (state, fuel) = (&key.0, key.1);
         let mut set = Behaviours::new();
@@ -239,10 +269,13 @@ impl<'p> ProgramExplorer<'p> {
                 *truncated = true;
             }
         } else {
-            let next_fuel = if fuel == usize::MAX { usize::MAX } else { fuel - 1 };
+            let next_fuel = if fuel == usize::MAX {
+                usize::MAX
+            } else {
+                fuel - 1
+            };
             for mv in moves {
-                let tail =
-                    self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
+                let tail = self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
                 if let Action::External(v) = mv.action {
                     for suffix in tail.iter() {
                         let mut b = Vec::with_capacity(suffix.len() + 1);
@@ -255,9 +288,66 @@ impl<'p> ProgramExplorer<'p> {
                 }
             }
         }
-        let rc = Rc::new(set);
-        memo.insert(key, Rc::clone(&rc));
+        let rc = Arc::new(set);
+        memo.insert(key, Arc::clone(&rc));
         rc
+    }
+
+    /// The bounded behaviours, computed on `jobs` workers.
+    ///
+    /// Identical result to [`behaviours`](ProgramExplorer::behaviours):
+    /// the parallel driver deduplicates the fuel-layered state graph
+    /// concurrently, then evaluates the same dynamic program bottom-up,
+    /// so the behaviour set (and the `complete` flag) is bit-identical
+    /// regardless of worker count or scheduling.
+    #[must_use]
+    pub fn behaviours_par(&self, opts: &ExploreOptions, jobs: usize) -> Bounded<Behaviours> {
+        if jobs <= 1 {
+            return self.behaviours(opts);
+        }
+        let graph = self.state_graph(opts, jobs);
+        let value = par::behaviours_of(&graph, jobs);
+        Bounded {
+            value,
+            complete: !graph.truncated,
+        }
+    }
+
+    /// Builds the deduplicated fuel-layered state graph in parallel.
+    /// Nodes are `(state, fuel)` pairs — exactly the sequential memo key
+    /// — so the graph is a DAG (fuel strictly decreases except in the
+    /// loop-free `usize::MAX` regime, where actions strictly consume
+    /// statements).
+    fn state_graph(&self, opts: &ExploreOptions, jobs: usize) -> par::StateGraph<(PState, usize)> {
+        let fuel = if program_has_loops(self.program) {
+            opts.max_actions
+        } else {
+            usize::MAX
+        };
+        par::build_state_graph(jobs, (self.initial(), fuel), |node: &(PState, usize)| {
+            let (state, fuel) = node;
+            let mut truncated = false;
+            let moves = self.moves(state, opts, &mut truncated);
+            let mut out = Vec::with_capacity(moves.len());
+            if *fuel == 0 {
+                if !moves.is_empty() {
+                    truncated = true;
+                }
+            } else {
+                let next_fuel = if *fuel == usize::MAX {
+                    usize::MAX
+                } else {
+                    fuel - 1
+                };
+                for mv in &moves {
+                    out.push((mv.action, (self.apply(state, mv), next_fuel)));
+                }
+            }
+            par::Expansion {
+                moves: out,
+                truncated,
+            }
+        })
     }
 
     /// Searches for a data race (§3's adjacent-conflict condition over
@@ -266,11 +356,20 @@ impl<'p> ProgramExplorer<'p> {
     /// set needs no fuel.
     #[must_use]
     pub fn race_witness(&self, opts: &ExploreOptions) -> Option<RaceWitness> {
-        let mut visited: HashSet<(PState, Option<(usize, Loc, bool)>)> = HashSet::new();
+        let mut visited: HashSet<RaceKey> = HashSet::new();
         let mut path = Vec::new();
         let mut truncated = false;
-        self.race_dfs(self.initial(), None, opts, &mut visited, &mut path, &mut truncated)
-            .then(|| RaceWitness { execution: Interleaving::from_events(path) })
+        self.race_dfs(
+            self.initial(),
+            None,
+            opts,
+            &mut visited,
+            &mut path,
+            &mut truncated,
+        )
+        .then(|| RaceWitness {
+            execution: Interleaving::from_events(path),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -279,7 +378,7 @@ impl<'p> ProgramExplorer<'p> {
         state: PState,
         prev: Option<(usize, Loc, bool)>,
         opts: &ExploreOptions,
-        visited: &mut HashSet<(PState, Option<(usize, Loc, bool)>)>,
+        visited: &mut HashSet<RaceKey>,
         path: &mut Vec<Event>,
         truncated: &mut bool,
     ) -> bool {
@@ -304,8 +403,14 @@ impl<'p> ProgramExplorer<'p> {
                 _ => None,
             };
             path.push(Event::new(tid, mv.action));
-            if self.race_dfs(self.apply(&state, &mv), next_prev, opts, visited, path, truncated)
-            {
+            if self.race_dfs(
+                self.apply(&state, &mv),
+                next_prev,
+                opts,
+                visited,
+                path,
+                truncated,
+            ) {
                 return true;
             }
             path.pop();
@@ -317,6 +422,69 @@ impl<'p> ProgramExplorer<'p> {
     #[must_use]
     pub fn is_data_race_free(&self, opts: &ExploreOptions) -> bool {
         self.race_witness(opts).is_none()
+    }
+
+    /// The race search, run on `jobs` workers.
+    ///
+    /// The parallel phase only decides *existence* (it partitions the
+    /// `(state, last-access)` search space across workers with early
+    /// exit); when a race exists the canonical witness is reconstructed
+    /// by the sequential search so the reported execution does not
+    /// depend on scheduling.
+    #[must_use]
+    pub fn race_witness_par(&self, opts: &ExploreOptions, jobs: usize) -> Option<RaceWitness> {
+        if jobs <= 1 {
+            return self.race_witness(opts);
+        }
+        type Prev = Option<(usize, Loc, bool)>;
+        let racy = par::parallel_reach(
+            jobs,
+            (self.initial(), None),
+            |(state, prev): &(PState, Prev)| {
+                let mut truncated = false;
+                let mut found = false;
+                let mut successors = Vec::new();
+                for mv in self.moves(state, opts, &mut truncated) {
+                    if let Some((pk, pl, pw)) = *prev {
+                        if pk != mv.thread
+                            && mv.action.is_access_to(pl)
+                            && !pl.is_volatile()
+                            && (pw || mv.action.is_write())
+                        {
+                            found = true;
+                            break;
+                        }
+                    }
+                    let next_prev = match mv.action {
+                        Action::Read { loc, .. } if !loc.is_volatile() => {
+                            Some((mv.thread, loc, false))
+                        }
+                        Action::Write { loc, .. } if !loc.is_volatile() => {
+                            Some((mv.thread, loc, true))
+                        }
+                        _ => None,
+                    };
+                    successors.push((self.apply(state, &mv), next_prev));
+                }
+                par::SearchStep { successors, found }
+            },
+        );
+        if racy {
+            let witness = self.race_witness(opts);
+            debug_assert!(
+                witness.is_some(),
+                "parallel race search found a race the sequential search missed"
+            );
+            witness
+        } else {
+            None
+        }
+    }
+
+    /// Is the program data race free? Decided on `jobs` workers.
+    #[must_use]
+    pub fn is_data_race_free_par(&self, opts: &ExploreOptions, jobs: usize) -> bool {
+        self.race_witness_par(opts, jobs).is_none()
     }
 
     /// Finds an execution whose behaviour equals `behaviour`, if one
@@ -394,10 +562,9 @@ impl<'p> ProgramExplorer<'p> {
     #[must_use]
     pub fn racy_locations(&self, opts: &ExploreOptions) -> std::collections::BTreeSet<Loc> {
         let mut races: std::collections::BTreeSet<Loc> = Default::default();
-        let mut visited: HashSet<(PState, Option<(usize, Loc, bool)>)> = HashSet::new();
+        let mut visited: HashSet<RaceKey> = HashSet::new();
         let mut truncated = false;
-        let mut stack: Vec<(PState, Option<(usize, Loc, bool)>)> =
-            vec![(self.initial(), None)];
+        let mut stack: Vec<RaceKey> = vec![(self.initial(), None)];
         while let Some((state, prev)) = stack.pop() {
             if !visited.insert((state.clone(), prev)) {
                 continue;
@@ -413,12 +580,8 @@ impl<'p> ProgramExplorer<'p> {
                     }
                 }
                 let next_prev = match mv.action {
-                    Action::Read { loc, .. } if !loc.is_volatile() => {
-                        Some((mv.thread, loc, false))
-                    }
-                    Action::Write { loc, .. } if !loc.is_volatile() => {
-                        Some((mv.thread, loc, true))
-                    }
+                    Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
+                    Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
                     _ => None,
                 };
                 stack.push((self.apply(&state, &mv), next_prev));
@@ -444,8 +607,22 @@ impl<'p> ProgramExplorer<'p> {
         }
         seen.len()
     }
-}
 
+    /// The reachable-state count, computed on `jobs` workers.
+    #[must_use]
+    pub fn count_reachable_states_par(&self, opts: &ExploreOptions, jobs: usize) -> usize {
+        if jobs <= 1 {
+            return self.count_reachable_states(opts);
+        }
+        par::parallel_state_count(jobs, self.initial(), |state| {
+            let mut truncated = false;
+            self.moves(state, opts, &mut truncated)
+                .iter()
+                .map(|mv| self.apply(state, mv))
+                .collect()
+        })
+    }
+}
 
 /// Does the program contain a `while` loop (anywhere)?
 pub(crate) fn program_has_loops(p: &Program) -> bool {
@@ -453,9 +630,11 @@ pub(crate) fn program_has_loops(p: &Program) -> bool {
         match s {
             crate::ast::Stmt::While { .. } => true,
             crate::ast::Stmt::Block(b) => b.iter().any(stmt_has_loop),
-            crate::ast::Stmt::If { then_branch, else_branch, .. } => {
-                stmt_has_loop(then_branch) || stmt_has_loop(else_branch)
-            }
+            crate::ast::Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt_has_loop(then_branch) || stmt_has_loop(else_branch),
             _ => false,
         }
     }
@@ -518,8 +697,7 @@ mod tests {
         let direct = behaviours_direct(src);
         assert_eq!(behaviours_via_tracesets(src, &d), direct);
         let parsed = parse_program(src).unwrap();
-        assert!(ProgramExplorer::new(&parsed.program)
-            .is_data_race_free(&ExploreOptions::default()));
+        assert!(ProgramExplorer::new(&parsed.program).is_data_race_free(&ExploreOptions::default()));
     }
 
     #[test]
@@ -527,11 +705,17 @@ mod tests {
         let src = "x := 1; || r0 := x; print r0;";
         let parsed = parse_program(src).unwrap();
         let direct = ProgramExplorer::new(&parsed.program);
-        let w = direct.race_witness(&ExploreOptions::default()).expect("racy");
+        let w = direct
+            .race_witness(&ExploreOptions::default())
+            .expect("racy");
         let (a, b) = w.pair();
         assert!(a.action().conflicts_with(&b.action()));
         // traceset route agrees
-        let e = extract_traceset(&parsed.program, &Domain::zero_to(1), &ExtractOptions::default());
+        let e = extract_traceset(
+            &parsed.program,
+            &Domain::zero_to(1),
+            &ExtractOptions::default(),
+        );
         assert!(!Explorer::new(&e.traceset).is_data_race_free());
     }
 
@@ -539,9 +723,12 @@ mod tests {
     fn drf_by_locking_both_routes() {
         let src = "lock m; x := 1; unlock m; || lock m; r0 := x; unlock m; print r0;";
         let parsed = parse_program(src).unwrap();
-        assert!(ProgramExplorer::new(&parsed.program)
-            .is_data_race_free(&ExploreOptions::default()));
-        let e = extract_traceset(&parsed.program, &Domain::zero_to(1), &ExtractOptions::default());
+        assert!(ProgramExplorer::new(&parsed.program).is_data_race_free(&ExploreOptions::default()));
+        let e = extract_traceset(
+            &parsed.program,
+            &Domain::zero_to(1),
+            &ExtractOptions::default(),
+        );
         assert!(Explorer::new(&e.traceset).is_data_race_free());
     }
 
@@ -564,8 +751,7 @@ mod tests {
         // with volatile flags the program is DRF (§3 end)
         let src = intro("volatile requestReady, responseReady;");
         let parsed = parse_program(&src).unwrap();
-        assert!(ProgramExplorer::new(&parsed.program)
-            .is_data_race_free(&ExploreOptions::default()));
+        assert!(ProgramExplorer::new(&parsed.program).is_data_race_free(&ExploreOptions::default()));
         // without them it is racy (data is written by T0 and read by T1)
         let parsed_racy = parse_program(&intro("")).unwrap();
         assert!(!ProgramExplorer::new(&parsed_racy.program)
@@ -579,16 +765,48 @@ mod tests {
         let src = "flag := 1; || while (flag != 1) skip; print 1;";
         let parsed = parse_program(src).unwrap();
         let ex = ProgramExplorer::new(&parsed.program);
-        assert!(ex.race_witness(&ExploreOptions::default()).is_some(), "flag is racy");
+        assert!(
+            ex.race_witness(&ExploreOptions::default()).is_some(),
+            "flag is racy"
+        );
         assert!(ex.count_reachable_states(&ExploreOptions::default()) > 0);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential() {
+        let corpus = [
+            "r2 := x; y := r2; || r1 := y; x := 1; print r1;",
+            "flag := 1; || while (flag != 1) skip; print 1;",
+            "lock m; x := 1; unlock m; || lock m; r0 := x; unlock m; print r0;",
+            "volatile v; v := 1; || r0 := v; print r0;",
+        ];
+        let opts = ExploreOptions::default();
+        for src in corpus {
+            let parsed = parse_program(src).unwrap();
+            let ex = ProgramExplorer::new(&parsed.program);
+            let seq = ex.behaviours(&opts);
+            let seq_drf = ex.is_data_race_free(&opts);
+            let seq_states = ex.count_reachable_states(&opts);
+            for jobs in [2, 4] {
+                assert_eq!(ex.behaviours_par(&opts, jobs), seq, "{src}");
+                assert_eq!(ex.is_data_race_free_par(&opts, jobs), seq_drf, "{src}");
+                assert_eq!(
+                    ex.count_reachable_states_par(&opts, jobs),
+                    seq_states,
+                    "{src}"
+                );
+            }
+        }
     }
 
     #[test]
     fn behaviour_fuel_reports_truncation() {
         let src = "while (r0 == r0) print 1;";
         let parsed = parse_program(src).unwrap();
-        let b = ProgramExplorer::new(&parsed.program)
-            .behaviours(&ExploreOptions { max_actions: 4, max_tau: 100 });
+        let b = ProgramExplorer::new(&parsed.program).behaviours(&ExploreOptions {
+            max_actions: 4,
+            max_tau: 100,
+        });
         assert!(!b.complete);
         assert!(b.value.contains(&vec![Value::new(1); 3]));
     }
@@ -597,8 +815,10 @@ mod tests {
     fn silent_divergence_truncates() {
         let src = "while (r0 == r0) skip;";
         let parsed = parse_program(src).unwrap();
-        let b = ProgramExplorer::new(&parsed.program)
-            .behaviours(&ExploreOptions { max_actions: 4, max_tau: 50 });
+        let b = ProgramExplorer::new(&parsed.program).behaviours(&ExploreOptions {
+            max_actions: 4,
+            max_tau: 50,
+        });
         assert!(!b.complete);
         assert_eq!(b.value.len(), 1, "only the empty behaviour");
     }
@@ -626,18 +846,24 @@ mod witness_tests {
         );
         assert!(w.is_sequentially_consistent());
         // and the impossible behaviour has no witness
-        assert!(ex.execution_with_behaviour(&[Value::new(2)], &opts).is_none());
+        assert!(ex
+            .execution_with_behaviour(&[Value::new(2)], &opts)
+            .is_none());
     }
 
     #[test]
     fn racy_location_census() {
-        let p = parse_program("x := 1; y := 1; || r1 := x; r2 := z;").unwrap().program;
+        let p = parse_program("x := 1; y := 1; || r1 := x; r2 := z;")
+            .unwrap()
+            .program;
         let ex = ProgramExplorer::new(&p);
         let races = ex.racy_locations(&ExploreOptions::default());
         // x is written by t0 and read by t1: racy. y and z are private
         // to one thread each: not racy.
         assert_eq!(races.len(), 1);
-        let sym = parse_program("x := 1; y := 1; || r1 := x; r2 := z;").unwrap().symbols;
+        let sym = parse_program("x := 1; y := 1; || r1 := x; r2 := z;")
+            .unwrap()
+            .symbols;
         assert!(races.contains(&sym.loc("x").unwrap()));
     }
 

@@ -30,5 +30,7 @@ mod semantics;
 
 pub use ast::{Cond, Operand, Program, Reg, Stmt};
 pub use explore::{Bounded, ExploreOptions, ProgramExplorer};
-pub use parser::{parse_program, parse_program_with_symbols, ParseProgramError, SourceProgram, SymbolTable};
+pub use parser::{
+    parse_program, parse_program_with_symbols, ParseProgramError, SourceProgram, SymbolTable,
+};
 pub use semantics::{extract_traceset, ExtractOptions, Extraction, Step, ThreadConfig};

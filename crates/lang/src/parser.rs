@@ -102,9 +102,9 @@ pub struct SourceProgram {
 enum Tok {
     Ident(String),
     Number(u32),
-    Assign,   // :=
-    Eq,       // ==
-    Ne,       // !=
+    Assign, // :=
+    Eq,     // ==
+    Ne,     // !=
     Semi,
     LBrace,
     RBrace,
@@ -285,7 +285,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseProgramError {
-        ParseProgramError { line: self.line(), message: message.into() }
+        ParseProgramError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -360,7 +363,12 @@ impl Parser {
         loop {
             let idx = self.next_loc;
             self.next_loc += 1;
-            if !self.symbols.locs.values().any(|l| !l.is_volatile() && l.index() == idx) {
+            if !self
+                .symbols
+                .locs
+                .values()
+                .any(|l| !l.is_volatile() && l.index() == idx)
+            {
                 return idx;
             }
         }
@@ -370,7 +378,12 @@ impl Parser {
         loop {
             let idx = self.next_vol;
             self.next_vol += 1;
-            if !self.symbols.locs.values().any(|l| l.is_volatile() && l.index() == idx) {
+            if !self
+                .symbols
+                .locs
+                .values()
+                .any(|l| l.is_volatile() && l.index() == idx)
+            {
                 return idx;
             }
         }
@@ -460,7 +473,10 @@ impl Parser {
                     Operand::Const(v) => {
                         // `print 1;` — move the constant into a fresh register.
                         let r = self.fresh_register();
-                        prelude.push(Stmt::Move { dst: r, src: Operand::Const(v) });
+                        prelude.push(Stmt::Move {
+                            dst: r,
+                            src: Operand::Const(v),
+                        });
                         r
                     }
                 };
@@ -515,7 +531,10 @@ impl Parser {
                     b.extend(prelude.iter().cloned());
                     Stmt::Block(b)
                 };
-                prelude.push(Stmt::While { cond, body: Box::new(body) });
+                prelude.push(Stmt::While {
+                    cond,
+                    body: Box::new(body),
+                });
                 Ok(prelude)
             }
             Some(Tok::Ident(name)) => {
@@ -526,13 +545,19 @@ impl Parser {
                     match self.bump() {
                         Some(Tok::Number(n)) => {
                             self.expect(&Tok::Semi)?;
-                            Ok(vec![Stmt::Move { dst, src: Operand::Const(Value::new(n)) }])
+                            Ok(vec![Stmt::Move {
+                                dst,
+                                src: Operand::Const(Value::new(n)),
+                            }])
                         }
                         Some(Tok::Ident(rhs)) => {
                             self.expect(&Tok::Semi)?;
                             if Self::is_register_name(&rhs) {
                                 let src = self.resolve_reg(&rhs);
-                                Ok(vec![Stmt::Move { dst, src: Operand::Reg(src) }])
+                                Ok(vec![Stmt::Move {
+                                    dst,
+                                    src: Operand::Reg(src),
+                                }])
                             } else {
                                 let loc = self.resolve_loc(&rhs);
                                 Ok(vec![Stmt::Load { dst, loc }])
@@ -556,7 +581,10 @@ impl Parser {
                             self.expect(&Tok::Semi)?;
                             let r = self.fresh_register();
                             Ok(vec![
-                                Stmt::Move { dst: r, src: Operand::Const(Value::new(n)) },
+                                Stmt::Move {
+                                    dst: r,
+                                    src: Operand::Const(Value::new(n)),
+                                },
                                 Stmt::Store { loc, src: r },
                             ])
                         }
@@ -683,11 +711,26 @@ pub fn parse_program_with_symbols(
     symbols: SymbolTable,
 ) -> Result<SourceProgram, ParseProgramError> {
     let tokens = lex(src)?;
-    let next_loc =
-        symbols.locs.values().filter(|l| !l.is_volatile()).map(|l| l.index() + 1).max().unwrap_or(0);
-    let next_vol =
-        symbols.locs.values().filter(|l| l.is_volatile()).map(|l| l.index() + 1).max().unwrap_or(0);
-    let next_monitor = symbols.monitors.values().map(|m| m.index() + 1).max().unwrap_or(0);
+    let next_loc = symbols
+        .locs
+        .values()
+        .filter(|l| !l.is_volatile())
+        .map(|l| l.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let next_vol = symbols
+        .locs
+        .values()
+        .filter(|l| l.is_volatile())
+        .map(|l| l.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let next_monitor = symbols
+        .monitors
+        .values()
+        .map(|m| m.index() + 1)
+        .max()
+        .unwrap_or(0);
     let volatile_names = symbols
         .locs
         .iter()
@@ -706,7 +749,10 @@ pub fn parse_program_with_symbols(
         fresh_reg: 0,
     };
     let program = p.parse_program()?;
-    Ok(SourceProgram { program, symbols: p.symbols })
+    Ok(SourceProgram {
+        program,
+        symbols: p.symbols,
+    })
 }
 
 #[cfg(test)]
@@ -732,7 +778,10 @@ mod tests {
     fn volatile_declarations_apply() {
         let sp = parse_program("volatile v, w; v := r0; u := r0;").unwrap();
         assert!(sp.symbols.loc("v").unwrap().is_volatile());
-        assert!(sp.symbols.loc("w").is_none(), "w never used, never interned");
+        assert!(
+            sp.symbols.loc("w").is_none(),
+            "w never used, never interned"
+        );
         assert!(!sp.symbols.loc("u").unwrap().is_volatile());
     }
 
@@ -759,16 +808,25 @@ mod tests {
         let sp = parse_program("while (flag != 1) skip; print 1;").unwrap();
         let t0 = sp.program.thread(0).unwrap();
         assert!(matches!(t0[0], Stmt::Load { .. }));
-        let Stmt::While { body, .. } = &t0[1] else { panic!("expected while") };
-        let Stmt::Block(b) = &**body else { panic!("expected desugared block body") };
-        assert!(matches!(b.last(), Some(Stmt::Load { .. })), "reload at end of body");
+        let Stmt::While { body, .. } = &t0[1] else {
+            panic!("expected while")
+        };
+        let Stmt::Block(b) = &**body else {
+            panic!("expected desugared block body")
+        };
+        assert!(
+            matches!(b.last(), Some(Stmt::Load { .. })),
+            "reload at end of body"
+        );
     }
 
     #[test]
     fn else_is_optional() {
         let sp = parse_program("if (r0 == 0) skip;").unwrap();
         let t0 = sp.program.thread(0).unwrap();
-        let Stmt::If { else_branch, .. } = &t0[0] else { panic!() };
+        let Stmt::If { else_branch, .. } = &t0[0] else {
+            panic!()
+        };
         assert_eq!(**else_branch, Stmt::Skip);
     }
 
@@ -786,8 +844,7 @@ mod tests {
 
     #[test]
     fn lock_unlock_and_blocks() {
-        let sp =
-            parse_program("lock m; { x := r0; unlock m; } // done\n").unwrap();
+        let sp = parse_program("lock m; { x := r0; unlock m; } // done\n").unwrap();
         let t0 = sp.program.thread(0).unwrap();
         assert!(matches!(t0[0], Stmt::Lock(_)));
         assert!(matches!(t0[1], Stmt::Block(_)));

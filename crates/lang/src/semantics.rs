@@ -49,7 +49,11 @@ impl ThreadConfig {
     /// registers zero.
     #[must_use]
     pub fn new(code: Vec<Stmt>) -> Self {
-        ThreadConfig { monitors: BTreeMap::new(), regs: BTreeMap::new(), code }
+        ThreadConfig {
+            monitors: BTreeMap::new(),
+            regs: BTreeMap::new(),
+            code,
+        }
     }
 
     /// The value of a register (zero if never assigned).
@@ -97,7 +101,11 @@ impl ThreadConfig {
     fn with_rest(&self, extra_front: Vec<Stmt>) -> ThreadConfig {
         let mut code = extra_front;
         code.extend_from_slice(&self.code[1..]);
-        ThreadConfig { monitors: self.monitors.clone(), regs: self.regs.clone(), code }
+        ThreadConfig {
+            monitors: self.monitors.clone(),
+            regs: self.regs.clone(),
+            code,
+        }
     }
 
     /// Performs one small step (Fig. 7). Loads fan out over `domain`
@@ -147,13 +155,21 @@ impl ThreadConfig {
                     Step::Tau(self.with_rest(vec![]))
                 }
             }
-            Stmt::Print(r) => {
-                Step::Emit(vec![(Action::external(self.reg(*r)), self.with_rest(vec![]))])
-            }
+            Stmt::Print(r) => Step::Emit(vec![(
+                Action::external(self.reg(*r)),
+                self.with_rest(vec![]),
+            )]),
             Stmt::Block(stmts) => Step::Tau(self.with_rest(stmts.clone())),
-            Stmt::If { cond, then_branch, else_branch } => {
-                let taken =
-                    if self.eval_cond(cond) { then_branch } else { else_branch };
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = if self.eval_cond(cond) {
+                    then_branch
+                } else {
+                    else_branch
+                };
                 Step::Tau(self.with_rest(vec![(**taken).clone()]))
             }
             Stmt::While { cond, body } => {
@@ -201,7 +217,11 @@ pub struct ExtractOptions {
 
 impl Default for ExtractOptions {
     fn default() -> Self {
-        ExtractOptions { max_actions: 16, max_tau: 4096, max_traces: 200_000 }
+        ExtractOptions {
+            max_actions: 16,
+            max_tau: 4096,
+            max_traces: 200_000,
+        }
     }
 }
 
@@ -236,11 +256,7 @@ pub struct Extraction {
 /// assert_eq!(e.traceset.maximal_traces().count(), 2); // one per read value
 /// ```
 #[must_use]
-pub fn extract_traceset(
-    program: &Program,
-    domain: &Domain,
-    opts: &ExtractOptions,
-) -> Extraction {
+pub fn extract_traceset(program: &Program, domain: &Domain, opts: &ExtractOptions) -> Extraction {
     let mut traceset = Traceset::new();
     let mut truncated = false;
     let mut budget = opts.max_traces;
@@ -248,9 +264,20 @@ pub fn extract_traceset(
         let tid = ThreadId::new(i as u32);
         let mut trace = Trace::from_actions([Action::start(tid)]);
         let cfg = ThreadConfig::new(body.clone());
-        extract_thread(&cfg, domain, opts, &mut trace, &mut traceset, &mut truncated, &mut budget);
+        extract_thread(
+            &cfg,
+            domain,
+            opts,
+            &mut trace,
+            &mut traceset,
+            &mut truncated,
+            &mut budget,
+        );
     }
-    Extraction { traceset, truncated }
+    Extraction {
+        traceset,
+        truncated,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -272,18 +299,21 @@ fn extract_thread(
     if trace.len() > opts.max_actions {
         *truncated = true;
         *budget -= 1;
-        out.insert(trace.clone()).expect("extracted traces are well formed");
+        out.insert(trace.clone())
+            .expect("extracted traces are well formed");
         return;
     }
     match cfg.tau_closure(domain, opts.max_tau) {
         None => {
             *truncated = true;
             *budget -= 1;
-            out.insert(trace.clone()).expect("extracted traces are well formed");
+            out.insert(trace.clone())
+                .expect("extracted traces are well formed");
         }
         Some((_, Step::Done)) => {
             *budget -= 1;
-            out.insert(trace.clone()).expect("extracted traces are well formed");
+            out.insert(trace.clone())
+                .expect("extracted traces are well formed");
         }
         Some((_, Step::Emit(successors))) => {
             for (a, next) in successors {
@@ -314,8 +344,14 @@ mod tests {
     #[test]
     fn store_emits_register_value() {
         let cfg = ThreadConfig::new(vec![
-            Stmt::Move { dst: r(0), src: Value::new(2).into() },
-            Stmt::Store { loc: x(), src: r(0) },
+            Stmt::Move {
+                dst: r(0),
+                src: Value::new(2).into(),
+            },
+            Stmt::Store {
+                loc: x(),
+                src: r(0),
+            },
         ]);
         let (_, step) = cfg.tau_closure(&Domain::default(), 10).unwrap();
         match step {
@@ -329,7 +365,10 @@ mod tests {
 
     #[test]
     fn load_fans_out_over_domain() {
-        let cfg = ThreadConfig::new(vec![Stmt::Load { dst: r(0), loc: x() }]);
+        let cfg = ThreadConfig::new(vec![Stmt::Load {
+            dst: r(0),
+            loc: x(),
+        }]);
         match cfg.step(&Domain::zero_to(2)) {
             Step::Emit(s) => {
                 assert_eq!(s.len(), 3);
@@ -357,13 +396,19 @@ mod tests {
     fn lock_unlock_tracks_nesting() {
         let m = Monitor::new(0);
         let cfg = ThreadConfig::new(vec![Stmt::Lock(m), Stmt::Lock(m), Stmt::Unlock(m)]);
-        let Step::Emit(s1) = cfg.step(&Domain::default()) else { panic!() };
+        let Step::Emit(s1) = cfg.step(&Domain::default()) else {
+            panic!()
+        };
         let c1 = &s1[0].1;
         assert_eq!(c1.monitor_nesting(m), 1);
-        let Step::Emit(s2) = c1.step(&Domain::default()) else { panic!() };
+        let Step::Emit(s2) = c1.step(&Domain::default()) else {
+            panic!()
+        };
         let c2 = &s2[0].1;
         assert_eq!(c2.monitor_nesting(m), 2);
-        let Step::Emit(s3) = c2.step(&Domain::default()) else { panic!() };
+        let Step::Emit(s3) = c2.step(&Domain::default()) else {
+            panic!()
+        };
         assert_eq!(s3[0].0, Action::unlock(m));
         assert_eq!(s3[0].1.monitor_nesting(m), 1);
     }
@@ -401,11 +446,29 @@ mod tests {
         // T0: r2:=x; y:=r2 — T1: r1:=y; x:=1; print r1
         let d = Domain::zero_to(1);
         let p = Program::new(vec![
-            vec![Stmt::Load { dst: r(2), loc: x() }, Stmt::Store { loc: y(), src: r(2) }],
             vec![
-                Stmt::Load { dst: r(1), loc: y() },
-                Stmt::Move { dst: r(0), src: Value::new(1).into() },
-                Stmt::Store { loc: x(), src: r(0) },
+                Stmt::Load {
+                    dst: r(2),
+                    loc: x(),
+                },
+                Stmt::Store {
+                    loc: y(),
+                    src: r(2),
+                },
+            ],
+            vec![
+                Stmt::Load {
+                    dst: r(1),
+                    loc: y(),
+                },
+                Stmt::Move {
+                    dst: r(0),
+                    src: Value::new(1).into(),
+                },
+                Stmt::Store {
+                    loc: x(),
+                    src: r(0),
+                },
                 Stmt::Print(r(1)),
             ],
         ]);
@@ -432,7 +495,11 @@ mod tests {
         let e = extract_traceset(
             &p,
             &Domain::zero_to(0),
-            &ExtractOptions { max_actions: 5, max_tau: 100, ..ExtractOptions::default() },
+            &ExtractOptions {
+                max_actions: 5,
+                max_tau: 100,
+                ..ExtractOptions::default()
+            },
         );
         assert!(e.truncated);
         assert!(e.traceset.contains(&Trace::from_actions([
@@ -473,7 +540,10 @@ mod fig7_rules {
 
     #[test]
     fn regs_rule_is_silent_and_updates_state() {
-        let cfg = ThreadConfig::new(vec![Stmt::Move { dst: r(0), src: Operand::Const(Value::new(2)) }]);
+        let cfg = ThreadConfig::new(vec![Stmt::Move {
+            dst: r(0),
+            src: Operand::Const(Value::new(2)),
+        }]);
         match cfg.step(&d()) {
             Step::Tau(next) => {
                 assert_eq!(next.reg(r(0)), Value::new(2));
@@ -486,8 +556,14 @@ mod fig7_rules {
     #[test]
     fn write_rule_emits_register_value() {
         let mut cfg = ThreadConfig::new(vec![
-            Stmt::Move { dst: r(1), src: Operand::Const(Value::new(2)) },
-            Stmt::Store { loc: x(), src: r(1) },
+            Stmt::Move {
+                dst: r(1),
+                src: Operand::Const(Value::new(2)),
+            },
+            Stmt::Store {
+                loc: x(),
+                src: r(1),
+            },
         ]);
         if let Step::Tau(next) = cfg.step(&d()) {
             cfg = next;
@@ -500,8 +576,13 @@ mod fig7_rules {
 
     #[test]
     fn read_rule_offers_every_domain_value() {
-        let cfg = ThreadConfig::new(vec![Stmt::Load { dst: r(0), loc: x() }]);
-        let Step::Emit(s) = cfg.step(&d()) else { panic!("READ must emit") };
+        let cfg = ThreadConfig::new(vec![Stmt::Load {
+            dst: r(0),
+            loc: x(),
+        }]);
+        let Step::Emit(s) = cfg.step(&d()) else {
+            panic!("READ must emit")
+        };
         let values: Vec<Value> = s.iter().filter_map(|(a, _)| a.value()).collect();
         assert_eq!(values, d().values().to_vec(), "v ∈ t(x), all of them");
     }
@@ -510,7 +591,9 @@ mod fig7_rules {
     fn lock_rule_increments_nesting() {
         let m = Monitor::new(1);
         let cfg = ThreadConfig::new(vec![Stmt::Lock(m)]);
-        let Step::Emit(s) = cfg.step(&d()) else { panic!() };
+        let Step::Emit(s) = cfg.step(&d()) else {
+            panic!()
+        };
         assert_eq!(s[0].0, Action::lock(m));
         assert_eq!(s[0].1.monitor_nesting(m), 1);
     }
@@ -519,9 +602,13 @@ mod fig7_rules {
     fn ulk_rule_requires_positive_nesting() {
         let m = Monitor::new(1);
         let mut cfg = ThreadConfig::new(vec![Stmt::Lock(m), Stmt::Unlock(m)]);
-        let Step::Emit(s) = cfg.step(&d()) else { panic!() };
+        let Step::Emit(s) = cfg.step(&d()) else {
+            panic!()
+        };
         cfg = s.into_iter().next().unwrap().1;
-        let Step::Emit(s) = cfg.step(&d()) else { panic!("ULK emits when λ(m) > 0") };
+        let Step::Emit(s) = cfg.step(&d()) else {
+            panic!("ULK emits when λ(m) > 0")
+        };
         assert_eq!(s[0].0, Action::unlock(m));
         assert_eq!(s[0].1.monitor_nesting(m), 0);
     }
@@ -530,29 +617,49 @@ mod fig7_rules {
     fn e_ulk_rule_is_silent_when_unheld() {
         let m = Monitor::new(1);
         let cfg = ThreadConfig::new(vec![Stmt::Unlock(m)]);
-        assert!(matches!(cfg.step(&d()), Step::Tau(_)), "E-ULK: λ(m) = 0 ⇒ τ");
+        assert!(
+            matches!(cfg.step(&d()), Step::Tau(_)),
+            "E-ULK: λ(m) = 0 ⇒ τ"
+        );
     }
 
     #[test]
     fn ext_rule_emits_register_value() {
         let cfg = ThreadConfig::new(vec![Stmt::Print(r(7))]);
-        let Step::Emit(s) = cfg.step(&d()) else { panic!() };
-        assert_eq!(s[0].0, Action::external(Value::ZERO), "unset registers read 0");
+        let Step::Emit(s) = cfg.step(&d()) else {
+            panic!()
+        };
+        assert_eq!(
+            s[0].0,
+            Action::external(Value::ZERO),
+            "unset registers read 0"
+        );
     }
 
     #[test]
     fn cond_rules_select_branch_silently() {
         for (cond, expect_then) in [
-            (Cond::Eq(Operand::Const(Value::new(1)), Operand::Const(Value::new(1))), true),
-            (Cond::Eq(Operand::Const(Value::new(1)), Operand::Const(Value::new(2))), false),
-            (Cond::Ne(Operand::Const(Value::new(1)), Operand::Const(Value::new(2))), true),
+            (
+                Cond::Eq(Operand::Const(Value::new(1)), Operand::Const(Value::new(1))),
+                true,
+            ),
+            (
+                Cond::Eq(Operand::Const(Value::new(1)), Operand::Const(Value::new(2))),
+                false,
+            ),
+            (
+                Cond::Ne(Operand::Const(Value::new(1)), Operand::Const(Value::new(2))),
+                true,
+            ),
         ] {
             let cfg = ThreadConfig::new(vec![Stmt::If {
                 cond,
                 then_branch: Box::new(Stmt::Print(r(0))),
                 else_branch: Box::new(Stmt::Skip),
             }]);
-            let Step::Tau(next) = cfg.step(&d()) else { panic!("COND is τ") };
+            let Step::Tau(next) = cfg.step(&d()) else {
+                panic!("COND is τ")
+            };
             let took_then = matches!(next.code().first(), Some(Stmt::Print(_)));
             assert_eq!(took_then, expect_then, "{:?}", next.code());
         }
@@ -566,7 +673,9 @@ mod fig7_rules {
             body: Box::new(Stmt::Print(r(0))),
         };
         let cfg = ThreadConfig::new(vec![t_loop.clone()]);
-        let Step::Tau(next) = cfg.step(&d()) else { panic!("LOOP is τ") };
+        let Step::Tau(next) = cfg.step(&d()) else {
+            panic!("LOOP is τ")
+        };
         assert_eq!(next.code().len(), 2);
         assert!(matches!(next.code()[0], Stmt::Print(_)));
         assert!(matches!(next.code()[1], Stmt::While { .. }));
@@ -576,14 +685,18 @@ mod fig7_rules {
             body: Box::new(Stmt::Print(r(0))),
         };
         let cfg2 = ThreadConfig::new(vec![f_loop]);
-        let Step::Tau(next2) = cfg2.step(&d()) else { panic!() };
+        let Step::Tau(next2) = cfg2.step(&d()) else {
+            panic!()
+        };
         assert!(next2.is_done());
     }
 
     #[test]
     fn block_rule_flattens_silently() {
         let cfg = ThreadConfig::new(vec![Stmt::Block(vec![Stmt::Skip, Stmt::Print(r(0))])]);
-        let Step::Tau(next) = cfg.step(&d()) else { panic!("BLOCK is τ") };
+        let Step::Tau(next) = cfg.step(&d()) else {
+            panic!("BLOCK is τ")
+        };
         assert_eq!(next.code().len(), 2);
     }
 

@@ -36,9 +36,8 @@ impl Litmus {
     /// build.
     #[must_use]
     pub fn parse(&self) -> SourceProgram {
-        parse_program(self.source).unwrap_or_else(|e| {
-            panic!("corpus program {} failed to parse: {e}", self.name)
-        })
+        parse_program(self.source)
+            .unwrap_or_else(|e| panic!("corpus program {} failed to parse: {e}", self.name))
     }
 }
 
@@ -320,8 +319,8 @@ pub fn parse_pair(original: &str, transformed: &str) -> (SourceProgram, SourcePr
     let o = by_name(original)
         .unwrap_or_else(|| panic!("unknown corpus entry {original}"))
         .parse();
-    let t_entry = by_name(transformed)
-        .unwrap_or_else(|| panic!("unknown corpus entry {transformed}"));
+    let t_entry =
+        by_name(transformed).unwrap_or_else(|| panic!("unknown corpus entry {transformed}"));
     let t = parse_program_with_symbols(t_entry.source, o.symbols.clone())
         .unwrap_or_else(|e| panic!("corpus program {transformed} failed to parse: {e}"));
     (o, t)

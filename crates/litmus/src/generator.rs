@@ -9,9 +9,7 @@
 //! (fully lock-disciplined programs are data race free by the §3
 //! argument).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng;
 use transafety_lang::{Cond, Operand, Program, Reg, Stmt};
 use transafety_traces::{Loc, Monitor, Value};
 
@@ -67,7 +65,10 @@ impl GeneratorConfig {
     /// discipline.
     #[must_use]
     pub fn drf() -> Self {
-        GeneratorConfig { lock_discipline: true, ..GeneratorConfig::default() }
+        GeneratorConfig {
+            lock_discipline: true,
+            ..GeneratorConfig::default()
+        }
     }
 
     /// A configuration that mixes volatile (atomic) locations into the
@@ -75,7 +76,10 @@ impl GeneratorConfig {
     /// often DRF without locks.
     #[must_use]
     pub fn with_volatiles() -> Self {
-        GeneratorConfig { volatile_locs: 1, ..GeneratorConfig::default() }
+        GeneratorConfig {
+            volatile_locs: 1,
+            ..GeneratorConfig::default()
+        }
     }
 }
 
@@ -92,7 +96,7 @@ impl GeneratorConfig {
 /// ```
 #[must_use]
 pub fn random_program(seed: u64, config: &GeneratorConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut threads = Vec::with_capacity(config.threads);
     for _ in 0..config.threads {
         let mut body = Vec::new();
@@ -104,26 +108,32 @@ pub fn random_program(seed: u64, config: &GeneratorConfig) -> Program {
     Program::new(threads)
 }
 
-fn gen_loc(rng: &mut StdRng, config: &GeneratorConfig) -> Loc {
+fn gen_loc(rng: &mut Rng, config: &GeneratorConfig) -> Loc {
     if config.volatile_locs > 0 && rng.gen_bool(config.volatile_prob) {
-        Loc::volatile(rng.gen_range(0..config.volatile_locs))
+        Loc::volatile(rng.gen_range_u32(0, config.volatile_locs))
     } else {
-        Loc::normal(rng.gen_range(0..config.locs.max(1)))
+        Loc::normal(rng.gen_range_u32(0, config.locs.max(1)))
     }
 }
 
-fn gen_reg(rng: &mut StdRng, config: &GeneratorConfig) -> Reg {
-    Reg::new(rng.gen_range(0..config.regs.max(1)))
+fn gen_reg(rng: &mut Rng, config: &GeneratorConfig) -> Reg {
+    Reg::new(rng.gen_range_u32(0, config.regs.max(1)))
 }
 
-fn gen_value(rng: &mut StdRng, config: &GeneratorConfig) -> Value {
-    Value::new(rng.gen_range(0..config.values.max(1)))
+fn gen_value(rng: &mut Rng, config: &GeneratorConfig) -> Value {
+    Value::new(rng.gen_range_u32(0, config.values.max(1)))
 }
 
-fn gen_access(rng: &mut StdRng, config: &GeneratorConfig) -> Stmt {
-    match rng.gen_range(0..4) {
-        0 => Stmt::Store { loc: gen_loc(rng, config), src: gen_reg(rng, config) },
-        1 => Stmt::Load { dst: gen_reg(rng, config), loc: gen_loc(rng, config) },
+fn gen_access(rng: &mut Rng, config: &GeneratorConfig) -> Stmt {
+    match rng.gen_range_u32(0, 4) {
+        0 => Stmt::Store {
+            loc: gen_loc(rng, config),
+            src: gen_reg(rng, config),
+        },
+        1 => Stmt::Load {
+            dst: gen_reg(rng, config),
+            loc: gen_loc(rng, config),
+        },
         2 => Stmt::Move {
             dst: gen_reg(rng, config),
             src: Operand::Const(gen_value(rng, config)),
@@ -132,11 +142,11 @@ fn gen_access(rng: &mut StdRng, config: &GeneratorConfig) -> Stmt {
     }
 }
 
-fn wrap_locked(rng: &mut StdRng, config: &GeneratorConfig, inner: Vec<Stmt>) -> Stmt {
+fn wrap_locked(rng: &mut Rng, config: &GeneratorConfig, inner: Vec<Stmt>) -> Stmt {
     let m = if config.lock_discipline {
         Monitor::new(0)
     } else {
-        Monitor::new(rng.gen_range(0..config.monitors.max(1)))
+        Monitor::new(rng.gen_range_u32(0, config.monitors.max(1)))
     };
     let mut body = vec![Stmt::Lock(m)];
     body.extend(inner);
@@ -144,7 +154,7 @@ fn wrap_locked(rng: &mut StdRng, config: &GeneratorConfig, inner: Vec<Stmt>) -> 
     Stmt::Block(body)
 }
 
-fn gen_stmt(rng: &mut StdRng, config: &GeneratorConfig, depth: usize) -> Stmt {
+fn gen_stmt(rng: &mut Rng, config: &GeneratorConfig, depth: usize) -> Stmt {
     // conditionals (bounded nesting)
     if depth < 3 && rng.gen_bool(config.if_prob) {
         let cond = if rng.gen_bool(0.5) {
@@ -165,8 +175,8 @@ fn gen_stmt(rng: &mut StdRng, config: &GeneratorConfig, depth: usize) -> Stmt {
         };
     }
     let access = gen_access(rng, config);
-    let must_lock = config.lock_discipline
-        && matches!(access, Stmt::Store { .. } | Stmt::Load { .. });
+    let must_lock =
+        config.lock_discipline && matches!(access, Stmt::Store { .. } | Stmt::Load { .. });
     if must_lock || rng.gen_bool(config.lock_block_prob) {
         let mut inner = vec![access];
         if rng.gen_bool(0.3) {

@@ -21,6 +21,8 @@
 
 mod corpus;
 mod generator;
+mod rng;
 
 pub use corpus::{by_name, corpus, parse_pair, Litmus};
 pub use generator::{random_program, GeneratorConfig};
+pub use rng::Rng;

@@ -39,7 +39,11 @@ pub struct Rewrite {
 
 impl fmt::Display for Rewrite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at thread {} site {}", self.rule, self.thread, self.site)
+        write!(
+            f,
+            "{} at thread {} site {}",
+            self.rule, self.thread, self.site
+        )
     }
 }
 
@@ -108,7 +112,11 @@ fn stmt_rewrites(s: &Stmt, set: RuleSet, site: &str) -> Vec<(RuleName, String, S
             .into_iter()
             .map(|(r, st, b)| (r, st, Stmt::Block(b)))
             .collect(),
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let mut out = Vec::new();
             for (r, st, b) in stmt_rewrites(then_branch, set, &format!("{site}then.")) {
                 out.push((
@@ -136,7 +144,16 @@ fn stmt_rewrites(s: &Stmt, set: RuleSet, site: &str) -> Vec<(RuleName, String, S
         }
         Stmt::While { cond, body } => stmt_rewrites(body, set, &format!("{site}body."))
             .into_iter()
-            .map(|(r, st, b)| (r, st, Stmt::While { cond: *cond, body: Box::new(b) }))
+            .map(|(r, st, b)| {
+                (
+                    r,
+                    st,
+                    Stmt::While {
+                        cond: *cond,
+                        body: Box::new(b),
+                    },
+                )
+            })
             .collect(),
         _ => Vec::new(),
     }
@@ -152,7 +169,12 @@ pub fn rewrites(program: &Program, set: RuleSet) -> Vec<Rewrite> {
         for (rule, site, new_body) in list_rewrites(body, set, "") {
             let mut threads = program.threads().to_vec();
             threads[thread] = new_body;
-            out.push(Rewrite { rule, thread, site, result: Program::new(threads) });
+            out.push(Rewrite {
+                rule,
+                thread,
+                site,
+                result: Program::new(threads),
+            });
         }
     }
     out
@@ -249,14 +271,20 @@ mod tests {
             .unwrap()
             .program;
         let rws = elimination_rewrites(&p);
-        assert!(rws.iter().any(|r| r.rule == RuleName::ERar && r.site.contains("then")));
+        assert!(rws
+            .iter()
+            .any(|r| r.rule == RuleName::ERar && r.site.contains("then")));
     }
 
     #[test]
     fn rewrites_descend_into_while_bodies() {
-        let p = parse_program("while (r0 == 0) { r1 := x; r2 := x; }").unwrap().program;
+        let p = parse_program("while (r0 == 0) { r1 := x; r2 := x; }")
+            .unwrap()
+            .program;
         let rws = elimination_rewrites(&p);
-        assert!(rws.iter().any(|r| r.rule == RuleName::ERar && r.site.contains("body")));
+        assert!(rws
+            .iter()
+            .any(|r| r.rule == RuleName::ERar && r.site.contains("body")));
     }
 
     #[test]
@@ -278,7 +306,9 @@ mod tests {
 
     #[test]
     fn closure_terminates_and_includes_origin() {
-        let p = parse_program("r1 := x; r2 := x; print r2;").unwrap().program;
+        let p = parse_program("r1 := x; r2 := x; print r2;")
+            .unwrap()
+            .program;
         let closure = transform_closure(&p, RuleSet::All, 5);
         assert!(closure.len() > 1);
         assert_eq!(closure[0], p);
@@ -296,8 +326,12 @@ mod tests {
         let p = parse_program("r1 := y; x := 1; print r1;").unwrap().program;
         // the reordered program, with the load moved after the store
         let t0 = p.thread(0).unwrap();
-        let target =
-            Program::new(vec![vec![t0[1].clone(), t0[2].clone(), t0[0].clone(), t0[3].clone()]]);
+        let target = Program::new(vec![vec![
+            t0[1].clone(),
+            t0[2].clone(),
+            t0[0].clone(),
+            t0[3].clone(),
+        ]]);
         let closure = transform_closure(&p, RuleSet::Reorderings, 4);
         assert!(
             closure.contains(&target),

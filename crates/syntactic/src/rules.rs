@@ -52,8 +52,13 @@ pub enum RuleName {
 
 impl RuleName {
     /// All elimination rules (Fig. 10).
-    pub const ELIMINATIONS: [RuleName; 5] =
-        [RuleName::ERar, RuleName::ERaw, RuleName::EWar, RuleName::EWbw, RuleName::EIr];
+    pub const ELIMINATIONS: [RuleName; 5] = [
+        RuleName::ERar,
+        RuleName::ERaw,
+        RuleName::EWar,
+        RuleName::EWbw,
+        RuleName::EIr,
+    ];
 
     /// The trace-preserving move-commutation rules (identity on
     /// tracesets; see §2.1 "Trace preserving transformations").
@@ -121,9 +126,7 @@ impl fmt::Display for RuleName {
 /// conditions: sync-free, not mentioning location `x`, and not
 /// mentioning any of `regs`?
 fn intervening_ok(s: &Stmt, x: transafety_traces::Loc, regs: &[transafety_lang::Reg]) -> bool {
-    s.is_sync_free()
-        && !s.shared_locs().contains(&x)
-        && regs.iter().all(|r| !s.regs().contains(r))
+    s.is_sync_free() && !s.shared_locs().contains(&x) && regs.iter().all(|r| !s.regs().contains(r))
 }
 
 /// Tries every *pair* rule on the adjacent statements `(a, b)`; returns
@@ -137,7 +140,13 @@ pub(crate) fn pair_rewrites(a: &Stmt, b: &Stmt) -> Vec<(RuleName, Vec<Stmt>)> {
         {
             out.push((
                 RuleName::ERar,
-                vec![a.clone(), Stmt::Move { dst: *r2, src: Operand::Reg(*r1) }],
+                vec![
+                    a.clone(),
+                    Stmt::Move {
+                        dst: *r2,
+                        src: Operand::Reg(*r1),
+                    },
+                ],
             ));
         }
         (Stmt::Store { loc: x, src: r1 }, Stmt::Load { dst: r2, loc: x2 })
@@ -145,7 +154,13 @@ pub(crate) fn pair_rewrites(a: &Stmt, b: &Stmt) -> Vec<(RuleName, Vec<Stmt>)> {
         {
             out.push((
                 RuleName::ERaw,
-                vec![a.clone(), Stmt::Move { dst: *r2, src: Operand::Reg(*r1) }],
+                vec![
+                    a.clone(),
+                    Stmt::Move {
+                        dst: *r2,
+                        src: Operand::Reg(*r1),
+                    },
+                ],
             ));
         }
         (Stmt::Load { dst: r, loc: x }, Stmt::Store { loc: x2, src: r2 })
@@ -161,8 +176,13 @@ pub(crate) fn pair_rewrites(a: &Stmt, b: &Stmt) -> Vec<(RuleName, Vec<Stmt>)> {
         _ => {}
     }
     // E-IR: r:=x; r:=i
-    if let (Stmt::Load { dst: r, loc: x }, Stmt::Move { dst: r2, src: Operand::Const(_) }) =
-        (a, b)
+    if let (
+        Stmt::Load { dst: r, loc: x },
+        Stmt::Move {
+            dst: r2,
+            src: Operand::Const(_),
+        },
+    ) = (a, b)
     {
         if r == r2 && !x.is_volatile() {
             out.push((RuleName::EIr, vec![b.clone()]));
@@ -178,9 +198,7 @@ pub(crate) fn pair_rewrites(a: &Stmt, b: &Stmt) -> Vec<(RuleName, Vec<Stmt>)> {
             out.push((RuleName::RRr, swapped.clone()));
         }
         // R-WW: x:=r1; y:=r2  ⇒  y:=r2; x:=r1   (x ≠ y, y not volatile)
-        (Stmt::Store { loc: x, .. }, Stmt::Store { loc: y, .. })
-            if x != y && !y.is_volatile() =>
-        {
+        (Stmt::Store { loc: x, .. }, Stmt::Store { loc: y, .. }) if x != y && !y.is_volatile() => {
             out.push((RuleName::RWw, swapped.clone()));
         }
         // R-WR: x:=r1; r2:=y  ⇒  r2:=y; x:=r1
@@ -212,9 +230,7 @@ pub(crate) fn pair_rewrites(a: &Stmt, b: &Stmt) -> Vec<(RuleName, Vec<Stmt>)> {
             out.push((RuleName::RUr, swapped.clone()));
         }
         // R-XR / R-XW: swap a print with a later normal access.
-        (Stmt::Print(r1), Stmt::Load { dst: r2, loc: x })
-            if r1 != r2 && !x.is_volatile() =>
-        {
+        (Stmt::Print(r1), Stmt::Load { dst: r2, loc: x }) if r1 != r2 && !x.is_volatile() => {
             out.push((RuleName::RXr, swapped.clone()));
         }
         (Stmt::Print(_), Stmt::Store { loc: x, .. }) if !x.is_volatile() => {
@@ -276,11 +292,7 @@ fn move_commutes_with(r: transafety_lang::Reg, src: Operand, other: &Stmt) -> bo
 /// statement list a statement, so matching a flat segment is equivalent
 /// to matching the rule with `S = {s1; …; sk}` — the engine does this so
 /// that programs need not be re-blocked for the rules to fire.
-pub(crate) fn segment_rewrites(
-    a: &Stmt,
-    middle: &[Stmt],
-    b: &Stmt,
-) -> Vec<(RuleName, Vec<Stmt>)> {
+pub(crate) fn segment_rewrites(a: &Stmt, middle: &[Stmt], b: &Stmt) -> Vec<(RuleName, Vec<Stmt>)> {
     let mut out = Vec::new();
     let ok = |x: transafety_traces::Loc, regs: &[transafety_lang::Reg]| {
         middle.iter().all(|s| intervening_ok(s, x, regs))
@@ -297,7 +309,13 @@ pub(crate) fn segment_rewrites(
         {
             out.push((
                 RuleName::ERar,
-                with_middle(Some(a), Stmt::Move { dst: *r2, src: Operand::Reg(*r1) }),
+                with_middle(
+                    Some(a),
+                    Stmt::Move {
+                        dst: *r2,
+                        src: Operand::Reg(*r1),
+                    },
+                ),
             ));
         }
         (Stmt::Store { loc: x, src: r1 }, Stmt::Load { dst: r2, loc: x2 })
@@ -305,7 +323,13 @@ pub(crate) fn segment_rewrites(
         {
             out.push((
                 RuleName::ERaw,
-                with_middle(Some(a), Stmt::Move { dst: *r2, src: Operand::Reg(*r1) }),
+                with_middle(
+                    Some(a),
+                    Stmt::Move {
+                        dst: *r2,
+                        src: Operand::Reg(*r1),
+                    },
+                ),
             ));
         }
         (Stmt::Load { dst: r, loc: x }, Stmt::Store { loc: x2, src: r2 })
@@ -367,7 +391,13 @@ mod tests {
         assert!(rules_of(&out).contains(&RuleName::ERar));
         // result replaces the second load by a register move
         let (_, repl) = out.iter().find(|(n, _)| *n == RuleName::ERar).unwrap();
-        assert_eq!(repl[1], Stmt::Move { dst: r(2), src: Operand::Reg(r(1)) });
+        assert_eq!(
+            repl[1],
+            Stmt::Move {
+                dst: r(2),
+                src: Operand::Reg(r(1))
+            }
+        );
         // volatile locations are excluded
         assert!(pair_rewrites(&load(r(1), vol()), &load(r(2), vol())).is_empty());
     }
@@ -389,72 +419,104 @@ mod tests {
 
     #[test]
     fn eir_requires_constant_overwrite_of_same_register() {
-        let mv = Stmt::Move { dst: r(1), src: Operand::Const(Value::new(3)) };
+        let mv = Stmt::Move {
+            dst: r(1),
+            src: Operand::Const(Value::new(3)),
+        };
         let out = pair_rewrites(&load(r(1), x()), &mv);
         assert!(rules_of(&out).contains(&RuleName::EIr));
-        let mv_other = Stmt::Move { dst: r(2), src: Operand::Const(Value::new(3)) };
-        assert!(!rules_of(&pair_rewrites(&load(r(1), x()), &mv_other))
-            .contains(&RuleName::EIr));
-        let mv_reg = Stmt::Move { dst: r(1), src: Operand::Reg(r(2)) };
+        let mv_other = Stmt::Move {
+            dst: r(2),
+            src: Operand::Const(Value::new(3)),
+        };
+        assert!(!rules_of(&pair_rewrites(&load(r(1), x()), &mv_other)).contains(&RuleName::EIr));
+        let mv_reg = Stmt::Move {
+            dst: r(1),
+            src: Operand::Reg(r(2)),
+        };
         assert!(!rules_of(&pair_rewrites(&load(r(1), x()), &mv_reg)).contains(&RuleName::EIr));
     }
 
     #[test]
     fn rrr_side_conditions() {
         // distinct registers, first location not volatile
-        assert!(rules_of(&pair_rewrites(&load(r(1), x()), &load(r(2), y())))
-            .contains(&RuleName::RRr));
+        assert!(
+            rules_of(&pair_rewrites(&load(r(1), x()), &load(r(2), y()))).contains(&RuleName::RRr)
+        );
         // same register blocked
-        assert!(!rules_of(&pair_rewrites(&load(r(1), x()), &load(r(1), y())))
-            .contains(&RuleName::RRr));
+        assert!(
+            !rules_of(&pair_rewrites(&load(r(1), x()), &load(r(1), y()))).contains(&RuleName::RRr)
+        );
         // volatile first location blocked (acquire may not move down)
-        assert!(!rules_of(&pair_rewrites(&load(r(1), vol()), &load(r(2), y())))
-            .contains(&RuleName::RRr));
+        assert!(
+            !rules_of(&pair_rewrites(&load(r(1), vol()), &load(r(2), y())))
+                .contains(&RuleName::RRr)
+        );
         // volatile second location allowed (normal read sinks below acquire)
-        assert!(rules_of(&pair_rewrites(&load(r(1), x()), &load(r(2), vol())))
-            .contains(&RuleName::RRr));
+        assert!(
+            rules_of(&pair_rewrites(&load(r(1), x()), &load(r(2), vol()))).contains(&RuleName::RRr)
+        );
         // same normal location allowed (reads never conflict)
-        assert!(rules_of(&pair_rewrites(&load(r(1), x()), &load(r(2), x())))
-            .contains(&RuleName::RRr));
+        assert!(
+            rules_of(&pair_rewrites(&load(r(1), x()), &load(r(2), x()))).contains(&RuleName::RRr)
+        );
     }
 
     #[test]
     fn rww_and_rwr_and_rrw_side_conditions() {
-        assert!(rules_of(&pair_rewrites(&store(x(), r(1)), &store(y(), r(2))))
-            .contains(&RuleName::RWw));
-        assert!(!rules_of(&pair_rewrites(&store(x(), r(1)), &store(x(), r(2))))
-            .contains(&RuleName::RWw));
+        assert!(
+            rules_of(&pair_rewrites(&store(x(), r(1)), &store(y(), r(2)))).contains(&RuleName::RWw)
+        );
+        assert!(
+            !rules_of(&pair_rewrites(&store(x(), r(1)), &store(x(), r(2))))
+                .contains(&RuleName::RWw)
+        );
         // volatile first write may sink below a later normal write (release)
-        assert!(rules_of(&pair_rewrites(&store(vol(), r(1)), &store(y(), r(2))))
-            .contains(&RuleName::RWw));
+        assert!(
+            rules_of(&pair_rewrites(&store(vol(), r(1)), &store(y(), r(2))))
+                .contains(&RuleName::RWw)
+        );
         // but a normal write may not sink below a volatile write
-        assert!(!rules_of(&pair_rewrites(&store(x(), r(1)), &store(vol(), r(2))))
-            .contains(&RuleName::RWw));
+        assert!(
+            !rules_of(&pair_rewrites(&store(x(), r(1)), &store(vol(), r(2))))
+                .contains(&RuleName::RWw)
+        );
         // R-WR: one of the two may be volatile
-        assert!(rules_of(&pair_rewrites(&store(x(), r(1)), &load(r(2), vol())))
-            .contains(&RuleName::RWr));
-        assert!(rules_of(&pair_rewrites(&store(vol(), r(1)), &load(r(2), y())))
-            .contains(&RuleName::RWr));
+        assert!(
+            rules_of(&pair_rewrites(&store(x(), r(1)), &load(r(2), vol())))
+                .contains(&RuleName::RWr)
+        );
+        assert!(
+            rules_of(&pair_rewrites(&store(vol(), r(1)), &load(r(2), y())))
+                .contains(&RuleName::RWr)
+        );
         // R-RW: neither may be volatile
-        assert!(rules_of(&pair_rewrites(&load(r(1), x()), &store(y(), r(2))))
-            .contains(&RuleName::RRw));
-        assert!(!rules_of(&pair_rewrites(&load(r(1), vol()), &store(y(), r(2))))
-            .contains(&RuleName::RRw));
-        assert!(!rules_of(&pair_rewrites(&load(r(1), x()), &store(vol(), r(2))))
-            .contains(&RuleName::RRw));
+        assert!(
+            rules_of(&pair_rewrites(&load(r(1), x()), &store(y(), r(2)))).contains(&RuleName::RRw)
+        );
+        assert!(
+            !rules_of(&pair_rewrites(&load(r(1), vol()), &store(y(), r(2))))
+                .contains(&RuleName::RRw)
+        );
+        assert!(
+            !rules_of(&pair_rewrites(&load(r(1), x()), &store(vol(), r(2))))
+                .contains(&RuleName::RRw)
+        );
     }
 
     #[test]
     fn roach_motel_rules() {
         let m = Monitor::new(0);
-        assert!(rules_of(&pair_rewrites(&store(x(), r(0)), &Stmt::Lock(m)))
-            .contains(&RuleName::RWl));
-        assert!(rules_of(&pair_rewrites(&load(r(0), x()), &Stmt::Lock(m)))
-            .contains(&RuleName::RRl));
-        assert!(rules_of(&pair_rewrites(&Stmt::Unlock(m), &store(x(), r(0))))
-            .contains(&RuleName::RUw));
-        assert!(rules_of(&pair_rewrites(&Stmt::Unlock(m), &load(r(0), x())))
-            .contains(&RuleName::RUr));
+        assert!(
+            rules_of(&pair_rewrites(&store(x(), r(0)), &Stmt::Lock(m))).contains(&RuleName::RWl)
+        );
+        assert!(rules_of(&pair_rewrites(&load(r(0), x()), &Stmt::Lock(m))).contains(&RuleName::RRl));
+        assert!(
+            rules_of(&pair_rewrites(&Stmt::Unlock(m), &store(x(), r(0)))).contains(&RuleName::RUw)
+        );
+        assert!(
+            rules_of(&pair_rewrites(&Stmt::Unlock(m), &load(r(0), x()))).contains(&RuleName::RUr)
+        );
         // the opposite directions are never generated
         assert!(pair_rewrites(&Stmt::Lock(m), &store(x(), r(0))).is_empty());
         assert!(pair_rewrites(&store(x(), r(0)), &Stmt::Unlock(m)).is_empty());
@@ -464,25 +526,36 @@ mod tests {
 
     #[test]
     fn external_rules() {
-        assert!(rules_of(&pair_rewrites(&Stmt::Print(r(1)), &load(r(2), x())))
-            .contains(&RuleName::RXr));
-        assert!(!rules_of(&pair_rewrites(&Stmt::Print(r(1)), &load(r(1), x())))
-            .contains(&RuleName::RXr));
-        assert!(rules_of(&pair_rewrites(&Stmt::Print(r(1)), &store(x(), r(1))))
-            .contains(&RuleName::RXw));
+        assert!(
+            rules_of(&pair_rewrites(&Stmt::Print(r(1)), &load(r(2), x()))).contains(&RuleName::RXr)
+        );
+        assert!(
+            !rules_of(&pair_rewrites(&Stmt::Print(r(1)), &load(r(1), x())))
+                .contains(&RuleName::RXr)
+        );
+        assert!(
+            rules_of(&pair_rewrites(&Stmt::Print(r(1)), &store(x(), r(1))))
+                .contains(&RuleName::RXw)
+        );
         assert!(pair_rewrites(&Stmt::Print(r(1)), &store(vol(), r(1))).is_empty());
     }
 
     #[test]
     fn triple_rules_respect_intervening_conditions() {
-        let s_ok = Stmt::Move { dst: r(5), src: Operand::Const(Value::new(1)) };
+        let s_ok = Stmt::Move {
+            dst: r(5),
+            src: Operand::Const(Value::new(1)),
+        };
         let out = triple_rewrites(&load(r(1), x()), &s_ok, &load(r(2), x()));
         assert!(rules_of(&out).contains(&RuleName::ERar));
         // S touching x is rejected
         let s_x = load(r(5), x());
         assert!(triple_rewrites(&load(r(1), x()), &s_x, &load(r(2), x())).is_empty());
         // S touching r1 is rejected
-        let s_r1 = Stmt::Move { dst: r(1), src: Operand::Const(Value::ZERO) };
+        let s_r1 = Stmt::Move {
+            dst: r(1),
+            src: Operand::Const(Value::ZERO),
+        };
         assert!(triple_rewrites(&load(r(1), x()), &s_r1, &load(r(2), x())).is_empty());
         // S with synchronisation is rejected
         let s_sync = Stmt::Lock(Monitor::new(0));

@@ -112,9 +112,9 @@ impl Action {
     #[must_use]
     pub const fn value(&self) -> Option<Value> {
         match self {
-            Action::Read { value, .. }
-            | Action::Write { value, .. }
-            | Action::External(value) => Some(*value),
+            Action::Read { value, .. } | Action::Write { value, .. } | Action::External(value) => {
+                Some(*value)
+            }
             _ => None,
         }
     }
@@ -323,7 +323,10 @@ mod tests {
         assert_eq!(a.loc(), Some(x()));
         assert_eq!(a.value(), Some(Value::new(2)));
         assert_eq!(a.monitor(), None);
-        assert_eq!(Action::lock(Monitor::new(1)).monitor(), Some(Monitor::new(1)));
+        assert_eq!(
+            Action::lock(Monitor::new(1)).monitor(),
+            Some(Monitor::new(1))
+        );
         assert_eq!(Action::external(Value::new(5)).value(), Some(Value::new(5)));
         assert_eq!(Action::start(ThreadId::new(0)).value(), None);
     }

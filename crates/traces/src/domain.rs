@@ -32,7 +32,9 @@ impl Domain {
     /// Creates the domain `{0, 1, ..., max}`.
     #[must_use]
     pub fn zero_to(max: u32) -> Self {
-        Domain { values: (0..=max).map(Value::new).collect() }
+        Domain {
+            values: (0..=max).map(Value::new).collect(),
+        }
     }
 
     /// Creates a domain from arbitrary values; duplicates are removed and

@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = TraceError::NotWellLocked { monitor: Monitor::new(1), index: 4 };
+        let e = TraceError::NotWellLocked {
+            monitor: Monitor::new(1),
+            index: 4,
+        };
         assert!(e.to_string().contains("m1"));
         assert!(e.to_string().contains('4'));
         assert!(!TraceError::NotProperlyStarted.to_string().is_empty());

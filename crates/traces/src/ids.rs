@@ -31,7 +31,10 @@ impl Loc {
     /// Creates a normal (non-volatile) location.
     #[must_use]
     pub const fn normal(index: u32) -> Self {
-        Loc { index, volatile: false }
+        Loc {
+            index,
+            volatile: false,
+        }
     }
 
     /// Creates a volatile location (an *atomic* in C++0x terminology).
@@ -41,7 +44,10 @@ impl Loc {
     /// writes are release actions.
     #[must_use]
     pub const fn volatile(index: u32) -> Self {
-        Loc { index, volatile: true }
+        Loc {
+            index,
+            volatile: true,
+        }
     }
 
     /// Returns the numeric index of this location.
@@ -151,7 +157,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut locs = vec![Loc::volatile(1), Loc::normal(2), Loc::normal(1)];
+        let mut locs = [Loc::volatile(1), Loc::normal(2), Loc::normal(1)];
         locs.sort();
         assert_eq!(locs[0], Loc::normal(1));
     }

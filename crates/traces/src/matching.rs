@@ -43,7 +43,11 @@ pub struct MatchingConflict {
 
 impl fmt::Display for MatchingConflict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pair {} -> {} conflicts with an existing mapping", self.from, self.to)
+        write!(
+            f,
+            "pair {} -> {} conflicts with an existing mapping",
+            self.from, self.to
+        )
     }
 }
 
@@ -171,7 +175,8 @@ impl Matching {
         let mut out = Matching::new();
         for (a, b) in self.iter() {
             if let Some(c) = g.get(b) {
-                out.insert(a, c).expect("composition of injections is injective");
+                out.insert(a, c)
+                    .expect("composition of injections is injective");
             }
         }
         out

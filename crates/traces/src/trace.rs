@@ -44,13 +44,17 @@ impl Trace {
     /// Creates an empty trace.
     #[must_use]
     pub fn new() -> Self {
-        Trace { actions: Vec::new() }
+        Trace {
+            actions: Vec::new(),
+        }
     }
 
     /// Creates a trace from a sequence of actions.
     #[must_use]
     pub fn from_actions<I: IntoIterator<Item = Action>>(actions: I) -> Self {
-        Trace { actions: actions.into_iter().collect() }
+        Trace {
+            actions: actions.into_iter().collect(),
+        }
     }
 
     /// The actions of the trace as a slice.
@@ -109,7 +113,9 @@ impl Trace {
     /// The prefix of length `n` (the whole trace if `n >= |t|`).
     #[must_use]
     pub fn prefix(&self, n: usize) -> Trace {
-        Trace { actions: self.actions[..n.min(self.len())].to_vec() }
+        Trace {
+            actions: self.actions[..n.min(self.len())].to_vec(),
+        }
     }
 
     /// Prefix order `t ⊑ t'`: `self` is a prefix of `other`.
@@ -128,17 +134,19 @@ impl Trace {
     /// The filter `[a ∈ t. P(a)]`: the sub-trace of actions satisfying `p`.
     #[must_use]
     pub fn filtered<P: FnMut(&Action) -> bool>(&self, mut p: P) -> Trace {
-        Trace { actions: self.actions.iter().filter(|a| p(a)).copied().collect() }
+        Trace {
+            actions: self.actions.iter().filter(|a| p(a)).copied().collect(),
+        }
     }
 
     /// The map-filter `[f(a) | a ∈ t. P(a)]` of §3.
     #[must_use]
-    pub fn map_filtered<P, F, T>(&self, mut p: P, mut f: F) -> Vec<T>
+    pub fn map_filtered<P, F, T>(&self, mut p: P, f: F) -> Vec<T>
     where
         P: FnMut(&Action) -> bool,
         F: FnMut(&Action) -> T,
     {
-        self.actions.iter().filter(|a| p(a)).map(|a| f(a)).collect()
+        self.actions.iter().filter(|a| p(a)).map(f).collect()
     }
 
     /// The sublist `t|S`: the actions at the indices in `s`, in increasing
@@ -148,7 +156,9 @@ impl Trace {
         let mut idx: Vec<usize> = s.into_iter().filter(|&i| i < self.len()).collect();
         idx.sort_unstable();
         idx.dedup();
-        Trace { actions: idx.into_iter().map(|i| self.actions[i]).collect() }
+        Trace {
+            actions: idx.into_iter().map(|i| self.actions[i]).collect(),
+        }
     }
 
     /// Checks the §3 well-formedness conditions for traceset membership.
@@ -170,15 +180,16 @@ impl Trace {
         let mut depth: BTreeMap<Monitor, i64> = BTreeMap::new();
         for (i, a) in self.actions.iter().enumerate() {
             match a {
-                Action::Start(_) if i > 0 => {
-                    return Err(TraceError::StartNotFirst { index: i })
-                }
+                Action::Start(_) if i > 0 => return Err(TraceError::StartNotFirst { index: i }),
                 Action::Lock(m) => *depth.entry(*m).or_insert(0) += 1,
                 Action::Unlock(m) => {
                     let d = depth.entry(*m).or_insert(0);
                     *d -= 1;
                     if *d < 0 {
-                        return Err(TraceError::NotWellLocked { monitor: *m, index: i });
+                        return Err(TraceError::NotWellLocked {
+                            monitor: *m,
+                            index: i,
+                        });
                     }
                 }
                 _ => {}
@@ -200,7 +211,9 @@ impl Trace {
     /// order (§1/§5 observe behaviours as sequences of external actions).
     #[must_use]
     pub fn behaviour(&self) -> Vec<Value> {
-        self.map_filtered(Action::is_external, |a| a.value().expect("external carries value"))
+        self.map_filtered(Action::is_external, |a| {
+            a.value().expect("external carries value")
+        })
     }
 
     /// Returns `true` if there is a release–acquire pair strictly between
@@ -412,7 +425,13 @@ mod tests {
             Action::unlock(m),
             Action::unlock(m),
         ]);
-        assert_eq!(t.validate(), Err(TraceError::NotWellLocked { monitor: m, index: 3 }));
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::NotWellLocked {
+                monitor: m,
+                index: 3
+            })
+        );
     }
 
     #[test]

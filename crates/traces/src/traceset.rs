@@ -145,7 +145,11 @@ impl Traceset {
     #[must_use]
     pub fn traces(&self) -> TracesetTraces<'_> {
         TracesetTraces {
-            stack: vec![Frame { node: &self.root, depth: 0, label: None }],
+            stack: vec![Frame {
+                node: &self.root,
+                depth: 0,
+                label: None,
+            }],
             prefix: Vec::new(),
         }
     }
@@ -153,7 +157,9 @@ impl Traceset {
     /// Iterates over the maximal traces (trie leaves).
     #[must_use]
     pub fn maximal_traces(&self) -> MaximalTraces<'_> {
-        MaximalTraces { inner: self.traces() }
+        MaximalTraces {
+            inner: self.traces(),
+        }
     }
 
     /// The entry points (thread identifiers) of the program: the threads
@@ -179,9 +185,7 @@ impl Traceset {
     pub fn thread_traceset(&self, thread: ThreadId) -> Traceset {
         let mut out = Traceset::new();
         if let Some(n) = self.root.children.get(&Action::start(thread)) {
-            out.root
-                .children
-                .insert(Action::start(thread), n.clone());
+            out.root.children.insert(Action::start(thread), n.clone());
         }
         out
     }
@@ -312,7 +316,11 @@ impl Iterator for TracesetTraces<'_> {
         let result = Trace::from_actions(self.prefix.iter().copied());
         // Push children in reverse-sorted order so iteration is sorted.
         for (a, n) in node.children.iter().rev() {
-            self.stack.push(Frame { node: n, depth: depth + 1, label: Some(*a) });
+            self.stack.push(Frame {
+                node: n,
+                depth: depth + 1,
+                label: Some(*a),
+            });
         }
         Some(result)
     }
@@ -534,7 +542,8 @@ mod tests {
     #[test]
     fn display_lists_maximal_traces() {
         let mut t = Traceset::new();
-        t.insert(Trace::from_actions([Action::start(tid(0))])).unwrap();
+        t.insert(Trace::from_actions([Action::start(tid(0))]))
+            .unwrap();
         let s = t.to_string();
         assert!(s.contains("[S(0)]"), "got: {s}");
     }

@@ -130,19 +130,25 @@ impl WildTrace {
     /// Creates an empty wildcard trace.
     #[must_use]
     pub fn new() -> Self {
-        WildTrace { elements: Vec::new() }
+        WildTrace {
+            elements: Vec::new(),
+        }
     }
 
     /// Creates a wildcard trace from its elements.
     #[must_use]
     pub fn from_elements<I: IntoIterator<Item = WildAction>>(elements: I) -> Self {
-        WildTrace { elements: elements.into_iter().collect() }
+        WildTrace {
+            elements: elements.into_iter().collect(),
+        }
     }
 
     /// Lifts a concrete trace to a wildcard trace with no wildcards.
     #[must_use]
     pub fn from_trace(t: &Trace) -> Self {
-        WildTrace { elements: t.iter().map(|a| WildAction::Concrete(*a)).collect() }
+        WildTrace {
+            elements: t.iter().map(|a| WildAction::Concrete(*a)).collect(),
+        }
     }
 
     /// The elements of the wildcard trace.
@@ -183,7 +189,11 @@ impl WildTrace {
     #[must_use]
     pub fn is_instance(&self, t: &Trace) -> bool {
         self.len() == t.len()
-            && self.elements.iter().zip(t.iter()).all(|(e, a)| e.matches(a))
+            && self
+                .elements
+                .iter()
+                .zip(t.iter())
+                .all(|(e, a)| e.matches(a))
     }
 
     /// Instantiates the wildcard trace, reading the wildcard values from
@@ -224,13 +234,17 @@ impl WildTrace {
         let mut idx: Vec<usize> = s.into_iter().filter(|&i| i < self.len()).collect();
         idx.sort_unstable();
         idx.dedup();
-        WildTrace { elements: idx.into_iter().map(|i| self.elements[i]).collect() }
+        WildTrace {
+            elements: idx.into_iter().map(|i| self.elements[i]).collect(),
+        }
     }
 
     /// The prefix of length `n`.
     #[must_use]
     pub fn prefix(&self, n: usize) -> WildTrace {
-        WildTrace { elements: self.elements[..n.min(self.len())].to_vec() }
+        WildTrace {
+            elements: self.elements[..n.min(self.len())].to_vec(),
+        }
     }
 }
 
@@ -276,8 +290,11 @@ impl Iterator for Instances<'_> {
         if self.done {
             return None;
         }
-        let values: Vec<Value> =
-            self.counter.iter().map(|&i| self.domain.values()[i]).collect();
+        let values: Vec<Value> = self
+            .counter
+            .iter()
+            .map(|&i| self.domain.values()[i])
+            .collect();
         let out = self.wild.instantiate(&values);
         // advance the mixed-radix counter
         let mut i = 0;
@@ -399,6 +416,9 @@ mod tests {
         ]);
         assert_eq!(wt.prefix(2).len(), 2);
         assert_eq!(wt.restrict([0, 2]).len(), 2);
-        assert_eq!(wt.restrict([0, 2]).elements()[1], Action::external(Value::new(1)).into());
+        assert_eq!(
+            wt.restrict([0, 2]).elements()[1],
+            Action::external(Value::new(1)).into()
+        );
     }
 }

@@ -77,7 +77,12 @@ impl<'a> EliminationOracle<'a> {
     /// Creates an oracle for eliminations of `original`.
     #[must_use]
     pub fn new(original: &'a Traceset, domain: &'a Domain, opts: EliminationOptions) -> Self {
-        EliminationOracle { original, domain, opts, memo: HashMap::new() }
+        EliminationOracle {
+            original,
+            domain,
+            opts,
+            memo: HashMap::new(),
+        }
     }
 
     /// Is `t` an elimination of some wildcard trace belonging to the
@@ -192,7 +197,10 @@ mod tests {
         let original = fig2_original(&d);
         let mut oracle = EliminationOracle::new(&original, &d, EliminationOptions::default());
         for t in original.traces() {
-            assert!(oracle.is_member(&t), "members are eliminations of themselves");
+            assert!(
+                oracle.is_member(&t),
+                "members are eliminations of themselves"
+            );
         }
         let bogus = Trace::from_actions([Action::start(tid(1)), Action::external(v(9))]);
         assert!(!oracle.is_member(&bogus));

@@ -3,9 +3,7 @@
 
 use std::fmt;
 
-use transafety_traces::{
-    Action, Domain, Loc, Matching, Trace, Traceset, WildAction, WildTrace,
-};
+use transafety_traces::{Action, Domain, Loc, Matching, Trace, Traceset, WildAction, WildTrace};
 
 use crate::kinds::{eliminable_kinds, is_eliminable, is_properly_eliminable, EliminationKind};
 
@@ -33,7 +31,10 @@ pub struct EliminationOptions {
 
 impl Default for EliminationOptions {
     fn default() -> Self {
-        EliminationOptions { max_extra: 4, proper_only: false }
+        EliminationOptions {
+            max_extra: 4,
+            proper_only: false,
+        }
     }
 }
 
@@ -42,7 +43,10 @@ impl EliminationOptions {
     /// Definition 1).
     #[must_use]
     pub fn proper() -> Self {
-        EliminationOptions { proper_only: true, ..EliminationOptions::default() }
+        EliminationOptions {
+            proper_only: true,
+            ..EliminationOptions::default()
+        }
     }
 }
 
@@ -108,7 +112,11 @@ pub struct NotAnElimination {
 
 impl fmt::Display for NotAnElimination {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace {} is not an elimination of any wildcard trace of the original", self.trace)
+        write!(
+            f,
+            "trace {} is not an elimination of any wildcard trace of the original",
+            self.trace
+        )
     }
 }
 
@@ -163,17 +171,28 @@ pub fn witness_against_wild(transformed: &Trace, wild: &WildTrace) -> Option<Eli
 
     let mut kept_pairs = Vec::new();
     let mut failed = std::collections::HashSet::new();
-    if !embed(transformed, wild, &eliminable, 0, 0, &mut kept_pairs, &mut failed) {
+    if !embed(
+        transformed,
+        wild,
+        &eliminable,
+        0,
+        0,
+        &mut kept_pairs,
+        &mut failed,
+    ) {
         return None;
     }
     let kept = Matching::from_pairs(kept_pairs.iter().copied()).expect("embedding is injective");
-    let kept_set: std::collections::BTreeSet<usize> =
-        kept_pairs.iter().map(|&(_, j)| j).collect();
+    let kept_set: std::collections::BTreeSet<usize> = kept_pairs.iter().map(|&(_, j)| j).collect();
     let eliminated = (0..wild.len())
         .filter(|j| !kept_set.contains(j))
         .map(|j| (j, eliminable_kinds(wild, j)))
         .collect();
-    Some(EliminationWitness { wild: wild.clone(), kept, eliminated })
+    Some(EliminationWitness {
+        wild: wild.clone(),
+        kept,
+        eliminated,
+    })
 }
 
 /// The search context shared by [`find_elimination`] invocations: the
@@ -222,7 +241,7 @@ pub fn find_elimination(
     )
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn search<'a>(
     transformed: &Trace,
     original: &'a Traceset,
@@ -233,13 +252,12 @@ fn search<'a>(
     frontier: &[transafety_traces::Cursor<'a>],
     wt: &mut Vec<WildAction>,
     kept_positions: &mut Vec<usize>,
-    ) -> Option<EliminationWitness> {
+) -> Option<EliminationWitness> {
     // Accept if the whole transformed trace is matched and all inserted
     // positions are eliminable in the completed wildcard trace.
     if i == transformed.len() {
         let wild = WildTrace::from_elements(wt.iter().copied());
-        let kept_set: std::collections::BTreeSet<usize> =
-            kept_positions.iter().copied().collect();
+        let kept_set: std::collections::BTreeSet<usize> = kept_positions.iter().copied().collect();
         let ok = |j: usize| {
             if opts.proper_only {
                 is_properly_eliminable(&wild, j)
@@ -248,15 +266,18 @@ fn search<'a>(
             }
         };
         if (0..wild.len()).all(|j| kept_set.contains(&j) || ok(j)) {
-            let kept = Matching::from_pairs(
-                kept_positions.iter().enumerate().map(|(a, &b)| (a, b)),
-            )
-            .expect("kept positions are strictly increasing");
+            let kept =
+                Matching::from_pairs(kept_positions.iter().enumerate().map(|(a, &b)| (a, b)))
+                    .expect("kept positions are strictly increasing");
             let eliminated = (0..wild.len())
                 .filter(|j| !kept_set.contains(j))
                 .map(|j| (j, eliminable_kinds(&wild, j)))
                 .collect();
-            return Some(EliminationWitness { wild, kept, eliminated });
+            return Some(EliminationWitness {
+                wild,
+                kept,
+                eliminated,
+            });
         }
         // fall through: try extending with more eliminated elements (they
         // may repair future-dependent kinds — e.g. an overwritten write
@@ -270,7 +291,14 @@ fn search<'a>(
             wt.push(a.into());
             kept_positions.push(wt.len() - 1);
             if let Some(w) = search(
-                transformed, original, domain, opts, wild_locs, i + 1, &next, wt,
+                transformed,
+                original,
+                domain,
+                opts,
+                wild_locs,
+                i + 1,
+                &next,
+                wt,
                 kept_positions,
             ) {
                 return Some(w);
@@ -291,7 +319,15 @@ fn search<'a>(
         if let Some(next) = step_all_wildcard(frontier, l, domain) {
             wt.push(WildAction::wildcard_read(l));
             if let Some(w) = search(
-                transformed, original, domain, opts, wild_locs, i, &next, wt, kept_positions,
+                transformed,
+                original,
+                domain,
+                opts,
+                wild_locs,
+                i,
+                &next,
+                wt,
+                kept_positions,
             ) {
                 return Some(w);
             }
@@ -323,7 +359,15 @@ fn search<'a>(
         if let Some(next) = step_all(frontier, &a) {
             wt.push(a.into());
             if let Some(w) = search(
-                transformed, original, domain, opts, wild_locs, i, &next, wt, kept_positions,
+                transformed,
+                original,
+                domain,
+                opts,
+                wild_locs,
+                i,
+                &next,
+                wt,
+                kept_positions,
             ) {
                 return Some(w);
             }
@@ -526,8 +570,7 @@ mod tests {
             Action::start(tid(1)),
             Action::external(v(1)), // original always reads y first
         ]);
-        assert!(find_elimination(&bogus, &original, &d, &EliminationOptions::default())
-            .is_none());
+        assert!(find_elimination(&bogus, &original, &d, &EliminationOptions::default()).is_none());
     }
 
     #[test]
@@ -574,8 +617,7 @@ mod tests {
             Action::lock(m),
             Action::unlock(m),
         ]);
-        assert!(find_elimination(&t_bad, &original, &d, &EliminationOptions::default())
-            .is_none());
+        assert!(find_elimination(&t_bad, &original, &d, &EliminationOptions::default()).is_none());
     }
 
     #[test]
@@ -628,8 +670,7 @@ mod tests {
                 ]))
                 .unwrap();
         }
-        let t_prime =
-            Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]);
+        let t_prime = Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]);
         let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
             .expect("irrelevant read");
         assert!(w.check(&t_prime));
@@ -653,10 +694,8 @@ mod tests {
                 ]))
                 .unwrap();
         }
-        let t_prime =
-            Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]);
-        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default())
-            .unwrap();
+        let t_prime = Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]);
+        let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::default()).unwrap();
         assert!(w.to_string().contains("irrelevant read"), "{w}");
     }
 }
@@ -664,7 +703,7 @@ mod tests {
 #[cfg(test)]
 mod proper_tests {
     use super::*;
-    use transafety_traces::{Monitor, ThreadId, Value};
+    use transafety_traces::{ThreadId, Value};
 
     fn tid(i: u32) -> ThreadId {
         ThreadId::new(i)
@@ -727,7 +766,10 @@ mod proper_tests {
         ]);
         let w = find_elimination(&t_prime, &original, &d, &EliminationOptions::proper())
             .expect("redundant read after read is proper");
-        assert!(w.eliminated.iter().all(|(_, kinds)| kinds.iter().any(|k| k.is_proper())));
+        assert!(w
+            .eliminated
+            .iter()
+            .all(|(_, kinds)| kinds.iter().any(|k| k.is_proper())));
     }
 
     #[test]

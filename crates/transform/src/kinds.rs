@@ -163,7 +163,9 @@ pub fn eliminable_kinds(t: &WildTrace, i: usize) -> Vec<EliminationKind> {
     use transafety_traces::Action;
 
     let mut kinds = Vec::new();
-    let Some(e) = t.elements().get(i) else { return kinds };
+    let Some(e) = t.elements().get(i) else {
+        return kinds;
+    };
     match e {
         WildAction::WildcardRead(l) => {
             if !l.is_volatile() {
@@ -295,12 +297,20 @@ mod tests {
         // The trailing unlock at 8 is additionally eliminable by case 7
         // (a redundant release, trivially sound: dropping the final
         // element yields a member of the prefix-closed traceset).
-        let eliminable: Vec<usize> =
-            (0..t.len()).filter(|&i| is_eliminable(&t, i)).collect();
+        let eliminable: Vec<usize> = (0..t.len()).filter(|&i| is_eliminable(&t, i)).collect();
         assert_eq!(eliminable, vec![2, 3, 6, 8]);
-        assert_eq!(eliminable_kinds(&t, 2), vec![EliminationKind::IrrelevantRead]);
-        assert_eq!(eliminable_kinds(&t, 3), vec![EliminationKind::ReadAfterWrite]);
-        assert_eq!(eliminable_kinds(&t, 6), vec![EliminationKind::OverwrittenWrite]);
+        assert_eq!(
+            eliminable_kinds(&t, 2),
+            vec![EliminationKind::IrrelevantRead]
+        );
+        assert_eq!(
+            eliminable_kinds(&t, 3),
+            vec![EliminationKind::ReadAfterWrite]
+        );
+        assert_eq!(
+            eliminable_kinds(&t, 6),
+            vec![EliminationKind::OverwrittenWrite]
+        );
     }
 
     #[test]
@@ -310,7 +320,10 @@ mod tests {
             Action::read(x(), v(1)).into(),
             Action::read(x(), v(1)).into(),
         ]);
-        assert_eq!(eliminable_kinds(&t, 2), vec![EliminationKind::ReadAfterRead]);
+        assert_eq!(
+            eliminable_kinds(&t, 2),
+            vec![EliminationKind::ReadAfterRead]
+        );
         // different value: not eliminable
         let t2 = WildTrace::from_elements([
             start(),
@@ -352,7 +365,10 @@ mod tests {
             Action::unlock(m).into(),
             Action::read(x(), v(1)).into(),
         ]);
-        assert_eq!(eliminable_kinds(&t2, 4), vec![EliminationKind::ReadAfterRead]);
+        assert_eq!(
+            eliminable_kinds(&t2, 4),
+            vec![EliminationKind::ReadAfterRead]
+        );
     }
 
     #[test]
@@ -384,7 +400,10 @@ mod tests {
         ]);
         assert!(eliminable_kinds(&t, 1).contains(&EliminationKind::OverwrittenWrite));
         // the later write is a redundant last write instead
-        assert_eq!(eliminable_kinds(&t, 2), vec![EliminationKind::RedundantLastWrite]);
+        assert_eq!(
+            eliminable_kinds(&t, 2),
+            vec![EliminationKind::RedundantLastWrite]
+        );
     }
 
     #[test]
@@ -398,7 +417,10 @@ mod tests {
         ]);
         assert!(eliminable_kinds(&t, 2).is_empty());
         // ... except that a trailing volatile write is a redundant release
-        assert_eq!(eliminable_kinds(&t, 3), vec![EliminationKind::RedundantRelease]);
+        assert_eq!(
+            eliminable_kinds(&t, 3),
+            vec![EliminationKind::RedundantRelease]
+        );
         // and a volatile wildcard read is not an irrelevant read
         let t2 = WildTrace::from_elements([start(), WildAction::wildcard_read(vl)]);
         assert!(eliminable_kinds(&t2, 1).is_empty());
@@ -434,7 +456,10 @@ mod tests {
             Action::unlock(m).into(),
         ]);
         // the unlock is last: redundant release
-        assert_eq!(eliminable_kinds(&t, 3), vec![EliminationKind::RedundantRelease]);
+        assert_eq!(
+            eliminable_kinds(&t, 3),
+            vec![EliminationKind::RedundantRelease]
+        );
         // the external at 1 is followed by sync actions: not eliminable
         assert!(eliminable_kinds(&t, 1).is_empty());
         let t2 = WildTrace::from_elements([
@@ -442,13 +467,19 @@ mod tests {
             Action::external(v(1)).into(),
             Action::read(x(), v(0)).into(),
         ]);
-        assert_eq!(eliminable_kinds(&t2, 1), vec![EliminationKind::RedundantExternal]);
+        assert_eq!(
+            eliminable_kinds(&t2, 1),
+            vec![EliminationKind::RedundantExternal]
+        );
     }
 
     #[test]
     fn proper_kinds_are_cases_one_to_five() {
         let proper: Vec<bool> = EliminationKind::ALL.iter().map(|k| k.is_proper()).collect();
-        assert_eq!(proper, vec![true, true, true, true, true, false, false, false]);
+        assert_eq!(
+            proper,
+            vec![true, true, true, true, true, false, false, false]
+        );
     }
 
     #[test]
@@ -507,7 +538,10 @@ mod compositionality_tests {
             Action::write(x(), v(1)).into(),
         ];
         let prefix = WildTrace::from_elements(t1.iter().copied());
-        assert_eq!(eliminable_kinds(&prefix, 1), vec![EliminationKind::RedundantLastWrite]);
+        assert_eq!(
+            eliminable_kinds(&prefix, 1),
+            vec![EliminationKind::RedundantLastWrite]
+        );
         // … but appending a read of it destroys the justification.
         let t2: Vec<WildAction> = vec![Action::read(x(), v(1)).into()];
         let whole = WildTrace::from_elements(t1.iter().chain(t2.iter()).copied());
@@ -529,9 +563,12 @@ mod compositionality_tests {
         assert!(is_properly_eliminable(&t, 1));
         let y = Loc::normal(9);
         let prefixed = WildTrace::from_elements(
-            [Action::start(ThreadId::new(0)).into(), Action::write(y, v(3)).into()]
-                .into_iter()
-                .chain(suffix.iter().copied()),
+            [
+                Action::start(ThreadId::new(0)).into(),
+                Action::write(y, v(3)).into(),
+            ]
+            .into_iter()
+            .chain(suffix.iter().copied()),
         );
         assert!(is_properly_eliminable(&prefixed, 3));
     }

@@ -77,10 +77,16 @@ impl ReorderClass {
             ReorderClass::Write => vec![Action::write(loc, Value::new(1))],
             ReorderClass::Read => vec![Action::read(loc, Value::new(1))],
             ReorderClass::Acquire => {
-                vec![Action::lock(Monitor::new(0)), Action::read(volatile, Value::ZERO)]
+                vec![
+                    Action::lock(Monitor::new(0)),
+                    Action::read(volatile, Value::ZERO),
+                ]
             }
             ReorderClass::Release => {
-                vec![Action::unlock(Monitor::new(0)), Action::write(volatile, Value::ZERO)]
+                vec![
+                    Action::unlock(Monitor::new(0)),
+                    Action::write(volatile, Value::ZERO),
+                ]
             }
             ReorderClass::External => vec![Action::external(Value::ZERO)],
         }
@@ -149,7 +155,9 @@ pub fn reorder_matrix() -> [[MatrixEntry; 5]; 5] {
                 (true, true) => MatrixEntry::Always,
                 (false, true) => MatrixEntry::DifferentLocation,
                 (false, false) => MatrixEntry::Never,
-                (true, false) => unreachable!("same-location reorderability implies different-location"),
+                (true, false) => {
+                    unreachable!("same-location reorderability implies different-location")
+                }
             };
         }
     }
@@ -222,8 +230,14 @@ mod tests {
         let w = Action::write(x(), v(1));
         let r = Action::read(x(), v(1));
         // into the critical section: allowed
-        assert!(reorderable(&w, &Action::lock(m)), "W may sink past a later acquire");
-        assert!(reorderable(&Action::unlock(m), &w), "a release may sink past a later W");
+        assert!(
+            reorderable(&w, &Action::lock(m)),
+            "W may sink past a later acquire"
+        );
+        assert!(
+            reorderable(&Action::unlock(m), &w),
+            "a release may sink past a later W"
+        );
         // out of the critical section: forbidden
         assert!(!reorderable(&Action::lock(m), &w));
         assert!(!reorderable(&w, &Action::unlock(m)));
@@ -236,9 +250,18 @@ mod tests {
         let vw = Action::write(vl, v(1)); // release
         let vr = Action::read(vl, v(1)); // acquire
         let w = Action::write(x(), v(1));
-        assert!(reorderable(&w, &vr), "normal write past later volatile read (acquire)");
-        assert!(!reorderable(&w, &vw), "not past a later volatile write (release)");
-        assert!(reorderable(&vw, &w), "volatile write (release) past later normal write");
+        assert!(
+            reorderable(&w, &vr),
+            "normal write past later volatile read (acquire)"
+        );
+        assert!(
+            !reorderable(&w, &vw),
+            "not past a later volatile write (release)"
+        );
+        assert!(
+            reorderable(&vw, &w),
+            "volatile write (release) past later normal write"
+        );
         assert!(!reorderable(&vr, &w), "volatile read (acquire) blocks");
         assert!(!reorderable(&vr, &vw) && !reorderable(&vw, &vr));
     }
@@ -267,7 +290,10 @@ mod tests {
     fn render_contains_all_rows() {
         let s = render_reorder_matrix();
         for c in ReorderClass::ALL {
-            assert!(s.contains(&c.to_string().split('[').next().unwrap().to_string()), "{s}");
+            assert!(
+                s.contains(&c.to_string().split('[').next().unwrap().to_string()),
+                "{s}"
+            );
         }
     }
 }

@@ -71,7 +71,9 @@ impl ReorderingFn {
     /// The identity function on `{0, …, n-1}`.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        ReorderingFn { map: (0..n).collect() }
+        ReorderingFn {
+            map: (0..n).collect(),
+        }
     }
 
     /// `f(i)`.
@@ -162,8 +164,7 @@ pub fn de_permutes_with<F: FnMut(&Trace) -> bool>(
     f: &ReorderingFn,
     mut member: F,
 ) -> bool {
-    f.is_reordering_function_for(t)
-        && (0..=t.len()).all(|n| member(&de_permute_prefix(t, f, n)))
+    f.is_reordering_function_for(t) && (0..=t.len()).all(|n| member(&de_permute_prefix(t, f, n)))
 }
 
 /// Searches for a function de-permuting `t` into the set recognised by
@@ -237,7 +238,11 @@ pub struct NotAReordering {
 
 impl fmt::Display for NotAReordering {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace {} has no function de-permuting it into the original", self.trace)
+        write!(
+            f,
+            "trace {} has no function de-permuting it into the original",
+            self.trace
+        )
     }
 }
 
@@ -250,10 +255,7 @@ impl std::error::Error for NotAReordering {}
 ///
 /// Returns [`NotAReordering`] carrying the first member trace with no
 /// witness.
-pub fn is_reordering_of(
-    transformed: &Traceset,
-    original: &Traceset,
-) -> Result<(), NotAReordering> {
+pub fn is_reordering_of(transformed: &Traceset, original: &Traceset) -> Result<(), NotAReordering> {
     for t in transformed.traces() {
         if find_reordering(&t, original).is_none() {
             return Err(NotAReordering { trace: t });
@@ -301,7 +303,10 @@ mod tests {
         assert!(f.is_reordering_function_for(&t));
         let expect = |actions: Vec<Action>| Trace::from_actions(actions);
         assert_eq!(de_permute_prefix(&t, &f, 0), Trace::new());
-        assert_eq!(de_permute_prefix(&t, &f, 1), expect(vec![Action::start(tid(0))]));
+        assert_eq!(
+            de_permute_prefix(&t, &f, 1),
+            expect(vec![Action::start(tid(0))])
+        );
         assert_eq!(
             de_permute_prefix(&t, &f, 2),
             expect(vec![Action::start(tid(0)), Action::write(x(), v(1))])
@@ -347,7 +352,10 @@ mod tests {
         // with T* = T ∪ {[S(0), W[x=1]]} it works:
         let mut t_star = original.clone();
         t_star
-            .insert(Trace::from_actions([Action::start(tid(0)), Action::write(x(), v(1))]))
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(x(), v(1)),
+            ]))
             .unwrap();
         let f = find_reordering(&t, &t_star).expect("de-permutes into T*");
         assert!(de_permutes_with(&t, &f, |p| t_star.contains(p)));
@@ -357,7 +365,10 @@ mod tests {
     #[test]
     fn reordering_function_validation() {
         let t = fig4_t_prime();
-        assert!(ReorderingFn::new(vec![0, 0, 1, 2]).is_err(), "not injective");
+        assert!(
+            ReorderingFn::new(vec![0, 0, 1, 2]).is_err(),
+            "not injective"
+        );
         assert!(ReorderingFn::new(vec![0, 1, 2, 9]).is_err(), "out of range");
         let id = ReorderingFn::identity(4);
         assert!(id.is_reordering_function_for(&t));
@@ -391,7 +402,10 @@ mod tests {
         ]);
         // original: x:=1; lock m
         let f = ReorderingFn::new(vec![0, 2, 1]).unwrap();
-        assert!(f.is_reordering_function_for(&t), "W[x] reorderable with later acquire");
+        assert!(
+            f.is_reordering_function_for(&t),
+            "W[x] reorderable with later acquire"
+        );
         let original_trace = de_permute(&t, &f);
         assert_eq!(
             original_trace,
@@ -438,7 +452,10 @@ mod tests {
                 .unwrap();
         }
         t_star
-            .insert(Trace::from_actions([Action::start(tid(1)), Action::write(x(), v(1))]))
+            .insert(Trace::from_actions([
+                Action::start(tid(1)),
+                Action::write(x(), v(1)),
+            ]))
             .unwrap();
         is_reordering_of(&transformed, &t_star).expect("Fig. 2 reordering");
         // and the identity always works
@@ -449,11 +466,17 @@ mod tests {
     fn non_reordering_rejected_with_witness_trace() {
         let mut original = transafety_traces::Traceset::new();
         original
-            .insert(Trace::from_actions([Action::start(tid(0)), Action::external(v(1))]))
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::external(v(1)),
+            ]))
             .unwrap();
         let mut transformed = transafety_traces::Traceset::new();
         transformed
-            .insert(Trace::from_actions([Action::start(tid(0)), Action::external(v(2))]))
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::external(v(2)),
+            ]))
             .unwrap();
         let err = is_reordering_of(&transformed, &original).unwrap_err();
         assert_eq!(err.trace.len(), 2);

@@ -80,8 +80,7 @@ impl UneliminationWitness {
             }
         }
         // (iii)
-        let range: std::collections::BTreeSet<usize> =
-            self.matching.range().into_iter().collect();
+        let range: std::collections::BTreeSet<usize> = self.matching.range().into_iter().collect();
         for (k, w) in self.wild.events().iter().enumerate() {
             let se = is_sync(&w.wild_action()) || is_external(&w.wild_action());
             if !se {
@@ -91,8 +90,7 @@ impl UneliminationWitness {
                 // matched sync/ext: must precede all introduced sync/ext
                 for &j in &self.introduced {
                     let wj = &self.wild.events()[j];
-                    if (is_sync(&wj.wild_action()) || is_external(&wj.wild_action())) && j < k
-                    {
+                    if (is_sync(&wj.wild_action()) || is_external(&wj.wild_action())) && j < k {
                         return false;
                     }
                 }
@@ -115,7 +113,10 @@ impl UneliminationWitness {
 
     /// The position within its thread's trace of global index `j`.
     fn trace_index_of(&self, j: usize, thread: ThreadId) -> usize {
-        self.wild.events()[..j].iter().filter(|e| e.thread() == thread).count()
+        self.wild.events()[..j]
+            .iter()
+            .filter(|e| e.thread() == thread)
+            .count()
     }
 }
 
@@ -156,14 +157,23 @@ pub fn find_unelimination(
     struct ThreadState<'w> {
         wild: &'w WildTrace,
         kept: &'w Matching,
-        emitted: usize,   // elements of `wild` already emitted
-        consumed: usize,  // events of I' of this thread already matched
+        emitted: usize,  // elements of `wild` already emitted
+        consumed: usize, // events of I' of this thread already matched
         deferred: bool,
     }
     let mut states: std::collections::BTreeMap<ThreadId, ThreadState<'_>> = witnesses
         .iter()
         .map(|(th, w)| {
-            (*th, ThreadState { wild: &w.wild, kept: &w.kept, emitted: 0, consumed: 0, deferred: false })
+            (
+                *th,
+                ThreadState {
+                    wild: &w.wild,
+                    kept: &w.kept,
+                    emitted: 0,
+                    consumed: 0,
+                    deferred: false,
+                },
+            )
         })
         .collect();
 
@@ -313,8 +323,10 @@ mod tests {
         // The introduced volatile write (a release) comes after every
         // matched synchronisation/external action.
         let instance = w.wild.instance();
-        assert!(instance.is_sequentially_consistent(),
-            "the instance is an execution (Lemma 1 consequence for race-free prefixes)");
+        assert!(
+            instance.is_sequentially_consistent(),
+            "the instance is an execution (Lemma 1 consequence for race-free prefixes)"
+        );
         assert!(instance.is_interleaving_of(&original));
         assert_eq!(instance.behaviour(), i_prime.behaviour(), "same behaviour");
     }
@@ -341,8 +353,9 @@ mod tests {
             Event::new(tid(0), Action::start(tid(0))),
             Event::new(tid(0), Action::external(v(7))),
         ]);
-        assert!(find_unelimination(&bogus, &original, &d, &EliminationOptions::default())
-            .is_none());
+        assert!(
+            find_unelimination(&bogus, &original, &d, &EliminationOptions::default()).is_none()
+        );
     }
 
     #[test]
@@ -356,7 +369,10 @@ mod tests {
         let y = Loc::normal(1);
         let mut transformed = Traceset::new();
         transformed
-            .insert(Trace::from_actions([Action::start(tid(0)), Action::write(y, v(1))]))
+            .insert(Trace::from_actions([
+                Action::start(tid(0)),
+                Action::write(y, v(1)),
+            ]))
             .unwrap();
         for v2 in d.iter() {
             transformed

@@ -73,7 +73,9 @@ impl UnorderingWitness {
         for th in transformed.threads() {
             let trace = transformed.trace_of(th);
             let f = self.thread_function(transformed, th);
-            let Ok(f) = ReorderingFn::new(f) else { return false };
+            let Ok(f) = ReorderingFn::new(f) else {
+                return false;
+            };
             if !f.is_reordering_function_for(&trace) {
                 return false;
             }
@@ -161,7 +163,9 @@ pub fn find_unordering(
         // prefer a non-sync head
         let mut emitted = false;
         for th in &threads {
-            let Some(&head) = queues[th].front() else { continue };
+            let Some(&head) = queues[th].front() else {
+                continue;
+            };
             if !se(head) {
                 queues.get_mut(th).expect("thread present").pop_front();
                 map[head] = out.len();
@@ -189,7 +193,10 @@ pub fn find_unordering(
         map[target] = out.len();
         out.push(transformed[target]);
     }
-    Some(UnorderingWitness { map, unordered: Interleaving::from_events(out) })
+    Some(UnorderingWitness {
+        map,
+        unordered: Interleaving::from_events(out),
+    })
 }
 
 #[cfg(test)]
@@ -231,8 +238,11 @@ mod tests {
             ]))
             .unwrap();
         }
-        t.insert(Trace::from_actions([Action::start(tid(1)), Action::write(x(), v(1))]))
-            .unwrap();
+        t.insert(Trace::from_actions([
+            Action::start(tid(1)),
+            Action::write(x(), v(1)),
+        ]))
+        .unwrap();
         t
     }
 
@@ -270,7 +280,11 @@ mod tests {
             // the §5 induction's conclusion: the unordered interleaving is
             // an interleaving of T* (it is an execution when T* is DRF;
             // Fig. 2 is racy so we only require interleaving-ness here)
-            assert!(w.unordered.is_interleaving_of(&t_star), "{e} -> {}", w.unordered);
+            assert!(
+                w.unordered.is_interleaving_of(&t_star),
+                "{e} -> {}",
+                w.unordered
+            );
         }
     }
 
@@ -327,18 +341,25 @@ mod tests {
         // the wildcard prefix [S(1), R[z=*], L]. Build that T*.
         let mut t_star = original.clone();
         t_star
-            .insert(Trace::from_actions([Action::start(tid(1)), Action::lock(m)]))
+            .insert(Trace::from_actions([
+                Action::start(tid(1)),
+                Action::lock(m),
+            ]))
             .unwrap();
         let original = t_star;
         for e in Explorer::new(&transformed)
             .maximal_executions(transafety_interleaving::ExploreLimits::default())
         {
-            let w = find_unordering(&e, &original)
-                .unwrap_or_else(|| panic!("no unordering for {e}"));
+            let w =
+                find_unordering(&e, &original).unwrap_or_else(|| panic!("no unordering for {e}"));
             assert!(w.check(&e, &original));
             // Theorem 2's conclusion, executably: an execution with the
             // same behaviour.
-            assert!(w.unordered.is_sequentially_consistent(), "{e} -> {}", w.unordered);
+            assert!(
+                w.unordered.is_sequentially_consistent(),
+                "{e} -> {}",
+                w.unordered
+            );
             assert!(w.unordered.is_interleaving_of(&original));
             assert_eq!(w.unordered.behaviour(), e.behaviour());
         }

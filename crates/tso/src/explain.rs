@@ -43,8 +43,7 @@ pub struct TsoExplanation {
 /// cross desugaring moves.
 #[must_use]
 pub fn tso_fragment(rule: RuleName) -> bool {
-    matches!(rule, RuleName::RWr | RuleName::ERaw | RuleName::ERar)
-        || rule.is_trace_preserving()
+    matches!(rule, RuleName::RWr | RuleName::ERaw | RuleName::ERar) || rule.is_trace_preserving()
 }
 
 /// Checks the §8 claim on one program: every TSO behaviour is an SC
@@ -110,13 +109,15 @@ mod tests {
 
     #[test]
     fn fenced_sb_needs_no_explanation() {
-        let src =
-            "volatile x, y; x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
+        let src = "volatile x, y; x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
         let p = parse_program(src).unwrap().program;
         let e = explain_tso(&p, 2, &ExploreOptions::default());
         assert!(!e.relaxed);
         assert!(e.explained);
-        assert_eq!(e.closure_size, 1, "no fragment rule applies to volatile accesses");
+        assert_eq!(
+            e.closure_size, 1,
+            "no fragment rule applies to volatile accesses"
+        );
     }
 
     #[test]

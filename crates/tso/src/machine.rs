@@ -64,7 +64,11 @@ enum TsoMove {
     Start { thread: usize },
     /// Thread `thread` performs the action (already resolved against the
     /// buffer/memory) and becomes `next`.
-    Act { thread: usize, action: Action, next: ThreadConfig },
+    Act {
+        thread: usize,
+        action: Action,
+        next: ThreadConfig,
+    },
     /// The oldest buffered store of `thread` drains to memory.
     Flush { thread: usize },
 }
@@ -114,32 +118,50 @@ impl<'p> TsoExplorer<'p> {
                 *truncated = true;
                 continue;
             };
-            let Step::Emit(successors) = step else { continue };
+            let Step::Emit(successors) = step else {
+                continue;
+            };
             let (first_action, _) = &successors[0];
             match *first_action {
                 Action::Read { loc, .. } if !loc.is_volatile() => {
                     let v = self.read_value(state, k, loc);
                     let (a, next) = resolved_read(cfg, v, opts);
-                    out.push(TsoMove::Act { thread: k, action: a, next });
+                    out.push(TsoMove::Act {
+                        thread: k,
+                        action: a,
+                        next,
+                    });
                 }
                 Action::Read { loc, .. } => {
                     // volatile read: fence — buffer must be empty
                     if state.buffers[k].is_empty() {
                         let v = state.memory.get(&loc).copied().unwrap_or(Value::ZERO);
                         let (a, next) = resolved_read(cfg, v, opts);
-                        out.push(TsoMove::Act { thread: k, action: a, next });
+                        out.push(TsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Write { loc, .. } if loc.is_volatile() => {
                     // volatile write: fence — buffer must be empty
                     if state.buffers[k].is_empty() {
                         let (a, next) = successors.into_iter().next().expect("one");
-                        out.push(TsoMove::Act { thread: k, action: a, next });
+                        out.push(TsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Write { .. } | Action::External(_) => {
                     let (a, next) = successors.into_iter().next().expect("one");
-                    out.push(TsoMove::Act { thread: k, action: a, next });
+                    out.push(TsoMove::Act {
+                        thread: k,
+                        action: a,
+                        next,
+                    });
                 }
                 Action::Lock(m) => {
                     let free = match state.holders.get(&m) {
@@ -148,13 +170,21 @@ impl<'p> TsoExplorer<'p> {
                     };
                     if free && state.buffers[k].is_empty() {
                         let (a, next) = successors.into_iter().next().expect("one");
-                        out.push(TsoMove::Act { thread: k, action: a, next });
+                        out.push(TsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Unlock(_) => {
                     if state.buffers[k].is_empty() {
                         let (a, next) = successors.into_iter().next().expect("one");
-                        out.push(TsoMove::Act { thread: k, action: a, next });
+                        out.push(TsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Start(_) => unreachable!("start is not emitted by thread bodies"),
@@ -176,7 +206,11 @@ impl<'p> TsoExplorer<'p> {
                     next.memory.insert(loc, v);
                 }
             }
-            TsoMove::Act { thread, action, next: cfg } => {
+            TsoMove::Act {
+                thread,
+                action,
+                next: cfg,
+            } => {
                 match *action {
                     Action::Write { loc, value } if !loc.is_volatile() => {
                         next.buffers[*thread].push_back((loc, value));
@@ -187,15 +221,16 @@ impl<'p> TsoExplorer<'p> {
                     Action::Lock(m) => {
                         next.holders.insert(m, *thread);
                     }
-                    Action::Unlock(m) => {
-                        if cfg.monitor_nesting(m) == 0 {
-                            next.holders.remove(&m);
-                        }
+                    Action::Unlock(m) if cfg.monitor_nesting(m) == 0 => {
+                        next.holders.remove(&m);
                     }
                     _ => {}
                 }
-                next.threads[*thread] =
-                    Some(if cfg.is_done() { ThreadConfig::new(vec![]) } else { cfg.clone() });
+                next.threads[*thread] = Some(if cfg.is_done() {
+                    ThreadConfig::new(vec![])
+                } else {
+                    cfg.clone()
+                });
             }
         }
         next
@@ -213,7 +248,10 @@ impl<'p> TsoExplorer<'p> {
             usize::MAX
         };
         let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
-        Bounded { value: (*set).clone(), complete: !truncated }
+        Bounded {
+            value: (*set).clone(),
+            complete: !truncated,
+        }
     }
 
     fn suffixes(
@@ -247,9 +285,12 @@ impl<'p> TsoExplorer<'p> {
                     _ if fuel == usize::MAX => usize::MAX,
                     _ => fuel - 1,
                 };
-                let tail =
-                    self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
-                if let TsoMove::Act { action: Action::External(v), .. } = mv {
+                let tail = self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
+                if let TsoMove::Act {
+                    action: Action::External(v),
+                    ..
+                } = mv
+                {
                     for suffix in tail.iter() {
                         let mut b = Vec::with_capacity(suffix.len() + 1);
                         b.push(v);
@@ -287,11 +328,7 @@ impl<'p> TsoExplorer<'p> {
 
 /// Resolves the pending read of `cfg` against the concrete value `v` by
 /// re-stepping only the emitting statement.
-fn resolved_read(
-    cfg: &ThreadConfig,
-    v: Value,
-    opts: &ExploreOptions,
-) -> (Action, ThreadConfig) {
+fn resolved_read(cfg: &ThreadConfig, v: Value, opts: &ExploreOptions) -> (Action, ThreadConfig) {
     let at_emit = cfg
         .tau_closure(&Domain::zero_to(0), opts.max_tau)
         .expect("closure already succeeded")
@@ -299,7 +336,9 @@ fn resolved_read(
     let Step::Emit(succ) = at_emit.step(&Domain::from_values([v])) else {
         unreachable!("closure stopped at an emitting statement")
     };
-    succ.into_iter().find(|(a, _)| a.value() == Some(v)).expect("domain contains v")
+    succ.into_iter()
+        .find(|(a, _)| a.value() == Some(v))
+        .expect("domain contains v")
 }
 
 /// Does the program contain a `while` loop? Loop-free programs admit
@@ -310,9 +349,11 @@ pub(crate) fn program_has_loops(p: &Program) -> bool {
         match s {
             transafety_lang::Stmt::While { .. } => true,
             transafety_lang::Stmt::Block(b) => b.iter().any(stmt_has_loop),
-            transafety_lang::Stmt::If { then_branch, else_branch, .. } => {
-                stmt_has_loop(then_branch) || stmt_has_loop(else_branch)
-            }
+            transafety_lang::Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt_has_loop(then_branch) || stmt_has_loop(else_branch),
             _ => false,
         }
     }
@@ -378,7 +419,10 @@ mod tests {
         // SB with volatile locations: the relaxed outcome disappears.
         let src = "volatile x, y; x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
         let tso = tso_behaviours(src);
-        assert!(!tso.contains(&vec![v(0), v(0)]), "volatiles are fenced on TSO");
+        assert!(
+            !tso.contains(&vec![v(0), v(0)]),
+            "volatiles are fenced on TSO"
+        );
         assert_eq!(tso, sc_behaviours(src), "fenced program: TSO = SC");
     }
 

@@ -55,9 +55,18 @@ struct PsoState {
 
 #[derive(Debug, Clone)]
 enum PsoMove {
-    Start { thread: usize },
-    Act { thread: usize, action: Action, next: ThreadConfig },
-    Flush { thread: usize, loc: Loc },
+    Start {
+        thread: usize,
+    },
+    Act {
+        thread: usize,
+        action: Action,
+        next: ThreadConfig,
+    },
+    Flush {
+        thread: usize,
+        loc: Loc,
+    },
 }
 
 impl<'p> PsoExplorer<'p> {
@@ -100,7 +109,9 @@ impl<'p> PsoExplorer<'p> {
         let Step::Emit(succ) = at_emit.step(&Domain::from_values([v])) else {
             unreachable!("closure stopped at an emitting statement")
         };
-        succ.into_iter().find(|(a, _)| a.value() == Some(v)).expect("domain contains v")
+        succ.into_iter()
+            .find(|(a, _)| a.value() == Some(v))
+            .expect("domain contains v")
     }
 
     fn moves(&self, state: &PsoState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PsoMove> {
@@ -122,30 +133,48 @@ impl<'p> PsoExplorer<'p> {
                 *truncated = true;
                 continue;
             };
-            let Step::Emit(successors) = step else { continue };
+            let Step::Emit(successors) = step else {
+                continue;
+            };
             let (first_action, _) = &successors[0];
             match *first_action {
                 Action::Read { loc, .. } if !loc.is_volatile() => {
                     let v = Self::read_value(state, k, loc);
                     let (a, next) = Self::resolved_read(cfg, v, opts);
-                    out.push(PsoMove::Act { thread: k, action: a, next });
+                    out.push(PsoMove::Act {
+                        thread: k,
+                        action: a,
+                        next,
+                    });
                 }
                 Action::Read { loc, .. } => {
                     if Self::buffers_empty(state, k) {
                         let v = state.memory.get(&loc).copied().unwrap_or(Value::ZERO);
                         let (a, next) = Self::resolved_read(cfg, v, opts);
-                        out.push(PsoMove::Act { thread: k, action: a, next });
+                        out.push(PsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Write { loc, .. } if loc.is_volatile() => {
                     if Self::buffers_empty(state, k) {
                         let (a, next) = successors.into_iter().next().expect("one");
-                        out.push(PsoMove::Act { thread: k, action: a, next });
+                        out.push(PsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Write { .. } | Action::External(_) => {
                     let (a, next) = successors.into_iter().next().expect("one");
-                    out.push(PsoMove::Act { thread: k, action: a, next });
+                    out.push(PsoMove::Act {
+                        thread: k,
+                        action: a,
+                        next,
+                    });
                 }
                 Action::Lock(m) => {
                     let free = match state.holders.get(&m) {
@@ -154,13 +183,21 @@ impl<'p> PsoExplorer<'p> {
                     };
                     if free && Self::buffers_empty(state, k) {
                         let (a, next) = successors.into_iter().next().expect("one");
-                        out.push(PsoMove::Act { thread: k, action: a, next });
+                        out.push(PsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Unlock(_) => {
                     if Self::buffers_empty(state, k) {
                         let (a, next) = successors.into_iter().next().expect("one");
-                        out.push(PsoMove::Act { thread: k, action: a, next });
+                        out.push(PsoMove::Act {
+                            thread: k,
+                            action: a,
+                            next,
+                        });
                     }
                 }
                 Action::Start(_) => unreachable!("start is not emitted by thread bodies"),
@@ -187,10 +224,17 @@ impl<'p> PsoExplorer<'p> {
                     }
                 }
             }
-            PsoMove::Act { thread, action, next: cfg } => {
+            PsoMove::Act {
+                thread,
+                action,
+                next: cfg,
+            } => {
                 match *action {
                     Action::Write { loc, value } if !loc.is_volatile() => {
-                        next.buffers[*thread].entry(loc).or_default().push_back(value);
+                        next.buffers[*thread]
+                            .entry(loc)
+                            .or_default()
+                            .push_back(value);
                     }
                     Action::Write { loc, value } => {
                         next.memory.insert(loc, value);
@@ -198,15 +242,16 @@ impl<'p> PsoExplorer<'p> {
                     Action::Lock(m) => {
                         next.holders.insert(m, *thread);
                     }
-                    Action::Unlock(m) => {
-                        if cfg.monitor_nesting(m) == 0 {
-                            next.holders.remove(&m);
-                        }
+                    Action::Unlock(m) if cfg.monitor_nesting(m) == 0 => {
+                        next.holders.remove(&m);
                     }
                     _ => {}
                 }
-                next.threads[*thread] =
-                    Some(if cfg.is_done() { ThreadConfig::new(vec![]) } else { cfg.clone() });
+                next.threads[*thread] = Some(if cfg.is_done() {
+                    ThreadConfig::new(vec![])
+                } else {
+                    cfg.clone()
+                });
             }
         }
         next
@@ -223,7 +268,10 @@ impl<'p> PsoExplorer<'p> {
             usize::MAX
         };
         let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
-        Bounded { value: (*set).clone(), complete: !truncated }
+        Bounded {
+            value: (*set).clone(),
+            complete: !truncated,
+        }
     }
 
     fn suffixes(
@@ -253,9 +301,12 @@ impl<'p> PsoExplorer<'p> {
                     _ if fuel == usize::MAX => usize::MAX,
                     _ => fuel - 1,
                 };
-                let tail =
-                    self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
-                if let PsoMove::Act { action: Action::External(v), .. } = mv {
+                let tail = self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
+                if let PsoMove::Act {
+                    action: Action::External(v),
+                    ..
+                } = mv
+                {
                     for suffix in tail.iter() {
                         let mut b = Vec::with_capacity(suffix.len() + 1);
                         b.push(v);
@@ -352,14 +403,15 @@ mod tests {
 
     #[test]
     fn mp_breaks_under_pso_and_is_explained() {
-        let p = parse_program(
-            "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;",
-        )
-        .unwrap()
-        .program;
+        let p = parse_program("x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;")
+            .unwrap()
+            .program;
         let opts = ExploreOptions::default();
         let stale = vec![v(1), v(0)];
-        assert!(!TsoExplorer::new(&p).behaviours(&opts).value.contains(&stale));
+        assert!(!TsoExplorer::new(&p)
+            .behaviours(&opts)
+            .value
+            .contains(&stale));
         let e = explain_pso(&p, 3, &opts);
         assert!(e.complete);
         assert!(e.relaxed, "PSO reorders the two stores");
@@ -377,7 +429,10 @@ mod tests {
         .program;
         let opts = ExploreOptions::default();
         let pso = PsoExplorer::new(&p).behaviours(&opts).value;
-        assert!(!pso.contains(&vec![v(0)]), "fenced flag keeps the data visible");
+        assert!(
+            !pso.contains(&vec![v(0)]),
+            "fenced flag keeps the data visible"
+        );
     }
 
     #[test]
@@ -389,7 +444,11 @@ mod tests {
         ] {
             let p = parse_program(src).unwrap().program;
             let e = explain_pso(&p, 3, &ExploreOptions::default());
-            assert!(e.explained, "{src}: pso={:?} union={:?}", e.pso, e.closure_union);
+            assert!(
+                e.explained,
+                "{src}: pso={:?} union={:?}",
+                e.pso, e.closure_union
+            );
         }
     }
 }

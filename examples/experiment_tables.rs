@@ -37,7 +37,9 @@ fn main() {
         let execs = if extraction.truncated {
             "≥bound".to_string()
         } else {
-            Explorer::new(&extraction.traceset).count_maximal_executions().to_string()
+            Explorer::new(&extraction.traceset)
+                .count_maximal_executions()
+                .to_string()
         };
         println!(
             "{:<24} {:>6} {:>8} {:>12} {:>11} {:>5}",
@@ -51,7 +53,9 @@ fn main() {
     }
 
     println!("\nTable B — traceset size vs. read-value domain (|domain|^reads growth)");
-    let p = parse_program("r1 := x; r2 := y; r3 := x; print r3;").unwrap().program;
+    let p = parse_program("r1 := x; r2 := y; r3 := x; print r3;")
+        .unwrap()
+        .program;
     println!("{:>8} {:>14}", "|domain|", "member traces");
     for max in [0u32, 1, 2, 4, 8] {
         let d = Domain::zero_to(max);

@@ -38,10 +38,12 @@ fn main() {
         }
         assert!(sc.value.is_subset(&tso.value), "{}: SC ⊄ TSO", l.name);
         assert!(tso.value.is_subset(&pso.value), "{}: TSO ⊄ PSO", l.name);
-        let tso_only: Vec<String> =
-            tso.value.difference(&sc.value).map(|b| render(b)).collect();
-        let pso_only: Vec<String> =
-            pso.value.difference(&tso.value).map(|b| render(b)).collect();
+        let tso_only: Vec<String> = tso.value.difference(&sc.value).map(|b| render(b)).collect();
+        let pso_only: Vec<String> = pso
+            .value
+            .difference(&tso.value)
+            .map(|b| render(b))
+            .collect();
         let mut notes = String::new();
         if !tso_only.is_empty() {
             notes.push_str(&format!("TSO+: {} ", tso_only.join(" ")));

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example oota_demo`.
 
-use transafety::checker::{no_thin_air, CheckOptions, OotaVerdict};
+use transafety::checker::{no_thin_air, Analysis, OotaVerdict};
 use transafety::litmus::{by_name, random_program, GeneratorConfig};
 use transafety::traces::{Domain, Value};
 
@@ -16,7 +16,7 @@ fn main() {
     let program = by_name("oota").unwrap().parse().program;
     println!("program:\n{program}");
 
-    let opts = CheckOptions::with_domain(Domain::from_values([Value::new(1), Value::new(42)]));
+    let opts = Analysis::with_domain(Domain::from_values([Value::new(1), Value::new(42)]));
     let racy = !transafety::checker::is_data_race_free(&program, &opts);
     println!("racy: {racy} (the DRF guarantee is vacuous here)");
 
@@ -32,7 +32,7 @@ fn main() {
     // Scale it out: random racy programs over constants {0, 1, 2} can
     // never conjure 7, however they are transformed.
     let config = GeneratorConfig::default();
-    let opts7 = CheckOptions::with_domain(Domain::from_values([Value::new(2), Value::new(7)]));
+    let opts7 = Analysis::with_domain(Domain::from_values([Value::new(2), Value::new(7)]));
     let mut checked = 0;
     for seed in 0..25 {
         let p = random_program(seed, &config);

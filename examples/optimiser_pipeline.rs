@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example optimiser_pipeline`.
 
-use transafety::checker::{check_rewrite, drf_guarantee, CheckOptions, Correspondence};
+use transafety::checker::{check_rewrite, drf_guarantee, Analysis, Correspondence};
 use transafety::lang::{parse_program, Program, Stmt};
 use transafety::syntactic::{all_rewrites, Rewrite};
 
@@ -16,9 +16,11 @@ fn cost(p: &Program) -> usize {
         match s {
             Stmt::Load { .. } | Stmt::Store { .. } => 1,
             Stmt::Block(b) => b.iter().map(stmt_cost).sum(),
-            Stmt::If { then_branch, else_branch, .. } => {
-                stmt_cost(then_branch) + stmt_cost(else_branch)
-            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt_cost(then_branch) + stmt_cost(else_branch),
             Stmt::While { body, .. } => stmt_cost(body),
             _ => 0,
         }
@@ -36,7 +38,9 @@ fn pick_step(p: &Program) -> Option<Rewrite> {
     }
     // otherwise look one step ahead through a reordering
     rewrites.into_iter().find(|rw| {
-        all_rewrites(&rw.result).iter().any(|next| cost(&next.result) < cost(p))
+        all_rewrites(&rw.result)
+            .iter()
+            .any(|next| cost(&next.result) < cost(p))
     })
 }
 
@@ -57,8 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lock m; shared := 1; unlock m;
     ";
     let original = parse_program(src)?.program;
-    let opts = CheckOptions::default();
-    println!("original ({} memory accesses):\n{original}", cost(&original));
+    let opts = Analysis::new();
+    println!(
+        "original ({} memory accesses):\n{original}",
+        cost(&original)
+    );
 
     assert!(
         transafety::checker::is_data_race_free(&original, &opts),
@@ -89,8 +96,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\noptimised ({} memory accesses):\n{current}", cost(&current));
-    assert!(cost(&current) < cost(&original), "the pipeline made progress");
+    println!(
+        "\noptimised ({} memory accesses):\n{current}",
+        cost(&current)
+    );
+    assert!(
+        cost(&current) < cost(&original),
+        "the pipeline made progress"
+    );
 
     // The observable behaviours are identical (not merely refined) here:
     let b0 = transafety::checker::behaviours(&original, &opts);

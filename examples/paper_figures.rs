@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example paper_figures`.
 
-use transafety::checker::{behaviours, CheckOptions};
+use transafety::checker::{behaviours, Analysis};
 use transafety::interleaving::{Event, Interleaving};
 use transafety::lang::{extract_traceset, ExtractOptions};
 use transafety::litmus::{by_name, parse_pair};
@@ -22,7 +22,7 @@ fn check(name: &str, claim: &str, holds: bool) {
     assert!(holds, "{name}: {claim}");
 }
 
-fn behaviours_of(name: &str, opts: &CheckOptions) -> transafety::interleaving::Behaviours {
+fn behaviours_of(name: &str, opts: &Analysis) -> transafety::interleaving::Behaviours {
     let p = by_name(name).unwrap().parse().program;
     let b = behaviours(&p, opts);
     assert!(b.complete, "{name} exploration truncated");
@@ -30,18 +30,30 @@ fn behaviours_of(name: &str, opts: &CheckOptions) -> transafety::interleaving::B
 }
 
 fn main() {
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
 
     println!("E1 — §1 introduction example");
     let b = behaviours_of("intro-original", &opts);
-    check("E1", "the original cannot print 1 under SC", !b.contains(&vec![v(1)]));
+    check(
+        "E1",
+        "the original cannot print 1 under SC",
+        !b.contains(&vec![v(1)]),
+    );
     let bt = behaviours_of("intro-constant-propagated", &opts);
-    check("E1", "the constant-propagated program can print 1", bt.contains(&vec![v(1)]));
+    check(
+        "E1",
+        "the constant-propagated program can print 1",
+        bt.contains(&vec![v(1)]),
+    );
     let racy = !transafety::checker::is_data_race_free(
         &by_name("intro-original").unwrap().parse().program,
         &opts,
     );
-    check("E1", "the original has data races (guarantee vacuous)", racy);
+    check(
+        "E1",
+        "the original has data races (guarantee vacuous)",
+        racy,
+    );
     let drf = transafety::checker::is_data_race_free(
         &by_name("intro-volatile").unwrap().parse().program,
         &opts,
@@ -52,8 +64,16 @@ fn main() {
     let bo = behaviours_of("fig1-original", &opts);
     let bt = behaviours_of("fig1-transformed", &opts);
     let one_zero = vec![v(1), v(0)];
-    check("E2", "the original cannot output 1 then 0", !bo.contains(&one_zero));
-    check("E2", "the transformed program can output 1 then 0", bt.contains(&one_zero));
+    check(
+        "E2",
+        "the original cannot output 1 then 0",
+        !bo.contains(&one_zero),
+    );
+    check(
+        "E2",
+        "the transformed program can output 1 then 0",
+        bt.contains(&one_zero),
+    );
     if let Some(schedule) = transafety::checker::execution_with_behaviour(
         &by_name("fig1-transformed").unwrap().parse().program,
         &one_zero,
@@ -71,15 +91,28 @@ fn main() {
     check(
         "E2",
         "[transformed] is a semantic elimination of [original]",
-        is_elimination_of(&tt.traceset, &to.traceset, &d, &EliminationOptions::default())
-            .is_ok(),
+        is_elimination_of(
+            &tt.traceset,
+            &to.traceset,
+            &d,
+            &EliminationOptions::default(),
+        )
+        .is_ok(),
     );
 
     println!("E3 — Fig. 2 reordering example");
     let bo = behaviours_of("fig2-original", &opts);
     let bt = behaviours_of("fig2-transformed", &opts);
-    check("E3", "the original cannot print 1", !bo.contains(&vec![v(1)]));
-    check("E3", "the transformed program can print 1", bt.contains(&vec![v(1)]));
+    check(
+        "E3",
+        "the original cannot print 1",
+        !bo.contains(&vec![v(1)]),
+    );
+    check(
+        "E3",
+        "the transformed program can print 1",
+        bt.contains(&vec![v(1)]),
+    );
     let d = Domain::zero_to(1);
     let (fig2o, fig2t) = parse_pair("fig2-original", "fig2-transformed");
     let to = extract_traceset(&fig2o.program, &d, &ex);
@@ -87,8 +120,13 @@ fn main() {
     check(
         "E3",
         "[transformed] is a reordering of an elimination of [original] (§4 worked example)",
-        is_elim_reordering_of(&tt.traceset, &to.traceset, &d, &EliminationOptions::default())
-            .is_ok(),
+        is_elim_reordering_of(
+            &tt.traceset,
+            &to.traceset,
+            &d,
+            &EliminationOptions::default(),
+        )
+        .is_ok(),
     );
 
     println!("E4 — Fig. 3 irrelevant read introduction");
@@ -96,7 +134,11 @@ fn main() {
     let bc = behaviours_of("fig3-c", &opts);
     let two_zeros = vec![v(0), v(0)];
     check("E4", "(a) cannot print two zeros", !ba.contains(&two_zeros));
-    check("E4", "(c) can print two zeros — the DRF guarantee is broken", bc.contains(&two_zeros));
+    check(
+        "E4",
+        "(c) can print two zeros — the DRF guarantee is broken",
+        bc.contains(&two_zeros),
+    );
     check(
         "E4",
         "(a) is data race free",
@@ -110,8 +152,13 @@ fn main() {
     check(
         "E4",
         "(b) → (c) is a valid semantic elimination",
-        is_elimination_of(&tc.traceset, &tb.traceset, &d, &EliminationOptions::default())
-            .is_ok(),
+        is_elimination_of(
+            &tc.traceset,
+            &tb.traceset,
+            &d,
+            &EliminationOptions::default(),
+        )
+        .is_ok(),
     );
     let (_, fig3b_shared_with_a) = parse_pair("fig3-a", "fig3-b");
     let ta = extract_traceset(&by_name("fig3-a").unwrap().parse().program, &d, &ex);
@@ -119,8 +166,13 @@ fn main() {
     check(
         "E4",
         "(a) → (b) (read introduction) is NOT an elimination of (a)",
-        is_elimination_of(&tb_a.traceset, &ta.traceset, &d, &EliminationOptions::default())
-            .is_err(),
+        is_elimination_of(
+            &tb_a.traceset,
+            &ta.traceset,
+            &d,
+            &EliminationOptions::default(),
+        )
+        .is_err(),
     );
 
     println!("E5 — Fig. 4 de-permutation walkthrough");
@@ -132,9 +184,11 @@ fn main() {
         Action::external(v(1)),
     ]);
     let f = ReorderingFn::new(vec![0, 2, 1, 3]).unwrap();
-    check("E5", "f = {0↦0, 1↦2, 2↦1, 3↦3} is a reordering function", {
-        f.is_reordering_function_for(&t_prime)
-    });
+    check(
+        "E5",
+        "f = {0↦0, 1↦2, 2↦1, 3↦3} is a reordering function",
+        f.is_reordering_function_for(&t_prime),
+    );
     for n in 0..=4 {
         let p = de_permute_prefix(&t_prime, &f, n);
         println!("    n = {n}: {p}");
@@ -154,8 +208,18 @@ fn main() {
     println!("E6 — Fig. 5 unelimination construction (Lemma 1)");
     let d = Domain::zero_to(1);
     let original = extract_traceset(&by_name("fig5-volatile").unwrap().parse().program, &d, &ex);
-    let vol = by_name("fig5-volatile").unwrap().parse().symbols.loc("v").unwrap();
-    let yloc = by_name("fig5-volatile").unwrap().parse().symbols.loc("y").unwrap();
+    let vol = by_name("fig5-volatile")
+        .unwrap()
+        .parse()
+        .symbols
+        .loc("v")
+        .unwrap();
+    let yloc = by_name("fig5-volatile")
+        .unwrap()
+        .parse()
+        .symbols
+        .loc("y")
+        .unwrap();
     let i_prime = Interleaving::from_events([
         Event::new(ThreadId::new(0), Action::start(ThreadId::new(0))),
         Event::new(ThreadId::new(1), Action::start(ThreadId::new(1))),
@@ -163,12 +227,21 @@ fn main() {
         Event::new(ThreadId::new(1), Action::read(vol, v(0))),
         Event::new(ThreadId::new(1), Action::external(v(0))),
     ]);
-    let w = find_unelimination(&i_prime, &original.traceset, &d, &EliminationOptions::default())
-        .expect("Lemma 1 construction");
+    let w = find_unelimination(
+        &i_prime,
+        &original.traceset,
+        &d,
+        &EliminationOptions::default(),
+    )
+    .expect("Lemma 1 construction");
     println!("    I' = {i_prime}");
     println!("    I  = {}", w.wild);
     println!("    f  = {}", w.matching);
-    check("E6", "the unelimination satisfies conditions (i)–(iv)", w.check(&i_prime));
+    check(
+        "E6",
+        "the unelimination satisfies conditions (i)–(iv)",
+        w.check(&i_prime),
+    );
     check(
         "E6",
         "f moves the write of y to the last position (as in Fig. 5)",

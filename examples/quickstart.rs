@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use transafety::checker::{
-    check_rewrite, drf_guarantee, CheckOptions, Correspondence, DrfVerdict,
-};
+use transafety::checker::{check_rewrite, drf_guarantee, Analysis, Correspondence, DrfVerdict};
 use transafety::lang::parse_program;
 use transafety::syntactic::all_rewrites;
 
@@ -22,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lock m; r1 := x; r2 := x; print r2; unlock m;
     ";
     let original = parse_program(src)?.program;
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
 
     println!("original program:\n{original}");
 
@@ -52,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Pick one elimination and show the optimised program.
     if let Some(rw) = rewrites.iter().find(|r| r.rule.is_elimination()) {
         println!("\nafter {}:\n{}", rw.rule, rw.result);
-        assert_eq!(drf_guarantee(&rw.result, &original, &opts), DrfVerdict::Holds);
+        assert_eq!(
+            drf_guarantee(&rw.result, &original, &opts),
+            DrfVerdict::Holds
+        );
     }
     Ok(())
 }

@@ -9,11 +9,11 @@
 //!
 //! Run with `cargo run --example sc_compiler_baseline`.
 
-use transafety::checker::{delay_stats, CheckOptions};
+use transafety::checker::{delay_stats, Analysis};
 use transafety::litmus::corpus;
 
 fn main() {
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     println!(
         "{:<24} {:>6} {:>8} {:>8} {:>9}",
         "program", "pairs", "DRF-ok", "SC-ok", "DRF-only"
@@ -42,7 +42,10 @@ fn main() {
         total_only > 0,
         "the DRF contract must license reorderings the SC baseline forbids"
     );
-    assert!(total_drf >= total_sc, "on this corpus the DRF contract is never more restrictive");
+    assert!(
+        total_drf >= total_sc,
+        "on this corpus the DRF contract is never more restrictive"
+    );
     println!(
         "\nThe DRF contract licenses {total_drf}/{total_pairs} adjacent reorderings; \
          an SC-preserving compiler only {total_sc}/{total_pairs}. \

@@ -61,7 +61,12 @@ fn main() {
         "litmus", "#PSO", "relaxed", "explained"
     );
     for name in ["sb", "mp", "lb", "corr", "overwritten-store"] {
-        let p = corpus().into_iter().find(|l| l.name == name).unwrap().parse().program;
+        let p = corpus()
+            .into_iter()
+            .find(|l| l.name == name)
+            .unwrap()
+            .parse()
+            .program;
         let e = explain_pso(&p, 3, &opts);
         println!(
             "{:<24} {:>4} {:>8} {:>10}",

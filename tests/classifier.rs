@@ -3,14 +3,14 @@
 //! class, and the classifier must place known-unsafe transformations
 //! outside them.
 
-use transafety::checker::{classify_transformation, CheckOptions, TransformationClass};
+use transafety::checker::{classify_transformation, Analysis, TransformationClass};
 use transafety::lang::Reg;
 use transafety::litmus::{by_name, corpus};
 use transafety::syntactic::{all_rewrites, introduce_irrelevant_read};
 use transafety::traces::Domain;
 
-fn opts() -> CheckOptions {
-    CheckOptions::with_domain(Domain::zero_to(1))
+fn opts() -> Analysis {
+    Analysis::with_domain(Domain::zero_to(1))
 }
 
 #[test]

@@ -1,13 +1,13 @@
 //! Pins the corpus-level numbers recorded in `EXPERIMENTS.md` so the
 //! documented results cannot silently drift from the code.
 
-use transafety::checker::{delay_stats, CheckOptions};
+use transafety::checker::{delay_stats, Analysis};
 use transafety::litmus::corpus;
 
 /// E13: the DRF-vs-SC-baseline totals over the corpus.
 #[test]
 fn e13_totals_match_experiments_md() {
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     let mut pairs = 0;
     let mut drf = 0;
     let mut sc = 0;

@@ -1,7 +1,7 @@
 //! Integration tests: the figure-level claims of the paper (experiments
 //! E1–E7 of `DESIGN.md`), asserted end-to-end across the crates.
 
-use transafety::checker::{behaviours, is_data_race_free, CheckOptions};
+use transafety::checker::{behaviours, is_data_race_free, Analysis};
 use transafety::interleaving::Behaviours;
 use transafety::lang::{extract_traceset, ExtractOptions};
 use transafety::litmus::{by_name, parse_pair};
@@ -16,7 +16,7 @@ fn v(n: u32) -> Value {
 
 fn behaviours_of(name: &str) -> Behaviours {
     let p = by_name(name).unwrap().parse().program;
-    let b = behaviours(&p, &CheckOptions::default());
+    let b = behaviours(&p, &Analysis::new());
     assert!(b.complete, "{name} truncated");
     b.value
 }
@@ -25,9 +25,15 @@ fn behaviours_of(name: &str) -> Behaviours {
 fn e1_intro_example() {
     assert!(!behaviours_of("intro-original").contains(&vec![v(1)]));
     assert!(behaviours_of("intro-constant-propagated").contains(&vec![v(1)]));
-    let opts = CheckOptions::default();
-    assert!(!is_data_race_free(&by_name("intro-original").unwrap().parse().program, &opts));
-    assert!(is_data_race_free(&by_name("intro-volatile").unwrap().parse().program, &opts));
+    let opts = Analysis::new();
+    assert!(!is_data_race_free(
+        &by_name("intro-original").unwrap().parse().program,
+        &opts
+    ));
+    assert!(is_data_race_free(
+        &by_name("intro-volatile").unwrap().parse().program,
+        &opts
+    ));
 }
 
 #[test]
@@ -41,8 +47,13 @@ fn e2_fig1_elimination() {
     let to = extract_traceset(&o.program, &d, &ex);
     let tt = extract_traceset(&t.program, &d, &ex);
     assert!(!to.truncated && !tt.truncated);
-    is_elimination_of(&tt.traceset, &to.traceset, &d, &EliminationOptions::default())
-        .expect("Fig. 1 is a semantic elimination");
+    is_elimination_of(
+        &tt.traceset,
+        &to.traceset,
+        &d,
+        &EliminationOptions::default(),
+    )
+    .expect("Fig. 1 is a semantic elimination");
 }
 
 #[test]
@@ -54,21 +65,32 @@ fn e3_fig2_reordering() {
     let ex = ExtractOptions::default();
     let to = extract_traceset(&o.program, &d, &ex);
     let tt = extract_traceset(&t.program, &d, &ex);
-    is_elim_reordering_of(&tt.traceset, &to.traceset, &d, &EliminationOptions::default())
-        .expect("Fig. 2 is a reordering of an elimination");
+    is_elim_reordering_of(
+        &tt.traceset,
+        &to.traceset,
+        &d,
+        &EliminationOptions::default(),
+    )
+    .expect("Fig. 2 is a reordering of an elimination");
     // …and NOT a plain elimination (the write moved before the read)
-    assert!(
-        is_elimination_of(&tt.traceset, &to.traceset, &d, &EliminationOptions::default())
-            .is_err()
-    );
+    assert!(is_elimination_of(
+        &tt.traceset,
+        &to.traceset,
+        &d,
+        &EliminationOptions::default()
+    )
+    .is_err());
 }
 
 #[test]
 fn e4_fig3_read_introduction_breaks_drf_guarantee() {
     let two_zeros = vec![v(0), v(0)];
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     // (a): DRF, cannot print two zeros.
-    assert!(is_data_race_free(&by_name("fig3-a").unwrap().parse().program, &opts));
+    assert!(is_data_race_free(
+        &by_name("fig3-a").unwrap().parse().program,
+        &opts
+    ));
     assert!(!behaviours_of("fig3-a").contains(&two_zeros));
     // (c): prints two zeros even on SC hardware.
     assert!(behaviours_of("fig3-c").contains(&two_zeros));
@@ -96,11 +118,10 @@ fn e4_fig3_behaviour_comparison_via_introduced_read() {
     let a = by_name("fig3-a").unwrap().parse();
     let x = a.symbols.loc("x").unwrap();
     let y = a.symbols.loc("y").unwrap();
-    let with_read_t0 =
-        introduce_irrelevant_read(&a.program, 0, 0, y, Reg::new(501)).unwrap();
+    let with_read_t0 = introduce_irrelevant_read(&a.program, 0, 0, y, Reg::new(501)).unwrap();
     let b = introduce_irrelevant_read(&with_read_t0, 1, 0, x, Reg::new(502)).unwrap();
     // (b) has the same behaviours as (a) on SC…
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     let ba = behaviours(&a.program, &opts).value;
     let bb = behaviours(&b, &opts).value;
     assert_eq!(ba, bb, "introduced irrelevant reads are SC-invisible");
@@ -129,8 +150,13 @@ fn fig5_transformed_is_elimination_of_original() {
     let ex = ExtractOptions::default();
     let to = extract_traceset(&o.program, &d, &ex);
     let tt = extract_traceset(&t.program, &d, &ex);
-    is_elimination_of(&tt.traceset, &to.traceset, &d, &EliminationOptions::default())
-        .expect("dropping the last release and the irrelevant read is an elimination");
+    is_elimination_of(
+        &tt.traceset,
+        &to.traceset,
+        &d,
+        &EliminationOptions::default(),
+    )
+    .expect("dropping the last release and the irrelevant read is an elimination");
 }
 
 #[test]
@@ -148,8 +174,13 @@ fn section4_worked_example_elimination() {
     let to = extract_traceset(&o.program, &d, &ex);
     let tt = extract_traceset(&t.program, &d, &ex);
     assert!(!to.truncated && !tt.truncated);
-    is_elimination_of(&tt.traceset, &to.traceset, &d, &EliminationOptions::default())
-        .expect("the §4 worked example");
+    is_elimination_of(
+        &tt.traceset,
+        &to.traceset,
+        &d,
+        &EliminationOptions::default(),
+    )
+    .expect("the §4 worked example");
 }
 
 #[test]

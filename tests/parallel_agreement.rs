@@ -1,0 +1,121 @@
+//! Determinism of the parallel exploration engine: for every program in
+//! the built-in litmus corpus and every `.tsl` program shipped in
+//! `programs/`, the work-stealing drivers (`jobs >= 2`) must agree with
+//! the sequential reference driver (`jobs = 1`) on behaviours, race
+//! verdicts *and* race witnesses — bit-identically, since the parallel
+//! engine evaluates the same dynamic program over the same deduplicated
+//! state graph and reconstructs witnesses canonically.
+
+use transafety::checker::Analysis;
+use transafety::lang::{parse_program, Program, ProgramExplorer};
+use transafety::litmus::corpus;
+
+fn corpus_programs() -> Vec<(String, Program)> {
+    let mut out: Vec<(String, Program)> = corpus()
+        .iter()
+        .map(|l| (l.name.to_string(), l.parse().program))
+        .collect();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/programs");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("programs/ directory exists")
+        .map(|e| e.expect("readable directory entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tsl"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "programs/*.tsl corpus is missing");
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable program file");
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        out.push((
+            name,
+            parse_program(&src).expect("valid .tsl program").program,
+        ));
+    }
+    out
+}
+
+#[test]
+fn behaviours_agree_across_worker_counts() {
+    for (name, program) in corpus_programs() {
+        let ex = ProgramExplorer::new(&program);
+        let opts = Analysis::new();
+        let reference = ex.behaviours(&opts.explore);
+        for jobs in [2, 4, 8] {
+            let parallel = ex.behaviours_par(&opts.explore, jobs);
+            assert_eq!(
+                parallel, reference,
+                "{name}: behaviours differ between jobs=1 and jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn race_verdicts_and_witnesses_agree_across_worker_counts() {
+    for (name, program) in corpus_programs() {
+        let ex = ProgramExplorer::new(&program);
+        let opts = Analysis::new();
+        let reference = ex.race_witness(&opts.explore);
+        for jobs in [2, 4, 8] {
+            let parallel = ex.race_witness_par(&opts.explore, jobs);
+            assert_eq!(
+                parallel.is_some(),
+                reference.is_some(),
+                "{name}: race verdict differs between jobs=1 and jobs={jobs}"
+            );
+            assert_eq!(
+                parallel, reference,
+                "{name}: race witness differs between jobs=1 and jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn guarantee_verdicts_agree_across_worker_counts() {
+    use transafety::checker::drf_guarantee;
+    use transafety::syntactic::all_rewrites;
+
+    // The theorem-level check composes behaviours + race searches; run
+    // it over every safe rewrite of a few corpus programs and demand the
+    // same verdict at every worker count.
+    for name in [
+        "fig1-original",
+        "redundant-load-pair",
+        "store-forward",
+        "sb",
+        "mp-volatile",
+    ] {
+        let program = transafety::litmus::by_name(name)
+            .expect("corpus name")
+            .parse()
+            .program;
+        for rw in all_rewrites(&program) {
+            let reference = drf_guarantee(&rw.result, &program, &Analysis::new());
+            for jobs in [2, 4] {
+                let parallel = drf_guarantee(&rw.result, &program, &Analysis::new().jobs(jobs));
+                assert_eq!(
+                    parallel, reference,
+                    "{name}/{rw}: guarantee verdict differs at jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn analysis_reports_agree_across_worker_counts() {
+    for (name, program) in corpus_programs() {
+        let reference = Analysis::new().run(&program);
+        let parallel = Analysis::new().jobs(4).run(&program);
+        assert_eq!(
+            reference.behaviours, parallel.behaviours,
+            "{name}: behaviours"
+        );
+        assert_eq!(reference.race, parallel.race, "{name}: race witness");
+        assert_eq!(
+            reference.reachable_states, parallel.reachable_states,
+            "{name}: state census"
+        );
+    }
+}

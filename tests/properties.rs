@@ -1,81 +1,94 @@
-//! Property-based tests (proptest) over the core data structures and
-//! the safety theorems on randomly generated programs.
+//! Property-based tests over the core data structures and the safety
+//! theorems on randomly generated programs.
+//!
+//! The generators are driven by the repository's own deterministic
+//! [`Rng`](transafety::litmus::Rng) (one seed per case, so failures
+//! reproduce exactly); the offline build environment has no external
+//! property-testing dependency.
 
-use proptest::prelude::*;
-
-use transafety::checker::{drf_guarantee, CheckOptions, DrfVerdict};
+use transafety::checker::{drf_guarantee, Analysis, DrfVerdict};
 use transafety::interleaving::Explorer;
 use transafety::lang::{extract_traceset, ExtractOptions};
-use transafety::litmus::{random_program, GeneratorConfig};
+use transafety::litmus::{random_program, GeneratorConfig, Rng};
 use transafety::syntactic::all_rewrites;
 use transafety::traces::{
-    Action, Domain, Loc, Matching, Monitor, ThreadId, Trace, Traceset, Value, WildAction,
-    WildTrace,
+    Action, Domain, Loc, Matching, Monitor, ThreadId, Trace, Traceset, Value, WildAction, WildTrace,
 };
-use transafety::transform::{
-    de_permute, eliminable_kinds, reorderable, ReorderingFn,
-};
+use transafety::transform::{de_permute, eliminable_kinds, reorderable, ReorderingFn};
 
-// ---------- strategies ---------------------------------------------------
+// ---------- generators ----------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    (0u32..4).prop_map(Value::new)
+fn arb_value(r: &mut Rng) -> Value {
+    Value::new(r.gen_range_u32(0, 4))
 }
 
-fn arb_loc() -> impl Strategy<Value = Loc> {
-    prop_oneof![
-        (0u32..3).prop_map(Loc::normal),
-        (0u32..2).prop_map(Loc::volatile),
-    ]
+fn arb_loc(r: &mut Rng) -> Loc {
+    if r.gen_bool(0.6) {
+        Loc::normal(r.gen_range_u32(0, 3))
+    } else {
+        Loc::volatile(r.gen_range_u32(0, 2))
+    }
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (arb_loc(), arb_value()).prop_map(|(l, v)| Action::read(l, v)),
-        (arb_loc(), arb_value()).prop_map(|(l, v)| Action::write(l, v)),
-        (0u32..2).prop_map(|m| Action::lock(Monitor::new(m))),
-        (0u32..2).prop_map(|m| Action::unlock(Monitor::new(m))),
-        arb_value().prop_map(Action::external),
-    ]
+fn arb_action(r: &mut Rng) -> Action {
+    match r.gen_range_u32(0, 5) {
+        0 => {
+            let (l, v) = (arb_loc(r), arb_value(r));
+            Action::read(l, v)
+        }
+        1 => {
+            let (l, v) = (arb_loc(r), arb_value(r));
+            Action::write(l, v)
+        }
+        2 => Action::lock(Monitor::new(r.gen_range_u32(0, 2))),
+        3 => Action::unlock(Monitor::new(r.gen_range_u32(0, 2))),
+        _ => Action::external(arb_value(r)),
+    }
 }
 
 /// A well-formed trace: starts with `S(0)`, balanced locks by
-/// construction (locks get matching unlocks appended).
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    proptest::collection::vec(arb_action(), 0..6).prop_map(|actions| {
-        let mut t = Trace::from_actions([Action::start(ThreadId::new(0))]);
-        let mut depth: std::collections::BTreeMap<Monitor, i64> = Default::default();
-        for a in actions {
-            match a {
-                Action::Unlock(m) if depth.get(&m).copied().unwrap_or(0) == 0 => {
-                    // would unbalance: replace by a lock
-                    *depth.entry(m).or_insert(0) += 1;
-                    t.push(Action::lock(m));
-                }
-                Action::Lock(m) => {
-                    *depth.entry(m).or_insert(0) += 1;
-                    t.push(a);
-                }
-                Action::Unlock(m) => {
-                    *depth.entry(m).or_insert(0) -= 1;
-                    t.push(a);
-                }
-                _ => t.push(a),
+/// construction (unbalancing unlocks are flipped into locks).
+fn arb_trace(r: &mut Rng) -> Trace {
+    let n = r.gen_range_usize(0, 6);
+    let mut t = Trace::from_actions([Action::start(ThreadId::new(0))]);
+    let mut depth: std::collections::BTreeMap<Monitor, i64> = Default::default();
+    for _ in 0..n {
+        let a = arb_action(r);
+        match a {
+            Action::Unlock(m) if depth.get(&m).copied().unwrap_or(0) == 0 => {
+                *depth.entry(m).or_insert(0) += 1;
+                t.push(Action::lock(m));
             }
+            Action::Lock(m) => {
+                *depth.entry(m).or_insert(0) += 1;
+                t.push(a);
+            }
+            Action::Unlock(m) => {
+                *depth.entry(m).or_insert(0) -= 1;
+                t.push(a);
+            }
+            _ => t.push(a),
         }
-        t
-    })
+    }
+    t
+}
+
+fn arb_traces(r: &mut Rng, lo: usize, hi: usize) -> Vec<Trace> {
+    let n = r.gen_range_usize(lo, hi);
+    (0..n).map(|_| arb_trace(r)).collect()
 }
 
 // ---------- traceset invariants ------------------------------------------
 
-proptest! {
-    #[test]
-    fn traceset_is_prefix_closed(traces in proptest::collection::vec(arb_trace(), 1..5)) {
+#[test]
+fn traceset_is_prefix_closed() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let traces = arb_traces(&mut r, 1, 5);
         let ts = Traceset::from_traces(traces.clone()).unwrap();
         for t in &traces {
             for n in 0..=t.len() {
-                prop_assert!(ts.contains(&t.prefix(n)));
+                assert!(ts.contains(&t.prefix(n)), "case {case}");
             }
         }
         // the member count equals the number of distinct prefixes
@@ -85,228 +98,282 @@ proptest! {
             .collect();
         all.sort();
         all.dedup();
-        prop_assert_eq!(all.len(), ts.member_count());
+        assert_eq!(all.len(), ts.member_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn traceset_iteration_roundtrips(traces in proptest::collection::vec(arb_trace(), 1..4)) {
+#[test]
+fn traceset_iteration_roundtrips() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let traces = arb_traces(&mut r, 1, 4);
         let ts = Traceset::from_traces(traces).unwrap();
         let rebuilt = Traceset::from_traces(ts.maximal_traces()).unwrap();
-        prop_assert_eq!(rebuilt, ts);
+        assert_eq!(rebuilt, ts, "case {case}");
     }
+}
 
-    #[test]
-    fn wildcard_instances_are_instances(t in arb_trace()) {
+#[test]
+fn wildcard_instances_are_instances() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let t = arb_trace(&mut r);
         // blank out every non-volatile read
         let wt: WildTrace = t
             .iter()
             .map(|a| match a {
-                Action::Read { loc, .. } if !loc.is_volatile() => {
-                    WildAction::wildcard_read(*loc)
-                }
+                Action::Read { loc, .. } if !loc.is_volatile() => WildAction::wildcard_read(*loc),
                 other => WildAction::from(*other),
             })
             .collect();
         let d = Domain::zero_to(2);
         for inst in wt.instances(&d).take(64) {
-            prop_assert!(wt.is_instance(&inst));
-            prop_assert_eq!(inst.len(), wt.len());
+            assert!(wt.is_instance(&inst), "case {case}");
+            assert_eq!(inst.len(), wt.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn belongs_to_iff_all_instances_members(t in arb_trace()) {
+#[test]
+fn belongs_to_iff_all_instances_members() {
+    for case in 0..48u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let t = arb_trace(&mut r);
         let d = Domain::zero_to(1);
         let wt: WildTrace = t
             .iter()
             .map(|a| match a {
-                Action::Read { loc, .. } if !loc.is_volatile() => {
-                    WildAction::wildcard_read(*loc)
-                }
+                Action::Read { loc, .. } if !loc.is_volatile() => WildAction::wildcard_read(*loc),
                 other => WildAction::from(*other),
             })
             .collect();
         // traceset built from all instances => belongs-to holds
         let all: Vec<Trace> = wt.instances(&d).collect();
         let ts = Traceset::from_traces(all.clone()).unwrap();
-        prop_assert!(ts.belongs_to(&wt, &d));
+        assert!(ts.belongs_to(&wt, &d), "case {case}");
         // removing one maximal instance breaks it (if there was a wildcard)
         if all.len() > 1 {
             let ts2 = Traceset::from_traces(all[1..].to_vec()).unwrap();
-            prop_assert!(!ts2.belongs_to(&wt, &d));
+            assert!(!ts2.belongs_to(&wt, &d), "case {case}");
         }
     }
 }
 
 // ---------- matching / reordering function laws ---------------------------
 
-proptest! {
-    #[test]
-    fn matching_compose_inverse_is_identity(pairs in proptest::collection::btree_map(0usize..8, 0usize..8, 0..6)) {
-        // btree_map gives a function; make it injective by keeping the
-        // first occurrence of each target
+#[test]
+fn matching_compose_inverse_is_identity() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let n = r.gen_range_usize(0, 6);
+        // a random injective partial map on 0..8
         let mut seen = std::collections::BTreeSet::new();
         let mut m = Matching::new();
-        for (k, v) in pairs {
-            if seen.insert(v) {
+        for _ in 0..n {
+            let (k, v) = (r.gen_range_usize(0, 8), r.gen_range_usize(0, 8));
+            if m.get(k).is_none() && seen.insert(v) {
                 m.insert(k, v).unwrap();
             }
         }
         let id = m.compose(&m.inverse());
         for (a, b) in id.iter() {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
-        prop_assert_eq!(id.len(), m.len());
+        assert_eq!(id.len(), m.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn identity_always_de_permutes(t in arb_trace()) {
+#[test]
+fn identity_always_de_permutes() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let t = arb_trace(&mut r);
         let f = ReorderingFn::identity(t.len());
-        prop_assert!(f.is_reordering_function_for(&t));
-        prop_assert_eq!(de_permute(&t, &f), t);
+        assert!(f.is_reordering_function_for(&t), "case {case}");
+        assert_eq!(de_permute(&t, &f), t, "case {case}");
     }
+}
 
-    #[test]
-    fn reorderability_classes_are_respected(a in arb_action(), b in arb_action()) {
+#[test]
+fn reorderability_classes_are_respected() {
+    for case in 0..128u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let (a, b) = (arb_action(&mut r), arb_action(&mut r));
         // acquire actions never reorder with anything later
         if a.is_acquire() {
-            prop_assert!(!reorderable(&a, &b));
+            assert!(!reorderable(&a, &b), "case {case}: {a} ; {b}");
         }
         // nothing sinks below a later release except … nothing
         if b.is_release() {
-            prop_assert!(!reorderable(&a, &b) || b.is_normal_access());
+            assert!(!reorderable(&a, &b) || b.is_normal_access(), "case {case}");
         }
         // conflicting accesses never reorder
         if a.conflicts_with(&b) {
-            prop_assert!(!reorderable(&a, &b));
+            assert!(!reorderable(&a, &b), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn eliminable_kinds_only_for_eliminable(t in arb_trace(), i in 0usize..8) {
+#[test]
+fn eliminable_kinds_only_for_eliminable() {
+    for case in 0..96u64 {
+        let mut r = Rng::seed_from_u64(case);
+        let t = arb_trace(&mut r);
+        let i = r.gen_range_usize(0, 8);
         let wt = WildTrace::from_trace(&t);
         let kinds = eliminable_kinds(&wt, i);
         // start actions and acquires are never eliminable
         if let Some(a) = t.get(i) {
             if a.is_start() || a.is_acquire() {
-                prop_assert!(kinds.is_empty(), "{a} at {i} in {t}: {kinds:?}");
+                assert!(
+                    kinds.is_empty(),
+                    "case {case}: {a} at {i} in {t}: {kinds:?}"
+                );
             }
         } else {
-            prop_assert!(kinds.is_empty());
+            assert!(kinds.is_empty(), "case {case}");
         }
     }
 }
 
 // ---------- end-to-end safety on random programs --------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn safe_rewrites_respect_drf_guarantee(seed in 0u64..5000) {
+#[test]
+fn safe_rewrites_respect_drf_guarantee() {
+    let opts = Analysis::new();
+    for seed in 0..12u64 {
         let p = random_program(seed, &GeneratorConfig::drf());
-        let opts = CheckOptions::default();
         for rw in all_rewrites(&p).into_iter().take(6) {
             let verdict = drf_guarantee(&rw.result, &p, &opts);
-            prop_assert!(
+            assert!(
                 matches!(verdict, DrfVerdict::Holds | DrfVerdict::Inconclusive),
-                "seed {}: {} gave {}\n{}", seed, rw, verdict, p
+                "seed {seed}: {rw} gave {verdict}\n{p}"
             );
         }
     }
+}
 
-    #[test]
-    fn extraction_never_produces_ill_formed_traces(seed in 0u64..5000) {
+#[test]
+fn extraction_never_produces_ill_formed_traces() {
+    let ex = ExtractOptions {
+        max_actions: 8,
+        max_tau: 512,
+        ..ExtractOptions::default()
+    };
+    for seed in 0..12u64 {
         let p = random_program(seed, &GeneratorConfig::default());
         let d = Domain::zero_to(1);
-        let e = extract_traceset(&p, &d, &ExtractOptions { max_actions: 8, max_tau: 512, ..ExtractOptions::default() });
+        let e = extract_traceset(&p, &d, &ex);
         for t in e.traceset.maximal_traces() {
-            prop_assert!(t.validate().is_ok(), "{t}");
+            assert!(t.validate().is_ok(), "seed {seed}: {t}");
         }
     }
+}
 
-    #[test]
-    fn race_witnesses_from_random_programs_are_valid(seed in 0u64..5000) {
+#[test]
+fn race_witnesses_from_random_programs_are_valid() {
+    let ex = ExtractOptions {
+        max_actions: 8,
+        max_tau: 512,
+        ..ExtractOptions::default()
+    };
+    for seed in 0..12u64 {
         let p = random_program(seed, &GeneratorConfig::default());
         let d = Domain::zero_to(1);
-        let e = extract_traceset(&p, &d, &ExtractOptions { max_actions: 8, max_tau: 512, ..ExtractOptions::default() });
+        let e = extract_traceset(&p, &d, &ex);
         if e.truncated {
-            return Ok(());
+            continue;
         }
         if let Some(w) = Explorer::new(&e.traceset).race_witness() {
-            prop_assert!(w.execution.is_sequentially_consistent());
-            prop_assert!(w.execution.is_interleaving_of(&e.traceset));
+            assert!(w.execution.is_sequentially_consistent(), "seed {seed}");
+            assert!(w.execution.is_interleaving_of(&e.traceset), "seed {seed}");
         }
     }
 }
 
 // ---------- origin preservation (Lemma 2/3 instances) ---------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Lemma 2, executably: a safe rewrite cannot create an origin for a
-    /// value the original traceset has no origin for.
-    #[test]
-    fn rewrites_preserve_origin_freedom(seed in 0u64..5000) {
+/// Lemma 2, executably: a safe rewrite cannot create an origin for a
+/// value the original traceset has no origin for.
+#[test]
+fn rewrites_preserve_origin_freedom() {
+    let magic = Value::new(41);
+    let ex = ExtractOptions {
+        max_actions: 8,
+        max_tau: 512,
+        ..ExtractOptions::default()
+    };
+    let d = Domain::from_values([Value::new(2), magic]);
+    for seed in 0..10u64 {
         let p = random_program(seed, &GeneratorConfig::default());
-        let magic = Value::new(41);
-        prop_assume!(!p.mentions_constant(magic));
-        let d = Domain::from_values([Value::new(2), magic]);
-        let ex = ExtractOptions { max_actions: 8, max_tau: 512, ..ExtractOptions::default() };
+        if p.mentions_constant(magic) {
+            continue;
+        }
         let e = extract_traceset(&p, &d, &ex);
-        prop_assume!(!e.truncated);
-        prop_assert!(!e.traceset.has_origin_for(magic), "Lemma 6 on the original");
+        if e.truncated {
+            continue;
+        }
+        assert!(
+            !e.traceset.has_origin_for(magic),
+            "Lemma 6 on the original, seed {seed}"
+        );
         for rw in all_rewrites(&p).into_iter().take(5) {
             let et = extract_traceset(&rw.result, &d, &ex);
             if et.truncated {
                 continue;
             }
-            prop_assert!(
+            assert!(
                 !et.traceset.has_origin_for(magic),
-                "seed {}: rewrite created an origin\n{}", seed, rw.result
+                "seed {seed}: rewrite created an origin\n{}",
+                rw.result
             );
         }
     }
+}
 
-    /// Lemma 3, executably: origin-freedom really does keep the value out
-    /// of every behaviour.
-    #[test]
-    fn origin_freedom_excludes_value_from_behaviours(seed in 0u64..5000) {
+/// Lemma 3, executably: origin-freedom really does keep the value out
+/// of every behaviour.
+#[test]
+fn origin_freedom_excludes_value_from_behaviours() {
+    let magic = Value::new(41);
+    for seed in 0..10u64 {
         let p = random_program(seed, &GeneratorConfig::default());
-        let magic = Value::new(41);
-        prop_assume!(!p.mentions_constant(magic));
+        if p.mentions_constant(magic) {
+            continue;
+        }
         let b = transafety::lang::ProgramExplorer::new(&p)
             .behaviours(&transafety::lang::ExploreOptions::default());
-        prop_assume!(b.complete);
+        if !b.complete {
+            continue;
+        }
         for beh in &b.value {
-            prop_assert!(!beh.contains(&magic), "seed {seed}: 41 appeared in {beh:?}");
+            assert!(!beh.contains(&magic), "seed {seed}: 41 appeared in {beh:?}");
         }
     }
 }
 
 // ---------- parse/print round trip ----------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The pretty-printer and parser agree: printing a generated program
-    /// and reparsing it yields a structurally identical program
-    /// (locations, monitors and registers keep their indices by the
-    /// `l<i>`/`v<i>`/`m<i>`/`r<i>` naming convention).
-    #[test]
-    fn parse_print_roundtrip(seed in 0u64..10_000, volatiles in 0u32..2) {
+/// The pretty-printer and parser agree: printing a generated program
+/// and reparsing it yields a structurally identical program
+/// (locations, monitors and registers keep their indices by the
+/// `l<i>`/`v<i>`/`m<i>`/`r<i>` naming convention).
+#[test]
+fn parse_print_roundtrip() {
+    for case in 0..24u64 {
+        let volatiles = (case % 2) as u32;
         let config = GeneratorConfig {
             volatile_locs: volatiles,
             ..GeneratorConfig::default()
         };
-        let p = random_program(seed, &config);
+        let p = random_program(case * 31 + 7, &config);
         let printed = p.to_string();
         let reparsed = transafety::lang::parse_program(&printed)
             .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
-        prop_assert_eq!(
-            &reparsed.program, &p,
-            "round trip changed the program:\n{}\n→\n{}", p, reparsed.program
+        assert_eq!(
+            reparsed.program, p,
+            "case {case}: round trip changed the program:\n{p}\n→\n{}",
+            reparsed.program
         );
     }
 }

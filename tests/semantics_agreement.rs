@@ -24,9 +24,11 @@ fn has_loop(p: &Program) -> bool {
         match s {
             transafety::lang::Stmt::While { .. } => true,
             transafety::lang::Stmt::Block(b) => b.iter().any(stmt_has_loop),
-            transafety::lang::Stmt::If { then_branch, else_branch, .. } => {
-                stmt_has_loop(then_branch) || stmt_has_loop(else_branch)
-            }
+            transafety::lang::Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt_has_loop(then_branch) || stmt_has_loop(else_branch),
             _ => false,
         }
     }
@@ -55,7 +57,11 @@ fn traceset_and_direct_explorers_agree_on_behaviours() {
         let via_tracesets: Behaviours = Explorer::new(&extraction.traceset).behaviours();
         let direct = ProgramExplorer::new(&p).behaviours(&opts);
         assert!(direct.complete, "{}", l.name);
-        assert_eq!(via_tracesets, direct.value, "behaviours disagree on {}", l.name);
+        assert_eq!(
+            via_tracesets, direct.value,
+            "behaviours disagree on {}",
+            l.name
+        );
         compared += 1;
     }
     assert!(compared >= 8, "compared only {compared} corpus programs");
@@ -103,7 +109,11 @@ fn race_witnesses_are_real_executions() {
         let d = domain_for(&p);
         let extraction = extract_traceset(&p, &d, &ex);
         if let Some(w) = Explorer::new(&extraction.traceset).race_witness() {
-            assert!(w.execution.is_interleaving_of(&extraction.traceset), "{}", l.name);
+            assert!(
+                w.execution.is_interleaving_of(&extraction.traceset),
+                "{}",
+                l.name
+            );
             assert!(w.execution.is_sequentially_consistent(), "{}", l.name);
             let (a, b) = w.pair();
             assert!(a.action().conflicts_with(&b.action()), "{}", l.name);
@@ -125,8 +135,9 @@ fn lemma1_unelimination_on_fig1_executions() {
     let to = extract_traceset(&o.program, &d, &ex);
     let tt = extract_traceset(&t.program, &d, &ex);
     assert!(!to.truncated && !tt.truncated);
-    let execs = Explorer::new(&tt.traceset)
-        .maximal_executions(ExploreLimits { max_interleavings: 40 });
+    let execs = Explorer::new(&tt.traceset).maximal_executions(ExploreLimits {
+        max_interleavings: 40,
+    });
     let opts = EliminationOptions::default();
     let mut constructed = 0;
     for e in execs.iter().take(20) {

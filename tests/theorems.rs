@@ -2,8 +2,7 @@
 //! `DESIGN.md`) over the litmus corpus and random programs.
 
 use transafety::checker::{
-    check_rewrite, drf_guarantee, no_thin_air, CheckOptions, Correspondence, DrfVerdict,
-    OotaVerdict,
+    check_rewrite, drf_guarantee, no_thin_air, Analysis, Correspondence, DrfVerdict, OotaVerdict,
 };
 use transafety::lang::Program;
 use transafety::litmus::{corpus, random_program, GeneratorConfig};
@@ -20,7 +19,7 @@ fn small_enough(p: &Program) -> bool {
 #[test]
 fn corpus_rewrites_satisfy_drf_guarantee() {
     use transafety::checker::{behaviours, race_witness};
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     let mut checked = 0;
     for l in corpus() {
         let p = l.parse().program;
@@ -50,14 +49,17 @@ fn corpus_rewrites_satisfy_drf_guarantee() {
             );
         }
     }
-    assert!(checked > 20, "expected many rewrites across the corpus, got {checked}");
+    assert!(
+        checked > 20,
+        "expected many rewrites across the corpus, got {checked}"
+    );
 }
 
 /// E8/E9 semantic side on the corpus: each rewrite is in its promised
 /// semantic class (Lemmas 4/5).
 #[test]
 fn corpus_rewrites_satisfy_semantic_correspondence() {
-    let opts = CheckOptions::with_domain(Domain::zero_to(1));
+    let opts = Analysis::with_domain(Domain::zero_to(1));
     let mut checked = 0;
     for l in corpus() {
         let p = l.parse().program;
@@ -83,7 +85,7 @@ fn corpus_rewrites_satisfy_semantic_correspondence() {
 /// `Holds` verdict must come out.
 #[test]
 fn random_drf_programs_rewrites_hold() {
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     let config = GeneratorConfig::drf();
     let mut holds = 0;
     for seed in 0..20 {
@@ -99,7 +101,10 @@ fn random_drf_programs_rewrites_hold() {
             }
         }
     }
-    assert!(holds > 10, "expected rewrites on generated programs, got {holds}");
+    assert!(
+        holds > 10,
+        "expected rewrites on generated programs, got {holds}"
+    );
 }
 
 /// E8/E9 on random *racy* programs: rewrites may add behaviours (the
@@ -107,7 +112,7 @@ fn random_drf_programs_rewrites_hold() {
 /// verdict must be either vacuous or hold.
 #[test]
 fn random_racy_programs_are_handled() {
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     let config = GeneratorConfig::default();
     let mut vacuous = 0;
     for seed in 0..20 {
@@ -116,9 +121,7 @@ fn random_racy_programs_are_handled() {
             match drf_guarantee(&rw.result, &p, &opts) {
                 DrfVerdict::OriginalRacy(_) => vacuous += 1,
                 DrfVerdict::Holds | DrfVerdict::Inconclusive => {}
-                bad => panic!(
-                    "seed {seed}: safe rewrite {rw} on a DRF program gave {bad}\n{p}"
-                ),
+                bad => panic!("seed {seed}: safe rewrite {rw} on a DRF program gave {bad}\n{p}"),
             }
         }
     }
@@ -130,8 +133,11 @@ fn random_racy_programs_are_handled() {
 /// safe", §8).
 #[test]
 fn composed_transformations_keep_guarantee() {
-    let opts = CheckOptions::default();
-    let p = transafety::litmus::by_name("fig3-a").unwrap().parse().program;
+    let opts = Analysis::new();
+    let p = transafety::litmus::by_name("fig3-a")
+        .unwrap()
+        .parse()
+        .program;
     for q in transform_closure(&p, RuleSet::All, 3) {
         let verdict = drf_guarantee(&q, &p, &opts);
         assert!(
@@ -146,7 +152,7 @@ fn composed_transformations_keep_guarantee() {
 #[test]
 fn corpus_oota_guarantee() {
     let magic = Value::new(42);
-    let opts = CheckOptions::with_domain(Domain::from_values([Value::new(2), magic]));
+    let opts = Analysis::with_domain(Domain::from_values([Value::new(2), magic]));
     let mut safe = 0;
     for l in corpus() {
         let p = l.parse().program;
@@ -167,7 +173,7 @@ fn corpus_oota_guarantee() {
 /// The SC-only baseline (§1/§7): count safe rewrites it must reject.
 #[test]
 fn sc_only_baseline_rejects_some_safe_rewrites() {
-    let opts = CheckOptions::default();
+    let opts = Analysis::new();
     let mut rejected = 0;
     let mut total = 0;
     for name in ["fig1-original", "fig2-original", "sb", "mp"] {

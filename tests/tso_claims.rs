@@ -50,7 +50,10 @@ fn sb_relaxed_outcome_appears_only_under_tso() {
     let p = by_name("sb").unwrap().parse().program;
     let opts = ExploreOptions::default();
     let zz = vec![v(0), v(0)];
-    assert!(!ProgramExplorer::new(&p).behaviours(&opts).value.contains(&zz));
+    assert!(!ProgramExplorer::new(&p)
+        .behaviours(&opts)
+        .value
+        .contains(&zz));
     assert!(TsoExplorer::new(&p).behaviours(&opts).value.contains(&zz));
 }
 
@@ -95,7 +98,11 @@ fn drf_programs_are_sc_on_tso() {
         if !(sc.complete && tso.complete) {
             continue;
         }
-        assert_eq!(sc.value, tso.value, "{}: DRF program with relaxed TSO behaviour", l.name);
+        assert_eq!(
+            sc.value, tso.value,
+            "{}: DRF program with relaxed TSO behaviour",
+            l.name
+        );
         checked += 1;
     }
     assert!(checked >= 5, "checked only {checked} DRF corpus programs");
