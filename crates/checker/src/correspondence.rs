@@ -72,7 +72,7 @@ fn traceset_pair(
 ) -> Option<(Traceset, Traceset)> {
     let mut pair = transafety_interleaving::par::parallel_map(
         opts.jobs.min(2),
-        vec![transformed, original],
+        &[transformed, original],
         |p| traceset_of(p, opts),
     );
     let o = pair.pop().expect("two inputs")?;

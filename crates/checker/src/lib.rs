@@ -54,4 +54,7 @@ pub use guarantee::{
 pub use oota::{no_thin_air, traceset_has_origin, OotaVerdict};
 #[allow(deprecated)]
 pub use options::CheckOptions;
-pub use options::{Analysis, AnalysisReport};
+pub use options::{Analysis, AnalysisReport, Verdict};
+pub use transafety_interleaving::{
+    Budget, BudgetBound, CancelToken, Completeness, TruncationReason,
+};

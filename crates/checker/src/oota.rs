@@ -75,11 +75,10 @@ pub fn no_thin_air(program: &Program, c: Value, depth: usize, opts: &Analysis) -
     // Each transformed program is checked independently, so the closure
     // scan fans out over the worker pool; the verdict scan below runs in
     // closure order, so the reported program matches the sequential one.
-    let verdicts = transafety_interleaving::par::parallel_map(opts.jobs, closure, |q| {
-        let origin = traceset_has_origin(&q, c, opts);
-        (q, origin)
+    let origins = transafety_interleaving::par::parallel_map(opts.jobs, &closure, |q| {
+        traceset_has_origin(q, c, opts)
     });
-    for (q, origin) in verdicts {
+    for (q, origin) in closure.into_iter().zip(origins) {
         match origin {
             None => return OotaVerdict::Inconclusive,
             Some(true) => {

@@ -11,7 +11,12 @@
 //! `CheckOptions` remains as a deprecated alias so existing code keeps
 //! compiling.
 
-use transafety_interleaving::{available_jobs, Behaviours, ExploreLimits, RaceWitness};
+use std::time::Duration;
+
+use transafety_interleaving::{
+    available_jobs, Behaviours, Budget, BudgetGuard, CancelToken, Completeness, ExploreLimits,
+    RaceWitness,
+};
 use transafety_lang::{Bounded, ExploreOptions, ExtractOptions, Program, ProgramExplorer};
 use transafety_traces::Domain;
 use transafety_transform::EliminationOptions;
@@ -37,6 +42,7 @@ use transafety_transform::EliminationOptions;
 ///     .run(&program);
 /// assert!(report.is_data_race_free());
 /// assert!(report.behaviours.complete);
+/// assert!(report.completeness.is_complete());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,9 +61,10 @@ pub struct Analysis {
     /// fan exploration out over a work-stealing pool. Results are
     /// identical either way.
     pub jobs: usize,
-    /// Cap on enumerated interleavings (the old `ExploreLimits` knob);
-    /// exceeding it is reported as truncation, never silently.
-    pub max_interleavings: usize,
+    /// Resource budget for the analysis: wall-clock deadline, interned
+    /// state cap and the interleaving-enumeration cap. Exceeding any
+    /// bound is reported as truncation, never silently.
+    pub budget: Budget,
 }
 
 impl Default for Analysis {
@@ -68,7 +75,7 @@ impl Default for Analysis {
             explore: ExploreOptions::default(),
             elimination: EliminationOptions::default(),
             jobs: 1,
-            max_interleavings: ExploreLimits::default().max_interleavings,
+            budget: Budget::default(),
         }
     }
 }
@@ -111,10 +118,31 @@ impl Analysis {
         self.jobs(jobs)
     }
 
+    /// Sets the whole resource budget at once.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the wall-clock deadline for the whole analysis.
+    #[must_use]
+    pub fn timeout(mut self, deadline: Duration) -> Self {
+        self.budget.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the explored-state cap (an approximate memory budget).
+    #[must_use]
+    pub fn max_states(mut self, max: usize) -> Self {
+        self.budget.max_states = Some(max);
+        self
+    }
+
     /// Sets the interleaving-enumeration cap.
     #[must_use]
     pub fn max_interleavings(mut self, max: usize) -> Self {
-        self.max_interleavings = max;
+        self.budget.max_interleavings = max;
         self
     }
 
@@ -138,21 +166,89 @@ impl Analysis {
     #[must_use]
     pub fn limits(&self) -> ExploreLimits {
         ExploreLimits {
-            max_interleavings: self.max_interleavings,
+            max_interleavings: self.budget.max_interleavings,
         }
     }
 
     /// Runs the full single-program analysis — behaviours, race search
-    /// and state census — on [`jobs`](Analysis::jobs) workers.
+    /// and state census — on [`jobs`](Analysis::jobs) workers, under
+    /// [`budget`](Analysis::budget).
     #[must_use]
     pub fn run(&self, program: &Program) -> AnalysisReport {
+        self.run_with_cancel(program, CancelToken::new())
+    }
+
+    /// [`run`](Analysis::run) with an externally held [`CancelToken`]:
+    /// cancelling the token (from a signal handler, a watchdog thread,
+    /// another task…) stops the analysis at the next cooperative check
+    /// and the report comes back
+    /// [`Truncated`](Completeness::Truncated) instead of the process
+    /// hanging or dying.
+    ///
+    /// Every exit from this method is graceful: exceeding a budget
+    /// bound, being cancelled, or losing a parallel worker to a panic
+    /// (quarantined, siblings cancelled, computation retried on the
+    /// sequential reference engine) all produce a report that says
+    /// exactly how far the analysis got and what stopped it.
+    #[must_use]
+    pub fn run_with_cancel(&self, program: &Program, cancel: CancelToken) -> AnalysisReport {
+        let guard = BudgetGuard::new(&self.budget, cancel);
         let ex = ProgramExplorer::new(program);
+        let behaviours = ex.behaviours_par_governed(&self.explore, self.jobs, &guard);
+        let race = ex.race_witness_par_governed(&self.explore, self.jobs, &guard);
+        let reachable_states =
+            ex.count_reachable_states_par_governed(&self.explore, self.jobs, &guard);
+        let completeness = match guard.trip_reason() {
+            None => Completeness::Complete,
+            Some(reason) => Completeness::Truncated { reason },
+        };
+        let verdict = if race.is_some() {
+            // A witness in hand is conclusive no matter what was cut
+            // short afterwards.
+            Verdict::Racy
+        } else if completeness.is_complete() {
+            Verdict::DrfProven
+        } else {
+            Verdict::Unknown
+        };
         AnalysisReport {
-            behaviours: ex.behaviours_par(&self.explore, self.jobs),
-            race: ex.race_witness_par(&self.explore, self.jobs),
-            reachable_states: ex.count_reachable_states_par(&self.explore, self.jobs),
+            behaviours,
+            race,
+            reachable_states,
             jobs: self.jobs,
+            completeness,
+            verdict,
+            states_explored: guard.states(),
+            faults: guard.faults(),
+            elapsed: guard.elapsed(),
         }
+    }
+}
+
+/// The three-valued outcome of the race analysis: a bounded checker
+/// must be able to say "I don't know" when its budget ran out, or a
+/// truncated search would be laundered into a soundness claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// A data race witness was found. Conclusive: a witness is a real
+    /// execution, however the search was bounded.
+    Racy,
+    /// The exhaustive search completed without finding a race: the
+    /// program is data race free under the configured domain. Only ever
+    /// reported alongside [`Completeness::Complete`].
+    DrfProven,
+    /// The search was truncated before it could prove freedom — the
+    /// program may or may not race.
+    Unknown,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Racy => "racy",
+            Verdict::DrfProven => "data race free (proven)",
+            Verdict::Unknown => "unknown (analysis truncated)",
+        })
     }
 }
 
@@ -169,10 +265,30 @@ pub struct AnalysisReport {
     pub reachable_states: usize,
     /// The worker count the analysis ran with.
     pub jobs: usize,
+    /// Did the analysis run to completion, and if not, which bound (or
+    /// fault) stopped it?
+    pub completeness: Completeness,
+    /// The three-valued race verdict.
+    pub verdict: Verdict,
+    /// States counted by the budget governor across all phases (`0`
+    /// when the budget is unlimited — the inert governor skips the
+    /// bookkeeping).
+    pub states_explored: usize,
+    /// Quarantined worker panics recovered by degrading to the
+    /// sequential engine. Non-zero means the numbers in this report
+    /// were produced the slow, safe way.
+    pub faults: usize,
+    /// Wall-clock time the analysis took.
+    pub elapsed: Duration,
 }
 
 impl AnalysisReport {
     /// Is the program data race free (§3)?
+    ///
+    /// `true` merely means *no witness was found*; consult
+    /// [`verdict`](AnalysisReport::verdict) to distinguish a proof
+    /// ([`Verdict::DrfProven`]) from a truncated search
+    /// ([`Verdict::Unknown`]).
     #[must_use]
     pub fn is_data_race_free(&self) -> bool {
         self.race.is_none()
@@ -198,11 +314,24 @@ mod tests {
             .max_tau(99)
             .domain(Domain::zero_to(3));
         assert_eq!(a.jobs, 8);
-        assert_eq!(a.max_interleavings, 123);
+        assert_eq!(a.budget.max_interleavings, 123);
         assert_eq!(a.limits().max_interleavings, 123);
         assert_eq!(a.explore.max_actions, 17);
         assert_eq!(a.explore.max_tau, 99);
         assert_eq!(a.domain.len(), 4);
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let a = Analysis::new()
+            .timeout(Duration::from_secs(7))
+            .max_states(42)
+            .max_interleavings(9);
+        assert_eq!(a.budget.deadline, Some(Duration::from_secs(7)));
+        assert_eq!(a.budget.max_states, Some(42));
+        assert_eq!(a.budget.max_interleavings, 9);
+        let b = Analysis::new().budget(Budget::unlimited().max_states(5));
+        assert_eq!(b.budget.max_states, Some(5));
     }
 
     #[test]
@@ -224,8 +353,40 @@ mod tests {
             "witness is canonical, not schedule-dependent"
         );
         assert_eq!(seq.reachable_states, par.reachable_states);
+        assert_eq!(seq.completeness, par.completeness);
+        assert_eq!(seq.verdict, par.verdict);
         assert!(!par.is_data_race_free());
+        assert_eq!(par.verdict, Verdict::Racy);
         assert!(par.behaviours.value.contains(&vec![Value::new(1)]));
+    }
+
+    #[test]
+    fn state_cap_yields_truncated_unknown() {
+        let program = parse_program("x := 1; || r0 := x; r1 := x; print r0;")
+            .unwrap()
+            .program;
+        let report = Analysis::new().max_states(1).run(&program);
+        assert!(!report.completeness.is_complete());
+        assert_ne!(report.verdict, Verdict::DrfProven);
+        assert!(report.states_explored >= 1);
+    }
+
+    #[test]
+    fn pre_cancelled_token_truncates_immediately() {
+        use transafety_interleaving::TruncationReason;
+        let program = parse_program("x := 1; || r0 := x; print r0;")
+            .unwrap()
+            .program;
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Analysis::new().run_with_cancel(&program, token);
+        assert_eq!(
+            report.completeness,
+            Completeness::Truncated {
+                reason: TruncationReason::Cancelled
+            }
+        );
+        assert_eq!(report.verdict, Verdict::Unknown);
     }
 
     #[test]

@@ -10,14 +10,24 @@
 //! $ drfcheck oota program.tsl 42
 //! $ drfcheck tso program.tsl
 //! $ drfcheck --max-interleavings 10000 executions program.tsl
+//! $ drfcheck --timeout 5 --max-states 1000000 check program.tsl
 //! $ drfcheck litmus               # list the built-in corpus
 //! ```
 //!
 //! `--jobs N` selects the worker count for the parallel exploration
 //! engine (default: all available cores; `--jobs 1` forces the
 //! sequential reference driver — results are identical either way).
-//! `--max-interleavings N` caps execution enumeration; exceeding the cap
-//! exits with code 3 after reporting the limit.
+//!
+//! The analysis commands (`check`, `races`, `behaviours`, `executions`)
+//! run under a resource budget: `--timeout SECS` bounds wall-clock time,
+//! `--max-states N` caps explored states, `--max-interleavings N` caps
+//! execution enumeration, and `Ctrl-C` cancels cooperatively. Exceeding
+//! any bound never loses the work done so far — the partial result is
+//! flushed, the truncation reason (which bound tripped, how many states
+//! were explored, elapsed time) goes to stderr, and the exit code says
+//! what happened: `3` for a cap, `4` for timeout or interruption, `5`
+//! when a crashed worker was quarantined and the analysis completed on
+//! the sequential fallback engine.
 //!
 //! Program files use the concrete syntax of the paper's §6 language (see
 //! `transafety::lang::parse_program`); a corpus name (e.g. `sb`) can be
@@ -25,15 +35,19 @@
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use transafety::checker::{
-    behaviours, classify_transformation, drf_guarantee, no_thin_air, race_witness, Analysis,
-    OotaVerdict, TransformationClass,
+    classify_transformation, drf_guarantee, no_thin_air, race_witness, Analysis, OotaVerdict,
+    TransformationClass,
 };
-use transafety::lang::{parse_program_with_symbols, SourceProgram};
+use transafety::interleaving::BudgetGuard;
+use transafety::lang::{parse_program_with_symbols, ProgramExplorer, SourceProgram};
 use transafety::litmus::by_name;
 use transafety::traces::{Domain, Value};
 use transafety::tso::explain_tso;
+use transafety::{BudgetBound, CancelToken, Completeness, TruncationReason, Verdict};
 
 fn load(arg: &str) -> Result<SourceProgram, String> {
     load_with(arg, transafety::lang::SymbolTable::default())
@@ -48,13 +62,21 @@ fn load_with(arg: &str, symbols: transafety::lang::SymbolTable) -> Result<Source
     parse_program_with_symbols(&source, symbols).map_err(|e| format!("{arg}: {e}"))
 }
 
-/// Exit code when the interleaving-enumeration cap is exceeded.
+/// Exit code when a state/interleaving/action cap was exceeded.
 const EXIT_LIMIT_EXCEEDED: u8 = 3;
+/// Exit code when the wall-clock deadline passed or the run was
+/// cancelled (`Ctrl-C`).
+const EXIT_TIMED_OUT: u8 = 4;
+/// Exit code when a worker panic was quarantined; the printed results
+/// come from the sequential fallback engine.
+const EXIT_FAULT_RECOVERED: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: drfcheck [--jobs N] [--max-interleavings N] <command> [args]\n\
+        "usage: drfcheck [--jobs N] [--timeout SECS] [--max-states N] \
+         [--max-interleavings N] <command> [args]\n\
          commands:\n  \
+           check <program>                      full analysis report (three-valued verdict)\n  \
            races <program>                      find a data race\n  \
            behaviours <program>                 print all SC behaviours\n  \
            executions <program>                 enumerate maximal SC executions\n  \
@@ -68,10 +90,100 @@ fn usage() -> ExitCode {
            litmus                               list the built-in corpus\n\
          flags:\n  \
            --jobs N               worker threads (default: all cores; 1 = sequential)\n  \
-           --max-interleavings N  cap on enumerated executions (exceeding exits 3)\n\
+           --timeout SECS         wall-clock budget for the analysis commands\n  \
+           --max-states N         cap on explored states (approximate memory budget)\n  \
+           --max-interleavings N  cap on enumerated executions\n\
+         exit codes:\n  \
+           0  success / property holds\n  \
+           1  data race or unsafe transformation found\n  \
+           2  usage or input error\n  \
+           3  a state/interleaving cap was exceeded (partial results flushed)\n  \
+           4  deadline exceeded or interrupted by SIGINT (partial results flushed)\n  \
+           5  a worker panic was quarantined; results computed by the sequential fallback\n\
          <program> is a file path or a corpus name (try `drfcheck litmus`)."
     );
     ExitCode::from(2)
+}
+
+/// The process-wide cancellation token, shared with the SIGINT handler.
+static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+fn cancel_token() -> &'static CancelToken {
+    CANCEL.get_or_init(CancelToken::new)
+}
+
+extern "C" fn on_sigint(_signum: i32) {
+    // Only an atomic store happens here, which is async-signal-safe.
+    // The analysis observes the token at its next cooperative check and
+    // flushes a partial report instead of the process dying mid-print.
+    if let Some(token) = CANCEL.get() {
+        token.cancel();
+    }
+}
+
+const SIGINT: i32 = 2;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+fn install_sigint_handler() {
+    // Initialise the token first so the handler never races the
+    // `OnceLock`.
+    let _ = cancel_token();
+    // SAFETY: the handler is an `extern "C" fn` that only performs
+    // atomic operations on an already-initialised static.
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Maps a truncated or faulted run to stderr diagnostics plus the exit
+/// code documented in `--help`; `None` means the run was complete and
+/// fault-free.
+fn degraded_exit(
+    reason: Option<TruncationReason>,
+    faults: usize,
+    states: usize,
+    elapsed: Duration,
+) -> Option<ExitCode> {
+    if let Some(reason) = reason {
+        eprintln!(
+            "drfcheck: analysis truncated: {reason} — {states} states explored in {:.3}s{}",
+            elapsed.as_secs_f64(),
+            if faults > 0 {
+                " (after quarantined worker panics)"
+            } else {
+                ""
+            }
+        );
+        let code = match reason {
+            TruncationReason::Cancelled
+            | TruncationReason::BudgetExceeded(BudgetBound::WallClock) => EXIT_TIMED_OUT,
+            TruncationReason::BudgetExceeded(_) => EXIT_LIMIT_EXCEEDED,
+            TruncationReason::WorkerPanic => EXIT_FAULT_RECOVERED,
+        };
+        Some(ExitCode::from(code))
+    } else if faults > 0 {
+        eprintln!(
+            "drfcheck: {faults} worker panic(s) quarantined — analysis completed in {:.3}s \
+             on the sequential fallback engine",
+            elapsed.as_secs_f64()
+        );
+        Some(ExitCode::from(EXIT_FAULT_RECOVERED))
+    } else {
+        None
+    }
+}
+
+/// [`degraded_exit`] reading its inputs off a [`BudgetGuard`].
+fn guard_exit(guard: &BudgetGuard) -> Option<ExitCode> {
+    degraded_exit(
+        guard.trip_reason(),
+        guard.faults(),
+        guard.states(),
+        guard.elapsed(),
+    )
 }
 
 /// Splits global flags off the argument list into an [`Analysis`]
@@ -96,6 +208,23 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, Vec<String>), String> {
                     .map_err(|_| format!("--max-interleavings: not a number: {v}"))?;
                 opts = opts.max_interleavings(n);
             }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout requires a value (seconds)")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout: not a number: {v}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("--timeout: not a duration: {v}"));
+                }
+                opts = opts.timeout(Duration::from_secs_f64(secs));
+            }
+            "--max-states" => {
+                let v = it.next().ok_or("--max-states requires a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-states: not a number: {v}"))?;
+                opts = opts.max_states(n);
+            }
             _ => rest.push(a.clone()),
         }
     }
@@ -103,6 +232,7 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, Vec<String>), String> {
 }
 
 fn main() -> ExitCode {
+    install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = parse_flags(&args).and_then(|(opts, rest)| run(&rest, &opts));
     match result {
@@ -116,22 +246,86 @@ fn main() -> ExitCode {
 
 fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
+        Some("check") if args.len() == 2 => {
+            let p = load(&args[1])?;
+            let report = opts.run_with_cancel(&p.program, cancel_token().clone());
+            println!("verdict: {}", report.verdict);
+            println!(
+                "behaviours: {}{}",
+                report.behaviours.value.len(),
+                if report.behaviours.complete {
+                    ""
+                } else {
+                    " (bounded)"
+                }
+            );
+            println!("reachable states: {}", report.reachable_states);
+            println!("completeness: {}", report.completeness);
+            if let Some(w) = &report.race {
+                println!("{w}");
+            }
+            let reason = match report.completeness {
+                Completeness::Complete => None,
+                Completeness::Truncated { reason } => Some(reason),
+            };
+            if let Some(code) = degraded_exit(
+                reason,
+                report.faults,
+                report.states_explored,
+                report.elapsed,
+            ) {
+                return Ok(code);
+            }
+            Ok(match report.verdict {
+                Verdict::Racy => ExitCode::FAILURE,
+                Verdict::DrfProven | Verdict::Unknown => ExitCode::SUCCESS,
+            })
+        }
         Some("races") if args.len() == 2 => {
             let p = load(&args[1])?;
-            match race_witness(&p.program, opts) {
-                None => {
-                    println!("data race free");
-                    Ok(ExitCode::SUCCESS)
-                }
+            let guard = BudgetGuard::new(&opts.budget, cancel_token().clone());
+            let witness = ProgramExplorer::new(&p.program).race_witness_par_governed(
+                &opts.explore,
+                opts.jobs,
+                &guard,
+            );
+            match witness {
                 Some(w) => {
+                    // A witness is conclusive however the search was
+                    // bounded; note recovered faults but keep exit 1.
+                    if guard.faults() > 0 {
+                        eprintln!(
+                            "drfcheck: {} worker panic(s) quarantined during the race search",
+                            guard.faults()
+                        );
+                    }
                     println!("{w}");
                     Ok(ExitCode::FAILURE)
+                }
+                None => {
+                    if let Some(reason) = guard.trip_reason() {
+                        println!("unknown: search truncated ({reason})");
+                        return Ok(degraded_exit(
+                            Some(reason),
+                            guard.faults(),
+                            guard.states(),
+                            guard.elapsed(),
+                        )
+                        .expect("truncated runs always map to an exit code"));
+                    }
+                    println!("data race free");
+                    Ok(guard_exit(&guard).unwrap_or(ExitCode::SUCCESS))
                 }
             }
         }
         Some("behaviours") if args.len() == 2 => {
             let p = load(&args[1])?;
-            let b = behaviours(&p.program, opts);
+            let guard = BudgetGuard::new(&opts.budget, cancel_token().clone());
+            let b = ProgramExplorer::new(&p.program).behaviours_par_governed(
+                &opts.explore,
+                opts.jobs,
+                &guard,
+            );
             if !b.complete {
                 println!("(bounded: exploration hit its limits)");
             }
@@ -139,13 +333,23 @@ fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
                 let rendered: Vec<String> = beh.iter().map(ToString::to_string).collect();
                 println!("[{}]", rendered.join(", "));
             }
-            Ok(ExitCode::SUCCESS)
+            // The per-execution action bound is ordinary configuration
+            // (loops need one), reported inline above, exit 0 — only
+            // hard budget trips and faults change the exit code.
+            match guard.trip_reason() {
+                Some(TruncationReason::BudgetExceeded(BudgetBound::Actions)) | None => Ok(
+                    degraded_exit(None, guard.faults(), guard.states(), guard.elapsed())
+                        .unwrap_or(ExitCode::SUCCESS),
+                ),
+                Some(_) => Ok(guard_exit(&guard).expect("tripped guard maps to an exit code")),
+            }
         }
         Some("executions") if args.len() == 2 => {
             let p = load(&args[1])?;
+            let guard = BudgetGuard::new(&opts.budget, cancel_token().clone());
             let e = transafety::lang::extract_traceset(&p.program, &opts.domain, &opts.extract);
             let (execs, capped) = transafety::interleaving::Explorer::new(&e.traceset)
-                .maximal_executions_checked(opts.limits());
+                .maximal_executions_governed(opts.limits(), &guard);
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             for i in &execs {
@@ -157,13 +361,11 @@ fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
             }
             if capped {
                 eprintln!(
-                    "drfcheck: interleaving limit exceeded: more than {} maximal \
-                     executions (raise the cap with --max-interleavings)",
-                    opts.max_interleavings
+                    "drfcheck: execution enumeration was cut short (raise the cap \
+                     with --max-interleavings, or the budget with --timeout/--max-states)"
                 );
-                return Ok(ExitCode::from(EXIT_LIMIT_EXCEEDED));
             }
-            Ok(ExitCode::SUCCESS)
+            Ok(guard_exit(&guard).unwrap_or(ExitCode::SUCCESS))
         }
         Some("guarantee") if args.len() == 3 => {
             let original = load(&args[1])?;

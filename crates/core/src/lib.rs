@@ -53,8 +53,11 @@
 pub use transafety_checker as checker;
 pub use transafety_interleaving as interleaving;
 
-pub use transafety_checker::{Analysis, AnalysisReport};
+pub use transafety_checker::{Analysis, AnalysisReport, Verdict};
 pub use transafety_interleaving::available_jobs;
+pub use transafety_interleaving::{
+    Budget, BudgetBound, CancelToken, Completeness, TruncationReason,
+};
 pub use transafety_lang as lang;
 pub use transafety_litmus as litmus;
 pub use transafety_syntactic as syntactic;

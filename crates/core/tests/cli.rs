@@ -1,6 +1,7 @@
 //! End-to-end tests of the `drfcheck` binary.
 
 use std::process::Command;
+use std::time::{Duration, Instant};
 
 fn drfcheck(args: &[&str]) -> (String, bool) {
     let out = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
@@ -9,6 +10,30 @@ fn drfcheck(args: &[&str]) -> (String, bool) {
         .expect("drfcheck runs");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     (stdout, out.status.success())
+}
+
+fn drfcheck_full(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
+        .args(args)
+        .output()
+        .expect("drfcheck runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+/// A DRF (all accesses volatile) program whose reachable state space is
+/// exponential in the thread count — no budgetless race search can
+/// finish it in reasonable time.
+fn exponential_program_file() -> std::path::PathBuf {
+    let thread = "v := 1; r0 := v; v := r0; r1 := v; print r1;";
+    let src = format!("volatile v;\n{}", [thread; 8].join("\n|| "));
+    let path =
+        std::env::temp_dir().join(format!("drfcheck-exponential-{}.tsl", std::process::id()));
+    std::fs::write(&path, src).expect("temp program is writable");
+    path
 }
 
 #[test]
@@ -66,7 +91,101 @@ fn usage_on_bad_arguments() {
         .output()
         .expect("drfcheck runs");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"));
+    // The exit-code contract is part of the help text.
+    for line in ["exit codes", "--timeout", "--max-states"] {
+        assert!(stderr.contains(line), "help must document {line}: {stderr}");
+    }
+}
+
+#[test]
+fn check_reports_three_valued_verdicts() {
+    let (out, _, code) = drfcheck_full(&["check", "sb"]);
+    assert_eq!(code, Some(1), "racy program exits 1: {out}");
+    assert!(out.contains("verdict: racy"), "{out}");
+    assert!(out.contains("completeness: complete"), "{out}");
+    let (out, _, code) = drfcheck_full(&["check", "sb-volatile"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("verdict: data race free (proven)"), "{out}");
+}
+
+#[test]
+fn timeout_on_exponential_program_exits_4_promptly() {
+    let path = exponential_program_file();
+    let started = Instant::now();
+    let (out, err, code) = drfcheck_full(&["--timeout", "1", "races", path.to_str().unwrap()]);
+    let elapsed = started.elapsed();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(code, Some(4), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("unknown"), "{out}");
+    assert!(err.contains("truncated"), "{err}");
+    assert!(err.contains("states explored"), "{err}");
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "deadline must be enforced promptly, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn state_cap_exits_3_with_partial_report() {
+    let path = exponential_program_file();
+    let (out, err, code) = drfcheck_full(&["--max-states", "64", "races", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(code, Some(3), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("unknown"), "{out}");
+    assert!(err.contains("state cap"), "{err}");
+}
+
+#[test]
+fn injected_worker_panic_recovers_and_exits_5() {
+    // mp-volatile is DRF, so a clean run prints the verdict and exits
+    // 0; with the test hook armed one parallel worker panics, the pool
+    // quarantines it, and the sequential fallback still completes the
+    // analysis — same verdict, exit 5, process alive.
+    let out = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
+        .args(["--jobs", "4", "races", "mp-volatile"])
+        .env("TRANSAFETY_INJECT_WORKER_PANIC", "1")
+        .output()
+        .expect("drfcheck runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("data race free"), "{stdout}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+}
+
+#[test]
+#[cfg(unix)]
+fn sigint_flushes_partial_report_and_exits_4() {
+    let path = exponential_program_file();
+    let child = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
+        .args(["--jobs", "2", "races", path.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("drfcheck spawns");
+    std::thread::sleep(Duration::from_millis(300));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("drfcheck exits");
+    let _ = std::fs::remove_file(&path);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("unknown"), "{stdout}");
+    assert!(stderr.contains("cancelled"), "{stderr}");
 }
 
 #[test]

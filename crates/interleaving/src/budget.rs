@@ -1,0 +1,533 @@
+//! Resource governance for the exploration engines: budgets,
+//! cooperative cancellation and three-valued completeness reporting.
+//!
+//! The explorers enumerate state spaces that grow exponentially with
+//! program size, so every entry point of the pipeline accepts a
+//! [`BudgetGuard`] — a shared, lock-free runtime monitor built from a
+//! declarative [`Budget`] (wall-clock deadline, interned-state cap,
+//! interleaving cap) plus a [`CancelToken`] that external parties (a
+//! SIGINT handler, a driving service) may trip at any time. Exploration
+//! checks the guard cooperatively at every state visit; exceeding any
+//! bound stops the search cleanly and records *which* bound tripped as
+//! a [`TruncationReason`], so truncated runs are reported as
+//! [`Completeness::Truncated`] and never misread as exhaustive proofs.
+//!
+//! The guard also counts recovered worker faults (panics isolated by
+//! the parallel pool — see [`par`](crate::par)), letting drivers
+//! degrade to the sequential reference engine and still tell the user
+//! an internal fault occurred.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Declarative resource bounds for one analysis run.
+///
+/// `None` disables a bound. The interleaving cap is always finite (it
+/// guards the one entry point that materialises executions).
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use transafety_interleaving::Budget;
+/// let b = Budget::unlimited()
+///     .timeout(Duration::from_secs(30))
+///     .max_states(1_000_000);
+/// assert_eq!(b.deadline, Some(Duration::from_secs(30)));
+/// assert_eq!(b.max_states, Some(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline for the whole analysis, measured from the
+    /// moment the [`BudgetGuard`] is created.
+    pub deadline: Option<Duration>,
+    /// Cap on distinct explored states (across all phases of a run) —
+    /// an approximate memory budget, since interned states dominate the
+    /// explorers' footprint.
+    pub max_states: Option<usize>,
+    /// Cap on materialised maximal executions (the historical
+    /// `ExploreLimits::max_interleavings` knob).
+    pub max_interleavings: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            deadline: None,
+            max_states: None,
+            max_interleavings: 1_000_000,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with no deadline and no state cap (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn timeout(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the explored-state cap.
+    #[must_use]
+    pub fn max_states(mut self, max: usize) -> Self {
+        self.max_states = Some(max);
+        self
+    }
+
+    /// Sets the interleaving-enumeration cap.
+    #[must_use]
+    pub fn max_interleavings(mut self, max: usize) -> Self {
+        self.max_interleavings = max;
+        self
+    }
+}
+
+/// A shareable cooperative cancellation flag (an `Arc<AtomicBool>`
+/// under the hood): clone it freely, hand one clone to the analysis and
+/// keep another to [`cancel`](CancelToken::cancel) from a signal
+/// handler, a timeout thread or another task.
+///
+/// # Example
+///
+/// ```
+/// use transafety_interleaving::CancelToken;
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread (the
+    /// flag is a plain atomic store, so this is also async-signal-safe
+    /// in practice).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// The bound of a [`Budget`] that cut an exploration short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetBound {
+    /// The wall-clock deadline expired.
+    WallClock,
+    /// The explored-state cap was reached.
+    States,
+    /// The materialised-execution cap was reached.
+    Interleavings,
+    /// The per-execution action bound cut a looping program's
+    /// behaviour set (the pre-existing `ExploreOptions::max_actions`
+    /// fuel).
+    Actions,
+}
+
+impl std::fmt::Display for BudgetBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BudgetBound::WallClock => "wall-clock deadline",
+            BudgetBound::States => "explored-state cap",
+            BudgetBound::Interleavings => "interleaving cap",
+            BudgetBound::Actions => "per-execution action bound",
+        })
+    }
+}
+
+/// Why an analysis did not run to exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TruncationReason {
+    /// A declared resource bound tripped.
+    BudgetExceeded(BudgetBound),
+    /// The [`CancelToken`] was tripped externally (SIGINT, caller).
+    Cancelled,
+    /// A worker panicked and the degraded result is still partial
+    /// (when the sequential fallback completes, the run reports
+    /// [`Completeness::Complete`] with a positive fault count instead).
+    WorkerPanic,
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TruncationReason::BudgetExceeded(b) => write!(f, "budget exceeded ({b})"),
+            TruncationReason::Cancelled => f.write_str("cancelled"),
+            TruncationReason::WorkerPanic => f.write_str("worker panic"),
+        }
+    }
+}
+
+/// Did an analysis run to exhaustion, and if not, why not?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Completeness {
+    /// Every phase explored its full (bounded-semantics) state space;
+    /// verdicts are exact.
+    Complete,
+    /// At least one phase was cut short; negative verdicts are
+    /// inconclusive ("no race found *within budget*").
+    Truncated {
+        /// The first bound that tripped.
+        reason: TruncationReason,
+    },
+}
+
+impl Completeness {
+    /// `true` when no bound tripped.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
+impl std::fmt::Display for Completeness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completeness::Complete => f.write_str("complete"),
+            Completeness::Truncated { reason } => write!(f, "truncated: {reason}"),
+        }
+    }
+}
+
+/// A recoverable internal engine fault (a quarantined worker panic or a
+/// violated pool invariant), reported by the parallel drivers instead
+/// of aborting the process; callers degrade to the sequential reference
+/// engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineFault {
+    /// Human-readable description of the fault.
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallel engine fault: {}", self.message)
+    }
+}
+
+impl std::error::Error for EngineFault {}
+
+// Hard trip codes stored in `BudgetGuard::tripped` (0 = not tripped).
+// Hard trips stop *every* subsequent phase of the run; the
+// per-execution action fuel and the interleaving-enumeration cap are
+// *soft* (recorded as truncation reasons, but e.g. a fuel-truncated
+// behaviour phase must not abort the still-exact race search).
+const TRIP_WALL_CLOCK: u8 = 1;
+const TRIP_STATES: u8 = 2;
+const TRIP_CANCELLED: u8 = 3;
+const TRIP_WORKER_PANIC: u8 = 4;
+
+/// How many `should_stop` calls elapse between two `Instant::now()`
+/// reads: clock reads are ~20–30 ns, state expansions are µs-scale, so
+/// checking every 64th visit keeps deadline overshoot in the
+/// sub-millisecond range at negligible cost.
+const DEADLINE_STRIDE: usize = 64;
+
+/// The runtime companion of a [`Budget`]: one guard is created per
+/// analysis run, shared by every phase and worker thread, and checked
+/// cooperatively at each state visit.
+///
+/// The guard is monotonic: the *first* bound to trip records its
+/// [`TruncationReason`] and every later [`should_stop`] call returns
+/// `true` immediately, so all phases of a run agree on why it stopped.
+#[derive(Debug)]
+pub struct BudgetGuard {
+    start: Instant,
+    deadline: Option<Duration>,
+    max_states: Option<usize>,
+    max_interleavings: usize,
+    cancel: CancelToken,
+    /// Short-circuit for guards with nothing to watch: the default
+    /// entry points pay two branch instructions, not atomics + clock
+    /// reads.
+    inert: bool,
+    states: AtomicUsize,
+    checks: AtomicUsize,
+    tripped: AtomicU8,
+    soft_interleavings: std::sync::atomic::AtomicBool,
+    soft_actions: std::sync::atomic::AtomicBool,
+    faults: AtomicUsize,
+}
+
+impl BudgetGuard {
+    /// Starts the clock on `budget`, watching `cancel` for external
+    /// cancellation.
+    #[must_use]
+    pub fn new(budget: &Budget, cancel: CancelToken) -> Self {
+        BudgetGuard {
+            start: Instant::now(),
+            deadline: budget.deadline,
+            max_states: budget.max_states,
+            max_interleavings: budget.max_interleavings,
+            cancel,
+            inert: false,
+            states: AtomicUsize::new(0),
+            checks: AtomicUsize::new(0),
+            tripped: AtomicU8::new(0),
+            soft_interleavings: std::sync::atomic::AtomicBool::new(false),
+            soft_actions: std::sync::atomic::AtomicBool::new(false),
+            faults: AtomicUsize::new(0),
+        }
+    }
+
+    /// A guard that never trips and skips all bookkeeping — what the
+    /// non-governed entry points use, so they cost nothing extra.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        let mut g = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+        g.inert = true;
+        g
+    }
+
+    /// The interleaving cap this guard enforces (used by the
+    /// execution-enumerating entry points).
+    #[must_use]
+    pub fn max_interleavings(&self) -> usize {
+        self.max_interleavings
+    }
+
+    /// Records one newly explored state (called on each memo/interner
+    /// miss; the count approximates the run's memory footprint).
+    pub fn note_state(&self) {
+        if self.inert {
+            return;
+        }
+        self.states.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Should exploration stop? Checked cooperatively at every state
+    /// visit: consults (in order) the recorded trip, the cancel token,
+    /// the state cap, and — every [`DEADLINE_STRIDE`] calls — the
+    /// wall clock. The first bound to trip wins and is remembered.
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        if self.inert {
+            return false;
+        }
+        if self.tripped.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        if self.cancel.is_cancelled() {
+            self.trip(TRIP_CANCELLED);
+            return true;
+        }
+        if let Some(cap) = self.max_states {
+            if self.states.load(Ordering::Relaxed) > cap {
+                self.trip(TRIP_STATES);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let n = self.checks.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(DEADLINE_STRIDE) && self.start.elapsed() >= deadline {
+                self.trip(TRIP_WALL_CLOCK);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records that the interleaving-enumeration cap was hit (a *soft*
+    /// truncation: the enumeration stops itself; other phases proceed).
+    pub fn trip_interleaving_cap(&self) {
+        if !self.inert {
+            self.soft_interleavings.store(true, Ordering::Release);
+        }
+    }
+
+    /// Records that the per-execution action fuel cut a behaviour set
+    /// (a *soft* truncation: the exact race and census phases proceed).
+    pub fn trip_action_bound(&self) {
+        if !self.inert {
+            self.soft_actions.store(true, Ordering::Release);
+        }
+    }
+
+    /// Records that a degraded (post-panic) result is still partial.
+    pub fn trip_worker_panic(&self) {
+        self.trip(TRIP_WORKER_PANIC);
+    }
+
+    fn trip(&self, code: u8) {
+        if self.inert {
+            return;
+        }
+        // First reason wins; later phases observe the same verdict.
+        let _ = self
+            .tripped
+            .compare_exchange(0, code, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// Why the run is not exhaustive, if it is not: the first *hard*
+    /// trip (which also stopped exploration), else a soft truncation
+    /// (interleaving cap before action fuel).
+    #[must_use]
+    pub fn trip_reason(&self) -> Option<TruncationReason> {
+        match self.tripped.load(Ordering::Acquire) {
+            TRIP_WALL_CLOCK => {
+                return Some(TruncationReason::BudgetExceeded(BudgetBound::WallClock))
+            }
+            TRIP_STATES => return Some(TruncationReason::BudgetExceeded(BudgetBound::States)),
+            TRIP_CANCELLED => return Some(TruncationReason::Cancelled),
+            TRIP_WORKER_PANIC => return Some(TruncationReason::WorkerPanic),
+            _ => {}
+        }
+        if self.soft_interleavings.load(Ordering::Acquire) {
+            return Some(TruncationReason::BudgetExceeded(BudgetBound::Interleavings));
+        }
+        if self.soft_actions.load(Ordering::Acquire) {
+            return Some(TruncationReason::BudgetExceeded(BudgetBound::Actions));
+        }
+        None
+    }
+
+    /// Records one recovered worker fault (a quarantined panic whose
+    /// subproblem was re-run on the sequential reference engine).
+    pub fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Recovered worker faults so far.
+    #[must_use]
+    pub fn faults(&self) -> usize {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Distinct states explored so far (all phases).
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.states.load(Ordering::Relaxed)
+    }
+
+    /// Time since the guard was created.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Default for BudgetGuard {
+    fn default() -> Self {
+        BudgetGuard::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_stops() {
+        let g = BudgetGuard::unlimited();
+        for _ in 0..10_000 {
+            g.note_state();
+            assert!(!g.should_stop());
+        }
+        assert_eq!(g.trip_reason(), None);
+    }
+
+    #[test]
+    fn state_cap_trips_with_reason() {
+        let g = BudgetGuard::new(&Budget::unlimited().max_states(10), CancelToken::new());
+        for _ in 0..=10 {
+            assert!(!g.should_stop());
+            g.note_state();
+        }
+        assert!(g.should_stop());
+        assert_eq!(
+            g.trip_reason(),
+            Some(TruncationReason::BudgetExceeded(BudgetBound::States))
+        );
+        // monotonic: stays tripped, reason stable
+        assert!(g.should_stop());
+        assert_eq!(
+            g.trip_reason(),
+            Some(TruncationReason::BudgetExceeded(BudgetBound::States))
+        );
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let g = BudgetGuard::new(
+            &Budget::unlimited().timeout(Duration::ZERO),
+            CancelToken::new(),
+        );
+        // The stride means the very first call already reads the clock.
+        assert!(g.should_stop());
+        assert_eq!(
+            g.trip_reason(),
+            Some(TruncationReason::BudgetExceeded(BudgetBound::WallClock))
+        );
+    }
+
+    #[test]
+    fn cancellation_wins_over_later_bounds() {
+        let token = CancelToken::new();
+        let g = BudgetGuard::new(&Budget::unlimited().max_states(0), token.clone());
+        token.cancel();
+        assert!(g.should_stop());
+        assert_eq!(g.trip_reason(), Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let g = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+        g.trip_interleaving_cap();
+        g.trip_action_bound();
+        assert_eq!(
+            g.trip_reason(),
+            Some(TruncationReason::BudgetExceeded(BudgetBound::Interleavings))
+        );
+    }
+
+    #[test]
+    fn fault_accounting() {
+        let g = BudgetGuard::unlimited();
+        assert_eq!(g.faults(), 0);
+        g.record_fault();
+        g.record_fault();
+        assert_eq!(g.faults(), 2);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Completeness::Complete.to_string(), "complete");
+        assert_eq!(
+            Completeness::Truncated {
+                reason: TruncationReason::BudgetExceeded(BudgetBound::WallClock)
+            }
+            .to_string(),
+            "truncated: budget exceeded (wall-clock deadline)"
+        );
+        assert_eq!(TruncationReason::Cancelled.to_string(), "cancelled");
+        assert_eq!(
+            EngineFault {
+                message: "node evaluated twice".into()
+            }
+            .to_string(),
+            "parallel engine fault: node evaluated twice"
+        );
+    }
+}

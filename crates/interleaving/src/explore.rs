@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use transafety_traces::{Action, Loc, Monitor, Traceset, Value};
 
+use crate::budget::BudgetGuard;
 use crate::{par, Event, IndexedTraceset, Interleaving};
 
 /// The behaviours of a program: a prefix-closed set of sequences of
@@ -212,8 +213,18 @@ impl Explorer {
     /// prefix closed, the empty behaviour is always a member.
     #[must_use]
     pub fn behaviours(&self) -> Behaviours {
+        self.behaviours_governed(&BudgetGuard::unlimited())
+    }
+
+    /// [`behaviours`](Explorer::behaviours) under a budget: the memoised
+    /// recursion checks `guard` cooperatively at every state visit; once
+    /// the guard trips, unexplored suffixes contribute only the empty
+    /// behaviour (the result is an under-approximation and the guard's
+    /// trip reason records why).
+    #[must_use]
+    pub fn behaviours_governed(&self, guard: &BudgetGuard) -> Behaviours {
         let mut memo: HashMap<State, Arc<Behaviours>> = HashMap::new();
-        let result = self.suffixes(self.initial_state(), &mut memo);
+        let result = self.suffixes(self.initial_state(), &mut memo, guard);
         (*result).clone()
     }
 
@@ -226,16 +237,36 @@ impl Explorer {
     /// implementation.
     #[must_use]
     pub fn behaviours_par(&self, jobs: usize) -> Behaviours {
+        self.behaviours_par_governed(jobs, &BudgetGuard::unlimited())
+    }
+
+    /// [`behaviours_par`](Explorer::behaviours_par) under a budget.
+    /// A quarantined worker panic degrades to the sequential engine
+    /// (recorded on the guard as a recovered fault).
+    #[must_use]
+    pub fn behaviours_par_governed(&self, jobs: usize, guard: &BudgetGuard) -> Behaviours {
         if jobs <= 1 {
-            return self.behaviours();
+            return self.behaviours_governed(guard);
         }
-        let graph = self.state_graph(jobs);
-        par::behaviours_of(&graph, jobs)
+        let result = self
+            .state_graph(jobs, guard)
+            .and_then(|graph| par::behaviours_of(&graph, jobs));
+        match result {
+            Ok(b) => b,
+            Err(_) => {
+                guard.record_fault();
+                self.behaviours_governed(guard)
+            }
+        }
     }
 
     /// Builds the explicit reachable state graph on `jobs` workers.
-    fn state_graph(&self, jobs: usize) -> par::StateGraph<State> {
-        par::build_state_graph(jobs, self.initial_state(), |state| par::Expansion {
+    fn state_graph(
+        &self,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Result<par::StateGraph<State>, crate::budget::EngineFault> {
+        par::build_state_graph(jobs, self.initial_state(), guard, |state| par::Expansion {
             moves: self
                 .moves(state)
                 .into_iter()
@@ -249,14 +280,21 @@ impl Explorer {
         &self,
         state: State,
         memo: &mut HashMap<State, Arc<Behaviours>>,
+        guard: &BudgetGuard,
     ) -> Arc<Behaviours> {
         if let Some(r) = memo.get(&state) {
             return Arc::clone(r);
         }
         let mut set: Behaviours = BTreeSet::new();
         set.insert(Vec::new());
+        if guard.should_stop() {
+            // Partial result: not memoised, so an (impossible) later
+            // revisit cannot launder it as the state's exact value.
+            return Arc::new(set);
+        }
+        guard.note_state();
         for mv in self.moves(&state) {
-            let tail = self.suffixes(self.apply(&state, &mv), memo);
+            let tail = self.suffixes(self.apply(&state, &mv), memo, guard);
             match mv.action {
                 Action::External(v) => {
                     for suffix in tail.iter() {
@@ -279,10 +317,19 @@ impl Explorer {
     /// execution, or `None` if the traceset is data race free.
     #[must_use]
     pub fn race_witness(&self) -> Option<RaceWitness> {
+        self.race_witness_governed(&BudgetGuard::unlimited())
+    }
+
+    /// [`race_witness`](Explorer::race_witness) under a budget: the
+    /// search checks `guard` at every state visit, so `None` from a
+    /// tripped guard means "no race found within budget" (the guard's
+    /// trip reason distinguishes that from a proof).
+    #[must_use]
+    pub fn race_witness_governed(&self, guard: &BudgetGuard) -> Option<RaceWitness> {
         // Key: (state, previous normal access as (thread, loc, was_write)).
         let mut visited: HashSet<RaceKey> = HashSet::new();
         let mut path: Vec<Event> = Vec::new();
-        self.race_dfs(self.initial_state(), None, &mut visited, &mut path)
+        self.race_dfs(self.initial_state(), None, &mut visited, &mut path, guard)
             .then(|| RaceWitness {
                 execution: Interleaving::from_events(path),
             })
@@ -294,10 +341,12 @@ impl Explorer {
         prev: Option<(usize, Loc, bool)>,
         visited: &mut HashSet<RaceKey>,
         path: &mut Vec<Event>,
+        guard: &BudgetGuard,
     ) -> bool {
-        if !visited.insert((state.clone(), prev)) {
+        if guard.should_stop() || !visited.insert((state.clone(), prev)) {
             return false;
         }
+        guard.note_state();
         for mv in self.moves(&state) {
             let thread_id = self.trie.threads()[mv.thread];
             // Race check against the immediately preceding event.
@@ -316,7 +365,7 @@ impl Explorer {
                 _ => None,
             };
             path.push(Event::new(thread_id, mv.action));
-            if self.race_dfs(self.apply(&state, &mv), next_prev, visited, path) {
+            if self.race_dfs(self.apply(&state, &mv), next_prev, visited, path, guard) {
                 return true;
             }
             path.pop();
@@ -338,13 +387,26 @@ impl Explorer {
     /// the returned execution is deterministic too.
     #[must_use]
     pub fn race_witness_par(&self, jobs: usize) -> Option<RaceWitness> {
+        self.race_witness_par_governed(jobs, &BudgetGuard::unlimited())
+    }
+
+    /// [`race_witness_par`](Explorer::race_witness_par) under a budget.
+    /// A quarantined worker panic degrades to the sequential search
+    /// (recorded on the guard as a recovered fault).
+    #[must_use]
+    pub fn race_witness_par_governed(
+        &self,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Option<RaceWitness> {
         if jobs <= 1 {
-            return self.race_witness();
+            return self.race_witness_governed(guard);
         }
         type Prev = Option<(usize, Loc, bool)>;
         let racy = par::parallel_reach(
             jobs,
             (self.initial_state(), None as Prev),
+            guard,
             |(state, prev)| {
                 let mut found = false;
                 let mut successors = Vec::new();
@@ -373,9 +435,18 @@ impl Explorer {
                 par::SearchStep { successors, found }
             },
         );
+        let racy = match racy {
+            Ok(r) => r,
+            Err(_) => {
+                guard.record_fault();
+                return self.race_witness_governed(guard);
+            }
+        };
         // The parallel search only decides existence; the witness path
         // is rebuilt sequentially so parallel and sequential drivers
         // report the same execution (racy programs yield one quickly).
+        // Reconstruction runs ungoverned: the race provably exists, so
+        // the DFS terminates at it even if the budget tripped meanwhile.
         if racy {
             let w = self.race_witness();
             debug_assert!(w.is_some(), "parallel search found a race the DFS did not");
@@ -406,6 +477,21 @@ impl Explorer {
     /// the `drfcheck` CLI, for instance — use this form.
     #[must_use]
     pub fn maximal_executions_checked(&self, limits: ExploreLimits) -> (Vec<Interleaving>, bool) {
+        self.maximal_executions_governed(limits, &BudgetGuard::unlimited())
+    }
+
+    /// [`maximal_executions_checked`](Explorer::maximal_executions_checked)
+    /// under a budget: the enumeration also stops when `guard` trips (a
+    /// deadline or external cancellation), and a cap hit is recorded on
+    /// the guard as an interleaving-bound truncation. The `bool` is
+    /// `true` whenever at least one maximal execution was dropped, for
+    /// either reason.
+    #[must_use]
+    pub fn maximal_executions_governed(
+        &self,
+        limits: ExploreLimits,
+        guard: &BudgetGuard,
+    ) -> (Vec<Interleaving>, bool) {
         let mut out = Vec::new();
         let mut path = Vec::new();
         let mut capped = false;
@@ -415,10 +501,12 @@ impl Explorer {
             &mut out,
             limits.max_interleavings,
             &mut capped,
+            guard,
         );
         (out, capped)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn enumerate(
         &self,
         state: State,
@@ -426,13 +514,20 @@ impl Explorer {
         out: &mut Vec<Interleaving>,
         cap: usize,
         capped: &mut bool,
+        guard: &BudgetGuard,
     ) {
         if out.len() >= cap {
             // Every pending branch extends to at least one maximal
             // execution, so entering here means results were dropped.
             *capped = true;
+            guard.trip_interleaving_cap();
             return;
         }
+        if guard.should_stop() {
+            *capped = true;
+            return;
+        }
+        guard.note_state();
         let moves = self.moves(&state);
         if moves.is_empty() {
             out.push(Interleaving::from_events(path.iter().copied()));
@@ -440,7 +535,7 @@ impl Explorer {
         }
         for mv in moves {
             path.push(Event::new(self.trie.threads()[mv.thread], mv.action));
-            self.enumerate(self.apply(&state, &mv), path, out, cap, capped);
+            self.enumerate(self.apply(&state, &mv), path, out, cap, capped, guard);
             path.pop();
         }
     }
@@ -460,8 +555,16 @@ impl Explorer {
         if jobs <= 1 {
             return self.count_maximal_executions();
         }
-        let graph = self.state_graph(jobs);
-        par::count_leaves(&graph, jobs)
+        let guard = BudgetGuard::unlimited();
+        match self
+            .state_graph(jobs, &guard)
+            .and_then(|graph| par::count_leaves(&graph, jobs))
+        {
+            Ok(c) => c,
+            // Quarantined worker panic: degrade to the sequential
+            // reference computation.
+            Err(_) => self.count_maximal_executions(),
+        }
     }
 
     fn count(&self, state: State, memo: &mut HashMap<State, u128>) -> u128 {
@@ -520,12 +623,19 @@ impl Explorer {
         if jobs <= 1 {
             return self.count_reachable_states();
         }
-        par::parallel_state_count(jobs, self.initial_state(), |state| {
-            self.moves(state)
-                .iter()
-                .map(|mv| self.apply(state, mv))
-                .collect()
-        })
+        let result = par::parallel_state_count(
+            jobs,
+            self.initial_state(),
+            &BudgetGuard::unlimited(),
+            |state| {
+                self.moves(state)
+                    .iter()
+                    .map(|mv| self.apply(state, mv))
+                    .collect()
+            },
+        );
+        // Quarantined worker panic: degrade to the sequential census.
+        result.unwrap_or_else(|_| self.count_reachable_states())
     }
 }
 

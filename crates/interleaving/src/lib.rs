@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod dot;
 mod event;
 mod explore;
@@ -62,6 +63,9 @@ mod interleaving;
 pub mod par;
 mod wild;
 
+pub use budget::{
+    Budget, BudgetBound, BudgetGuard, CancelToken, Completeness, EngineFault, TruncationReason,
+};
 pub use dot::hb_dot;
 pub use event::Event;
 pub use explore::{Behaviours, ExploreLimits, Explorer, RaceWitness};

@@ -27,15 +27,28 @@
 //! reachability verdicts are exhaustive — so the parallel entry points
 //! return bit-identical values to their sequential references
 //! regardless of scheduling.
+//!
+//! # Fault isolation and budgets
+//!
+//! Every task runs under [`std::panic::catch_unwind`]: a panicking work
+//! item is quarantined (its panic recorded in the returned
+//! [`PoolOutcome`]), its siblings are cancelled, and the driver entry
+//! points surface an [`EngineFault`] instead of aborting the process —
+//! callers degrade to the sequential reference engine. The graph and
+//! search drivers also take a [`BudgetGuard`] and check it at every
+//! state expansion, so wall-clock deadlines, state caps and external
+//! cancellation stop the pool cooperatively.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use transafety_traces::Action;
 
+use crate::budget::{BudgetGuard, EngineFault};
 use crate::explore::Behaviours;
 
 /// The number of worker threads to use by default: the machine's
@@ -43,6 +56,43 @@ use crate::explore::Behaviours;
 #[must_use]
 pub fn available_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (test-only hook)
+// ---------------------------------------------------------------------
+
+/// When set, the next task processed by any pool panics (then the flag
+/// clears, so exactly one task is poisoned per arming).
+static INJECT_PANIC: AtomicBool = AtomicBool::new(false);
+
+/// Arms the test-only fault hook: the next work item processed by any
+/// pool in this process panics, exercising the quarantine-and-degrade
+/// path. The `TRANSAFETY_INJECT_WORKER_PANIC` environment variable arms
+/// the same hook once at first pool use (for end-to-end CLI tests).
+#[doc(hidden)]
+pub fn arm_worker_panic() {
+    INJECT_PANIC.store(true, Ordering::Release);
+}
+
+/// Arms the hook from the environment, once per process.
+fn arm_from_env() {
+    static ARMED: OnceLock<()> = OnceLock::new();
+    ARMED.get_or_init(|| {
+        if std::env::var_os("TRANSAFETY_INJECT_WORKER_PANIC").is_some() {
+            arm_worker_panic();
+        }
+    });
+}
+
+/// Panics if the injection hook is armed (consuming the arming).
+fn maybe_inject_panic() {
+    if INJECT_PANIC
+        .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+    {
+        panic!("injected worker panic (test hook)");
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -88,21 +138,98 @@ impl<T> TaskContext<'_, T> {
     }
 }
 
+/// What happened while a pool drained: how many work items panicked
+/// (each quarantined by `catch_unwind`, cancelling the remaining work)
+/// and the first panic's message.
+#[derive(Debug, Default)]
+pub struct PoolOutcome {
+    /// Number of quarantined worker panics.
+    pub panics: usize,
+    /// The payload of the first panic, when it was a string.
+    pub first_panic: Option<String>,
+}
+
+impl PoolOutcome {
+    /// Converts a faulted outcome into the error the drivers surface.
+    fn fault(&self) -> Option<EngineFault> {
+        (self.panics > 0).then(|| EngineFault {
+            message: self
+                .first_panic
+                .clone()
+                .unwrap_or_else(|| "worker panicked".to_string()),
+        })
+    }
+}
+
+/// Shared panic accounting for one pool run.
+struct FaultLog {
+    panics: AtomicUsize,
+    first: Mutex<Option<String>>,
+}
+
+impl FaultLog {
+    fn new() -> Self {
+        FaultLog {
+            panics: AtomicUsize::new(0),
+            first: Mutex::new(None),
+        }
+    }
+
+    fn record(&self, payload: &(dyn std::any::Any + Send)) {
+        self.panics.fetch_add(1, Ordering::AcqRel);
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned());
+        if let Some(m) = message {
+            let mut slot = self.first.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(m);
+        }
+    }
+
+    fn outcome(self) -> PoolOutcome {
+        PoolOutcome {
+            panics: self.panics.load(Ordering::Acquire),
+            first_panic: self.first.into_inner().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+}
+
 /// Runs `seeds` and all transitively spawned tasks to completion on
 /// `jobs` workers (clamped to at least 1). Tasks may spawn further
 /// tasks through the [`TaskContext`]; idle workers steal queued tasks
 /// from the back of their own deque first and from the front of other
 /// workers' deques otherwise.
-pub fn run_tasks<T, F>(jobs: usize, seeds: Vec<T>, handler: F)
+///
+/// A panicking task does not abort the process: it is caught, counted
+/// in the returned [`PoolOutcome`], and the pool drains early (the
+/// panic cancels its sibling tasks) so callers can fall back to a
+/// sequential reference computation.
+pub fn run_tasks<T, F>(jobs: usize, seeds: Vec<T>, handler: F) -> PoolOutcome
 where
     T: Send,
     F: Fn(T, &TaskContext<'_, T>) + Sync,
 {
+    arm_from_env();
     let jobs = jobs.max(1);
     let queue = TaskQueue {
         shards: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
         pending: AtomicUsize::new(seeds.len()),
         stop: AtomicBool::new(false),
+    };
+    let faults = FaultLog::new();
+    // Runs one task under panic quarantine; a caught panic cancels the
+    // remaining work so the caller can degrade instead of computing a
+    // silently incomplete result.
+    let guarded = |task: T, ctx: &TaskContext<'_, T>| {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            maybe_inject_panic();
+            handler(task, ctx);
+        }));
+        if let Err(payload) = result {
+            faults.record(payload.as_ref());
+            ctx.stop();
+        }
     };
     // Scatter the seeds round-robin so workers start with local work.
     for (i, seed) in seeds.into_iter().enumerate() {
@@ -124,18 +251,18 @@ where
                 .pop_back();
             match next {
                 Some(task) => {
-                    handler(task, &ctx);
+                    guarded(task, &ctx);
                     queue.pending.fetch_sub(1, Ordering::AcqRel);
                 }
                 None => break,
             }
         }
-        return;
+        return faults.outcome();
     }
     std::thread::scope(|scope| {
         for worker in 0..jobs {
             let queue = &queue;
-            let handler = &handler;
+            let guarded = &guarded;
             scope.spawn(move || {
                 let ctx = TaskContext { queue, worker };
                 let mut spins = 0u32;
@@ -177,7 +304,7 @@ where
                     match task {
                         Some(task) => {
                             spins = 0;
-                            handler(task, &ctx);
+                            guarded(task, &ctx);
                             queue.pending.fetch_sub(1, Ordering::AcqRel);
                         }
                         None => {
@@ -196,6 +323,7 @@ where
             });
         }
     });
+    faults.outcome()
 }
 
 // ---------------------------------------------------------------------
@@ -286,7 +414,17 @@ pub struct Expansion<K> {
 /// Builds the full reachable state graph from `root` using `jobs`
 /// workers. `expand` must be pure: equal states must produce equal
 /// move lists (the function is called exactly once per distinct state).
-pub fn build_state_graph<K, F>(jobs: usize, root: K, expand: F) -> StateGraph<K>
+///
+/// The guard is consulted before every expansion: once it trips, the
+/// remaining frontier states become leaves and the graph is marked
+/// truncated. A quarantined worker panic yields an [`EngineFault`]
+/// instead of a graph — callers fall back to the sequential engine.
+pub fn build_state_graph<K, F>(
+    jobs: usize,
+    root: K,
+    guard: &BudgetGuard,
+    expand: F,
+) -> Result<StateGraph<K>, EngineFault>
 where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> Expansion<K> + Sync,
@@ -294,10 +432,19 @@ where
     let interner: Interner<K> = Interner::new();
     let truncated = AtomicBool::new(false);
     let (root_id, _) = interner.intern(&root);
-    run_tasks(
+    guard.note_state();
+    let outcome = run_tasks(
         jobs,
         vec![(root_id, root)],
         |(id, state), ctx: &TaskContext<'_, (u64, K)>| {
+            if guard.should_stop() {
+                // The budget tripped: this state stays a leaf; the set
+                // of behaviours below it is under-approximated, which
+                // the truncation flag records.
+                truncated.store(true, Ordering::Relaxed);
+                interner.set_edges(id, Vec::new());
+                return;
+            }
             let expansion = expand(&state);
             if expansion.truncated {
                 truncated.store(true, Ordering::Relaxed);
@@ -307,12 +454,16 @@ where
                 let (succ_id, new) = interner.intern(&succ);
                 edges.push((action, succ_id));
                 if new {
+                    guard.note_state();
                     ctx.push((succ_id, succ));
                 }
             }
             interner.set_edges(id, edges);
         },
     );
+    if let Some(fault) = outcome.fault() {
+        return Err(fault);
+    }
     // Compact packed (shard, local) ids into dense indices.
     let shards: Vec<InternShard<K>> = interner
         .shards
@@ -339,12 +490,12 @@ where
                 .collect::<Vec<_>>()
         }));
     }
-    StateGraph {
+    Ok(StateGraph {
         nodes,
         edges,
         root: dense(root_id),
         truncated: truncated.load(Ordering::Relaxed),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -376,11 +527,12 @@ fn behaviour_step(edges: &[(Action, u32)], tails: &[Arc<Behaviours>]) -> Behavio
 /// Runs the Kahn-style bottom-up evaluation of `value` over the DAG on
 /// `jobs` workers: a node is evaluated once every successor is done.
 ///
-/// # Panics
-///
-/// Panics if the graph contains a cycle (the sequential memoised
-/// recursion has the same DAG precondition — it would not terminate).
-fn evaluate_dag<K, V, F>(graph: &StateGraph<K>, jobs: usize, value: F) -> V
+/// All pool-invariant violations that used to abort the process — a
+/// node scheduled twice, an unevaluated successor, a cycle in the
+/// input graph — now surface as an [`EngineFault`] (the first two via
+/// the quarantined panic, the cycle via the unevaluated root), so
+/// callers can degrade to the sequential reference engine.
+fn evaluate_dag<K, V, F>(graph: &StateGraph<K>, jobs: usize, value: F) -> Result<V, EngineFault>
 where
     K: Sync,
     V: Clone + Send + Sync,
@@ -403,7 +555,7 @@ where
         .map(|es| AtomicUsize::new(es.len()))
         .collect();
     let results: Vec<OnceLock<V>> = (0..n).map(|_| OnceLock::new()).collect();
-    run_tasks(jobs, ready, |i, ctx: &TaskContext<'_, u32>| {
+    let outcome = run_tasks(jobs, ready, |i, ctx: &TaskContext<'_, u32>| {
         let es = &graph.edges[i as usize];
         let tails: Vec<V> = es
             .iter()
@@ -424,28 +576,36 @@ where
             }
         }
     });
+    if let Some(fault) = outcome.fault() {
+        return Err(fault);
+    }
     results[graph.root as usize]
         .get()
-        .expect("state graph contains a cycle — bounded exploration required")
-        .clone()
+        .cloned()
+        .ok_or_else(|| EngineFault {
+            message: "root never evaluated (cyclic state graph or cancelled evaluation)"
+                .to_string(),
+        })
 }
 
 /// The behaviours of the state graph (the parallel form of the
 /// memoised suffix-behaviour dynamic program). Bit-identical to the
 /// sequential computation: sets are canonical and unions commute.
-#[must_use]
-pub fn behaviours_of<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> Behaviours {
+/// A quarantined worker panic surfaces as an [`EngineFault`].
+pub fn behaviours_of<K: Sync>(
+    graph: &StateGraph<K>,
+    jobs: usize,
+) -> Result<Behaviours, EngineFault> {
     evaluate_dag(graph, jobs, |edges, tails: &[Arc<Behaviours>]| {
         Arc::new(behaviour_step(edges, tails))
     })
-    .as_ref()
-    .clone()
+    .map(|b| b.as_ref().clone())
 }
 
 /// The number of maximal paths (executions) of the state graph, by the
 /// parallel form of the counting dynamic program.
-#[must_use]
-pub fn count_leaves<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> u128 {
+/// A quarantined worker panic surfaces as an [`EngineFault`].
+pub fn count_leaves<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> Result<u128, EngineFault> {
     evaluate_dag(graph, jobs, |_edges, tails: &[u128]| {
         if tails.is_empty() {
             1
@@ -472,7 +632,17 @@ pub struct SearchStep<K> {
 /// `true` as soon as any expansion reports `found` (the pool drains
 /// early) and `false` only after exhausting the space. The verdict is
 /// deterministic because the search is exhaustive in the negative case.
-pub fn parallel_reach<K, F>(jobs: usize, root: K, expand: F) -> bool
+///
+/// The guard is consulted before every expansion: once it trips, the
+/// remaining frontier is dropped and a negative verdict means "not
+/// found within budget" (the guard's trip reason says why). A
+/// quarantined worker panic surfaces as an [`EngineFault`].
+pub fn parallel_reach<K, F>(
+    jobs: usize,
+    root: K,
+    guard: &BudgetGuard,
+    expand: F,
+) -> Result<bool, EngineFault>
 where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> SearchStep<K> + Sync,
@@ -483,8 +653,13 @@ where
         .lock()
         .expect("visited shard poisoned")
         .insert(root.clone());
-    run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
+    guard.note_state();
+    let outcome = run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
         if found.load(Ordering::Acquire) {
+            return;
+        }
+        if guard.should_stop() {
+            ctx.stop();
             return;
         }
         let step = expand(&state);
@@ -499,45 +674,60 @@ where
                 .expect("visited shard poisoned")
                 .insert(succ.clone());
             if fresh {
+                guard.note_state();
                 ctx.push(succ);
             }
         }
     });
-    found.load(Ordering::Acquire)
+    if let Some(fault) = outcome.fault() {
+        return Err(fault);
+    }
+    Ok(found.load(Ordering::Acquire))
 }
 
 /// Applies `f` to every item on `jobs` workers, returning the results
 /// in input order (so the output is independent of scheduling).
-pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+///
+/// A quarantined worker panic leaves its slot (and any slots the early
+/// drain dropped) unmapped; those items are recomputed inline on the
+/// calling thread — the per-item sequential degradation path.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
-    T: Send,
+    T: Sync,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(&T) -> R + Sync,
 {
     if jobs <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.iter().map(f).collect();
     }
     let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    run_tasks(
-        jobs,
-        indexed,
-        |(i, item), _ctx: &TaskContext<'_, (usize, T)>| {
-            *results[i].lock().expect("result slot poisoned") = Some(f(item));
-        },
-    );
+    let indexed: Vec<usize> = (0..items.len()).collect();
+    run_tasks(jobs, indexed, |i, _ctx: &TaskContext<'_, usize>| {
+        let r = f(&items[i]);
+        *results[i].lock().expect("result slot poisoned") = Some(r);
+    });
     results
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(i, slot)| {
             slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every item was mapped")
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| f(&items[i]))
         })
         .collect()
 }
 
 /// Counts the distinct states reachable from `root` on `jobs` workers.
-pub fn parallel_state_count<K, F>(jobs: usize, root: K, expand: F) -> usize
+///
+/// The guard is consulted before every expansion (a tripped guard
+/// leaves the count partial; its trip reason records why). A
+/// quarantined worker panic surfaces as an [`EngineFault`].
+pub fn parallel_state_count<K, F>(
+    jobs: usize,
+    root: K,
+    guard: &BudgetGuard,
+    expand: F,
+) -> Result<usize, EngineFault>
 where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> Vec<K> + Sync,
@@ -547,21 +737,30 @@ where
         .lock()
         .expect("visited shard poisoned")
         .insert(root.clone());
-    run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
+    guard.note_state();
+    let outcome = run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
+        if guard.should_stop() {
+            ctx.stop();
+            return;
+        }
         for succ in expand(&state) {
             let fresh = visited[shard_of(&succ)]
                 .lock()
                 .expect("visited shard poisoned")
                 .insert(succ.clone());
             if fresh {
+                guard.note_state();
                 ctx.push(succ);
             }
         }
     });
-    visited
+    if let Some(fault) = outcome.fault() {
+        return Err(fault);
+    }
+    Ok(visited
         .iter()
         .map(|s| s.lock().expect("visited shard poisoned").len())
-        .sum()
+        .sum())
 }
 
 #[cfg(test)]
@@ -572,7 +771,7 @@ mod tests {
     fn parallel_map_preserves_order() {
         for jobs in [1, 2, 4, 8] {
             let items: Vec<u64> = (0..100).collect();
-            let out = parallel_map(jobs, items, |x| x * x);
+            let out = parallel_map(jobs, &items, |x| x * x);
             assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
         }
     }
@@ -582,7 +781,7 @@ mod tests {
         for jobs in [1, 2, 4] {
             let count = AtomicUsize::new(0);
             // Seed 1 task that spawns a binary tree of depth 10.
-            run_tasks(jobs, vec![0u32], |depth, ctx: &TaskContext<'_, u32>| {
+            let outcome = run_tasks(jobs, vec![0u32], |depth, ctx: &TaskContext<'_, u32>| {
                 count.fetch_add(1, Ordering::Relaxed);
                 if depth < 10 {
                     ctx.push(depth + 1);
@@ -590,6 +789,7 @@ mod tests {
                 }
             });
             assert_eq!(count.load(Ordering::Relaxed), (1 << 11) - 1, "jobs={jobs}");
+            assert_eq!(outcome.panics, 0);
         }
     }
 
@@ -614,7 +814,7 @@ mod tests {
         // leaves = 1, path count = C(2N, N).
         let n = 8u32;
         for jobs in [1, 4] {
-            let g = build_state_graph(jobs, (0u32, 0u32), |&(i, j)| {
+            let g = build_state_graph(jobs, (0u32, 0u32), &BudgetGuard::unlimited(), |&(i, j)| {
                 let mut moves = Vec::new();
                 if i < n {
                     moves.push((
@@ -632,24 +832,60 @@ mod tests {
                     moves,
                     truncated: false,
                 }
-            });
+            })
+            .expect("no faults");
             assert_eq!(g.nodes.len(), ((n + 1) * (n + 1)) as usize);
             assert!(!g.truncated);
-            assert_eq!(count_leaves(&g, jobs), 12870); // C(16, 8)
+            assert_eq!(count_leaves(&g, jobs).expect("no faults"), 12870); // C(16, 8)
         }
     }
 
     #[test]
     fn parallel_reach_finds_and_exhausts() {
         let hit = |target: u32, jobs| {
-            parallel_reach(jobs, 0u32, |&s| SearchStep {
+            parallel_reach(jobs, 0u32, &BudgetGuard::unlimited(), |&s| SearchStep {
                 successors: if s < 20 { vec![s + 1] } else { vec![] },
                 found: s == target,
             })
+            .expect("no faults")
         };
         for jobs in [1, 3] {
             assert!(hit(20, jobs));
             assert!(!hit(21, jobs));
         }
+    }
+
+    #[test]
+    fn state_cap_truncates_graph_build() {
+        use crate::budget::{Budget, CancelToken};
+        let guard = BudgetGuard::new(&Budget::unlimited().max_states(10), CancelToken::new());
+        // A long chain of 1000 states under a 10-state cap.
+        let g = build_state_graph(2, 0u32, &guard, |&s| Expansion {
+            moves: if s < 1000 {
+                vec![(Action::external(transafety_traces::Value::new(0)), s + 1)]
+            } else {
+                vec![]
+            },
+            truncated: false,
+        })
+        .expect("no faults");
+        assert!(g.truncated, "the cap must mark the graph truncated");
+        assert!(g.nodes.len() < 1000, "exploration stopped early");
+        assert!(guard.trip_reason().is_some());
+    }
+
+    #[test]
+    fn cancellation_stops_parallel_reach() {
+        use crate::budget::{Budget, CancelToken, TruncationReason};
+        let token = CancelToken::new();
+        let guard = BudgetGuard::new(&Budget::unlimited(), token.clone());
+        token.cancel();
+        let found = parallel_reach(4, 0u64, &guard, |&s| SearchStep {
+            successors: vec![s + 1, s + 2], // infinite space
+            found: s == u64::MAX,
+        })
+        .expect("no faults");
+        assert!(!found);
+        assert_eq!(guard.trip_reason(), Some(TruncationReason::Cancelled));
     }
 }

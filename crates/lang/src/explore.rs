@@ -11,7 +11,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
-use transafety_interleaving::{par, Behaviours, Event, Interleaving, RaceWitness};
+use transafety_interleaving::{
+    par, Behaviours, BudgetGuard, EngineFault, Event, Interleaving, RaceWitness,
+};
 use transafety_traces::{Action, Domain, Loc, Monitor, ThreadId, Value};
 
 use crate::ast::Program;
@@ -234,6 +236,21 @@ impl<'p> ProgramExplorer<'p> {
     /// bound recorded in [`Bounded::complete`].
     #[must_use]
     pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
+        self.behaviours_governed(opts, &BudgetGuard::unlimited())
+    }
+
+    /// [`behaviours`](ProgramExplorer::behaviours) under a budget: the
+    /// memoised recursion checks `guard` cooperatively at every state
+    /// visit. A tripped guard truncates the set (recorded both in
+    /// [`Bounded::complete`] and as the guard's trip reason); fuel or
+    /// silent-divergence truncation is recorded on the guard as the
+    /// action-bound reason.
+    #[must_use]
+    pub fn behaviours_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> Bounded<Behaviours> {
         let mut memo: HashMap<(PState, usize), Arc<Behaviours>> = HashMap::new();
         let mut truncated = false;
         let fuel = if program_has_loops(self.program) {
@@ -241,13 +258,17 @@ impl<'p> ProgramExplorer<'p> {
         } else {
             usize::MAX
         };
-        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
+        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated, guard);
+        if truncated {
+            guard.trip_action_bound();
+        }
         Bounded {
             value: (*set).clone(),
             complete: !truncated,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn suffixes(
         &self,
         state: PState,
@@ -255,6 +276,7 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         memo: &mut HashMap<(PState, usize), Arc<Behaviours>>,
         truncated: &mut bool,
+        guard: &BudgetGuard,
     ) -> Arc<Behaviours> {
         let key = (state, fuel);
         if let Some(r) = memo.get(&key) {
@@ -263,6 +285,13 @@ impl<'p> ProgramExplorer<'p> {
         let (state, fuel) = (&key.0, key.1);
         let mut set = Behaviours::new();
         set.insert(Vec::new());
+        if guard.should_stop() {
+            // Partial result: not memoised, so it cannot be reused as
+            // the state's exact suffix set.
+            *truncated = true;
+            return Arc::new(set);
+        }
+        guard.note_state();
         let moves = self.moves(state, opts, truncated);
         if fuel == 0 {
             if !moves.is_empty() {
@@ -275,7 +304,14 @@ impl<'p> ProgramExplorer<'p> {
                 fuel - 1
             };
             for mv in moves {
-                let tail = self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
+                let tail = self.suffixes(
+                    self.apply(state, &mv),
+                    next_fuel,
+                    opts,
+                    memo,
+                    truncated,
+                    guard,
+                );
                 if let Action::External(v) = mv.action {
                     for suffix in tail.iter() {
                         let mut b = Vec::with_capacity(suffix.len() + 1);
@@ -302,14 +338,42 @@ impl<'p> ProgramExplorer<'p> {
     /// regardless of worker count or scheduling.
     #[must_use]
     pub fn behaviours_par(&self, opts: &ExploreOptions, jobs: usize) -> Bounded<Behaviours> {
+        self.behaviours_par_governed(opts, jobs, &BudgetGuard::unlimited())
+    }
+
+    /// [`behaviours_par`](ProgramExplorer::behaviours_par) under a
+    /// budget. A worker panic is quarantined by the pool; the fault is
+    /// recorded on the guard and the computation degrades to the
+    /// sequential governed engine, so a crashing worker never takes the
+    /// analysis down with it.
+    #[must_use]
+    pub fn behaviours_par_governed(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Bounded<Behaviours> {
         if jobs <= 1 {
-            return self.behaviours(opts);
+            return self.behaviours_governed(opts, guard);
         }
-        let graph = self.state_graph(opts, jobs);
-        let value = par::behaviours_of(&graph, jobs);
-        Bounded {
-            value,
-            complete: !graph.truncated,
+        let outcome = self.state_graph(opts, jobs, guard).and_then(|graph| {
+            let truncated = graph.truncated;
+            par::behaviours_of(&graph, jobs).map(|value| (value, truncated))
+        });
+        match outcome {
+            Ok((value, truncated)) => {
+                if truncated {
+                    guard.trip_action_bound();
+                }
+                Bounded {
+                    value,
+                    complete: !truncated,
+                }
+            }
+            Err(_) => {
+                guard.record_fault();
+                self.behaviours_governed(opts, guard)
+            }
         }
     }
 
@@ -318,36 +382,46 @@ impl<'p> ProgramExplorer<'p> {
     /// — so the graph is a DAG (fuel strictly decreases except in the
     /// loop-free `usize::MAX` regime, where actions strictly consume
     /// statements).
-    fn state_graph(&self, opts: &ExploreOptions, jobs: usize) -> par::StateGraph<(PState, usize)> {
+    fn state_graph(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Result<par::StateGraph<(PState, usize)>, EngineFault> {
         let fuel = if program_has_loops(self.program) {
             opts.max_actions
         } else {
             usize::MAX
         };
-        par::build_state_graph(jobs, (self.initial(), fuel), |node: &(PState, usize)| {
-            let (state, fuel) = node;
-            let mut truncated = false;
-            let moves = self.moves(state, opts, &mut truncated);
-            let mut out = Vec::with_capacity(moves.len());
-            if *fuel == 0 {
-                if !moves.is_empty() {
-                    truncated = true;
-                }
-            } else {
-                let next_fuel = if *fuel == usize::MAX {
-                    usize::MAX
+        par::build_state_graph(
+            jobs,
+            (self.initial(), fuel),
+            guard,
+            |node: &(PState, usize)| {
+                let (state, fuel) = node;
+                let mut truncated = false;
+                let moves = self.moves(state, opts, &mut truncated);
+                let mut out = Vec::with_capacity(moves.len());
+                if *fuel == 0 {
+                    if !moves.is_empty() {
+                        truncated = true;
+                    }
                 } else {
-                    fuel - 1
-                };
-                for mv in &moves {
-                    out.push((mv.action, (self.apply(state, mv), next_fuel)));
+                    let next_fuel = if *fuel == usize::MAX {
+                        usize::MAX
+                    } else {
+                        fuel - 1
+                    };
+                    for mv in &moves {
+                        out.push((mv.action, (self.apply(state, mv), next_fuel)));
+                    }
                 }
-            }
-            par::Expansion {
-                moves: out,
-                truncated,
-            }
-        })
+                par::Expansion {
+                    moves: out,
+                    truncated,
+                }
+            },
+        )
     }
 
     /// Searches for a data race (§3's adjacent-conflict condition over
@@ -356,6 +430,20 @@ impl<'p> ProgramExplorer<'p> {
     /// set needs no fuel.
     #[must_use]
     pub fn race_witness(&self, opts: &ExploreOptions) -> Option<RaceWitness> {
+        self.race_witness_governed(opts, &BudgetGuard::unlimited())
+    }
+
+    /// [`race_witness`](ProgramExplorer::race_witness) under a budget:
+    /// the DFS checks `guard` at every newly visited search node. With
+    /// a tripped guard the search may return `None` without having
+    /// proven freedom — callers must consult the guard's trip reason
+    /// before trusting a `None`.
+    #[must_use]
+    pub fn race_witness_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> Option<RaceWitness> {
         let mut visited: HashSet<RaceKey> = HashSet::new();
         let mut path = Vec::new();
         let mut truncated = false;
@@ -366,6 +454,7 @@ impl<'p> ProgramExplorer<'p> {
             &mut visited,
             &mut path,
             &mut truncated,
+            guard,
         )
         .then(|| RaceWitness {
             execution: Interleaving::from_events(path),
@@ -381,10 +470,12 @@ impl<'p> ProgramExplorer<'p> {
         visited: &mut HashSet<RaceKey>,
         path: &mut Vec<Event>,
         truncated: &mut bool,
+        guard: &BudgetGuard,
     ) -> bool {
-        if !visited.insert((state.clone(), prev)) {
+        if guard.should_stop() || !visited.insert((state.clone(), prev)) {
             return false;
         }
+        guard.note_state();
         for mv in self.moves(&state, opts, truncated) {
             let tid = ThreadId::new(mv.thread as u32);
             if let Some((pk, pl, pw)) = prev {
@@ -410,6 +501,7 @@ impl<'p> ProgramExplorer<'p> {
                 visited,
                 path,
                 truncated,
+                guard,
             ) {
                 return true;
             }
@@ -433,13 +525,27 @@ impl<'p> ProgramExplorer<'p> {
     /// depend on scheduling.
     #[must_use]
     pub fn race_witness_par(&self, opts: &ExploreOptions, jobs: usize) -> Option<RaceWitness> {
+        self.race_witness_par_governed(opts, jobs, &BudgetGuard::unlimited())
+    }
+
+    /// [`race_witness_par`](ProgramExplorer::race_witness_par) under a
+    /// budget. A pool fault is recorded on the guard and the search
+    /// degrades to the sequential governed engine.
+    #[must_use]
+    pub fn race_witness_par_governed(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Option<RaceWitness> {
         if jobs <= 1 {
-            return self.race_witness(opts);
+            return self.race_witness_governed(opts, guard);
         }
         type Prev = Option<(usize, Loc, bool)>;
-        let racy = par::parallel_reach(
+        let searched = par::parallel_reach(
             jobs,
             (self.initial(), None),
+            guard,
             |(state, prev): &(PState, Prev)| {
                 let mut truncated = false;
                 let mut found = false;
@@ -469,7 +575,17 @@ impl<'p> ProgramExplorer<'p> {
                 par::SearchStep { successors, found }
             },
         );
+        let racy = match searched {
+            Ok(racy) => racy,
+            Err(_) => {
+                guard.record_fault();
+                return self.race_witness_governed(opts, guard);
+            }
+        };
         if racy {
+            // The race provably exists, so the ungoverned sequential
+            // DFS terminates at it; reconstruction is therefore exempt
+            // from the (possibly already tripped) budget.
             let witness = self.race_witness(opts);
             debug_assert!(
                 witness.is_some(),
@@ -594,13 +710,29 @@ impl<'p> ProgramExplorer<'p> {
     /// (a size measure for the scaling experiments).
     #[must_use]
     pub fn count_reachable_states(&self, opts: &ExploreOptions) -> usize {
+        self.count_reachable_states_governed(opts, &BudgetGuard::unlimited())
+    }
+
+    /// [`count_reachable_states`](ProgramExplorer::count_reachable_states)
+    /// under a budget; with a tripped guard the count covers only the
+    /// states visited before the trip.
+    #[must_use]
+    pub fn count_reachable_states_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> usize {
         let mut seen: HashSet<PState> = HashSet::new();
         let mut stack = vec![self.initial()];
         let mut truncated = false;
         while let Some(s) = stack.pop() {
+            if guard.should_stop() {
+                break;
+            }
             if !seen.insert(s.clone()) {
                 continue;
             }
+            guard.note_state();
             for mv in self.moves(&s, opts, &mut truncated) {
                 stack.push(self.apply(&s, &mv));
             }
@@ -611,15 +743,32 @@ impl<'p> ProgramExplorer<'p> {
     /// The reachable-state count, computed on `jobs` workers.
     #[must_use]
     pub fn count_reachable_states_par(&self, opts: &ExploreOptions, jobs: usize) -> usize {
+        self.count_reachable_states_par_governed(opts, jobs, &BudgetGuard::unlimited())
+    }
+
+    /// [`count_reachable_states_par`](ProgramExplorer::count_reachable_states_par)
+    /// under a budget; a pool fault degrades to the sequential governed
+    /// count.
+    #[must_use]
+    pub fn count_reachable_states_par_governed(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> usize {
         if jobs <= 1 {
-            return self.count_reachable_states(opts);
+            return self.count_reachable_states_governed(opts, guard);
         }
-        par::parallel_state_count(jobs, self.initial(), |state| {
+        par::parallel_state_count(jobs, self.initial(), guard, |state| {
             let mut truncated = false;
             self.moves(state, opts, &mut truncated)
                 .iter()
                 .map(|mv| self.apply(state, mv))
                 .collect()
+        })
+        .unwrap_or_else(|_| {
+            guard.record_fault();
+            self.count_reachable_states_governed(opts, guard)
         })
     }
 }

@@ -1,0 +1,130 @@
+//! Robustness of the budgeted analysis engine: hammer `Analysis` with
+//! hundreds of generated programs under starvation-level budgets and
+//! demand that it never panics, always terminates, always labels its
+//! output (`Complete` or `Truncated { reason }`), and never launders a
+//! truncated search into a DRF proof.
+
+use std::time::Duration;
+
+use transafety::checker::{Analysis, Verdict};
+use transafety::litmus::{random_program, GeneratorConfig};
+use transafety::{Budget, CancelToken, Completeness};
+
+const SEEDS: u64 = 200;
+
+fn configs() -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::default(),
+        GeneratorConfig::drf(),
+        GeneratorConfig::with_volatiles(),
+        GeneratorConfig {
+            threads: 3,
+            stmts_per_thread: 5,
+            ..GeneratorConfig::default()
+        },
+    ]
+}
+
+/// One starvation budget: ~5 ms of wall clock and 64 interned states.
+fn tiny_budget() -> Budget {
+    Budget::unlimited()
+        .timeout(Duration::from_millis(5))
+        .max_states(64)
+}
+
+fn check_report(report: &transafety::AnalysisReport, what: &str) {
+    match report.completeness {
+        Completeness::Complete => {
+            // A complete, no-witness run is exactly a proof; with a
+            // witness the verdict must say so.
+            match &report.race {
+                None => assert_eq!(report.verdict, Verdict::DrfProven, "{what}"),
+                Some(_) => assert_eq!(report.verdict, Verdict::Racy, "{what}"),
+            }
+        }
+        Completeness::Truncated { .. } => {
+            assert_ne!(
+                report.verdict,
+                Verdict::DrfProven,
+                "{what}: truncated run claimed a DRF proof"
+            );
+            match &report.race {
+                Some(_) => assert_eq!(report.verdict, Verdict::Racy, "{what}"),
+                None => assert_eq!(report.verdict, Verdict::Unknown, "{what}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn starved_analyses_stay_sound_sequential_and_parallel() {
+    for config in configs() {
+        for seed in 0..SEEDS / configs().len() as u64 {
+            let program = random_program(seed, &config);
+            for jobs in [1, 4] {
+                let report = Analysis::new()
+                    .jobs(jobs)
+                    .budget(tiny_budget())
+                    .run(&program);
+                check_report(&report, &format!("seed {seed} jobs {jobs}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn state_cap_alone_stays_sound() {
+    let config = GeneratorConfig::default();
+    for seed in 0..SEEDS {
+        let program = random_program(seed, &config);
+        let report = Analysis::new().max_states(64).run(&program);
+        check_report(&report, &format!("seed {seed} (state cap)"));
+        // The cap is enforced, not advisory: the governor stops within
+        // one round of cooperative checks of the cap.
+        if let Completeness::Truncated { .. } = report.completeness {
+            assert!(
+                report.states_explored <= 64 + 256,
+                "seed {seed}: runaway exploration past the state cap \
+                 ({} states)",
+                report.states_explored
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_deadline_trips_immediately_and_reports_why() {
+    let program = random_program(7, &GeneratorConfig::default());
+    let report = Analysis::new()
+        .timeout(Duration::ZERO)
+        .jobs(4)
+        .run(&program);
+    assert!(!report.completeness.is_complete());
+    assert_eq!(report.verdict, Verdict::Unknown);
+}
+
+#[test]
+fn cancellation_mid_run_yields_truncated_report() {
+    // Cancel from another thread while the analysis grinds on a
+    // many-thread program; the run must come back truncated (or, on a
+    // fast machine, complete) — never wedge, never panic.
+    let program = random_program(
+        3,
+        &GeneratorConfig {
+            threads: 4,
+            stmts_per_thread: 6,
+            ..GeneratorConfig::default()
+        },
+    );
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        })
+    };
+    let report = Analysis::new().jobs(4).run_with_cancel(&program, token);
+    canceller.join().expect("canceller thread");
+    check_report(&report, "mid-run cancellation");
+}

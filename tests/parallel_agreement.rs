@@ -117,5 +117,41 @@ fn analysis_reports_agree_across_worker_counts() {
             reference.reachable_states, parallel.reachable_states,
             "{name}: state census"
         );
+        assert_eq!(
+            reference.completeness, parallel.completeness,
+            "{name}: completeness"
+        );
+        assert_eq!(reference.verdict, parallel.verdict, "{name}: verdict");
+    }
+}
+
+#[test]
+fn completeness_and_verdict_agree_under_a_state_budget() {
+    use transafety::checker::Verdict;
+
+    // A state cap trips deterministically at the same explored-state
+    // count whatever the worker count, so the *shape* of the outcome
+    // (complete vs truncated, and the three-valued verdict modulo the
+    // sequential/parallel tie on discovery order) must agree. The
+    // soundness half is exact: a truncated run never upgrades to a
+    // proof.
+    for (name, program) in corpus_programs() {
+        let seq = Analysis::new().max_states(64).run(&program);
+        let par = Analysis::new().max_states(64).jobs(4).run(&program);
+        for (engine, report) in [("sequential", &seq), ("parallel", &par)] {
+            assert!(
+                report.completeness.is_complete() || report.verdict != Verdict::DrfProven,
+                "{name}/{engine}: truncated run claimed a DRF proof"
+            );
+            if report.verdict == Verdict::DrfProven {
+                assert!(report.race.is_none(), "{name}/{engine}: proven yet racy");
+            }
+        }
+        // Racy-witness agreement: if both engines ran to completion the
+        // full report (including verdict) must be bit-identical.
+        if seq.completeness.is_complete() && par.completeness.is_complete() {
+            assert_eq!(seq.verdict, par.verdict, "{name}: verdict under budget");
+            assert_eq!(seq.race, par.race, "{name}: race under budget");
+        }
     }
 }
