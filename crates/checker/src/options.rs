@@ -160,6 +160,20 @@ impl Analysis {
         self
     }
 
+    /// Enables or disables the happens-before partial-order reduction
+    /// (default on). With POR the behaviour and race searches explore
+    /// one canonical interleaving of commuting thread-local actions;
+    /// verdicts and behaviour sets are unchanged, only
+    /// `states_explored` shrinks. The reduction conservatively disables
+    /// itself on programs with loops; `por(false)` forces the full
+    /// unreduced exploration everywhere (the `drfcheck --no-por`
+    /// escape hatch).
+    #[must_use]
+    pub fn por(mut self, enabled: bool) -> Self {
+        self.explore.por = enabled;
+        self
+    }
+
     /// The interleaving-level limits this configuration projects to
     /// (for calling [`Explorer`](transafety_interleaving::Explorer)
     /// directly).

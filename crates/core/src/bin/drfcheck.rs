@@ -74,7 +74,7 @@ const EXIT_FAULT_RECOVERED: u8 = 5;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: drfcheck [--jobs N] [--timeout SECS] [--max-states N] \
-         [--max-interleavings N] <command> [args]\n\
+         [--max-interleavings N] [--no-por] <command> [args]\n\
          commands:\n  \
            check <program>                      full analysis report (three-valued verdict)\n  \
            races <program>                      find a data race\n  \
@@ -92,7 +92,8 @@ fn usage() -> ExitCode {
            --jobs N               worker threads (default: all cores; 1 = sequential)\n  \
            --timeout SECS         wall-clock budget for the analysis commands\n  \
            --max-states N         cap on explored states (approximate memory budget)\n  \
-           --max-interleavings N  cap on enumerated executions\n\
+           --max-interleavings N  cap on enumerated executions\n  \
+           --no-por               disable the partial-order reduction (full exploration)\n\
          exit codes:\n  \
            0  success / property holds\n  \
            1  data race or unsafe transformation found\n  \
@@ -224,6 +225,9 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, Vec<String>), String> {
                     .parse()
                     .map_err(|_| format!("--max-states: not a number: {v}"))?;
                 opts = opts.max_states(n);
+            }
+            "--no-por" => {
+                opts = opts.por(false);
             }
             _ => rest.push(a.clone()),
         }

@@ -111,6 +111,22 @@ fn check_reports_three_valued_verdicts() {
 }
 
 #[test]
+fn no_por_flag_agrees_with_default() {
+    for prog in ["sb", "sb-volatile"] {
+        let (reduced, _, code_reduced) = drfcheck_full(&["check", prog]);
+        let (full, _, code_full) = drfcheck_full(&["--no-por", "check", prog]);
+        assert_eq!(code_reduced, code_full, "{prog}");
+        let verdict = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("verdict:"))
+                .map(str::to_owned)
+        };
+        assert_eq!(verdict(&reduced), verdict(&full), "{prog}");
+        assert!(verdict(&reduced).is_some(), "{prog}: {reduced}");
+    }
+}
+
+#[test]
 fn timeout_on_exponential_program_exits_4_promptly() {
     let path = exponential_program_file();
     let started = Instant::now();

@@ -239,11 +239,16 @@ const TRIP_STATES: u8 = 2;
 const TRIP_CANCELLED: u8 = 3;
 const TRIP_WORKER_PANIC: u8 = 4;
 
-/// How many `should_stop` calls elapse between two `Instant::now()`
-/// reads: clock reads are ~20–30 ns, state expansions are µs-scale, so
-/// checking every 64th visit keeps deadline overshoot in the
-/// sub-millisecond range at negligible cost.
-const DEADLINE_STRIDE: usize = 64;
+/// The most `should_stop` calls that may elapse between two
+/// `Instant::now()` reads. The stride is *adaptive*: each clock sample
+/// schedules the next one roughly halfway to the deadline at the
+/// observed visit rate, clamped to `[1, MAX_DEADLINE_STRIDE]` — a
+/// geometric approach that bounds overshoot past the deadline to about
+/// one visit's worth of work even when individual visits are expensive,
+/// while cheap visits still amortise the ~20–30 ns clock read across up
+/// to 64 calls. The cancel token, by contrast, is a single atomic load
+/// and is consulted on *every* call, never stride-sampled.
+const MAX_DEADLINE_STRIDE: usize = 64;
 
 /// The runtime companion of a [`Budget`]: one guard is created per
 /// analysis run, shared by every phase and worker thread, and checked
@@ -265,6 +270,18 @@ pub struct BudgetGuard {
     inert: bool,
     states: AtomicUsize,
     checks: AtomicUsize,
+    /// The `checks` value at which the wall clock is next sampled
+    /// (see [`MAX_DEADLINE_STRIDE`]). Racy updates are benign: any
+    /// worker's sample can trip the deadline, and a stale stride only
+    /// means one extra clock read.
+    next_deadline_check: AtomicUsize,
+    /// The `checks` value of the previous clock sample, paired with
+    /// `last_check_nanos`: together they give the per-visit cost over
+    /// the most recent sampling window, which the adaptive stride is
+    /// derived from.
+    last_check_n: AtomicUsize,
+    /// Elapsed nanoseconds (saturating) at the previous clock sample.
+    last_check_nanos: std::sync::atomic::AtomicU64,
     tripped: AtomicU8,
     soft_interleavings: std::sync::atomic::AtomicBool,
     soft_actions: std::sync::atomic::AtomicBool,
@@ -285,6 +302,9 @@ impl BudgetGuard {
             inert: false,
             states: AtomicUsize::new(0),
             checks: AtomicUsize::new(0),
+            next_deadline_check: AtomicUsize::new(0),
+            last_check_n: AtomicUsize::new(0),
+            last_check_nanos: std::sync::atomic::AtomicU64::new(0),
             tripped: AtomicU8::new(0),
             soft_interleavings: std::sync::atomic::AtomicBool::new(false),
             soft_actions: std::sync::atomic::AtomicBool::new(false),
@@ -318,9 +338,11 @@ impl BudgetGuard {
     }
 
     /// Should exploration stop? Checked cooperatively at every state
-    /// visit: consults (in order) the recorded trip, the cancel token,
-    /// the state cap, and — every [`DEADLINE_STRIDE`] calls — the
-    /// wall clock. The first bound to trip wins and is remembered.
+    /// visit: consults (in order) the recorded trip, the cancel token
+    /// (every call — it is one atomic load, so an external cancellation
+    /// stops the very next visit), the state cap, and — on an adaptive
+    /// stride of at most [`MAX_DEADLINE_STRIDE`] calls — the wall
+    /// clock. The first bound to trip wins and is remembered.
     #[must_use]
     pub fn should_stop(&self) -> bool {
         if self.inert {
@@ -341,12 +363,52 @@ impl BudgetGuard {
         }
         if let Some(deadline) = self.deadline {
             let n = self.checks.fetch_add(1, Ordering::Relaxed);
-            if n.is_multiple_of(DEADLINE_STRIDE) && self.start.elapsed() >= deadline {
-                self.trip(TRIP_WALL_CLOCK);
-                return true;
+            if n >= self.next_deadline_check.load(Ordering::Relaxed) {
+                let elapsed = self.start.elapsed();
+                if elapsed >= deadline {
+                    self.trip(TRIP_WALL_CLOCK);
+                    return true;
+                }
+                self.schedule_next_deadline_check(n, elapsed, deadline);
             }
         }
         false
+    }
+
+    /// Schedules the next wall-clock sample (see
+    /// [`MAX_DEADLINE_STRIDE`]): measure the per-visit cost over the
+    /// window since the previous sample, then aim the next sample
+    /// halfway through the remaining time at that rate. The stride
+    /// therefore shrinks geometrically as the deadline nears — with
+    /// expensive visits it collapses to 1, bounding overshoot to about
+    /// one visit's worth of work — while cheap visits plateau at the
+    /// maximum stride. The very first sample uses a stride of 1, so the
+    /// first real window is measured before any stride is trusted.
+    /// Cross-worker races on the bookkeeping only perturb the stride,
+    /// never the deadline itself.
+    fn schedule_next_deadline_check(&self, n: usize, elapsed: Duration, deadline: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let last_n = self.last_check_n.swap(n, Ordering::Relaxed);
+        let last_nanos = self.last_check_nanos.swap(nanos, Ordering::Relaxed);
+        let window_visits = n.saturating_sub(last_n) as u64;
+        let window_nanos = nanos.saturating_sub(last_nanos);
+        let stride = if window_visits == 0 {
+            // First sample: no window measured yet, stay conservative.
+            1
+        } else if window_nanos == 0 {
+            // Visits too fast for the clock to register: sampling every
+            // visit would be pure overhead.
+            MAX_DEADLINE_STRIDE
+        } else {
+            let per_visit = (window_nanos / window_visits).max(1);
+            let remaining =
+                u64::try_from(deadline.saturating_sub(elapsed).as_nanos()).unwrap_or(u64::MAX);
+            usize::try_from(remaining / (2 * per_visit))
+                .unwrap_or(MAX_DEADLINE_STRIDE)
+                .clamp(1, MAX_DEADLINE_STRIDE)
+        };
+        self.next_deadline_check
+            .store(n.saturating_add(stride), Ordering::Relaxed);
     }
 
     /// Records that the interleaving-enumeration cap was hit (a *soft*
@@ -480,6 +542,53 @@ mod tests {
             g.trip_reason(),
             Some(TruncationReason::BudgetExceeded(BudgetBound::WallClock))
         );
+    }
+
+    #[test]
+    fn deadline_overshoot_is_bounded_for_expensive_visits() {
+        // Visits cost ~1 ms each. A fixed 64-call stride would sample
+        // the clock next at visit 64 and overrun this 30 ms deadline by
+        // ~35 ms; the adaptive stride must trip within a few visits of
+        // the deadline instead.
+        let deadline = Duration::from_millis(30);
+        let g = BudgetGuard::new(&Budget::unlimited().timeout(deadline), CancelToken::new());
+        let start = Instant::now();
+        while !g.should_stop() {
+            g.note_state();
+            std::thread::sleep(Duration::from_millis(1));
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "guard never tripped"
+            );
+        }
+        assert_eq!(
+            g.trip_reason(),
+            Some(TruncationReason::BudgetExceeded(BudgetBound::WallClock))
+        );
+        let overshoot = start.elapsed().saturating_sub(deadline);
+        assert!(
+            overshoot < Duration::from_millis(15),
+            "tripped {overshoot:?} past the deadline — expected the \
+             adaptive stride to bound overshoot to about one visit"
+        );
+    }
+
+    #[test]
+    fn cancellation_stops_the_very_next_visit() {
+        // The cancel token must be consulted on every call — never
+        // stride-sampled — even while the deadline machinery is active.
+        let token = CancelToken::new();
+        let g = BudgetGuard::new(
+            &Budget::unlimited().timeout(Duration::from_secs(3600)),
+            token.clone(),
+        );
+        for _ in 0..100 {
+            assert!(!g.should_stop());
+            g.note_state();
+        }
+        token.cancel();
+        assert!(g.should_stop());
+        assert_eq!(g.trip_reason(), Some(TruncationReason::Cancelled));
     }
 
     #[test]

@@ -85,6 +85,25 @@ impl std::fmt::Display for RaceWitness {
 /// * [`count_maximal_executions`](Explorer::count_maximal_executions) —
 ///   counting by dynamic programming.
 ///
+/// # Partial-order reduction
+///
+/// The behaviour and race entry points apply a happens-before
+/// commutativity partial-order reduction (ample-set style) by default:
+/// when every possible next action of some thread is *invisible* — it
+/// neither synchronises nor conflicts with any action another thread
+/// can ever perform, per the paper's §3 conflict and happens-before
+/// definitions — only that thread is expanded, pruning the
+/// Mazurkiewicz-equivalent interleavings of commuting moves. The
+/// reduction preserves the behaviour set and the existence of §3
+/// adjacent-conflict races exactly (see `docs/paper-mapping.md`);
+/// [`por`](Explorer::por)`(false)` restores the unreduced engine. The
+/// counting and enumeration entry points
+/// ([`maximal_executions`](Explorer::maximal_executions),
+/// [`count_maximal_executions`](Explorer::count_maximal_executions),
+/// [`count_reachable_states`](Explorer::count_reachable_states)) are
+/// defined over the *full* interleaving set and always ignore the
+/// reduction.
+///
 /// # Example
 ///
 /// ```
@@ -107,6 +126,54 @@ impl std::fmt::Display for RaceWitness {
 #[derive(Debug)]
 pub struct Explorer {
     trie: IndexedTraceset,
+    por: bool,
+    footprint: Footprint,
+}
+
+/// The static per-location access footprint of a traceset: which thread
+/// indices ever read or write each location, over *all* traces. The
+/// partial-order reduction derives independence from it: an access to a
+/// location no other thread touches commutes with every move of every
+/// other thread.
+#[derive(Debug, Default)]
+struct Footprint {
+    /// Thread indices that ever write each location.
+    writers: BTreeMap<Loc, BTreeSet<usize>>,
+    /// Thread indices that ever read or write each location.
+    accessors: BTreeMap<Loc, BTreeSet<usize>>,
+}
+
+impl Footprint {
+    fn of(trie: &IndexedTraceset) -> Footprint {
+        let mut fp = Footprint::default();
+        // Traces start with their thread's Start action, so the subtrie
+        // under each root edge holds exactly one thread's actions.
+        for (root_action, subtree) in trie.edges(IndexedTraceset::ROOT) {
+            let Action::Start(tid) = root_action else {
+                continue;
+            };
+            let Some(k) = trie.threads().iter().position(|t| t == tid) else {
+                continue;
+            };
+            let mut stack = vec![subtree];
+            while let Some(node) = stack.pop() {
+                for (a, next) in trie.edges(node) {
+                    match *a {
+                        Action::Read { loc, .. } => {
+                            fp.accessors.entry(loc).or_default().insert(k);
+                        }
+                        Action::Write { loc, .. } => {
+                            fp.accessors.entry(loc).or_default().insert(k);
+                            fp.writers.entry(loc).or_default().insert(k);
+                        }
+                        _ => {}
+                    }
+                    stack.push(next);
+                }
+            }
+        }
+        fp
+    }
 }
 
 /// The explorer's notion of machine state: per-thread trie node, shared
@@ -132,12 +199,28 @@ struct Move {
 type RaceKey = (State, Option<(usize, Loc, bool)>);
 
 impl Explorer {
-    /// Creates an explorer for the given traceset.
+    /// Creates an explorer for the given traceset (with partial-order
+    /// reduction enabled; see [`por`](Explorer::por)).
     #[must_use]
     pub fn new(t: &Traceset) -> Self {
+        let trie = IndexedTraceset::new(t);
+        let footprint = Footprint::of(&trie);
         Explorer {
-            trie: IndexedTraceset::new(t),
+            trie,
+            por: true,
+            footprint,
         }
+    }
+
+    /// Enables or disables the happens-before partial-order reduction
+    /// for the behaviour and race entry points (default: enabled). Both
+    /// settings compute the same behaviours and the same racy/DRF
+    /// verdict; disabling only matters for cross-validating the
+    /// reduction or measuring the full state space.
+    #[must_use]
+    pub fn por(mut self, enabled: bool) -> Self {
+        self.por = enabled;
+        self
     }
 
     fn initial_state(&self) -> State {
@@ -179,6 +262,84 @@ impl Explorer {
             }
         }
         out
+    }
+
+    /// Is `a`, performed by thread `k`, *invisible*: guaranteed to
+    /// neither synchronise nor conflict (§3) with any action any other
+    /// thread can ever perform, and externally unobservable?
+    ///
+    /// Invisible actions commute with every other-thread move, their
+    /// enabledness is stable under other-thread moves, and they can
+    /// never be an endpoint of a data race — the three facts the
+    /// ample-set reduction in [`por_moves`](Explorer::por_moves) rests
+    /// on.
+    fn invisible(&self, k: usize, a: &Action) -> bool {
+        match *a {
+            // Thread starts only advance the starting thread's cursor.
+            Action::Start(_) => true,
+            // A non-volatile read of a location no other thread ever
+            // writes: the value it sees cannot change under it, and it
+            // conflicts with nothing.
+            Action::Read { loc, .. } => {
+                !loc.is_volatile()
+                    && self
+                        .footprint
+                        .writers
+                        .get(&loc)
+                        .is_none_or(|ws| ws.iter().all(|&w| w == k))
+            }
+            // A non-volatile write to a location no other thread ever
+            // touches: invisible to every other thread's reads.
+            Action::Write { loc, .. } => {
+                !loc.is_volatile()
+                    && self
+                        .footprint
+                        .accessors
+                        .get(&loc)
+                        .is_none_or(|ts| ts.iter().all(|&t| t == k))
+            }
+            // Lock/Unlock synchronise; External is observable behaviour.
+            Action::Lock(_) | Action::Unlock(_) | Action::External(_) => false,
+        }
+    }
+
+    /// The reduced move set at `state`: the ample set of the
+    /// happens-before partial-order reduction, or all enabled moves
+    /// when no reduction applies (or POR is disabled).
+    ///
+    /// Selection rule: the lowest-indexed thread whose *every* trie
+    /// edge at its current node — enabled or not — is
+    /// [`invisible`](Explorer::invisible) and that has at least one
+    /// enabled move becomes the ample thread; only its moves are
+    /// explored. Checking all edges (not just enabled ones) matters: a
+    /// disabled read edge of a shared location could become enabled
+    /// after another thread's write, so only a thread whose entire
+    /// next-step alternative set commutes with the rest of the program
+    /// may be prioritised. The choice is a pure function of the state,
+    /// so memoisation and parallel graph deduplication stay exact.
+    ///
+    /// Every explorer move strictly advances a trie cursor, so the
+    /// state graph is a DAG and the classic ample-set cycle proviso
+    /// holds vacuously; soundness is argued in `docs/paper-mapping.md`.
+    fn por_moves(&self, state: &State) -> Vec<Move> {
+        let moves = self.moves(state);
+        if !self.por {
+            return moves;
+        }
+        for (k, &node) in state.cursors.iter().enumerate() {
+            let mut edges = self.trie.edges(node).peekable();
+            if edges.peek().is_none() {
+                continue; // thread finished
+            }
+            if !edges.all(|(a, _)| self.invisible(k, a)) {
+                continue;
+            }
+            let ample: Vec<Move> = moves.iter().filter(|mv| mv.thread == k).copied().collect();
+            if !ample.is_empty() {
+                return ample;
+            }
+        }
+        moves
     }
 
     /// Applies a move to a state.
@@ -249,7 +410,7 @@ impl Explorer {
             return self.behaviours_governed(guard);
         }
         let result = self
-            .state_graph(jobs, guard)
+            .state_graph(jobs, guard, true)
             .and_then(|graph| par::behaviours_of(&graph, jobs));
         match result {
             Ok(b) => b,
@@ -261,18 +422,28 @@ impl Explorer {
     }
 
     /// Builds the explicit reachable state graph on `jobs` workers.
+    /// `reduced` applies the partial-order reduction (valid for the
+    /// behaviour DP; the execution-count DP is defined over the full
+    /// interleaving set and must pass `false`).
     fn state_graph(
         &self,
         jobs: usize,
         guard: &BudgetGuard,
+        reduced: bool,
     ) -> Result<par::StateGraph<State>, crate::budget::EngineFault> {
-        par::build_state_graph(jobs, self.initial_state(), guard, |state| par::Expansion {
-            moves: self
-                .moves(state)
-                .into_iter()
-                .map(|mv| (mv.action, self.apply(state, &mv)))
-                .collect(),
-            truncated: false,
+        par::build_state_graph(jobs, self.initial_state(), guard, |state| {
+            let moves = if reduced {
+                self.por_moves(state)
+            } else {
+                self.moves(state)
+            };
+            par::Expansion {
+                moves: moves
+                    .into_iter()
+                    .map(|mv| (mv.action, self.apply(state, &mv)))
+                    .collect(),
+                truncated: false,
+            }
         })
     }
 
@@ -293,7 +464,7 @@ impl Explorer {
             return Arc::new(set);
         }
         guard.note_state();
-        for mv in self.moves(&state) {
+        for mv in self.por_moves(&state) {
             let tail = self.suffixes(self.apply(&state, &mv), memo, guard);
             match mv.action {
                 Action::External(v) => {
@@ -347,7 +518,7 @@ impl Explorer {
             return false;
         }
         guard.note_state();
-        for mv in self.moves(&state) {
+        for mv in self.por_moves(&state) {
             let thread_id = self.trie.threads()[mv.thread];
             // Race check against the immediately preceding event.
             if let Some((pk, pl, pw)) = prev {
@@ -410,7 +581,7 @@ impl Explorer {
             |(state, prev)| {
                 let mut found = false;
                 let mut successors = Vec::new();
-                for mv in self.moves(state) {
+                for mv in self.por_moves(state) {
                     if let Some((pk, pl, pw)) = *prev {
                         if pk != mv.thread
                             && mv.action.is_access_to(pl)
@@ -541,33 +712,57 @@ impl Explorer {
     }
 
     /// Counts the maximal executions by dynamic programming (no
-    /// materialisation).
+    /// materialisation). Counts the *full* interleaving set — the
+    /// partial-order reduction never applies here. Saturates at
+    /// `u128::MAX`; use
+    /// [`count_maximal_executions_checked`](Explorer::count_maximal_executions_checked)
+    /// to observe saturation.
     #[must_use]
     pub fn count_maximal_executions(&self) -> u128 {
+        self.count_maximal_executions_checked().0
+    }
+
+    /// Like [`count_maximal_executions`](Explorer::count_maximal_executions),
+    /// but also reports whether the count overflowed `u128` and was
+    /// clamped to `u128::MAX` (possible on adversarial generated
+    /// programs; the flag keeps the clamp from reading as an exact
+    /// count).
+    #[must_use]
+    pub fn count_maximal_executions_checked(&self) -> (u128, bool) {
         let mut memo: HashMap<State, u128> = HashMap::new();
-        self.count(self.initial_state(), &mut memo)
+        let mut saturated = false;
+        let c = self.count(self.initial_state(), &mut memo, &mut saturated);
+        (c, saturated)
     }
 
     /// The execution count, computed on `jobs` workers (identical to
     /// [`count_maximal_executions`](Explorer::count_maximal_executions)).
     #[must_use]
     pub fn count_maximal_executions_par(&self, jobs: usize) -> u128 {
+        self.count_maximal_executions_par_checked(jobs).0
+    }
+
+    /// The checked execution count on `jobs` workers; the `bool` flags
+    /// saturation at `u128::MAX`, exactly as in
+    /// [`count_maximal_executions_checked`](Explorer::count_maximal_executions_checked).
+    #[must_use]
+    pub fn count_maximal_executions_par_checked(&self, jobs: usize) -> (u128, bool) {
         if jobs <= 1 {
-            return self.count_maximal_executions();
+            return self.count_maximal_executions_checked();
         }
         let guard = BudgetGuard::unlimited();
         match self
-            .state_graph(jobs, &guard)
-            .and_then(|graph| par::count_leaves(&graph, jobs))
+            .state_graph(jobs, &guard, false)
+            .and_then(|graph| par::count_leaves_checked(&graph, jobs))
         {
             Ok(c) => c,
             // Quarantined worker panic: degrade to the sequential
             // reference computation.
-            Err(_) => self.count_maximal_executions(),
+            Err(_) => self.count_maximal_executions_checked(),
         }
     }
 
-    fn count(&self, state: State, memo: &mut HashMap<State, u128>) -> u128 {
+    fn count(&self, state: State, memo: &mut HashMap<State, u128>, saturated: &mut bool) -> u128 {
         if let Some(&c) = memo.get(&state) {
             return c;
         }
@@ -575,10 +770,15 @@ impl Explorer {
         let c = if moves.is_empty() {
             1
         } else {
-            moves
-                .iter()
-                .map(|mv| self.count(self.apply(&state, mv), memo))
-                .sum()
+            let mut acc: u128 = 0;
+            for mv in &moves {
+                let tail = self.count(self.apply(&state, mv), memo, saturated);
+                acc = acc.checked_add(tail).unwrap_or_else(|| {
+                    *saturated = true;
+                    u128::MAX
+                });
+            }
+            acc
         };
         memo.insert(state, c);
         c
@@ -601,7 +801,9 @@ impl Explorer {
     }
 
     /// The number of distinct explorer states reachable from the initial
-    /// state (a size measure used by the scaling experiments).
+    /// state (a size measure used by the scaling experiments). Always a
+    /// census of the *full* transition system, regardless of the
+    /// partial-order-reduction setting.
     #[must_use]
     pub fn count_reachable_states(&self) -> usize {
         let mut seen: HashSet<State> = HashSet::new();
@@ -905,5 +1107,99 @@ mod tests {
     fn reachable_state_count_is_positive() {
         let ts = fig2_original();
         assert!(Explorer::new(&ts).count_reachable_states() > 1);
+    }
+
+    /// Two threads whose bodies are entirely thread-private writes plus
+    /// one shared, lock-protected store: heavy commutativity, so the
+    /// reduction should visit far fewer states.
+    fn private_work_traceset() -> Traceset {
+        let m = Monitor::new(0);
+        let shared = Loc::normal(100);
+        let mut ts = Traceset::new();
+        for (k, th) in [t(0), t(1)].into_iter().enumerate() {
+            let a = Loc::normal(k as u32 * 10);
+            let b = Loc::normal(k as u32 * 10 + 1);
+            ts.insert(Trace::from_actions([
+                Action::start(th),
+                Action::write(a, v(1)),
+                Action::write(b, v(2)),
+                Action::read(a, v(1)),
+                Action::write(a, v(3)),
+                Action::lock(m),
+                Action::write(shared, v(k as u32)),
+                Action::unlock(m),
+            ]))
+            .unwrap();
+        }
+        ts
+    }
+
+    #[test]
+    fn por_agrees_with_full_engine_on_small_corpus() {
+        for ts in [fig2_original(), fig2_transformed(), private_work_traceset()] {
+            let reduced = Explorer::new(&ts);
+            let full = Explorer::new(&ts).por(false);
+            assert_eq!(reduced.behaviours(), full.behaviours());
+            assert_eq!(
+                reduced.race_witness().is_some(),
+                full.race_witness().is_some()
+            );
+            for jobs in [1, 4] {
+                assert_eq!(reduced.behaviours_par(jobs), full.behaviours());
+                assert_eq!(
+                    reduced.race_witness_par(jobs).is_some(),
+                    full.race_witness().is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn por_explores_fewer_states_on_independent_work() {
+        use crate::budget::{Budget, CancelToken};
+        let ts = private_work_traceset();
+        let states_of = |por: bool| {
+            let guard = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+            let _ = Explorer::new(&ts).por(por).behaviours_governed(&guard);
+            guard.states()
+        };
+        let (reduced, full) = (states_of(true), states_of(false));
+        assert!(
+            reduced * 2 <= full,
+            "POR explored {reduced} states vs {full} unreduced — expected \
+             at least a 2x reduction on thread-private work"
+        );
+    }
+
+    #[test]
+    fn por_does_not_change_counts_or_census() {
+        let ts = private_work_traceset();
+        let reduced = Explorer::new(&ts);
+        let full = Explorer::new(&ts).por(false);
+        assert_eq!(
+            reduced.count_maximal_executions(),
+            full.count_maximal_executions()
+        );
+        assert_eq!(
+            reduced.count_maximal_executions_par(4),
+            full.count_maximal_executions()
+        );
+        assert_eq!(
+            reduced.count_reachable_states(),
+            full.count_reachable_states()
+        );
+        assert_eq!(
+            reduced.maximal_executions(ExploreLimits::default()).len(),
+            full.maximal_executions(ExploreLimits::default()).len()
+        );
+    }
+
+    #[test]
+    fn counts_do_not_report_saturation_on_small_programs() {
+        let ex = Explorer::new(&fig2_original());
+        let (c, saturated) = ex.count_maximal_executions_checked();
+        assert!(c > 0 && !saturated);
+        let (cp, saturated_par) = ex.count_maximal_executions_par_checked(4);
+        assert_eq!((cp, saturated_par), (c, false));
     }
 }

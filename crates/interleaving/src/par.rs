@@ -43,8 +43,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use transafety_traces::Action;
 
@@ -99,12 +99,82 @@ fn maybe_inject_panic() {
 // Work-stealing scheduler
 // ---------------------------------------------------------------------
 
+/// The idle-worker gate: an eventcount. A worker that finds no work
+/// snapshots the epoch, re-verifies that nothing is queued, and sleeps
+/// only if the epoch is still unchanged; every producer bumps the epoch
+/// before checking for sleepers, so (both sides being `SeqCst`) a
+/// store-buffering miss — the producer seeing no idlers while the idler
+/// sees a stale epoch — is impossible and no wakeup is ever lost.
+/// Replaces the old 50µs spin-then-sleep poll: idle workers burn no CPU
+/// and wake at notify latency instead of polling latency.
+struct IdleGate {
+    epoch: AtomicU64,
+    idlers: AtomicUsize,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl IdleGate {
+    fn new() -> Self {
+        IdleGate {
+            epoch: AtomicU64::new(0),
+            idlers: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The epoch to pass to a later [`sleep`](IdleGate::sleep).
+    fn snapshot(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Announces new work (or a state change sleepers must observe).
+    /// The epoch bump is one atomic; the mutex and condvar are touched
+    /// only when some worker is actually asleep.
+    fn wake(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.idlers.load(Ordering::SeqCst) > 0 {
+            // Taking (and dropping) the mutex orders this notify after
+            // any sleeper currently between its idler registration and
+            // its condvar wait, which holds the mutex for that window.
+            drop(self.mutex.lock().expect("idle gate poisoned"));
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until the epoch moves past `seen` (or a spurious wakeup;
+    /// the worker loop re-checks for work after every return).
+    fn sleep(&self, seen: u64) {
+        let guard = self.mutex.lock().expect("idle gate poisoned");
+        self.idlers.fetch_add(1, Ordering::SeqCst);
+        if self.epoch.load(Ordering::SeqCst) == seen {
+            let _woken = self.cv.wait(guard).expect("idle gate poisoned");
+        }
+        self.idlers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 struct TaskQueue<T> {
     shards: Vec<Mutex<VecDeque<T>>>,
     /// Tasks queued or currently being processed; the pool is done when
     /// this reaches zero.
     pending: AtomicUsize,
     stop: AtomicBool,
+    gate: IdleGate,
+}
+
+impl<T> TaskQueue<T> {
+    /// Is any deque non-empty? A shard whose lock is contended counts
+    /// as work (someone is pushing or popping right now), so a
+    /// worker deciding whether to sleep errs on the side of staying
+    /// awake.
+    fn has_queued_work(&self) -> bool {
+        self.shards.iter().any(|s| match s.try_lock() {
+            Ok(q) => !q.is_empty(),
+            Err(_) => true,
+        })
+    }
 }
 
 /// Handle given to task handlers for spawning follow-up work and for
@@ -123,12 +193,14 @@ impl<T> TaskContext<'_, T> {
             .lock()
             .expect("task deque poisoned")
             .push_back(task);
+        self.queue.gate.wake();
     }
 
     /// Requests early termination of the whole pool (remaining tasks
     /// are dropped). Used by searches once a witness is found.
     pub fn stop(&self) {
         self.queue.stop.store(true, Ordering::Release);
+        self.queue.gate.wake();
     }
 
     /// Has early termination been requested?
@@ -216,6 +288,7 @@ where
         shards: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
         pending: AtomicUsize::new(seeds.len()),
         stop: AtomicBool::new(false),
+        gate: IdleGate::new(),
     };
     let faults = FaultLog::new();
     // Runs one task under panic quarantine; a caught panic cancels the
@@ -305,18 +378,36 @@ where
                         Some(task) => {
                             spins = 0;
                             guarded(task, &ctx);
-                            queue.pending.fetch_sub(1, Ordering::AcqRel);
+                            if queue.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                // Last in-flight task: wake sleepers so
+                                // they observe the drain and exit.
+                                queue.gate.wake();
+                            }
                         }
                         None => {
                             if queue.pending.load(Ordering::Acquire) == 0 {
                                 break;
                             }
                             spins += 1;
-                            if spins > 64 {
-                                std::thread::sleep(std::time::Duration::from_micros(50));
-                            } else {
+                            if spins <= 64 {
+                                // Brief spin phase: work usually arrives
+                                // within a few steal attempts.
                                 std::thread::yield_now();
+                                continue;
                             }
+                            // Park on the gate until a push, a stop or
+                            // the final drain. The snapshot-then-recheck
+                            // order makes the sleep race-free: anything
+                            // queued after the snapshot bumps the epoch
+                            // and the sleep returns immediately.
+                            let seen = queue.gate.snapshot();
+                            if ctx.stopped()
+                                || queue.pending.load(Ordering::Acquire) == 0
+                                || queue.has_queued_work()
+                            {
+                                continue;
+                            }
+                            queue.gate.sleep(seen);
                         }
                     }
                 }
@@ -603,14 +694,34 @@ pub fn behaviours_of<K: Sync>(
 }
 
 /// The number of maximal paths (executions) of the state graph, by the
-/// parallel form of the counting dynamic program.
+/// parallel form of the counting dynamic program. Saturates at
+/// `u128::MAX` (see [`count_leaves_checked`]).
 /// A quarantined worker panic surfaces as an [`EngineFault`].
 pub fn count_leaves<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> Result<u128, EngineFault> {
-    evaluate_dag(graph, jobs, |_edges, tails: &[u128]| {
+    count_leaves_checked(graph, jobs).map(|(count, _)| count)
+}
+
+/// [`count_leaves`] with overflow accounting: path counts grow as a
+/// product of branching factors, so adversarial graphs overflow even
+/// `u128`. Additions are `checked_add`; on overflow the count clamps to
+/// `u128::MAX` and the returned flag is `true`, so a clamped value can
+/// never be mistaken for an exact count.
+pub fn count_leaves_checked<K: Sync>(
+    graph: &StateGraph<K>,
+    jobs: usize,
+) -> Result<(u128, bool), EngineFault> {
+    evaluate_dag(graph, jobs, |_edges, tails: &[(u128, bool)]| {
         if tails.is_empty() {
-            1
+            (1, false)
         } else {
-            tails.iter().sum()
+            tails
+                .iter()
+                .fold((0u128, false), |(acc, sat), &(tail, tail_sat)| {
+                    match acc.checked_add(tail) {
+                        Some(sum) => (sum, sat || tail_sat),
+                        None => (u128::MAX, true),
+                    }
+                })
         }
     })
 }
@@ -838,6 +949,48 @@ mod tests {
             assert!(!g.truncated);
             assert_eq!(count_leaves(&g, jobs).expect("no faults"), 12870); // C(16, 8)
         }
+    }
+
+    #[test]
+    fn count_leaves_saturates_instead_of_wrapping() {
+        // A chain of 128 levels with 4 parallel edges per level:
+        // 4^128 = 2^256 maximal paths, far past u128::MAX.
+        let g = build_state_graph(2, 0u32, &BudgetGuard::unlimited(), |&s| Expansion {
+            moves: if s < 128 {
+                (0..4)
+                    .map(|v| (Action::external(transafety_traces::Value::new(v)), s + 1))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            truncated: false,
+        })
+        .expect("no faults");
+        for jobs in [1, 4] {
+            let (count, saturated) = count_leaves_checked(&g, jobs).expect("no faults");
+            assert_eq!(count, u128::MAX, "jobs={jobs}");
+            assert!(saturated, "jobs={jobs}: overflow must be flagged");
+            assert_eq!(count_leaves(&g, jobs).expect("no faults"), u128::MAX);
+        }
+    }
+
+    #[test]
+    fn idle_workers_sleep_and_wake_on_late_work() {
+        // One producer task trickles out work slowly enough that the
+        // other workers exhaust their spin phase and park on the gate;
+        // every wakeup must be delivered (a lost one would hang the
+        // pool, which the test harness would report as a timeout).
+        let done = AtomicUsize::new(0);
+        let outcome = run_tasks(4, vec![0u32], |n, ctx: &TaskContext<'_, u32>| {
+            if n < 10 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                ctx.push(n + 1);
+                ctx.push(100 + n); // a leaf for a parked worker
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outcome.panics, 0);
+        assert_eq!(done.load(Ordering::Relaxed), 21);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct ExploreOptions {
     pub max_actions: usize,
     /// Maximum silent steps between two actions of one thread.
     pub max_tau: usize,
+    /// Apply the happens-before partial-order reduction to the
+    /// behaviour and race entry points (default: `true`). The reduction
+    /// only ever fires on loop-free programs — there the state graph is
+    /// a DAG and the reduction is exact — and is self-disabling on
+    /// programs with `while` loops, whose cyclic state graphs would
+    /// need the classic ample-set cycle proviso. Disabling is for
+    /// cross-validation and state-space measurement only: both settings
+    /// produce the same behaviours and the same racy/DRF verdict.
+    pub por: bool,
 }
 
 impl Default for ExploreOptions {
@@ -36,6 +45,7 @@ impl Default for ExploreOptions {
         ExploreOptions {
             max_actions: 32,
             max_tau: 4096,
+            por: true,
         }
     }
 }
@@ -77,6 +87,18 @@ pub struct Bounded<T> {
 #[derive(Debug)]
 pub struct ProgramExplorer<'p> {
     program: &'p Program,
+    /// Thread indices that ever (statically) write each location.
+    loc_writers: BTreeMap<Loc, std::collections::BTreeSet<usize>>,
+    /// Thread indices that ever (statically) read or write each
+    /// location.
+    loc_accessors: BTreeMap<Loc, std::collections::BTreeSet<usize>>,
+    /// Is the partial-order reduction applicable at all? Loop-free
+    /// programs have DAG state graphs (every action strictly consumes a
+    /// statement), which the reduction's soundness argument requires; a
+    /// `while` loop can close a cycle in which an ample thread spins
+    /// forever and the reduced search never schedules its siblings (the
+    /// classic ignoring problem), so loopy programs run unreduced.
+    reducible: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -101,7 +123,75 @@ impl<'p> ProgramExplorer<'p> {
     /// Creates an explorer for the program.
     #[must_use]
     pub fn new(program: &'p Program) -> Self {
-        ProgramExplorer { program }
+        let mut loc_writers: BTreeMap<Loc, std::collections::BTreeSet<usize>> = BTreeMap::new();
+        let mut loc_accessors: BTreeMap<Loc, std::collections::BTreeSet<usize>> = BTreeMap::new();
+        for (k, thread) in program.threads().iter().enumerate() {
+            for stmt in thread {
+                collect_accesses(stmt, k, &mut loc_writers, &mut loc_accessors);
+            }
+        }
+        let reducible = !program_has_loops(program);
+        ProgramExplorer {
+            program,
+            loc_writers,
+            loc_accessors,
+            reducible,
+        }
+    }
+
+    /// Is `a`, performed by thread `k`, *invisible*: guaranteed (by the
+    /// static per-thread access footprint) to neither synchronise nor
+    /// conflict with anything any other thread can ever do, and
+    /// externally unobservable? Mirrors
+    /// `transafety_interleaving::Explorer`'s predicate; see
+    /// `docs/paper-mapping.md` for the soundness argument.
+    fn invisible(&self, k: usize, a: &Action) -> bool {
+        match *a {
+            Action::Start(_) => true,
+            Action::Read { loc, .. } => {
+                !loc.is_volatile()
+                    && self
+                        .loc_writers
+                        .get(&loc)
+                        .is_none_or(|ws| ws.iter().all(|&w| w == k))
+            }
+            Action::Write { loc, .. } => {
+                !loc.is_volatile()
+                    && self
+                        .loc_accessors
+                        .get(&loc)
+                        .is_none_or(|ts| ts.iter().all(|&t| t == k))
+            }
+            Action::Lock(_) | Action::Unlock(_) | Action::External(_) => false,
+        }
+    }
+
+    /// The reduced move set: the ample set of the partial-order
+    /// reduction, or all enabled moves when no reduction applies.
+    ///
+    /// Each thread has at most one enabled move here (the program
+    /// semantics are deterministic per thread given the memory), and a
+    /// move reading or writing a thread-private location is *stable*:
+    /// no other thread's move can change, disable or conflict with it.
+    /// The lowest-indexed thread with an invisible enabled move
+    /// therefore forms a singleton ample set. Only fires when
+    /// `self.reducible` (loop-free programs — the state graph is a DAG,
+    /// so the cycle proviso holds vacuously) and the choice is a pure
+    /// function of the state, keeping memoisation and parallel
+    /// deduplication exact.
+    fn por_moves(&self, state: &PState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PMove> {
+        let moves = self.moves(state, opts, truncated);
+        if !opts.por || !self.reducible {
+            return moves;
+        }
+        // `moves` lists threads in ascending index order.
+        if let Some(mv) = moves
+            .iter()
+            .find(|mv| self.invisible(mv.thread, &mv.action))
+        {
+            return vec![mv.clone()];
+        }
+        moves
     }
 
     fn initial(&self) -> PState {
@@ -292,7 +382,7 @@ impl<'p> ProgramExplorer<'p> {
             return Arc::new(set);
         }
         guard.note_state();
-        let moves = self.moves(state, opts, truncated);
+        let moves = self.por_moves(state, opts, truncated);
         if fuel == 0 {
             if !moves.is_empty() {
                 *truncated = true;
@@ -400,7 +490,7 @@ impl<'p> ProgramExplorer<'p> {
             |node: &(PState, usize)| {
                 let (state, fuel) = node;
                 let mut truncated = false;
-                let moves = self.moves(state, opts, &mut truncated);
+                let moves = self.por_moves(state, opts, &mut truncated);
                 let mut out = Vec::with_capacity(moves.len());
                 if *fuel == 0 {
                     if !moves.is_empty() {
@@ -476,7 +566,7 @@ impl<'p> ProgramExplorer<'p> {
             return false;
         }
         guard.note_state();
-        for mv in self.moves(&state, opts, truncated) {
+        for mv in self.por_moves(&state, opts, truncated) {
             let tid = ThreadId::new(mv.thread as u32);
             if let Some((pk, pl, pw)) = prev {
                 if pk != mv.thread
@@ -550,7 +640,7 @@ impl<'p> ProgramExplorer<'p> {
                 let mut truncated = false;
                 let mut found = false;
                 let mut successors = Vec::new();
-                for mv in self.moves(state, opts, &mut truncated) {
+                for mv in self.por_moves(state, opts, &mut truncated) {
                     if let Some((pk, pl, pw)) = *prev {
                         if pk != mv.thread
                             && mv.action.is_access_to(pl)
@@ -773,6 +863,45 @@ impl<'p> ProgramExplorer<'p> {
     }
 }
 
+/// Records every location statement `s` (of thread `k`) can read or
+/// write into the footprint maps. Conditions only read registers, so
+/// statements' `loc` fields are the complete memory footprint; the walk
+/// over-approximates (dead branches count), which is the safe direction
+/// for the reduction.
+fn collect_accesses(
+    s: &crate::ast::Stmt,
+    k: usize,
+    writers: &mut BTreeMap<Loc, std::collections::BTreeSet<usize>>,
+    accessors: &mut BTreeMap<Loc, std::collections::BTreeSet<usize>>,
+) {
+    match s {
+        crate::ast::Stmt::Store { loc, .. } => {
+            writers.entry(*loc).or_default().insert(k);
+            accessors.entry(*loc).or_default().insert(k);
+        }
+        crate::ast::Stmt::Load { loc, .. } => {
+            accessors.entry(*loc).or_default().insert(k);
+        }
+        crate::ast::Stmt::Block(b) => {
+            for s in b {
+                collect_accesses(s, k, writers, accessors);
+            }
+        }
+        crate::ast::Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_accesses(then_branch, k, writers, accessors);
+            collect_accesses(else_branch, k, writers, accessors);
+        }
+        crate::ast::Stmt::While { body, .. } => {
+            collect_accesses(body, k, writers, accessors);
+        }
+        _ => {}
+    }
+}
+
 /// Does the program contain a `while` loop (anywhere)?
 pub(crate) fn program_has_loops(p: &Program) -> bool {
     fn stmt_has_loop(s: &crate::ast::Stmt) -> bool {
@@ -955,6 +1084,7 @@ mod tests {
         let b = ProgramExplorer::new(&parsed.program).behaviours(&ExploreOptions {
             max_actions: 4,
             max_tau: 100,
+            ..ExploreOptions::default()
         });
         assert!(!b.complete);
         assert!(b.value.contains(&vec![Value::new(1); 3]));
@@ -967,9 +1097,90 @@ mod tests {
         let b = ProgramExplorer::new(&parsed.program).behaviours(&ExploreOptions {
             max_actions: 4,
             max_tau: 50,
+            ..ExploreOptions::default()
         });
         assert!(!b.complete);
         assert_eq!(b.value.len(), 1, "only the empty behaviour");
+    }
+
+    #[test]
+    fn por_agrees_with_full_engine_on_corpus() {
+        let corpus = [
+            "r2 := x; y := r2; || r1 := y; x := 1; print r1;",
+            "flag := 1; || while (flag != 1) skip; print 1;",
+            "lock m; x := 1; unlock m; || lock m; r0 := x; unlock m; print r0;",
+            "volatile v; v := 1; || r0 := v; print r0;",
+            "a := 1; r0 := a; x := r0; || b := 1; r1 := b; x := r1; print r1;",
+        ];
+        let on = ExploreOptions::default();
+        let off = ExploreOptions {
+            por: false,
+            ..ExploreOptions::default()
+        };
+        for src in corpus {
+            let parsed = parse_program(src).unwrap();
+            let ex = ProgramExplorer::new(&parsed.program);
+            assert_eq!(ex.behaviours(&on), ex.behaviours(&off), "{src}");
+            assert_eq!(
+                ex.race_witness(&on).is_some(),
+                ex.race_witness(&off).is_some(),
+                "{src}"
+            );
+            for jobs in [2, 4] {
+                assert_eq!(
+                    ex.behaviours_par(&on, jobs),
+                    ex.behaviours_par(&off, jobs),
+                    "{src}"
+                );
+                assert_eq!(
+                    ex.is_data_race_free_par(&on, jobs),
+                    ex.is_data_race_free_par(&off, jobs),
+                    "{src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn por_prunes_states_on_loop_free_private_work() {
+        use transafety_interleaving::{Budget, CancelToken};
+        // Each thread does four actions on a thread-private location
+        // before touching the lock-protected shared cell: the private
+        // prefixes commute, so POR should collapse their shuffles.
+        let src = "a := 1; r0 := a; a := 2; r0 := a; lock m; x := 1; unlock m; \
+                   || b := 1; r1 := b; b := 2; r1 := b; lock m; r2 := x; unlock m; print r2;";
+        let parsed = parse_program(src).unwrap();
+        let ex = ProgramExplorer::new(&parsed.program);
+        let on = ExploreOptions::default();
+        let off = ExploreOptions {
+            por: false,
+            ..ExploreOptions::default()
+        };
+        let reduced = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+        let full = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+        let b_on = ex.behaviours_governed(&on, &reduced);
+        let b_off = ex.behaviours_governed(&off, &full);
+        assert_eq!(b_on, b_off);
+        assert!(
+            reduced.states() * 2 <= full.states(),
+            "POR explored {} states vs {} unreduced",
+            reduced.states(),
+            full.states()
+        );
+    }
+
+    #[test]
+    fn por_is_bypassed_on_loopy_programs() {
+        // A spinning thread has invisible moves forever: a singleton
+        // ample set would starve its sibling (the ignoring problem), so
+        // POR must disable itself when the program has loops.
+        let src = "flag := 1; || while (flag != 1) skip; print 1;";
+        let parsed = parse_program(src).unwrap();
+        let ex = ProgramExplorer::new(&parsed.program);
+        assert!(!ex.reducible);
+        let on = ExploreOptions::default();
+        assert!(ex.race_witness(&on).is_some(), "flag race still found");
+        assert!(ex.behaviours(&on).value.contains(&vec![Value::new(1)]));
     }
 }
 

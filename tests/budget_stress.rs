@@ -12,6 +12,14 @@ use transafety::{Budget, CancelToken, Completeness};
 
 const SEEDS: u64 = 200;
 
+/// Base analysis configuration; set `TRANSAFETY_NO_POR=1` to run the
+/// whole corpus through the unreduced engine (the CI stress job runs
+/// both and diffs the outcomes).
+fn analysis() -> Analysis {
+    let no_por = std::env::var_os("TRANSAFETY_NO_POR").is_some_and(|v| !v.is_empty());
+    Analysis::new().por(!no_por)
+}
+
 fn configs() -> Vec<GeneratorConfig> {
     vec![
         GeneratorConfig::default(),
@@ -62,10 +70,7 @@ fn starved_analyses_stay_sound_sequential_and_parallel() {
         for seed in 0..SEEDS / configs().len() as u64 {
             let program = random_program(seed, &config);
             for jobs in [1, 4] {
-                let report = Analysis::new()
-                    .jobs(jobs)
-                    .budget(tiny_budget())
-                    .run(&program);
+                let report = analysis().jobs(jobs).budget(tiny_budget()).run(&program);
                 check_report(&report, &format!("seed {seed} jobs {jobs}"));
             }
         }
@@ -77,7 +82,7 @@ fn state_cap_alone_stays_sound() {
     let config = GeneratorConfig::default();
     for seed in 0..SEEDS {
         let program = random_program(seed, &config);
-        let report = Analysis::new().max_states(64).run(&program);
+        let report = analysis().max_states(64).run(&program);
         check_report(&report, &format!("seed {seed} (state cap)"));
         // The cap is enforced, not advisory: the governor stops within
         // one round of cooperative checks of the cap.
@@ -95,10 +100,7 @@ fn state_cap_alone_stays_sound() {
 #[test]
 fn zero_deadline_trips_immediately_and_reports_why() {
     let program = random_program(7, &GeneratorConfig::default());
-    let report = Analysis::new()
-        .timeout(Duration::ZERO)
-        .jobs(4)
-        .run(&program);
+    let report = analysis().timeout(Duration::ZERO).jobs(4).run(&program);
     assert!(!report.completeness.is_complete());
     assert_eq!(report.verdict, Verdict::Unknown);
 }
@@ -124,7 +126,7 @@ fn cancellation_mid_run_yields_truncated_report() {
             token.cancel();
         })
     };
-    let report = Analysis::new().jobs(4).run_with_cancel(&program, token);
+    let report = analysis().jobs(4).run_with_cancel(&program, token);
     canceller.join().expect("canceller thread");
     check_report(&report, "mid-run cancellation");
 }

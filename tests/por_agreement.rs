@@ -1,0 +1,128 @@
+//! Equivalence of the partial-order-reduced engine and the full
+//! engine: with POR on vs off, the `Verdict`, the presence of a
+//! `RaceWitness`, and the behaviour set must agree — on the whole
+//! litmus corpus and on hundreds of generated programs, sequentially
+//! and in parallel. POR is a pruning of redundant interleavings, never
+//! of observable outcomes.
+
+use std::time::Duration;
+
+use transafety::checker::Analysis;
+use transafety::lang::Program;
+use transafety::litmus::{corpus, random_program, GeneratorConfig};
+use transafety::{AnalysisReport, Budget, Completeness, Verdict};
+
+const SEEDS: u64 = 200;
+const JOBS: [usize; 2] = [1, 4];
+
+fn configs() -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::default(),
+        GeneratorConfig::drf(),
+        GeneratorConfig::with_volatiles(),
+        GeneratorConfig {
+            threads: 3,
+            stmts_per_thread: 5,
+            ..GeneratorConfig::default()
+        },
+    ]
+}
+
+/// Generous enough that small programs complete, bounded enough that an
+/// adversarial generated program cannot hang the suite.
+fn capped_budget() -> Budget {
+    Budget::unlimited()
+        .max_states(200_000)
+        .timeout(Duration::from_secs(5))
+}
+
+fn run(program: &Program, por: bool, jobs: usize, budget: &Budget) -> AnalysisReport {
+    Analysis::new()
+        .jobs(jobs)
+        .por(por)
+        .budget(*budget)
+        .run(program)
+}
+
+/// The contract when both engines finish: bit-identical observables.
+fn assert_identical(reduced: &AnalysisReport, full: &AnalysisReport, what: &str) {
+    assert_eq!(reduced.verdict, full.verdict, "{what}: verdict");
+    assert_eq!(
+        reduced.race.is_some(),
+        full.race.is_some(),
+        "{what}: race witness presence"
+    );
+    assert_eq!(reduced.behaviours, full.behaviours, "{what}: behaviours");
+}
+
+/// The contract that must hold even when a budget truncates one side:
+/// no soundness inversion. A witness is conclusive, so `Racy` on one
+/// side can never meet `DrfProven` on the other (the reduced execution
+/// set is a subset of the full one), and no truncated run may claim a
+/// proof.
+fn assert_sound(reduced: &AnalysisReport, full: &AnalysisReport, what: &str) {
+    for (r, tag) in [(reduced, "por"), (full, "no-por")] {
+        if r.race.is_some() {
+            assert_eq!(r.verdict, Verdict::Racy, "{what} [{tag}]");
+        }
+        if matches!(r.completeness, Completeness::Truncated { .. }) {
+            assert_ne!(
+                r.verdict,
+                Verdict::DrfProven,
+                "{what} [{tag}]: truncated run claimed a proof"
+            );
+        }
+    }
+    assert!(
+        !(reduced.verdict == Verdict::Racy && full.verdict == Verdict::DrfProven),
+        "{what}: POR found a race the full engine proved absent"
+    );
+    assert!(
+        !(full.verdict == Verdict::Racy && reduced.verdict == Verdict::DrfProven),
+        "{what}: POR laundered a racy program into a proof"
+    );
+}
+
+#[test]
+fn por_agrees_on_the_litmus_corpus() {
+    let budget = Budget::unlimited();
+    for litmus in corpus() {
+        let program = litmus.parse().program;
+        for jobs in JOBS {
+            let what = format!("litmus {} jobs={jobs}", litmus.name);
+            let reduced = run(&program, true, jobs, &budget);
+            let full = run(&program, false, jobs, &budget);
+            // The corpus is unbudgeted, so completeness differs only by
+            // the deterministic fuel bound — identical on both sides.
+            assert_eq!(reduced.completeness, full.completeness, "{what}");
+            assert_identical(&reduced, &full, &what);
+            assert!(
+                reduced.states_explored <= full.states_explored,
+                "{what}: POR explored more states ({} > {})",
+                reduced.states_explored,
+                full.states_explored
+            );
+        }
+    }
+}
+
+#[test]
+fn por_agrees_on_generated_programs() {
+    let configs = configs();
+    let budget = capped_budget();
+    for seed in 0..SEEDS {
+        let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
+        let program = random_program(seed, config);
+        for jobs in JOBS {
+            let what = format!("seed {seed} jobs={jobs}");
+            let reduced = run(&program, true, jobs, &budget);
+            let full = run(&program, false, jobs, &budget);
+            let both_complete = !matches!(reduced.completeness, Completeness::Truncated { .. })
+                && !matches!(full.completeness, Completeness::Truncated { .. });
+            if both_complete {
+                assert_identical(&reduced, &full, &what);
+            }
+            assert_sound(&reduced, &full, &what);
+        }
+    }
+}
