@@ -28,6 +28,22 @@ pub fn race_witness(program: &Program, opts: &Analysis) -> Option<RaceWitness> {
     ProgramExplorer::new(program).race_witness_par(&opts.explore, opts.jobs)
 }
 
+/// Behaviours on an explorer the caller already built — the multi-step
+/// checks below construct one explorer per program and reuse it, so the
+/// interned configuration space is shared across the race search and the
+/// behaviour computation instead of being rebuilt per query.
+fn behaviours_on(
+    ex: &ProgramExplorer<'_>,
+    opts: &Analysis,
+) -> transafety_lang::Bounded<Behaviours> {
+    ex.behaviours_par(&opts.explore, opts.jobs)
+}
+
+/// Race witness on an explorer the caller already built.
+fn race_witness_on(ex: &ProgramExplorer<'_>, opts: &Analysis) -> Option<RaceWitness> {
+    ex.race_witness_par(&opts.explore, opts.jobs)
+}
+
 /// An execution of the program exhibiting exactly the given behaviour,
 /// if one exists within the bounds — used to turn
 /// [`Refinement::NewBehaviour`] reports into concrete schedules.
@@ -82,8 +98,20 @@ pub fn behaviour_refinement(
     original: &Program,
     opts: &Analysis,
 ) -> Refinement {
-    let bt = behaviours(transformed, opts);
-    let bo = behaviours(original, opts);
+    behaviour_refinement_on(
+        &ProgramExplorer::new(transformed),
+        &ProgramExplorer::new(original),
+        opts,
+    )
+}
+
+fn behaviour_refinement_on(
+    ex_t: &ProgramExplorer<'_>,
+    ex_o: &ProgramExplorer<'_>,
+    opts: &Analysis,
+) -> Refinement {
+    let bt = behaviours_on(ex_t, opts);
+    let bo = behaviours_on(ex_o, opts);
     if !bt.complete || !bo.complete {
         return Refinement::Inconclusive;
     }
@@ -143,15 +171,19 @@ impl fmt::Display for DrfVerdict {
 /// its behaviours and stay data race free (Theorems 1–4).
 #[must_use]
 pub fn drf_guarantee(transformed: &Program, original: &Program, opts: &Analysis) -> DrfVerdict {
-    if let Some(w) = race_witness(original, opts) {
+    // One explorer per program for the whole check: the race search and
+    // the behaviour computation share the interned configuration space.
+    let ex_t = ProgramExplorer::new(transformed);
+    let ex_o = ProgramExplorer::new(original);
+    if let Some(w) = race_witness_on(&ex_o, opts) {
         return DrfVerdict::OriginalRacy(Box::new(w));
     }
-    match behaviour_refinement(transformed, original, opts) {
+    match behaviour_refinement_on(&ex_t, &ex_o, opts) {
         Refinement::Inconclusive => return DrfVerdict::Inconclusive,
         Refinement::NewBehaviour(b) => return DrfVerdict::NewBehaviour(b),
         Refinement::Refines => {}
     }
-    match race_witness(transformed, opts) {
+    match race_witness_on(&ex_t, opts) {
         Some(w) => DrfVerdict::RaceIntroduced(Box::new(w)),
         None => DrfVerdict::Holds,
     }

@@ -1,5 +1,21 @@
 //! Exhaustive exploration of the sequentially consistent executions of a
 //! finite traceset.
+//!
+//! # State representation
+//!
+//! The explorer canonicalises every machine state into a compact
+//! word-buffer encoding (see [`StateSpace`]): per-thread trie cursors,
+//! dense memory indexed by pre-computed location ids, and an inline lock
+//! table, all packed into one `Box<[u32]>`. States are interned into a
+//! [`StateInterner`] which hands out dense `u32` ids; every memo and
+//! visited structure keys on ids, and hashing uses the cheap
+//! [`intern::FxHasher`](crate::intern::FxHasher) over the word buffer.
+//! The encoding is bijective with the uncompressed `BTreeMap`
+//! representation on reachable states (checked by
+//! [`audit_intern`](Explorer::audit_intern) and the property suite), so
+//! verdicts, behaviours and state counts are bit-identical to the
+//! pre-interning engine — which is retained as the `*_reference` entry
+//! points for differential testing and benchmarking.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
@@ -7,6 +23,7 @@ use std::sync::Arc;
 use transafety_traces::{Action, Loc, Monitor, Traceset, Value};
 
 use crate::budget::BudgetGuard;
+use crate::intern::{FxHashSet, IdMap, InternAudit, ScratchPool, StateInterner};
 use crate::{par, Event, IndexedTraceset, Interleaving};
 
 /// The behaviours of a program: a prefix-closed set of sequences of
@@ -128,6 +145,7 @@ pub struct Explorer {
     trie: IndexedTraceset,
     por: bool,
     footprint: Footprint,
+    space: StateSpace,
 }
 
 /// The static per-location access footprint of a traceset: which thread
@@ -176,10 +194,96 @@ impl Footprint {
     }
 }
 
-/// The explorer's notion of machine state: per-thread trie node, shared
-/// memory contents and the lock state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// The pre-computed dense index space of a traceset: the sorted
+/// location and monitor universes, fixing the layout of the compact
+/// state word buffer:
+///
+/// ```text
+/// [ cursor_0 .. cursor_{T-1} | mem_0 .. mem_{L-1} | (holder+1, depth) x M ]
+/// ```
+///
+/// Cursors are trie node ids; memory holds one raw [`Value`] word per
+/// location (absent-means-zero, exactly the read-default rule); each
+/// monitor gets a `holder + 1` word (`0` = free) and a nesting-depth
+/// word. The all-zero buffer is the initial state.
+#[derive(Debug)]
+struct StateSpace {
+    threads: usize,
+    /// Sorted location universe; a location's dense id is its index.
+    locs: Vec<Loc>,
+    /// Sorted monitor universe.
+    monitors: Vec<Monitor>,
+}
+
+impl StateSpace {
+    fn of(trie: &IndexedTraceset) -> StateSpace {
+        let mut locs = BTreeSet::new();
+        let mut monitors = BTreeSet::new();
+        for node in 0..trie.node_count() {
+            for (a, _) in trie.edges(node) {
+                match *a {
+                    Action::Read { loc, .. } | Action::Write { loc, .. } => {
+                        locs.insert(loc);
+                    }
+                    Action::Lock(m) | Action::Unlock(m) => {
+                        monitors.insert(m);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            u32::try_from(trie.node_count()).is_ok(),
+            "trie too large for packed cursors"
+        );
+        StateSpace {
+            threads: trie.threads().len(),
+            locs: locs.into_iter().collect(),
+            monitors: monitors.into_iter().collect(),
+        }
+    }
+
+    fn words(&self) -> usize {
+        self.threads + self.locs.len() + 2 * self.monitors.len()
+    }
+
+    /// The word index of a location's memory cell.
+    fn loc_slot(&self, loc: Loc) -> usize {
+        self.threads
+            + self
+                .locs
+                .binary_search(&loc)
+                .expect("location in the traceset universe")
+    }
+
+    /// The word index of a monitor's holder word (depth is the next
+    /// word).
+    fn monitor_slot(&self, m: Monitor) -> usize {
+        self.threads
+            + self.locs.len()
+            + 2 * self
+                .monitors
+                .binary_search(&m)
+                .expect("monitor in the traceset universe")
+    }
+
+    fn mem(&self, state: &State, loc: Loc) -> Value {
+        Value::new(state.words[self.loc_slot(loc)])
+    }
+}
+
+/// The explorer's machine state in the compact word-buffer encoding
+/// (layout fixed by [`StateSpace`]); equality is a word-wise compare and
+/// hashing runs [`FxHasher`](crate::intern::FxHasher) over the words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct State {
+    words: Box<[u32]>,
+}
+
+/// The uncompressed reference representation of a machine state, kept
+/// for the pre-interning reference engine and the encode/decode audits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RefState {
     cursors: Vec<usize>,
     memory: BTreeMap<Loc, Value>,
     locks: BTreeMap<Monitor, (usize, u32)>,
@@ -194,9 +298,9 @@ struct Move {
     next_node: usize,
 }
 
-/// Memo key of the race search: the explorer state plus the previous
-/// normal access as `(thread, location, was_write)`.
-type RaceKey = (State, Option<(usize, Loc, bool)>);
+/// The previous normal access of the race search, as
+/// `(thread, location, was_write)`.
+type Prev = Option<(usize, Loc, bool)>;
 
 impl Explorer {
     /// Creates an explorer for the given traceset (with partial-order
@@ -205,10 +309,12 @@ impl Explorer {
     pub fn new(t: &Traceset) -> Self {
         let trie = IndexedTraceset::new(t);
         let footprint = Footprint::of(&trie);
+        let space = StateSpace::of(&trie);
         Explorer {
             trie,
             por: true,
             footprint,
+            space,
         }
     }
 
@@ -223,33 +329,34 @@ impl Explorer {
         self
     }
 
+    /// The all-zero word buffer: every cursor at `ROOT` (node 0), every
+    /// memory cell at the default zero, every lock free.
     fn initial_state(&self) -> State {
         State {
-            cursors: vec![IndexedTraceset::ROOT; self.trie.threads().len()],
-            memory: BTreeMap::new(),
-            locks: BTreeMap::new(),
+            words: vec![0u32; self.space.words()].into_boxed_slice(),
         }
     }
 
-    /// Enabled moves at `state`, in deterministic order.
-    fn moves(&self, state: &State) -> Vec<Move> {
-        let mut out = Vec::new();
-        for (k, &node) in state.cursors.iter().enumerate() {
+    /// Enabled moves at `state`, in deterministic order, appended to the
+    /// caller's (cleared) scratch buffer.
+    fn moves_into(&self, state: &State, out: &mut Vec<Move>) {
+        out.clear();
+        for k in 0..self.space.threads {
+            let node = state.words[k] as usize;
             for (a, next) in self.trie.edges(node) {
                 let enabled = match *a {
                     Action::Start(entry) => {
                         node == IndexedTraceset::ROOT && entry == self.trie.threads()[k]
                     }
-                    Action::Read { loc, value } => {
-                        state.memory.get(&loc).copied().unwrap_or(Value::ZERO) == value
-                    }
+                    Action::Read { loc, value } => self.space.mem(state, loc) == value,
                     Action::Write { .. } | Action::External(_) => true,
-                    Action::Lock(m) => match state.locks.get(&m) {
-                        None => true,
-                        Some(&(holder, _)) => holder == k,
-                    },
+                    Action::Lock(m) => {
+                        let holder = state.words[self.space.monitor_slot(m)];
+                        holder == 0 || holder as usize == k + 1
+                    }
                     Action::Unlock(m) => {
-                        matches!(state.locks.get(&m), Some(&(holder, depth)) if holder == k && depth > 0)
+                        let s = self.space.monitor_slot(m);
+                        state.words[s] as usize == k + 1 && state.words[s + 1] > 0
                     }
                 };
                 if enabled {
@@ -261,6 +368,13 @@ impl Explorer {
                 }
             }
         }
+    }
+
+    /// Allocating form of [`moves_into`](Explorer::moves_into), for the
+    /// parallel drivers (which cannot share a scratch pool).
+    fn moves_vec(&self, state: &State) -> Vec<Move> {
+        let mut out = Vec::new();
+        self.moves_into(state, &mut out);
         out
     }
 
@@ -271,8 +385,8 @@ impl Explorer {
     /// Invisible actions commute with every other-thread move, their
     /// enabledness is stable under other-thread moves, and they can
     /// never be an endpoint of a data race — the three facts the
-    /// ample-set reduction in [`por_moves`](Explorer::por_moves) rests
-    /// on.
+    /// ample-set reduction in [`por_moves_into`](Explorer::por_moves_into)
+    /// rests on.
     fn invisible(&self, k: usize, a: &Action) -> bool {
         match *a {
             // Thread starts only advance the starting thread's cursor.
@@ -303,9 +417,10 @@ impl Explorer {
         }
     }
 
-    /// The reduced move set at `state`: the ample set of the
-    /// happens-before partial-order reduction, or all enabled moves
-    /// when no reduction applies (or POR is disabled).
+    /// The reduced move set at `state`, written into the caller's
+    /// scratch buffer: the ample set of the happens-before partial-order
+    /// reduction, or all enabled moves when no reduction applies (or POR
+    /// is disabled).
     ///
     /// Selection rule: the lowest-indexed thread whose *every* trie
     /// edge at its current node — enabled or not — is
@@ -321,12 +436,13 @@ impl Explorer {
     /// Every explorer move strictly advances a trie cursor, so the
     /// state graph is a DAG and the classic ample-set cycle proviso
     /// holds vacuously; soundness is argued in `docs/paper-mapping.md`.
-    fn por_moves(&self, state: &State) -> Vec<Move> {
-        let moves = self.moves(state);
+    fn por_moves_into(&self, state: &State, out: &mut Vec<Move>) {
+        self.moves_into(state, out);
         if !self.por {
-            return moves;
+            return;
         }
-        for (k, &node) in state.cursors.iter().enumerate() {
+        for k in 0..self.space.threads {
+            let node = state.words[k] as usize;
             let mut edges = self.trie.edges(node).peekable();
             if edges.peek().is_none() {
                 continue; // thread finished
@@ -334,37 +450,48 @@ impl Explorer {
             if !edges.all(|(a, _)| self.invisible(k, a)) {
                 continue;
             }
-            let ample: Vec<Move> = moves.iter().filter(|mv| mv.thread == k).copied().collect();
-            if !ample.is_empty() {
-                return ample;
+            if out.iter().any(|mv| mv.thread == k) {
+                out.retain(|mv| mv.thread == k);
+                return;
             }
         }
-        moves
     }
 
-    /// Applies a move to a state.
+    /// Allocating form of [`por_moves_into`](Explorer::por_moves_into),
+    /// for the parallel drivers.
+    fn por_moves_vec(&self, state: &State) -> Vec<Move> {
+        let mut out = Vec::new();
+        self.por_moves_into(state, &mut out);
+        out
+    }
+
+    /// Applies a move: clone the parent's word buffer and patch the
+    /// affected words in place (no tree rebuilds, no per-entry
+    /// allocation).
     fn apply(&self, state: &State, mv: &Move) -> State {
-        let mut next = state.clone();
-        next.cursors[mv.thread] = mv.next_node;
+        let mut words = state.words.clone();
+        words[mv.thread] = u32::try_from(mv.next_node).expect("packed cursor");
         match mv.action {
             Action::Write { loc, value } => {
-                next.memory.insert(loc, value);
+                words[self.space.loc_slot(loc)] = value.get();
             }
             Action::Lock(m) => {
-                let entry = next.locks.entry(m).or_insert((mv.thread, 0));
-                entry.1 += 1;
+                let s = self.space.monitor_slot(m);
+                if words[s] == 0 {
+                    words[s] = mv.thread as u32 + 1;
+                }
+                words[s + 1] += 1;
             }
             Action::Unlock(m) => {
-                if let Some(entry) = next.locks.get_mut(&m) {
-                    entry.1 -= 1;
-                    if entry.1 == 0 {
-                        next.locks.remove(&m);
-                    }
+                let s = self.space.monitor_slot(m);
+                words[s + 1] -= 1;
+                if words[s + 1] == 0 {
+                    words[s] = 0;
                 }
             }
             _ => {}
         }
-        next
+        State { words }
     }
 
     /// The set of behaviours of all executions of the traceset.
@@ -384,8 +511,12 @@ impl Explorer {
     /// trip reason records why).
     #[must_use]
     pub fn behaviours_governed(&self, guard: &BudgetGuard) -> Behaviours {
-        let mut memo: HashMap<State, Arc<Behaviours>> = HashMap::new();
-        let result = self.suffixes(self.initial_state(), &mut memo, guard);
+        let mut interner: StateInterner<State> = StateInterner::new();
+        let mut memo: IdMap<Arc<Behaviours>> = IdMap::new();
+        let mut scratch: ScratchPool<Move> = ScratchPool::new();
+        let init = self.initial_state();
+        let (id, _) = interner.intern_ref(&init);
+        let result = self.suffixes(init, id, &mut interner, &mut memo, &mut scratch, guard);
         (*result).clone()
     }
 
@@ -433,9 +564,9 @@ impl Explorer {
     ) -> Result<par::StateGraph<State>, crate::budget::EngineFault> {
         par::build_state_graph(jobs, self.initial_state(), guard, |state| {
             let moves = if reduced {
-                self.por_moves(state)
+                self.por_moves_vec(state)
             } else {
-                self.moves(state)
+                self.moves_vec(state)
             };
             par::Expansion {
                 moves: moves
@@ -447,13 +578,17 @@ impl Explorer {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn suffixes(
         &self,
         state: State,
-        memo: &mut HashMap<State, Arc<Behaviours>>,
+        id: u32,
+        interner: &mut StateInterner<State>,
+        memo: &mut IdMap<Arc<Behaviours>>,
+        scratch: &mut ScratchPool<Move>,
         guard: &BudgetGuard,
     ) -> Arc<Behaviours> {
-        if let Some(r) = memo.get(&state) {
+        if let Some(r) = memo.get(id) {
             return Arc::clone(r);
         }
         let mut set: Behaviours = BTreeSet::new();
@@ -464,8 +599,12 @@ impl Explorer {
             return Arc::new(set);
         }
         guard.note_state();
-        for mv in self.por_moves(&state) {
-            let tail = self.suffixes(self.apply(&state, &mv), memo, guard);
+        let mut buf = scratch.take();
+        self.por_moves_into(&state, &mut buf);
+        for &mv in buf.iter() {
+            let succ = self.apply(&state, &mv);
+            let (succ_id, _) = interner.intern_ref(&succ);
+            let tail = self.suffixes(succ, succ_id, interner, memo, scratch, guard);
             match mv.action {
                 Action::External(v) => {
                     for suffix in tail.iter() {
@@ -478,8 +617,9 @@ impl Explorer {
                 _ => set.extend(tail.iter().cloned()),
             }
         }
+        scratch.put(buf);
         let rc = Arc::new(set);
-        memo.insert(state, Arc::clone(&rc));
+        memo.insert(id, Arc::clone(&rc));
         rc
     }
 
@@ -497,28 +637,49 @@ impl Explorer {
     /// trip reason distinguishes that from a proof).
     #[must_use]
     pub fn race_witness_governed(&self, guard: &BudgetGuard) -> Option<RaceWitness> {
-        // Key: (state, previous normal access as (thread, loc, was_write)).
-        let mut visited: HashSet<RaceKey> = HashSet::new();
+        // Visited key: interned state id plus the previous normal access.
+        let mut interner: StateInterner<State> = StateInterner::new();
+        let mut visited: FxHashSet<(u32, Prev)> = FxHashSet::default();
+        let mut scratch: ScratchPool<Move> = ScratchPool::new();
         let mut path: Vec<Event> = Vec::new();
-        self.race_dfs(self.initial_state(), None, &mut visited, &mut path, guard)
-            .then(|| RaceWitness {
-                execution: Interleaving::from_events(path),
-            })
+        self.race_dfs(
+            self.initial_state(),
+            None,
+            &mut interner,
+            &mut visited,
+            &mut path,
+            &mut scratch,
+            guard,
+        )
+        .then(|| RaceWitness {
+            execution: Interleaving::from_events(path),
+        })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn race_dfs(
         &self,
         state: State,
-        prev: Option<(usize, Loc, bool)>,
-        visited: &mut HashSet<RaceKey>,
+        prev: Prev,
+        interner: &mut StateInterner<State>,
+        visited: &mut FxHashSet<(u32, Prev)>,
         path: &mut Vec<Event>,
+        scratch: &mut ScratchPool<Move>,
         guard: &BudgetGuard,
     ) -> bool {
-        if guard.should_stop() || !visited.insert((state.clone(), prev)) {
+        if guard.should_stop() {
+            return false;
+        }
+        // Reference-first probe: the state is cloned into the arena only
+        // when it is genuinely new.
+        let (id, _) = interner.intern_ref(&state);
+        if !visited.insert((id, prev)) {
             return false;
         }
         guard.note_state();
-        for mv in self.por_moves(&state) {
+        let mut buf = scratch.take();
+        self.por_moves_into(&state, &mut buf);
+        for &mv in buf.iter() {
             let thread_id = self.trie.threads()[mv.thread];
             // Race check against the immediately preceding event.
             if let Some((pk, pl, pw)) = prev {
@@ -536,11 +697,13 @@ impl Explorer {
                 _ => None,
             };
             path.push(Event::new(thread_id, mv.action));
-            if self.race_dfs(self.apply(&state, &mv), next_prev, visited, path, guard) {
+            let succ = self.apply(&state, &mv);
+            if self.race_dfs(succ, next_prev, interner, visited, path, scratch, guard) {
                 return true;
             }
             path.pop();
         }
+        scratch.put(buf);
         false
     }
 
@@ -573,7 +736,6 @@ impl Explorer {
         if jobs <= 1 {
             return self.race_witness_governed(guard);
         }
-        type Prev = Option<(usize, Loc, bool)>;
         let racy = par::parallel_reach(
             jobs,
             (self.initial_state(), None as Prev),
@@ -581,7 +743,7 @@ impl Explorer {
             |(state, prev)| {
                 let mut found = false;
                 let mut successors = Vec::new();
-                for mv in self.por_moves(state) {
+                for mv in self.por_moves_vec(state) {
                     if let Some((pk, pl, pw)) = *prev {
                         if pk != mv.thread
                             && mv.action.is_access_to(pl)
@@ -665,6 +827,7 @@ impl Explorer {
     ) -> (Vec<Interleaving>, bool) {
         let mut out = Vec::new();
         let mut path = Vec::new();
+        let mut scratch: ScratchPool<Move> = ScratchPool::new();
         let mut capped = false;
         self.enumerate(
             self.initial_state(),
@@ -672,6 +835,7 @@ impl Explorer {
             &mut out,
             limits.max_interleavings,
             &mut capped,
+            &mut scratch,
             guard,
         );
         (out, capped)
@@ -685,6 +849,7 @@ impl Explorer {
         out: &mut Vec<Interleaving>,
         cap: usize,
         capped: &mut bool,
+        scratch: &mut ScratchPool<Move>,
         guard: &BudgetGuard,
     ) {
         if out.len() >= cap {
@@ -699,16 +864,20 @@ impl Explorer {
             return;
         }
         guard.note_state();
-        let moves = self.moves(&state);
-        if moves.is_empty() {
+        let mut buf = scratch.take();
+        self.moves_into(&state, &mut buf);
+        if buf.is_empty() {
             out.push(Interleaving::from_events(path.iter().copied()));
+            scratch.put(buf);
             return;
         }
-        for mv in moves {
+        for &mv in buf.iter() {
             path.push(Event::new(self.trie.threads()[mv.thread], mv.action));
-            self.enumerate(self.apply(&state, &mv), path, out, cap, capped, guard);
+            let succ = self.apply(&state, &mv);
+            self.enumerate(succ, path, out, cap, capped, scratch, guard);
             path.pop();
         }
+        scratch.put(buf);
     }
 
     /// Counts the maximal executions by dynamic programming (no
@@ -729,9 +898,20 @@ impl Explorer {
     /// count).
     #[must_use]
     pub fn count_maximal_executions_checked(&self) -> (u128, bool) {
-        let mut memo: HashMap<State, u128> = HashMap::new();
+        let mut interner: StateInterner<State> = StateInterner::new();
+        let mut memo: IdMap<u128> = IdMap::new();
+        let mut scratch: ScratchPool<Move> = ScratchPool::new();
         let mut saturated = false;
-        let c = self.count(self.initial_state(), &mut memo, &mut saturated);
+        let init = self.initial_state();
+        let (id, _) = interner.intern_ref(&init);
+        let c = self.count(
+            init,
+            id,
+            &mut interner,
+            &mut memo,
+            &mut scratch,
+            &mut saturated,
+        );
         (c, saturated)
     }
 
@@ -762,17 +942,29 @@ impl Explorer {
         }
     }
 
-    fn count(&self, state: State, memo: &mut HashMap<State, u128>, saturated: &mut bool) -> u128 {
-        if let Some(&c) = memo.get(&state) {
+    #[allow(clippy::too_many_arguments)]
+    fn count(
+        &self,
+        state: State,
+        id: u32,
+        interner: &mut StateInterner<State>,
+        memo: &mut IdMap<u128>,
+        scratch: &mut ScratchPool<Move>,
+        saturated: &mut bool,
+    ) -> u128 {
+        if let Some(&c) = memo.get(id) {
             return c;
         }
-        let moves = self.moves(&state);
-        let c = if moves.is_empty() {
+        let mut buf = scratch.take();
+        self.moves_into(&state, &mut buf);
+        let c = if buf.is_empty() {
             1
         } else {
             let mut acc: u128 = 0;
-            for mv in &moves {
-                let tail = self.count(self.apply(&state, mv), memo, saturated);
+            for &mv in buf.iter() {
+                let succ = self.apply(&state, &mv);
+                let (succ_id, _) = interner.intern_ref(&succ);
+                let tail = self.count(succ, succ_id, interner, memo, scratch, saturated);
                 acc = acc.checked_add(tail).unwrap_or_else(|| {
                     *saturated = true;
                     u128::MAX
@@ -780,7 +972,8 @@ impl Explorer {
             }
             acc
         };
-        memo.insert(state, c);
+        scratch.put(buf);
+        memo.insert(id, c);
         c
     }
 
@@ -806,17 +999,25 @@ impl Explorer {
     /// partial-order-reduction setting.
     #[must_use]
     pub fn count_reachable_states(&self) -> usize {
-        let mut seen: HashSet<State> = HashSet::new();
-        let mut stack = vec![self.initial_state()];
-        while let Some(s) = stack.pop() {
-            if !seen.insert(s.clone()) {
-                continue;
-            }
-            for mv in self.moves(&s) {
-                stack.push(self.apply(&s, &mv));
+        // The interner *is* the visited set: dedup by id, count by arena
+        // length, expand by borrowing the arena copy back out.
+        let mut interner: StateInterner<State> = StateInterner::new();
+        let mut scratch: ScratchPool<Move> = ScratchPool::new();
+        let (root, _) = interner.intern(self.initial_state());
+        let mut stack = vec![root];
+        let mut buf = scratch.take();
+        while let Some(id) = stack.pop() {
+            let state = interner.get(id).clone();
+            self.moves_into(&state, &mut buf);
+            for mv in buf.iter() {
+                let succ = self.apply(&state, mv);
+                let (sid, fresh) = interner.intern(succ);
+                if fresh {
+                    stack.push(sid);
+                }
             }
         }
-        seen.len()
+        interner.len()
     }
 
     /// The reachable-state count, computed on `jobs` workers.
@@ -830,7 +1031,7 @@ impl Explorer {
             self.initial_state(),
             &BudgetGuard::unlimited(),
             |state| {
-                self.moves(state)
+                self.moves_vec(state)
                     .iter()
                     .map(|mv| self.apply(state, mv))
                     .collect()
@@ -838,6 +1039,321 @@ impl Explorer {
         );
         // Quarantined worker panic: degrade to the sequential census.
         result.unwrap_or_else(|_| self.count_reachable_states())
+    }
+
+    // -----------------------------------------------------------------
+    // Pre-interning reference engine and the encode/decode audit
+    // -----------------------------------------------------------------
+
+    /// [`behaviours`](Explorer::behaviours) on the **pre-interning
+    /// reference engine**: the uncompressed `BTreeMap` state
+    /// representation with SipHash-keyed memo tables, exactly as the
+    /// engine worked before the compact encoding landed. Kept for
+    /// differential testing and the E17 before/after benchmark; the
+    /// production entry points never use it.
+    #[must_use]
+    pub fn behaviours_reference_governed(&self, guard: &BudgetGuard) -> Behaviours {
+        let mut memo: HashMap<RefState, Arc<Behaviours>> = HashMap::new();
+        let result = self.ref_suffixes(self.ref_initial_state(), &mut memo, guard);
+        (*result).clone()
+    }
+
+    /// [`race_witness`](Explorer::race_witness) on the pre-interning
+    /// reference engine (see
+    /// [`behaviours_reference_governed`](Explorer::behaviours_reference_governed)).
+    #[must_use]
+    pub fn race_witness_reference_governed(&self, guard: &BudgetGuard) -> Option<RaceWitness> {
+        let mut visited: HashSet<(RefState, Prev)> = HashSet::new();
+        let mut path: Vec<Event> = Vec::new();
+        self.ref_race_dfs(
+            self.ref_initial_state(),
+            None,
+            &mut visited,
+            &mut path,
+            guard,
+        )
+        .then(|| RaceWitness {
+            execution: Interleaving::from_events(path),
+        })
+    }
+
+    fn ref_initial_state(&self) -> RefState {
+        RefState {
+            cursors: vec![IndexedTraceset::ROOT; self.space.threads],
+            memory: BTreeMap::new(),
+            locks: BTreeMap::new(),
+        }
+    }
+
+    fn ref_moves(&self, state: &RefState) -> Vec<Move> {
+        let mut out = Vec::new();
+        for (k, &node) in state.cursors.iter().enumerate() {
+            for (a, next) in self.trie.edges(node) {
+                let enabled = match *a {
+                    Action::Start(entry) => {
+                        node == IndexedTraceset::ROOT && entry == self.trie.threads()[k]
+                    }
+                    Action::Read { loc, value } => {
+                        state.memory.get(&loc).copied().unwrap_or(Value::ZERO) == value
+                    }
+                    Action::Write { .. } | Action::External(_) => true,
+                    Action::Lock(m) => match state.locks.get(&m) {
+                        None => true,
+                        Some(&(holder, _)) => holder == k,
+                    },
+                    Action::Unlock(m) => {
+                        matches!(state.locks.get(&m), Some(&(holder, depth)) if holder == k && depth > 0)
+                    }
+                };
+                if enabled {
+                    out.push(Move {
+                        thread: k,
+                        action: *a,
+                        next_node: next,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn ref_por_moves(&self, state: &RefState) -> Vec<Move> {
+        let moves = self.ref_moves(state);
+        if !self.por {
+            return moves;
+        }
+        for (k, &node) in state.cursors.iter().enumerate() {
+            let mut edges = self.trie.edges(node).peekable();
+            if edges.peek().is_none() {
+                continue;
+            }
+            if !edges.all(|(a, _)| self.invisible(k, a)) {
+                continue;
+            }
+            let ample: Vec<Move> = moves.iter().filter(|mv| mv.thread == k).copied().collect();
+            if !ample.is_empty() {
+                return ample;
+            }
+        }
+        moves
+    }
+
+    fn ref_apply(&self, state: &RefState, mv: &Move) -> RefState {
+        let mut next = state.clone();
+        next.cursors[mv.thread] = mv.next_node;
+        match mv.action {
+            Action::Write { loc, value } => {
+                next.memory.insert(loc, value);
+            }
+            Action::Lock(m) => {
+                let entry = next.locks.entry(m).or_insert((mv.thread, 0));
+                entry.1 += 1;
+            }
+            Action::Unlock(m) => {
+                if let Some(entry) = next.locks.get_mut(&m) {
+                    entry.1 -= 1;
+                    if entry.1 == 0 {
+                        next.locks.remove(&m);
+                    }
+                }
+            }
+            _ => {}
+        }
+        next
+    }
+
+    fn ref_suffixes(
+        &self,
+        state: RefState,
+        memo: &mut HashMap<RefState, Arc<Behaviours>>,
+        guard: &BudgetGuard,
+    ) -> Arc<Behaviours> {
+        if let Some(r) = memo.get(&state) {
+            return Arc::clone(r);
+        }
+        let mut set: Behaviours = BTreeSet::new();
+        set.insert(Vec::new());
+        if guard.should_stop() {
+            return Arc::new(set);
+        }
+        guard.note_state();
+        for mv in self.ref_por_moves(&state) {
+            let tail = self.ref_suffixes(self.ref_apply(&state, &mv), memo, guard);
+            match mv.action {
+                Action::External(v) => {
+                    for suffix in tail.iter() {
+                        let mut b = Vec::with_capacity(suffix.len() + 1);
+                        b.push(v);
+                        b.extend_from_slice(suffix);
+                        set.insert(b);
+                    }
+                }
+                _ => set.extend(tail.iter().cloned()),
+            }
+        }
+        let rc = Arc::new(set);
+        memo.insert(state, Arc::clone(&rc));
+        rc
+    }
+
+    fn ref_race_dfs(
+        &self,
+        state: RefState,
+        prev: Prev,
+        visited: &mut HashSet<(RefState, Prev)>,
+        path: &mut Vec<Event>,
+        guard: &BudgetGuard,
+    ) -> bool {
+        if guard.should_stop() || !visited.insert((state.clone(), prev)) {
+            return false;
+        }
+        guard.note_state();
+        for mv in self.ref_por_moves(&state) {
+            let thread_id = self.trie.threads()[mv.thread];
+            if let Some((pk, pl, pw)) = prev {
+                if pk != mv.thread && mv.action.is_access_to(pl) && !pl.is_volatile() {
+                    let racing = pw || mv.action.is_write();
+                    if racing {
+                        path.push(Event::new(thread_id, mv.action));
+                        return true;
+                    }
+                }
+            }
+            let next_prev = match mv.action {
+                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
+                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
+                _ => None,
+            };
+            path.push(Event::new(thread_id, mv.action));
+            if self.ref_race_dfs(self.ref_apply(&state, &mv), next_prev, visited, path, guard) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    /// Encodes a reference state into the compact word buffer.
+    fn encode_ref(&self, state: &RefState) -> State {
+        let mut words = vec![0u32; self.space.words()].into_boxed_slice();
+        for (k, &node) in state.cursors.iter().enumerate() {
+            words[k] = u32::try_from(node).expect("packed cursor");
+        }
+        for (&loc, &v) in &state.memory {
+            words[self.space.loc_slot(loc)] = v.get();
+        }
+        for (&m, &(holder, depth)) in &state.locks {
+            let s = self.space.monitor_slot(m);
+            words[s] = holder as u32 + 1;
+            words[s + 1] = depth;
+        }
+        State { words }
+    }
+
+    /// Decodes a compact state back into the reference representation,
+    /// using the trie parent map to recover which locations have been
+    /// written (the trie is a tree, so a cursor determines its thread's
+    /// entire action history — presence in the reference memory map is a
+    /// function of the cursors).
+    fn decode(&self, state: &State, parent: &[Option<(usize, Action)>]) -> RefState {
+        let mut memory = BTreeMap::new();
+        let mut cursors = Vec::with_capacity(self.space.threads);
+        for k in 0..self.space.threads {
+            let mut node = state.words[k] as usize;
+            cursors.push(node);
+            while let Some((p, a)) = parent[node] {
+                if let Action::Write { loc, .. } = a {
+                    memory.insert(loc, self.space.mem(state, loc));
+                }
+                node = p;
+            }
+        }
+        let mut locks = BTreeMap::new();
+        for &m in &self.space.monitors {
+            let s = self.space.monitor_slot(m);
+            if state.words[s] != 0 {
+                locks.insert(m, (state.words[s] as usize - 1, state.words[s + 1]));
+            }
+        }
+        RefState {
+            cursors,
+            memory,
+            locks,
+        }
+    }
+
+    /// The trie parent map: `parent[node] = (parent node, edge action)`.
+    fn parent_map(&self) -> Vec<Option<(usize, Action)>> {
+        let mut parent = vec![None; self.trie.node_count()];
+        for node in 0..self.trie.node_count() {
+            for (a, next) in self.trie.edges(node) {
+                parent[next] = Some((node, *a));
+            }
+        }
+        parent
+    }
+
+    /// Self-audit of the compact encoding: walks the full (unreduced)
+    /// reachable state space in lockstep on the compact and reference
+    /// representations, checking that encode→decode round-trips on every
+    /// state and that interned-id equality coincides with structural
+    /// reference-state equality. `max_states` caps the walk (flagged in
+    /// [`InternAudit::capped`]). Test support for the property suite.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn audit_intern(&self, max_states: usize) -> InternAudit {
+        let parent = self.parent_map();
+        let mut interner: StateInterner<State> = StateInterner::new();
+        let mut rmap: HashMap<RefState, u32> = HashMap::new();
+        let mut stack: Vec<(State, RefState)> =
+            vec![(self.initial_state(), self.ref_initial_state())];
+        let mut audit = InternAudit {
+            states: 0,
+            roundtrips: true,
+            bijective: true,
+            capped: false,
+        };
+        while let Some((cs, rs)) = stack.pop() {
+            let (cid, fresh) = interner.intern_ref(&cs);
+            let ref_fresh = !rmap.contains_key(&rs);
+            if fresh != ref_fresh {
+                // One side thinks the state is new and the other does
+                // not: the encoding conflated or split states.
+                audit.bijective = false;
+            }
+            if !ref_fresh {
+                if rmap[&rs] != cid {
+                    audit.bijective = false;
+                }
+                continue;
+            }
+            rmap.insert(rs.clone(), cid);
+            if !fresh {
+                continue;
+            }
+            audit.states += 1;
+            if self.encode_ref(&rs) != cs || self.decode(&cs, &parent) != rs {
+                audit.roundtrips = false;
+            }
+            if audit.states >= max_states {
+                audit.capped = true;
+                break;
+            }
+            let cmoves = self.moves_vec(&cs);
+            let rmoves = self.ref_moves(&rs);
+            let agree = cmoves.len() == rmoves.len()
+                && cmoves.iter().zip(&rmoves).all(|(a, b)| {
+                    a.thread == b.thread && a.action == b.action && a.next_node == b.next_node
+                });
+            if !agree {
+                audit.bijective = false;
+                continue;
+            }
+            for mv in cmoves {
+                stack.push((self.apply(&cs, &mv), self.ref_apply(&rs, &mv)));
+            }
+        }
+        audit
     }
 }
 
@@ -1201,5 +1717,70 @@ mod tests {
         assert!(c > 0 && !saturated);
         let (cp, saturated_par) = ex.count_maximal_executions_par_checked(4);
         assert_eq!((cp, saturated_par), (c, false));
+    }
+
+    /// Two threads of 67 private single-value writes each: the state
+    /// space is a small 69x69 cursor grid, but the interleaving count is
+    /// C(136, 68) > u128::MAX — so the id-keyed count memo must clamp
+    /// and flag, exactly as the map-keyed memo did before interning.
+    fn overflow_traceset() -> Traceset {
+        let mut ts = Traceset::new();
+        for (k, th) in [t(0), t(1)].into_iter().enumerate() {
+            let loc = Loc::normal(k as u32);
+            let mut actions = vec![Action::start(th)];
+            actions.extend(std::iter::repeat_n(Action::write(loc, v(1)), 67));
+            ts.insert(Trace::from_actions(actions)).unwrap();
+        }
+        ts
+    }
+
+    #[test]
+    fn count_saturation_flag_survives_id_keyed_memos() {
+        let ex = Explorer::new(&overflow_traceset());
+        let (c, saturated) = ex.count_maximal_executions_checked();
+        assert_eq!(c, u128::MAX, "the count must clamp, not wrap");
+        assert!(saturated, "saturation must be flagged");
+        // and the parallel count (id-keyed graph + count_leaves_checked)
+        // propagates the same flag
+        let (cp, saturated_par) = ex.count_maximal_executions_par_checked(4);
+        assert_eq!((cp, saturated_par), (u128::MAX, true));
+    }
+
+    #[test]
+    fn compact_encoding_audits_clean_on_small_corpus() {
+        for ts in [fig2_original(), fig2_transformed(), private_work_traceset()] {
+            let audit = Explorer::new(&ts).audit_intern(100_000);
+            assert!(audit.states > 1);
+            assert!(audit.roundtrips, "encode/decode must round-trip");
+            assert!(audit.bijective, "ids must match structural equality");
+            assert!(!audit.capped);
+        }
+    }
+
+    #[test]
+    fn interned_engine_matches_reference_engine_exactly() {
+        use crate::budget::{Budget, CancelToken};
+        for ts in [fig2_original(), fig2_transformed(), private_work_traceset()] {
+            for por in [true, false] {
+                let ex = Explorer::new(&ts).por(por);
+                let g_new = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+                let g_ref = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+                assert_eq!(
+                    ex.behaviours_governed(&g_new),
+                    ex.behaviours_reference_governed(&g_ref),
+                    "behaviours must be bit-identical (por={por})"
+                );
+                assert_eq!(
+                    g_new.states(),
+                    g_ref.states(),
+                    "the compact engine must visit exactly the same states (por={por})"
+                );
+                assert_eq!(
+                    ex.race_witness_governed(&BudgetGuard::unlimited()),
+                    ex.race_witness_reference_governed(&BudgetGuard::unlimited()),
+                    "race witnesses must be identical (por={por})"
+                );
+            }
+        }
     }
 }

@@ -60,6 +60,7 @@ mod explore;
 mod happens_before;
 mod indexed;
 mod interleaving;
+pub mod intern;
 pub mod par;
 mod wild;
 

@@ -39,9 +39,8 @@
 //! state expansion, so wall-clock deadlines, state caps and external
 //! cancellation stop the pool cooperatively.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::collections::VecDeque;
+use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -50,6 +49,7 @@ use transafety_traces::Action;
 
 use crate::budget::{BudgetGuard, EngineFault};
 use crate::explore::Behaviours;
+use crate::intern::{fx_hash, StateInterner};
 
 /// The number of worker threads to use by default: the machine's
 /// available parallelism (1 if it cannot be determined).
@@ -424,15 +424,16 @@ where
 const SHARD_BITS: u32 = 6;
 const SHARDS: usize = 1 << SHARD_BITS; // 64
 
-fn shard_of<K: Hash>(key: &K) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() >> (64 - SHARD_BITS)) as usize
+/// The shard of a pre-computed [`fx_hash`] value: the top `SHARD_BITS`
+/// bits, disjoint from the low bits the open-addressing probe consumes.
+/// Callers hash once and reuse the value for both shard selection and
+/// the in-shard probe.
+fn shard_of_hash(hash: u64) -> usize {
+    (hash >> (64 - SHARD_BITS)) as usize
 }
 
 struct InternShard<K> {
-    map: HashMap<K, u32>,
-    keys: Vec<K>,
+    states: StateInterner<K>,
     edges: Vec<Vec<(Action, u64)>>, // packed successor ids, remapped later
 }
 
@@ -450,8 +451,7 @@ impl<K: Eq + Hash + Clone> Interner<K> {
             shards: (0..SHARDS)
                 .map(|_| {
                     Mutex::new(InternShard {
-                        map: HashMap::new(),
-                        keys: Vec::new(),
+                        states: StateInterner::new(),
                         edges: Vec::new(),
                     })
                 })
@@ -460,17 +460,17 @@ impl<K: Eq + Hash + Clone> Interner<K> {
     }
 
     /// Interns `key`, returning its packed id and whether it was new.
+    /// The key is hashed once (outside the shard lock) and cloned only
+    /// when it is genuinely new.
     fn intern(&self, key: &K) -> (u64, bool) {
-        let s = shard_of(key);
+        let hash = fx_hash(key);
+        let s = shard_of_hash(hash);
         let mut shard = self.shards[s].lock().expect("intern shard poisoned");
-        if let Some(&local) = shard.map.get(key) {
-            return (pack(s, local), false);
+        let (local, fresh) = shard.states.intern_hashed_ref(hash, key);
+        if fresh {
+            shard.edges.push(Vec::new());
         }
-        let local = u32::try_from(shard.keys.len()).expect("more than 2^32 states in one shard");
-        shard.map.insert(key.clone(), local);
-        shard.keys.push(key.clone());
-        shard.edges.push(Vec::new());
-        (pack(s, local), true)
+        (pack(s, local), fresh)
     }
 
     fn set_edges(&self, packed: u64, edges: Vec<(Action, u64)>) {
@@ -566,7 +566,7 @@ where
     for (s, shard) in shards.iter().enumerate() {
         base[s] = total;
         total = total
-            .checked_add(u32::try_from(shard.keys.len()).expect("shard size"))
+            .checked_add(u32::try_from(shard.states.len()).expect("shard size"))
             .expect("more than 2^32 explorer states");
     }
     let dense =
@@ -574,7 +574,7 @@ where
     let mut nodes = Vec::with_capacity(total as usize);
     let mut edges = Vec::with_capacity(total as usize);
     for shard in shards {
-        nodes.extend(shard.keys);
+        nodes.extend(shard.states.into_keys());
         edges.extend(shard.edges.into_iter().map(|es| {
             es.into_iter()
                 .map(|(a, p)| (a, dense(p)))
@@ -758,12 +758,15 @@ where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> SearchStep<K> + Sync,
 {
-    let visited: Vec<Mutex<HashSet<K>>> = (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
+    let visited: Vec<Mutex<StateInterner<K>>> = (0..SHARDS)
+        .map(|_| Mutex::new(StateInterner::new()))
+        .collect();
     let found = AtomicBool::new(false);
-    visited[shard_of(&root)]
+    let root_hash = fx_hash(&root);
+    visited[shard_of_hash(root_hash)]
         .lock()
         .expect("visited shard poisoned")
-        .insert(root.clone());
+        .intern_hashed_ref(root_hash, &root);
     guard.note_state();
     let outcome = run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
         if found.load(Ordering::Acquire) {
@@ -780,10 +783,12 @@ where
             return;
         }
         for succ in step.successors {
-            let fresh = visited[shard_of(&succ)]
+            // Hash once; clone into the shard only when actually new.
+            let hash = fx_hash(&succ);
+            let (_, fresh) = visited[shard_of_hash(hash)]
                 .lock()
                 .expect("visited shard poisoned")
-                .insert(succ.clone());
+                .intern_hashed_ref(hash, &succ);
             if fresh {
                 guard.note_state();
                 ctx.push(succ);
@@ -843,11 +848,14 @@ where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> Vec<K> + Sync,
 {
-    let visited: Vec<Mutex<HashSet<K>>> = (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect();
-    visited[shard_of(&root)]
+    let visited: Vec<Mutex<StateInterner<K>>> = (0..SHARDS)
+        .map(|_| Mutex::new(StateInterner::new()))
+        .collect();
+    let root_hash = fx_hash(&root);
+    visited[shard_of_hash(root_hash)]
         .lock()
         .expect("visited shard poisoned")
-        .insert(root.clone());
+        .intern_hashed_ref(root_hash, &root);
     guard.note_state();
     let outcome = run_tasks(jobs, vec![root], |state, ctx: &TaskContext<'_, K>| {
         if guard.should_stop() {
@@ -855,10 +863,11 @@ where
             return;
         }
         for succ in expand(&state) {
-            let fresh = visited[shard_of(&succ)]
+            let hash = fx_hash(&succ);
+            let (_, fresh) = visited[shard_of_hash(hash)]
                 .lock()
                 .expect("visited shard poisoned")
-                .insert(succ.clone());
+                .intern_hashed_ref(hash, &succ);
             if fresh {
                 guard.note_state();
                 ctx.push(succ);

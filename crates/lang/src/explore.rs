@@ -7,10 +7,31 @@
 //! reads observe the current memory — which is exponentially smaller and
 //! is the engine the checker and the benchmarks use for whole programs.
 //! The two routes are cross-validated in the test suites.
+//!
+//! # State representation
+//!
+//! Thread configurations are interned once into a per-explorer
+//! [`CfgCache`]: each distinct [`ThreadConfig`] gets a dense `u32` id and
+//! a pre-derived [`StepTemplate`] describing its next emitting step, so
+//! the hot move loop never re-runs `tau_closure` (the old engine ran it
+//! twice per read) and never clones configurations. A machine state is a
+//! compact word buffer ([`CState`]): per-thread cfg ids, dense memory
+//! values indexed by pre-computed location ids, a written bitmap (the
+//! old `BTreeMap` distinguished never-written from written-zero), and an
+//! inline holder table. States intern into a
+//! [`StateInterner`] and every memo/visited structure keys on `u32` ids
+//! hashed with the cheap FxHash. The encoding is bijective with the old
+//! `PState` representation (checked by
+//! [`audit_intern`](ProgramExplorer::audit_intern) and the property
+//! suite); the pre-interning engine is retained as the `*_reference`
+//! entry points for differential testing and benchmarking.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use transafety_interleaving::intern::{
+    FxHashMap, FxHashSet, InternAudit, ScratchPool, StateInterner,
+};
 use transafety_interleaving::{
     par, Behaviours, BudgetGuard, EngineFault, Event, Interleaving, RaceWitness,
 };
@@ -99,8 +120,85 @@ pub struct ProgramExplorer<'p> {
     /// forever and the reduced search never schedules its siblings (the
     /// classic ignoring problem), so loopy programs run unreduced.
     reducible: bool,
+    /// Sorted location universe; a location's dense id is its index.
+    locs: Vec<Loc>,
+    /// Sorted monitor universe.
+    monitors: Vec<Monitor>,
+    /// The interned thread-configuration space plus derived step
+    /// templates, shared by every entry point of this explorer.
+    cache: Mutex<CfgCache>,
 }
 
+/// Sentinel cfg-id word for a thread that has not started yet.
+const NOT_STARTED: u32 = u32::MAX;
+
+/// The per-explorer configuration cache: the interned [`ThreadConfig`]
+/// space, a lazily derived [`StepTemplate`] per cfg id, and a memo of
+/// read successors. Built for one `max_tau` at a time (templates encode
+/// divergence at that bound); a call with a different bound rebuilds it.
+#[derive(Debug, Default)]
+struct CfgCache {
+    max_tau: usize,
+    valid: bool,
+    cfgs: StateInterner<ThreadConfig>,
+    templates: Vec<Option<StepTemplate>>,
+    /// `(at_emit cfg id, read value) -> (action, successor cfg id)`.
+    read_succ: FxHashMap<(u32, u32), (Action, u32)>,
+    /// Per-thread initial cfg ids (the successor of the start move).
+    initial: Vec<u32>,
+}
+
+/// What a thread configuration does next, pre-derived from one
+/// `tau_closure` run so the move loop never steps the semantics again.
+#[derive(Debug, Clone, Copy)]
+enum StepTemplate {
+    /// The thread is finished: no moves.
+    Done,
+    /// `tau_closure` exceeded `max_tau`: silent divergence (the thread's
+    /// moves are dropped and the exploration marked truncated).
+    Diverged,
+    /// The next action reads `loc`; the successor depends on the value
+    /// read, resolved through the `read_succ` memo of the `at_emit`
+    /// configuration (the closure stopped at the load).
+    Read { loc: Loc, at_emit: u32 },
+    /// The next action acquires `m` (enabled only when the holder table
+    /// allows it).
+    Lock {
+        m: Monitor,
+        action: Action,
+        next: u32,
+    },
+    /// An unconditional emit (write, external, unlock, …). `releases`
+    /// is set for an unlock whose successor has left the monitor
+    /// entirely — computed from the *pre-normalisation* successor, so a
+    /// finishing thread that leaks a lock keeps holding it.
+    Emit {
+        action: Action,
+        next: u32,
+        releases: bool,
+    },
+}
+
+/// The compact machine state: one word per thread (its cfg id, or
+/// [`NOT_STARTED`]), dense memory values, the written bitmap, and one
+/// holder word per monitor (`holder + 1`, `0` = free).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CState {
+    words: Box<[u32]>,
+}
+
+/// A single enabled move in the compact encoding. `Copy`: applying a
+/// move clones nothing.
+#[derive(Debug, Clone, Copy)]
+struct CMove {
+    thread: usize,
+    action: Action,
+    next_cfg: u32,
+    releases: bool,
+}
+
+/// The uncompressed reference state, kept for the pre-interning
+/// reference engine and the encode/decode audits.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PState {
     threads: Vec<Option<ThreadConfig>>, // None = not yet started
@@ -112,12 +210,12 @@ struct PState {
 struct PMove {
     thread: usize,
     action: Action,
-    next: Option<ThreadConfig>, // None when the thread just terminated
+    next: Option<ThreadConfig>,
 }
 
-/// Memo key of the race searches: the program state plus the previous
-/// normal access as `(thread, location, was_write)`.
-type RaceKey = (PState, Option<(usize, Loc, bool)>);
+/// The previous normal access of the race searches, as
+/// `(thread, location, was_write)`.
+type Prev = Option<(usize, Loc, bool)>;
 
 impl<'p> ProgramExplorer<'p> {
     /// Creates an explorer for the program.
@@ -125,18 +223,336 @@ impl<'p> ProgramExplorer<'p> {
     pub fn new(program: &'p Program) -> Self {
         let mut loc_writers: BTreeMap<Loc, std::collections::BTreeSet<usize>> = BTreeMap::new();
         let mut loc_accessors: BTreeMap<Loc, std::collections::BTreeSet<usize>> = BTreeMap::new();
+        let mut monitors: std::collections::BTreeSet<Monitor> = Default::default();
         for (k, thread) in program.threads().iter().enumerate() {
             for stmt in thread {
                 collect_accesses(stmt, k, &mut loc_writers, &mut loc_accessors);
+                collect_monitors(stmt, &mut monitors);
             }
         }
         let reducible = !program_has_loops(program);
+        let locs = loc_accessors.keys().copied().collect();
         ProgramExplorer {
             program,
             loc_writers,
             loc_accessors,
             reducible,
+            locs,
+            monitors: monitors.into_iter().collect(),
+            cache: Mutex::new(CfgCache::default()),
         }
+    }
+
+    // -- compact layout helpers ---------------------------------------
+
+    fn mem_base(&self) -> usize {
+        self.program.thread_count()
+    }
+
+    fn bit_base(&self) -> usize {
+        self.mem_base() + self.locs.len()
+    }
+
+    fn holder_base(&self) -> usize {
+        self.bit_base() + self.locs.len().div_ceil(32)
+    }
+
+    fn word_count(&self) -> usize {
+        self.holder_base() + self.monitors.len()
+    }
+
+    fn loc_index(&self, loc: Loc) -> usize {
+        self.locs
+            .binary_search(&loc)
+            .expect("location in the program's access universe")
+    }
+
+    fn holder_slot(&self, m: Monitor) -> usize {
+        self.holder_base()
+            + self
+                .monitors
+                .binary_search(&m)
+                .expect("monitor in the program's universe")
+    }
+
+    fn mem(&self, state: &CState, loc: Loc) -> Value {
+        // Unwritten cells hold the zero word — exactly the read default.
+        Value::new(state.words[self.mem_base() + self.loc_index(loc)])
+    }
+
+    fn initial_compact(&self) -> CState {
+        let mut words = vec![0u32; self.word_count()].into_boxed_slice();
+        for w in words.iter_mut().take(self.program.thread_count()) {
+            *w = NOT_STARTED;
+        }
+        CState { words }
+    }
+
+    // -- configuration cache ------------------------------------------
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, CfgCache> {
+        // Recover from poisoning: a quarantined worker panic must not
+        // take the sequential fallback down with it, and the cache is
+        // only ever extended, never left half-updated.
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn ensure_cache(&self, cache: &mut CfgCache, max_tau: usize) {
+        if cache.valid && cache.max_tau == max_tau {
+            return;
+        }
+        *cache = CfgCache {
+            max_tau,
+            valid: true,
+            ..CfgCache::default()
+        };
+        for k in 0..self.program.thread_count() {
+            let cfg = ThreadConfig::new(
+                self.program
+                    .thread(k)
+                    .expect("thread index in range")
+                    .to_vec(),
+            );
+            let id = Self::intern_normalised(cache, cfg);
+            cache.initial.push(id);
+        }
+    }
+
+    /// Interns a configuration, normalising finished threads to the
+    /// canonical empty config (their registers and nesting can never be
+    /// observed again) so states converge — exactly the old `apply`
+    /// normalisation, moved to intern time.
+    fn intern_normalised(cache: &mut CfgCache, cfg: ThreadConfig) -> u32 {
+        let cfg = if cfg.is_done() {
+            ThreadConfig::new(vec![])
+        } else {
+            cfg
+        };
+        cache.cfgs.intern(cfg).0
+    }
+
+    /// The step template of cfg `id`, deriving (and memoising) it on
+    /// first use.
+    fn template(&self, cache: &mut CfgCache, id: u32) -> StepTemplate {
+        let i = id as usize;
+        if let Some(Some(t)) = cache.templates.get(i) {
+            return *t;
+        }
+        let t = self.derive_template(cache, id);
+        let i = id as usize;
+        if i >= cache.templates.len() {
+            cache.templates.resize(i + 1, None);
+        }
+        cache.templates[i] = Some(t);
+        t
+    }
+
+    /// One `tau_closure` run, folded into a template. The old engine
+    /// re-ran the closure on every visit (twice for reads); the template
+    /// runs it once per distinct configuration, ever.
+    fn derive_template(&self, cache: &mut CfgCache, id: u32) -> StepTemplate {
+        let cfg = cache.cfgs.get(id).clone();
+        // The read domain is irrelevant for direct exploration (loads
+        // read memory); pass a minimal domain and resolve reads through
+        // the `at_emit` configuration.
+        let domain = Domain::zero_to(0);
+        let Some((at_emit, step)) = cfg.tau_closure(&domain, cache.max_tau) else {
+            return StepTemplate::Diverged;
+        };
+        match step {
+            Step::Done => StepTemplate::Done,
+            Step::Tau(_) => unreachable!("tau_closure never returns Tau"),
+            Step::Emit(successors) => {
+                let (first_action, _) = &successors[0];
+                match *first_action {
+                    Action::Read { loc, .. } => StepTemplate::Read {
+                        loc,
+                        at_emit: cache.cfgs.intern(at_emit).0,
+                    },
+                    Action::Lock(m) => {
+                        let (a, next) = successors.into_iter().next().expect("one successor");
+                        StepTemplate::Lock {
+                            m,
+                            action: a,
+                            next: Self::intern_normalised(cache, next),
+                        }
+                    }
+                    _ => {
+                        let (a, next) = successors.into_iter().next().expect("one successor");
+                        let releases =
+                            matches!(a, Action::Unlock(m) if next.monitor_nesting(m) == 0);
+                        StepTemplate::Emit {
+                            action: a,
+                            next: Self::intern_normalised(cache, next),
+                            releases,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The successor of the `at_emit` configuration when its load reads
+    /// `v`, memoised per `(at_emit, v)`.
+    fn read_successor(&self, cache: &mut CfgCache, at_emit: u32, v: Value) -> (Action, u32) {
+        if let Some(&r) = cache.read_succ.get(&(at_emit, v.get())) {
+            return r;
+        }
+        let cfg = cache.cfgs.get(at_emit).clone();
+        let Step::Emit(succ) = cfg.step(&Domain::from_values([v])) else {
+            unreachable!("closure stopped at an emitting statement")
+        };
+        let (a, next) = succ
+            .into_iter()
+            .find(|(a, _)| a.value() == Some(v))
+            .expect("domain contains v");
+        let r = (a, Self::intern_normalised(cache, next));
+        cache.read_succ.insert((at_emit, v.get()), r);
+        r
+    }
+
+    // -- moves and transitions ----------------------------------------
+
+    /// Enabled moves at `state`, appended to the caller's (cleared)
+    /// scratch buffer; sets `*truncated` when a thread silently diverges
+    /// (its moves are then dropped). Locks the cfg cache once per call.
+    fn moves_into(
+        &self,
+        state: &CState,
+        opts: &ExploreOptions,
+        out: &mut Vec<CMove>,
+        truncated: &mut bool,
+    ) {
+        out.clear();
+        let mut cache = self.lock_cache();
+        self.ensure_cache(&mut cache, opts.max_tau);
+        for k in 0..self.program.thread_count() {
+            let cfg_id = state.words[k];
+            if cfg_id == NOT_STARTED {
+                out.push(CMove {
+                    thread: k,
+                    action: Action::start(ThreadId::new(k as u32)),
+                    next_cfg: cache.initial[k],
+                    releases: false,
+                });
+                continue;
+            }
+            match self.template(&mut cache, cfg_id) {
+                StepTemplate::Done => {}
+                StepTemplate::Diverged => *truncated = true,
+                StepTemplate::Read { loc, at_emit } => {
+                    let v = self.mem(state, loc);
+                    let (action, next_cfg) = self.read_successor(&mut cache, at_emit, v);
+                    out.push(CMove {
+                        thread: k,
+                        action,
+                        next_cfg,
+                        releases: false,
+                    });
+                }
+                StepTemplate::Lock { m, action, next } => {
+                    let h = state.words[self.holder_slot(m)];
+                    if h == 0 || h as usize == k + 1 {
+                        out.push(CMove {
+                            thread: k,
+                            action,
+                            next_cfg: next,
+                            releases: false,
+                        });
+                    }
+                }
+                StepTemplate::Emit {
+                    action,
+                    next,
+                    releases,
+                } => out.push(CMove {
+                    thread: k,
+                    action,
+                    next_cfg: next,
+                    releases,
+                }),
+            }
+        }
+    }
+
+    /// The reduced move set, in the caller's scratch buffer: the ample
+    /// set of the partial-order reduction, or all enabled moves when no
+    /// reduction applies.
+    ///
+    /// Each thread has at most one enabled move here (the program
+    /// semantics are deterministic per thread given the memory), and a
+    /// move reading or writing a thread-private location is *stable*:
+    /// no other thread's move can change, disable or conflict with it.
+    /// The lowest-indexed thread with an invisible enabled move
+    /// therefore forms a singleton ample set. Only fires when
+    /// `self.reducible` (loop-free programs — the state graph is a DAG,
+    /// so the cycle proviso holds vacuously) and the choice is a pure
+    /// function of the state, keeping memoisation and parallel
+    /// deduplication exact.
+    fn por_moves_into(
+        &self,
+        state: &CState,
+        opts: &ExploreOptions,
+        out: &mut Vec<CMove>,
+        truncated: &mut bool,
+    ) {
+        self.moves_into(state, opts, out, truncated);
+        if !opts.por || !self.reducible {
+            return;
+        }
+        // `out` lists threads in ascending index order.
+        if let Some(pos) = out
+            .iter()
+            .position(|mv| self.invisible(mv.thread, &mv.action))
+        {
+            let mv = out[pos];
+            out.clear();
+            out.push(mv);
+        }
+    }
+
+    /// Allocating form of [`por_moves_into`](ProgramExplorer::por_moves_into)
+    /// for the parallel drivers (which cannot share a scratch pool).
+    fn por_moves_vec(
+        &self,
+        state: &CState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<CMove> {
+        let mut out = Vec::new();
+        self.por_moves_into(state, opts, &mut out, truncated);
+        out
+    }
+
+    /// Allocating form of [`moves_into`](ProgramExplorer::moves_into).
+    fn moves_vec(&self, state: &CState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<CMove> {
+        let mut out = Vec::new();
+        self.moves_into(state, opts, &mut out, truncated);
+        out
+    }
+
+    /// Applies a move: clone the parent's word buffer and patch the
+    /// affected words (no config clones, no tree rebuilds).
+    fn apply(&self, state: &CState, mv: &CMove) -> CState {
+        let mut words = state.words.clone();
+        words[mv.thread] = mv.next_cfg;
+        match mv.action {
+            Action::Write { loc, value } => {
+                let i = self.loc_index(loc);
+                words[self.mem_base() + i] = value.get();
+                words[self.bit_base() + i / 32] |= 1 << (i % 32);
+            }
+            Action::Lock(m) => {
+                words[self.holder_slot(m)] = mv.thread as u32 + 1;
+            }
+            Action::Unlock(m) if mv.releases => {
+                words[self.holder_slot(m)] = 0;
+            }
+            _ => {}
+        }
+        CState { words }
     }
 
     /// Is `a`, performed by thread `k`, *invisible*: guaranteed (by the
@@ -166,155 +582,6 @@ impl<'p> ProgramExplorer<'p> {
         }
     }
 
-    /// The reduced move set: the ample set of the partial-order
-    /// reduction, or all enabled moves when no reduction applies.
-    ///
-    /// Each thread has at most one enabled move here (the program
-    /// semantics are deterministic per thread given the memory), and a
-    /// move reading or writing a thread-private location is *stable*:
-    /// no other thread's move can change, disable or conflict with it.
-    /// The lowest-indexed thread with an invisible enabled move
-    /// therefore forms a singleton ample set. Only fires when
-    /// `self.reducible` (loop-free programs — the state graph is a DAG,
-    /// so the cycle proviso holds vacuously) and the choice is a pure
-    /// function of the state, keeping memoisation and parallel
-    /// deduplication exact.
-    fn por_moves(&self, state: &PState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PMove> {
-        let moves = self.moves(state, opts, truncated);
-        if !opts.por || !self.reducible {
-            return moves;
-        }
-        // `moves` lists threads in ascending index order.
-        if let Some(mv) = moves
-            .iter()
-            .find(|mv| self.invisible(mv.thread, &mv.action))
-        {
-            return vec![mv.clone()];
-        }
-        moves
-    }
-
-    fn initial(&self) -> PState {
-        PState {
-            threads: vec![None; self.program.thread_count()],
-            memory: BTreeMap::new(),
-            holders: BTreeMap::new(),
-        }
-    }
-
-    /// Enabled moves; sets `*truncated` when a thread silently diverges
-    /// (its moves are then dropped).
-    fn moves(&self, state: &PState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PMove> {
-        // The read domain is irrelevant for direct exploration (loads read
-        // memory); pass a minimal domain to the stepper and project the
-        // read of the current value.
-        let domain = Domain::zero_to(0);
-        let mut out = Vec::new();
-        for (k, slot) in state.threads.iter().enumerate() {
-            let Some(cfg) = slot else {
-                out.push(PMove {
-                    thread: k,
-                    action: Action::start(ThreadId::new(k as u32)),
-                    next: Some(ThreadConfig::new(
-                        self.program
-                            .thread(k)
-                            .expect("thread index in range")
-                            .to_vec(),
-                    )),
-                });
-                continue;
-            };
-            let Some((_, step)) = cfg.tau_closure(&domain, opts.max_tau) else {
-                *truncated = true;
-                continue;
-            };
-            match step {
-                Step::Done => {}
-                Step::Tau(_) => unreachable!("tau_closure never returns Tau"),
-                Step::Emit(successors) => {
-                    // The closure was computed at the emitting statement;
-                    // reconstruct the post-closure config from any
-                    // successor (they differ only in the action effect).
-                    let (first_action, _) = &successors[0];
-                    match first_action {
-                        Action::Read { loc, .. } => {
-                            let v = state.memory.get(loc).copied().unwrap_or(Value::ZERO);
-                            // re-step only the emitting statement with a
-                            // domain containing the current value
-                            let at_emit = cfg
-                                .tau_closure(&domain, opts.max_tau)
-                                .expect("closure already succeeded")
-                                .0;
-                            let Step::Emit(succ2) = at_emit.step(&Domain::from_values([v])) else {
-                                unreachable!("closure stopped at an emitting statement")
-                            };
-                            let (a, next) = succ2
-                                .into_iter()
-                                .find(|(a, _)| a.value() == Some(v))
-                                .expect("domain contains v");
-                            out.push(PMove {
-                                thread: k,
-                                action: a,
-                                next: Some(next),
-                            });
-                        }
-                        Action::Lock(m) => {
-                            let free = match state.holders.get(m) {
-                                None => true,
-                                Some(&h) => h == k,
-                            };
-                            if free {
-                                let (a, next) = successors.into_iter().next().expect("one");
-                                out.push(PMove {
-                                    thread: k,
-                                    action: a,
-                                    next: Some(next),
-                                });
-                            }
-                        }
-                        _ => {
-                            let (a, next) = successors.into_iter().next().expect("one");
-                            out.push(PMove {
-                                thread: k,
-                                action: a,
-                                next: Some(next),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    fn apply(&self, state: &PState, mv: &PMove) -> PState {
-        let mut next = state.clone();
-        let cfg = mv.next.clone().expect("moves carry successor configs");
-        // A finished thread's registers and monitor nesting can never be
-        // observed again (the holder table keeps any leaked locks), so
-        // normalise it to make states converge.
-        let terminal = cfg.is_done();
-        match mv.action {
-            Action::Write { loc, value } => {
-                next.memory.insert(loc, value);
-            }
-            Action::Lock(m) => {
-                next.holders.insert(m, mv.thread);
-            }
-            Action::Unlock(m) if cfg.monitor_nesting(m) == 0 => {
-                next.holders.remove(&m);
-            }
-            _ => {}
-        }
-        // Normalise terminated threads so states converge.
-        next.threads[mv.thread] = Some(if terminal {
-            ThreadConfig::new(vec![])
-        } else {
-            cfg
-        });
-        next
-    }
-
     /// The behaviours of the program's executions, by memoised dynamic
     /// programming.
     ///
@@ -341,14 +608,24 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> Bounded<Behaviours> {
-        let mut memo: HashMap<(PState, usize), Arc<Behaviours>> = HashMap::new();
+        let mut interner: StateInterner<CState> = StateInterner::new();
+        let mut memo: FxHashMap<(u32, usize), Arc<Behaviours>> = FxHashMap::default();
+        let mut scratch: ScratchPool<CMove> = ScratchPool::new();
         let mut truncated = false;
-        let fuel = if program_has_loops(self.program) {
-            opts.max_actions
-        } else {
-            usize::MAX
-        };
-        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated, guard);
+        let fuel = self.fuel(opts);
+        let init = self.initial_compact();
+        let (id, _) = interner.intern_ref(&init);
+        let set = self.suffixes(
+            init,
+            id,
+            fuel,
+            opts,
+            &mut interner,
+            &mut memo,
+            &mut scratch,
+            &mut truncated,
+            guard,
+        );
         if truncated {
             guard.trip_action_bound();
         }
@@ -358,21 +635,30 @@ impl<'p> ProgramExplorer<'p> {
         }
     }
 
+    fn fuel(&self, opts: &ExploreOptions) -> usize {
+        if program_has_loops(self.program) {
+            opts.max_actions
+        } else {
+            usize::MAX
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn suffixes(
         &self,
-        state: PState,
+        state: CState,
+        id: u32,
         fuel: usize,
         opts: &ExploreOptions,
-        memo: &mut HashMap<(PState, usize), Arc<Behaviours>>,
+        interner: &mut StateInterner<CState>,
+        memo: &mut FxHashMap<(u32, usize), Arc<Behaviours>>,
+        scratch: &mut ScratchPool<CMove>,
         truncated: &mut bool,
         guard: &BudgetGuard,
     ) -> Arc<Behaviours> {
-        let key = (state, fuel);
-        if let Some(r) = memo.get(&key) {
+        if let Some(r) = memo.get(&(id, fuel)) {
             return Arc::clone(r);
         }
-        let (state, fuel) = (&key.0, key.1);
         let mut set = Behaviours::new();
         set.insert(Vec::new());
         if guard.should_stop() {
@@ -382,9 +668,10 @@ impl<'p> ProgramExplorer<'p> {
             return Arc::new(set);
         }
         guard.note_state();
-        let moves = self.por_moves(state, opts, truncated);
+        let mut buf = scratch.take();
+        self.por_moves_into(&state, opts, &mut buf, truncated);
         if fuel == 0 {
-            if !moves.is_empty() {
+            if !buf.is_empty() {
                 *truncated = true;
             }
         } else {
@@ -393,14 +680,11 @@ impl<'p> ProgramExplorer<'p> {
             } else {
                 fuel - 1
             };
-            for mv in moves {
+            for &mv in buf.iter() {
+                let succ = self.apply(&state, &mv);
+                let (sid, _) = interner.intern_ref(&succ);
                 let tail = self.suffixes(
-                    self.apply(state, &mv),
-                    next_fuel,
-                    opts,
-                    memo,
-                    truncated,
-                    guard,
+                    succ, sid, next_fuel, opts, interner, memo, scratch, truncated, guard,
                 );
                 if let Action::External(v) = mv.action {
                     for suffix in tail.iter() {
@@ -414,8 +698,9 @@ impl<'p> ProgramExplorer<'p> {
                 }
             }
         }
+        scratch.put(buf);
         let rc = Arc::new(set);
-        memo.insert(key, Arc::clone(&rc));
+        memo.insert((id, fuel), Arc::clone(&rc));
         rc
     }
 
@@ -477,20 +762,15 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         jobs: usize,
         guard: &BudgetGuard,
-    ) -> Result<par::StateGraph<(PState, usize)>, EngineFault> {
-        let fuel = if program_has_loops(self.program) {
-            opts.max_actions
-        } else {
-            usize::MAX
-        };
+    ) -> Result<par::StateGraph<(CState, usize)>, EngineFault> {
         par::build_state_graph(
             jobs,
-            (self.initial(), fuel),
+            (self.initial_compact(), self.fuel(opts)),
             guard,
-            |node: &(PState, usize)| {
+            |node: &(CState, usize)| {
                 let (state, fuel) = node;
                 let mut truncated = false;
-                let moves = self.por_moves(state, opts, &mut truncated);
+                let moves = self.por_moves_vec(state, opts, &mut truncated);
                 let mut out = Vec::with_capacity(moves.len());
                 if *fuel == 0 {
                     if !moves.is_empty() {
@@ -534,15 +814,19 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> Option<RaceWitness> {
-        let mut visited: HashSet<RaceKey> = HashSet::new();
+        let mut interner: StateInterner<CState> = StateInterner::new();
+        let mut visited: FxHashSet<(u32, Prev)> = FxHashSet::default();
+        let mut scratch: ScratchPool<CMove> = ScratchPool::new();
         let mut path = Vec::new();
         let mut truncated = false;
         self.race_dfs(
-            self.initial(),
+            self.initial_compact(),
             None,
             opts,
+            &mut interner,
             &mut visited,
             &mut path,
+            &mut scratch,
             &mut truncated,
             guard,
         )
@@ -554,19 +838,29 @@ impl<'p> ProgramExplorer<'p> {
     #[allow(clippy::too_many_arguments)]
     fn race_dfs(
         &self,
-        state: PState,
-        prev: Option<(usize, Loc, bool)>,
+        state: CState,
+        prev: Prev,
         opts: &ExploreOptions,
-        visited: &mut HashSet<RaceKey>,
+        interner: &mut StateInterner<CState>,
+        visited: &mut FxHashSet<(u32, Prev)>,
         path: &mut Vec<Event>,
+        scratch: &mut ScratchPool<CMove>,
         truncated: &mut bool,
         guard: &BudgetGuard,
     ) -> bool {
-        if guard.should_stop() || !visited.insert((state.clone(), prev)) {
+        if guard.should_stop() {
+            return false;
+        }
+        // Reference-first probe: the state is cloned into the arena only
+        // when it is genuinely new.
+        let (id, _) = interner.intern_ref(&state);
+        if !visited.insert((id, prev)) {
             return false;
         }
         guard.note_state();
-        for mv in self.por_moves(&state, opts, truncated) {
+        let mut buf = scratch.take();
+        self.por_moves_into(&state, opts, &mut buf, truncated);
+        for &mv in buf.iter() {
             let tid = ThreadId::new(mv.thread as u32);
             if let Some((pk, pl, pw)) = prev {
                 if pk != mv.thread
@@ -584,19 +878,15 @@ impl<'p> ProgramExplorer<'p> {
                 _ => None,
             };
             path.push(Event::new(tid, mv.action));
+            let succ = self.apply(&state, &mv);
             if self.race_dfs(
-                self.apply(&state, &mv),
-                next_prev,
-                opts,
-                visited,
-                path,
-                truncated,
-                guard,
+                succ, next_prev, opts, interner, visited, path, scratch, truncated, guard,
             ) {
                 return true;
             }
             path.pop();
         }
+        scratch.put(buf);
         false
     }
 
@@ -631,16 +921,15 @@ impl<'p> ProgramExplorer<'p> {
         if jobs <= 1 {
             return self.race_witness_governed(opts, guard);
         }
-        type Prev = Option<(usize, Loc, bool)>;
         let searched = par::parallel_reach(
             jobs,
-            (self.initial(), None),
+            (self.initial_compact(), None),
             guard,
-            |(state, prev): &(PState, Prev)| {
+            |(state, prev): &(CState, Prev)| {
                 let mut truncated = false;
                 let mut found = false;
                 let mut successors = Vec::new();
-                for mv in self.por_moves(state, opts, &mut truncated) {
+                for mv in self.por_moves_vec(state, opts, &mut truncated) {
                     if let Some((pk, pl, pw)) = *prev {
                         if pk != mv.thread
                             && mv.action.is_access_to(pl)
@@ -702,16 +991,20 @@ impl<'p> ProgramExplorer<'p> {
         behaviour: &[Value],
         opts: &ExploreOptions,
     ) -> Option<Interleaving> {
-        let mut visited: HashSet<(PState, usize)> = HashSet::new();
+        let mut interner: StateInterner<CState> = StateInterner::new();
+        let mut visited: FxHashSet<(u32, usize)> = FxHashSet::default();
+        let mut scratch: ScratchPool<CMove> = ScratchPool::new();
         let mut path: Vec<Event> = Vec::new();
         let mut truncated = false;
         self.behaviour_dfs(
-            self.initial(),
+            self.initial_compact(),
             behaviour,
             0,
             opts,
+            &mut interner,
             &mut visited,
             &mut path,
+            &mut scratch,
             &mut truncated,
         )
         .then(|| Interleaving::from_events(path))
@@ -720,21 +1013,29 @@ impl<'p> ProgramExplorer<'p> {
     #[allow(clippy::too_many_arguments)]
     fn behaviour_dfs(
         &self,
-        state: PState,
+        state: CState,
         target: &[Value],
         emitted: usize,
         opts: &ExploreOptions,
-        visited: &mut HashSet<(PState, usize)>,
+        interner: &mut StateInterner<CState>,
+        visited: &mut FxHashSet<(u32, usize)>,
         path: &mut Vec<Event>,
+        scratch: &mut ScratchPool<CMove>,
         truncated: &mut bool,
     ) -> bool {
         if emitted == target.len() {
             return true;
         }
-        if path.len() > opts.max_actions || !visited.insert((state.clone(), emitted)) {
+        if path.len() > opts.max_actions {
             return false;
         }
-        for mv in self.moves(&state, opts, truncated) {
+        let (id, _) = interner.intern_ref(&state);
+        if !visited.insert((id, emitted)) {
+            return false;
+        }
+        let mut buf = scratch.take();
+        self.moves_into(&state, opts, &mut buf, truncated);
+        for &mv in buf.iter() {
             let next_emitted = match mv.action {
                 Action::External(v) => {
                     if target.get(emitted) != Some(&v) {
@@ -745,19 +1046,23 @@ impl<'p> ProgramExplorer<'p> {
                 _ => emitted,
             };
             path.push(Event::new(ThreadId::new(mv.thread as u32), mv.action));
+            let succ = self.apply(&state, &mv);
             if self.behaviour_dfs(
-                self.apply(&state, &mv),
+                succ,
                 target,
                 next_emitted,
                 opts,
+                interner,
                 visited,
                 path,
+                scratch,
                 truncated,
             ) {
                 return true;
             }
             path.pop();
         }
+        scratch.put(buf);
         false
     }
 
@@ -768,14 +1073,18 @@ impl<'p> ProgramExplorer<'p> {
     #[must_use]
     pub fn racy_locations(&self, opts: &ExploreOptions) -> std::collections::BTreeSet<Loc> {
         let mut races: std::collections::BTreeSet<Loc> = Default::default();
-        let mut visited: HashSet<RaceKey> = HashSet::new();
+        let mut interner: StateInterner<CState> = StateInterner::new();
+        let mut visited: FxHashSet<(u32, Prev)> = FxHashSet::default();
+        let mut buf = Vec::new();
         let mut truncated = false;
-        let mut stack: Vec<RaceKey> = vec![(self.initial(), None)];
+        let mut stack: Vec<(CState, Prev)> = vec![(self.initial_compact(), None)];
         while let Some((state, prev)) = stack.pop() {
-            if !visited.insert((state.clone(), prev)) {
+            let (id, _) = interner.intern_ref(&state);
+            if !visited.insert((id, prev)) {
                 continue;
             }
-            for mv in self.moves(&state, opts, &mut truncated) {
+            self.moves_into(&state, opts, &mut buf, &mut truncated);
+            for &mv in buf.iter() {
                 if let Some((pk, pl, pw)) = prev {
                     if pk != mv.thread
                         && mv.action.is_access_to(pl)
@@ -812,22 +1121,29 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> usize {
-        let mut seen: HashSet<PState> = HashSet::new();
-        let mut stack = vec![self.initial()];
+        // The interner *is* the visited set: dedup by id, count by arena
+        // length, expand by borrowing the arena copy back out.
+        let mut interner: StateInterner<CState> = StateInterner::new();
+        let mut buf = Vec::new();
         let mut truncated = false;
-        while let Some(s) = stack.pop() {
+        let (root, _) = interner.intern(self.initial_compact());
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
             if guard.should_stop() {
                 break;
             }
-            if !seen.insert(s.clone()) {
-                continue;
-            }
             guard.note_state();
-            for mv in self.moves(&s, opts, &mut truncated) {
-                stack.push(self.apply(&s, &mv));
+            let state = interner.get(id).clone();
+            self.moves_into(&state, opts, &mut buf, &mut truncated);
+            for mv in buf.iter() {
+                let succ = self.apply(&state, mv);
+                let (sid, fresh) = interner.intern(succ);
+                if fresh {
+                    stack.push(sid);
+                }
             }
         }
-        seen.len()
+        interner.len()
     }
 
     /// The reachable-state count, computed on `jobs` workers.
@@ -849,9 +1165,9 @@ impl<'p> ProgramExplorer<'p> {
         if jobs <= 1 {
             return self.count_reachable_states_governed(opts, guard);
         }
-        par::parallel_state_count(jobs, self.initial(), guard, |state| {
+        par::parallel_state_count(jobs, self.initial_compact(), guard, |state| {
             let mut truncated = false;
-            self.moves(state, opts, &mut truncated)
+            self.moves_vec(state, opts, &mut truncated)
                 .iter()
                 .map(|mv| self.apply(state, mv))
                 .collect()
@@ -860,6 +1176,423 @@ impl<'p> ProgramExplorer<'p> {
             guard.record_fault();
             self.count_reachable_states_governed(opts, guard)
         })
+    }
+
+    // -----------------------------------------------------------------
+    // Pre-interning reference engine and the encode/decode audit
+    // -----------------------------------------------------------------
+
+    /// [`behaviours`](ProgramExplorer::behaviours) on the
+    /// **pre-interning reference engine**: uncompressed `PState`s
+    /// (config clones, `BTreeMap` memory/holders) with SipHash-keyed
+    /// memos and per-visit `tau_closure` re-runs, exactly as the engine
+    /// worked before the compact encoding landed. Kept for differential
+    /// testing and the E17 before/after benchmark; the production entry
+    /// points never use it.
+    #[must_use]
+    pub fn behaviours_reference_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> Bounded<Behaviours> {
+        let mut memo: HashMap<(PState, usize), Arc<Behaviours>> = HashMap::new();
+        let mut truncated = false;
+        let set = self.ref_suffixes(
+            self.ref_initial(),
+            self.fuel(opts),
+            opts,
+            &mut memo,
+            &mut truncated,
+            guard,
+        );
+        if truncated {
+            guard.trip_action_bound();
+        }
+        Bounded {
+            value: (*set).clone(),
+            complete: !truncated,
+        }
+    }
+
+    /// [`race_witness`](ProgramExplorer::race_witness) on the
+    /// pre-interning reference engine (see
+    /// [`behaviours_reference_governed`](ProgramExplorer::behaviours_reference_governed)).
+    #[must_use]
+    pub fn race_witness_reference_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> Option<RaceWitness> {
+        let mut visited: HashSet<(PState, Prev)> = HashSet::new();
+        let mut path = Vec::new();
+        let mut truncated = false;
+        self.ref_race_dfs(
+            self.ref_initial(),
+            None,
+            opts,
+            &mut visited,
+            &mut path,
+            &mut truncated,
+            guard,
+        )
+        .then(|| RaceWitness {
+            execution: Interleaving::from_events(path),
+        })
+    }
+
+    fn ref_initial(&self) -> PState {
+        PState {
+            threads: vec![None; self.program.thread_count()],
+            memory: BTreeMap::new(),
+            holders: BTreeMap::new(),
+        }
+    }
+
+    /// The old move computation: one `tau_closure` per thread per visit
+    /// (two for reads), config clones in every move.
+    fn ref_moves(&self, state: &PState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PMove> {
+        let domain = Domain::zero_to(0);
+        let mut out = Vec::new();
+        for (k, slot) in state.threads.iter().enumerate() {
+            let Some(cfg) = slot else {
+                out.push(PMove {
+                    thread: k,
+                    action: Action::start(ThreadId::new(k as u32)),
+                    next: Some(ThreadConfig::new(
+                        self.program
+                            .thread(k)
+                            .expect("thread index in range")
+                            .to_vec(),
+                    )),
+                });
+                continue;
+            };
+            let Some((_, step)) = cfg.tau_closure(&domain, opts.max_tau) else {
+                *truncated = true;
+                continue;
+            };
+            match step {
+                Step::Done => {}
+                Step::Tau(_) => unreachable!("tau_closure never returns Tau"),
+                Step::Emit(successors) => {
+                    let (first_action, _) = &successors[0];
+                    match first_action {
+                        Action::Read { loc, .. } => {
+                            let v = state.memory.get(loc).copied().unwrap_or(Value::ZERO);
+                            let at_emit = cfg
+                                .tau_closure(&domain, opts.max_tau)
+                                .expect("closure already succeeded")
+                                .0;
+                            let Step::Emit(succ2) = at_emit.step(&Domain::from_values([v])) else {
+                                unreachable!("closure stopped at an emitting statement")
+                            };
+                            let (a, next) = succ2
+                                .into_iter()
+                                .find(|(a, _)| a.value() == Some(v))
+                                .expect("domain contains v");
+                            out.push(PMove {
+                                thread: k,
+                                action: a,
+                                next: Some(next),
+                            });
+                        }
+                        Action::Lock(m) => {
+                            let free = match state.holders.get(m) {
+                                None => true,
+                                Some(&h) => h == k,
+                            };
+                            if free {
+                                let (a, next) = successors.into_iter().next().expect("one");
+                                out.push(PMove {
+                                    thread: k,
+                                    action: a,
+                                    next: Some(next),
+                                });
+                            }
+                        }
+                        _ => {
+                            let (a, next) = successors.into_iter().next().expect("one");
+                            out.push(PMove {
+                                thread: k,
+                                action: a,
+                                next: Some(next),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn ref_por_moves(
+        &self,
+        state: &PState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<PMove> {
+        let moves = self.ref_moves(state, opts, truncated);
+        if !opts.por || !self.reducible {
+            return moves;
+        }
+        if let Some(mv) = moves
+            .iter()
+            .find(|mv| self.invisible(mv.thread, &mv.action))
+        {
+            return vec![mv.clone()];
+        }
+        moves
+    }
+
+    fn ref_apply(&self, state: &PState, mv: &PMove) -> PState {
+        let mut next = state.clone();
+        let cfg = mv.next.clone().expect("moves carry successor configs");
+        let terminal = cfg.is_done();
+        match mv.action {
+            Action::Write { loc, value } => {
+                next.memory.insert(loc, value);
+            }
+            Action::Lock(m) => {
+                next.holders.insert(m, mv.thread);
+            }
+            Action::Unlock(m) if cfg.monitor_nesting(m) == 0 => {
+                next.holders.remove(&m);
+            }
+            _ => {}
+        }
+        // Normalise terminated threads so states converge.
+        next.threads[mv.thread] = Some(if terminal {
+            ThreadConfig::new(vec![])
+        } else {
+            cfg
+        });
+        next
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ref_suffixes(
+        &self,
+        state: PState,
+        fuel: usize,
+        opts: &ExploreOptions,
+        memo: &mut HashMap<(PState, usize), Arc<Behaviours>>,
+        truncated: &mut bool,
+        guard: &BudgetGuard,
+    ) -> Arc<Behaviours> {
+        let key = (state, fuel);
+        if let Some(r) = memo.get(&key) {
+            return Arc::clone(r);
+        }
+        let (state, fuel) = (&key.0, key.1);
+        let mut set = Behaviours::new();
+        set.insert(Vec::new());
+        if guard.should_stop() {
+            *truncated = true;
+            return Arc::new(set);
+        }
+        guard.note_state();
+        let moves = self.ref_por_moves(state, opts, truncated);
+        if fuel == 0 {
+            if !moves.is_empty() {
+                *truncated = true;
+            }
+        } else {
+            let next_fuel = if fuel == usize::MAX {
+                usize::MAX
+            } else {
+                fuel - 1
+            };
+            for mv in moves {
+                let tail = self.ref_suffixes(
+                    self.ref_apply(state, &mv),
+                    next_fuel,
+                    opts,
+                    memo,
+                    truncated,
+                    guard,
+                );
+                if let Action::External(v) = mv.action {
+                    for suffix in tail.iter() {
+                        let mut b = Vec::with_capacity(suffix.len() + 1);
+                        b.push(v);
+                        b.extend_from_slice(suffix);
+                        set.insert(b);
+                    }
+                } else {
+                    set.extend(tail.iter().cloned());
+                }
+            }
+        }
+        let rc = Arc::new(set);
+        memo.insert(key, Arc::clone(&rc));
+        rc
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ref_race_dfs(
+        &self,
+        state: PState,
+        prev: Prev,
+        opts: &ExploreOptions,
+        visited: &mut HashSet<(PState, Prev)>,
+        path: &mut Vec<Event>,
+        truncated: &mut bool,
+        guard: &BudgetGuard,
+    ) -> bool {
+        if guard.should_stop() || !visited.insert((state.clone(), prev)) {
+            return false;
+        }
+        guard.note_state();
+        for mv in self.ref_por_moves(&state, opts, truncated) {
+            let tid = ThreadId::new(mv.thread as u32);
+            if let Some((pk, pl, pw)) = prev {
+                if pk != mv.thread
+                    && mv.action.is_access_to(pl)
+                    && !pl.is_volatile()
+                    && (pw || mv.action.is_write())
+                {
+                    path.push(Event::new(tid, mv.action));
+                    return true;
+                }
+            }
+            let next_prev = match mv.action {
+                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
+                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
+                _ => None,
+            };
+            path.push(Event::new(tid, mv.action));
+            if self.ref_race_dfs(
+                self.ref_apply(&state, &mv),
+                next_prev,
+                opts,
+                visited,
+                path,
+                truncated,
+                guard,
+            ) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    /// Encodes a reference state into the compact word buffer (its
+    /// configs are already normalised by `ref_apply`).
+    fn encode_ref(&self, cache: &mut CfgCache, state: &PState) -> CState {
+        let mut words = vec![0u32; self.word_count()].into_boxed_slice();
+        for (k, slot) in state.threads.iter().enumerate() {
+            words[k] = match slot {
+                None => NOT_STARTED,
+                Some(cfg) => cache.cfgs.intern_ref(cfg).0,
+            };
+        }
+        for (&loc, &v) in &state.memory {
+            let i = self.loc_index(loc);
+            words[self.mem_base() + i] = v.get();
+            words[self.bit_base() + i / 32] |= 1 << (i % 32);
+        }
+        for (&m, &holder) in &state.holders {
+            words[self.holder_slot(m)] = holder as u32 + 1;
+        }
+        CState { words }
+    }
+
+    /// Decodes a compact state back into the reference representation
+    /// (the written bitmap recovers which memory cells exist).
+    fn decode(&self, cache: &CfgCache, state: &CState) -> PState {
+        let threads = (0..self.program.thread_count())
+            .map(|k| match state.words[k] {
+                NOT_STARTED => None,
+                id => Some(cache.cfgs.get(id).clone()),
+            })
+            .collect();
+        let mut memory = BTreeMap::new();
+        for (i, &loc) in self.locs.iter().enumerate() {
+            if state.words[self.bit_base() + i / 32] & (1 << (i % 32)) != 0 {
+                memory.insert(loc, Value::new(state.words[self.mem_base() + i]));
+            }
+        }
+        let mut holders = BTreeMap::new();
+        for &m in &self.monitors {
+            let h = state.words[self.holder_slot(m)];
+            if h != 0 {
+                holders.insert(m, h as usize - 1);
+            }
+        }
+        PState {
+            threads,
+            memory,
+            holders,
+        }
+    }
+
+    /// Self-audit of the compact encoding: walks the (unreduced)
+    /// reachable state space in lockstep on the compact and reference
+    /// representations, checking that encode→decode round-trips on every
+    /// state, that interned-id equality coincides with structural
+    /// `PState` equality, and that both engines produce the same move
+    /// lists. `max_states` caps the walk (flagged in
+    /// [`InternAudit::capped`]). Test support for the property suite.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn audit_intern(&self, opts: &ExploreOptions, max_states: usize) -> InternAudit {
+        let mut interner: StateInterner<CState> = StateInterner::new();
+        let mut rmap: HashMap<PState, u32> = HashMap::new();
+        let mut stack: Vec<(CState, PState)> = vec![(self.initial_compact(), self.ref_initial())];
+        let mut audit = InternAudit {
+            states: 0,
+            roundtrips: true,
+            bijective: true,
+            capped: false,
+        };
+        let mut truncated = false;
+        while let Some((cs, rs)) = stack.pop() {
+            let (cid, fresh) = interner.intern_ref(&cs);
+            let ref_fresh = !rmap.contains_key(&rs);
+            if fresh != ref_fresh {
+                // One side thinks the state is new and the other does
+                // not: the encoding conflated or split states.
+                audit.bijective = false;
+            }
+            if !ref_fresh {
+                if rmap[&rs] != cid {
+                    audit.bijective = false;
+                }
+                continue;
+            }
+            rmap.insert(rs.clone(), cid);
+            if !fresh {
+                continue;
+            }
+            audit.states += 1;
+            {
+                let mut cache = self.lock_cache();
+                self.ensure_cache(&mut cache, opts.max_tau);
+                if self.encode_ref(&mut cache, &rs) != cs || self.decode(&cache, &cs) != rs {
+                    audit.roundtrips = false;
+                }
+            }
+            if audit.states >= max_states {
+                audit.capped = true;
+                break;
+            }
+            let cmoves = self.moves_vec(&cs, opts, &mut truncated);
+            let rmoves = self.ref_moves(&rs, opts, &mut truncated);
+            let agree = cmoves.len() == rmoves.len()
+                && cmoves
+                    .iter()
+                    .zip(&rmoves)
+                    .all(|(a, b)| a.thread == b.thread && a.action == b.action);
+            if !agree {
+                audit.bijective = false;
+                continue;
+            }
+            for (cm, rm) in cmoves.iter().zip(&rmoves) {
+                stack.push((self.apply(&cs, cm), self.ref_apply(&rs, rm)));
+            }
+        }
+        audit
     }
 }
 
@@ -897,6 +1630,33 @@ fn collect_accesses(
         }
         crate::ast::Stmt::While { body, .. } => {
             collect_accesses(body, k, writers, accessors);
+        }
+        _ => {}
+    }
+}
+
+/// Records every monitor statement `s` can lock or unlock (the static
+/// monitor universe of the compact holder table).
+fn collect_monitors(s: &crate::ast::Stmt, out: &mut std::collections::BTreeSet<Monitor>) {
+    match s {
+        crate::ast::Stmt::Lock(m) | crate::ast::Stmt::Unlock(m) => {
+            out.insert(*m);
+        }
+        crate::ast::Stmt::Block(b) => {
+            for s in b {
+                collect_monitors(s, out);
+            }
+        }
+        crate::ast::Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_monitors(then_branch, out);
+            collect_monitors(else_branch, out);
+        }
+        crate::ast::Stmt::While { body, .. } => {
+            collect_monitors(body, out);
         }
         _ => {}
     }
@@ -1181,6 +1941,52 @@ mod tests {
         let on = ExploreOptions::default();
         assert!(ex.race_witness(&on).is_some(), "flag race still found");
         assert!(ex.behaviours(&on).value.contains(&vec![Value::new(1)]));
+    }
+
+    #[test]
+    fn compact_engine_matches_reference_and_audits_clean() {
+        use transafety_interleaving::{Budget, CancelToken};
+        let corpus = [
+            "r2 := x; y := r2; || r1 := y; x := 1; print r1;",
+            "flag := 1; || while (flag != 1) skip; print 1;",
+            "lock m; x := 1; unlock m; || lock m; r0 := x; unlock m; print r0;",
+            "volatile v; v := 1; || r0 := v; print r0;",
+            "a := 1; r0 := a; x := r0; || b := 1; r1 := b; x := r1; print r1;",
+        ];
+        for src in corpus {
+            let parsed = parse_program(src).unwrap();
+            let ex = ProgramExplorer::new(&parsed.program);
+            for por in [true, false] {
+                let opts = ExploreOptions {
+                    por,
+                    ..ExploreOptions::default()
+                };
+                let g_new = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+                let g_ref = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+                let b_new = ex.behaviours_governed(&opts, &g_new);
+                let b_ref = ex.behaviours_reference_governed(&opts, &g_ref);
+                assert_eq!(b_new, b_ref, "{src} por={por}");
+                assert_eq!(
+                    g_new.states(),
+                    g_ref.states(),
+                    "state-visit counts differ: {src} por={por}"
+                );
+                let w_new = ex.race_witness_governed(&opts, &BudgetGuard::unlimited());
+                let w_ref = ex.race_witness_reference_governed(&opts, &BudgetGuard::unlimited());
+                match (&w_new, &w_ref) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.execution, b.execution, "{src} por={por}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("race verdicts differ: {src} por={por}"),
+                }
+            }
+            let audit = ex.audit_intern(&ExploreOptions::default(), 100_000);
+            assert!(audit.states > 1, "{src}");
+            assert!(audit.roundtrips, "encode/decode roundtrip failed: {src}");
+            assert!(audit.bijective, "id/structural equality diverged: {src}");
+            assert!(!audit.capped, "{src}");
+        }
     }
 }
 

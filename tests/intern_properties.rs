@@ -1,0 +1,119 @@
+//! Property tests for the interned compact state representation: across
+//! randomly generated programs, the compact encoding must round-trip
+//! (encode→decode is the identity on every reachable state), interned-id
+//! equality must coincide with structural state equality (the encoding
+//! is a bijection on the reachable space), and the interned engines must
+//! produce exactly the same verdicts as the retained pre-interning
+//! reference engines.
+//!
+//! The generator is the repository's own deterministic litmus generator
+//! (one seed per case, so failures reproduce exactly); no external
+//! property-testing dependency is used.
+
+use transafety::interleaving::{BudgetGuard, Explorer};
+use transafety::lang::{extract_traceset, ExploreOptions, ExtractOptions, ProgramExplorer};
+use transafety::litmus::{random_program, GeneratorConfig};
+use transafety::traces::Domain;
+
+/// One config per flavour of generated program: unconstrained (racy),
+/// lock-disciplined (DRF by construction), and volatile-synchronised.
+fn configs() -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::default(),
+        GeneratorConfig::drf(),
+        GeneratorConfig::with_volatiles(),
+    ]
+}
+
+/// Encode→decode round-trips and id/structural-equality agreement on
+/// every reachable state of 200 generated programs (the direct
+/// program-state engine).
+#[test]
+fn program_state_interning_is_bijective_on_generated_corpus() {
+    let opts = ExploreOptions::default();
+    let configs = configs();
+    let mut audited = 0usize;
+    let mut total_states = 0usize;
+    for seed in 0..200u64 {
+        let config = &configs[(seed % configs.len() as u64) as usize];
+        let p = random_program(seed, config);
+        let ex = ProgramExplorer::new(&p);
+        let audit = ex.audit_intern(&opts, 20_000);
+        assert!(
+            audit.roundtrips,
+            "encode/decode round-trip failed for seed {seed}"
+        );
+        assert!(
+            audit.bijective,
+            "interned-id equality diverged from structural equality for seed {seed}"
+        );
+        audited += 1;
+        total_states += audit.states;
+    }
+    assert_eq!(audited, 200);
+    assert!(
+        total_states > audited,
+        "the corpus should exercise non-trivial state spaces"
+    );
+}
+
+/// The same bijection properties along the traceset route: extract
+/// `[P]` and audit the interleaving explorer's compact encoding.
+#[test]
+fn traceset_state_interning_is_bijective_on_generated_corpus() {
+    let domain = Domain::zero_to(2);
+    let configs = configs();
+    for seed in (0..200u64).step_by(5) {
+        let config = &configs[(seed % configs.len() as u64) as usize];
+        let p = random_program(seed, config);
+        let e = extract_traceset(&p, &domain, &ExtractOptions::default());
+        if e.truncated {
+            continue; // bounded extraction: nothing to audit exactly
+        }
+        let ex = Explorer::new(&e.traceset);
+        let audit = ex.audit_intern(50_000);
+        assert!(
+            audit.roundtrips,
+            "traceset-route round-trip failed for seed {seed}"
+        );
+        assert!(
+            audit.bijective,
+            "traceset-route bijection failed for seed {seed}"
+        );
+    }
+}
+
+/// The interned engine and the pre-interning reference engine agree
+/// bit-for-bit: same behaviour sets, same completeness flags, same
+/// state-visit counts, same race verdicts and witnesses.
+#[test]
+fn interned_engine_matches_reference_on_generated_corpus() {
+    let configs = configs();
+    for seed in (0..200u64).step_by(4) {
+        let config = &configs[(seed % configs.len() as u64) as usize];
+        let p = random_program(seed, config);
+        let ex = ProgramExplorer::new(&p);
+        for por in [true, false] {
+            let opts = ExploreOptions {
+                por,
+                ..ExploreOptions::default()
+            };
+            let b_new = ex.behaviours_governed(&opts, &BudgetGuard::unlimited());
+            let b_ref = ex.behaviours_reference_governed(&opts, &BudgetGuard::unlimited());
+            assert_eq!(
+                b_new, b_ref,
+                "behaviours diverged for seed {seed} por={por}"
+            );
+            let w_new = ex.race_witness_governed(&opts, &BudgetGuard::unlimited());
+            let w_ref = ex.race_witness_reference_governed(&opts, &BudgetGuard::unlimited());
+            match (&w_new, &w_ref) {
+                (Some(a), Some(b)) => assert_eq!(
+                    a.execution, b.execution,
+                    "race witnesses diverged for seed {seed} por={por}"
+                ),
+                (None, None) => {}
+                _ => panic!("race verdicts diverged for seed {seed} por={por}"),
+            }
+        }
+    }
+}
