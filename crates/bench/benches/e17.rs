@@ -14,13 +14,20 @@
 //! differential assertions and JSON emission from single fast runs,
 //! skipping the timing loops and the ≥2× speedup gate (CI machines are
 //! noisy; the gate is for the curated full run).
+//!
+//! Both modes also exercise the observability layer: a calibrated
+//! corpus pass with the collector enabled must stay within 3% of the
+//! disabled-collector wall time, the interner probe/hit/collision
+//! counters must show the interning actually paying off (every state
+//! revisit is a cheap probe hit, load factor capped at 7/8), and the
+//! full counter snapshot lands in the JSON report under `"stats"`.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use transafety_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use transafety::interleaving::BudgetGuard;
+use transafety::interleaving::{BudgetGuard, ExploreMetrics, ExploreStats};
 use transafety::lang::{parse_program, ExploreOptions, Program, ProgramExplorer};
 use transafety::{Budget, CancelToken};
 
@@ -98,6 +105,87 @@ fn best_of(ex: &ProgramExplorer<'_>, opts: &ExploreOptions, interned: bool, n: u
     best
 }
 
+/// One full corpus pass through the production engine with the given
+/// collector riding on every guard, returning the aggregate wall time.
+fn corpus_pass(
+    corpus: &[(String, Program)],
+    opts: &ExploreOptions,
+    collector: &std::sync::Arc<ExploreMetrics>,
+) -> Duration {
+    let start = Instant::now();
+    for (_, p) in corpus {
+        let ex = ProgramExplorer::new(p);
+        let guard =
+            BudgetGuard::with_metrics(&Budget::unlimited(), CancelToken::new(), collector.clone());
+        black_box(ex.behaviours_governed(opts, &guard));
+        black_box(ex.race_witness_governed(opts, &guard));
+    }
+    start.elapsed()
+}
+
+/// Measures the wall-time cost of a live collector against the
+/// disabled singleton. Overhead this small drowns in scheduler noise
+/// on a loaded machine, so the measurement interleaves many short
+/// calibrated off/on pass pairs and compares the minima: the min of a
+/// large alternating population is robust to drift that would bias a
+/// few long back-to-back timings. Returns `(overhead_fraction,
+/// per-pass counter snapshot)`.
+fn measure_metrics_overhead(corpus: &[(String, Program)], reps: usize) -> (f64, ExploreStats) {
+    let opts = ExploreOptions::default();
+    let probe = corpus_pass(corpus, &opts, &ExploreMetrics::disabled());
+    let iters = usize::try_from(
+        (Duration::from_millis(100).as_nanos() / probe.as_nanos().max(1)).clamp(1, 128),
+    )
+    .expect("clamped iteration count fits");
+    let timed_pass = |collector: &std::sync::Arc<ExploreMetrics>| -> Duration {
+        (0..iters)
+            .map(|_| corpus_pass(corpus, &opts, collector))
+            .min()
+            .expect("at least one calibrated pass")
+    };
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for _ in 0..reps {
+        best_off = best_off.min(timed_pass(&ExploreMetrics::disabled()));
+        best_on = best_on.min(timed_pass(&ExploreMetrics::collector()));
+    }
+    let overhead = best_on.as_secs_f64() / best_off.as_secs_f64().max(1e-9) - 1.0;
+    // The report wants per-pass counters, not `reps * iters` passes
+    // merged: one untimed instrumented pass with a fresh collector.
+    let collector = ExploreMetrics::collector();
+    corpus_pass(corpus, &opts, &collector);
+    (overhead, collector.snapshot())
+}
+
+/// The interning-quality claim, read off the counters: the interner is
+/// doing real dedup work (hits), stays under its 7/8 load-factor cap,
+/// and chains stay short enough that probing is cheap on average.
+fn assert_interning_quality(stats: &ExploreStats) {
+    assert!(stats.enabled, "overhead pass ran with a dead collector");
+    assert!(stats.intern_keys > 0, "corpus pass interned nothing");
+    assert!(
+        stats.intern_hits > 0,
+        "no probe hits: the interner never deduplicated a revisit"
+    );
+    assert!(
+        stats.intern_keys <= stats.intern_probes,
+        "more keys than probes"
+    );
+    let lf = stats.load_factor();
+    assert!(
+        lf > 0.0 && lf <= 0.875,
+        "load factor {lf} outside (0, 7/8]: growth policy regressed"
+    );
+    // Collision chains: with FxHash + the 7/8 growth cap, the average
+    // probe should walk well under two extra slots on this corpus.
+    assert!(
+        stats.intern_collisions < 2 * stats.intern_probes,
+        "collision chains dominate probing ({} collisions over {} probes)",
+        stats.intern_collisions,
+        stats.intern_probes
+    );
+}
+
 /// Peak resident set of this process in kilobytes (`VmHWM`), if the
 /// platform exposes it.
 fn peak_rss_kb() -> Option<u64> {
@@ -163,13 +251,17 @@ fn throughput_table(corpus: &[(String, Program)], reps: usize) -> Vec<Row> {
 
 /// Writes the measured throughput as a small hand-rolled JSON report
 /// (the offline build has no serde).
-fn write_report(rows: &[Row], speedup: f64, smoke: bool) {
+fn write_report(rows: &[Row], speedup: f64, smoke: bool, overhead: f64, stats: &ExploreStats) {
     let path = std::env::var("BENCH_E17_OUT").unwrap_or_else(|_| "BENCH_E17.json".to_string());
     let mut out = String::from("{\n  \"experiment\": \"E17\",\n  \"jobs\": 1,\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     if let Some(kb) = peak_rss_kb() {
         out.push_str(&format!("  \"peak_rss_kb\": {kb},\n"));
     }
+    out.push_str(&format!(
+        "  \"metrics_overhead_fraction\": {overhead:.4},\n  \"stats\": {},\n",
+        stats.to_json()
+    ));
     out.push_str(&format!(
         "  \"aggregate_speedup\": {speedup:.3},\n  \"programs\": [\n"
     ));
@@ -231,7 +323,23 @@ fn interned_vs_reference(c: &mut Criterion) {
     let rows = throughput_table(&corpus, if smoke { 1 } else { 3 });
     let speedup = aggregate_speedup(&rows);
     println!("E17 aggregate speedup (jobs=1): {speedup:.2}x");
-    write_report(&rows, speedup, smoke);
+    let (overhead, stats) = measure_metrics_overhead(&corpus, if smoke { 15 } else { 25 });
+    println!(
+        "E17 metrics overhead: {:+.2}% wall time with a live collector \
+         ({} probes, {} hits, {} collisions, load factor {:.3})",
+        overhead * 100.0,
+        stats.intern_probes,
+        stats.intern_hits,
+        stats.intern_collisions,
+        stats.load_factor()
+    );
+    assert_interning_quality(&stats);
+    assert!(
+        overhead <= 0.03,
+        "metrics collector costs {:.2}% wall time (bound: 3%)",
+        overhead * 100.0
+    );
+    write_report(&rows, speedup, smoke, overhead, &stats);
     if smoke {
         return; // smoke mode: assertions + report only, no timing loops
     }

@@ -56,5 +56,5 @@ pub use oota::{no_thin_air, traceset_has_origin, OotaVerdict};
 pub use options::CheckOptions;
 pub use options::{Analysis, AnalysisReport, Verdict};
 pub use transafety_interleaving::{
-    Budget, BudgetBound, CancelToken, Completeness, TruncationReason,
+    Budget, BudgetBound, CancelToken, Completeness, ExploreStats, TraceEvent, TruncationReason,
 };

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use transafety_interleaving::{
     available_jobs, Behaviours, Budget, BudgetGuard, CancelToken, Completeness, ExploreLimits,
-    RaceWitness,
+    ExploreMetrics, ExploreStats, RaceWitness,
 };
 use transafety_lang::{Bounded, ExploreOptions, ExtractOptions, Program, ProgramExplorer};
 use transafety_traces::Domain;
@@ -65,6 +65,12 @@ pub struct Analysis {
     /// state cap and the interleaving-enumeration cap. Exceeding any
     /// bound is reported as truncation, never silently.
     pub budget: Budget,
+    /// Collect exploration metrics (counters, phase timings, event
+    /// trace) into [`AnalysisReport::stats`]. Off by default: disabled
+    /// metrics are a handful of untaken branches on the hot paths and
+    /// the report carries an all-zero [`ExploreStats`]. Never affects
+    /// verdicts, behaviours or witnesses.
+    pub metrics: bool,
 }
 
 impl Default for Analysis {
@@ -76,6 +82,7 @@ impl Default for Analysis {
             elimination: EliminationOptions::default(),
             jobs: 1,
             budget: Budget::default(),
+            metrics: false,
         }
     }
 }
@@ -174,6 +181,14 @@ impl Analysis {
         self
     }
 
+    /// Enables or disables metrics collection (default off). See
+    /// [`Analysis::metrics`](Analysis#structfield.metrics).
+    #[must_use]
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// The interleaving-level limits this configuration projects to
     /// (for calling [`Explorer`](transafety_interleaving::Explorer)
     /// directly).
@@ -206,7 +221,12 @@ impl Analysis {
     /// exactly how far the analysis got and what stopped it.
     #[must_use]
     pub fn run_with_cancel(&self, program: &Program, cancel: CancelToken) -> AnalysisReport {
-        let guard = BudgetGuard::new(&self.budget, cancel);
+        let collector = if self.metrics {
+            ExploreMetrics::collector()
+        } else {
+            ExploreMetrics::disabled()
+        };
+        let guard = BudgetGuard::with_metrics(&self.budget, cancel, collector.clone());
         let ex = ProgramExplorer::new(program);
         let behaviours = ex.behaviours_par_governed(&self.explore, self.jobs, &guard);
         let race = ex.race_witness_par_governed(&self.explore, self.jobs, &guard);
@@ -235,6 +255,7 @@ impl Analysis {
             states_explored: guard.states(),
             faults: guard.faults(),
             elapsed: guard.elapsed(),
+            stats: collector.snapshot(),
         }
     }
 }
@@ -294,6 +315,10 @@ pub struct AnalysisReport {
     pub faults: usize,
     /// Wall-clock time the analysis took.
     pub elapsed: Duration,
+    /// Exploration metrics, populated when the analysis ran with
+    /// [`Analysis::metrics`]`(true)`; all-zero (with
+    /// [`ExploreStats::enabled`] `false`) otherwise.
+    pub stats: ExploreStats,
 }
 
 impl AnalysisReport {

@@ -42,7 +42,7 @@ use transafety::checker::{
     classify_transformation, drf_guarantee, no_thin_air, race_witness, Analysis, OotaVerdict,
     TransformationClass,
 };
-use transafety::interleaving::BudgetGuard;
+use transafety::interleaving::{BudgetGuard, ExploreMetrics, ExploreStats};
 use transafety::lang::{parse_program_with_symbols, ProgramExplorer, SourceProgram};
 use transafety::litmus::by_name;
 use transafety::traces::{Domain, Value};
@@ -62,6 +62,103 @@ fn load_with(arg: &str, symbols: transafety::lang::SymbolTable) -> Result<Source
     parse_program_with_symbols(&source, symbols).map_err(|e| format!("{arg}: {e}"))
 }
 
+/// How `--stats` renders the collected exploration metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum StatsMode {
+    /// No stats were requested.
+    #[default]
+    Off,
+    /// Human-readable table on stderr (never disturbs stdout parsing).
+    Human,
+    /// One line of schema-stable JSON on stdout, after the command's
+    /// normal output.
+    Json,
+}
+
+/// Output configuration carried alongside [`Analysis`] by the flag
+/// parser: the stats rendering mode and the optional trace sink.
+#[derive(Debug, Clone, Default)]
+struct StatsFlags {
+    mode: StatsMode,
+    trace_out: Option<String>,
+}
+
+impl StatsFlags {
+    /// Does any flag require the metrics collector to be live?
+    fn wants_metrics(&self) -> bool {
+        self.mode != StatsMode::Off || self.trace_out.is_some()
+    }
+
+    /// The collector the analysis commands should run with.
+    fn collector(&self) -> std::sync::Arc<ExploreMetrics> {
+        if self.wants_metrics() {
+            ExploreMetrics::collector()
+        } else {
+            ExploreMetrics::disabled()
+        }
+    }
+
+    /// Renders `stats` per `--stats` and writes the event trace per
+    /// `--trace-out`. Called on every exit path of the analysis
+    /// commands, including truncated and fault-recovered runs, so
+    /// partial metrics are never lost with the partial results.
+    fn emit(&self, stats: &ExploreStats) -> Result<(), String> {
+        match self.mode {
+            StatsMode::Off => {}
+            StatsMode::Json => println!("{}", stats.to_json()),
+            StatsMode::Human => {
+                eprintln!("--- exploration stats ---");
+                eprintln!(
+                    "states: {} visited, {} interned, {} deduped",
+                    stats.states_visited, stats.states_interned, stats.states_deduped
+                );
+                eprintln!(
+                    "moves: {} generated; POR: {} ample, {} full expansions",
+                    stats.moves_generated, stats.por_ample_hits, stats.por_full_expansions
+                );
+                eprintln!(
+                    "interner: {} probes, {} hits, {} collisions, {} keys / {} slots \
+                     (load {:.3})",
+                    stats.intern_probes,
+                    stats.intern_hits,
+                    stats.intern_collisions,
+                    stats.intern_keys,
+                    stats.intern_slots,
+                    stats.load_factor()
+                );
+                eprintln!(
+                    "pool: {} tasks, {} steals, {} parks, {} wakes",
+                    stats.pool_tasks, stats.pool_steals, stats.pool_parks, stats.pool_wakes
+                );
+                eprintln!(
+                    "budget trips: {} wall-clock, {} states, {} cancelled, {} worker-panic, \
+                     {} interleavings, {} actions",
+                    stats.trip_wall_clock,
+                    stats.trip_states,
+                    stats.trip_cancelled,
+                    stats.trip_worker_panic,
+                    stats.trip_interleavings,
+                    stats.trip_actions
+                );
+                eprintln!(
+                    "phases (ms): graph build {:.3}, behaviour eval {:.3}, race search {:.3}, \
+                     census {:.3}, pool drain {:.3}",
+                    stats.graph_build_nanos as f64 / 1e6,
+                    stats.behaviour_eval_nanos as f64 / 1e6,
+                    stats.race_search_nanos as f64 / 1e6,
+                    stats.census_nanos as f64 / 1e6,
+                    stats.pool_drain_nanos as f64 / 1e6,
+                );
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, stats.trace_dump())
+                .map_err(|e| format!("--trace-out: cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 /// Exit code when a state/interleaving/action cap was exceeded.
 const EXIT_LIMIT_EXCEEDED: u8 = 3;
 /// Exit code when the wall-clock deadline passed or the run was
@@ -74,7 +171,8 @@ const EXIT_FAULT_RECOVERED: u8 = 5;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: drfcheck [--jobs N] [--timeout SECS] [--max-states N] \
-         [--max-interleavings N] [--no-por] <command> [args]\n\
+         [--max-interleavings N] [--no-por] [--stats[=json]] [--trace-out PATH] \
+         <command> [args]\n\
          commands:\n  \
            check <program>                      full analysis report (three-valued verdict)\n  \
            races <program>                      find a data race\n  \
@@ -93,7 +191,10 @@ fn usage() -> ExitCode {
            --timeout SECS         wall-clock budget for the analysis commands\n  \
            --max-states N         cap on explored states (approximate memory budget)\n  \
            --max-interleavings N  cap on enumerated executions\n  \
-           --no-por               disable the partial-order reduction (full exploration)\n\
+           --no-por               disable the partial-order reduction (full exploration)\n  \
+           --stats                print exploration metrics on stderr after the analysis\n  \
+           --stats=json           one line of schema-stable stats JSON on stdout instead\n  \
+           --trace-out PATH       write the phase/event trace (tab-separated) to PATH\n\
          exit codes:\n  \
            0  success / property holds\n  \
            1  data race or unsafe transformation found\n  \
@@ -189,12 +290,23 @@ fn guard_exit(guard: &BudgetGuard) -> Option<ExitCode> {
 
 /// Splits global flags off the argument list into an [`Analysis`]
 /// configuration; everything else is handed to the subcommands.
-fn parse_flags(args: &[String]) -> Result<(Analysis, Vec<String>), String> {
+fn parse_flags(args: &[String]) -> Result<(Analysis, StatsFlags, Vec<String>), String> {
     let mut opts = Analysis::new().auto_jobs();
+    let mut stats = StatsFlags::default();
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--stats" => {
+                stats.mode = StatsMode::Human;
+            }
+            "--stats=json" => {
+                stats.mode = StatsMode::Json;
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out requires a path")?;
+                stats.trace_out = Some(v.clone());
+            }
             "--jobs" | "-j" => {
                 let v = it.next().ok_or("--jobs requires a value")?;
                 let n: usize = v
@@ -232,13 +344,16 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, Vec<String>), String> {
             _ => rest.push(a.clone()),
         }
     }
-    Ok((opts, rest))
+    if stats.wants_metrics() {
+        opts = opts.metrics(true);
+    }
+    Ok((opts, stats, rest))
 }
 
 fn main() -> ExitCode {
     install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = parse_flags(&args).and_then(|(opts, rest)| run(&rest, &opts));
+    let result = parse_flags(&args).and_then(|(opts, stats, rest)| run(&rest, &opts, &stats));
     match result {
         Ok(code) => code,
         Err(e) => {
@@ -248,7 +363,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
+fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("check") if args.len() == 2 => {
             let p = load(&args[1])?;
@@ -268,6 +383,7 @@ fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
             if let Some(w) = &report.race {
                 println!("{w}");
             }
+            stats.emit(&report.stats)?;
             let reason = match report.completeness {
                 Completeness::Complete => None,
                 Completeness::Truncated { reason } => Some(reason),
@@ -287,12 +403,15 @@ fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
         }
         Some("races") if args.len() == 2 => {
             let p = load(&args[1])?;
-            let guard = BudgetGuard::new(&opts.budget, cancel_token().clone());
+            let collector = stats.collector();
+            let guard =
+                BudgetGuard::with_metrics(&opts.budget, cancel_token().clone(), collector.clone());
             let witness = ProgramExplorer::new(&p.program).race_witness_par_governed(
                 &opts.explore,
                 opts.jobs,
                 &guard,
             );
+            stats.emit(&collector.snapshot())?;
             match witness {
                 Some(w) => {
                     // A witness is conclusive however the search was
@@ -324,12 +443,15 @@ fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
         }
         Some("behaviours") if args.len() == 2 => {
             let p = load(&args[1])?;
-            let guard = BudgetGuard::new(&opts.budget, cancel_token().clone());
+            let collector = stats.collector();
+            let guard =
+                BudgetGuard::with_metrics(&opts.budget, cancel_token().clone(), collector.clone());
             let b = ProgramExplorer::new(&p.program).behaviours_par_governed(
                 &opts.explore,
                 opts.jobs,
                 &guard,
             );
+            stats.emit(&collector.snapshot())?;
             if !b.complete {
                 println!("(bounded: exploration hit its limits)");
             }
@@ -350,10 +472,13 @@ fn run(args: &[String], opts: &Analysis) -> Result<ExitCode, String> {
         }
         Some("executions") if args.len() == 2 => {
             let p = load(&args[1])?;
-            let guard = BudgetGuard::new(&opts.budget, cancel_token().clone());
+            let collector = stats.collector();
+            let guard =
+                BudgetGuard::with_metrics(&opts.budget, cancel_token().clone(), collector.clone());
             let e = transafety::lang::extract_traceset(&p.program, &opts.domain, &opts.extract);
             let (execs, capped) = transafety::interleaving::Explorer::new(&e.traceset)
                 .maximal_executions_governed(opts.limits(), &guard);
+            stats.emit(&collector.snapshot())?;
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             for i in &execs {

@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::metrics::{Counter, CounterTally, ExploreMetrics};
+
 /// Declarative resource bounds for one analysis run.
 ///
 /// `None` disables a bound. The interleaving cap is always finite (it
@@ -286,6 +288,11 @@ pub struct BudgetGuard {
     soft_interleavings: std::sync::atomic::AtomicBool,
     soft_actions: std::sync::atomic::AtomicBool,
     faults: AtomicUsize,
+    /// The run's observability collector. Defaults to the shared
+    /// disabled instance, whose recording methods are one branch — the
+    /// guard stays on its fast path unless a caller opts in via
+    /// [`with_metrics`](BudgetGuard::with_metrics).
+    metrics: Arc<ExploreMetrics>,
 }
 
 impl BudgetGuard {
@@ -293,6 +300,20 @@ impl BudgetGuard {
     /// cancellation.
     #[must_use]
     pub fn new(budget: &Budget, cancel: CancelToken) -> Self {
+        BudgetGuard::with_metrics(budget, cancel, ExploreMetrics::disabled())
+    }
+
+    /// [`new`](BudgetGuard::new), with an observability collector: every
+    /// phase run under this guard records counters, phase spans and
+    /// trace events into `metrics` (see the [`metrics`](crate::metrics)
+    /// module). Pass [`ExploreMetrics::collector`] to record,
+    /// [`ExploreMetrics::disabled`] to opt out.
+    #[must_use]
+    pub fn with_metrics(
+        budget: &Budget,
+        cancel: CancelToken,
+        metrics: Arc<ExploreMetrics>,
+    ) -> Self {
         BudgetGuard {
             start: Instant::now(),
             deadline: budget.deadline,
@@ -309,7 +330,17 @@ impl BudgetGuard {
             soft_interleavings: std::sync::atomic::AtomicBool::new(false),
             soft_actions: std::sync::atomic::AtomicBool::new(false),
             faults: AtomicUsize::new(0),
+            metrics,
         }
+    }
+
+    /// The observability collector riding on this guard (the shared
+    /// disabled instance unless the guard was built with
+    /// [`with_metrics`](BudgetGuard::with_metrics)). Explorer phases
+    /// use this to record without any signature changes.
+    #[must_use]
+    pub fn metrics(&self) -> &ExploreMetrics {
+        &self.metrics
     }
 
     /// A guard that never trips and skips all bookkeeping — what the
@@ -331,6 +362,19 @@ impl BudgetGuard {
     /// Records one newly explored state (called on each memo/interner
     /// miss; the count approximates the run's memory footprint).
     pub fn note_state(&self) {
+        self.metrics.bump(Counter::StatesVisited);
+        if self.inert {
+            return;
+        }
+        self.states.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`note_state`](BudgetGuard::note_state) with the metrics mirror
+    /// batched into `tally` instead of bumped on the collector — the
+    /// form the sequential hot loops use (one atomic per state instead
+    /// of two plus a thread-local lookup).
+    pub fn note_state_tallied(&self, tally: &CounterTally<'_>) {
+        tally.bump(Counter::StatesVisited);
         if self.inert {
             return;
         }
@@ -414,6 +458,8 @@ impl BudgetGuard {
     /// Records that the interleaving-enumeration cap was hit (a *soft*
     /// truncation: the enumeration stops itself; other phases proceed).
     pub fn trip_interleaving_cap(&self) {
+        self.metrics.bump(Counter::TripInterleavings);
+        self.metrics.event("trip:interleaving_cap", 0);
         if !self.inert {
             self.soft_interleavings.store(true, Ordering::Release);
         }
@@ -422,6 +468,8 @@ impl BudgetGuard {
     /// Records that the per-execution action fuel cut a behaviour set
     /// (a *soft* truncation: the exact race and census phases proceed).
     pub fn trip_action_bound(&self) {
+        self.metrics.bump(Counter::TripActions);
+        self.metrics.event("trip:action_bound", 0);
         if !self.inert {
             self.soft_actions.store(true, Ordering::Release);
         }
@@ -433,6 +481,16 @@ impl BudgetGuard {
     }
 
     fn trip(&self, code: u8) {
+        // Counted per trip *signal* (not per winning reason), so the
+        // stats show every cause that fired, first-winner or not.
+        let (counter, label) = match code {
+            TRIP_WALL_CLOCK => (Counter::TripWallClock, "trip:wall_clock"),
+            TRIP_STATES => (Counter::TripStates, "trip:state_cap"),
+            TRIP_CANCELLED => (Counter::TripCancelled, "trip:cancelled"),
+            _ => (Counter::TripWorkerPanic, "trip:worker_panic"),
+        };
+        self.metrics.bump(counter);
+        self.metrics.event(label, u64::from(code));
         if self.inert {
             return;
         }

@@ -24,6 +24,7 @@ use transafety_traces::{Action, Loc, Monitor, Traceset, Value};
 
 use crate::budget::BudgetGuard;
 use crate::intern::{FxHashSet, IdMap, InternAudit, ScratchPool, StateInterner};
+use crate::metrics::{Counter, CounterTally, Phase};
 use crate::{par, Event, IndexedTraceset, Interleaving};
 
 /// The behaviours of a program: a prefix-closed set of sequences of
@@ -436,10 +437,13 @@ impl Explorer {
     /// Every explorer move strictly advances a trie cursor, so the
     /// state graph is a DAG and the classic ample-set cycle proviso
     /// holds vacuously; soundness is argued in `docs/paper-mapping.md`.
-    fn por_moves_into(&self, state: &State, out: &mut Vec<Move>) {
+    /// Returns `true` when the reduction selected a singleton ample
+    /// thread (the observability layer counts ample hits vs. full
+    /// expansions from this flag).
+    fn por_moves_into(&self, state: &State, out: &mut Vec<Move>) -> bool {
         self.moves_into(state, out);
         if !self.por {
-            return;
+            return false;
         }
         for k in 0..self.space.threads {
             let node = state.words[k] as usize;
@@ -452,17 +456,18 @@ impl Explorer {
             }
             if out.iter().any(|mv| mv.thread == k) {
                 out.retain(|mv| mv.thread == k);
-                return;
+                return true;
             }
         }
+        false
     }
 
     /// Allocating form of [`por_moves_into`](Explorer::por_moves_into),
-    /// for the parallel drivers.
-    fn por_moves_vec(&self, state: &State) -> Vec<Move> {
+    /// for the parallel drivers; the flag is the ample-hit indicator.
+    fn por_moves_vec(&self, state: &State) -> (Vec<Move>, bool) {
         let mut out = Vec::new();
-        self.por_moves_into(state, &mut out);
-        out
+        let ample = self.por_moves_into(state, &mut out);
+        (out, ample)
     }
 
     /// Applies a move: clone the parent's word buffer and patch the
@@ -511,12 +516,33 @@ impl Explorer {
     /// trip reason records why).
     #[must_use]
     pub fn behaviours_governed(&self, guard: &BudgetGuard) -> Behaviours {
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::BehaviourEval);
+        let tally = CounterTally::new(metrics);
         let mut interner: StateInterner<State> = StateInterner::new();
         let mut memo: IdMap<Arc<Behaviours>> = IdMap::new();
         let mut scratch: ScratchPool<Move> = ScratchPool::new();
         let init = self.initial_state();
         let (id, _) = interner.intern_ref(&init);
-        let result = self.suffixes(init, id, &mut interner, &mut memo, &mut scratch, guard);
+        let result = self.suffixes(
+            init,
+            id,
+            &mut interner,
+            &mut memo,
+            &mut scratch,
+            guard,
+            &tally,
+        );
+        drop(tally);
+        if metrics.is_enabled() {
+            let stats = interner.probe_stats();
+            metrics.record_intern(stats);
+            // The interner is the phase's dedup structure: one key per
+            // distinct state admitted (dedup *hits* are counted at the
+            // memo-hit site in `suffixes`, not here, so revisit edges
+            // are not double-counted).
+            metrics.add(Counter::StatesInterned, stats.keys);
+        }
         (*result).clone()
     }
 
@@ -540,9 +566,11 @@ impl Explorer {
         if jobs <= 1 {
             return self.behaviours_governed(guard);
         }
-        let result = self
-            .state_graph(jobs, guard, true)
-            .and_then(|graph| par::behaviours_of(&graph, jobs));
+        let result = {
+            let _span = guard.metrics().span(Phase::BehaviourEval);
+            self.state_graph(jobs, guard, true)
+                .and_then(|graph| par::behaviours_of(&graph, jobs, guard.metrics()))
+        };
         match result {
             Ok(b) => b,
             Err(_) => {
@@ -563,11 +591,12 @@ impl Explorer {
         reduced: bool,
     ) -> Result<par::StateGraph<State>, crate::budget::EngineFault> {
         par::build_state_graph(jobs, self.initial_state(), guard, |state| {
-            let moves = if reduced {
+            let (moves, ample) = if reduced {
                 self.por_moves_vec(state)
             } else {
-                self.moves_vec(state)
+                (self.moves_vec(state), false)
             };
+            guard.metrics().record_expansion(moves.len(), ample);
             par::Expansion {
                 moves: moves
                     .into_iter()
@@ -587,8 +616,10 @@ impl Explorer {
         memo: &mut IdMap<Arc<Behaviours>>,
         scratch: &mut ScratchPool<Move>,
         guard: &BudgetGuard,
+        tally: &CounterTally<'_>,
     ) -> Arc<Behaviours> {
         if let Some(r) = memo.get(id) {
+            tally.bump(Counter::StatesDeduped);
             return Arc::clone(r);
         }
         let mut set: Behaviours = BTreeSet::new();
@@ -598,13 +629,14 @@ impl Explorer {
             // revisit cannot launder it as the state's exact value.
             return Arc::new(set);
         }
-        guard.note_state();
+        guard.note_state_tallied(tally);
         let mut buf = scratch.take();
-        self.por_moves_into(&state, &mut buf);
+        let ample = self.por_moves_into(&state, &mut buf);
+        tally.expansion(buf.len(), ample);
         for &mv in buf.iter() {
             let succ = self.apply(&state, &mv);
             let (succ_id, _) = interner.intern_ref(&succ);
-            let tail = self.suffixes(succ, succ_id, interner, memo, scratch, guard);
+            let tail = self.suffixes(succ, succ_id, interner, memo, scratch, guard, tally);
             match mv.action {
                 Action::External(v) => {
                     for suffix in tail.iter() {
@@ -637,12 +669,15 @@ impl Explorer {
     /// trip reason distinguishes that from a proof).
     #[must_use]
     pub fn race_witness_governed(&self, guard: &BudgetGuard) -> Option<RaceWitness> {
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::RaceSearch);
         // Visited key: interned state id plus the previous normal access.
         let mut interner: StateInterner<State> = StateInterner::new();
         let mut visited: FxHashSet<(u32, Prev)> = FxHashSet::default();
         let mut scratch: ScratchPool<Move> = ScratchPool::new();
         let mut path: Vec<Event> = Vec::new();
-        self.race_dfs(
+        let tally = CounterTally::new(metrics);
+        let racy = self.race_dfs(
             self.initial_state(),
             None,
             &mut interner,
@@ -650,8 +685,16 @@ impl Explorer {
             &mut path,
             &mut scratch,
             guard,
-        )
-        .then(|| RaceWitness {
+            &tally,
+        );
+        drop(tally);
+        if metrics.is_enabled() {
+            metrics.record_intern(interner.probe_stats());
+            // The (state, previous-access) visited set is this phase's
+            // dedup structure; the interner only compresses its keys.
+            metrics.add(Counter::StatesInterned, visited.len() as u64);
+        }
+        racy.then(|| RaceWitness {
             execution: Interleaving::from_events(path),
         })
     }
@@ -666,6 +709,7 @@ impl Explorer {
         path: &mut Vec<Event>,
         scratch: &mut ScratchPool<Move>,
         guard: &BudgetGuard,
+        tally: &CounterTally<'_>,
     ) -> bool {
         if guard.should_stop() {
             return false;
@@ -674,11 +718,13 @@ impl Explorer {
         // when it is genuinely new.
         let (id, _) = interner.intern_ref(&state);
         if !visited.insert((id, prev)) {
+            tally.bump(Counter::StatesDeduped);
             return false;
         }
-        guard.note_state();
+        guard.note_state_tallied(tally);
         let mut buf = scratch.take();
-        self.por_moves_into(&state, &mut buf);
+        let ample = self.por_moves_into(&state, &mut buf);
+        tally.expansion(buf.len(), ample);
         for &mv in buf.iter() {
             let thread_id = self.trie.threads()[mv.thread];
             // Race check against the immediately preceding event.
@@ -698,7 +744,9 @@ impl Explorer {
             };
             path.push(Event::new(thread_id, mv.action));
             let succ = self.apply(&state, &mv);
-            if self.race_dfs(succ, next_prev, interner, visited, path, scratch, guard) {
+            if self.race_dfs(
+                succ, next_prev, interner, visited, path, scratch, guard, tally,
+            ) {
                 return true;
             }
             path.pop();
@@ -736,6 +784,7 @@ impl Explorer {
         if jobs <= 1 {
             return self.race_witness_governed(guard);
         }
+        let span = guard.metrics().span(Phase::RaceSearch);
         let racy = par::parallel_reach(
             jobs,
             (self.initial_state(), None as Prev),
@@ -743,7 +792,9 @@ impl Explorer {
             |(state, prev)| {
                 let mut found = false;
                 let mut successors = Vec::new();
-                for mv in self.por_moves_vec(state) {
+                let (moves, ample) = self.por_moves_vec(state);
+                guard.metrics().record_expansion(moves.len(), ample);
+                for mv in moves {
                     if let Some((pk, pl, pw)) = *prev {
                         if pk != mv.thread
                             && mv.action.is_access_to(pl)
@@ -768,6 +819,7 @@ impl Explorer {
                 par::SearchStep { successors, found }
             },
         );
+        drop(span);
         let racy = match racy {
             Ok(r) => r,
             Err(_) => {
@@ -829,6 +881,7 @@ impl Explorer {
         let mut path = Vec::new();
         let mut scratch: ScratchPool<Move> = ScratchPool::new();
         let mut capped = false;
+        let tally = CounterTally::new(guard.metrics());
         self.enumerate(
             self.initial_state(),
             &mut path,
@@ -837,6 +890,7 @@ impl Explorer {
             &mut capped,
             &mut scratch,
             guard,
+            &tally,
         );
         (out, capped)
     }
@@ -851,6 +905,7 @@ impl Explorer {
         capped: &mut bool,
         scratch: &mut ScratchPool<Move>,
         guard: &BudgetGuard,
+        tally: &CounterTally<'_>,
     ) {
         if out.len() >= cap {
             // Every pending branch extends to at least one maximal
@@ -863,9 +918,10 @@ impl Explorer {
             *capped = true;
             return;
         }
-        guard.note_state();
+        guard.note_state_tallied(tally);
         let mut buf = scratch.take();
         self.moves_into(&state, &mut buf);
+        tally.expansion(buf.len(), false);
         if buf.is_empty() {
             out.push(Interleaving::from_events(path.iter().copied()));
             scratch.put(buf);
@@ -874,7 +930,7 @@ impl Explorer {
         for &mv in buf.iter() {
             path.push(Event::new(self.trie.threads()[mv.thread], mv.action));
             let succ = self.apply(&state, &mv);
-            self.enumerate(succ, path, out, cap, capped, scratch, guard);
+            self.enumerate(succ, path, out, cap, capped, scratch, guard, tally);
             path.pop();
         }
         scratch.put(buf);
@@ -933,7 +989,7 @@ impl Explorer {
         let guard = BudgetGuard::unlimited();
         match self
             .state_graph(jobs, &guard, false)
-            .and_then(|graph| par::count_leaves_checked(&graph, jobs))
+            .and_then(|graph| par::count_leaves_checked(&graph, jobs, guard.metrics()))
         {
             Ok(c) => c,
             // Quarantined worker panic: degrade to the sequential

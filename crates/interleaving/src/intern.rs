@@ -20,6 +20,7 @@
 //! id-indexed map for memo tables, and a recycling pool for the
 //! per-visit move buffers of the DFS engines.
 
+use std::cell::Cell;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// The multiplier of the rotate-multiply hash (the fractional bits of
@@ -140,6 +141,13 @@ pub struct StateInterner<K> {
     hashes: Vec<u64>,
     table: Vec<u32>,
     mask: usize,
+    // Probe accounting for the observability layer (`Cell`, not
+    // atomics: interners are either thread-local or mutex-guarded, so
+    // they are `Send` but never shared unsynchronised). Growth rehashes
+    // are not counted — the stats describe lookup/insert traffic only.
+    probes: Cell<u64>,
+    hits: Cell<u64>,
+    collisions: Cell<u64>,
 }
 
 impl<K> Default for StateInterner<K> {
@@ -149,6 +157,9 @@ impl<K> Default for StateInterner<K> {
             hashes: Vec::new(),
             table: Vec::new(),
             mask: 0,
+            probes: Cell::new(0),
+            hits: Cell::new(0),
+            collisions: Cell::new(0),
         }
     }
 }
@@ -241,6 +252,7 @@ impl<K: Hash + Eq> StateInterner<K> {
     /// Finds `key`'s id (`Ok`) or the empty slot where it belongs
     /// (`Err`). The table must be non-empty.
     fn find_slot(&self, hash: u64, key: &K) -> Result<u32, usize> {
+        self.probes.set(self.probes.get() + 1);
         let mut i = (hash as usize) & self.mask;
         loop {
             let slot = self.table[i];
@@ -249,8 +261,10 @@ impl<K: Hash + Eq> StateInterner<K> {
             }
             let id = slot as usize;
             if self.hashes[id] == hash && &self.keys[id] == key {
+                self.hits.set(self.hits.get() + 1);
                 return Ok(slot);
             }
+            self.collisions.set(self.collisions.get() + 1);
             i = (i + 1) & self.mask;
         }
     }
@@ -262,6 +276,18 @@ impl<K: Hash + Eq> StateInterner<K> {
         self.keys.push(key);
         self.hashes.push(hash);
         id
+    }
+
+    /// This interner's probe statistics so far (see [`InternStats`]).
+    #[must_use]
+    pub fn probe_stats(&self) -> InternStats {
+        InternStats {
+            probes: self.probes.get(),
+            hits: self.hits.get(),
+            collisions: self.collisions.get(),
+            keys: self.keys.len() as u64,
+            slots: self.table.len() as u64,
+        }
     }
 
     /// Grows the probe table when the next insert would push the load
@@ -281,6 +307,42 @@ impl<K: Hash + Eq> StateInterner<K> {
                 i = (i + 1) & self.mask;
             }
             self.table[i] = id as u32;
+        }
+    }
+}
+
+/// A [`StateInterner`]'s probe-table statistics, harvested by the
+/// observability layer (see
+/// [`ExploreMetrics::record_intern`](crate::metrics::ExploreMetrics::record_intern)).
+/// `probes` counts probe sequences (one per lookup or insert), `hits`
+/// the ones that found the key, `collisions` the occupied slots
+/// stepped past; `keys / slots` is the load factor. Sums of
+/// `InternStats` across interners stay meaningful — all fields are
+/// plain totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Probe sequences started (lookups + inserts).
+    pub probes: u64,
+    /// Probes that found their key already interned.
+    pub hits: u64,
+    /// Occupied slots stepped past on mismatching entries.
+    pub collisions: u64,
+    /// Distinct keys interned.
+    pub keys: u64,
+    /// Probe-table capacity in slots.
+    pub slots: u64,
+}
+
+impl InternStats {
+    /// Field-wise sum (for aggregating shard stats).
+    #[must_use]
+    pub fn merged(self, other: InternStats) -> InternStats {
+        InternStats {
+            probes: self.probes + other.probes,
+            hits: self.hits + other.hits,
+            collisions: self.collisions + other.collisions,
+            keys: self.keys + other.keys,
+            slots: self.slots + other.slots,
         }
     }
 }

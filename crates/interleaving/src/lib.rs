@@ -61,6 +61,7 @@ mod happens_before;
 mod indexed;
 mod interleaving;
 pub mod intern;
+pub mod metrics;
 pub mod par;
 mod wild;
 
@@ -73,5 +74,6 @@ pub use explore::{Behaviours, ExploreLimits, Explorer, RaceWitness};
 pub use happens_before::HappensBefore;
 pub use indexed::IndexedTraceset;
 pub use interleaving::Interleaving;
+pub use metrics::{ExploreMetrics, ExploreStats, TraceEvent};
 pub use par::available_jobs;
 pub use wild::{WildEvent, WildInterleaving};

@@ -49,7 +49,8 @@ use transafety_traces::Action;
 
 use crate::budget::{BudgetGuard, EngineFault};
 use crate::explore::Behaviours;
-use crate::intern::{fx_hash, StateInterner};
+use crate::intern::{fx_hash, InternStats, StateInterner};
+use crate::metrics::{Counter, ExploreMetrics, Phase};
 
 /// The number of worker threads to use by default: the machine's
 /// available parallelism (1 if it cannot be determined).
@@ -162,6 +163,12 @@ struct TaskQueue<T> {
     pending: AtomicUsize,
     stop: AtomicBool,
     gate: IdleGate,
+    /// Work items executed (reported in [`PoolOutcome::tasks`]).
+    executed: AtomicU64,
+    /// Tasks obtained by stealing (reported in [`PoolOutcome::steals`]).
+    steals: AtomicU64,
+    /// Idle-gate parks (reported in [`PoolOutcome::parks`]).
+    parks: AtomicU64,
 }
 
 impl<T> TaskQueue<T> {
@@ -219,6 +226,15 @@ pub struct PoolOutcome {
     pub panics: usize,
     /// The payload of the first panic, when it was a string.
     pub first_panic: Option<String>,
+    /// Work items executed across all workers.
+    pub tasks: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Times a worker parked on the idle gate.
+    pub parks: u64,
+    /// Idle-gate wake announcements (every push, stop and final drain
+    /// bumps the gate epoch once).
+    pub wakes: u64,
 }
 
 impl PoolOutcome {
@@ -263,6 +279,7 @@ impl FaultLog {
         PoolOutcome {
             panics: self.panics.load(Ordering::Acquire),
             first_panic: self.first.into_inner().unwrap_or_else(|e| e.into_inner()),
+            ..PoolOutcome::default()
         }
     }
 }
@@ -289,12 +306,16 @@ where
         pending: AtomicUsize::new(seeds.len()),
         stop: AtomicBool::new(false),
         gate: IdleGate::new(),
+        executed: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        parks: AtomicU64::new(0),
     };
     let faults = FaultLog::new();
     // Runs one task under panic quarantine; a caught panic cancels the
     // remaining work so the caller can degrade instead of computing a
     // silently incomplete result.
     let guarded = |task: T, ctx: &TaskContext<'_, T>| {
+        queue.executed.fetch_add(1, Ordering::Relaxed);
         let result = catch_unwind(AssertUnwindSafe(|| {
             maybe_inject_panic();
             handler(task, ctx);
@@ -330,7 +351,7 @@ where
                 None => break,
             }
         }
-        return faults.outcome();
+        return finish(faults, &queue);
     }
     std::thread::scope(|scope| {
         for worker in 0..jobs {
@@ -364,6 +385,7 @@ where
                             }
                             let mut grabbed: VecDeque<T> = v.drain(..take).collect();
                             drop(v);
+                            queue.steals.fetch_add(take as u64, Ordering::Relaxed);
                             task = grabbed.pop_front();
                             if !grabbed.is_empty() {
                                 queue.shards[worker]
@@ -407,6 +429,7 @@ where
                             {
                                 continue;
                             }
+                            queue.parks.fetch_add(1, Ordering::Relaxed);
                             queue.gate.sleep(seen);
                         }
                     }
@@ -414,7 +437,17 @@ where
             });
         }
     });
-    faults.outcome()
+    finish(faults, &queue)
+}
+
+/// Folds the queue's scheduler tallies into the fault outcome.
+fn finish<T>(faults: FaultLog, queue: &TaskQueue<T>) -> PoolOutcome {
+    let mut out = faults.outcome();
+    out.tasks = queue.executed.load(Ordering::Relaxed);
+    out.steals = queue.steals.load(Ordering::Relaxed);
+    out.parks = queue.parks.load(Ordering::Relaxed);
+    out.wakes = queue.gate.epoch.load(Ordering::Relaxed);
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -520,6 +553,8 @@ where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> Expansion<K> + Sync,
 {
+    let metrics = guard.metrics();
+    let _span = metrics.span(Phase::GraphBuild);
     let interner: Interner<K> = Interner::new();
     let truncated = AtomicBool::new(false);
     let (root_id, _) = interner.intern(&root);
@@ -552,6 +587,7 @@ where
             interner.set_edges(id, edges);
         },
     );
+    metrics.record_pool(outcome.tasks, outcome.steals, outcome.parks, outcome.wakes);
     if let Some(fault) = outcome.fault() {
         return Err(fault);
     }
@@ -561,6 +597,17 @@ where
         .into_iter()
         .map(|m| m.into_inner().expect("intern shard poisoned"))
         .collect();
+    if metrics.is_enabled() {
+        let stats = shards.iter().fold(InternStats::default(), |acc, s| {
+            acc.merged(s.states.probe_stats())
+        });
+        metrics.record_intern(stats);
+        // Every interned key is a distinct graph node; every probe hit
+        // was a move whose successor was already known.
+        metrics.add(Counter::StatesInterned, stats.keys);
+        metrics.add(Counter::StatesDeduped, stats.hits);
+        metrics.event("graph_build_nodes", stats.keys);
+    }
     let mut base = vec![0u32; SHARDS];
     let mut total: u32 = 0;
     for (s, shard) in shards.iter().enumerate() {
@@ -623,12 +670,18 @@ fn behaviour_step(edges: &[(Action, u32)], tails: &[Arc<Behaviours>]) -> Behavio
 /// input graph — now surface as an [`EngineFault`] (the first two via
 /// the quarantined panic, the cycle via the unevaluated root), so
 /// callers can degrade to the sequential reference engine.
-fn evaluate_dag<K, V, F>(graph: &StateGraph<K>, jobs: usize, value: F) -> Result<V, EngineFault>
+fn evaluate_dag<K, V, F>(
+    graph: &StateGraph<K>,
+    jobs: usize,
+    metrics: &ExploreMetrics,
+    value: F,
+) -> Result<V, EngineFault>
 where
     K: Sync,
     V: Clone + Send + Sync,
     F: Fn(&[(Action, u32)], &[V]) -> V + Sync,
 {
+    let _span = metrics.span(Phase::PoolDrain);
     let n = graph.nodes.len();
     let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut ready: Vec<u32> = Vec::new();
@@ -667,6 +720,7 @@ where
             }
         }
     });
+    metrics.record_pool(outcome.tasks, outcome.steals, outcome.parks, outcome.wakes);
     if let Some(fault) = outcome.fault() {
         return Err(fault);
     }
@@ -686,8 +740,9 @@ where
 pub fn behaviours_of<K: Sync>(
     graph: &StateGraph<K>,
     jobs: usize,
+    metrics: &ExploreMetrics,
 ) -> Result<Behaviours, EngineFault> {
-    evaluate_dag(graph, jobs, |edges, tails: &[Arc<Behaviours>]| {
+    evaluate_dag(graph, jobs, metrics, |edges, tails: &[Arc<Behaviours>]| {
         Arc::new(behaviour_step(edges, tails))
     })
     .map(|b| b.as_ref().clone())
@@ -697,8 +752,12 @@ pub fn behaviours_of<K: Sync>(
 /// parallel form of the counting dynamic program. Saturates at
 /// `u128::MAX` (see [`count_leaves_checked`]).
 /// A quarantined worker panic surfaces as an [`EngineFault`].
-pub fn count_leaves<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> Result<u128, EngineFault> {
-    count_leaves_checked(graph, jobs).map(|(count, _)| count)
+pub fn count_leaves<K: Sync>(
+    graph: &StateGraph<K>,
+    jobs: usize,
+    metrics: &ExploreMetrics,
+) -> Result<u128, EngineFault> {
+    count_leaves_checked(graph, jobs, metrics).map(|(count, _)| count)
 }
 
 /// [`count_leaves`] with overflow accounting: path counts grow as a
@@ -709,8 +768,9 @@ pub fn count_leaves<K: Sync>(graph: &StateGraph<K>, jobs: usize) -> Result<u128,
 pub fn count_leaves_checked<K: Sync>(
     graph: &StateGraph<K>,
     jobs: usize,
+    metrics: &ExploreMetrics,
 ) -> Result<(u128, bool), EngineFault> {
-    evaluate_dag(graph, jobs, |_edges, tails: &[(u128, bool)]| {
+    evaluate_dag(graph, jobs, metrics, |_edges, tails: &[(u128, bool)]| {
         if tails.is_empty() {
             (1, false)
         } else {
@@ -795,10 +855,34 @@ where
             }
         }
     });
+    record_shard_stats(guard.metrics(), &outcome, &visited);
     if let Some(fault) = outcome.fault() {
         return Err(fault);
     }
     Ok(found.load(Ordering::Acquire))
+}
+
+/// Folds a search driver's pool outcome and sharded visited-set stats
+/// into the run's metrics (no-op on the disabled collector).
+fn record_shard_stats<K: Eq + Hash>(
+    metrics: &ExploreMetrics,
+    outcome: &PoolOutcome,
+    shards: &[Mutex<StateInterner<K>>],
+) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics.record_pool(outcome.tasks, outcome.steals, outcome.parks, outcome.wakes);
+    let stats = shards.iter().fold(InternStats::default(), |acc, s| {
+        acc.merged(
+            s.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .probe_stats(),
+        )
+    });
+    metrics.record_intern(stats);
+    metrics.add(Counter::StatesInterned, stats.keys);
+    metrics.add(Counter::StatesDeduped, stats.hits);
 }
 
 /// Applies `f` to every item on `jobs` workers, returning the results
@@ -874,6 +958,7 @@ where
             }
         }
     });
+    record_shard_stats(guard.metrics(), &outcome, &visited);
     if let Some(fault) = outcome.fault() {
         return Err(fault);
     }
@@ -956,7 +1041,10 @@ mod tests {
             .expect("no faults");
             assert_eq!(g.nodes.len(), ((n + 1) * (n + 1)) as usize);
             assert!(!g.truncated);
-            assert_eq!(count_leaves(&g, jobs).expect("no faults"), 12870); // C(16, 8)
+            assert_eq!(
+                count_leaves(&g, jobs, &ExploreMetrics::disabled()).expect("no faults"),
+                12870
+            ); // C(16, 8)
         }
     }
 
@@ -976,10 +1064,11 @@ mod tests {
         })
         .expect("no faults");
         for jobs in [1, 4] {
-            let (count, saturated) = count_leaves_checked(&g, jobs).expect("no faults");
+            let m = ExploreMetrics::disabled();
+            let (count, saturated) = count_leaves_checked(&g, jobs, &m).expect("no faults");
             assert_eq!(count, u128::MAX, "jobs={jobs}");
             assert!(saturated, "jobs={jobs}: overflow must be flagged");
-            assert_eq!(count_leaves(&g, jobs).expect("no faults"), u128::MAX);
+            assert_eq!(count_leaves(&g, jobs, &m).expect("no faults"), u128::MAX);
         }
     }
 

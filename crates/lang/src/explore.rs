@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use transafety_interleaving::intern::{
     FxHashMap, FxHashSet, InternAudit, ScratchPool, StateInterner,
 };
+use transafety_interleaving::metrics::{Counter, CounterTally, Phase};
 use transafety_interleaving::{
     par, Behaviours, BudgetGuard, EngineFault, Event, Interleaving, RaceWitness,
 };
@@ -491,16 +492,18 @@ impl<'p> ProgramExplorer<'p> {
     /// so the cycle proviso holds vacuously) and the choice is a pure
     /// function of the state, keeping memoisation and parallel
     /// deduplication exact.
+    /// Returns `true` when a singleton ample set was selected (metrics
+    /// distinguish reduced expansions from full ones).
     fn por_moves_into(
         &self,
         state: &CState,
         opts: &ExploreOptions,
         out: &mut Vec<CMove>,
         truncated: &mut bool,
-    ) {
+    ) -> bool {
         self.moves_into(state, opts, out, truncated);
         if !opts.por || !self.reducible {
-            return;
+            return false;
         }
         // `out` lists threads in ascending index order.
         if let Some(pos) = out
@@ -510,7 +513,9 @@ impl<'p> ProgramExplorer<'p> {
             let mv = out[pos];
             out.clear();
             out.push(mv);
+            return true;
         }
+        false
     }
 
     /// Allocating form of [`por_moves_into`](ProgramExplorer::por_moves_into)
@@ -520,10 +525,10 @@ impl<'p> ProgramExplorer<'p> {
         state: &CState,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> Vec<CMove> {
+    ) -> (Vec<CMove>, bool) {
         let mut out = Vec::new();
-        self.por_moves_into(state, opts, &mut out, truncated);
-        out
+        let ample = self.por_moves_into(state, opts, &mut out, truncated);
+        (out, ample)
     }
 
     /// Allocating form of [`moves_into`](ProgramExplorer::moves_into).
@@ -608,6 +613,9 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> Bounded<Behaviours> {
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::BehaviourEval);
+        let tally = CounterTally::new(metrics);
         let mut interner: StateInterner<CState> = StateInterner::new();
         let mut memo: FxHashMap<(u32, usize), Arc<Behaviours>> = FxHashMap::default();
         let mut scratch: ScratchPool<CMove> = ScratchPool::new();
@@ -625,9 +633,20 @@ impl<'p> ProgramExplorer<'p> {
             &mut scratch,
             &mut truncated,
             guard,
+            &tally,
         );
+        drop(tally);
         if truncated {
             guard.trip_action_bound();
+        }
+        if metrics.is_enabled() {
+            metrics.record_intern(interner.probe_stats());
+            // The memo is the phase's dedup structure — keyed `(state
+            // id, fuel)`, so loopy programs revisiting a state at a
+            // different fuel count each layer once, exactly matching
+            // `note_state` (dedup *hits* are counted at the memo-hit
+            // site in `suffixes`).
+            metrics.add(Counter::StatesInterned, memo.len() as u64);
         }
         Bounded {
             value: (*set).clone(),
@@ -655,8 +674,10 @@ impl<'p> ProgramExplorer<'p> {
         scratch: &mut ScratchPool<CMove>,
         truncated: &mut bool,
         guard: &BudgetGuard,
+        tally: &CounterTally<'_>,
     ) -> Arc<Behaviours> {
         if let Some(r) = memo.get(&(id, fuel)) {
+            tally.bump(Counter::StatesDeduped);
             return Arc::clone(r);
         }
         let mut set = Behaviours::new();
@@ -667,9 +688,10 @@ impl<'p> ProgramExplorer<'p> {
             *truncated = true;
             return Arc::new(set);
         }
-        guard.note_state();
+        guard.note_state_tallied(tally);
         let mut buf = scratch.take();
-        self.por_moves_into(&state, opts, &mut buf, truncated);
+        let ample = self.por_moves_into(&state, opts, &mut buf, truncated);
+        tally.expansion(buf.len(), ample);
         if fuel == 0 {
             if !buf.is_empty() {
                 *truncated = true;
@@ -684,7 +706,7 @@ impl<'p> ProgramExplorer<'p> {
                 let succ = self.apply(&state, &mv);
                 let (sid, _) = interner.intern_ref(&succ);
                 let tail = self.suffixes(
-                    succ, sid, next_fuel, opts, interner, memo, scratch, truncated, guard,
+                    succ, sid, next_fuel, opts, interner, memo, scratch, truncated, guard, tally,
                 );
                 if let Action::External(v) = mv.action {
                     for suffix in tail.iter() {
@@ -731,10 +753,15 @@ impl<'p> ProgramExplorer<'p> {
         if jobs <= 1 {
             return self.behaviours_governed(opts, guard);
         }
-        let outcome = self.state_graph(opts, jobs, guard).and_then(|graph| {
-            let truncated = graph.truncated;
-            par::behaviours_of(&graph, jobs).map(|value| (value, truncated))
-        });
+        let outcome = {
+            // Scoped so the fault fallback's sequential span does not
+            // nest inside the parallel one.
+            let _span = guard.metrics().span(Phase::BehaviourEval);
+            self.state_graph(opts, jobs, guard).and_then(|graph| {
+                let truncated = graph.truncated;
+                par::behaviours_of(&graph, jobs, guard.metrics()).map(|value| (value, truncated))
+            })
+        };
         match outcome {
             Ok((value, truncated)) => {
                 if truncated {
@@ -770,7 +797,8 @@ impl<'p> ProgramExplorer<'p> {
             |node: &(CState, usize)| {
                 let (state, fuel) = node;
                 let mut truncated = false;
-                let moves = self.por_moves_vec(state, opts, &mut truncated);
+                let (moves, ample) = self.por_moves_vec(state, opts, &mut truncated);
+                guard.metrics().record_expansion(moves.len(), ample);
                 let mut out = Vec::with_capacity(moves.len());
                 if *fuel == 0 {
                     if !moves.is_empty() {
@@ -814,12 +842,15 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> Option<RaceWitness> {
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::RaceSearch);
+        let tally = CounterTally::new(metrics);
         let mut interner: StateInterner<CState> = StateInterner::new();
         let mut visited: FxHashSet<(u32, Prev)> = FxHashSet::default();
         let mut scratch: ScratchPool<CMove> = ScratchPool::new();
         let mut path = Vec::new();
         let mut truncated = false;
-        self.race_dfs(
+        let racy = self.race_dfs(
             self.initial_compact(),
             None,
             opts,
@@ -829,8 +860,17 @@ impl<'p> ProgramExplorer<'p> {
             &mut scratch,
             &mut truncated,
             guard,
-        )
-        .then(|| RaceWitness {
+            &tally,
+        );
+        drop(tally);
+        if metrics.is_enabled() {
+            metrics.record_intern(interner.probe_stats());
+            // The `(state id, last-access)` visited set is the phase's
+            // dedup structure (dedup hits counted at the insert-miss
+            // site in `race_dfs`).
+            metrics.add(Counter::StatesInterned, visited.len() as u64);
+        }
+        racy.then(|| RaceWitness {
             execution: Interleaving::from_events(path),
         })
     }
@@ -847,6 +887,7 @@ impl<'p> ProgramExplorer<'p> {
         scratch: &mut ScratchPool<CMove>,
         truncated: &mut bool,
         guard: &BudgetGuard,
+        tally: &CounterTally<'_>,
     ) -> bool {
         if guard.should_stop() {
             return false;
@@ -855,11 +896,13 @@ impl<'p> ProgramExplorer<'p> {
         // when it is genuinely new.
         let (id, _) = interner.intern_ref(&state);
         if !visited.insert((id, prev)) {
+            tally.bump(Counter::StatesDeduped);
             return false;
         }
-        guard.note_state();
+        guard.note_state_tallied(tally);
         let mut buf = scratch.take();
-        self.por_moves_into(&state, opts, &mut buf, truncated);
+        let ample = self.por_moves_into(&state, opts, &mut buf, truncated);
+        tally.expansion(buf.len(), ample);
         for &mv in buf.iter() {
             let tid = ThreadId::new(mv.thread as u32);
             if let Some((pk, pl, pw)) = prev {
@@ -880,7 +923,7 @@ impl<'p> ProgramExplorer<'p> {
             path.push(Event::new(tid, mv.action));
             let succ = self.apply(&state, &mv);
             if self.race_dfs(
-                succ, next_prev, opts, interner, visited, path, scratch, truncated, guard,
+                succ, next_prev, opts, interner, visited, path, scratch, truncated, guard, tally,
             ) {
                 return true;
             }
@@ -921,6 +964,7 @@ impl<'p> ProgramExplorer<'p> {
         if jobs <= 1 {
             return self.race_witness_governed(opts, guard);
         }
+        let span = guard.metrics().span(Phase::RaceSearch);
         let searched = par::parallel_reach(
             jobs,
             (self.initial_compact(), None),
@@ -929,7 +973,9 @@ impl<'p> ProgramExplorer<'p> {
                 let mut truncated = false;
                 let mut found = false;
                 let mut successors = Vec::new();
-                for mv in self.por_moves_vec(state, opts, &mut truncated) {
+                let (moves, ample) = self.por_moves_vec(state, opts, &mut truncated);
+                guard.metrics().record_expansion(moves.len(), ample);
+                for mv in moves {
                     if let Some((pk, pl, pw)) = *prev {
                         if pk != mv.thread
                             && mv.action.is_access_to(pl)
@@ -954,6 +1000,9 @@ impl<'p> ProgramExplorer<'p> {
                 par::SearchStep { successors, found }
             },
         );
+        // Close the parallel span before witness reconstruction or the
+        // fault fallback, whose sequential spans stand on their own.
+        drop(span);
         let racy = match searched {
             Ok(racy) => racy,
             Err(_) => {
@@ -1123,6 +1172,9 @@ impl<'p> ProgramExplorer<'p> {
     ) -> usize {
         // The interner *is* the visited set: dedup by id, count by arena
         // length, expand by borrowing the arena copy back out.
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::Census);
+        let tally = CounterTally::new(metrics);
         let mut interner: StateInterner<CState> = StateInterner::new();
         let mut buf = Vec::new();
         let mut truncated = false;
@@ -1132,16 +1184,24 @@ impl<'p> ProgramExplorer<'p> {
             if guard.should_stop() {
                 break;
             }
-            guard.note_state();
+            guard.note_state_tallied(&tally);
             let state = interner.get(id).clone();
             self.moves_into(&state, opts, &mut buf, &mut truncated);
+            tally.expansion(buf.len(), false);
             for mv in buf.iter() {
                 let succ = self.apply(&state, mv);
                 let (sid, fresh) = interner.intern(succ);
                 if fresh {
                     stack.push(sid);
+                } else {
+                    tally.bump(Counter::StatesDeduped);
                 }
             }
+        }
+        drop(tally);
+        if metrics.is_enabled() {
+            metrics.record_intern(interner.probe_stats());
+            metrics.add(Counter::StatesInterned, interner.len() as u64);
         }
         interner.len()
     }
@@ -1165,14 +1225,18 @@ impl<'p> ProgramExplorer<'p> {
         if jobs <= 1 {
             return self.count_reachable_states_governed(opts, guard);
         }
-        par::parallel_state_count(jobs, self.initial_compact(), guard, |state| {
-            let mut truncated = false;
-            self.moves_vec(state, opts, &mut truncated)
-                .iter()
-                .map(|mv| self.apply(state, mv))
-                .collect()
-        })
-        .unwrap_or_else(|_| {
+        let counted = {
+            // Scoped so the fault fallback's sequential span does not
+            // nest inside the parallel one.
+            let _span = guard.metrics().span(Phase::Census);
+            par::parallel_state_count(jobs, self.initial_compact(), guard, |state| {
+                let mut truncated = false;
+                let moves = self.moves_vec(state, opts, &mut truncated);
+                guard.metrics().record_expansion(moves.len(), false);
+                moves.iter().map(|mv| self.apply(state, mv)).collect()
+            })
+        };
+        counted.unwrap_or_else(|_| {
             guard.record_fault();
             self.count_reachable_states_governed(opts, guard)
         })

@@ -1,0 +1,295 @@
+//! Invariants of the exploration observability layer, over the litmus
+//! corpus and hundreds of generated programs:
+//!
+//! - metrics are an *observer*: verdicts, behaviours, witnesses and
+//!   state counts are bit-identical with the collector on or off;
+//! - `states_visited == states_interned` on complete runs (every
+//!   governed phase admits exactly one dedup key per visited state),
+//!   and `states_visited <= states_interned` always (keys can be
+//!   admitted before a budget trip stops the visit);
+//! - the partial-order reduction never *increases* `states_visited`;
+//! - parallel runs agree with sequential runs on the totals;
+//! - a `Truncated` report carries a non-zero trip counter matching the
+//!   reported truncation cause.
+
+use std::time::Duration;
+
+use transafety::checker::Analysis;
+use transafety::interleaving::ExploreStats;
+use transafety::lang::Program;
+use transafety::litmus::{corpus, random_program, GeneratorConfig};
+use transafety::{
+    AnalysisReport, Budget, BudgetBound, CancelToken, Completeness, TruncationReason, Verdict,
+};
+
+const SEEDS: u64 = 200;
+
+fn configs() -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::default(),
+        GeneratorConfig::drf(),
+        GeneratorConfig::with_volatiles(),
+        GeneratorConfig {
+            threads: 3,
+            stmts_per_thread: 5,
+            ..GeneratorConfig::default()
+        },
+    ]
+}
+
+/// Generous enough that small programs complete, bounded enough that an
+/// adversarial generated program cannot hang the suite.
+fn capped_budget() -> Budget {
+    Budget::unlimited()
+        .max_states(200_000)
+        .timeout(Duration::from_secs(5))
+}
+
+/// The suite's default POR setting; set `TRANSAFETY_NO_POR=1` to push
+/// the whole corpus through the unreduced engine (the CI observability
+/// job runs both variants). The POR-comparison test drives both
+/// settings explicitly regardless.
+fn default_por() -> bool {
+    std::env::var_os("TRANSAFETY_NO_POR").is_none_or(|v| v.is_empty())
+}
+
+fn run(
+    program: &Program,
+    por: bool,
+    jobs: usize,
+    budget: &Budget,
+    metrics: bool,
+) -> AnalysisReport {
+    Analysis::new()
+        .jobs(jobs)
+        .por(por)
+        .budget(*budget)
+        .metrics(metrics)
+        .run(program)
+}
+
+/// The per-run counter invariants every collected report must satisfy.
+fn assert_well_formed(report: &AnalysisReport, what: &str) {
+    let s = &report.stats;
+    assert!(s.enabled, "{what}: collector was requested but not live");
+    assert!(
+        s.states_visited <= s.states_interned,
+        "{what}: visited {} > interned {}",
+        s.states_visited,
+        s.states_interned
+    );
+    if report.completeness.is_complete() {
+        assert_eq!(
+            s.states_visited, s.states_interned,
+            "{what}: complete run must intern exactly the visited states"
+        );
+    }
+    assert!(
+        s.intern_keys <= s.intern_probes,
+        "{what}: more interner keys than probes"
+    );
+    assert!(
+        s.intern_keys <= s.intern_slots,
+        "{what}: interner load factor above 1"
+    );
+    let lf = s.load_factor();
+    assert!(
+        lf.is_finite() && (0.0..=1.0).contains(&lf),
+        "{what}: load factor {lf} out of range"
+    );
+    if let Completeness::Truncated { reason } = report.completeness {
+        let (counter, name) = match reason {
+            TruncationReason::BudgetExceeded(BudgetBound::WallClock) => {
+                (s.trip_wall_clock, "trip_wall_clock")
+            }
+            TruncationReason::BudgetExceeded(BudgetBound::States) => (s.trip_states, "trip_states"),
+            TruncationReason::BudgetExceeded(BudgetBound::Interleavings) => {
+                (s.trip_interleavings, "trip_interleavings")
+            }
+            TruncationReason::BudgetExceeded(BudgetBound::Actions) => {
+                (s.trip_actions, "trip_actions")
+            }
+            TruncationReason::Cancelled => (s.trip_cancelled, "trip_cancelled"),
+            TruncationReason::WorkerPanic => (s.trip_worker_panic, "trip_worker_panic"),
+        };
+        assert!(counter > 0, "{what}: truncated by {reason} but {name} == 0");
+    }
+}
+
+/// The observer property: everything the analysis *reports* is
+/// untouched by the collector.
+fn assert_observer(with: &AnalysisReport, without: &AnalysisReport, what: &str) {
+    assert_eq!(with.verdict, without.verdict, "{what}: verdict");
+    assert_eq!(with.behaviours, without.behaviours, "{what}: behaviours");
+    assert_eq!(with.race, without.race, "{what}: race witness");
+    assert_eq!(
+        with.reachable_states, without.reachable_states,
+        "{what}: reachable states"
+    );
+    assert_eq!(
+        with.completeness, without.completeness,
+        "{what}: completeness"
+    );
+    assert_eq!(
+        without.stats,
+        ExploreStats::default(),
+        "{what}: metrics-off run leaked a live collector"
+    );
+}
+
+#[test]
+fn metrics_are_inert_observers_on_the_corpus() {
+    let budget = Budget::unlimited();
+    for litmus in corpus() {
+        let program = litmus.parse().program;
+        for jobs in [1, 4] {
+            let what = format!("litmus {} jobs={jobs}", litmus.name);
+            let with = run(&program, default_por(), jobs, &budget, true);
+            let without = run(&program, default_por(), jobs, &budget, false);
+            assert_well_formed(&with, &what);
+            assert_observer(&with, &without, &what);
+        }
+    }
+}
+
+#[test]
+fn visited_equals_interned_on_generated_programs() {
+    let configs = configs();
+    let budget = capped_budget();
+    for seed in 0..SEEDS {
+        let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
+        let program = random_program(seed, config);
+        for jobs in [1, 4] {
+            let what = format!("seed {seed} jobs={jobs}");
+            let report = run(&program, default_por(), jobs, &budget, true);
+            assert_well_formed(&report, &what);
+        }
+    }
+}
+
+#[test]
+fn por_never_increases_visited_states() {
+    let configs = configs();
+    let budget = capped_budget();
+    for seed in 0..SEEDS {
+        let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
+        let program = random_program(seed, config);
+        let what = format!("seed {seed}");
+        let reduced = run(&program, true, 1, &budget, true);
+        let full = run(&program, false, 1, &budget, true);
+        assert_well_formed(&reduced, &format!("{what} [por]"));
+        assert_well_formed(&full, &format!("{what} [no-por]"));
+        if reduced.completeness.is_complete() && full.completeness.is_complete() {
+            assert!(
+                reduced.stats.states_visited <= full.stats.states_visited,
+                "{what}: POR visited more states ({} > {})",
+                reduced.stats.states_visited,
+                full.stats.states_visited
+            );
+            // The reduction only ever prunes sibling moves.
+            assert!(
+                reduced.stats.moves_generated <= full.stats.moves_generated,
+                "{what}: POR generated more moves"
+            );
+        }
+        // POR accounting is exhaustive: every expansion is classified
+        // as ample or full, and the full engine never reports one.
+        assert_eq!(
+            full.stats.por_ample_hits, 0,
+            "{what}: unreduced run reported an ample hit"
+        );
+    }
+}
+
+#[test]
+fn parallel_totals_agree_with_sequential() {
+    let configs = configs();
+    let budget = capped_budget();
+    for seed in 0..SEEDS {
+        let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
+        let program = random_program(seed, config);
+        let what = format!("seed {seed}");
+        let seq = run(&program, default_por(), 1, &budget, true);
+        let par = run(&program, default_por(), 4, &budget, true);
+        assert_eq!(
+            seq.race.is_some(),
+            par.race.is_some(),
+            "{what}: race presence is schedule-dependent"
+        );
+        // Totals are only comparable when both runs completed and no
+        // early exit fired: a racy program's parallel search cancels
+        // its siblings the moment any worker finds a race, so the
+        // explored prefix is schedule-dependent by design.
+        if seq.verdict == Verdict::DrfProven && par.verdict == Verdict::DrfProven {
+            assert_eq!(
+                seq.stats.states_visited, par.stats.states_visited,
+                "{what}: visited totals diverge across worker counts"
+            );
+            assert_eq!(
+                seq.stats.states_interned, par.stats.states_interned,
+                "{what}: interned totals diverge across worker counts"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_runs_report_their_trip_cause() {
+    let program = transafety::lang::parse_program(
+        "x := 1; x := 2; || r0 := x; r1 := x; print r0; || r2 := x; x := r2;",
+    )
+    .expect("fixture parses")
+    .program;
+
+    let capped = Analysis::new().max_states(1).metrics(true).run(&program);
+    assert_eq!(
+        capped.completeness,
+        Completeness::Truncated {
+            reason: TruncationReason::BudgetExceeded(BudgetBound::States)
+        }
+    );
+    assert_well_formed(&capped, "state-capped");
+    assert!(capped.stats.trip_states > 0);
+
+    let timed_out = Analysis::new()
+        .timeout(Duration::ZERO)
+        .metrics(true)
+        .run(&program);
+    assert_eq!(
+        timed_out.completeness,
+        Completeness::Truncated {
+            reason: TruncationReason::BudgetExceeded(BudgetBound::WallClock)
+        }
+    );
+    assert_well_formed(&timed_out, "timed-out");
+    assert!(timed_out.stats.trip_wall_clock > 0);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = Analysis::new()
+        .metrics(true)
+        .run_with_cancel(&program, token);
+    assert_eq!(
+        cancelled.completeness,
+        Completeness::Truncated {
+            reason: TruncationReason::Cancelled
+        }
+    );
+    assert_well_formed(&cancelled, "cancelled");
+    assert!(cancelled.stats.trip_cancelled > 0);
+}
+
+#[test]
+fn disabled_metrics_cost_nothing_and_record_nothing() {
+    let program = corpus()
+        .iter()
+        .find(|l| l.name == "sb")
+        .expect("store-buffering litmus exists")
+        .parse()
+        .program;
+    let report = Analysis::new().run(&program);
+    assert!(!report.stats.enabled);
+    assert_eq!(report.stats, ExploreStats::default());
+    assert_eq!(report.stats.trips_total(), 0);
+    assert!(report.stats.events.is_empty());
+}
