@@ -5,9 +5,9 @@
 use std::hint::black_box;
 use transafety_bench::{criterion_group, criterion_main, Criterion};
 
-use transafety::lang::{ExploreOptions, ProgramExplorer};
+use transafety::lang::{ExploreOptions, ModelExplorer, ProgramExplorer};
 use transafety::traces::Value;
-use transafety::tso::{explain_tso, TsoExplorer};
+use transafety::tso::{explain_tso, TsoModel};
 use transafety_bench::corpus_program;
 
 fn tso_vs_sc_exploration(c: &mut Criterion) {
@@ -25,10 +25,8 @@ fn tso_vs_sc_exploration(c: &mut Criterion) {
         });
         group.bench_function(format!("tso/{name}"), |b| {
             b.iter(|| {
-                TsoExplorer::new(black_box(&p))
-                    .behaviours(&opts)
-                    .value
-                    .len()
+                let model = TsoModel::new(black_box(&p));
+                ModelExplorer::new(&model).behaviours(&opts).value.len()
             })
         });
     }
@@ -60,7 +58,10 @@ fn tso_state_space(c: &mut Criterion) {
     let opts = ExploreOptions::default();
     let p = corpus_program("iriw");
     c.bench_function("E11/tso_states_iriw", |b| {
-        b.iter(|| TsoExplorer::new(black_box(&p)).count_reachable_states(&opts))
+        b.iter(|| {
+            let model = TsoModel::new(black_box(&p));
+            ModelExplorer::new(&model).count_reachable_states(&opts)
+        })
     });
 }
 

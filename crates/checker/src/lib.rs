@@ -41,7 +41,10 @@ mod guarantee;
 mod oota;
 mod options;
 
-pub use classify::{classify_transformation, TransformationClass};
+pub use classify::{
+    classify_transformation, classify_transformation_under, ModelClassification,
+    TransformationClass,
+};
 pub use correspondence::{
     check_elimination_correspondence, check_identity_correspondence,
     check_reordering_correspondence, check_rewrite, classify, Correspondence, SemanticClass,
@@ -57,4 +60,13 @@ pub use options::CheckOptions;
 pub use options::{Analysis, AnalysisReport, Verdict};
 pub use transafety_interleaving::{
     Budget, BudgetBound, CancelToken, Completeness, ExploreStats, TraceEvent, TruncationReason,
+};
+pub use transafety_lang::{MemoryModel, ModelExplorer, ModelRaceWitness, ScheduleStep};
+pub use transafety_traces::MemoryModelKind;
+pub use transafety_transform::EliminationKind;
+// The per-model witness diagnostics (§8), so a `--model tso`/`pso` race
+// report can be explained without depending on the tso crate directly.
+pub use transafety_tso::{
+    explain_pso, explain_tso, pso_fragment, tso_fragment, PsoExplanation, PsoModel, TsoExplanation,
+    TsoModel,
 };

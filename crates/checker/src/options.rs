@@ -17,9 +17,13 @@ use transafety_interleaving::{
     available_jobs, Behaviours, Budget, BudgetGuard, CancelToken, Completeness, ExploreLimits,
     ExploreMetrics, ExploreStats, RaceWitness,
 };
-use transafety_lang::{Bounded, ExploreOptions, ExtractOptions, Program, ProgramExplorer};
-use transafety_traces::Domain;
+use transafety_lang::{
+    Bounded, ExploreOptions, ExtractOptions, MemoryModel, ModelExplorer, ModelRaceWitness, Program,
+    ProgramExplorer, ScModel, ScheduleStep,
+};
+use transafety_traces::{Domain, MemoryModelKind};
 use transafety_transform::EliminationOptions;
+use transafety_tso::{PsoModel, TsoModel};
 
 /// Bounds, domains and parallelism used by every checker entry point.
 ///
@@ -56,6 +60,14 @@ pub struct Analysis {
     pub explore: ExploreOptions,
     /// Bounds for the semantic elimination witness search.
     pub elimination: EliminationOptions,
+    /// The memory model the exploration engines run under. The default
+    /// [`MemoryModelKind::Sc`] is the paper's baseline semantics;
+    /// [`Tso`](MemoryModelKind::Tso) and [`Pso`](MemoryModelKind::Pso)
+    /// route every phase through the buffered operational machines of
+    /// §8. All budgets, panic isolation and metrics apply uniformly;
+    /// the partial-order reduction stays enabled only where its
+    /// soundness argument holds (SC).
+    pub model: MemoryModelKind,
     /// Worker threads for the parallel exploration engine. `1` (the
     /// default) selects the sequential reference driver; higher values
     /// fan exploration out over a work-stealing pool. Results are
@@ -80,6 +92,7 @@ impl Default for Analysis {
             extract: ExtractOptions::default(),
             explore: ExploreOptions::default(),
             elimination: EliminationOptions::default(),
+            model: MemoryModelKind::Sc,
             jobs: 1,
             budget: Budget::default(),
             metrics: false,
@@ -108,6 +121,14 @@ impl Analysis {
     #[must_use]
     pub fn domain(mut self, domain: Domain) -> Self {
         self.domain = domain;
+        self
+    }
+
+    /// Selects the memory model the analysis explores under (the
+    /// `drfcheck --model` flag). See [`Analysis::model`](Analysis#structfield.model).
+    #[must_use]
+    pub fn model(mut self, model: MemoryModelKind) -> Self {
+        self.model = model;
         self
     }
 
@@ -227,11 +248,40 @@ impl Analysis {
             ExploreMetrics::disabled()
         };
         let guard = BudgetGuard::with_metrics(&self.budget, cancel, collector.clone());
-        let ex = ProgramExplorer::new(program);
-        let behaviours = ex.behaviours_par_governed(&self.explore, self.jobs, &guard);
-        let race = ex.race_witness_par_governed(&self.explore, self.jobs, &guard);
-        let reachable_states =
-            ex.count_reachable_states_par_governed(&self.explore, self.jobs, &guard);
+        let (behaviours, model_race, reachable_states) = match self.model {
+            MemoryModelKind::Sc => {
+                let ex = ProgramExplorer::new(program);
+                let model = ScModel::new(&ex);
+                run_phases(
+                    &ModelExplorer::new(&model),
+                    &self.explore,
+                    self.jobs,
+                    &guard,
+                )
+            }
+            MemoryModelKind::Tso => {
+                let model = TsoModel::new(program);
+                run_phases(
+                    &ModelExplorer::new(&model),
+                    &self.explore,
+                    self.jobs,
+                    &guard,
+                )
+            }
+            MemoryModelKind::Pso => {
+                let model = PsoModel::new(program);
+                run_phases(
+                    &ModelExplorer::new(&model),
+                    &self.explore,
+                    self.jobs,
+                    &guard,
+                )
+            }
+        };
+        let (race, race_schedule) = match model_race {
+            Some(w) => (Some(w.witness), Some(w.schedule)),
+            None => (None, None),
+        };
         let completeness = match guard.trip_reason() {
             None => Completeness::Complete,
             Some(reason) => Completeness::Truncated { reason },
@@ -245,19 +295,44 @@ impl Analysis {
         } else {
             Verdict::Unknown
         };
+        let mut stats = collector.snapshot();
+        if stats.enabled {
+            // Stamp the backend onto a *live* collector only: a
+            // metrics-off run must keep returning pristine default
+            // stats (the observer invariant).
+            stats.model = self.model.as_str().to_string();
+        }
         AnalysisReport {
             behaviours,
             race,
+            race_schedule,
             reachable_states,
+            model: self.model,
             jobs: self.jobs,
             completeness,
             verdict,
             states_explored: guard.states(),
             faults: guard.faults(),
             elapsed: guard.elapsed(),
-            stats: collector.snapshot(),
+            stats,
         }
     }
+}
+
+/// Runs the three analysis phases — behaviours, race search, state
+/// census — through one [`MemoryModel`] backend, sharing the budget
+/// governor across all of them exactly as the historical SC pipeline
+/// did.
+fn run_phases<M: MemoryModel>(
+    mx: &ModelExplorer<'_, M>,
+    explore: &ExploreOptions,
+    jobs: usize,
+    guard: &BudgetGuard,
+) -> (Bounded<Behaviours>, Option<ModelRaceWitness>, usize) {
+    let behaviours = mx.behaviours_par_governed(explore, jobs, guard);
+    let race = mx.race_witness_par_governed(explore, jobs, guard);
+    let reachable = mx.count_reachable_states_par_governed(explore, jobs, guard);
+    (behaviours, race, reachable)
 }
 
 /// The three-valued outcome of the race analysis: a bounded checker
@@ -296,8 +371,16 @@ pub struct AnalysisReport {
     pub behaviours: Bounded<Behaviours>,
     /// A data race witness, if the program races.
     pub race: Option<RaceWitness>,
-    /// The number of distinct reachable program states.
+    /// The full per-model schedule reaching the race, including the
+    /// model-internal steps (store-buffer flushes under TSO/PSO) that
+    /// the [`RaceWitness`] event path abstracts away. `Some` exactly
+    /// when [`race`](AnalysisReport::race) is.
+    pub race_schedule: Option<Vec<ScheduleStep>>,
+    /// The number of distinct reachable program states (model states:
+    /// under TSO/PSO this counts buffer contents too).
     pub reachable_states: usize,
+    /// The memory model the analysis explored under.
+    pub model: MemoryModelKind,
     /// The worker count the analysis ran with.
     pub jobs: usize,
     /// Did the analysis run to completion, and if not, which bound (or
@@ -426,6 +509,58 @@ mod tests {
             }
         );
         assert_eq!(report.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn model_dispatch_reaches_tso_behaviours() {
+        // Store buffering: the 0,0 outcome exists under TSO, not SC.
+        let program = parse_program("x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;")
+            .unwrap()
+            .program;
+        let zz = vec![Value::new(0), Value::new(0)];
+        let sc = Analysis::new().run(&program);
+        let tso = Analysis::new().model(MemoryModelKind::Tso).run(&program);
+        assert_eq!(sc.model, MemoryModelKind::Sc);
+        assert_eq!(tso.model, MemoryModelKind::Tso);
+        assert!(sc.behaviours.complete && tso.behaviours.complete);
+        assert!(!sc.behaviours.value.contains(&zz));
+        assert!(tso.behaviours.value.contains(&zz));
+        // Model states include buffer contents, so the census grows.
+        assert!(tso.reachable_states > sc.reachable_states);
+    }
+
+    #[test]
+    fn race_schedule_accompanies_the_witness() {
+        let racy = parse_program("x := 1; || r0 := x; print r0;")
+            .unwrap()
+            .program;
+        for model in MemoryModelKind::ALL {
+            let report = Analysis::new().model(model).run(&racy);
+            assert_eq!(report.verdict, Verdict::Racy, "{model}");
+            let schedule = report.race_schedule.as_ref().expect("racy ⇒ schedule");
+            assert!(!schedule.is_empty());
+        }
+        let drf = parse_program("volatile v; v := 1; || r0 := v; print r0;")
+            .unwrap()
+            .program;
+        let report = Analysis::new().model(MemoryModelKind::Tso).run(&drf);
+        assert!(report.is_data_race_free());
+        assert!(report.race_schedule.is_none());
+    }
+
+    #[test]
+    fn stats_record_the_model() {
+        let program = parse_program("x := 1; || r0 := x; print r0;")
+            .unwrap()
+            .program;
+        let report = Analysis::new()
+            .metrics(true)
+            .model(MemoryModelKind::Pso)
+            .run(&program);
+        assert_eq!(report.stats.model, "pso");
+        assert!(report.stats.to_json().contains("\"model\":\"pso\""));
+        let sc = Analysis::new().metrics(true).run(&program);
+        assert_eq!(sc.stats.model, "sc");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```console
 //! $ drfcheck races program.tsl
+//! $ drfcheck --model tso check program.tsl
 //! $ drfcheck behaviours program.tsl
 //! $ drfcheck --jobs 8 guarantee original.tsl transformed.tsl
 //! $ drfcheck correspondence original.tsl transformed.tsl
@@ -17,6 +18,10 @@
 //! `--jobs N` selects the worker count for the parallel exploration
 //! engine (default: all available cores; `--jobs 1` forces the
 //! sequential reference driver — results are identical either way).
+//!
+//! `--model sc|tso|pso` selects the memory model the analysis commands
+//! (`check`, `races`, `behaviours`) explore under: the sequentially
+//! consistent baseline (default) or the store-buffering machines of §8.
 //!
 //! The analysis commands (`check`, `races`, `behaviours`, `executions`)
 //! run under a resource budget: `--timeout SECS` bounds wall-clock time,
@@ -42,11 +47,15 @@ use transafety::checker::{
     classify_transformation, drf_guarantee, no_thin_air, race_witness, Analysis, OotaVerdict,
     TransformationClass,
 };
+use transafety::interleaving::Behaviours;
 use transafety::interleaving::{BudgetGuard, ExploreMetrics, ExploreStats};
-use transafety::lang::{parse_program_with_symbols, ProgramExplorer, SourceProgram};
+use transafety::lang::{
+    parse_program_with_symbols, Bounded, ModelExplorer, ModelRaceWitness, Program, ProgramExplorer,
+    ScModel, ScheduleStep, SourceProgram,
+};
 use transafety::litmus::by_name;
-use transafety::traces::{Domain, Value};
-use transafety::tso::explain_tso;
+use transafety::traces::{Domain, MemoryModelKind, Value};
+use transafety::tso::{explain_tso, PsoModel, TsoModel};
 use transafety::{BudgetBound, CancelToken, Completeness, TruncationReason, Verdict};
 
 fn load(arg: &str) -> Result<SourceProgram, String> {
@@ -170,7 +179,7 @@ const EXIT_FAULT_RECOVERED: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: drfcheck [--jobs N] [--timeout SECS] [--max-states N] \
+        "usage: drfcheck [--model sc|tso|pso] [--jobs N] [--timeout SECS] [--max-states N] \
          [--max-interleavings N] [--no-por] [--stats[=json]] [--trace-out PATH] \
          <command> [args]\n\
          commands:\n  \
@@ -187,6 +196,8 @@ fn usage() -> ExitCode {
            dot <program>                        Graphviz happens-before graph\n  \
            litmus                               list the built-in corpus\n\
          flags:\n  \
+           --model sc|tso|pso     memory model for check/races/behaviours (default: sc;\n                         \
+                                  tso/pso explore the §8 store-buffer machines, POR off)\n  \
            --jobs N               worker threads (default: all cores; 1 = sequential)\n  \
            --timeout SECS         wall-clock budget for the analysis commands\n  \
            --max-states N         cap on explored states (approximate memory budget)\n  \
@@ -288,6 +299,64 @@ fn guard_exit(guard: &BudgetGuard) -> Option<ExitCode> {
     )
 }
 
+/// Runs the governed race search through the memory-model backend
+/// selected by `--model`.
+fn model_race(program: &Program, opts: &Analysis, guard: &BudgetGuard) -> Option<ModelRaceWitness> {
+    match opts.model {
+        MemoryModelKind::Sc => {
+            let ex = ProgramExplorer::new(program);
+            let m = ScModel::new(&ex);
+            ModelExplorer::new(&m).race_witness_par_governed(&opts.explore, opts.jobs, guard)
+        }
+        MemoryModelKind::Tso => {
+            let m = TsoModel::new(program);
+            ModelExplorer::new(&m).race_witness_par_governed(&opts.explore, opts.jobs, guard)
+        }
+        MemoryModelKind::Pso => {
+            let m = PsoModel::new(program);
+            ModelExplorer::new(&m).race_witness_par_governed(&opts.explore, opts.jobs, guard)
+        }
+    }
+}
+
+/// Runs the governed behaviour evaluation through the memory-model
+/// backend selected by `--model`.
+fn model_behaviours(
+    program: &Program,
+    opts: &Analysis,
+    guard: &BudgetGuard,
+) -> Bounded<Behaviours> {
+    match opts.model {
+        MemoryModelKind::Sc => {
+            let ex = ProgramExplorer::new(program);
+            let m = ScModel::new(&ex);
+            ModelExplorer::new(&m).behaviours_par_governed(&opts.explore, opts.jobs, guard)
+        }
+        MemoryModelKind::Tso => {
+            let m = TsoModel::new(program);
+            ModelExplorer::new(&m).behaviours_par_governed(&opts.explore, opts.jobs, guard)
+        }
+        MemoryModelKind::Pso => {
+            let m = PsoModel::new(program);
+            ModelExplorer::new(&m).behaviours_par_governed(&opts.explore, opts.jobs, guard)
+        }
+    }
+}
+
+/// Prints the full per-model schedule to the race when it contains
+/// moves the happens-before event path abstracts away (the store-buffer
+/// flushes of the TSO/PSO machines). Under SC every step is an action
+/// already shown in the witness, so nothing extra is printed.
+fn print_schedule(schedule: &[ScheduleStep]) {
+    if !schedule.iter().any(|s| s.label.is_flush()) {
+        return;
+    }
+    println!("schedule (with store-buffer flushes):");
+    for step in schedule {
+        println!("  {step}");
+    }
+}
+
 /// Splits global flags off the argument list into an [`Analysis`]
 /// configuration; everything else is handed to the subcommands.
 fn parse_flags(args: &[String]) -> Result<(Analysis, StatsFlags, Vec<String>), String> {
@@ -341,6 +410,13 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, StatsFlags, Vec<String>), S
             "--no-por" => {
                 opts = opts.por(false);
             }
+            "--model" => {
+                let v = it
+                    .next()
+                    .ok_or("--model requires a value (sc, tso or pso)")?;
+                let model: MemoryModelKind = v.parse().map_err(|e| format!("--model: {e}"))?;
+                opts = opts.model(model);
+            }
             _ => rest.push(a.clone()),
         }
     }
@@ -368,6 +444,7 @@ fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode,
         Some("check") if args.len() == 2 => {
             let p = load(&args[1])?;
             let report = opts.run_with_cancel(&p.program, cancel_token().clone());
+            println!("model: {}", report.model);
             println!("verdict: {}", report.verdict);
             println!(
                 "behaviours: {}{}",
@@ -382,6 +459,9 @@ fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode,
             println!("completeness: {}", report.completeness);
             if let Some(w) = &report.race {
                 println!("{w}");
+                if let Some(schedule) = &report.race_schedule {
+                    print_schedule(schedule);
+                }
             }
             stats.emit(&report.stats)?;
             let reason = match report.completeness {
@@ -406,12 +486,10 @@ fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode,
             let collector = stats.collector();
             let guard =
                 BudgetGuard::with_metrics(&opts.budget, cancel_token().clone(), collector.clone());
-            let witness = ProgramExplorer::new(&p.program).race_witness_par_governed(
-                &opts.explore,
-                opts.jobs,
-                &guard,
-            );
-            stats.emit(&collector.snapshot())?;
+            let witness = model_race(&p.program, opts, &guard);
+            let mut snapshot = collector.snapshot();
+            snapshot.model = opts.model.as_str().to_string();
+            stats.emit(&snapshot)?;
             match witness {
                 Some(w) => {
                     // A witness is conclusive however the search was
@@ -422,7 +500,8 @@ fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode,
                             guard.faults()
                         );
                     }
-                    println!("{w}");
+                    println!("{}", w.witness);
+                    print_schedule(&w.schedule);
                     Ok(ExitCode::FAILURE)
                 }
                 None => {
@@ -446,12 +525,10 @@ fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode,
             let collector = stats.collector();
             let guard =
                 BudgetGuard::with_metrics(&opts.budget, cancel_token().clone(), collector.clone());
-            let b = ProgramExplorer::new(&p.program).behaviours_par_governed(
-                &opts.explore,
-                opts.jobs,
-                &guard,
-            );
-            stats.emit(&collector.snapshot())?;
+            let b = model_behaviours(&p.program, opts, &guard);
+            let mut snapshot = collector.snapshot();
+            snapshot.model = opts.model.as_str().to_string();
+            stats.emit(&snapshot)?;
             if !b.complete {
                 println!("(bounded: exploration hit its limits)");
             }

@@ -62,5 +62,6 @@ pub use transafety_lang as lang;
 pub use transafety_litmus as litmus;
 pub use transafety_syntactic as syntactic;
 pub use transafety_traces as traces;
+pub use transafety_traces::MemoryModelKind;
 pub use transafety_transform as transform;
 pub use transafety_tso as tso;

@@ -85,6 +85,10 @@ fn assert_schema(line: &str, what: &str) -> Vec<(String, String)> {
         match key.as_str() {
             "schema" => assert_eq!(value, "\"drfcheck-stats-v1\"", "{what}"),
             "enabled" => assert_eq!(value, "true", "{what}: --stats ran disabled"),
+            "model" => assert!(
+                matches!(value.as_str(), "\"sc\"" | "\"tso\"" | "\"pso\""),
+                "{what}: unknown model token {value}"
+            ),
             "load_factor" => {
                 let lf: f64 = value
                     .parse()
@@ -156,6 +160,35 @@ fn stats_json_schema_holds_on_engine_subcommands() {
         let (stdout, _, _) = drfcheck(&["--stats=json", subcommand, &path]);
         assert_schema(&stats_line(&stdout), subcommand);
     }
+}
+
+#[test]
+fn stats_json_records_the_selected_model() {
+    let path = repo_path("programs/racy_publish.tsl");
+    for (flags, expect) in [
+        (vec!["--stats=json"], "\"model\":\"sc\""),
+        (vec!["--stats=json", "--model", "sc"], "\"model\":\"sc\""),
+        (vec!["--stats=json", "--model", "tso"], "\"model\":\"tso\""),
+        (vec!["--stats=json", "--model", "pso"], "\"model\":\"pso\""),
+    ] {
+        for subcommand in ["check", "races", "behaviours"] {
+            let mut args = flags.clone();
+            args.push(subcommand);
+            args.push(&path);
+            let (stdout, _, _) = drfcheck(&args);
+            let line = stats_line(&stdout);
+            assert_schema(&line, subcommand);
+            assert!(line.contains(expect), "{subcommand} {flags:?}: {line}");
+        }
+    }
+}
+
+#[test]
+fn unknown_model_is_a_usage_error() {
+    let path = repo_path("programs/racy_publish.tsl");
+    let (_, stderr, code) = drfcheck(&["--model", "arm", "check", &path]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("--model"), "stderr: {stderr}");
 }
 
 #[test]

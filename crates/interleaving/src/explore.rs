@@ -600,7 +600,7 @@ impl Explorer {
             par::Expansion {
                 moves: moves
                     .into_iter()
-                    .map(|mv| (mv.action, self.apply(state, &mv)))
+                    .map(|mv| (Some(mv.action), self.apply(state, &mv)))
                     .collect(),
                 truncated: false,
             }

@@ -360,6 +360,7 @@ impl ExploreMetrics {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         ExploreStats {
             enabled: self.enabled,
+            model: String::new(),
             states_visited: total(Counter::StatesVisited),
             states_interned: total(Counter::StatesInterned),
             states_deduped: total(Counter::StatesDeduped),
@@ -511,6 +512,12 @@ pub struct ExploreStats {
     /// Was the run actually recording? (`false` means every count
     /// below is a structural zero, not a measured zero.)
     pub enabled: bool,
+    /// The memory model the producing analysis explored under
+    /// (`"sc"`, `"tso"` or `"pso"`). The collector itself is
+    /// model-agnostic, so [`ExploreMetrics::snapshot`] leaves this
+    /// empty and the analysis layer stamps it; an empty string
+    /// serialises as the `"sc"` baseline.
+    pub model: String,
     /// See [`Counter::StatesVisited`].
     pub states_visited: u64,
     /// See [`Counter::StatesInterned`].
@@ -607,6 +614,12 @@ impl ExploreStats {
         s.push('{');
         s.push_str(&format!("\"schema\":\"{STATS_SCHEMA}\""));
         s.push_str(&format!(",\"enabled\":{}", self.enabled));
+        let model = if self.model.is_empty() {
+            "sc"
+        } else {
+            self.model.as_str()
+        };
+        s.push_str(&format!(",\"model\":\"{model}\""));
         for (key, value) in [
             ("states_visited", self.states_visited),
             ("states_interned", self.states_interned),
@@ -738,6 +751,20 @@ mod tests {
         };
         let json = stats.to_json();
         assert!(json.starts_with("{\"schema\":\"drfcheck-stats-v1\",\"enabled\":true"));
+        assert!(
+            json.contains("\"model\":\"sc\""),
+            "unstamped stats default to the sc baseline: {json}"
+        );
+        let mut tso = stats;
+        tso.model = "tso".to_string();
+        assert!(tso.to_json().contains("\"model\":\"tso\""));
+        let json = ExploreStats {
+            enabled: true,
+            intern_keys: 7,
+            intern_slots: 16,
+            ..ExploreStats::default()
+        }
+        .to_json();
         assert!(json.contains("\"load_factor\":0.4375"));
         assert!(!json.contains("NaN"));
         // A negative value would serialise as `:-…` (the only hyphens

@@ -467,7 +467,7 @@ fn shard_of_hash(hash: u64) -> usize {
 
 struct InternShard<K> {
     states: StateInterner<K>,
-    edges: Vec<Vec<(Action, u64)>>, // packed successor ids, remapped later
+    edges: Vec<Vec<(Option<Action>, u64)>>, // packed successor ids, remapped later
 }
 
 struct Interner<K> {
@@ -506,7 +506,7 @@ impl<K: Eq + Hash + Clone> Interner<K> {
         (pack(s, local), fresh)
     }
 
-    fn set_edges(&self, packed: u64, edges: Vec<(Action, u64)>) {
+    fn set_edges(&self, packed: u64, edges: Vec<(Option<Action>, u64)>) {
         let (s, local) = ((packed >> 32) as usize, (packed & 0xFFFF_FFFF) as usize);
         self.shards[s].lock().expect("intern shard poisoned").edges[local] = edges;
     }
@@ -517,20 +517,24 @@ impl<K: Eq + Hash + Clone> Interner<K> {
 pub struct StateGraph<K> {
     /// The interned state of each node.
     pub nodes: Vec<K>,
-    /// Action-labelled successor edges per node, in the move order the
-    /// expansion function produced them.
-    pub edges: Vec<Vec<(Action, u32)>>,
+    /// Labelled successor edges per node, in the move order the
+    /// expansion function produced them. A `None` label is an internal
+    /// machine transition with no action (e.g. a store-buffer flush
+    /// under a buffered memory model); the behaviour evaluation treats
+    /// it exactly like a non-external action.
+    pub edges: Vec<Vec<(Option<Action>, u32)>>,
     /// The node index of the initial state.
     pub root: u32,
     /// `true` if any expansion reported hitting a bound.
     pub truncated: bool,
 }
 
-/// One state expansion: the enabled moves (action label plus successor
-/// state) and whether a bound was hit at this state.
+/// One state expansion: the enabled moves (optional action label plus
+/// successor state) and whether a bound was hit at this state.
 pub struct Expansion<K> {
-    /// Enabled moves in deterministic order.
-    pub moves: Vec<(Action, K)>,
+    /// Enabled moves in deterministic order (`None` labels are
+    /// unlabelled internal transitions such as buffer flushes).
+    pub moves: Vec<(Option<Action>, K)>,
     /// Did expanding this state hit an exploration bound?
     pub truncated: bool,
 }
@@ -644,11 +648,11 @@ where
 /// successor sets: the union over enabled moves, with external actions
 /// prepending their value (and the empty behaviour always present, for
 /// prefix closure).
-fn behaviour_step(edges: &[(Action, u32)], tails: &[Arc<Behaviours>]) -> Behaviours {
+fn behaviour_step(edges: &[(Option<Action>, u32)], tails: &[Arc<Behaviours>]) -> Behaviours {
     let mut set = Behaviours::new();
     set.insert(Vec::new());
     for ((action, _), tail) in edges.iter().zip(tails) {
-        if let Action::External(v) = action {
+        if let Some(Action::External(v)) = action {
             for suffix in tail.iter() {
                 let mut b = Vec::with_capacity(suffix.len() + 1);
                 b.push(*v);
@@ -679,7 +683,7 @@ fn evaluate_dag<K, V, F>(
 where
     K: Sync,
     V: Clone + Send + Sync,
-    F: Fn(&[(Action, u32)], &[V]) -> V + Sync,
+    F: Fn(&[(Option<Action>, u32)], &[V]) -> V + Sync,
 {
     let _span = metrics.span(Phase::PoolDrain);
     let n = graph.nodes.len();
@@ -1023,13 +1027,13 @@ mod tests {
                 let mut moves = Vec::new();
                 if i < n {
                     moves.push((
-                        Action::external(transafety_traces::Value::new(0)),
+                        Some(Action::external(transafety_traces::Value::new(0))),
                         (i + 1, j),
                     ));
                 }
                 if j < n {
                     moves.push((
-                        Action::external(transafety_traces::Value::new(1)),
+                        Some(Action::external(transafety_traces::Value::new(1))),
                         (i, j + 1),
                     ));
                 }
@@ -1055,7 +1059,12 @@ mod tests {
         let g = build_state_graph(2, 0u32, &BudgetGuard::unlimited(), |&s| Expansion {
             moves: if s < 128 {
                 (0..4)
-                    .map(|v| (Action::external(transafety_traces::Value::new(v)), s + 1))
+                    .map(|v| {
+                        (
+                            Some(Action::external(transafety_traces::Value::new(v))),
+                            s + 1,
+                        )
+                    })
                     .collect()
             } else {
                 Vec::new()
@@ -1113,7 +1122,10 @@ mod tests {
         // A long chain of 1000 states under a 10-state cap.
         let g = build_state_graph(2, 0u32, &guard, |&s| Expansion {
             moves: if s < 1000 {
-                vec![(Action::external(transafety_traces::Value::new(0)), s + 1)]
+                vec![(
+                    Some(Action::external(transafety_traces::Value::new(0))),
+                    s + 1,
+                )]
             } else {
                 vec![]
             },

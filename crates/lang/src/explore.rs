@@ -32,13 +32,11 @@ use std::sync::{Arc, Mutex};
 use transafety_interleaving::intern::{
     FxHashMap, FxHashSet, InternAudit, ScratchPool, StateInterner,
 };
-use transafety_interleaving::metrics::{Counter, CounterTally, Phase};
-use transafety_interleaving::{
-    par, Behaviours, BudgetGuard, EngineFault, Event, Interleaving, RaceWitness,
-};
+use transafety_interleaving::{Behaviours, BudgetGuard, Event, Interleaving, RaceWitness};
 use transafety_traces::{Action, Domain, Loc, Monitor, ThreadId, Value};
 
 use crate::ast::Program;
+use crate::model::{ModelExplorer, ScModel};
 use crate::semantics::{Step, ThreadConfig};
 
 /// Bounds for program-level exploration.
@@ -183,17 +181,21 @@ enum StepTemplate {
 /// The compact machine state: one word per thread (its cfg id, or
 /// [`NOT_STARTED`]), dense memory values, the written bitmap, and one
 /// holder word per monitor (`holder + 1`, `0` = free).
+///
+/// Public only as the opaque [`MemoryModel::State`](crate::MemoryModel)
+/// of the [`ScModel`](crate::ScModel) backend; its contents are an
+/// internal encoding.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CState {
+pub struct CState {
     words: Box<[u32]>,
 }
 
 /// A single enabled move in the compact encoding. `Copy`: applying a
 /// move clones nothing.
 #[derive(Debug, Clone, Copy)]
-struct CMove {
-    thread: usize,
-    action: Action,
+pub(crate) struct CMove {
+    pub(crate) thread: usize,
+    pub(crate) action: Action,
     next_cfg: u32,
     releases: bool,
 }
@@ -281,7 +283,7 @@ impl<'p> ProgramExplorer<'p> {
         Value::new(state.words[self.mem_base() + self.loc_index(loc)])
     }
 
-    fn initial_compact(&self) -> CState {
+    pub(crate) fn initial_compact(&self) -> CState {
         let mut words = vec![0u32; self.word_count()].into_boxed_slice();
         for w in words.iter_mut().take(self.program.thread_count()) {
             *w = NOT_STARTED;
@@ -520,7 +522,7 @@ impl<'p> ProgramExplorer<'p> {
 
     /// Allocating form of [`por_moves_into`](ProgramExplorer::por_moves_into)
     /// for the parallel drivers (which cannot share a scratch pool).
-    fn por_moves_vec(
+    pub(crate) fn por_moves_vec(
         &self,
         state: &CState,
         opts: &ExploreOptions,
@@ -532,7 +534,12 @@ impl<'p> ProgramExplorer<'p> {
     }
 
     /// Allocating form of [`moves_into`](ProgramExplorer::moves_into).
-    fn moves_vec(&self, state: &CState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<CMove> {
+    pub(crate) fn moves_vec(
+        &self,
+        state: &CState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<CMove> {
         let mut out = Vec::new();
         self.moves_into(state, opts, &mut out, truncated);
         out
@@ -540,7 +547,7 @@ impl<'p> ProgramExplorer<'p> {
 
     /// Applies a move: clone the parent's word buffer and patch the
     /// affected words (no config clones, no tree rebuilds).
-    fn apply(&self, state: &CState, mv: &CMove) -> CState {
+    pub(crate) fn apply(&self, state: &CState, mv: &CMove) -> CState {
         let mut words = state.words.clone();
         words[mv.thread] = mv.next_cfg;
         match mv.action {
@@ -613,117 +620,15 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> Bounded<Behaviours> {
-        let metrics = guard.metrics();
-        let _span = metrics.span(Phase::BehaviourEval);
-        let tally = CounterTally::new(metrics);
-        let mut interner: StateInterner<CState> = StateInterner::new();
-        let mut memo: FxHashMap<(u32, usize), Arc<Behaviours>> = FxHashMap::default();
-        let mut scratch: ScratchPool<CMove> = ScratchPool::new();
-        let mut truncated = false;
-        let fuel = self.fuel(opts);
-        let init = self.initial_compact();
-        let (id, _) = interner.intern_ref(&init);
-        let set = self.suffixes(
-            init,
-            id,
-            fuel,
-            opts,
-            &mut interner,
-            &mut memo,
-            &mut scratch,
-            &mut truncated,
-            guard,
-            &tally,
-        );
-        drop(tally);
-        if truncated {
-            guard.trip_action_bound();
-        }
-        if metrics.is_enabled() {
-            metrics.record_intern(interner.probe_stats());
-            // The memo is the phase's dedup structure — keyed `(state
-            // id, fuel)`, so loopy programs revisiting a state at a
-            // different fuel count each layer once, exactly matching
-            // `note_state` (dedup *hits* are counted at the memo-hit
-            // site in `suffixes`).
-            metrics.add(Counter::StatesInterned, memo.len() as u64);
-        }
-        Bounded {
-            value: (*set).clone(),
-            complete: !truncated,
-        }
+        ModelExplorer::new(&ScModel::new(self)).behaviours_governed(opts, guard)
     }
 
-    fn fuel(&self, opts: &ExploreOptions) -> usize {
+    pub(crate) fn fuel(&self, opts: &ExploreOptions) -> usize {
         if program_has_loops(self.program) {
             opts.max_actions
         } else {
             usize::MAX
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn suffixes(
-        &self,
-        state: CState,
-        id: u32,
-        fuel: usize,
-        opts: &ExploreOptions,
-        interner: &mut StateInterner<CState>,
-        memo: &mut FxHashMap<(u32, usize), Arc<Behaviours>>,
-        scratch: &mut ScratchPool<CMove>,
-        truncated: &mut bool,
-        guard: &BudgetGuard,
-        tally: &CounterTally<'_>,
-    ) -> Arc<Behaviours> {
-        if let Some(r) = memo.get(&(id, fuel)) {
-            tally.bump(Counter::StatesDeduped);
-            return Arc::clone(r);
-        }
-        let mut set = Behaviours::new();
-        set.insert(Vec::new());
-        if guard.should_stop() {
-            // Partial result: not memoised, so it cannot be reused as
-            // the state's exact suffix set.
-            *truncated = true;
-            return Arc::new(set);
-        }
-        guard.note_state_tallied(tally);
-        let mut buf = scratch.take();
-        let ample = self.por_moves_into(&state, opts, &mut buf, truncated);
-        tally.expansion(buf.len(), ample);
-        if fuel == 0 {
-            if !buf.is_empty() {
-                *truncated = true;
-            }
-        } else {
-            let next_fuel = if fuel == usize::MAX {
-                usize::MAX
-            } else {
-                fuel - 1
-            };
-            for &mv in buf.iter() {
-                let succ = self.apply(&state, &mv);
-                let (sid, _) = interner.intern_ref(&succ);
-                let tail = self.suffixes(
-                    succ, sid, next_fuel, opts, interner, memo, scratch, truncated, guard, tally,
-                );
-                if let Action::External(v) = mv.action {
-                    for suffix in tail.iter() {
-                        let mut b = Vec::with_capacity(suffix.len() + 1);
-                        b.push(v);
-                        b.extend_from_slice(suffix);
-                        set.insert(b);
-                    }
-                } else {
-                    set.extend(tail.iter().cloned());
-                }
-            }
-        }
-        scratch.put(buf);
-        let rc = Arc::new(set);
-        memo.insert((id, fuel), Arc::clone(&rc));
-        rc
     }
 
     /// The bounded behaviours, computed on `jobs` workers.
@@ -750,76 +655,7 @@ impl<'p> ProgramExplorer<'p> {
         jobs: usize,
         guard: &BudgetGuard,
     ) -> Bounded<Behaviours> {
-        if jobs <= 1 {
-            return self.behaviours_governed(opts, guard);
-        }
-        let outcome = {
-            // Scoped so the fault fallback's sequential span does not
-            // nest inside the parallel one.
-            let _span = guard.metrics().span(Phase::BehaviourEval);
-            self.state_graph(opts, jobs, guard).and_then(|graph| {
-                let truncated = graph.truncated;
-                par::behaviours_of(&graph, jobs, guard.metrics()).map(|value| (value, truncated))
-            })
-        };
-        match outcome {
-            Ok((value, truncated)) => {
-                if truncated {
-                    guard.trip_action_bound();
-                }
-                Bounded {
-                    value,
-                    complete: !truncated,
-                }
-            }
-            Err(_) => {
-                guard.record_fault();
-                self.behaviours_governed(opts, guard)
-            }
-        }
-    }
-
-    /// Builds the deduplicated fuel-layered state graph in parallel.
-    /// Nodes are `(state, fuel)` pairs — exactly the sequential memo key
-    /// — so the graph is a DAG (fuel strictly decreases except in the
-    /// loop-free `usize::MAX` regime, where actions strictly consume
-    /// statements).
-    fn state_graph(
-        &self,
-        opts: &ExploreOptions,
-        jobs: usize,
-        guard: &BudgetGuard,
-    ) -> Result<par::StateGraph<(CState, usize)>, EngineFault> {
-        par::build_state_graph(
-            jobs,
-            (self.initial_compact(), self.fuel(opts)),
-            guard,
-            |node: &(CState, usize)| {
-                let (state, fuel) = node;
-                let mut truncated = false;
-                let (moves, ample) = self.por_moves_vec(state, opts, &mut truncated);
-                guard.metrics().record_expansion(moves.len(), ample);
-                let mut out = Vec::with_capacity(moves.len());
-                if *fuel == 0 {
-                    if !moves.is_empty() {
-                        truncated = true;
-                    }
-                } else {
-                    let next_fuel = if *fuel == usize::MAX {
-                        usize::MAX
-                    } else {
-                        fuel - 1
-                    };
-                    for mv in &moves {
-                        out.push((mv.action, (self.apply(state, mv), next_fuel)));
-                    }
-                }
-                par::Expansion {
-                    moves: out,
-                    truncated,
-                }
-            },
-        )
+        ModelExplorer::new(&ScModel::new(self)).behaviours_par_governed(opts, jobs, guard)
     }
 
     /// Searches for a data race (§3's adjacent-conflict condition over
@@ -842,95 +678,9 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> Option<RaceWitness> {
-        let metrics = guard.metrics();
-        let _span = metrics.span(Phase::RaceSearch);
-        let tally = CounterTally::new(metrics);
-        let mut interner: StateInterner<CState> = StateInterner::new();
-        let mut visited: FxHashSet<(u32, Prev)> = FxHashSet::default();
-        let mut scratch: ScratchPool<CMove> = ScratchPool::new();
-        let mut path = Vec::new();
-        let mut truncated = false;
-        let racy = self.race_dfs(
-            self.initial_compact(),
-            None,
-            opts,
-            &mut interner,
-            &mut visited,
-            &mut path,
-            &mut scratch,
-            &mut truncated,
-            guard,
-            &tally,
-        );
-        drop(tally);
-        if metrics.is_enabled() {
-            metrics.record_intern(interner.probe_stats());
-            // The `(state id, last-access)` visited set is the phase's
-            // dedup structure (dedup hits counted at the insert-miss
-            // site in `race_dfs`).
-            metrics.add(Counter::StatesInterned, visited.len() as u64);
-        }
-        racy.then(|| RaceWitness {
-            execution: Interleaving::from_events(path),
-        })
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn race_dfs(
-        &self,
-        state: CState,
-        prev: Prev,
-        opts: &ExploreOptions,
-        interner: &mut StateInterner<CState>,
-        visited: &mut FxHashSet<(u32, Prev)>,
-        path: &mut Vec<Event>,
-        scratch: &mut ScratchPool<CMove>,
-        truncated: &mut bool,
-        guard: &BudgetGuard,
-        tally: &CounterTally<'_>,
-    ) -> bool {
-        if guard.should_stop() {
-            return false;
-        }
-        // Reference-first probe: the state is cloned into the arena only
-        // when it is genuinely new.
-        let (id, _) = interner.intern_ref(&state);
-        if !visited.insert((id, prev)) {
-            tally.bump(Counter::StatesDeduped);
-            return false;
-        }
-        guard.note_state_tallied(tally);
-        let mut buf = scratch.take();
-        let ample = self.por_moves_into(&state, opts, &mut buf, truncated);
-        tally.expansion(buf.len(), ample);
-        for &mv in buf.iter() {
-            let tid = ThreadId::new(mv.thread as u32);
-            if let Some((pk, pl, pw)) = prev {
-                if pk != mv.thread
-                    && mv.action.is_access_to(pl)
-                    && !pl.is_volatile()
-                    && (pw || mv.action.is_write())
-                {
-                    path.push(Event::new(tid, mv.action));
-                    return true;
-                }
-            }
-            let next_prev = match mv.action {
-                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
-                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
-                _ => None,
-            };
-            path.push(Event::new(tid, mv.action));
-            let succ = self.apply(&state, &mv);
-            if self.race_dfs(
-                succ, next_prev, opts, interner, visited, path, scratch, truncated, guard, tally,
-            ) {
-                return true;
-            }
-            path.pop();
-        }
-        scratch.put(buf);
-        false
+        ModelExplorer::new(&ScModel::new(self))
+            .race_witness_governed(opts, guard)
+            .map(|w| w.witness)
     }
 
     /// Is the program data race free?
@@ -961,68 +711,9 @@ impl<'p> ProgramExplorer<'p> {
         jobs: usize,
         guard: &BudgetGuard,
     ) -> Option<RaceWitness> {
-        if jobs <= 1 {
-            return self.race_witness_governed(opts, guard);
-        }
-        let span = guard.metrics().span(Phase::RaceSearch);
-        let searched = par::parallel_reach(
-            jobs,
-            (self.initial_compact(), None),
-            guard,
-            |(state, prev): &(CState, Prev)| {
-                let mut truncated = false;
-                let mut found = false;
-                let mut successors = Vec::new();
-                let (moves, ample) = self.por_moves_vec(state, opts, &mut truncated);
-                guard.metrics().record_expansion(moves.len(), ample);
-                for mv in moves {
-                    if let Some((pk, pl, pw)) = *prev {
-                        if pk != mv.thread
-                            && mv.action.is_access_to(pl)
-                            && !pl.is_volatile()
-                            && (pw || mv.action.is_write())
-                        {
-                            found = true;
-                            break;
-                        }
-                    }
-                    let next_prev = match mv.action {
-                        Action::Read { loc, .. } if !loc.is_volatile() => {
-                            Some((mv.thread, loc, false))
-                        }
-                        Action::Write { loc, .. } if !loc.is_volatile() => {
-                            Some((mv.thread, loc, true))
-                        }
-                        _ => None,
-                    };
-                    successors.push((self.apply(state, &mv), next_prev));
-                }
-                par::SearchStep { successors, found }
-            },
-        );
-        // Close the parallel span before witness reconstruction or the
-        // fault fallback, whose sequential spans stand on their own.
-        drop(span);
-        let racy = match searched {
-            Ok(racy) => racy,
-            Err(_) => {
-                guard.record_fault();
-                return self.race_witness_governed(opts, guard);
-            }
-        };
-        if racy {
-            // The race provably exists, so the ungoverned sequential
-            // DFS terminates at it; reconstruction is therefore exempt
-            // from the (possibly already tripped) budget.
-            let witness = self.race_witness(opts);
-            debug_assert!(
-                witness.is_some(),
-                "parallel race search found a race the sequential search missed"
-            );
-            witness
-        } else {
-            None
-        }
+        ModelExplorer::new(&ScModel::new(self))
+            .race_witness_par_governed(opts, jobs, guard)
+            .map(|w| w.witness)
     }
 
     /// Is the program data race free? Decided on `jobs` workers.
@@ -1170,40 +861,7 @@ impl<'p> ProgramExplorer<'p> {
         opts: &ExploreOptions,
         guard: &BudgetGuard,
     ) -> usize {
-        // The interner *is* the visited set: dedup by id, count by arena
-        // length, expand by borrowing the arena copy back out.
-        let metrics = guard.metrics();
-        let _span = metrics.span(Phase::Census);
-        let tally = CounterTally::new(metrics);
-        let mut interner: StateInterner<CState> = StateInterner::new();
-        let mut buf = Vec::new();
-        let mut truncated = false;
-        let (root, _) = interner.intern(self.initial_compact());
-        let mut stack = vec![root];
-        while let Some(id) = stack.pop() {
-            if guard.should_stop() {
-                break;
-            }
-            guard.note_state_tallied(&tally);
-            let state = interner.get(id).clone();
-            self.moves_into(&state, opts, &mut buf, &mut truncated);
-            tally.expansion(buf.len(), false);
-            for mv in buf.iter() {
-                let succ = self.apply(&state, mv);
-                let (sid, fresh) = interner.intern(succ);
-                if fresh {
-                    stack.push(sid);
-                } else {
-                    tally.bump(Counter::StatesDeduped);
-                }
-            }
-        }
-        drop(tally);
-        if metrics.is_enabled() {
-            metrics.record_intern(interner.probe_stats());
-            metrics.add(Counter::StatesInterned, interner.len() as u64);
-        }
-        interner.len()
+        ModelExplorer::new(&ScModel::new(self)).count_reachable_states_governed(opts, guard)
     }
 
     /// The reachable-state count, computed on `jobs` workers.
@@ -1222,24 +880,8 @@ impl<'p> ProgramExplorer<'p> {
         jobs: usize,
         guard: &BudgetGuard,
     ) -> usize {
-        if jobs <= 1 {
-            return self.count_reachable_states_governed(opts, guard);
-        }
-        let counted = {
-            // Scoped so the fault fallback's sequential span does not
-            // nest inside the parallel one.
-            let _span = guard.metrics().span(Phase::Census);
-            par::parallel_state_count(jobs, self.initial_compact(), guard, |state| {
-                let mut truncated = false;
-                let moves = self.moves_vec(state, opts, &mut truncated);
-                guard.metrics().record_expansion(moves.len(), false);
-                moves.iter().map(|mv| self.apply(state, mv)).collect()
-            })
-        };
-        counted.unwrap_or_else(|_| {
-            guard.record_fault();
-            self.count_reachable_states_governed(opts, guard)
-        })
+        ModelExplorer::new(&ScModel::new(self))
+            .count_reachable_states_par_governed(opts, jobs, guard)
     }
 
     // -----------------------------------------------------------------

@@ -25,11 +25,15 @@
 
 mod ast;
 mod explore;
+mod model;
 mod parser;
 mod semantics;
 
 pub use ast::{Cond, Operand, Program, Reg, Stmt};
 pub use explore::{Bounded, ExploreOptions, ProgramExplorer};
+pub use model::{
+    MemoryModel, ModelExplorer, ModelMove, ModelRaceWitness, MoveLabel, ScModel, ScheduleStep,
+};
 pub use parser::{
     parse_program, parse_program_with_symbols, ParseProgramError, SourceProgram, SymbolTable,
 };

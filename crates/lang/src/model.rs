@@ -1,0 +1,834 @@
+//! The pluggable memory-model backend API.
+//!
+//! The paper's development is carried out under the interleaving (SC)
+//! semantics, and until this module every explorer hard-coded it. §8
+//! observes that hardware models (TSO, and conjecturally PSO) are
+//! *explained by* SC plus a fragment of the paper's transformations —
+//! which makes cross-model exploration a first-class need: the same
+//! checker machinery must be able to run a program under SC, TSO or PSO
+//! and compare the verdicts.
+//!
+//! [`MemoryModel`] abstracts exactly what the engines need from a
+//! semantics: an initial machine state, the enabled successor moves of
+//! a state (each carrying an optional [`Action`] label — buffer flushes
+//! are unlabelled), and the fuel policy that bounds loopy programs. The
+//! generic [`ModelExplorer`] then provides the governed engines —
+//! memoised behaviour extraction, the adjacent-conflict race search,
+//! the reachable-state census, and their parallel forms — with the same
+//! budget checks, panic quarantine, state interning and
+//! `ExploreMetrics` accounting for every model.
+//!
+//! The [`ScModel`] backend is a pure refactor of the compact SC engine:
+//! [`ProgramExplorer`]'s public entry points delegate to
+//! `ModelExplorer<ScModel>`, and the pre-existing agreement suites
+//! (POR/parallel/reference/metrics) pin the refactor to the old
+//! engines' observable output. The TSO and PSO machines of the
+//! `transafety-tso` crate implement the trait in that crate.
+//!
+//! Partial-order reduction is **gated per model**: the default
+//! [`MemoryModel::reduced_moves`] returns the full move set, and only
+//! models whose [`MemoryModelKind::por_supported`] argument is proven
+//! (SC's static singleton-ample argument on loop-free programs)
+//! override it.
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use transafety_interleaving::intern::{FxHashMap, FxHashSet, StateInterner};
+use transafety_interleaving::metrics::{Counter, CounterTally, Phase};
+use transafety_interleaving::{
+    par, Behaviours, BudgetGuard, EngineFault, Event, Interleaving, RaceWitness,
+};
+use transafety_traces::{Action, Loc, MemoryModelKind, ThreadId};
+
+use crate::explore::{Bounded, ExploreOptions, ProgramExplorer};
+
+/// The label of a machine transition: a program action, or an internal
+/// store-buffer flush that performs no action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoveLabel {
+    /// The move performs this program action.
+    Action(Action),
+    /// The move drains one buffered store to memory — of the given
+    /// location for per-location buffers (PSO), or the oldest store of
+    /// a FIFO buffer (`None`, TSO). Flushes emit nothing, consume no
+    /// action fuel, and are invisible to the race predicate (the racing
+    /// access is the buffered write's program action).
+    Flush(Option<Loc>),
+}
+
+impl MoveLabel {
+    /// The program action this move performs, if any.
+    #[must_use]
+    pub fn action(&self) -> Option<Action> {
+        match self {
+            MoveLabel::Action(a) => Some(*a),
+            MoveLabel::Flush(_) => None,
+        }
+    }
+
+    /// Is this an internal buffer flush?
+    #[must_use]
+    pub fn is_flush(&self) -> bool {
+        matches!(self, MoveLabel::Flush(_))
+    }
+}
+
+impl fmt::Display for MoveLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoveLabel::Action(a) => write!(f, "{a}"),
+            MoveLabel::Flush(Some(loc)) => write!(f, "flush {loc}"),
+            MoveLabel::Flush(None) => write!(f, "flush"),
+        }
+    }
+}
+
+/// One enabled transition of a memory-model machine: the moving thread,
+/// the label, and the complete successor state.
+#[derive(Debug, Clone)]
+pub struct ModelMove<S> {
+    /// Index of the thread that moves (flushes belong to the buffering
+    /// thread).
+    pub thread: usize,
+    /// What the move does.
+    pub label: MoveLabel,
+    /// The machine state after the move.
+    pub next: S,
+}
+
+/// A memory model as the exploration engines see it: machine states,
+/// enabled moves, and the fuel policy.
+///
+/// Implementations must be deterministic: equal states must produce
+/// equal move lists (the engines memoise and deduplicate on state
+/// identity), and the move order must be a pure function of the state
+/// (it fixes the exploration and witness order).
+pub trait MemoryModel: Sync {
+    /// The machine state. `Send + Sync` so the parallel drivers can
+    /// shard it across workers.
+    type State: Clone + Eq + Hash + Send + Sync;
+
+    /// Which model this is (recorded in reports and stats).
+    fn kind(&self) -> MemoryModelKind;
+
+    /// The initial machine state (no thread started, memory zeroed,
+    /// buffers empty).
+    fn initial(&self) -> Self::State;
+
+    /// All enabled moves of `state`, in deterministic order. Sets
+    /// `*truncated` when a thread silently diverges within
+    /// `opts.max_tau` (its moves are dropped).
+    fn moves(
+        &self,
+        state: &Self::State,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<ModelMove<Self::State>>;
+
+    /// The reduced move set and whether a proper ample set was chosen.
+    ///
+    /// The default is **no reduction**: the ample-set argument is only
+    /// proven for the SC interleaving semantics, so every other model
+    /// must explore the full move set regardless of `opts.por` (the
+    /// POR-per-model gating rule).
+    fn reduced_moves(
+        &self,
+        state: &Self::State,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> (Vec<ModelMove<Self::State>>, bool) {
+        (self.moves(state, opts, truncated), false)
+    }
+
+    /// Action fuel for the behaviour engines: `usize::MAX` when the
+    /// bounded semantics is exact (loop-free programs), else
+    /// `opts.max_actions`. Flush moves never consume fuel.
+    fn fuel(&self, opts: &ExploreOptions) -> usize;
+
+    /// Fuel for the race search and the census. The default is
+    /// [`fuel`](MemoryModel::fuel): buffered machines have an infinite
+    /// state space on loopy programs (buffers grow without bound), so
+    /// those searches must be fuel-bounded to terminate. SC overrides
+    /// this to `usize::MAX` — its program state space is finite even
+    /// with loops, and the searches are exact.
+    fn search_fuel(&self, opts: &ExploreOptions) -> usize {
+        self.fuel(opts)
+    }
+}
+
+/// The previous normal access of the race searches, as
+/// `(thread, location, was_write)`.
+type Prev = Option<(usize, Loc, bool)>;
+
+/// One step of a model execution schedule: which thread moved and what
+/// the move did. Unlike an [`Interleaving`] (actions only), a schedule
+/// records buffer flushes, so a TSO/PSO witness shows *when* each
+/// buffered store drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStep {
+    /// The moving thread.
+    pub thread: usize,
+    /// What the move did.
+    pub label: MoveLabel,
+}
+
+impl fmt::Display for ScheduleStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}: {}", self.thread, self.label)
+    }
+}
+
+/// A race witness found under a memory model: the action-level
+/// execution (the §3 adjacent-conflict pair is its last two conflicting
+/// events) plus the full machine schedule including flushes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelRaceWitness {
+    /// The witnessing execution, as the interleaving of its actions.
+    pub witness: RaceWitness,
+    /// The machine schedule of the witness, flushes included. For SC
+    /// this is the action sequence again; for TSO/PSO it shows the
+    /// buffer/flush timing that produced the racy execution.
+    pub schedule: Vec<ScheduleStep>,
+}
+
+/// The generic exploration engine over a [`MemoryModel`] backend: the
+/// governed behaviour, race and census engines (sequential and
+/// parallel), shared by every model.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelExplorer<'m, M> {
+    model: &'m M,
+}
+
+impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
+    /// Creates an explorer over the model backend.
+    #[must_use]
+    pub fn new(model: &'m M) -> Self {
+        ModelExplorer { model }
+    }
+
+    /// The backing model.
+    #[must_use]
+    pub fn model(&self) -> &'m M {
+        self.model
+    }
+
+    /// [`behaviours_governed`](ModelExplorer::behaviours_governed)
+    /// without a budget.
+    #[must_use]
+    pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
+        self.behaviours_governed(opts, &BudgetGuard::unlimited())
+    }
+
+    /// [`race_witness_governed`](ModelExplorer::race_witness_governed)
+    /// without a budget.
+    #[must_use]
+    pub fn race_witness(&self, opts: &ExploreOptions) -> Option<ModelRaceWitness> {
+        self.race_witness_governed(opts, &BudgetGuard::unlimited())
+    }
+
+    /// [`count_reachable_states_governed`](ModelExplorer::count_reachable_states_governed)
+    /// without a budget.
+    #[must_use]
+    pub fn count_reachable_states(&self, opts: &ExploreOptions) -> usize {
+        self.count_reachable_states_governed(opts, &BudgetGuard::unlimited())
+    }
+
+    /// The behaviours of the program's executions under the model, by
+    /// the memoised suffix dynamic program; `guard` is checked
+    /// cooperatively at every state visit.
+    #[must_use]
+    pub fn behaviours_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> Bounded<Behaviours> {
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::BehaviourEval);
+        let tally = CounterTally::new(metrics);
+        let mut interner: StateInterner<M::State> = StateInterner::new();
+        let mut memo: FxHashMap<(u32, usize), Arc<Behaviours>> = FxHashMap::default();
+        let mut truncated = false;
+        let fuel = self.model.fuel(opts);
+        let init = self.model.initial();
+        let (id, _) = interner.intern_ref(&init);
+        let set = self.suffixes(
+            id,
+            fuel,
+            init,
+            opts,
+            &mut interner,
+            &mut memo,
+            &mut truncated,
+            guard,
+            &tally,
+        );
+        drop(tally);
+        if truncated {
+            guard.trip_action_bound();
+        }
+        if metrics.is_enabled() {
+            metrics.record_intern(interner.probe_stats());
+            // The memo is the phase's dedup structure — keyed `(state
+            // id, fuel)`, so loopy programs revisiting a state at a
+            // different fuel count each layer once (dedup *hits* are
+            // counted at the memo-hit site in `suffixes`).
+            metrics.add(Counter::StatesInterned, memo.len() as u64);
+        }
+        Bounded {
+            value: (*set).clone(),
+            complete: !truncated,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn suffixes(
+        &self,
+        id: u32,
+        fuel: usize,
+        state: M::State,
+        opts: &ExploreOptions,
+        interner: &mut StateInterner<M::State>,
+        memo: &mut FxHashMap<(u32, usize), Arc<Behaviours>>,
+        truncated: &mut bool,
+        guard: &BudgetGuard,
+        tally: &CounterTally<'_>,
+    ) -> Arc<Behaviours> {
+        if let Some(r) = memo.get(&(id, fuel)) {
+            tally.bump(Counter::StatesDeduped);
+            return Arc::clone(r);
+        }
+        let mut set = Behaviours::new();
+        set.insert(Vec::new());
+        if guard.should_stop() {
+            // Partial result: not memoised, so it cannot be reused as
+            // the state's exact suffix set.
+            *truncated = true;
+            return Arc::new(set);
+        }
+        guard.note_state_tallied(tally);
+        let (moves, ample) = self.model.reduced_moves(&state, opts, truncated);
+        tally.expansion(moves.len(), ample);
+        drop(state);
+        if fuel == 0 {
+            // Out of action fuel. Flush-only suffixes contribute no
+            // behaviour, so nothing below is followed; any pending
+            // action move means the set is under-approximated.
+            if moves.iter().any(|m| !m.label.is_flush()) {
+                *truncated = true;
+            }
+        } else {
+            for mv in moves {
+                // Flushes are free: they consume no action fuel
+                // (otherwise long buffers would starve the bound), but
+                // they strictly shrink a buffer so the recursion is
+                // well-founded.
+                let next_fuel = if mv.label.is_flush() || fuel == usize::MAX {
+                    fuel
+                } else {
+                    fuel - 1
+                };
+                let (sid, _) = interner.intern_ref(&mv.next);
+                let tail = self.suffixes(
+                    sid, next_fuel, mv.next, opts, interner, memo, truncated, guard, tally,
+                );
+                if let MoveLabel::Action(Action::External(v)) = mv.label {
+                    for suffix in tail.iter() {
+                        let mut b = Vec::with_capacity(suffix.len() + 1);
+                        b.push(v);
+                        b.extend_from_slice(suffix);
+                        set.insert(b);
+                    }
+                } else {
+                    set.extend(tail.iter().cloned());
+                }
+            }
+        }
+        let rc = Arc::new(set);
+        memo.insert((id, fuel), Arc::clone(&rc));
+        rc
+    }
+
+    /// [`behaviours_governed`](ModelExplorer::behaviours_governed) on
+    /// `jobs` workers: the parallel driver deduplicates the
+    /// fuel-layered state graph concurrently, then evaluates the same
+    /// dynamic program bottom-up — bit-identical result regardless of
+    /// worker count. A quarantined worker panic records a fault on the
+    /// guard and degrades to the sequential engine.
+    #[must_use]
+    pub fn behaviours_par_governed(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Bounded<Behaviours> {
+        if jobs <= 1 {
+            return self.behaviours_governed(opts, guard);
+        }
+        let outcome = {
+            // Scoped so the fault fallback's sequential span does not
+            // nest inside the parallel one.
+            let _span = guard.metrics().span(Phase::BehaviourEval);
+            self.state_graph(opts, jobs, guard).and_then(|graph| {
+                let truncated = graph.truncated;
+                par::behaviours_of(&graph, jobs, guard.metrics()).map(|value| (value, truncated))
+            })
+        };
+        match outcome {
+            Ok((value, truncated)) => {
+                if truncated {
+                    guard.trip_action_bound();
+                }
+                Bounded {
+                    value,
+                    complete: !truncated,
+                }
+            }
+            Err(_) => {
+                guard.record_fault();
+                self.behaviours_governed(opts, guard)
+            }
+        }
+    }
+
+    /// Builds the deduplicated fuel-layered state graph in parallel.
+    /// Nodes are `(state, fuel)` pairs — exactly the sequential memo
+    /// key — so the graph is a DAG: actions strictly consume fuel (or,
+    /// in the loop-free `usize::MAX` regime, statements) and flushes
+    /// keep fuel but strictly shrink a buffer.
+    fn state_graph(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Result<par::StateGraph<(M::State, usize)>, EngineFault> {
+        par::build_state_graph(
+            jobs,
+            (self.model.initial(), self.model.fuel(opts)),
+            guard,
+            |node: &(M::State, usize)| {
+                let (state, fuel) = node;
+                let mut truncated = false;
+                let (moves, ample) = self.model.reduced_moves(state, opts, &mut truncated);
+                guard.metrics().record_expansion(moves.len(), ample);
+                let mut out = Vec::with_capacity(moves.len());
+                if *fuel == 0 {
+                    if moves.iter().any(|m| !m.label.is_flush()) {
+                        truncated = true;
+                    }
+                } else {
+                    for mv in moves {
+                        let next_fuel = if mv.label.is_flush() || *fuel == usize::MAX {
+                            *fuel
+                        } else {
+                            fuel - 1
+                        };
+                        out.push((mv.label.action(), (mv.next, next_fuel)));
+                    }
+                }
+                par::Expansion {
+                    moves: out,
+                    truncated,
+                }
+            },
+        )
+    }
+
+    /// Searches for a data race: the §3 adjacent-conflict condition,
+    /// evaluated over the model's executions. Flush moves carry the
+    /// previous access through unchanged — the racing access is the
+    /// write's program action, not its drain. `guard` is checked at
+    /// every newly visited search node; with a tripped guard a `None`
+    /// is not a proof of freedom (callers consult the trip reason).
+    ///
+    /// Incompleteness from the model's
+    /// [`search_fuel`](MemoryModel::search_fuel) bound is not recorded
+    /// here: the behaviour engine shares the same fuel and trips the
+    /// guard's action bound whenever the bound binds, which is what the
+    /// checker's completeness verdict consumes.
+    #[must_use]
+    pub fn race_witness_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> Option<ModelRaceWitness> {
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::RaceSearch);
+        let tally = CounterTally::new(metrics);
+        let mut interner: StateInterner<M::State> = StateInterner::new();
+        let mut visited: FxHashSet<(u32, Prev, usize)> = FxHashSet::default();
+        let mut path = Vec::new();
+        let mut schedule = Vec::new();
+        let mut truncated = false;
+        let racy = self.race_dfs(
+            self.model.initial(),
+            None,
+            self.model.search_fuel(opts),
+            opts,
+            &mut interner,
+            &mut visited,
+            &mut path,
+            &mut schedule,
+            &mut truncated,
+            guard,
+            &tally,
+        );
+        drop(tally);
+        if metrics.is_enabled() {
+            metrics.record_intern(interner.probe_stats());
+            // The `(state id, last-access, fuel)` visited set is the
+            // phase's dedup structure (dedup hits counted at the
+            // insert-miss site in `race_dfs`).
+            metrics.add(Counter::StatesInterned, visited.len() as u64);
+        }
+        racy.then(|| ModelRaceWitness {
+            witness: RaceWitness {
+                execution: Interleaving::from_events(path),
+            },
+            schedule,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn race_dfs(
+        &self,
+        state: M::State,
+        prev: Prev,
+        fuel: usize,
+        opts: &ExploreOptions,
+        interner: &mut StateInterner<M::State>,
+        visited: &mut FxHashSet<(u32, Prev, usize)>,
+        path: &mut Vec<Event>,
+        schedule: &mut Vec<ScheduleStep>,
+        truncated: &mut bool,
+        guard: &BudgetGuard,
+        tally: &CounterTally<'_>,
+    ) -> bool {
+        if guard.should_stop() {
+            return false;
+        }
+        // Reference-first probe: the state is cloned into the arena only
+        // when it is genuinely new.
+        let (id, _) = interner.intern_ref(&state);
+        if !visited.insert((id, prev, fuel)) {
+            tally.bump(Counter::StatesDeduped);
+            return false;
+        }
+        guard.note_state_tallied(tally);
+        let (moves, ample) = self.model.reduced_moves(&state, opts, truncated);
+        tally.expansion(moves.len(), ample);
+        drop(state);
+        for mv in moves {
+            let step = ScheduleStep {
+                thread: mv.thread,
+                label: mv.label,
+            };
+            let MoveLabel::Action(action) = mv.label else {
+                // A flush: no access, no action fuel, prev unchanged.
+                schedule.push(step);
+                if self.race_dfs(
+                    mv.next, prev, fuel, opts, interner, visited, path, schedule, truncated, guard,
+                    tally,
+                ) {
+                    return true;
+                }
+                schedule.pop();
+                continue;
+            };
+            if fuel == 0 {
+                // Out of search fuel (buffered model on a loopy
+                // program): the pruned subtree is covered by the
+                // behaviour engine's matching action-bound trip.
+                *truncated = true;
+                continue;
+            }
+            let tid = ThreadId::new(mv.thread as u32);
+            if let Some((pk, pl, pw)) = prev {
+                if pk != mv.thread
+                    && action.is_access_to(pl)
+                    && !pl.is_volatile()
+                    && (pw || action.is_write())
+                {
+                    path.push(Event::new(tid, action));
+                    schedule.push(step);
+                    return true;
+                }
+            }
+            let next_prev = match action {
+                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
+                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
+                _ => None,
+            };
+            let next_fuel = if fuel == usize::MAX { fuel } else { fuel - 1 };
+            path.push(Event::new(tid, action));
+            schedule.push(step);
+            if self.race_dfs(
+                mv.next, next_prev, next_fuel, opts, interner, visited, path, schedule, truncated,
+                guard, tally,
+            ) {
+                return true;
+            }
+            path.pop();
+            schedule.pop();
+        }
+        false
+    }
+
+    /// The race search on `jobs` workers. The parallel phase only
+    /// decides *existence* (it partitions the
+    /// `(state, last-access, fuel)` search space across workers with
+    /// early exit); when a race exists the canonical witness is
+    /// reconstructed by the sequential search so the reported execution
+    /// does not depend on scheduling. A pool fault is recorded on the
+    /// guard and the search degrades to the sequential governed engine.
+    #[must_use]
+    pub fn race_witness_par_governed(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> Option<ModelRaceWitness> {
+        if jobs <= 1 {
+            return self.race_witness_governed(opts, guard);
+        }
+        let span = guard.metrics().span(Phase::RaceSearch);
+        let searched = par::parallel_reach(
+            jobs,
+            (self.model.initial(), None, self.model.search_fuel(opts)),
+            guard,
+            |(state, prev, fuel): &(M::State, Prev, usize)| {
+                let mut truncated = false;
+                let mut found = false;
+                let mut successors = Vec::new();
+                let (moves, ample) = self.model.reduced_moves(state, opts, &mut truncated);
+                guard.metrics().record_expansion(moves.len(), ample);
+                for mv in moves {
+                    let MoveLabel::Action(action) = mv.label else {
+                        successors.push((mv.next, *prev, *fuel));
+                        continue;
+                    };
+                    if *fuel == 0 {
+                        continue;
+                    }
+                    if let Some((pk, pl, pw)) = *prev {
+                        if pk != mv.thread
+                            && action.is_access_to(pl)
+                            && !pl.is_volatile()
+                            && (pw || action.is_write())
+                        {
+                            found = true;
+                            break;
+                        }
+                    }
+                    let next_prev = match action {
+                        Action::Read { loc, .. } if !loc.is_volatile() => {
+                            Some((mv.thread, loc, false))
+                        }
+                        Action::Write { loc, .. } if !loc.is_volatile() => {
+                            Some((mv.thread, loc, true))
+                        }
+                        _ => None,
+                    };
+                    let next_fuel = if *fuel == usize::MAX { *fuel } else { fuel - 1 };
+                    successors.push((mv.next, next_prev, next_fuel));
+                }
+                par::SearchStep { successors, found }
+            },
+        );
+        // Close the parallel span before witness reconstruction or the
+        // fault fallback, whose sequential spans stand on their own.
+        drop(span);
+        let racy = match searched {
+            Ok(racy) => racy,
+            Err(_) => {
+                guard.record_fault();
+                return self.race_witness_governed(opts, guard);
+            }
+        };
+        if racy {
+            // The race provably exists, so the ungoverned sequential
+            // DFS terminates at it; reconstruction is therefore exempt
+            // from the (possibly already tripped) budget.
+            let witness = self.race_witness_governed(opts, &BudgetGuard::unlimited());
+            debug_assert!(
+                witness.is_some(),
+                "parallel race search found a race the sequential search missed"
+            );
+            witness
+        } else {
+            None
+        }
+    }
+
+    /// The number of distinct machine states reachable under the
+    /// bounds. On buffered models with loops the walk is additionally
+    /// layered by [`search_fuel`](MemoryModel::search_fuel) to
+    /// terminate; the count is still of distinct *states* (the
+    /// interner's arena), not of fuel layers.
+    #[must_use]
+    pub fn count_reachable_states_governed(
+        &self,
+        opts: &ExploreOptions,
+        guard: &BudgetGuard,
+    ) -> usize {
+        // The interner *is* the distinct-state set: dedup by id, count
+        // by arena length, expand by borrowing the arena copy back out.
+        let metrics = guard.metrics();
+        let _span = metrics.span(Phase::Census);
+        let tally = CounterTally::new(metrics);
+        let mut interner: StateInterner<M::State> = StateInterner::new();
+        let mut visited: FxHashSet<(u32, usize)> = FxHashSet::default();
+        let mut truncated = false;
+        let fuel = self.model.search_fuel(opts);
+        let (root, _) = interner.intern(self.model.initial());
+        visited.insert((root, fuel));
+        let mut stack = vec![(root, fuel)];
+        while let Some((id, fuel)) = stack.pop() {
+            if guard.should_stop() {
+                break;
+            }
+            guard.note_state_tallied(&tally);
+            let state = interner.get(id).clone();
+            let moves = self.model.moves(&state, opts, &mut truncated);
+            tally.expansion(moves.len(), false);
+            drop(state);
+            for mv in moves {
+                let next_fuel = if mv.label.is_flush() || fuel == usize::MAX {
+                    fuel
+                } else if fuel == 0 {
+                    continue;
+                } else {
+                    fuel - 1
+                };
+                let (sid, _) = interner.intern(mv.next);
+                if visited.insert((sid, next_fuel)) {
+                    stack.push((sid, next_fuel));
+                } else {
+                    tally.bump(Counter::StatesDeduped);
+                }
+            }
+        }
+        drop(tally);
+        if metrics.is_enabled() {
+            metrics.record_intern(interner.probe_stats());
+            metrics.add(Counter::StatesInterned, interner.len() as u64);
+        }
+        interner.len()
+    }
+
+    /// The reachable-state count on `jobs` workers; a pool fault
+    /// degrades to the sequential governed count. Fuel-layered walks
+    /// (buffered model, loopy program) run sequentially: the parallel
+    /// driver counts visited search keys, which only equals the
+    /// distinct-state count when no fuel layering is in effect.
+    #[must_use]
+    pub fn count_reachable_states_par_governed(
+        &self,
+        opts: &ExploreOptions,
+        jobs: usize,
+        guard: &BudgetGuard,
+    ) -> usize {
+        if jobs <= 1 || self.model.search_fuel(opts) != usize::MAX {
+            return self.count_reachable_states_governed(opts, guard);
+        }
+        let counted = {
+            // Scoped so the fault fallback's sequential span does not
+            // nest inside the parallel one.
+            let _span = guard.metrics().span(Phase::Census);
+            par::parallel_state_count(jobs, self.model.initial(), guard, |state| {
+                let mut truncated = false;
+                let moves = self.model.moves(state, opts, &mut truncated);
+                guard.metrics().record_expansion(moves.len(), false);
+                moves.into_iter().map(|mv| mv.next).collect()
+            })
+        };
+        counted.unwrap_or_else(|_| {
+            guard.record_fault();
+            self.count_reachable_states_governed(opts, guard)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The SC backend: the compact ProgramExplorer machine behind the trait
+// ---------------------------------------------------------------------
+
+/// The sequentially consistent backend: a zero-cost adapter over the
+/// compact [`ProgramExplorer`] machine (interned thread configs, word
+/// states, static ample-set POR). [`ProgramExplorer`]'s public entry
+/// points are thin wrappers over `ModelExplorer<ScModel>`, so this
+/// backend *is* the production SC engine, not a parallel
+/// implementation of it.
+#[derive(Debug, Clone, Copy)]
+pub struct ScModel<'e, 'p> {
+    explorer: &'e ProgramExplorer<'p>,
+}
+
+impl<'e, 'p> ScModel<'e, 'p> {
+    /// Wraps a program explorer as a model backend.
+    #[must_use]
+    pub fn new(explorer: &'e ProgramExplorer<'p>) -> Self {
+        ScModel { explorer }
+    }
+}
+
+impl MemoryModel for ScModel<'_, '_> {
+    type State = crate::explore::CState;
+
+    fn kind(&self) -> MemoryModelKind {
+        MemoryModelKind::Sc
+    }
+
+    fn initial(&self) -> Self::State {
+        self.explorer.initial_compact()
+    }
+
+    fn moves(
+        &self,
+        state: &Self::State,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<ModelMove<Self::State>> {
+        self.explorer
+            .moves_vec(state, opts, truncated)
+            .into_iter()
+            .map(|mv| ModelMove {
+                thread: mv.thread,
+                label: MoveLabel::Action(mv.action),
+                next: self.explorer.apply(state, &mv),
+            })
+            .collect()
+    }
+
+    fn reduced_moves(
+        &self,
+        state: &Self::State,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> (Vec<ModelMove<Self::State>>, bool) {
+        let (moves, ample) = self.explorer.por_moves_vec(state, opts, truncated);
+        (
+            moves
+                .into_iter()
+                .map(|mv| ModelMove {
+                    thread: mv.thread,
+                    label: MoveLabel::Action(mv.action),
+                    next: self.explorer.apply(state, &mv),
+                })
+                .collect(),
+            ample,
+        )
+    }
+
+    fn fuel(&self, opts: &ExploreOptions) -> usize {
+        self.explorer.fuel(opts)
+    }
+
+    fn search_fuel(&self, _opts: &ExploreOptions) -> usize {
+        // The SC program state space is finite (values are drawn from
+        // program constants), so the race search and census are exact
+        // without fuel.
+        usize::MAX
+    }
+}

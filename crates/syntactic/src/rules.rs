@@ -95,6 +95,32 @@ impl RuleName {
     pub fn is_trace_preserving(self) -> bool {
         RuleName::TRACE_PRESERVING.contains(&self)
     }
+
+    /// Is this rule *subsumed* by the memory model — i.e. does the
+    /// hardware itself already perform the transformation, so that
+    /// applying it can introduce no behaviour the model did not allow?
+    ///
+    /// Under SC only the trace-preserving commutations qualify. TSO's
+    /// store buffers perform write→read reordering and store-to-load
+    /// forwarding (§8's fragment: R-WR, E-RAW, E-RAR); PSO's
+    /// per-location buffers additionally reorder writes (R-WW). These
+    /// are exactly the fragments [`tso_fragment`](crate) callers filter
+    /// closures by.
+    #[must_use]
+    pub fn subsumed_under(self, model: transafety_traces::MemoryModelKind) -> bool {
+        use transafety_traces::MemoryModelKind as Mk;
+        if self.is_trace_preserving() {
+            return true;
+        }
+        match model {
+            Mk::Sc => false,
+            Mk::Tso => matches!(self, RuleName::RWr | RuleName::ERaw | RuleName::ERar),
+            Mk::Pso => matches!(
+                self,
+                RuleName::RWr | RuleName::ERaw | RuleName::ERar | RuleName::RWw
+            ),
+        }
+    }
 }
 
 impl fmt::Display for RuleName {

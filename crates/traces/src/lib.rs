@@ -44,6 +44,7 @@ mod domain;
 mod error;
 mod ids;
 mod matching;
+mod model;
 mod trace;
 mod traceset;
 mod value;
@@ -54,6 +55,7 @@ pub use domain::Domain;
 pub use error::TraceError;
 pub use ids::{Loc, Monitor, ThreadId};
 pub use matching::Matching;
+pub use model::{MemoryModelKind, UnknownModel};
 pub use trace::Trace;
 pub use traceset::{Cursor, MaximalTraces, Traceset, TracesetTraces};
 pub use value::Value;

@@ -1,0 +1,109 @@
+//! Memory-model identifiers shared across the reproduction.
+//!
+//! The paper's main development (§3–§7) is carried out under sequential
+//! consistency; §8 observes that x86-style TSO is *explained by* SC plus
+//! the write→read reordering and forwarding-elimination transformations,
+//! and PSO additionally relaxes write→write order. The exploration
+//! engines, the transformation-safety tables, and the CLI all key their
+//! per-model behaviour on this identifier.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The memory model an exploration or safety judgement is made under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum MemoryModelKind {
+    /// Sequential consistency: the interleaving semantics of §5.
+    #[default]
+    Sc,
+    /// Total store order: per-thread FIFO store buffers with
+    /// store-to-load forwarding (§8).
+    Tso,
+    /// Partial store order: per-thread, per-location store buffers,
+    /// additionally relaxing write→write order.
+    Pso,
+}
+
+impl MemoryModelKind {
+    /// All models, in increasing order of relaxation.
+    pub const ALL: [Self; 3] = [Self::Sc, Self::Tso, Self::Pso];
+
+    /// The canonical lower-case name, as accepted by `drfcheck --model`.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Self::Sc => "sc",
+            Self::Tso => "tso",
+            Self::Pso => "pso",
+        }
+    }
+
+    /// Whether the ample-set partial-order reduction is proven sound for
+    /// this model. The static singleton-ample argument relies on the SC
+    /// interleaving semantics; for the buffered models it is unproven,
+    /// so exploration must gate POR off.
+    #[must_use]
+    pub const fn por_supported(self) -> bool {
+        matches!(self, Self::Sc)
+    }
+}
+
+impl fmt::Display for MemoryModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The error returned when parsing an unknown model name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModel(pub String);
+
+impl fmt::Display for UnknownModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown memory model `{}` (expected sc, tso or pso)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownModel {}
+
+impl FromStr for MemoryModelKind {
+    type Err = UnknownModel;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" => Ok(Self::Sc),
+            "tso" => Ok(Self::Tso),
+            "pso" => Ok(Self::Pso),
+            other => Err(UnknownModel(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_names() {
+        for m in MemoryModelKind::ALL {
+            assert_eq!(m.as_str().parse::<MemoryModelKind>().unwrap(), m);
+            assert_eq!(m.to_string(), m.as_str());
+        }
+        assert_eq!(
+            "TSO".parse::<MemoryModelKind>().unwrap(),
+            MemoryModelKind::Tso
+        );
+        assert!("arm".parse::<MemoryModelKind>().is_err());
+    }
+
+    #[test]
+    fn por_is_sc_only() {
+        assert!(MemoryModelKind::Sc.por_supported());
+        assert!(!MemoryModelKind::Tso.por_supported());
+        assert!(!MemoryModelKind::Pso.por_supported());
+    }
+}

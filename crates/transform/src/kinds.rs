@@ -84,6 +84,36 @@ impl EliminationKind {
                 | EliminationKind::OverwrittenWrite
         )
     }
+
+    /// Is an elimination of this kind proven safe for data-race-free
+    /// programs under the given memory model?
+    ///
+    /// Under SC this is the paper's main theorem: every kind is safe.
+    /// Under the hardware models, the safety proofs in the literature
+    /// cover the *read* eliminations — §8 explains TSO by exactly the
+    /// forwarding eliminations (E-RAW/E-RAR) plus W→R reordering, and an
+    /// irrelevant read constrains no other thread — together with the
+    /// tail eliminations of never-observed release/external actions.
+    /// The *write* eliminations (cases 4–6) are **not** claimed: under
+    /// a buffered model, removing a write changes which stores sit in
+    /// the buffer, and neither §8 nor the follow-up TSO-validity work
+    /// extends their safety proof to that setting, so this table is
+    /// conservative and flags them.
+    #[must_use]
+    pub const fn safe_under(self, model: transafety_traces::MemoryModelKind) -> bool {
+        use transafety_traces::MemoryModelKind as Mk;
+        match model {
+            Mk::Sc => true,
+            Mk::Tso | Mk::Pso => matches!(
+                self,
+                EliminationKind::ReadAfterRead
+                    | EliminationKind::ReadAfterWrite
+                    | EliminationKind::IrrelevantRead
+                    | EliminationKind::RedundantRelease
+                    | EliminationKind::RedundantExternal
+            ),
+        }
+    }
 }
 
 impl fmt::Display for EliminationKind {
@@ -480,6 +510,24 @@ mod tests {
             proper,
             vec![true, true, true, true, true, false, false, false]
         );
+    }
+
+    #[test]
+    fn model_safety_table() {
+        use transafety_traces::MemoryModelKind;
+        // SC: the paper's main theorem covers every kind.
+        assert!(EliminationKind::ALL
+            .iter()
+            .all(|k| k.safe_under(MemoryModelKind::Sc)));
+        // TSO/PSO: read and tail eliminations are covered, the write
+        // eliminations are conservatively flagged.
+        for model in [MemoryModelKind::Tso, MemoryModelKind::Pso] {
+            assert!(EliminationKind::ReadAfterWrite.safe_under(model));
+            assert!(EliminationKind::ReadAfterRead.safe_under(model));
+            assert!(!EliminationKind::OverwrittenWrite.safe_under(model));
+            assert!(!EliminationKind::WriteAfterRead.safe_under(model));
+            assert!(!EliminationKind::RedundantLastWrite.safe_under(model));
+        }
     }
 
     #[test]

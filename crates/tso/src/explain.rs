@@ -12,10 +12,10 @@
 //! exactly that rule fragment.
 
 use transafety_interleaving::Behaviours;
-use transafety_lang::{ExploreOptions, Program, ProgramExplorer};
+use transafety_lang::{ExploreOptions, ModelExplorer, Program, ProgramExplorer};
 use transafety_syntactic::{transform_closure_filtered, RuleName};
 
-use crate::TsoExplorer;
+use crate::model::TsoModel;
 
 /// The result of checking whether a program's TSO behaviours are
 /// explained by the write→read-reordering + forwarding-elimination
@@ -43,7 +43,7 @@ pub struct TsoExplanation {
 /// cross desugaring moves.
 #[must_use]
 pub fn tso_fragment(rule: RuleName) -> bool {
-    matches!(rule, RuleName::RWr | RuleName::ERaw | RuleName::ERar) || rule.is_trace_preserving()
+    rule.subsumed_under(transafety_traces::MemoryModelKind::Tso)
 }
 
 /// Checks the §8 claim on one program: every TSO behaviour is an SC
@@ -51,7 +51,7 @@ pub fn tso_fragment(rule: RuleName) -> bool {
 /// (up to `depth` rewrite steps).
 #[must_use]
 pub fn explain_tso(program: &Program, depth: usize, opts: &ExploreOptions) -> TsoExplanation {
-    let tso_b = TsoExplorer::new(program).behaviours(opts);
+    let tso_b = ModelExplorer::new(&TsoModel::new(program)).behaviours(opts);
     let sc_b = ProgramExplorer::new(program).behaviours(opts);
     let closure = transform_closure_filtered(program, depth, tso_fragment);
     let closure_size = closure.len();

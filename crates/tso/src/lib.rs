@@ -21,8 +21,10 @@
 
 mod explain;
 mod machine;
+mod model;
 mod pso;
 
 pub use explain::{explain_tso, tso_fragment, TsoExplanation};
-pub use machine::TsoExplorer;
-pub use pso::{explain_pso, pso_fragment, PsoExplanation, PsoExplorer};
+pub use machine::{TsoExplorer, TsoState};
+pub use model::{PsoModel, TsoModel};
+pub use pso::{explain_pso, pso_fragment, PsoExplanation, PsoExplorer, PsoState};

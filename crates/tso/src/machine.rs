@@ -16,12 +16,13 @@
 //! volatile accesses act as fences (they require the thread's buffer to
 //! have drained).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::collections::{BTreeMap, VecDeque};
 
 use transafety_interleaving::Behaviours;
-use transafety_lang::{Bounded, ExploreOptions, Program, Step, ThreadConfig};
+use transafety_lang::{Bounded, ExploreOptions, ModelExplorer, Program, Step, ThreadConfig};
 use transafety_traces::{Action, Domain, Loc, Monitor, Value};
+
+use crate::model::TsoModel;
 
 /// Exhaustive explorer of the TSO executions of a program.
 ///
@@ -31,15 +32,16 @@ use transafety_traces::{Action, Domain, Loc, Monitor, Value};
 /// must see the other's write; under TSO both may read 0.
 ///
 /// ```
-/// use transafety_lang::{parse_program, ExploreOptions, ProgramExplorer};
-/// use transafety_tso::TsoExplorer;
+/// use transafety_lang::{parse_program, ExploreOptions, ModelExplorer, ProgramExplorer};
+/// use transafety_tso::TsoModel;
 /// use transafety_traces::Value;
 ///
 /// let src = "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
 /// let p = parse_program(src)?.program;
 /// let opts = ExploreOptions::default();
 /// let sc = ProgramExplorer::new(&p).behaviours(&opts).value;
-/// let tso = TsoExplorer::new(&p).behaviours(&opts).value;
+/// let model = TsoModel::new(&p);
+/// let tso = ModelExplorer::new(&model).behaviours(&opts).value;
 /// let zero_zero = vec![Value::new(0), Value::new(0)];
 /// assert!(!sc.contains(&zero_zero));
 /// assert!(tso.contains(&zero_zero));
@@ -50,8 +52,15 @@ pub struct TsoExplorer<'p> {
     program: &'p Program,
 }
 
+/// A TSO machine state: per-thread configurations, per-thread FIFO
+/// store buffers, shared memory, and the monitor holder table.
+///
+/// Public only as the opaque
+/// [`MemoryModel::State`](transafety_lang::MemoryModel) of the
+/// [`TsoModel`](crate::TsoModel) backend; its contents are an internal
+/// encoding.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct TsoState {
+pub struct TsoState {
     threads: Vec<Option<ThreadConfig>>,
     buffers: Vec<VecDeque<(Loc, Value)>>,
     memory: BTreeMap<Loc, Value>,
@@ -59,7 +68,7 @@ struct TsoState {
 }
 
 #[derive(Debug, Clone)]
-enum TsoMove {
+pub(crate) enum TsoMove {
     /// Thread `thread` starts.
     Start { thread: usize },
     /// Thread `thread` performs the action (already resolved against the
@@ -80,7 +89,7 @@ impl<'p> TsoExplorer<'p> {
         TsoExplorer { program }
     }
 
-    fn initial(&self) -> TsoState {
+    pub(crate) fn initial(&self) -> TsoState {
         let n = self.program.thread_count();
         TsoState {
             threads: vec![None; n],
@@ -101,7 +110,12 @@ impl<'p> TsoExplorer<'p> {
             .unwrap_or_else(|| state.memory.get(&loc).copied().unwrap_or(Value::ZERO))
     }
 
-    fn moves(&self, state: &TsoState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<TsoMove> {
+    pub(crate) fn moves(
+        &self,
+        state: &TsoState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<TsoMove> {
         let domain = Domain::zero_to(0);
         let mut out = Vec::new();
         for (k, buffer) in state.buffers.iter().enumerate() {
@@ -193,7 +207,7 @@ impl<'p> TsoExplorer<'p> {
         out
     }
 
-    fn apply(&self, state: &TsoState, mv: &TsoMove) -> TsoState {
+    pub(crate) fn apply(&self, state: &TsoState, mv: &TsoMove) -> TsoState {
         let mut next = state.clone();
         match mv {
             TsoMove::Start { thread } => {
@@ -238,91 +252,27 @@ impl<'p> TsoExplorer<'p> {
 
     /// The TSO behaviours of the program, bounded by `opts.max_actions`
     /// actions (flushes do not count as actions).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModelExplorer::new(&TsoModel::new(program))` or \
+                `Analysis::model(MemoryModelKind::Tso)` — this shim runs the \
+                same trait engine ungoverned"
+    )]
     #[must_use]
     pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
-        let mut memo: HashMap<(TsoState, usize), Rc<Behaviours>> = HashMap::new();
-        let mut truncated = false;
-        let fuel = if crate::machine::program_has_loops(self.program) {
-            opts.max_actions
-        } else {
-            usize::MAX
-        };
-        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
-        Bounded {
-            value: (*set).clone(),
-            complete: !truncated,
-        }
-    }
-
-    fn suffixes(
-        &self,
-        state: TsoState,
-        fuel: usize,
-        opts: &ExploreOptions,
-        memo: &mut HashMap<(TsoState, usize), Rc<Behaviours>>,
-        truncated: &mut bool,
-    ) -> Rc<Behaviours> {
-        let key = (state, fuel);
-        if let Some(r) = memo.get(&key) {
-            return Rc::clone(r);
-        }
-        let (state, fuel) = (&key.0, key.1);
-        let mut set = Behaviours::new();
-        set.insert(Vec::new());
-        let moves = self.moves(state, opts, truncated);
-        if fuel == 0 {
-            if moves.iter().any(|m| !matches!(m, TsoMove::Flush { .. })) {
-                *truncated = true;
-            }
-        } else {
-            for mv in moves {
-                // Flushes are free: they do not consume action fuel
-                // (otherwise long buffers would starve the bound), but
-                // they strictly shrink a buffer so the recursion is
-                // well-founded.
-                let next_fuel = match mv {
-                    TsoMove::Flush { .. } => fuel,
-                    _ if fuel == usize::MAX => usize::MAX,
-                    _ => fuel - 1,
-                };
-                let tail = self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
-                if let TsoMove::Act {
-                    action: Action::External(v),
-                    ..
-                } = mv
-                {
-                    for suffix in tail.iter() {
-                        let mut b = Vec::with_capacity(suffix.len() + 1);
-                        b.push(v);
-                        b.extend_from_slice(suffix);
-                        set.insert(b);
-                    }
-                } else {
-                    set.extend(tail.iter().cloned());
-                }
-            }
-        }
-        let rc = Rc::new(set);
-        memo.insert(key, Rc::clone(&rc));
-        rc
+        ModelExplorer::new(&TsoModel::new(self.program)).behaviours(opts)
     }
 
     /// The number of distinct TSO machine states reachable under the
     /// bounds.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModelExplorer::count_reachable_states_governed` over a \
+                `TsoModel` — this shim runs the same trait engine ungoverned"
+    )]
     #[must_use]
     pub fn count_reachable_states(&self, opts: &ExploreOptions) -> usize {
-        let mut seen: std::collections::HashSet<TsoState> = Default::default();
-        let mut stack = vec![self.initial()];
-        let mut truncated = false;
-        while let Some(s) = stack.pop() {
-            if !seen.insert(s.clone()) {
-                continue;
-            }
-            for mv in self.moves(&s, opts, &mut truncated) {
-                stack.push(self.apply(&s, &mv));
-            }
-        }
-        seen.len()
+        ModelExplorer::new(&TsoModel::new(self.program)).count_reachable_states(opts)
     }
 }
 
@@ -361,6 +311,7 @@ pub(crate) fn program_has_loops(p: &Program) -> bool {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the suite pins the deprecated shims to the trait engine
 mod tests {
     use super::*;
     use transafety_lang::{parse_program, ProgramExplorer};

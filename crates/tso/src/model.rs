@@ -1,0 +1,280 @@
+//! The TSO and PSO machines as [`MemoryModel`] backends.
+//!
+//! These adapters put the crate's operational machines behind the
+//! pluggable backend trait of `transafety-lang`, so the generic
+//! [`ModelExplorer`](transafety_lang::ModelExplorer) — and through it
+//! the checker's `Analysis` pipeline with budgets, panic isolation,
+//! interning and metrics — runs the buffered semantics unchanged.
+//!
+//! Partial-order reduction is deliberately **not** implemented here:
+//! the inherited [`MemoryModel::reduced_moves`] default explores the
+//! full move set, because the SC ample-set soundness argument does not
+//! transfer to buffered machines (a "private" write still interacts
+//! with the writing thread's own buffer order). Likewise
+//! [`MemoryModel::search_fuel`] keeps its fuel-bounded default: with
+//! loops, store buffers grow without bound, so the race search and the
+//! census must be fuel-layered to terminate (SC overrides this; the
+//! buffered models must not).
+
+use transafety_lang::{ExploreOptions, MemoryModel, ModelMove, MoveLabel, Program};
+use transafety_traces::{Action, MemoryModelKind, ThreadId};
+
+use crate::machine::{program_has_loops, TsoExplorer, TsoMove, TsoState};
+use crate::pso::{PsoExplorer, PsoMove, PsoState};
+
+/// The TSO machine (per-thread FIFO store buffers, store-to-load
+/// forwarding, fencing volatiles/locks) as a [`MemoryModel`] backend.
+///
+/// # Example
+///
+/// Run the store-buffering litmus test through the generic engine:
+///
+/// ```
+/// use transafety_lang::{parse_program, ExploreOptions, ModelExplorer, ProgramExplorer};
+/// use transafety_traces::Value;
+/// use transafety_tso::TsoModel;
+///
+/// let src = "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
+/// let p = parse_program(src)?.program;
+/// let opts = ExploreOptions::default();
+/// let sc = ProgramExplorer::new(&p).behaviours(&opts).value;
+/// let model = TsoModel::new(&p);
+/// let tso = ModelExplorer::new(&model).behaviours(&opts).value;
+/// let zero_zero = vec![Value::new(0), Value::new(0)];
+/// assert!(!sc.contains(&zero_zero));
+/// assert!(tso.contains(&zero_zero));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TsoModel<'p> {
+    explorer: TsoExplorer<'p>,
+    loops: bool,
+}
+
+impl<'p> TsoModel<'p> {
+    /// Creates the TSO backend for the program.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        TsoModel {
+            explorer: TsoExplorer::new(program),
+            loops: program_has_loops(program),
+        }
+    }
+}
+
+impl MemoryModel for TsoModel<'_> {
+    type State = TsoState;
+
+    fn kind(&self) -> MemoryModelKind {
+        MemoryModelKind::Tso
+    }
+
+    fn initial(&self) -> TsoState {
+        self.explorer.initial()
+    }
+
+    fn moves(
+        &self,
+        state: &TsoState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<ModelMove<TsoState>> {
+        self.explorer
+            .moves(state, opts, truncated)
+            .into_iter()
+            .map(|mv| {
+                let next = self.explorer.apply(state, &mv);
+                match mv {
+                    TsoMove::Start { thread } => ModelMove {
+                        thread,
+                        label: MoveLabel::Action(Action::start(ThreadId::new(thread as u32))),
+                        next,
+                    },
+                    TsoMove::Act { thread, action, .. } => ModelMove {
+                        thread,
+                        label: MoveLabel::Action(action),
+                        next,
+                    },
+                    TsoMove::Flush { thread } => ModelMove {
+                        thread,
+                        label: MoveLabel::Flush(None),
+                        next,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    fn fuel(&self, opts: &ExploreOptions) -> usize {
+        if self.loops {
+            opts.max_actions
+        } else {
+            usize::MAX
+        }
+    }
+}
+
+/// The PSO machine (per-thread **per-location** FIFO store buffers) as
+/// a [`MemoryModel`] backend; see [`TsoModel`] for usage. Flush moves
+/// carry the drained location in their
+/// [`MoveLabel::Flush`](transafety_lang::MoveLabel) label, so a PSO
+/// witness schedule shows which buffer drained at each step.
+#[derive(Debug)]
+pub struct PsoModel<'p> {
+    explorer: PsoExplorer<'p>,
+    loops: bool,
+}
+
+impl<'p> PsoModel<'p> {
+    /// Creates the PSO backend for the program.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        PsoModel {
+            explorer: PsoExplorer::new(program),
+            loops: program_has_loops(program),
+        }
+    }
+}
+
+impl MemoryModel for PsoModel<'_> {
+    type State = PsoState;
+
+    fn kind(&self) -> MemoryModelKind {
+        MemoryModelKind::Pso
+    }
+
+    fn initial(&self) -> PsoState {
+        self.explorer.initial()
+    }
+
+    fn moves(
+        &self,
+        state: &PsoState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<ModelMove<PsoState>> {
+        self.explorer
+            .moves(state, opts, truncated)
+            .into_iter()
+            .map(|mv| {
+                let next = self.explorer.apply(state, &mv);
+                match mv {
+                    PsoMove::Start { thread } => ModelMove {
+                        thread,
+                        label: MoveLabel::Action(Action::start(ThreadId::new(thread as u32))),
+                        next,
+                    },
+                    PsoMove::Act { thread, action, .. } => ModelMove {
+                        thread,
+                        label: MoveLabel::Action(action),
+                        next,
+                    },
+                    PsoMove::Flush { thread, loc } => ModelMove {
+                        thread,
+                        label: MoveLabel::Flush(Some(loc)),
+                        next,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    fn fuel(&self, opts: &ExploreOptions) -> usize {
+        if self.loops {
+            opts.max_actions
+        } else {
+            usize::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::{parse_program, ModelExplorer};
+    use transafety_traces::Value;
+
+    fn v(n: u32) -> Value {
+        Value::new(n)
+    }
+
+    #[test]
+    fn trait_engine_matches_deprecated_shims() {
+        #![allow(deprecated)]
+        for src in [
+            "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;",
+            "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;",
+            "lock m; x := 1; r1 := x; unlock m; print r1; \
+             || lock m; x := 2; r2 := x; unlock m; print r2;",
+        ] {
+            let p = parse_program(src).unwrap().program;
+            let opts = ExploreOptions::default();
+            let tso_model = TsoModel::new(&p);
+            let via_trait = ModelExplorer::new(&tso_model).behaviours(&opts);
+            let via_shim = TsoExplorer::new(&p).behaviours(&opts);
+            assert_eq!(via_trait.value, via_shim.value, "{src}");
+            assert_eq!(via_trait.complete, via_shim.complete, "{src}");
+            let pso_model = PsoModel::new(&p);
+            let pso_trait = ModelExplorer::new(&pso_model).behaviours(&opts);
+            let pso_shim = PsoExplorer::new(&p).behaviours(&opts);
+            assert_eq!(pso_trait.value, pso_shim.value, "{src}");
+        }
+    }
+
+    #[test]
+    fn tso_race_witness_schedule_shows_flushes() {
+        // SB races on both locations; the TSO witness must interleave
+        // buffered writes and flushes consistently with its actions.
+        let src = "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
+        let p = parse_program(src).unwrap().program;
+        let model = TsoModel::new(&p);
+        let w = ModelExplorer::new(&model)
+            .race_witness(&ExploreOptions::default())
+            .expect("SB races under TSO");
+        let actions = w.schedule.iter().filter(|s| !s.label.is_flush()).count();
+        assert_eq!(
+            actions,
+            w.witness.execution.events().len(),
+            "schedule actions mirror the witness events"
+        );
+    }
+
+    #[test]
+    fn drf_program_has_no_tso_race() {
+        let src = "lock m; x := 1; unlock m; || lock m; r1 := x; unlock m; print r1;";
+        let p = parse_program(src).unwrap().program;
+        let model = TsoModel::new(&p);
+        assert!(ModelExplorer::new(&model)
+            .race_witness(&ExploreOptions::default())
+            .is_none());
+    }
+
+    #[test]
+    fn census_terminates_on_loopy_program_via_search_fuel() {
+        // A spin loop makes TSO buffers unbounded in principle; the
+        // fuel-layered census must still terminate.
+        let src = "x := 1; flag := 1; || while (flag != 1) { r9 := r9; } r2 := x; print r2;";
+        let p = parse_program(src).unwrap().program;
+        let opts = ExploreOptions {
+            max_actions: 6,
+            ..ExploreOptions::default()
+        };
+        let model = TsoModel::new(&p);
+        let n = ModelExplorer::new(&model).count_reachable_states(&opts);
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn pso_divergence_from_tso_through_trait_engine() {
+        let src = "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;";
+        let p = parse_program(src).unwrap().program;
+        let opts = ExploreOptions::default();
+        let stale = vec![v(1), v(0)];
+        let tso_model = TsoModel::new(&p);
+        let pso_model = PsoModel::new(&p);
+        let tso = ModelExplorer::new(&tso_model).behaviours(&opts).value;
+        let pso = ModelExplorer::new(&pso_model).behaviours(&opts).value;
+        assert!(!tso.contains(&stale), "TSO keeps store order");
+        assert!(pso.contains(&stale), "PSO reorders the two stores");
+    }
+}

@@ -10,13 +10,16 @@
 //! checks that this fragment explains every PSO behaviour, supporting
 //! the paper's conjecture on the corpus.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::collections::{BTreeMap, VecDeque};
 
 use transafety_interleaving::Behaviours;
-use transafety_lang::{Bounded, ExploreOptions, Program, ProgramExplorer, Step, ThreadConfig};
+use transafety_lang::{
+    Bounded, ExploreOptions, ModelExplorer, Program, ProgramExplorer, Step, ThreadConfig,
+};
 use transafety_syntactic::{transform_closure_filtered, RuleName};
 use transafety_traces::{Action, Domain, Loc, Monitor, Value};
+
+use crate::model::PsoModel;
 
 /// Exhaustive explorer of the PSO executions of a program: per-thread,
 /// **per-location** FIFO store buffers with forwarding; locks, unlocks
@@ -28,16 +31,18 @@ use transafety_traces::{Action, Domain, Loc, Monitor, Value};
 /// visible before the data.
 ///
 /// ```
-/// use transafety_lang::{parse_program, ExploreOptions};
-/// use transafety_tso::{PsoExplorer, TsoExplorer};
+/// use transafety_lang::{parse_program, ExploreOptions, ModelExplorer};
+/// use transafety_tso::{PsoModel, TsoModel};
 /// use transafety_traces::Value;
 ///
 /// let src = "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;";
 /// let p = parse_program(src)?.program;
 /// let opts = ExploreOptions::default();
 /// let stale = vec![Value::new(1), Value::new(0)];
-/// assert!(!TsoExplorer::new(&p).behaviours(&opts).value.contains(&stale));
-/// assert!(PsoExplorer::new(&p).behaviours(&opts).value.contains(&stale));
+/// let tso = TsoModel::new(&p);
+/// let pso = PsoModel::new(&p);
+/// assert!(!ModelExplorer::new(&tso).behaviours(&opts).value.contains(&stale));
+/// assert!(ModelExplorer::new(&pso).behaviours(&opts).value.contains(&stale));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
@@ -45,8 +50,16 @@ pub struct PsoExplorer<'p> {
     program: &'p Program,
 }
 
+/// A PSO machine state: per-thread configurations, per-thread
+/// **per-location** FIFO store buffers, shared memory, and the monitor
+/// holder table.
+///
+/// Public only as the opaque
+/// [`MemoryModel::State`](transafety_lang::MemoryModel) of the
+/// [`PsoModel`](crate::PsoModel) backend; its contents are an internal
+/// encoding.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PsoState {
+pub struct PsoState {
     threads: Vec<Option<ThreadConfig>>,
     buffers: Vec<BTreeMap<Loc, VecDeque<Value>>>,
     memory: BTreeMap<Loc, Value>,
@@ -54,7 +67,7 @@ struct PsoState {
 }
 
 #[derive(Debug, Clone)]
-enum PsoMove {
+pub(crate) enum PsoMove {
     Start {
         thread: usize,
     },
@@ -76,7 +89,7 @@ impl<'p> PsoExplorer<'p> {
         PsoExplorer { program }
     }
 
-    fn initial(&self) -> PsoState {
+    pub(crate) fn initial(&self) -> PsoState {
         let n = self.program.thread_count();
         PsoState {
             threads: vec![None; n],
@@ -114,7 +127,12 @@ impl<'p> PsoExplorer<'p> {
             .expect("domain contains v")
     }
 
-    fn moves(&self, state: &PsoState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PsoMove> {
+    pub(crate) fn moves(
+        &self,
+        state: &PsoState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<PsoMove> {
         let domain = Domain::zero_to(0);
         let mut out = Vec::new();
         for (k, per_loc) in state.buffers.iter().enumerate() {
@@ -206,7 +224,7 @@ impl<'p> PsoExplorer<'p> {
         out
     }
 
-    fn apply(&self, state: &PsoState, mv: &PsoMove) -> PsoState {
+    pub(crate) fn apply(&self, state: &PsoState, mv: &PsoMove) -> PsoState {
         let mut next = state.clone();
         match mv {
             PsoMove::Start { thread } => {
@@ -258,76 +276,22 @@ impl<'p> PsoExplorer<'p> {
     }
 
     /// The PSO behaviours of the program, bounded by `opts.max_actions`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ModelExplorer::new(&PsoModel::new(program))` or \
+                `Analysis::model(MemoryModelKind::Pso)` — this shim runs the \
+                same trait engine ungoverned"
+    )]
     #[must_use]
     pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
-        let mut memo: HashMap<(PsoState, usize), Rc<Behaviours>> = HashMap::new();
-        let mut truncated = false;
-        let fuel = if crate::machine::program_has_loops(self.program) {
-            opts.max_actions
-        } else {
-            usize::MAX
-        };
-        let set = self.suffixes(self.initial(), fuel, opts, &mut memo, &mut truncated);
-        Bounded {
-            value: (*set).clone(),
-            complete: !truncated,
-        }
-    }
-
-    fn suffixes(
-        &self,
-        state: PsoState,
-        fuel: usize,
-        opts: &ExploreOptions,
-        memo: &mut HashMap<(PsoState, usize), Rc<Behaviours>>,
-        truncated: &mut bool,
-    ) -> Rc<Behaviours> {
-        let key = (state, fuel);
-        if let Some(r) = memo.get(&key) {
-            return Rc::clone(r);
-        }
-        let (state, fuel) = (&key.0, key.1);
-        let mut set = Behaviours::new();
-        set.insert(Vec::new());
-        let moves = self.moves(state, opts, truncated);
-        if fuel == 0 {
-            if moves.iter().any(|m| !matches!(m, PsoMove::Flush { .. })) {
-                *truncated = true;
-            }
-        } else {
-            for mv in moves {
-                let next_fuel = match mv {
-                    PsoMove::Flush { .. } => fuel,
-                    _ if fuel == usize::MAX => usize::MAX,
-                    _ => fuel - 1,
-                };
-                let tail = self.suffixes(self.apply(state, &mv), next_fuel, opts, memo, truncated);
-                if let PsoMove::Act {
-                    action: Action::External(v),
-                    ..
-                } = mv
-                {
-                    for suffix in tail.iter() {
-                        let mut b = Vec::with_capacity(suffix.len() + 1);
-                        b.push(v);
-                        b.extend_from_slice(suffix);
-                        set.insert(b);
-                    }
-                } else {
-                    set.extend(tail.iter().cloned());
-                }
-            }
-        }
-        let rc = Rc::new(set);
-        memo.insert(key, Rc::clone(&rc));
-        rc
+        ModelExplorer::new(&PsoModel::new(self.program)).behaviours(opts)
     }
 }
 
 /// The PSO rule fragment: TSO's fragment plus write→write reordering.
 #[must_use]
 pub fn pso_fragment(rule: RuleName) -> bool {
-    crate::tso_fragment(rule) || rule == RuleName::RWw
+    rule.subsumed_under(transafety_traces::MemoryModelKind::Pso)
 }
 
 /// The result of [`explain_pso`] (mirrors
@@ -355,7 +319,7 @@ pub struct PsoExplanation {
 /// T-MOV}` closure (up to `depth` steps).
 #[must_use]
 pub fn explain_pso(program: &Program, depth: usize, opts: &ExploreOptions) -> PsoExplanation {
-    let pso_b = PsoExplorer::new(program).behaviours(opts);
+    let pso_b = ModelExplorer::new(&PsoModel::new(program)).behaviours(opts);
     let sc_b = ProgramExplorer::new(program).behaviours(opts);
     let closure = transform_closure_filtered(program, depth, pso_fragment);
     let closure_size = closure.len();
@@ -380,6 +344,7 @@ pub fn explain_pso(program: &Program, depth: usize, opts: &ExploreOptions) -> Ps
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the suite pins the deprecated shims to the trait engine
 mod tests {
     use super::*;
     use crate::TsoExplorer;

@@ -76,7 +76,8 @@ fn main() {
     for name in ["sb", "mp", "lb", "corr"] {
         let p = by_name(name).unwrap().parse().program;
         let sc = ProgramExplorer::new(&p).count_reachable_states(&opts);
-        let tso = transafety::tso::TsoExplorer::new(&p).count_reachable_states(&opts);
+        let tso_model = transafety::tso::TsoModel::new(&p);
+        let tso = transafety::lang::ModelExplorer::new(&tso_model).count_reachable_states(&opts);
         println!("{:<12} {:>9} {:>9} {:>9}", name, sc, tso, "-");
     }
 }

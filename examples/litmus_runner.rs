@@ -9,9 +9,9 @@
 //!
 //! Run with `cargo run --example litmus_runner`.
 
-use transafety::lang::{ExploreOptions, ProgramExplorer};
+use transafety::lang::{ExploreOptions, ModelExplorer, ProgramExplorer};
 use transafety::litmus::corpus;
-use transafety::tso::{PsoExplorer, TsoExplorer};
+use transafety::tso::{PsoModel, TsoModel};
 
 fn render(b: &[transafety::traces::Value]) -> String {
     let inner: Vec<String> = b.iter().map(ToString::to_string).collect();
@@ -30,8 +30,10 @@ fn main() {
             continue;
         }
         let sc = ProgramExplorer::new(&p).behaviours(&opts);
-        let tso = TsoExplorer::new(&p).behaviours(&opts);
-        let pso = PsoExplorer::new(&p).behaviours(&opts);
+        let tso_model = TsoModel::new(&p);
+        let tso = ModelExplorer::new(&tso_model).behaviours(&opts);
+        let pso_model = PsoModel::new(&p);
+        let pso = ModelExplorer::new(&pso_model).behaviours(&opts);
         if !(sc.complete && tso.complete && pso.complete) {
             println!("{:<24} (bounds hit — skipped)", l.name);
             continue;

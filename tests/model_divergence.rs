@@ -1,0 +1,144 @@
+//! Cross-model divergence on the classic litmus shapes: the pluggable
+//! backends must produce exactly the behaviour-set splits the memory
+//! models are defined by. SB splits SC from both buffered models, MP
+//! splits TSO (FIFO buffer) from PSO (per-location buffers), and IRIW
+//! splits neither — both machines are store-atomic, so the §8 fragments
+//! never need to explain it.
+
+use transafety::checker::Analysis;
+use transafety::lang::{parse_program, Program};
+use transafety::traces::{MemoryModelKind, Value};
+use transafety::Verdict;
+
+fn p(src: &str) -> Program {
+    parse_program(src).unwrap().program
+}
+
+fn v(ns: &[u32]) -> Vec<Value> {
+    ns.iter().copied().map(Value::new).collect()
+}
+
+fn behaviours_under(
+    program: &Program,
+    model: MemoryModelKind,
+) -> transafety::interleaving::Behaviours {
+    let report = Analysis::new().model(model).run(program);
+    assert!(
+        report.behaviours.complete,
+        "{model}: exploration must be exhaustive for a forbids/allows claim"
+    );
+    report.behaviours.value
+}
+
+#[test]
+fn sb_relaxation_appears_under_tso_and_pso_only() {
+    let sb = p("x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;");
+    let stale = v(&[0, 0]);
+    assert!(!behaviours_under(&sb, MemoryModelKind::Sc).contains(&stale));
+    assert!(behaviours_under(&sb, MemoryModelKind::Tso).contains(&stale));
+    assert!(behaviours_under(&sb, MemoryModelKind::Pso).contains(&stale));
+}
+
+#[test]
+fn mp_reordering_appears_under_pso_only() {
+    // Message passing through a plain flag: the stale 1,0 outcome needs
+    // the data write to overtake the flag write, which a FIFO buffer
+    // (TSO) cannot do but per-location buffers (PSO) can.
+    let mp = p("x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;");
+    let stale = v(&[1, 0]);
+    assert!(!behaviours_under(&mp, MemoryModelKind::Sc).contains(&stale));
+    assert!(!behaviours_under(&mp, MemoryModelKind::Tso).contains(&stale));
+    assert!(behaviours_under(&mp, MemoryModelKind::Pso).contains(&stale));
+}
+
+#[test]
+fn iriw_is_forbidden_under_every_backend() {
+    // Independent reads of independent writes: the two reader threads
+    // disagreeing on the write order requires non-store-atomicity,
+    // which neither buffered machine has (buffers only forward to
+    // their own thread). Behaviours record prints in execution order
+    // across threads, so each reader prints a distinct marker exactly
+    // when it observed "its" write first; the forbidden outcome is
+    // both markers appearing, in either order.
+    let iriw = p("x := 1; \
+                  || y := 1; \
+                  || r1 := x; r2 := y; if (r1 == 1) { if (r2 == 0) print 1; } \
+                  || r3 := y; r4 := x; if (r3 == 1) { if (r4 == 0) print 2; }");
+    for model in MemoryModelKind::ALL {
+        let b = behaviours_under(&iriw, model);
+        assert!(
+            !b.contains(&v(&[1, 2])) && !b.contains(&v(&[2, 1])),
+            "{model} exhibited the IRIW split"
+        );
+        assert!(
+            b.contains(&v(&[1])),
+            "{model} lost the one-sided IRIW outcome"
+        );
+    }
+}
+
+#[test]
+fn tso_and_pso_behaviours_contain_the_sc_behaviours() {
+    // The buffered machines only add executions (flushing eagerly
+    // after every store replays SC), so their behaviour sets must be
+    // supersets on every litmus shape above.
+    for src in [
+        "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;",
+        "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;",
+        "x := 1; r1 := x; r2 := y; print r1; print r2; || r3 := x; y := r3;",
+    ] {
+        let program = p(src);
+        let sc = behaviours_under(&program, MemoryModelKind::Sc);
+        for model in [MemoryModelKind::Tso, MemoryModelKind::Pso] {
+            let relaxed = behaviours_under(&program, model);
+            assert!(
+                sc.is_subset(&relaxed),
+                "{model} lost an SC behaviour on {src}"
+            );
+        }
+    }
+}
+
+fn load_program(rel: &str) -> Program {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{rel}: {e}"));
+    p(&src)
+}
+
+#[test]
+fn dekker_mutual_exclusion_breaks_under_tso() {
+    let dekker = load_program("programs/dekker.tsl");
+    let both_entered = v(&[1, 1]);
+    assert!(
+        !behaviours_under(&dekker, MemoryModelKind::Sc).contains(&both_entered),
+        "SC must uphold Dekker's mutual exclusion"
+    );
+    for model in [MemoryModelKind::Tso, MemoryModelKind::Pso] {
+        assert!(
+            behaviours_under(&dekker, model).contains(&both_entered),
+            "{model} must break Dekker's entry protocol"
+        );
+    }
+    // The plain flags race under every model — the DRF guarantee has
+    // nothing to say about this program, which is why the divergence
+    // is permitted at all.
+    for model in MemoryModelKind::ALL {
+        let report = Analysis::new().model(model).run(&dekker);
+        assert_eq!(report.verdict, Verdict::Racy, "{model}");
+    }
+}
+
+#[test]
+fn store_buffer_publish_goes_stale_under_pso_only() {
+    let publish = load_program("programs/store_buffer_publish.tsl");
+    let stale = v(&[1, 0]);
+    assert!(!behaviours_under(&publish, MemoryModelKind::Sc).contains(&stale));
+    assert!(
+        !behaviours_under(&publish, MemoryModelKind::Tso).contains(&stale),
+        "the FIFO buffer preserves the publish order"
+    );
+    assert!(
+        behaviours_under(&publish, MemoryModelKind::Pso).contains(&stale),
+        "per-location buffers may flush the flag first"
+    );
+}

@@ -1,12 +1,23 @@
 //! Integration tests for the §8 TSO experiment (E11 of `DESIGN.md`).
 
-use transafety::lang::{ExploreOptions, ProgramExplorer};
+use transafety::interleaving::Behaviours;
+use transafety::lang::{Bounded, ExploreOptions, ModelExplorer, Program, ProgramExplorer};
 use transafety::litmus::{by_name, corpus, random_program, GeneratorConfig};
 use transafety::traces::Value;
-use transafety::tso::{explain_tso, TsoExplorer};
+use transafety::tso::{explain_tso, PsoModel, TsoModel};
 
 fn v(n: u32) -> Value {
     Value::new(n)
+}
+
+fn tso_behaviours(p: &Program, opts: &ExploreOptions) -> Bounded<Behaviours> {
+    let model = TsoModel::new(p);
+    ModelExplorer::new(&model).behaviours(opts)
+}
+
+fn pso_behaviours(p: &Program, opts: &ExploreOptions) -> Bounded<Behaviours> {
+    let model = PsoModel::new(p);
+    ModelExplorer::new(&model).behaviours(opts)
 }
 
 #[test]
@@ -18,7 +29,7 @@ fn tso_behaviours_include_sc_behaviours_on_corpus() {
             continue;
         }
         let sc = ProgramExplorer::new(&p).behaviours(&opts);
-        let tso = TsoExplorer::new(&p).behaviours(&opts);
+        let tso = tso_behaviours(&p, &opts);
         if !(sc.complete && tso.complete) {
             continue;
         }
@@ -37,7 +48,7 @@ fn tso_behaviours_include_sc_behaviours_on_random_programs() {
     for seed in 0..15 {
         let p = random_program(seed, &config);
         let sc = ProgramExplorer::new(&p).behaviours(&opts);
-        let tso = TsoExplorer::new(&p).behaviours(&opts);
+        let tso = tso_behaviours(&p, &opts);
         if !(sc.complete && tso.complete) {
             continue;
         }
@@ -54,7 +65,7 @@ fn sb_relaxed_outcome_appears_only_under_tso() {
         .behaviours(&opts)
         .value
         .contains(&zz));
-    assert!(TsoExplorer::new(&p).behaviours(&opts).value.contains(&zz));
+    assert!(tso_behaviours(&p, &opts).value.contains(&zz));
 }
 
 #[test]
@@ -94,7 +105,7 @@ fn drf_programs_are_sc_on_tso() {
             continue;
         }
         let sc = ProgramExplorer::new(&p).behaviours(&opts);
-        let tso = TsoExplorer::new(&p).behaviours(&opts);
+        let tso = tso_behaviours(&p, &opts);
         if !(sc.complete && tso.complete) {
             continue;
         }
@@ -115,7 +126,7 @@ fn random_drf_programs_are_sc_on_tso() {
     for seed in 0..10 {
         let p = random_program(seed, &config);
         let sc = ProgramExplorer::new(&p).behaviours(&opts);
-        let tso = TsoExplorer::new(&p).behaviours(&opts);
+        let tso = tso_behaviours(&p, &opts);
         assert!(sc.complete && tso.complete);
         assert_eq!(sc.value, tso.value, "seed {seed}:\n{p}");
     }
@@ -150,15 +161,14 @@ fn random_programs_tso_explained_by_fragment() {
 
 #[test]
 fn pso_includes_tso_on_corpus() {
-    use transafety::tso::PsoExplorer;
     let opts = ExploreOptions::default();
     for l in corpus() {
         let p = l.parse().program;
         if p.threads().iter().flatten().count() > 10 {
             continue;
         }
-        let tso = TsoExplorer::new(&p).behaviours(&opts);
-        let pso = PsoExplorer::new(&p).behaviours(&opts);
+        let tso = tso_behaviours(&p, &opts);
+        let pso = pso_behaviours(&p, &opts);
         if !(tso.complete && pso.complete) {
             continue;
         }
