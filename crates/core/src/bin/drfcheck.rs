@@ -54,6 +54,7 @@ use transafety::lang::{
     ScModel, ScheduleStep, SourceProgram,
 };
 use transafety::litmus::by_name;
+use transafety::serve;
 use transafety::traces::{Domain, MemoryModelKind, Value};
 use transafety::tso::{explain_tso, PsoModel, TsoModel};
 use transafety::{BudgetBound, CancelToken, Completeness, TruncationReason, Verdict};
@@ -194,7 +195,9 @@ fn usage() -> ExitCode {
            tso <program>                        TSO behaviours + §8 explanation\n  \
            pso <program>                        PSO behaviours + explanation\n  \
            dot <program>                        Graphviz happens-before graph\n  \
-           litmus                               list the built-in corpus\n\
+           litmus                               list the built-in corpus\n  \
+           serve [serve flags]                  long-running JSON-lines batch service\n                                       \
+                                                (stdin/stdout, or --socket PATH)\n\
          flags:\n  \
            --model sc|tso|pso     memory model for check/races/behaviours (default: sc;\n                         \
                                   tso/pso explore the §8 store-buffer machines, POR off)\n  \
@@ -206,12 +209,24 @@ fn usage() -> ExitCode {
            --stats                print exploration metrics on stderr after the analysis\n  \
            --stats=json           one line of schema-stable stats JSON on stdout instead\n  \
            --trace-out PATH       write the phase/event trace (tab-separated) to PATH\n\
+         serve flags:\n  \
+           --socket PATH          accept clients on a Unix socket instead of stdin\n  \
+           --workers N            concurrent request executors (default: all cores)\n  \
+           --queue-depth N        admission queue bound; when full the oldest queued\n                         \
+                                  request is shed with an 'overloaded' response (default 256)\n  \
+           --cache-dir DIR        enable the crash-safe verdict cache in DIR\n                         \
+                                  (or set DRFCHECK_CACHE_DIR)\n  \
+           --no-cache             disable the verdict cache regardless of environment\n  \
+           --fault-plan SPEC      deterministic fault injection, e.g. 'panic@2,corrupt@3'\n                         \
+                                  (or set DRFCHECK_FAULTS; see the user guide)\n  \
+           --stats-out PATH       write the serve-section stats JSON to PATH on exit\n\
          exit codes:\n  \
            0  success / property holds\n  \
            1  data race or unsafe transformation found\n  \
            2  usage or input error\n  \
            3  a state/interleaving cap was exceeded (partial results flushed)\n  \
-           4  deadline exceeded or interrupted by SIGINT (partial results flushed)\n  \
+           4  deadline exceeded or interrupted by SIGINT/SIGTERM (partial results\n     \
+              flushed; serve drains gracefully — a second signal hard-exits at once)\n  \
            5  a worker panic was quarantined; results computed by the sequential fallback\n\
          <program> is a file path or a corpus name (try `drfcheck litmus`)."
     );
@@ -225,8 +240,20 @@ fn cancel_token() -> &'static CancelToken {
     CANCEL.get_or_init(CancelToken::new)
 }
 
-extern "C" fn on_sigint(_signum: i32) {
-    // Only an atomic store happens here, which is async-signal-safe.
+/// Set by the first SIGINT/SIGTERM. A second signal means the user is
+/// done waiting for the graceful drain — the process hard-exits with
+/// the interrupt code immediately.
+static SIGNAL_SEEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Everything here is async-signal-safe: atomic swap/store, and on
+    // the repeat-signal path `_exit(2)` (no atexit handlers, no
+    // unwinding, no allocation).
+    if SIGNAL_SEEN.swap(true, std::sync::atomic::Ordering::AcqRel) {
+        // SAFETY: `_exit` terminates the process without running any
+        // non-signal-safe cleanup; that is exactly the point.
+        unsafe { _exit(i32::from(EXIT_TIMED_OUT)) }
+    }
     // The analysis observes the token at its next cooperative check and
     // flushes a partial report instead of the process dying mid-print.
     if let Some(token) = CANCEL.get() {
@@ -235,19 +262,22 @@ extern "C" fn on_sigint(_signum: i32) {
 }
 
 const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
 
 extern "C" {
     fn signal(signum: i32, handler: usize) -> usize;
+    fn _exit(code: i32) -> !;
 }
 
-fn install_sigint_handler() {
+fn install_signal_handlers() {
     // Initialise the token first so the handler never races the
     // `OnceLock`.
     let _ = cancel_token();
     // SAFETY: the handler is an `extern "C" fn` that only performs
-    // atomic operations on an already-initialised static.
+    // atomic operations on an already-initialised static (or `_exit`).
     unsafe {
-        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
     }
 }
 
@@ -398,6 +428,16 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, StatsFlags, Vec<String>), S
                 if !secs.is_finite() || secs < 0.0 {
                     return Err(format!("--timeout: not a duration: {v}"));
                 }
+                if secs == 0.0 {
+                    // A zero deadline is a configuration mistake, not a
+                    // budget to exceed: reject it up front (exit 2)
+                    // instead of reporting a BudgetExceeded truncation.
+                    return Err(
+                        "--timeout: must be positive (a zero deadline can never admit \
+                         any exploration)"
+                            .to_string(),
+                    );
+                }
                 opts = opts.timeout(Duration::from_secs_f64(secs));
             }
             "--max-states" => {
@@ -423,11 +463,14 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, StatsFlags, Vec<String>), S
     if stats.wants_metrics() {
         opts = opts.metrics(true);
     }
+    // Catch the remaining degenerate bounds (e.g. --max-states 0) the
+    // same way: as usage errors, before any exploration starts.
+    opts.budget.validate()?;
     Ok((opts, stats, rest))
 }
 
 fn main() -> ExitCode {
-    install_sigint_handler();
+    install_signal_handlers();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = parse_flags(&args).and_then(|(opts, stats, rest)| run(&rest, &opts, &stats));
     match result {
@@ -437,6 +480,127 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// `drfcheck serve`: the long-running JSON-lines batch service. Global
+/// flags (`--model`, `--timeout`, `--jobs`, …) become the per-request
+/// defaults; the flags parsed here configure the service itself.
+fn serve_cmd(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode, String> {
+    let mut socket: Option<String> = None;
+    let mut queue_depth: usize = 256;
+    let mut workers = transafety::available_jobs();
+    let mut cache_dir = std::env::var("DRFCHECK_CACHE_DIR").ok();
+    let mut no_cache = false;
+    let mut fault_spec = std::env::var("DRFCHECK_FAULTS").unwrap_or_default();
+    let mut stats_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                let v = it.next().ok_or("--socket requires a path")?;
+                socket = Some(v.clone());
+            }
+            "--queue-depth" => {
+                let v = it.next().ok_or("--queue-depth requires a value")?;
+                queue_depth = v
+                    .parse()
+                    .map_err(|_| format!("--queue-depth: not a number: {v}"))?;
+                if queue_depth == 0 {
+                    return Err("--queue-depth: must be positive".to_string());
+                }
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers requires a value")?;
+                workers = v
+                    .parse()
+                    .map_err(|_| format!("--workers: not a number: {v}"))?;
+                if workers == 0 {
+                    return Err("--workers: must be positive".to_string());
+                }
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir requires a path")?;
+                cache_dir = Some(v.clone());
+            }
+            "--no-cache" => no_cache = true,
+            "--fault-plan" => {
+                let v = it.next().ok_or("--fault-plan requires a spec")?;
+                fault_spec = v.clone();
+            }
+            "--stats-out" => {
+                let v = it.next().ok_or("--stats-out requires a path")?;
+                stats_out = Some(v.clone());
+            }
+            other => return Err(format!("serve: unknown argument {other:?}")),
+        }
+    }
+    let faults = serve::FaultPlan::parse(&fault_spec).map_err(|e| format!("--fault-plan: {e}"))?;
+    if !faults.is_empty() {
+        eprintln!("drfcheck: serve: FAULT INJECTION ACTIVE ({faults})");
+    }
+    let config = serve::ServeConfig {
+        workers,
+        queue_depth,
+        defaults: opts.clone(),
+        cache_dir: if no_cache {
+            None
+        } else {
+            cache_dir.map(std::path::PathBuf::from)
+        },
+        faults,
+    };
+    let server = serve::Server::new(config).map_err(|e| format!("serve: cache: {e}"))?;
+
+    // Bridge the process-wide signal token to this session's drain
+    // token. The poller is detached; it dies with the process.
+    let drain = server.drain_token();
+    std::thread::spawn(move || loop {
+        if cancel_token().is_cancelled() {
+            drain.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+
+    let summary = if let Some(path) = socket {
+        let path = std::path::PathBuf::from(path);
+        // A stale socket from a crashed predecessor would make bind
+        // fail; connect-refused stale files are safe to clear.
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path)
+            .map_err(|e| format!("serve: cannot bind {}: {e}", path.display()))?;
+        eprintln!("drfcheck: serving on {}", path.display());
+        let summary = server
+            .run_unix_listener(listener)
+            .map_err(|e| format!("serve: accept loop failed: {e}"))?;
+        let _ = std::fs::remove_file(&path);
+        summary
+    } else {
+        let reader = std::io::BufReader::new(std::io::stdin());
+        let writer = std::sync::Arc::new(std::sync::Mutex::new(std::io::stdout()));
+        server.run(reader, &writer)
+    };
+
+    match stats.mode {
+        StatsMode::Off => {}
+        StatsMode::Human => eprintln!("{}", summary.stats.to_human()),
+        StatsMode::Json => println!("{}", summary.stats.to_json()),
+    }
+    if let Some(path) = &stats_out {
+        std::fs::write(path, format!("{}\n", summary.stats.to_json()))
+            .map_err(|e| format!("--stats-out: cannot write {path}: {e}"))?;
+    }
+    if cancel_token().is_cancelled() {
+        eprintln!(
+            "drfcheck: serve session drained after interrupt: {} responses flushed in {:.3}s",
+            summary.stats.latency_count()
+                + summary.stats.responses_overloaded
+                + summary.stats.responses_cancelled,
+            summary.elapsed.as_secs_f64()
+        );
+        return Ok(ExitCode::from(EXIT_TIMED_OUT));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode, String> {
@@ -695,6 +859,7 @@ fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode,
             }
             Ok(ExitCode::SUCCESS)
         }
+        Some("serve") => serve_cmd(&args[1..], opts, stats),
         Some("litmus") if args.len() == 1 => {
             for l in transafety::litmus::corpus() {
                 println!(

@@ -60,6 +60,7 @@ pub use transafety_interleaving::{
 };
 pub use transafety_lang as lang;
 pub use transafety_litmus as litmus;
+pub use transafety_serve as serve;
 pub use transafety_syntactic as syntactic;
 pub use transafety_traces as traces;
 pub use transafety_traces::MemoryModelKind;

@@ -1,0 +1,342 @@
+//! End-to-end tests of `drfcheck serve`: the JSON-lines protocol over
+//! stdin/stdout and a Unix socket, graceful drain on SIGINT/SIGTERM,
+//! the idempotent-SIGINT hard exit, the `--timeout 0` usage error, and
+//! the golden schema of the `serve` stats section.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const RACY: &str = "x := 1; || r0 := x; print r0;";
+const DRF: &str = "volatile v; v := 1; || r0 := v; print r0;";
+
+fn spawn_serve(args: &[&str], envs: &[(&str, &str)]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_drfcheck"));
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("drfcheck serve spawns")
+}
+
+/// Runs one batch session: writes `input` to stdin, closes it, returns
+/// (stdout lines, stderr, exit code).
+fn serve_batch(
+    args: &[&str],
+    envs: &[(&str, &str)],
+    input: &str,
+) -> (Vec<String>, String, Option<i32>) {
+    let mut child = spawn_serve(args, envs);
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("request lines written");
+    let out = child.wait_with_output().expect("serve session ends");
+    (
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(str::to_owned)
+            .collect(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+fn signal(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill {sig} delivered");
+}
+
+fn request(id: &str, program: &str) -> String {
+    format!("{{\"id\":\"{id}\",\"program\":\"{program}\"}}\n")
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("drfcheck-serve-cli-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn batch_session_over_stdin_answers_every_request() {
+    let input = format!(
+        "{}{}{{\"id\":\"zero\",\"program\":\"x := 1;\",\"timeout_ms\":0}}\n{}",
+        request("racy", RACY),
+        request("drf", DRF),
+        "not json at all\n"
+    );
+    let (lines, stderr, code) = serve_batch(&["serve", "--no-cache"], &[], &input);
+    assert_eq!(code, Some(0), "clean EOF drain exits 0: {stderr}");
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    let find = |id: &str| {
+        lines
+            .iter()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no response for {id}: {lines:?}"))
+    };
+    assert!(find("racy").contains("\"verdict\":\"racy\""));
+    assert!(find("drf").contains("\"verdict\":\"drf_proven\""));
+    let zero = find("zero");
+    assert!(
+        zero.contains("\"status\":\"error\"") && zero.contains("must be positive"),
+        "per-request zero timeout is a request error, not a budget trip: {zero}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"status\":\"error\"") && l.contains("\"id\":\"4\"")),
+        "the unparseable line got an error response keyed by admission number: {lines:?}"
+    );
+}
+
+#[test]
+fn verdict_cache_hits_across_sessions_and_for_renamed_programs() {
+    let dir = tmp_path("cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    let (first, _, code) =
+        serve_batch(&["serve", "--cache-dir", dir_s], &[], &request("cold", DRF));
+    assert_eq!(code, Some(0));
+    assert!(first[0].contains("\"cached\":false"), "{first:?}");
+    // Same program, renamed location and register, new process.
+    let renamed = "volatile w; w := 1; || r9 := w; print r9;";
+    let (second, _, _) = serve_batch(
+        &["serve", "--cache-dir", dir_s],
+        &[],
+        &request("warm", renamed),
+    );
+    assert!(
+        second[0].contains("\"cached\":true"),
+        "renamed program must hit the cache: {second:?}"
+    );
+    // Same program under another model: its own verdict, not the hit.
+    let (tso, _, _) = serve_batch(
+        &["--model", "tso", "serve", "--cache-dir", dir_s],
+        &[],
+        &request("othermodel", DRF),
+    );
+    assert!(
+        tso[0].contains("\"cached\":false"),
+        "model is part of the key: {tso:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn timeout_zero_is_a_usage_error_not_a_budget_trip() {
+    let out = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
+        .args(["--timeout", "0", "check", "sb"])
+        .output()
+        .expect("drfcheck runs");
+    assert_eq!(out.status.code(), Some(2), "usage error, not exit 4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--timeout: must be positive"), "{stderr}");
+    assert!(
+        !stderr.contains("truncated"),
+        "no analysis may have started: {stderr}"
+    );
+    // Degenerate caps get the same treatment.
+    let out = Command::new(env!("CARGO_BIN_EXE_drfcheck"))
+        .args(["--max-states", "0", "check", "sb"])
+        .output()
+        .expect("drfcheck runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn serve_stats_json_matches_the_golden_schema() {
+    let golden: Vec<String> = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_stats_schema.txt"),
+    )
+    .expect("golden schema file exists")
+    .lines()
+    .map(str::to_owned)
+    .filter(|l| !l.is_empty())
+    .collect();
+    let stats_out = tmp_path("stats.json");
+    let _ = std::fs::remove_file(&stats_out);
+    let input = format!("{}{}", request("a", RACY), request("b", DRF));
+    let (lines, _, code) = serve_batch(
+        &[
+            "--stats=json",
+            "serve",
+            "--no-cache",
+            "--stats-out",
+            stats_out.to_str().unwrap(),
+        ],
+        &[],
+        &input,
+    );
+    assert_eq!(code, Some(0));
+    let stats_line = lines
+        .iter()
+        .find(|l| l.starts_with("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\""))
+        .expect("stats line present on stdout");
+    // `--stats-out` writes the identical line for CI artifact upload.
+    let from_file = std::fs::read_to_string(&stats_out).expect("--stats-out file written");
+    assert_eq!(from_file.trim_end(), stats_line.as_str());
+    let inner = stats_line
+        .strip_prefix("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\",\"serve\":{")
+        .and_then(|s| s.strip_suffix("}}"))
+        .expect("serve section envelope");
+    let mut keys = Vec::new();
+    for pair in inner.split(',') {
+        let (k, v) = pair.split_once(':').expect("key:value");
+        keys.push(k.trim_matches('"').to_owned());
+        let n: u64 = v
+            .parse()
+            .expect("all serve counters are non-negative integers");
+        let _ = n;
+    }
+    assert_eq!(
+        keys, golden,
+        "serve section keys drifted from the golden schema"
+    );
+    let field = |k: &str| {
+        inner
+            .split(',')
+            .find(|p| p.starts_with(&format!("\"{k}\":")))
+            .and_then(|p| p.split_once(':'))
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .unwrap()
+    };
+    assert_eq!(field("requests"), 2);
+    assert_eq!(field("responses_ok"), 2);
+    assert_eq!(field("latency_count"), 2);
+    let _ = std::fs::remove_file(&stats_out);
+}
+
+#[test]
+fn sigint_drains_gracefully_with_exit_4() {
+    // One request holds the only worker (slow fault), one sits queued.
+    // SIGINT must: answer the in-flight one as truncated/cancelled,
+    // answer the queued one as cancelled, exit 4 — well before the
+    // 5-second stall would end naturally.
+    let mut child = spawn_serve(
+        &[
+            "serve",
+            "--no-cache",
+            "--workers",
+            "1",
+            "--fault-plan",
+            "slow@*:5000",
+        ],
+        &[],
+    );
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin
+        .write_all(format!("{}{}", request("inflight", DRF), request("queued", DRF)).as_bytes())
+        .expect("requests written");
+    stdin.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    let start = Instant::now();
+    signal(&child, "-INT");
+    drop(stdin);
+    let out = child.wait_with_output().expect("drain completes");
+    let elapsed = start.elapsed();
+    assert_eq!(out.status.code(), Some(4), "drained session exits 4");
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "drain must not hang: {elapsed:?}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"id\":\"queued\"") && stdout.contains("\"status\":\"cancelled\""),
+        "queued request answered as cancelled: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"id\":\"inflight\""),
+        "in-flight request flushed: {stdout}"
+    );
+    assert!(
+        !stdout.contains("drf_proven"),
+        "a drained run must not claim a proof: {stdout}"
+    );
+}
+
+#[test]
+fn second_sigint_hard_exits_immediately() {
+    // The worker is stuck in a 60s injected stall (uninterruptible by
+    // the cooperative drain). The first SIGINT starts the graceful
+    // drain; the second must not wait for it.
+    let mut child = spawn_serve(
+        &["serve", "--no-cache", "--workers", "1"],
+        &[("DRFCHECK_FAULTS", "slow@*:60000")],
+    );
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin.write_all(request("stuck", DRF).as_bytes()).unwrap();
+    stdin.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    signal(&child, "-INT");
+    std::thread::sleep(Duration::from_millis(200));
+    let start = Instant::now();
+    signal(&child, "-INT");
+    let out = child.wait_with_output().expect("hard exit");
+    let elapsed = start.elapsed();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "hard exit keeps the interrupt code"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "second SIGINT must exit at once, not after the 60s stall: {elapsed:?}"
+    );
+}
+
+#[test]
+fn socket_session_serves_multiple_clients_and_drains_on_sigterm() {
+    let sock = tmp_path("sock");
+    let _ = std::fs::remove_file(&sock);
+    let child = spawn_serve(
+        &["serve", "--no-cache", "--socket", sock.to_str().unwrap()],
+        &[],
+    );
+    // Wait for the listener to come up.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let connect = || std::os::unix::net::UnixStream::connect(&sock);
+    let mut conn = loop {
+        match connect() {
+            Ok(c) => break c,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("socket never came up: {e}"),
+        }
+    };
+    conn.write_all(request("c1", RACY).as_bytes()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("response on the same connection");
+    assert!(
+        line.contains("\"id\":\"c1\"") && line.contains("\"verdict\":\"racy\""),
+        "{line}"
+    );
+    // A second, concurrent client on the same server.
+    let mut conn2 = connect().expect("second client connects");
+    conn2.write_all(request("c2", DRF).as_bytes()).unwrap();
+    let mut reader2 = BufReader::new(conn2.try_clone().unwrap());
+    let mut line2 = String::new();
+    reader2
+        .read_line(&mut line2)
+        .expect("second client answered");
+    assert!(
+        line2.contains("\"id\":\"c2\"") && line2.contains("drf_proven"),
+        "{line2}"
+    );
+    // SIGTERM drains the whole session.
+    signal(&child, "-TERM");
+    let out = child.wait_with_output().expect("socket session drains");
+    assert_eq!(out.status.code(), Some(4), "signal-initiated drain exits 4");
+    assert!(!sock.exists(), "socket file removed on clean drain");
+    // Connections see EOF after the drain.
+    let mut rest = String::new();
+    let _ = reader.read_to_string(&mut rest);
+}

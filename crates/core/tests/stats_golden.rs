@@ -206,7 +206,11 @@ fn state_capped_run_exits_3_with_valid_stats() {
 #[test]
 fn timed_out_run_exits_4_with_valid_stats() {
     let path = repo_path("programs/producer_consumer.tsl");
-    let (stdout, stderr, code) = drfcheck(&["--stats=json", "--timeout", "0", "check", &path]);
+    // A 1µs deadline: the smallest positive duration the CLI accepts
+    // (`--timeout 0` is a usage error, exit 2) that still reliably
+    // expires before the explorer's first clock sample.
+    let (stdout, stderr, code) =
+        drfcheck(&["--stats=json", "--timeout", "0.000001", "check", &path]);
     assert_eq!(code, Some(4), "stdout: {stdout}\nstderr: {stderr}");
     let pairs = assert_schema(&stats_line(&stdout), "timed-out check");
     assert!(

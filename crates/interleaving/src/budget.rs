@@ -90,6 +90,35 @@ impl Budget {
         self.max_interleavings = max;
         self
     }
+
+    /// Rejects degenerate bounds that can never admit any work. A zero
+    /// deadline or a zero cap is always a configuration mistake — the
+    /// run would trip its budget before exploring a single state — so
+    /// drivers surface it as a usage error up front instead of letting
+    /// it masquerade as a `BudgetExceeded` truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first degenerate
+    /// bound found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deadline == Some(Duration::ZERO) {
+            return Err("timeout must be positive (a zero deadline can never \
+                        admit any exploration)"
+                .to_string());
+        }
+        if self.max_states == Some(0) {
+            return Err("max-states must be positive (a zero cap can never \
+                        admit any exploration)"
+                .to_string());
+        }
+        if self.max_interleavings == 0 {
+            return Err("max-interleavings must be positive (a zero cap can \
+                        never admit any exploration)"
+                .to_string());
+        }
+        Ok(())
+    }
 }
 
 /// A shareable cooperative cancellation flag (an `Arc<AtomicBool>`
@@ -557,6 +586,25 @@ impl Default for BudgetGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_rejects_degenerate_bounds() {
+        assert!(Budget::unlimited().validate().is_ok());
+        assert!(Budget::unlimited()
+            .timeout(Duration::from_millis(1))
+            .max_states(1)
+            .validate()
+            .is_ok());
+        let zero_deadline = Budget::unlimited().timeout(Duration::ZERO);
+        assert!(zero_deadline.validate().unwrap_err().contains("timeout"));
+        let zero_states = Budget::unlimited().max_states(0);
+        assert!(zero_states.validate().unwrap_err().contains("max-states"));
+        let zero_interleavings = Budget::unlimited().max_interleavings(0);
+        assert!(zero_interleavings
+            .validate()
+            .unwrap_err()
+            .contains("max-interleavings"));
+    }
 
     #[test]
     fn unlimited_guard_never_stops() {

@@ -1,0 +1,240 @@
+//! Deterministic fault injection for the serve pipeline.
+//!
+//! Every degradation path of the server — worker panic quarantine, the
+//! bounded sequential retry, cache-corruption quarantine, deadline
+//! blowouts, load shedding — must be *exercised*, not merely argued
+//! about. A [`FaultPlan`] is a comma-separated list of directives,
+//! supplied via `drfcheck serve --fault-plan` or the `DRFCHECK_FAULTS`
+//! environment variable, that makes the Nth admitted request fail in a
+//! chosen way at a chosen point, deterministically:
+//!
+//! | directive        | effect |
+//! |------------------|--------|
+//! | `panic@N`        | the worker processing request `N` panics on its first attempt (the retry runs clean) |
+//! | `panic@N:both`   | both the first attempt **and** the sequential retry panic (the request degrades to an error response) |
+//! | `corrupt@N`      | the cache entry written by request `N` is corrupted on disk right after publication |
+//! | `slow@N:MS`      | request `N`'s processing stalls `MS` milliseconds before the analysis runs (simulates slow I/O; combine with a small `timeout_ms` for a deadline blowout) |
+//!
+//! `N` is the 1-based admission sequence number; `*` matches every
+//! request (chaos mode for soak runs). Injected faults traverse the
+//! exact production code paths — an injected panic is caught by the
+//! same `catch_unwind` that guards against real ones — so a green
+//! fault-injection suite is evidence about the real degradation
+//! machinery, not about a parallel test-only implementation.
+
+use std::fmt;
+
+/// Which requests a directive applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// One specific admission sequence number (1-based).
+    Seq(u64),
+    /// Every request.
+    All,
+}
+
+impl Target {
+    fn matches(self, seq: u64) -> bool {
+        match self {
+            Target::Seq(n) => n == seq,
+            Target::All => true,
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        if s == "*" {
+            Ok(Target::All)
+        } else {
+            s.parse::<u64>()
+                .map(Target::Seq)
+                .map_err(|_| format!("bad request number {s:?} (expected an integer or '*')"))
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Panic { both_attempts: bool },
+    Corrupt,
+    Slow { ms: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Directive {
+    kind: Kind,
+    target: Target,
+}
+
+/// A parsed set of fault directives. The empty plan (the default) is
+/// inert and costs a handful of branches per request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    directives: Vec<Directive>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated directive list. The empty string is the
+    /// empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut directives = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, arg) = part
+                .split_once('@')
+                .ok_or_else(|| format!("bad fault directive {part:?} (expected kind@target)"))?;
+            let directive = match name {
+                "panic" => {
+                    let (target, both) = match arg.split_once(':') {
+                        None => (arg, false),
+                        Some((t, "both")) => (t, true),
+                        Some((_, other)) => {
+                            return Err(format!(
+                                "bad panic modifier {other:?} (only ':both' is known)"
+                            ))
+                        }
+                    };
+                    Directive {
+                        kind: Kind::Panic {
+                            both_attempts: both,
+                        },
+                        target: Target::parse(target)?,
+                    }
+                }
+                "corrupt" => Directive {
+                    kind: Kind::Corrupt,
+                    target: Target::parse(arg)?,
+                },
+                "slow" => {
+                    let (target, ms) = arg
+                        .split_once(':')
+                        .ok_or_else(|| format!("slow@{arg}: expected slow@N:MILLIS"))?;
+                    Directive {
+                        kind: Kind::Slow {
+                            ms: ms
+                                .parse()
+                                .map_err(|_| format!("bad slow duration {ms:?}"))?,
+                        },
+                        target: Target::parse(target)?,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (known: panic, corrupt, slow)"
+                    ))
+                }
+            };
+            directives.push(directive);
+        }
+        Ok(FaultPlan { directives })
+    }
+
+    /// Is this the inert empty plan?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Should the worker processing `seq` panic on `attempt` (0 = first
+    /// run, 1 = the sequential retry)?
+    #[must_use]
+    pub fn panic_on(&self, seq: u64, attempt: u32) -> bool {
+        self.directives.iter().any(|d| match d.kind {
+            Kind::Panic { both_attempts } => {
+                d.target.matches(seq) && (attempt == 0 || both_attempts)
+            }
+            _ => false,
+        })
+    }
+
+    /// Should the cache entry written by `seq` be corrupted?
+    #[must_use]
+    pub fn corrupt_on(&self, seq: u64) -> bool {
+        self.directives
+            .iter()
+            .any(|d| d.kind == Kind::Corrupt && d.target.matches(seq))
+    }
+
+    /// Stall duration injected before `seq`'s analysis, if any.
+    #[must_use]
+    pub fn slow_ms_on(&self, seq: u64) -> Option<u64> {
+        self.directives.iter().find_map(|d| match d.kind {
+            Kind::Slow { ms } if d.target.matches(seq) => Some(ms),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for d in &self.directives {
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            let target = match d.target {
+                Target::Seq(n) => n.to_string(),
+                Target::All => "*".to_string(),
+            };
+            match d.kind {
+                Kind::Panic {
+                    both_attempts: false,
+                } => write!(f, "panic@{target}")?,
+                Kind::Panic {
+                    both_attempts: true,
+                } => write!(f, "panic@{target}:both")?,
+                Kind::Corrupt => write!(f, "corrupt@{target}")?,
+                Kind::Slow { ms } => write!(f, "slow@{target}:{ms}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_matches() {
+        let plan = FaultPlan::parse("panic@3, corrupt@2, slow@5:250, panic@7:both").unwrap();
+        assert!(plan.panic_on(3, 0));
+        assert!(!plan.panic_on(3, 1), "plain panic spares the retry");
+        assert!(plan.panic_on(7, 0) && plan.panic_on(7, 1));
+        assert!(plan.corrupt_on(2) && !plan.corrupt_on(3));
+        assert_eq!(plan.slow_ms_on(5), Some(250));
+        assert_eq!(plan.slow_ms_on(4), None);
+        assert_eq!(
+            plan.to_string(),
+            "panic@3,corrupt@2,slow@5:250,panic@7:both"
+        );
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let plan = FaultPlan::parse("slow@*:10").unwrap();
+        assert_eq!(plan.slow_ms_on(1), Some(10));
+        assert_eq!(plan.slow_ms_on(99_999), Some(10));
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert!(!plan.panic_on(1, 0));
+        assert_eq!(FaultPlan::parse("  ,  ").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "panic",
+            "panic@x",
+            "slow@1",
+            "slow@1:ms",
+            "explode@1",
+            "panic@1:twice",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # transafety-serve — fault-isolated batch checking as a service
+//!
+//! The engine so far answers one question per process: parse a
+//! program, explore it under a model, print a verdict, exit. This
+//! crate turns that into a *long-running batch service* — `drfcheck
+//! serve` — that accepts many check/races/behaviours requests as JSON
+//! lines (over stdin or a Unix socket) and answers each one
+//! independently, with the robustness properties a service needs that
+//! a one-shot CLI does not:
+//!
+//! * **fault isolation** ([`server`]) — every request runs under its
+//!   own budget and `catch_unwind`; a panicking or over-budget request
+//!   degrades to an `error`/`unknown` response while its siblings
+//!   proceed untouched, with one bounded sequential retry before a
+//!   panic becomes an answer;
+//! * **backpressure** ([`server`]) — a bounded admission queue sheds
+//!   the *oldest* request with an explicit `overloaded` response when
+//!   full; nothing is ever dropped silently;
+//! * **crash-safe memoisation** ([`cache`]) — complete, fault-free
+//!   verdicts are published to a disk cache keyed by the normalised
+//!   program and the semantic options, written via temp-file +
+//!   atomic-rename with checksummed entries; a corrupt entry is
+//!   quarantined and recomputed, never trusted;
+//! * **deterministic fault injection** ([`faults`]) — a `FaultPlan`
+//!   can force worker panics, cache corruption and slow I/O on chosen
+//!   requests, so every degradation path above is exercised by tests
+//!   through the production code, not simulated beside it;
+//! * **observability** ([`stats`]) — hit/miss, shed/retry/fault
+//!   counters and per-request latency quantiles, serialised under the
+//!   `drfcheck-stats-v1` schema as a `serve` section.
+//!
+//! The safety discipline of the underlying checker is preserved at the
+//! service boundary: no degraded path (panic, retry, truncation,
+//! drain, corrupt cache) can ever produce a `drf_proven` response —
+//! proofs only leave the process on complete, fault-free runs, exactly
+//! as in the one-shot CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod faults;
+pub mod proto;
+pub mod server;
+pub mod stats;
+
+pub use cache::{normalise, CacheEntry, CacheKey, CacheLookup, VerdictCache};
+pub use faults::FaultPlan;
+pub use proto::{parse_request, Cmd, Request, RequestError};
+pub use server::{ServeConfig, ServeSummary, Server};
+pub use stats::ServeStats;

@@ -1,0 +1,207 @@
+//! Service-level observability: admission, cache, degradation and
+//! latency counters for one serve session.
+//!
+//! The per-request exploration metrics stay with the PR 5 layer
+//! ([`transafety_interleaving::ExploreMetrics`]); this module counts
+//! the things only the *service* can see — shed requests, cache
+//! behaviour, retries, injected faults, per-request latency — and
+//! serialises them under the same stable schema id as the analysis
+//! stats (`drfcheck-stats-v1`), as a dedicated `serve` section:
+//!
+//! ```json
+//! {"schema":"drfcheck-stats-v1","section":"serve","serve":{...}}
+//! ```
+//!
+//! Counters are accumulated under one mutex: requests are heavyweight
+//! (a full exploration each), so per-request locking is noise — the
+//! striped-counter machinery of the exploration layer would be
+//! over-engineering here.
+
+use std::time::Duration;
+
+/// Counters and latency samples for one serve session. Obtained from
+/// [`Server::run`](crate::Server::run) as part of the summary, or
+/// snapshotted live.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Request lines received (including unparseable ones).
+    pub requests: u64,
+    /// Lines that failed to parse or validate (each got an `error`
+    /// response).
+    pub parse_errors: u64,
+    /// `ok` responses (fresh or cached).
+    pub responses_ok: u64,
+    /// `error` responses for requests that were admitted but could not
+    /// be analysed (double panic, rejected options).
+    pub responses_error: u64,
+    /// `overloaded` responses: requests shed by admission control.
+    pub responses_overloaded: u64,
+    /// `cancelled` responses: requests drained unprocessed at shutdown.
+    pub responses_cancelled: u64,
+    /// Verified cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (absent entry, or a verified content mismatch).
+    pub cache_misses: u64,
+    /// Entries published to the cache.
+    pub cache_writes: u64,
+    /// Corrupt entries quarantined (each also counts a miss).
+    pub cache_quarantined: u64,
+    /// Sequential retries after a quarantined worker panic.
+    pub retries: u64,
+    /// Worker panics caught at the request boundary (injected or real).
+    pub worker_panics: u64,
+    /// Faults injected by the active [`FaultPlan`](crate::FaultPlan).
+    pub faults_injected: u64,
+    /// Requests whose budget tripped (responses carried
+    /// `verdict:"unknown"` with a truncation reason).
+    pub budget_trips: u64,
+    /// Per-request wall latencies in microseconds (admission to
+    /// response write), one sample per `ok`/`error` response.
+    pub latencies_micros: Vec<u64>,
+}
+
+impl ServeStats {
+    /// Records one completed request's latency.
+    pub fn record_latency(&mut self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.latencies_micros.push(micros);
+    }
+
+    /// Number of latency samples.
+    #[must_use]
+    pub fn latency_count(&self) -> u64 {
+        self.latencies_micros.len() as u64
+    }
+
+    /// Sum of all latency samples, in microseconds.
+    #[must_use]
+    pub fn latency_total_micros(&self) -> u64 {
+        self.latencies_micros.iter().copied().sum()
+    }
+
+    /// The `q`-quantile latency (0.0 ≤ q ≤ 1.0) by nearest-rank over
+    /// the recorded samples; `0` with no samples.
+    #[must_use]
+    pub fn latency_quantile_micros(&self, q: f64) -> u64 {
+        if self.latencies_micros.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_micros.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[rank]
+    }
+
+    /// The maximum latency sample, in microseconds.
+    #[must_use]
+    pub fn latency_max_micros(&self) -> u64 {
+        self.latencies_micros.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Serialises the section to one line of schema-stable JSON. Key
+    /// order is fixed; all values are non-negative integers, so the
+    /// golden-schema tests can parse it the same way they parse the
+    /// exploration stats line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\",\"serve\":{");
+        let mut first = true;
+        for (key, value) in [
+            ("requests", self.requests),
+            ("parse_errors", self.parse_errors),
+            ("responses_ok", self.responses_ok),
+            ("responses_error", self.responses_error),
+            ("responses_overloaded", self.responses_overloaded),
+            ("responses_cancelled", self.responses_cancelled),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_writes", self.cache_writes),
+            ("cache_quarantined", self.cache_quarantined),
+            ("retries", self.retries),
+            ("worker_panics", self.worker_panics),
+            ("faults_injected", self.faults_injected),
+            ("budget_trips", self.budget_trips),
+            ("latency_count", self.latency_count()),
+            ("latency_total_micros", self.latency_total_micros()),
+            ("latency_p50_micros", self.latency_quantile_micros(0.50)),
+            ("latency_p99_micros", self.latency_quantile_micros(0.99)),
+            ("latency_max_micros", self.latency_max_micros()),
+        ] {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\"{key}\":{value}"));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders a human-readable multi-line summary (what `--stats`
+    /// prints on stderr after a session).
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        format!(
+            "--- serve stats ---\n\
+             requests: {} received, {} parse errors\n\
+             responses: {} ok, {} error, {} overloaded (shed), {} cancelled\n\
+             cache: {} hits, {} misses, {} writes, {} quarantined\n\
+             degradation: {} worker panics, {} retries, {} injected faults, {} budget trips\n\
+             latency (µs): p50 {}, p99 {}, max {} over {} requests",
+            self.requests,
+            self.parse_errors,
+            self.responses_ok,
+            self.responses_error,
+            self.responses_overloaded,
+            self.responses_cancelled,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_writes,
+            self.cache_quarantined,
+            self.worker_panics,
+            self.retries,
+            self.faults_injected,
+            self.budget_trips,
+            self.latency_quantile_micros(0.50),
+            self.latency_quantile_micros(0.99),
+            self.latency_max_micros(),
+            self.latency_count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut s = ServeStats::default();
+        for v in [5u64, 1, 3, 2, 4] {
+            s.latencies_micros.push(v);
+        }
+        assert_eq!(s.latency_quantile_micros(0.5), 3);
+        assert_eq!(s.latency_quantile_micros(0.99), 5);
+        assert_eq!(s.latency_quantile_micros(1.0), 5);
+        assert_eq!(s.latency_max_micros(), 5);
+        assert_eq!(s.latency_total_micros(), 15);
+        assert_eq!(ServeStats::default().latency_quantile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn json_has_the_stable_preamble_and_no_negatives() {
+        let mut s = ServeStats {
+            requests: 3,
+            ..ServeStats::default()
+        };
+        s.record_latency(Duration::from_micros(250));
+        let json = s.to_json();
+        assert!(
+            json.starts_with("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\",\"serve\":{")
+        );
+        assert!(json.contains("\"requests\":3"));
+        assert!(json.contains("\"latency_count\":1"));
+        assert!(!json.contains(":-"), "no negative counters: {json}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Round-trip property tests for the verdict cache (ISSUE satellite):
+//! a probe for the *same program modulo whitespace, comments-free
+//! reformatting and consistent renaming* must hit, and a probe under a
+//! *different model or options fingerprint* must never hit.
+//!
+//! The normalisation contract has two halves: the parser interns
+//! location/monitor names in first-appearance order (so spelling and
+//! layout vanish at parse time), and `transafety_serve::normalise`
+//! renumbers registers in first-appearance order (the parser maps
+//! `rN` to index `N` verbatim). The tests drive both halves over
+//! handcrafted renamings, the whole litmus corpus, and seeded random
+//! programs.
+
+use transafety::lang::parse_program;
+use transafety::lang::Program;
+use transafety::traces::MemoryModelKind;
+use transafety_litmus::{corpus, random_program, GeneratorConfig};
+use transafety_serve::{normalise, CacheEntry, CacheKey, CacheLookup, VerdictCache};
+
+fn norm(src: &str) -> Program {
+    normalise(&parse_program(src).expect(src).program)
+}
+
+fn fingerprint(model: MemoryModelKind, max_actions: usize, por: bool) -> String {
+    format!(
+        "model={};domain=0,1;max_actions={max_actions};max_tau=4096;por={por}",
+        model.as_str()
+    )
+}
+
+#[test]
+fn renamed_and_reformatted_programs_share_a_key() {
+    // (original, consistently renamed + reformatted) pairs: locations,
+    // registers, monitors all renamed; whitespace and layout mangled.
+    let pairs = [
+        (
+            "x := 1; || r0 := x; print r0;",
+            "  y:=1;\n||\n\tr7 := y;\n\tprint r7;  ",
+        ),
+        (
+            "lock m; a := 1; unlock m; || lock m; r0 := a; unlock m; print r0;",
+            "lock mu; shared := 1; unlock mu; || lock mu; r9 := shared; unlock mu; print r9;",
+        ),
+        (
+            "volatile v; v := 1; || r1 := v; if (r1 == 1) print r1; else skip;",
+            "volatile w;\nw := 1;\n||\nr5 := w;\nif (r5 == 1)\n  print r5;\nelse\n  skip;",
+        ),
+        (
+            "x := 1; y := 2; || r0 := x; r1 := y; while (r0 != 1) r0 := x; print r1;",
+            "p := 1; q := 2; || r4 := p; r2 := q; while (r4 != 1) r4 := p; print r2;",
+        ),
+    ];
+    for (a_src, b_src) in pairs {
+        let (a, b) = (norm(a_src), norm(b_src));
+        assert_eq!(a, b, "{a_src:?} vs {b_src:?} must normalise identically");
+        let fp = fingerprint(MemoryModelKind::Sc, 32, true);
+        assert_eq!(CacheKey::new(&a, &fp), CacheKey::new(&b, &fp));
+    }
+}
+
+#[test]
+fn distinct_programs_get_distinct_keys() {
+    // Renaming that changes *structure* (register aliasing, different
+    // location wiring) must not collapse.
+    let distinct = [
+        "r0 := x; r1 := y;",
+        "r0 := x; r0 := y;",
+        "r0 := x; r1 := x;",
+        "x := 1; || r0 := x; print r0;",
+        "x := 1; || r0 := y; print r0;",
+    ];
+    let fp = fingerprint(MemoryModelKind::Sc, 32, true);
+    let keys: Vec<CacheKey> = distinct
+        .iter()
+        .map(|s| CacheKey::new(&norm(s), &fp))
+        .collect();
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            assert_ne!(keys[i], keys[j], "{:?} vs {:?}", distinct[i], distinct[j]);
+        }
+    }
+}
+
+#[test]
+fn corpus_and_random_programs_display_round_trip_to_the_same_key() {
+    // The canonical rendering (`Program`'s `Display`) is itself a
+    // whitespace/renaming variant of the source — reparsing it must
+    // land on the same key, for every corpus program and a swarm of
+    // generated ones.
+    let fp = fingerprint(MemoryModelKind::Sc, 32, true);
+    let mut programs: Vec<Program> = corpus()
+        .iter()
+        .map(|l| parse_program(l.source).expect(l.name).program)
+        .collect();
+    let config = GeneratorConfig::default();
+    programs.extend((0..64).map(|seed| random_program(seed, &config)));
+    for p in &programs {
+        let n = normalise(p);
+        let reparsed = normalise(
+            &parse_program(&n.to_string())
+                .expect("canonical text reparses")
+                .program,
+        );
+        assert_eq!(n, reparsed, "display round-trip is key-stable");
+        assert_eq!(CacheKey::new(&n, &fp), CacheKey::new(&reparsed, &fp));
+    }
+}
+
+#[test]
+fn differing_model_or_options_never_hit() {
+    // Full-stack check through the disk cache: store under one
+    // fingerprint, probe under every other — always a miss, for every
+    // corpus program.
+    let dir = std::env::temp_dir().join(format!(
+        "transafety-serve-cache-prop-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = VerdictCache::open(&dir).expect("cache dir");
+    let stored_fp = fingerprint(MemoryModelKind::Sc, 32, true);
+    let other_fps = [
+        fingerprint(MemoryModelKind::Tso, 32, true),
+        fingerprint(MemoryModelKind::Pso, 32, true),
+        fingerprint(MemoryModelKind::Sc, 64, true),
+        fingerprint(MemoryModelKind::Sc, 32, false),
+    ];
+    for l in corpus() {
+        let p = normalise(&parse_program(l.source).expect(l.name).program);
+        let canonical = p.to_string();
+        let key = CacheKey::new(&p, &stored_fp);
+        cache
+            .store(
+                key,
+                &CacheEntry {
+                    program: canonical.clone(),
+                    fingerprint: stored_fp.clone(),
+                    verdict: "racy".to_owned(),
+                    behaviours: 1,
+                    behaviours_complete: true,
+                    reachable_states: 1,
+                },
+            )
+            .expect("store");
+        assert!(
+            matches!(cache.load(key, &canonical, &stored_fp), CacheLookup::Hit(_)),
+            "{}: exact probe hits",
+            l.name
+        );
+        for fp in &other_fps {
+            // Different options mean a different key; and even a
+            // forced probe of the stored slot with the wrong
+            // fingerprint verifies as a miss, never a hit.
+            let other_key = CacheKey::new(&p, fp);
+            assert_ne!(
+                other_key, key,
+                "{}: fingerprint is part of the address",
+                l.name
+            );
+            assert!(
+                !matches!(cache.load(key, &canonical, fp), CacheLookup::Hit(_)),
+                "{}: wrong-fingerprint probe must never hit",
+                l.name
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

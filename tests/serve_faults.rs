@@ -1,0 +1,300 @@
+//! Fault-injection suite for the serve pipeline (ISSUE satellite):
+//! every degradation path — worker panic, double panic, cache
+//! corruption, shed-under-load, budget truncation — is forced
+//! deterministically through the production code via `FaultPlan`, and
+//! the suite proves the isolation contract:
+//!
+//! * the server survives every injected fault and answers **every**
+//!   admitted request exactly once (no silent drops);
+//! * every response, degraded or not, is well-formed flat JSON (checked
+//!   with the same strict parser the request path uses);
+//! * sibling requests of a faulted request are answered identically to
+//!   a cold, fault-free run (modulo timing);
+//! * no degraded path ever reports `drf_proven`.
+
+use std::io::Cursor;
+use std::sync::{Arc, Mutex};
+
+use transafety::Analysis;
+use transafety_serve::proto::parse_flat_object;
+use transafety_serve::{FaultPlan, ServeConfig, Server};
+
+/// Runs one stdin-style serve session over `input`, returning the
+/// response lines (order is worker-dependent).
+fn run_session(config: ServeConfig, input: &str) -> Vec<String> {
+    let server = Server::new(config).expect("server construction");
+    let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    server.run(Cursor::new(input.to_owned()), &out);
+    let bytes = out.lock().unwrap().clone();
+    String::from_utf8(bytes)
+        .expect("responses are utf-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Every response must parse with the strict flat-JSON parser and echo
+/// a known id; returns id → line.
+fn index_by_id(lines: &[String]) -> std::collections::BTreeMap<String, String> {
+    let mut by_id = std::collections::BTreeMap::new();
+    for line in lines {
+        let pairs =
+            parse_flat_object(line).unwrap_or_else(|e| panic!("malformed response {line:?}: {e}"));
+        let id = pairs
+            .iter()
+            .find(|(k, _)| k == "id")
+            .and_then(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("response without id: {line}"))
+            .to_owned();
+        let dup = by_id.insert(id.clone(), line.clone());
+        assert!(dup.is_none(), "id {id} answered twice: {line}");
+    }
+    by_id
+}
+
+/// Strips the (timing-dependent) latency field so fault-run responses
+/// can be compared bit-for-bit against cold-run responses.
+fn without_latency(line: &str) -> String {
+    match line.split_once(",\"elapsed_micros\":") {
+        Some((head, _)) => format!("{head}}}"),
+        None => line.to_owned(),
+    }
+}
+
+fn request(id: &str, program: &str) -> String {
+    format!("{{\"id\":\"{id}\",\"program\":\"{program}\"}}\n")
+}
+
+const RACY: &str = "x := 1; || r0 := x; print r0;";
+const DRF: &str = "volatile v; v := 1; || r0 := v; print r0;";
+
+#[test]
+fn injected_panic_is_quarantined_and_siblings_are_untouched() {
+    let input = format!(
+        "{}{}{}",
+        request("a", RACY),
+        request("b", DRF),
+        request("c", RACY)
+    );
+    // Request 2 ("b") panics on its first attempt; the sequential retry
+    // answers it.
+    let faulty = ServeConfig {
+        faults: FaultPlan::parse("panic@2").unwrap(),
+        ..ServeConfig::default()
+    };
+    let fault_run = index_by_id(&run_session(faulty, &input));
+    let cold_run = index_by_id(&run_session(ServeConfig::default(), &input));
+    assert_eq!(fault_run.len(), 3, "server answered everything");
+    let b = &fault_run["b"];
+    assert!(b.contains("\"retried\":true"), "retry is visible: {b}");
+    assert!(
+        b.contains("\"verdict\":\"drf_proven\""),
+        "the retry completed cleanly, so the proof stands: {b}"
+    );
+    for id in ["a", "c"] {
+        assert_eq!(
+            without_latency(&fault_run[id]),
+            without_latency(&cold_run[id]),
+            "sibling {id} must be identical to a cold run"
+        );
+    }
+}
+
+#[test]
+fn double_panic_degrades_to_an_error_response_and_never_a_verdict() {
+    let input = format!("{}{}", request("victim", DRF), request("ok", RACY));
+    let config = ServeConfig {
+        faults: FaultPlan::parse("panic@1:both").unwrap(),
+        ..ServeConfig::default()
+    };
+    let by_id = index_by_id(&run_session(config, &input));
+    let victim = &by_id["victim"];
+    assert!(victim.contains("\"status\":\"error\""), "{victim}");
+    assert!(
+        !victim.contains("drf_proven") && !victim.contains("\"verdict\":"),
+        "a double panic must not smuggle out a verdict: {victim}"
+    );
+    assert!(by_id["ok"].contains("\"verdict\":\"racy\""), "sibling fine");
+}
+
+#[test]
+fn corrupted_cache_entry_is_quarantined_and_recomputed() {
+    let dir = std::env::temp_dir().join(format!(
+        "transafety-serve-faults-corrupt-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let with_cache = |faults: &str| ServeConfig {
+        cache_dir: Some(dir.clone()),
+        faults: FaultPlan::parse(faults).unwrap(),
+        ..ServeConfig::default()
+    };
+    // Session 1: computes, publishes, then the fault plan corrupts the
+    // published entry on disk.
+    let first = index_by_id(&run_session(with_cache("corrupt@1"), &request("one", DRF)));
+    assert!(first["one"].contains("\"cached\":false"));
+    // Session 2: the probe must detect the corruption (checksum),
+    // quarantine the entry, recompute — and answer identically.
+    let second = index_by_id(&run_session(with_cache(""), &request("two", DRF)));
+    let canon = |l: &str| {
+        without_latency(l)
+            .replace("\"id\":\"one\"", "")
+            .replace("\"id\":\"two\"", "")
+    };
+    assert_eq!(
+        canon(&first["one"]),
+        canon(&second["two"]),
+        "recomputed verdict identical to the original"
+    );
+    assert!(
+        second["two"].contains("\"cached\":false"),
+        "not served from the corrupt entry"
+    );
+    let quarantined = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".corrupt"))
+        .count();
+    assert_eq!(quarantined, 1, "corrupt entry kept for post-mortem");
+    // Session 3: the recompute re-published a good entry — now a hit.
+    let third = index_by_id(&run_session(with_cache(""), &request("three", DRF)));
+    assert!(
+        third["three"].contains("\"cached\":true"),
+        "{}",
+        third["three"]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_sheds_oldest_with_explicit_responses_and_no_silent_drops() {
+    const N: usize = 12;
+    let input: String = (0..N).map(|i| request(&format!("q{i}"), RACY)).collect();
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        // Every processed request stalls, so admission outpaces the
+        // worker and the queue must shed.
+        faults: FaultPlan::parse("slow@*:100").unwrap(),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config).expect("server construction");
+    let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let summary = server.run(Cursor::new(input), &out);
+    let bytes = out.lock().unwrap().clone();
+    let lines: Vec<String> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    let by_id = index_by_id(&lines);
+    assert_eq!(by_id.len(), N, "every request answered exactly once");
+    let shed = lines
+        .iter()
+        .filter(|l| l.contains("\"status\":\"overloaded\""))
+        .count();
+    let ok = lines
+        .iter()
+        .filter(|l| l.contains("\"status\":\"ok\""))
+        .count();
+    assert_eq!(shed + ok, N, "only ok/overloaded outcomes here");
+    assert!(
+        shed >= 5,
+        "queue depth 2 with a stalled worker must shed most of {N}: shed {shed}"
+    );
+    assert!(ok >= 1, "the stalled worker still finishes what it holds");
+    assert_eq!(summary.stats.responses_overloaded, shed as u64);
+    assert_eq!(summary.stats.responses_ok, ok as u64);
+    for line in &lines {
+        if line.contains("overloaded") {
+            assert!(
+                line.contains("shed by admission control"),
+                "explicit reason: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_degraded_path_reports_a_proof() {
+    // Three degradation flavours against DRF programs (the dangerous
+    // case: their complete verdict IS drf_proven, so any laundering bug
+    // would surface here):
+    //  * budget truncation (max_states=1),
+    //  * deadline blowout (1ms on an exponential state space),
+    //  * double panic.
+    let thread = "v := 1; r0 := v; v := r0; r1 := v; print r1;";
+    let heavy = format!("volatile v; {}", [thread; 8].join(" || "));
+    let input = format!(
+        "{{\"id\":\"budget\",\"program\":\"{DRF}\",\"max_states\":1}}\n\
+         {{\"id\":\"deadline\",\"program\":\"{heavy}\",\"timeout_ms\":1}}\n\
+         {}",
+        request("panic", DRF)
+    );
+    let config = ServeConfig {
+        faults: FaultPlan::parse("panic@3:both").unwrap(),
+        ..ServeConfig::default()
+    };
+    let by_id = index_by_id(&run_session(config, &input));
+    assert_eq!(by_id.len(), 3);
+    for (id, line) in &by_id {
+        assert!(
+            !line.contains("drf_proven"),
+            "degraded request {id} must not claim a proof: {line}"
+        );
+    }
+    assert!(
+        by_id["budget"].contains("truncated:"),
+        "{}",
+        by_id["budget"]
+    );
+    assert!(
+        by_id["deadline"].contains("truncated:"),
+        "{}",
+        by_id["deadline"]
+    );
+    assert!(
+        by_id["panic"].contains("\"status\":\"error\""),
+        "{}",
+        by_id["panic"]
+    );
+}
+
+#[test]
+fn chaos_panics_on_every_request_still_answer_everything() {
+    // panic@* (first attempt only): every request takes the
+    // quarantine-and-retry path; every retry completes; all verdicts
+    // correct.
+    const N: usize = 8;
+    let input: String = (0..N)
+        .map(|i| request(&format!("c{i}"), if i % 2 == 0 { RACY } else { DRF }))
+        .collect();
+    let config = ServeConfig {
+        faults: FaultPlan::parse("panic@*").unwrap(),
+        defaults: Analysis::new(),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config).expect("server construction");
+    let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let summary = server.run(Cursor::new(input), &out);
+    let bytes = out.lock().unwrap().clone();
+    let lines: Vec<String> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    let by_id = index_by_id(&lines);
+    assert_eq!(by_id.len(), N);
+    for i in 0..N {
+        let line = &by_id[&format!("c{i}")];
+        assert!(line.contains("\"retried\":true"), "{line}");
+        let want = if i % 2 == 0 {
+            "\"verdict\":\"racy\""
+        } else {
+            "\"verdict\":\"drf_proven\""
+        };
+        assert!(line.contains(want), "{line}");
+    }
+    assert_eq!(summary.stats.worker_panics, N as u64);
+    assert_eq!(summary.stats.retries, N as u64);
+}
