@@ -188,14 +188,16 @@ impl Analysis {
         self
     }
 
-    /// Enables or disables the happens-before partial-order reduction
-    /// (default on). With POR the behaviour and race searches explore
-    /// one canonical interleaving of commuting thread-local actions;
-    /// verdicts and behaviour sets are unchanged, only
-    /// `states_explored` shrinks. The reduction conservatively disables
-    /// itself on programs with loops; `por(false)` forces the full
-    /// unreduced exploration everywhere (the `drfcheck --no-por`
-    /// escape hatch).
+    /// Enables or disables the dynamic partial-order reduction
+    /// (default on). With POR the searches explore one canonical
+    /// interleaving of commuting thread-local actions; verdicts and
+    /// behaviour sets are unchanged, only `states_explored` shrinks.
+    /// Loops are handled by a size-decreasing cycle proviso (ample
+    /// moves must shrink the remaining code, so a cycle of ample moves
+    /// is impossible), and the buffered models additionally reduce
+    /// commuting flushes during the behaviour phase; `por(false)`
+    /// forces the full unreduced exploration everywhere (the
+    /// `drfcheck --no-por` escape hatch).
     #[must_use]
     pub fn por(mut self, enabled: bool) -> Self {
         self.explore.por = enabled;

@@ -24,7 +24,7 @@ use transafety_traces::{Action, Loc, Monitor, Traceset, Value};
 
 use crate::budget::BudgetGuard;
 use crate::intern::{FxHashSet, IdMap, InternAudit, ScratchPool, StateInterner};
-use crate::metrics::{Counter, CounterTally, Phase};
+use crate::metrics::{Counter, CounterTally, ExpansionKind, Phase};
 use crate::{par, Event, IndexedTraceset, Interleaving};
 
 /// The behaviours of a program: a prefix-closed set of sequences of
@@ -105,15 +105,24 @@ impl std::fmt::Display for RaceWitness {
 ///
 /// # Partial-order reduction
 ///
-/// The behaviour and race entry points apply a happens-before
+/// The behaviour and race entry points apply a **dynamic** happens-before
 /// commutativity partial-order reduction (ample-set style) by default:
 /// when every possible next action of some thread is *invisible* — it
 /// neither synchronises nor conflicts with any action another thread
-/// can ever perform, per the paper's §3 conflict and happens-before
-/// definitions — only that thread is expanded, pruning the
-/// Mazurkiewicz-equivalent interleavings of commuting moves. The
-/// reduction preserves the behaviour set and the existence of §3
-/// adjacent-conflict races exactly (see `docs/paper-mapping.md`);
+/// can **still** perform from the current state on, judged against
+/// per-trie-node *suffix* footprints rather than whole-program static
+/// ones — only that thread is expanded, pruning the
+/// Mazurkiewicz-equivalent interleavings of commuting moves. Because
+/// footprints shrink as cursors advance, a location that was contended
+/// early in the run becomes private once its last foreign access is
+/// behind every other thread, and the reduction keeps firing where a
+/// static footprint would block it forever. The race search pairs this
+/// with a *check-before-carry* discipline: ample moves are race-checked
+/// against the last recorded access (an invisible move can still
+/// conflict with a *past* access) and then carry the tracker through
+/// unchanged. The reduction preserves the behaviour set and the
+/// existence of §3 adjacent-conflict races exactly (see
+/// `docs/paper-mapping.md`);
 /// [`por`](Explorer::por)`(false)` restores the unreduced engine. The
 /// counting and enumeration entry points
 /// ([`maximal_executions`](Explorer::maximal_executions),
@@ -149,49 +158,102 @@ pub struct Explorer {
     space: StateSpace,
 }
 
-/// The static per-location access footprint of a traceset: which thread
-/// indices ever read or write each location, over *all* traces. The
-/// partial-order reduction derives independence from it: an access to a
-/// location no other thread touches commutes with every move of every
-/// other thread.
+/// The *suffix* footprint of one trie node: what the owning thread may
+/// still do on any path below the node. The **dynamic** partial-order
+/// reduction derives independence from the footprints of the *other*
+/// threads' current nodes — an access to a location no other thread can
+/// ever touch *again* commutes with every future move of every other
+/// thread, even if that location was contended earlier in the run.
+#[derive(Debug, Default, Clone)]
+struct NodeFootprint {
+    /// Locations some path below the node still writes.
+    writes: BTreeSet<Loc>,
+    /// Locations some path below the node still reads or writes.
+    accesses: BTreeSet<Loc>,
+    /// Monitors some path below the node still locks or unlocks.
+    monitors: BTreeSet<Monitor>,
+    /// Does some path below the node still emit an external action?
+    externals: bool,
+}
+
+impl NodeFootprint {
+    fn absorb(&mut self, other: &NodeFootprint) {
+        self.writes.extend(other.writes.iter().copied());
+        self.accesses.extend(other.accesses.iter().copied());
+        self.monitors.extend(other.monitors.iter().copied());
+        self.externals |= other.externals;
+    }
+}
+
+/// Per-node suffix footprints for the whole trie, computed bottom-up at
+/// construction (the trie is a tree, so one post-order pass suffices).
 #[derive(Debug, Default)]
 struct Footprint {
-    /// Thread indices that ever write each location.
-    writers: BTreeMap<Loc, BTreeSet<usize>>,
-    /// Thread indices that ever read or write each location.
-    accessors: BTreeMap<Loc, BTreeSet<usize>>,
+    /// Indexed by trie node id.
+    nodes: Vec<NodeFootprint>,
+    /// Per thread index: the footprint of the subtree under the
+    /// thread's root `Start` edge. A thread whose cursor is still at
+    /// `ROOT` has its whole trace ahead of it, and `nodes[ROOT]` would
+    /// wrongly aggregate every thread's subtree.
+    roots: Vec<NodeFootprint>,
 }
 
 impl Footprint {
     fn of(trie: &IndexedTraceset) -> Footprint {
-        let mut fp = Footprint::default();
-        // Traces start with their thread's Start action, so the subtrie
-        // under each root edge holds exactly one thread's actions.
-        for (root_action, subtree) in trie.edges(IndexedTraceset::ROOT) {
-            let Action::Start(tid) = root_action else {
-                continue;
-            };
-            let Some(k) = trie.threads().iter().position(|t| t == tid) else {
-                continue;
-            };
-            let mut stack = vec![subtree];
-            while let Some(node) = stack.pop() {
-                for (a, next) in trie.edges(node) {
-                    match *a {
-                        Action::Read { loc, .. } => {
-                            fp.accessors.entry(loc).or_default().insert(k);
-                        }
-                        Action::Write { loc, .. } => {
-                            fp.accessors.entry(loc).or_default().insert(k);
-                            fp.writers.entry(loc).or_default().insert(k);
-                        }
-                        _ => {}
-                    }
-                    stack.push(next);
-                }
+        let mut nodes = vec![NodeFootprint::default(); trie.node_count()];
+        // Pre-order push, reverse for post-order: children before
+        // parents (each node has one parent in a trie).
+        let mut order = Vec::with_capacity(trie.node_count());
+        let mut stack = vec![IndexedTraceset::ROOT];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            for (_, next) in trie.edges(n) {
+                stack.push(next);
             }
         }
-        fp
+        for &n in order.iter().rev() {
+            let mut fp = NodeFootprint::default();
+            for (a, next) in trie.edges(n) {
+                match *a {
+                    Action::Read { loc, .. } => {
+                        fp.accesses.insert(loc);
+                    }
+                    Action::Write { loc, .. } => {
+                        fp.accesses.insert(loc);
+                        fp.writes.insert(loc);
+                    }
+                    Action::Lock(m) | Action::Unlock(m) => {
+                        fp.monitors.insert(m);
+                    }
+                    Action::External(_) => fp.externals = true,
+                    Action::Start(_) => {}
+                }
+                fp.absorb(&nodes[next]);
+            }
+            nodes[n] = fp;
+        }
+        let roots = trie
+            .threads()
+            .iter()
+            .map(|tid| {
+                trie.edges(IndexedTraceset::ROOT)
+                    .find_map(|(a, next)| match *a {
+                        Action::Start(entry) if entry == *tid => Some(nodes[next].clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        Footprint { nodes, roots }
+    }
+
+    /// The future footprint of thread `k` whose cursor sits at `node`.
+    fn future(&self, k: usize, node: usize) -> &NodeFootprint {
+        if node == IndexedTraceset::ROOT {
+            &self.roots[k]
+        } else {
+            &self.nodes[node]
+        }
     }
 }
 
@@ -303,6 +365,31 @@ struct Move {
 /// `(thread, location, was_write)`.
 type Prev = Option<(usize, Loc, bool)>;
 
+/// On a race detected through a *carried* `prev`, the events pushed
+/// after `prev`'s (interposed ample moves) sit between the racing pair.
+/// Commute them out of the way: the racing thread's interposed moves
+/// slide before the earlier access (they are independent of it — an
+/// interposed move conflicting with the tracked access would itself
+/// have been reported as the race), every other thread's slide after
+/// the pair and are dropped as unexecuted trailing work (executions are
+/// prefix-closed). The caller then pushes the racing event, leaving the
+/// §3 adjacent conflicting pair as the last two events of a valid
+/// execution. `prev_at` is the path length right after the tracked
+/// access's event was pushed; a no-op when nothing was interposed.
+fn reorder_carried_witness(
+    path: &mut Vec<Event>,
+    prev_at: usize,
+    racing: transafety_traces::ThreadId,
+) {
+    if path.len() <= prev_at {
+        return; // nothing interposed: the pair is already adjacent
+    }
+    let mut tail: Vec<Event> = path.drain(prev_at - 1..).collect();
+    let earlier = tail.remove(0);
+    path.extend(tail.into_iter().filter(|e| e.thread() == racing));
+    path.push(earlier);
+}
+
 impl Explorer {
     /// Creates an explorer for the given traceset (with partial-order
     /// reduction enabled; see [`por`](Explorer::por)).
@@ -379,71 +466,87 @@ impl Explorer {
         out
     }
 
-    /// Is `a`, performed by thread `k`, *invisible*: guaranteed to
-    /// neither synchronise nor conflict (§3) with any action any other
-    /// thread can ever perform, and externally unobservable?
+    /// Is `a`, performed by thread `k`, **dynamically invisible**:
+    /// guaranteed to neither synchronise nor conflict (§3) with any
+    /// action any *other* thread can still perform from this state on,
+    /// and unobservable relative to the other threads' remaining
+    /// behaviour?
     ///
-    /// Invisible actions commute with every other-thread move, their
-    /// enabledness is stable under other-thread moves, and they can
-    /// never be an endpoint of a data race — the three facts the
-    /// ample-set reduction in [`por_moves_into`](Explorer::por_moves_into)
-    /// rests on.
-    fn invisible(&self, k: usize, a: &Action) -> bool {
+    /// Invisible actions commute with every other-thread future move,
+    /// their enabledness is stable under other-thread moves, and they
+    /// can never be the *earlier* endpoint of a data race going forward
+    /// — the facts the ample-set reduction in
+    /// [`por_moves_into`](Explorer::por_moves_into) rests on. (They
+    /// *can* race with a past access of another thread, which is why
+    /// the race search checks every ample move against its last-access
+    /// tracker before carrying it through — see
+    /// [`race_dfs`](Explorer::race_dfs).)
+    ///
+    /// `cursor(j)` is thread `j`'s current trie node; the judgment is a
+    /// pure function of the state's cursors, so memoisation and
+    /// parallel graph deduplication stay exact.
+    fn invisible_with<F: Fn(usize) -> usize>(&self, cursor: F, k: usize, a: &Action) -> bool {
+        let others = |pred: &dyn Fn(&NodeFootprint) -> bool| {
+            (0..self.space.threads).all(|j| j == k || !pred(self.footprint.future(j, cursor(j))))
+        };
         match *a {
             // Thread starts only advance the starting thread's cursor.
             Action::Start(_) => true,
-            // A non-volatile read of a location no other thread ever
-            // writes: the value it sees cannot change under it, and it
-            // conflicts with nothing.
+            // A non-volatile read of a location no other thread will
+            // ever write again: the value it sees cannot change under
+            // it, and it conflicts with nothing ahead.
             Action::Read { loc, .. } => {
-                !loc.is_volatile()
-                    && self
-                        .footprint
-                        .writers
-                        .get(&loc)
-                        .is_none_or(|ws| ws.iter().all(|&w| w == k))
+                !loc.is_volatile() && others(&|fp| fp.writes.contains(&loc))
             }
-            // A non-volatile write to a location no other thread ever
-            // touches: invisible to every other thread's reads.
+            // A non-volatile write to a location no other thread will
+            // ever touch again: invisible to every future read.
             Action::Write { loc, .. } => {
-                !loc.is_volatile()
-                    && self
-                        .footprint
-                        .accessors
-                        .get(&loc)
-                        .is_none_or(|ts| ts.iter().all(|&t| t == k))
+                !loc.is_volatile() && others(&|fp| fp.accesses.contains(&loc))
             }
-            // Lock/Unlock synchronise; External is observable behaviour.
-            Action::Lock(_) | Action::Unlock(_) | Action::External(_) => false,
+            // Lock/Unlock of a monitor no other thread will ever use
+            // again: the acquisition can neither block nor order
+            // anything ahead.
+            Action::Lock(m) | Action::Unlock(m) => others(&|fp| fp.monitors.contains(&m)),
+            // An external is observable, but its position relative to
+            // *silent* moves is not: if no other thread will ever emit
+            // an external again, the output order is fixed by program
+            // order alone.
+            Action::External(_) => others(&|fp| fp.externals),
         }
     }
 
+    /// [`invisible_with`](Explorer::invisible_with) over a compact
+    /// state's cursor words.
+    fn invisible(&self, state: &State, k: usize, a: &Action) -> bool {
+        self.invisible_with(|j| state.words[j] as usize, k, a)
+    }
+
     /// The reduced move set at `state`, written into the caller's
-    /// scratch buffer: the ample set of the happens-before partial-order
-    /// reduction, or all enabled moves when no reduction applies (or POR
-    /// is disabled).
+    /// scratch buffer: the ample set of the dynamic happens-before
+    /// partial-order reduction, or all enabled moves when no reduction
+    /// applies (or POR is disabled).
     ///
     /// Selection rule: the lowest-indexed thread whose *every* trie
-    /// edge at its current node — enabled or not — is
-    /// [`invisible`](Explorer::invisible) and that has at least one
-    /// enabled move becomes the ample thread; only its moves are
-    /// explored. Checking all edges (not just enabled ones) matters: a
-    /// disabled read edge of a shared location could become enabled
-    /// after another thread's write, so only a thread whose entire
-    /// next-step alternative set commutes with the rest of the program
-    /// may be prioritised. The choice is a pure function of the state,
-    /// so memoisation and parallel graph deduplication stay exact.
+    /// edge at its current node — enabled or not — is dynamically
+    /// [`invisible`](Explorer::invisible) against the other threads'
+    /// *remaining* suffix footprints, and that has at least one enabled
+    /// move, becomes the ample thread; only its moves are explored.
+    /// Checking all edges (not just enabled ones) matters: a disabled
+    /// read edge of a still-shared location could become enabled after
+    /// another thread's write, so only a thread whose entire next-step
+    /// alternative set commutes with the rest of the run may be
+    /// prioritised. The choice is a pure function of the state, so
+    /// memoisation and parallel graph deduplication stay exact.
     ///
     /// Every explorer move strictly advances a trie cursor, so the
     /// state graph is a DAG and the classic ample-set cycle proviso
     /// holds vacuously; soundness is argued in `docs/paper-mapping.md`.
-    /// Returns `true` when the reduction selected a singleton ample
-    /// thread (the observability layer counts ample hits vs. full
-    /// expansions from this flag).
-    fn por_moves_into(&self, state: &State, out: &mut Vec<Move>) -> bool {
+    /// The returned [`ExpansionKind`] feeds the observability layer
+    /// (ample hits vs. full expansions).
+    fn por_moves_into(&self, state: &State, out: &mut Vec<Move>) -> ExpansionKind {
         self.moves_into(state, out);
         if !self.por {
-            return false;
+            return ExpansionKind::Full;
         }
         for k in 0..self.space.threads {
             let node = state.words[k] as usize;
@@ -451,23 +554,23 @@ impl Explorer {
             if edges.peek().is_none() {
                 continue; // thread finished
             }
-            if !edges.all(|(a, _)| self.invisible(k, a)) {
+            if !edges.all(|(a, _)| self.invisible(state, k, a)) {
                 continue;
             }
             if out.iter().any(|mv| mv.thread == k) {
                 out.retain(|mv| mv.thread == k);
-                return true;
+                return ExpansionKind::Ample;
             }
         }
-        false
+        ExpansionKind::Full
     }
 
     /// Allocating form of [`por_moves_into`](Explorer::por_moves_into),
-    /// for the parallel drivers; the flag is the ample-hit indicator.
-    fn por_moves_vec(&self, state: &State) -> (Vec<Move>, bool) {
+    /// for the parallel drivers.
+    fn por_moves_vec(&self, state: &State) -> (Vec<Move>, ExpansionKind) {
         let mut out = Vec::new();
-        let ample = self.por_moves_into(state, &mut out);
-        (out, ample)
+        let kind = self.por_moves_into(state, &mut out);
+        (out, kind)
     }
 
     /// Applies a move: clone the parent's word buffer and patch the
@@ -591,12 +694,12 @@ impl Explorer {
         reduced: bool,
     ) -> Result<par::StateGraph<State>, crate::budget::EngineFault> {
         par::build_state_graph(jobs, self.initial_state(), guard, |state| {
-            let (moves, ample) = if reduced {
+            let (moves, kind) = if reduced {
                 self.por_moves_vec(state)
             } else {
-                (self.moves_vec(state), false)
+                (self.moves_vec(state), ExpansionKind::Full)
             };
-            guard.metrics().record_expansion(moves.len(), ample);
+            guard.metrics().record_expansion(moves.len(), kind);
             par::Expansion {
                 moves: moves
                     .into_iter()
@@ -631,8 +734,8 @@ impl Explorer {
         }
         guard.note_state_tallied(tally);
         let mut buf = scratch.take();
-        let ample = self.por_moves_into(&state, &mut buf);
-        tally.expansion(buf.len(), ample);
+        let kind = self.por_moves_into(&state, &mut buf);
+        tally.expansion(buf.len(), kind);
         for &mv in buf.iter() {
             let succ = self.apply(&state, &mv);
             let (succ_id, _) = interner.intern_ref(&succ);
@@ -680,6 +783,7 @@ impl Explorer {
         let racy = self.race_dfs(
             self.initial_state(),
             None,
+            0,
             &mut interner,
             &mut visited,
             &mut path,
@@ -699,11 +803,25 @@ impl Explorer {
         })
     }
 
+    /// DFS of the reduced transition system for an adjacent conflicting
+    /// pair. `prev` is the last *recorded* normal access and `prev_at`
+    /// the path length right after its event was pushed.
+    ///
+    /// Check-before-carry: when the expansion at a state was ample, the
+    /// ample moves are still race-checked against `prev` — a
+    /// dynamically-invisible move can conflict with a *past* access of
+    /// another thread — and, when no race fires, `prev` is carried
+    /// through them **unchanged**. Overwriting it would mask an
+    /// earlier-access/later-access pair straddling the ample run (the
+    /// interposed invisible moves commute around the pair, so the race
+    /// is genuine; [`reorder_carried_witness`] rebuilds the adjacent
+    /// witness on detection).
     #[allow(clippy::too_many_arguments)]
     fn race_dfs(
         &self,
         state: State,
         prev: Prev,
+        prev_at: usize,
         interner: &mut StateInterner<State>,
         visited: &mut FxHashSet<(u32, Prev)>,
         path: &mut Vec<Event>,
@@ -723,29 +841,41 @@ impl Explorer {
         }
         guard.note_state_tallied(tally);
         let mut buf = scratch.take();
-        let ample = self.por_moves_into(&state, &mut buf);
-        tally.expansion(buf.len(), ample);
+        let kind = self.por_moves_into(&state, &mut buf);
+        tally.expansion(buf.len(), kind);
         for &mv in buf.iter() {
             let thread_id = self.trie.threads()[mv.thread];
-            // Race check against the immediately preceding event.
+            // Race check against the last recorded access.
             if let Some((pk, pl, pw)) = prev {
                 if pk != mv.thread && mv.action.is_access_to(pl) && !pl.is_volatile() {
                     let racing = pw || mv.action.is_write();
                     if racing {
+                        reorder_carried_witness(path, prev_at, thread_id);
                         path.push(Event::new(thread_id, mv.action));
                         return true;
                     }
                 }
             }
-            let next_prev = match mv.action {
-                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
-                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
-                _ => None,
+            let (next_prev, next_at) = if kind.is_ample() {
+                if prev.is_some() {
+                    tally.prev_carry();
+                }
+                (prev, prev_at)
+            } else {
+                match mv.action {
+                    Action::Read { loc, .. } if !loc.is_volatile() => {
+                        (Some((mv.thread, loc, false)), path.len() + 1)
+                    }
+                    Action::Write { loc, .. } if !loc.is_volatile() => {
+                        (Some((mv.thread, loc, true)), path.len() + 1)
+                    }
+                    _ => (None, 0),
+                }
             };
             path.push(Event::new(thread_id, mv.action));
             let succ = self.apply(&state, &mv);
             if self.race_dfs(
-                succ, next_prev, interner, visited, path, scratch, guard, tally,
+                succ, next_prev, next_at, interner, visited, path, scratch, guard, tally,
             ) {
                 return true;
             }
@@ -792,8 +922,8 @@ impl Explorer {
             |(state, prev)| {
                 let mut found = false;
                 let mut successors = Vec::new();
-                let (moves, ample) = self.por_moves_vec(state);
-                guard.metrics().record_expansion(moves.len(), ample);
+                let (moves, kind) = self.por_moves_vec(state);
+                guard.metrics().record_expansion(moves.len(), kind);
                 for mv in moves {
                     if let Some((pk, pl, pw)) = *prev {
                         if pk != mv.thread
@@ -805,14 +935,24 @@ impl Explorer {
                             break;
                         }
                     }
-                    let next_prev = match mv.action {
-                        Action::Read { loc, .. } if !loc.is_volatile() => {
-                            Some((mv.thread, loc, false))
+                    // Check-before-carry, exactly as in the sequential
+                    // `race_dfs`: an ample move is race-checked above
+                    // but never overwrites the last-access tracker.
+                    let next_prev = if kind.is_ample() {
+                        if prev.is_some() {
+                            guard.metrics().record_prev_carry();
                         }
-                        Action::Write { loc, .. } if !loc.is_volatile() => {
-                            Some((mv.thread, loc, true))
+                        *prev
+                    } else {
+                        match mv.action {
+                            Action::Read { loc, .. } if !loc.is_volatile() => {
+                                Some((mv.thread, loc, false))
+                            }
+                            Action::Write { loc, .. } if !loc.is_volatile() => {
+                                Some((mv.thread, loc, true))
+                            }
+                            _ => None,
                         }
-                        _ => None,
                     };
                     successors.push((self.apply(state, &mv), next_prev));
                 }
@@ -921,7 +1061,7 @@ impl Explorer {
         guard.note_state_tallied(tally);
         let mut buf = scratch.take();
         self.moves_into(&state, &mut buf);
-        tally.expansion(buf.len(), false);
+        tally.expansion(buf.len(), ExpansionKind::Full);
         if buf.is_empty() {
             out.push(Interleaving::from_events(path.iter().copied()));
             scratch.put(buf);
@@ -1124,6 +1264,7 @@ impl Explorer {
         self.ref_race_dfs(
             self.ref_initial_state(),
             None,
+            0,
             &mut visited,
             &mut path,
             guard,
@@ -1173,25 +1314,29 @@ impl Explorer {
         out
     }
 
-    fn ref_por_moves(&self, state: &RefState) -> Vec<Move> {
+    /// The reference engine's mirror of
+    /// [`por_moves_into`](Explorer::por_moves_into): identical dynamic
+    /// selection over the uncompressed state, plus the ample flag for
+    /// the reference race search's check-before-carry.
+    fn ref_por_moves(&self, state: &RefState) -> (Vec<Move>, bool) {
         let moves = self.ref_moves(state);
         if !self.por {
-            return moves;
+            return (moves, false);
         }
         for (k, &node) in state.cursors.iter().enumerate() {
             let mut edges = self.trie.edges(node).peekable();
             if edges.peek().is_none() {
                 continue;
             }
-            if !edges.all(|(a, _)| self.invisible(k, a)) {
+            if !edges.all(|(a, _)| self.invisible_with(|j| state.cursors[j], k, a)) {
                 continue;
             }
             let ample: Vec<Move> = moves.iter().filter(|mv| mv.thread == k).copied().collect();
             if !ample.is_empty() {
-                return ample;
+                return (ample, true);
             }
         }
-        moves
+        (moves, false)
     }
 
     fn ref_apply(&self, state: &RefState, mv: &Move) -> RefState {
@@ -1233,7 +1378,7 @@ impl Explorer {
             return Arc::new(set);
         }
         guard.note_state();
-        for mv in self.ref_por_moves(&state) {
+        for mv in self.ref_por_moves(&state).0 {
             let tail = self.ref_suffixes(self.ref_apply(&state, &mv), memo, guard);
             match mv.action {
                 Action::External(v) => {
@@ -1256,6 +1401,7 @@ impl Explorer {
         &self,
         state: RefState,
         prev: Prev,
+        prev_at: usize,
         visited: &mut HashSet<(RefState, Prev)>,
         path: &mut Vec<Event>,
         guard: &BudgetGuard,
@@ -1264,24 +1410,42 @@ impl Explorer {
             return false;
         }
         guard.note_state();
-        for mv in self.ref_por_moves(&state) {
+        let (moves, ample) = self.ref_por_moves(&state);
+        for mv in moves {
             let thread_id = self.trie.threads()[mv.thread];
             if let Some((pk, pl, pw)) = prev {
                 if pk != mv.thread && mv.action.is_access_to(pl) && !pl.is_volatile() {
                     let racing = pw || mv.action.is_write();
                     if racing {
+                        reorder_carried_witness(path, prev_at, thread_id);
                         path.push(Event::new(thread_id, mv.action));
                         return true;
                     }
                 }
             }
-            let next_prev = match mv.action {
-                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
-                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
-                _ => None,
+            // Check-before-carry (mirrors `race_dfs`).
+            let (next_prev, next_at) = if ample {
+                (prev, prev_at)
+            } else {
+                match mv.action {
+                    Action::Read { loc, .. } if !loc.is_volatile() => {
+                        (Some((mv.thread, loc, false)), path.len() + 1)
+                    }
+                    Action::Write { loc, .. } if !loc.is_volatile() => {
+                        (Some((mv.thread, loc, true)), path.len() + 1)
+                    }
+                    _ => (None, 0),
+                }
             };
             path.push(Event::new(thread_id, mv.action));
-            if self.ref_race_dfs(self.ref_apply(&state, &mv), next_prev, visited, path, guard) {
+            if self.ref_race_dfs(
+                self.ref_apply(&state, &mv),
+                next_prev,
+                next_at,
+                visited,
+                path,
+                guard,
+            ) {
                 return true;
             }
             path.pop();
@@ -1724,6 +1888,101 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression: a race whose two accesses straddle a run of
+    /// ample-reduced private work. T0 writes `x` then retires into
+    /// private writes; T1 reads `x` then retires into private writes.
+    /// Whichever access goes first, the accessing thread's remainder is
+    /// dynamically invisible and gets selected as the ample set — so a
+    /// race search that *overwrites* its last-access tracker with the
+    /// ample moves masks the pair on every reduced path and wrongly
+    /// proves DRF. Check-before-carry keeps the tracker alive through
+    /// the ample run.
+    fn straddling_race_traceset() -> Traceset {
+        let x = Loc::normal(0);
+        let a = Loc::normal(1);
+        let b = Loc::normal(2);
+        let mut ts = Traceset::new();
+        ts.insert(Trace::from_actions([
+            Action::start(t(0)),
+            Action::write(x, v(1)),
+            Action::write(a, v(1)),
+        ]))
+        .unwrap();
+        for val in Domain::zero_to(1).iter() {
+            ts.insert(Trace::from_actions([
+                Action::start(t(1)),
+                Action::read(x, val),
+                Action::write(b, v(1)),
+            ]))
+            .unwrap();
+        }
+        ts
+    }
+
+    #[test]
+    fn race_straddling_ample_private_work_is_found() {
+        let ts = straddling_race_traceset();
+        let full = Explorer::new(&ts).por(false);
+        assert!(full.race_witness().is_some(), "x is racy unreduced");
+        let reduced = Explorer::new(&ts);
+        let w = reduced
+            .race_witness()
+            .expect("the reduced search must find the straddling race");
+        // The witness stays a well-formed adjacent-pair execution even
+        // when the pair was detected through a carried tracker.
+        let (a, b) = w.pair();
+        assert!(a.action().conflicts_with(&b.action()), "{w}");
+        assert_ne!(a.thread(), b.thread());
+        assert!(w.execution.is_interleaving_of(&ts));
+        assert!(w.execution.is_sequentially_consistent());
+        for jobs in [1, 4] {
+            assert!(reduced.race_witness_par(jobs).is_some());
+        }
+    }
+
+    /// Dynamic invisibility keeps reducing after contention retires.
+    /// T0 = write p, then 6× write q; T1 = write q, then 6× write p:
+    /// every location is touched by both threads, so a *static*
+    /// whole-trace footprint never finds anything invisible and the old
+    /// reduction degenerated to full expansion everywhere. The suffix
+    /// footprints see that once both heads have executed, neither tail
+    /// can ever be observed by the other thread again, and collapse the
+    /// tails' interleaving grid into one chain.
+    #[test]
+    fn dynamic_footprints_reduce_after_contention_retires() {
+        use crate::budget::{Budget, CancelToken};
+        let p = Loc::normal(0);
+        let q = Loc::normal(1);
+        let mut ts = Traceset::new();
+        let mut t0 = vec![Action::start(t(0)), Action::write(p, v(1))];
+        t0.extend(std::iter::repeat_n(Action::write(q, v(2)), 6));
+        ts.insert(Trace::from_actions(t0)).unwrap();
+        let mut t1 = vec![Action::start(t(1)), Action::write(q, v(1))];
+        t1.extend(std::iter::repeat_n(Action::write(p, v(2)), 6));
+        ts.insert(Trace::from_actions(t1)).unwrap();
+        let states_of = |por: bool| {
+            let guard = BudgetGuard::new(&Budget::unlimited(), CancelToken::new());
+            let _ = Explorer::new(&ts).por(por).behaviours_governed(&guard);
+            guard.states()
+        };
+        let (reduced, full) = (states_of(true), states_of(false));
+        assert!(
+            reduced < full,
+            "dynamic POR explored {reduced} vs {full} unreduced states — the \
+             retired-contention tails must collapse"
+        );
+        assert_eq!(
+            Explorer::new(&ts).behaviours(),
+            Explorer::new(&ts).por(false).behaviours()
+        );
+        // Both locations stay racy (unsynchronised cross-thread writes),
+        // and the reduced search must agree.
+        assert_eq!(
+            Explorer::new(&ts).race_witness().is_some(),
+            Explorer::new(&ts).por(false).race_witness().is_some()
+        );
     }
 
     #[test]

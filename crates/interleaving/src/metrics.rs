@@ -109,10 +109,57 @@ pub enum Counter {
     TripInterleavings,
     /// Per-execution action-fuel (soft) trips observed.
     TripActions,
+    /// Expansions where a dynamically-invisible move was available but
+    /// the cycle proviso forced a full expansion anyway (a loop edge
+    /// the reduction must not ignore).
+    DporProvisoBlocks,
+    /// Ample expansions whose singleton was a store-buffer flush
+    /// commuting with every other thread (TSO/PSO only; a subset of
+    /// [`Counter::PorAmpleHits`]).
+    DporFlushAmpleHits,
+    /// Race-search steps that carried the last-access tracker through
+    /// an ample move unchanged (the dynamic reduction's
+    /// check-before-carry discipline).
+    DporPrevCarries,
 }
 
 /// Number of [`Counter`] variants (the stripe width).
-const N_COUNTERS: usize = Counter::TripActions as usize + 1;
+const N_COUNTERS: usize = Counter::DporPrevCarries as usize + 1;
+
+/// How one state expansion was reduced (or not). Recorded by
+/// [`ExploreMetrics::record_expansion`] / [`CounterTally::expansion`]
+/// and mapped onto the `por_*`/`dpor_*` counters:
+///
+/// * [`Full`](ExpansionKind::Full) → [`Counter::PorFullExpansions`];
+/// * [`FullProviso`](ExpansionKind::FullProviso) →
+///   [`Counter::PorFullExpansions`] **and**
+///   [`Counter::DporProvisoBlocks`];
+/// * [`Ample`](ExpansionKind::Ample) → [`Counter::PorAmpleHits`];
+/// * [`AmpleFlush`](ExpansionKind::AmpleFlush) →
+///   [`Counter::PorAmpleHits`] **and**
+///   [`Counter::DporFlushAmpleHits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpansionKind {
+    /// The full enabled-move set was enumerated (reduction off, or no
+    /// dynamically-invisible move available).
+    Full,
+    /// An invisible move existed, but the cycle proviso rejected it and
+    /// forced a full expansion.
+    FullProviso,
+    /// The reduction selected a singleton ample set.
+    Ample,
+    /// The reduction selected a singleton ample set consisting of a
+    /// commuting store-buffer flush (TSO/PSO).
+    AmpleFlush,
+}
+
+impl ExpansionKind {
+    /// Did this expansion reduce to a singleton ample set?
+    #[must_use]
+    pub fn is_ample(self) -> bool {
+        matches!(self, ExpansionKind::Ample | ExpansionKind::AmpleFlush)
+    }
+}
 
 /// A pipeline phase timed by [`ExploreMetrics::span`]. Phases may nest
 /// (a parallel behaviour evaluation contains a graph build and a pool
@@ -270,19 +317,30 @@ impl ExploreMetrics {
     }
 
     /// Records one state expansion: `moves` enabled moves were
-    /// generated, with (`ample == true`) or without the partial-order
-    /// reduction selecting a singleton ample set.
+    /// generated, reduced (or not) as described by `kind`.
     #[inline]
-    pub fn record_expansion(&self, moves: usize, ample: bool) {
+    pub fn record_expansion(&self, moves: usize, kind: ExpansionKind) {
         if !self.enabled {
             return;
         }
         self.add(Counter::MovesGenerated, moves as u64);
-        self.bump(if ample {
-            Counter::PorAmpleHits
+        if kind.is_ample() {
+            self.bump(Counter::PorAmpleHits);
         } else {
-            Counter::PorFullExpansions
-        });
+            self.bump(Counter::PorFullExpansions);
+        }
+        match kind {
+            ExpansionKind::FullProviso => self.bump(Counter::DporProvisoBlocks),
+            ExpansionKind::AmpleFlush => self.bump(Counter::DporFlushAmpleHits),
+            ExpansionKind::Full | ExpansionKind::Ample => {}
+        }
+    }
+
+    /// Records one race-search step that carried the last-access
+    /// tracker through an ample move unchanged.
+    #[inline]
+    pub fn record_prev_carry(&self) {
+        self.bump(Counter::DporPrevCarries);
     }
 
     /// Harvests one interner's probe statistics into the aggregate
@@ -382,6 +440,9 @@ impl ExploreMetrics {
             trip_worker_panic: total(Counter::TripWorkerPanic),
             trip_interleavings: total(Counter::TripInterleavings),
             trip_actions: total(Counter::TripActions),
+            dpor_proviso_blocks: total(Counter::DporProvisoBlocks),
+            dpor_flush_ample_hits: total(Counter::DporFlushAmpleHits),
+            dpor_prev_carries: total(Counter::DporPrevCarries),
             graph_build_nanos: self.phase_nanos[Phase::GraphBuild as usize].load(Ordering::Relaxed),
             behaviour_eval_nanos: self.phase_nanos[Phase::BehaviourEval as usize]
                 .load(Ordering::Relaxed),
@@ -440,13 +501,25 @@ impl<'a> CounterTally<'a> {
     /// Batches one state expansion (the tally-side
     /// [`ExploreMetrics::record_expansion`]).
     #[inline]
-    pub fn expansion(&self, moves: usize, ample: bool) {
+    pub fn expansion(&self, moves: usize, kind: ExpansionKind) {
         self.add(Counter::MovesGenerated, moves as u64);
-        self.bump(if ample {
-            Counter::PorAmpleHits
+        if kind.is_ample() {
+            self.bump(Counter::PorAmpleHits);
         } else {
-            Counter::PorFullExpansions
-        });
+            self.bump(Counter::PorFullExpansions);
+        }
+        match kind {
+            ExpansionKind::FullProviso => self.bump(Counter::DporProvisoBlocks),
+            ExpansionKind::AmpleFlush => self.bump(Counter::DporFlushAmpleHits),
+            ExpansionKind::Full | ExpansionKind::Ample => {}
+        }
+    }
+
+    /// Batches one prev-carry (the tally-side
+    /// [`ExploreMetrics::record_prev_carry`]).
+    #[inline]
+    pub fn prev_carry(&self) {
+        self.bump(Counter::DporPrevCarries);
     }
 }
 
@@ -560,6 +633,12 @@ pub struct ExploreStats {
     pub trip_interleavings: u64,
     /// See [`Counter::TripActions`].
     pub trip_actions: u64,
+    /// See [`Counter::DporProvisoBlocks`].
+    pub dpor_proviso_blocks: u64,
+    /// See [`Counter::DporFlushAmpleHits`].
+    pub dpor_flush_ample_hits: u64,
+    /// See [`Counter::DporPrevCarries`].
+    pub dpor_prev_carries: u64,
     /// Inclusive wall time of [`Phase::GraphBuild`], in nanoseconds.
     pub graph_build_nanos: u64,
     /// Inclusive wall time of [`Phase::BehaviourEval`], in nanoseconds.
@@ -642,6 +721,9 @@ impl ExploreStats {
             ("trip_worker_panic", self.trip_worker_panic),
             ("trip_interleavings", self.trip_interleavings),
             ("trip_actions", self.trip_actions),
+            ("dpor_proviso_blocks", self.dpor_proviso_blocks),
+            ("dpor_flush_ample_hits", self.dpor_flush_ample_hits),
+            ("dpor_prev_carries", self.dpor_prev_carries),
             ("graph_build_nanos", self.graph_build_nanos),
             ("behaviour_eval_nanos", self.behaviour_eval_nanos),
             ("race_search_nanos", self.race_search_nanos),

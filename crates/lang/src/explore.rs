@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use transafety_interleaving::intern::{
     FxHashMap, FxHashSet, InternAudit, ScratchPool, StateInterner,
 };
+use transafety_interleaving::metrics::ExpansionKind;
 use transafety_interleaving::{Behaviours, BudgetGuard, Event, Interleaving, RaceWitness};
 use transafety_traces::{Action, Domain, Loc, Monitor, ThreadId, Value};
 
@@ -49,14 +50,15 @@ pub struct ExploreOptions {
     pub max_actions: usize,
     /// Maximum silent steps between two actions of one thread.
     pub max_tau: usize,
-    /// Apply the happens-before partial-order reduction to the
-    /// behaviour and race entry points (default: `true`). The reduction
-    /// only ever fires on loop-free programs — there the state graph is
-    /// a DAG and the reduction is exact — and is self-disabling on
-    /// programs with `while` loops, whose cyclic state graphs would
-    /// need the classic ample-set cycle proviso. Disabling is for
-    /// cross-validation and state-space measurement only: both settings
-    /// produce the same behaviours and the same racy/DRF verdict.
+    /// Apply the dynamic partial-order reduction to the behaviour and
+    /// race entry points (default: `true`). Invisibility is decided
+    /// against the *suffix* footprints of the other threads' remaining
+    /// code, and an ast-size cycle proviso keeps spinning threads out
+    /// of the ample sets, so the reduction is sound on loop-bearing
+    /// programs too (the old engine disabled itself on any `while`).
+    /// Disabling is for cross-validation and state-space measurement
+    /// only: both settings produce the same behaviours and the same
+    /// racy/DRF verdict.
     pub por: bool,
 }
 
@@ -107,18 +109,6 @@ pub struct Bounded<T> {
 #[derive(Debug)]
 pub struct ProgramExplorer<'p> {
     program: &'p Program,
-    /// Thread indices that ever (statically) write each location.
-    loc_writers: BTreeMap<Loc, std::collections::BTreeSet<usize>>,
-    /// Thread indices that ever (statically) read or write each
-    /// location.
-    loc_accessors: BTreeMap<Loc, std::collections::BTreeSet<usize>>,
-    /// Is the partial-order reduction applicable at all? Loop-free
-    /// programs have DAG state graphs (every action strictly consumes a
-    /// statement), which the reduction's soundness argument requires; a
-    /// `while` loop can close a cycle in which an ample thread spins
-    /// forever and the reduced search never schedules its siblings (the
-    /// classic ignoring problem), so loopy programs run unreduced.
-    reducible: bool,
     /// Sorted location universe; a location's dense id is its index.
     locs: Vec<Loc>,
     /// Sorted monitor universe.
@@ -145,6 +135,85 @@ struct CfgCache {
     read_succ: FxHashMap<(u32, u32), (Action, u32)>,
     /// Per-thread initial cfg ids (the successor of the start move).
     initial: Vec<u32>,
+    /// Lazily derived [`CfgMeta`] per cfg id (suffix footprint and
+    /// ast size of the remaining code), for the dynamic reduction.
+    meta: Vec<Option<Arc<CfgMeta>>>,
+}
+
+/// The static footprint and size of one thread configuration's
+/// **remaining** code: every location and monitor the continuation can
+/// still touch, whether it can still emit output, and the
+/// continuation's AST size (the well-founded measure of the cycle
+/// proviso). A pure function of the code, memoised per interned cfg id,
+/// so the reduced move choice stays a pure function of the state and
+/// memoisation/parallel deduplication remain exact.
+///
+/// Public so other memory-model backends (the TSO/PSO machines of
+/// `transafety-tso`) can run the same dynamic-invisibility and
+/// cycle-proviso arguments over their own thread configurations.
+#[derive(Debug, Default)]
+pub struct CfgMeta {
+    /// Locations the remaining code can still write.
+    pub writes: std::collections::BTreeSet<Loc>,
+    /// Locations the remaining code can still read or write.
+    pub accesses: std::collections::BTreeSet<Loc>,
+    /// Monitors the remaining code can still lock or unlock.
+    pub monitors: std::collections::BTreeSet<Monitor>,
+    /// Can the remaining code still emit output?
+    pub externals: bool,
+    /// Statement-node count of the remaining code: the well-founded
+    /// measure of the cycle proviso (any non-looping step strictly
+    /// shrinks it; a loop unfolding does not).
+    pub ast_size: usize,
+}
+
+impl CfgMeta {
+    /// Computes the footprint of a remaining-code statement list.
+    #[must_use]
+    pub fn of_code(code: &[crate::ast::Stmt]) -> CfgMeta {
+        let mut m = CfgMeta::default();
+        for s in code {
+            m.absorb(s);
+        }
+        m
+    }
+
+    /// Over-approximates (dead branches count), which is the safe
+    /// direction for the reduction; `ast_size` counts every statement
+    /// node, so any non-looping step strictly shrinks it while a loop
+    /// unfolding does not.
+    fn absorb(&mut self, s: &crate::ast::Stmt) {
+        use crate::ast::Stmt;
+        self.ast_size += 1;
+        match s {
+            Stmt::Store { loc, .. } => {
+                self.writes.insert(*loc);
+                self.accesses.insert(*loc);
+            }
+            Stmt::Load { loc, .. } => {
+                self.accesses.insert(*loc);
+            }
+            Stmt::Lock(m) | Stmt::Unlock(m) => {
+                self.monitors.insert(*m);
+            }
+            Stmt::Print(_) => self.externals = true,
+            Stmt::Block(b) => {
+                for s in b {
+                    self.absorb(s);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.absorb(then_branch);
+                self.absorb(else_branch);
+            }
+            Stmt::While { body, .. } => self.absorb(body),
+            _ => {}
+        }
+    }
 }
 
 /// What a thread configuration does next, pre-derived from one
@@ -224,23 +293,17 @@ impl<'p> ProgramExplorer<'p> {
     /// Creates an explorer for the program.
     #[must_use]
     pub fn new(program: &'p Program) -> Self {
-        let mut loc_writers: BTreeMap<Loc, std::collections::BTreeSet<usize>> = BTreeMap::new();
-        let mut loc_accessors: BTreeMap<Loc, std::collections::BTreeSet<usize>> = BTreeMap::new();
+        let mut accessed: std::collections::BTreeSet<Loc> = Default::default();
         let mut monitors: std::collections::BTreeSet<Monitor> = Default::default();
-        for (k, thread) in program.threads().iter().enumerate() {
+        for thread in program.threads() {
             for stmt in thread {
-                collect_accesses(stmt, k, &mut loc_writers, &mut loc_accessors);
+                collect_accesses(stmt, &mut accessed);
                 collect_monitors(stmt, &mut monitors);
             }
         }
-        let reducible = !program_has_loops(program);
-        let locs = loc_accessors.keys().copied().collect();
         ProgramExplorer {
             program,
-            loc_writers,
-            loc_accessors,
-            reducible,
-            locs,
+            locs: accessed.into_iter().collect(),
             monitors: monitors.into_iter().collect(),
             cache: Mutex::new(CfgCache::default()),
         }
@@ -323,15 +386,24 @@ impl<'p> ProgramExplorer<'p> {
         }
     }
 
-    /// Interns a configuration, normalising finished threads to the
-    /// canonical empty config (their registers and nesting can never be
-    /// observed again) so states converge — exactly the old `apply`
-    /// normalisation, moved to intern time.
+    /// Interns a configuration, normalising it to its τ-closure first:
+    /// silent steps (register moves, branch selection, loop
+    /// unfolding/exit) are deterministic and unobservable, so the
+    /// emit-point configuration is semantically interchangeable with
+    /// any silent predecessor — interning the closed form dedups states
+    /// that differ only in silent progress, sharpens the [`CfgMeta`]
+    /// suffix footprints (a decided branch drops the untaken side), and
+    /// gives the ast-size cycle proviso the *unfolded* view of a loop
+    /// head, so entering a register-decided loop iteration is
+    /// size-decreasing like any other statement. Finished threads
+    /// normalise to the canonical empty config (their registers and
+    /// nesting can never be observed again). A silently diverging
+    /// configuration is interned as-is; template derivation flags it.
     fn intern_normalised(cache: &mut CfgCache, cfg: ThreadConfig) -> u32 {
-        let cfg = if cfg.is_done() {
-            ThreadConfig::new(vec![])
-        } else {
-            cfg
+        let cfg = match cfg.tau_closure(&Domain::zero_to(0), cache.max_tau) {
+            Some((_, Step::Done)) => ThreadConfig::new(vec![]),
+            Some((at_emit, _)) => at_emit,
+            None => cfg,
         };
         cache.cfgs.intern(cfg).0
     }
@@ -395,6 +467,21 @@ impl<'p> ProgramExplorer<'p> {
                 }
             }
         }
+    }
+
+    /// The [`CfgMeta`] of cfg `id`, deriving (and memoising) it on
+    /// first use.
+    fn meta(&self, cache: &mut CfgCache, id: u32) -> Arc<CfgMeta> {
+        let i = id as usize;
+        if let Some(Some(m)) = cache.meta.get(i) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(CfgMeta::of_code(cache.cfgs.get(id).code()));
+        if i >= cache.meta.len() {
+            cache.meta.resize(i + 1, None);
+        }
+        cache.meta[i] = Some(Arc::clone(&m));
+        m
     }
 
     /// The successor of the `at_emit` configuration when its load reads
@@ -481,43 +568,55 @@ impl<'p> ProgramExplorer<'p> {
     }
 
     /// The reduced move set, in the caller's scratch buffer: the ample
-    /// set of the partial-order reduction, or all enabled moves when no
-    /// reduction applies.
+    /// set of the dynamic partial-order reduction, or all enabled moves
+    /// when no reduction applies.
     ///
     /// Each thread has at most one enabled move here (the program
     /// semantics are deterministic per thread given the memory), and a
-    /// move reading or writing a thread-private location is *stable*:
-    /// no other thread's move can change, disable or conflict with it.
-    /// The lowest-indexed thread with an invisible enabled move
-    /// therefore forms a singleton ample set. Only fires when
-    /// `self.reducible` (loop-free programs — the state graph is a DAG,
-    /// so the cycle proviso holds vacuously) and the choice is a pure
-    /// function of the state, keeping memoisation and parallel
-    /// deduplication exact.
-    /// Returns `true` when a singleton ample set was selected (metrics
-    /// distinguish reduced expansions from full ones).
+    /// move that is [dynamically invisible](ProgramExplorer::invisible_dyn)
+    /// is *stable*: no move any other thread can **still** perform
+    /// changes, disables, observes or conflicts with it. The
+    /// lowest-indexed thread with an invisible enabled move that also
+    /// passes the [ast-size cycle proviso](ProgramExplorer::proviso_ok)
+    /// forms a singleton ample set; the proviso guarantees every cycle
+    /// of the reduced state graph contains a fully expanded state, so
+    /// the reduction is sound on loop-bearing programs (no ignoring
+    /// problem). The choice is a pure function of the state, keeping
+    /// memoisation and parallel deduplication exact.
+    ///
+    /// Returns how the expansion was reduced (metrics distinguish ample
+    /// hits, proviso-forced full expansions and plain full expansions).
     fn por_moves_into(
         &self,
         state: &CState,
         opts: &ExploreOptions,
         out: &mut Vec<CMove>,
         truncated: &mut bool,
-    ) -> bool {
+    ) -> ExpansionKind {
         self.moves_into(state, opts, out, truncated);
-        if !opts.por || !self.reducible {
-            return false;
+        if !opts.por {
+            return ExpansionKind::Full;
         }
+        let mut cache = self.lock_cache();
         // `out` lists threads in ascending index order.
-        if let Some(pos) = out
-            .iter()
-            .position(|mv| self.invisible(mv.thread, &mv.action))
-        {
+        let mut saw_invisible = false;
+        for pos in 0..out.len() {
             let mv = out[pos];
-            out.clear();
-            out.push(mv);
-            return true;
+            if !self.invisible_dyn(&mut cache, state, mv.thread, &mv.action) {
+                continue;
+            }
+            saw_invisible = true;
+            if self.proviso_ok(&mut cache, state, &mv) {
+                out.clear();
+                out.push(mv);
+                return ExpansionKind::Ample;
+            }
         }
-        false
+        if saw_invisible {
+            ExpansionKind::FullProviso
+        } else {
+            ExpansionKind::Full
+        }
     }
 
     /// Allocating form of [`por_moves_into`](ProgramExplorer::por_moves_into)
@@ -527,10 +626,10 @@ impl<'p> ProgramExplorer<'p> {
         state: &CState,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> (Vec<CMove>, bool) {
+    ) -> (Vec<CMove>, ExpansionKind) {
         let mut out = Vec::new();
-        let ample = self.por_moves_into(state, opts, &mut out, truncated);
-        (out, ample)
+        let kind = self.por_moves_into(state, opts, &mut out, truncated);
+        (out, kind)
     }
 
     /// Allocating form of [`moves_into`](ProgramExplorer::moves_into).
@@ -567,31 +666,64 @@ impl<'p> ProgramExplorer<'p> {
         CState { words }
     }
 
-    /// Is `a`, performed by thread `k`, *invisible*: guaranteed (by the
-    /// static per-thread access footprint) to neither synchronise nor
-    /// conflict with anything any other thread can ever do, and
-    /// externally unobservable? Mirrors
+    /// Is `a`, performed by thread `k`, *dynamically invisible* at
+    /// `state`: guaranteed — by the suffix footprints of the **other
+    /// threads' remaining code** — to neither synchronise nor conflict
+    /// with anything any other thread can still do, and to commute with
+    /// every move any other thread can still make? Unlike the
+    /// whole-program static predicate this retires as threads advance:
+    /// a location stops being contended the moment its last foreign
+    /// accessor has moved past its accesses, and a lock or `print`
+    /// becomes invisible once no *other* thread can ever use the
+    /// monitor or emit output again (output order is then fixed by
+    /// program order). Mirrors
     /// `transafety_interleaving::Explorer`'s predicate; see
     /// `docs/paper-mapping.md` for the soundness argument.
-    fn invisible(&self, k: usize, a: &Action) -> bool {
+    fn invisible_dyn(&self, cache: &mut CfgCache, state: &CState, k: usize, a: &Action) -> bool {
         match *a {
-            Action::Start(_) => true,
-            Action::Read { loc, .. } => {
-                !loc.is_volatile()
-                    && self
-                        .loc_writers
-                        .get(&loc)
-                        .is_none_or(|ws| ws.iter().all(|&w| w == k))
+            Action::Start(_) => return true,
+            Action::Read { loc, .. } | Action::Write { loc, .. } if loc.is_volatile() => {
+                return false;
             }
-            Action::Write { loc, .. } => {
-                !loc.is_volatile()
-                    && self
-                        .loc_accessors
-                        .get(&loc)
-                        .is_none_or(|ts| ts.iter().all(|&t| t == k))
-            }
-            Action::Lock(_) | Action::Unlock(_) | Action::External(_) => false,
+            _ => {}
         }
+        for j in 0..self.program.thread_count() {
+            if j == k {
+                continue;
+            }
+            let id = match state.words[j] {
+                NOT_STARTED => cache.initial[j],
+                id => id,
+            };
+            let m = self.meta(cache, id);
+            let conflicts = match *a {
+                Action::Start(_) => false,
+                Action::Read { loc, .. } => m.writes.contains(&loc),
+                Action::Write { loc, .. } => m.accesses.contains(&loc),
+                Action::Lock(mon) | Action::Unlock(mon) => m.monitors.contains(&mon),
+                Action::External(_) => m.externals,
+            };
+            if conflicts {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The ast-size cycle proviso: may `mv` be an ample singleton
+    /// without risking the ignoring problem? `Start` moves are one-shot
+    /// (a thread starts at most once), and every other ample move must
+    /// strictly shrink the moving thread's remaining AST — so the sum
+    /// of remaining sizes is a well-founded measure that strictly
+    /// decreases along any ample-only path, and every cycle of the
+    /// reduced state graph (a loop iteration maps a configuration back
+    /// to itself, size unchanged) contains a fully expanded state.
+    fn proviso_ok(&self, cache: &mut CfgCache, state: &CState, mv: &CMove) -> bool {
+        if matches!(mv.action, Action::Start(_)) {
+            return true;
+        }
+        let cur = self.meta(cache, state.words[mv.thread]).ast_size;
+        self.meta(cache, mv.next_cfg).ast_size < cur
     }
 
     /// The behaviours of the program's executions, by memoised dynamic
@@ -935,6 +1067,7 @@ impl<'p> ProgramExplorer<'p> {
         self.ref_race_dfs(
             self.ref_initial(),
             None,
+            0,
             opts,
             &mut visited,
             &mut path,
@@ -954,6 +1087,20 @@ impl<'p> ProgramExplorer<'p> {
         }
     }
 
+    /// The reference-engine mirror of the intern-time τ-closure
+    /// normalisation: successor configurations advance to their emit
+    /// point (or the canonical empty config when they terminate) before
+    /// being stored in a [`PState`], so both engines see identical
+    /// suffix footprints and ast sizes. A silently diverging
+    /// configuration is kept as-is; the next visit's closure flags it.
+    fn ref_normalise(cfg: ThreadConfig, max_tau: usize) -> ThreadConfig {
+        match cfg.tau_closure(&Domain::zero_to(0), max_tau) {
+            Some((_, Step::Done)) => ThreadConfig::new(vec![]),
+            Some((at_emit, _)) => at_emit,
+            None => cfg,
+        }
+    }
+
     /// The old move computation: one `tau_closure` per thread per visit
     /// (two for reads), config clones in every move.
     fn ref_moves(&self, state: &PState, opts: &ExploreOptions, truncated: &mut bool) -> Vec<PMove> {
@@ -964,11 +1111,14 @@ impl<'p> ProgramExplorer<'p> {
                 out.push(PMove {
                     thread: k,
                     action: Action::start(ThreadId::new(k as u32)),
-                    next: Some(ThreadConfig::new(
-                        self.program
-                            .thread(k)
-                            .expect("thread index in range")
-                            .to_vec(),
+                    next: Some(Self::ref_normalise(
+                        ThreadConfig::new(
+                            self.program
+                                .thread(k)
+                                .expect("thread index in range")
+                                .to_vec(),
+                        ),
+                        opts.max_tau,
                     )),
                 });
                 continue;
@@ -999,7 +1149,7 @@ impl<'p> ProgramExplorer<'p> {
                             out.push(PMove {
                                 thread: k,
                                 action: a,
-                                next: Some(next),
+                                next: Some(Self::ref_normalise(next, opts.max_tau)),
                             });
                         }
                         Action::Lock(m) => {
@@ -1012,7 +1162,7 @@ impl<'p> ProgramExplorer<'p> {
                                 out.push(PMove {
                                     thread: k,
                                     action: a,
-                                    next: Some(next),
+                                    next: Some(Self::ref_normalise(next, opts.max_tau)),
                                 });
                             }
                         }
@@ -1021,7 +1171,7 @@ impl<'p> ProgramExplorer<'p> {
                             out.push(PMove {
                                 thread: k,
                                 action: a,
-                                next: Some(next),
+                                next: Some(Self::ref_normalise(next, opts.max_tau)),
                             });
                         }
                     }
@@ -1031,23 +1181,97 @@ impl<'p> ProgramExplorer<'p> {
         out
     }
 
+    /// The reference-engine mirror of
+    /// [`por_moves_into`](ProgramExplorer::por_moves_into): the same
+    /// dynamic invisibility predicate and ast-size proviso, computed
+    /// directly from the uncompressed configurations (no memo), so the
+    /// two engines select bit-identical ample sets.
     fn ref_por_moves(
         &self,
         state: &PState,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> Vec<PMove> {
+    ) -> (Vec<PMove>, ExpansionKind) {
         let moves = self.ref_moves(state, opts, truncated);
-        if !opts.por || !self.reducible {
-            return moves;
+        if !opts.por {
+            return (moves, ExpansionKind::Full);
         }
-        if let Some(mv) = moves
+        // The suffix footprint of each thread's remaining code; a
+        // not-yet-started thread contributes its whole body, a finished
+        // one (normalised to the empty config by `ref_apply`) nothing.
+        let metas: Vec<CfgMeta> = state
+            .threads
             .iter()
-            .find(|mv| self.invisible(mv.thread, &mv.action))
-        {
-            return vec![mv.clone()];
+            .enumerate()
+            .map(|(j, slot)| match slot {
+                // Footprints come from the τ-closed form, mirroring the
+                // compact engine's normalised initial configurations.
+                None => CfgMeta::of_code(
+                    Self::ref_normalise(
+                        ThreadConfig::new(
+                            self.program
+                                .thread(j)
+                                .expect("thread index in range")
+                                .to_vec(),
+                        ),
+                        opts.max_tau,
+                    )
+                    .code(),
+                ),
+                Some(cfg) if cfg.is_done() => CfgMeta::default(),
+                Some(cfg) => CfgMeta::of_code(cfg.code()),
+            })
+            .collect();
+        let mut saw_invisible = false;
+        for mv in &moves {
+            let invisible = match mv.action {
+                Action::Start(_) => true,
+                Action::Read { loc, .. } => {
+                    !loc.is_volatile()
+                        && metas
+                            .iter()
+                            .enumerate()
+                            .all(|(j, m)| j == mv.thread || !m.writes.contains(&loc))
+                }
+                Action::Write { loc, .. } => {
+                    !loc.is_volatile()
+                        && metas
+                            .iter()
+                            .enumerate()
+                            .all(|(j, m)| j == mv.thread || !m.accesses.contains(&loc))
+                }
+                Action::Lock(mon) | Action::Unlock(mon) => metas
+                    .iter()
+                    .enumerate()
+                    .all(|(j, m)| j == mv.thread || !m.monitors.contains(&mon)),
+                Action::External(_) => metas
+                    .iter()
+                    .enumerate()
+                    .all(|(j, m)| j == mv.thread || !m.externals),
+            };
+            if !invisible {
+                continue;
+            }
+            saw_invisible = true;
+            let proviso = matches!(mv.action, Action::Start(_)) || {
+                let next = mv.next.as_ref().expect("moves carry successor configs");
+                let next_size = if next.is_done() {
+                    0
+                } else {
+                    CfgMeta::of_code(next.code()).ast_size
+                };
+                next_size < metas[mv.thread].ast_size
+            };
+            if proviso {
+                return (vec![mv.clone()], ExpansionKind::Ample);
+            }
         }
-        moves
+        let kind = if saw_invisible {
+            ExpansionKind::FullProviso
+        } else {
+            ExpansionKind::Full
+        };
+        (moves, kind)
     }
 
     fn ref_apply(&self, state: &PState, mv: &PMove) -> PState {
@@ -1097,7 +1321,7 @@ impl<'p> ProgramExplorer<'p> {
             return Arc::new(set);
         }
         guard.note_state();
-        let moves = self.ref_por_moves(state, opts, truncated);
+        let (moves, _) = self.ref_por_moves(state, opts, truncated);
         if fuel == 0 {
             if !moves.is_empty() {
                 *truncated = true;
@@ -1139,6 +1363,7 @@ impl<'p> ProgramExplorer<'p> {
         &self,
         state: PState,
         prev: Prev,
+        prev_at: usize,
         opts: &ExploreOptions,
         visited: &mut HashSet<(PState, Prev)>,
         path: &mut Vec<Event>,
@@ -1149,7 +1374,8 @@ impl<'p> ProgramExplorer<'p> {
             return false;
         }
         guard.note_state();
-        for mv in self.ref_por_moves(&state, opts, truncated) {
+        let (moves, kind) = self.ref_por_moves(&state, opts, truncated);
+        for mv in moves {
             let tid = ThreadId::new(mv.thread as u32);
             if let Some((pk, pl, pw)) = prev {
                 if pk != mv.thread
@@ -1157,19 +1383,34 @@ impl<'p> ProgramExplorer<'p> {
                     && !pl.is_volatile()
                     && (pw || mv.action.is_write())
                 {
+                    crate::model::reorder_carried_witness(path, prev_at, tid);
                     path.push(Event::new(tid, mv.action));
                     return true;
                 }
             }
-            let next_prev = match mv.action {
-                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
-                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
-                _ => None,
+            // Check-before-carry: an ample move was race-checked against
+            // the tracked access above (a dynamically invisible move can
+            // still race with a *past* access), and when no race fires
+            // the tracker is carried through unchanged — overwriting it
+            // would mask the pair on every reduced path.
+            let (next_prev, next_at) = if kind.is_ample() {
+                (prev, prev_at)
+            } else {
+                match mv.action {
+                    Action::Read { loc, .. } if !loc.is_volatile() => {
+                        (Some((mv.thread, loc, false)), path.len() + 1)
+                    }
+                    Action::Write { loc, .. } if !loc.is_volatile() => {
+                        (Some((mv.thread, loc, true)), path.len() + 1)
+                    }
+                    _ => (None, 0),
+                }
             };
             path.push(Event::new(tid, mv.action));
             if self.ref_race_dfs(
                 self.ref_apply(&state, &mv),
                 next_prev,
+                next_at,
                 opts,
                 visited,
                 path,
@@ -1303,27 +1544,18 @@ impl<'p> ProgramExplorer<'p> {
 }
 
 /// Records every location statement `s` (of thread `k`) can read or
-/// write into the footprint maps. Conditions only read registers, so
-/// statements' `loc` fields are the complete memory footprint; the walk
-/// over-approximates (dead branches count), which is the safe direction
-/// for the reduction.
-fn collect_accesses(
-    s: &crate::ast::Stmt,
-    k: usize,
-    writers: &mut BTreeMap<Loc, std::collections::BTreeSet<usize>>,
-    accessors: &mut BTreeMap<Loc, std::collections::BTreeSet<usize>>,
-) {
+/// write into the access-universe map. Conditions only read registers,
+/// so statements' `loc` fields are the complete memory footprint; the
+/// walk over-approximates (dead branches count), which is the safe
+/// direction.
+fn collect_accesses(s: &crate::ast::Stmt, accessed: &mut std::collections::BTreeSet<Loc>) {
     match s {
-        crate::ast::Stmt::Store { loc, .. } => {
-            writers.entry(*loc).or_default().insert(k);
-            accessors.entry(*loc).or_default().insert(k);
-        }
-        crate::ast::Stmt::Load { loc, .. } => {
-            accessors.entry(*loc).or_default().insert(k);
+        crate::ast::Stmt::Store { loc, .. } | crate::ast::Stmt::Load { loc, .. } => {
+            accessed.insert(*loc);
         }
         crate::ast::Stmt::Block(b) => {
             for s in b {
-                collect_accesses(s, k, writers, accessors);
+                collect_accesses(s, accessed);
             }
         }
         crate::ast::Stmt::If {
@@ -1331,11 +1563,11 @@ fn collect_accesses(
             else_branch,
             ..
         } => {
-            collect_accesses(then_branch, k, writers, accessors);
-            collect_accesses(else_branch, k, writers, accessors);
+            collect_accesses(then_branch, accessed);
+            collect_accesses(else_branch, accessed);
         }
         crate::ast::Stmt::While { body, .. } => {
-            collect_accesses(body, k, writers, accessors);
+            collect_accesses(body, accessed);
         }
         _ => {}
     }
@@ -1636,17 +1868,49 @@ mod tests {
     }
 
     #[test]
-    fn por_is_bypassed_on_loopy_programs() {
-        // A spinning thread has invisible moves forever: a singleton
-        // ample set would starve its sibling (the ignoring problem), so
-        // POR must disable itself when the program has loops.
+    fn dpor_stays_enabled_on_loopy_programs() {
+        // A spinning thread re-enters the same configuration, so a
+        // naive invisible-singleton ample set could starve its sibling
+        // forever (the ignoring problem). The ast-size proviso rejects
+        // the non-shrinking spin step, keeping the reduction sound with
+        // POR *enabled* — the old engine disabled itself on any `while`.
         let src = "flag := 1; || while (flag != 1) skip; print 1;";
         let parsed = parse_program(src).unwrap();
         let ex = ProgramExplorer::new(&parsed.program);
-        assert!(!ex.reducible);
         let on = ExploreOptions::default();
-        assert!(ex.race_witness(&on).is_some(), "flag race still found");
+        let off = ExploreOptions {
+            por: false,
+            ..ExploreOptions::default()
+        };
+        assert!(ex.race_witness(&on).is_some(), "flag race found reduced");
+        assert!(ex.race_witness(&off).is_some(), "flag race found unreduced");
         assert!(ex.behaviours(&on).value.contains(&vec![Value::new(1)]));
+        assert_eq!(ex.behaviours(&on), ex.behaviours(&off));
+    }
+
+    #[test]
+    fn race_straddled_by_private_tails_is_found() {
+        // Regression: each racing access is immediately followed by its
+        // own thread's private (ample) work. The static reduction let
+        // those ample moves overwrite the last-access tracker, masking
+        // the x race on *every* reduced path in both access orders —
+        // check-before-carry keeps the pair visible.
+        let src = "x := 1; a := 1; || r0 := x; b := 1;";
+        let parsed = parse_program(src).unwrap();
+        let ex = ProgramExplorer::new(&parsed.program);
+        let on = ExploreOptions::default();
+        let off = ExploreOptions {
+            por: false,
+            ..ExploreOptions::default()
+        };
+        assert!(ex.race_witness(&off).is_some(), "x is racy unreduced");
+        let w = ex.race_witness(&on).expect("reduction must find the race");
+        let (a, b) = w.pair();
+        assert!(a.action().conflicts_with(&b.action()));
+        assert_ne!(a.thread(), b.thread());
+        for jobs in [1, 4] {
+            assert!(ex.race_witness_par(&on, jobs).is_some(), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -30,9 +30,10 @@ mod parser;
 mod semantics;
 
 pub use ast::{Cond, Operand, Program, Reg, Stmt};
-pub use explore::{Bounded, ExploreOptions, ProgramExplorer};
+pub use explore::{Bounded, CfgMeta, ExploreOptions, ProgramExplorer};
 pub use model::{
-    MemoryModel, ModelExplorer, ModelMove, ModelRaceWitness, MoveLabel, ScModel, ScheduleStep,
+    MemoryModel, ModelExplorer, ModelMove, ModelRaceWitness, MoveLabel, ReductionGoal, ScModel,
+    ScheduleStep,
 };
 pub use parser::{
     parse_program, parse_program_with_symbols, ParseProgramError, SourceProgram, SymbolTable,

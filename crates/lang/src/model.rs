@@ -25,18 +25,26 @@
 //! engines' observable output. The TSO and PSO machines of the
 //! `transafety-tso` crate implement the trait in that crate.
 //!
-//! Partial-order reduction is **gated per model**: the default
-//! [`MemoryModel::reduced_moves`] returns the full move set, and only
-//! models whose [`MemoryModelKind::por_supported`] argument is proven
-//! (SC's static singleton-ample argument on loop-free programs)
-//! override it.
+//! Partial-order reduction is **negotiated per model and per goal**:
+//! [`MemoryModel::reduced_moves`] receives a [`ReductionGoal`] naming
+//! the property the engine is computing and returns a possibly-reduced
+//! move set tagged with its [`ExpansionKind`]. The default is no
+//! reduction. The SC backend reduces both goals with the dynamic
+//! invisible-singleton ample sets of [`ProgramExplorer`] (sound on
+//! loop-bearing programs via the ast-size cycle proviso); the TSO/PSO
+//! backends reduce only [`ReductionGoal::Behaviours`] (commuting-flush
+//! and private-step ample sets) and return the full expansion for
+//! [`ReductionGoal::Races`] — the adjacent-conflict witness argument
+//! relies on flush-free interposition, which only full race expansions
+//! guarantee under a buffered machine. The census never reduces: it
+//! counts *all* reachable states by definition.
 
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 
 use transafety_interleaving::intern::{FxHashMap, FxHashSet, StateInterner};
-use transafety_interleaving::metrics::{Counter, CounterTally, Phase};
+use transafety_interleaving::metrics::{Counter, CounterTally, ExpansionKind, Phase};
 use transafety_interleaving::{
     par, Behaviours, BudgetGuard, EngineFault, Event, Interleaving, RaceWitness,
 };
@@ -98,6 +106,24 @@ pub struct ModelMove<S> {
     pub next: S,
 }
 
+/// The property an engine is computing when it asks a model for a
+/// reduced move set. Soundness of a reduction depends on the goal: a
+/// reduction that preserves the behaviour set need not preserve the
+/// adjacent-conflict race witnesses, so models opt in per goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionGoal {
+    /// The engine collects external-action behaviours. A reduction must
+    /// preserve the set of observable output sequences.
+    Behaviours,
+    /// The engine runs the adjacent-conflict race search. A reduction
+    /// must additionally keep every racing pair detectable through the
+    /// last-access tracker and witness-reorderable into adjacency —
+    /// under a buffered machine this forbids dropping or interposing
+    /// flushes around the tracked access, so TSO/PSO answer with the
+    /// full expansion.
+    Races,
+}
+
 /// A memory model as the exploration engines see it: machine states,
 /// enabled moves, and the fuel policy.
 ///
@@ -127,19 +153,21 @@ pub trait MemoryModel: Sync {
         truncated: &mut bool,
     ) -> Vec<ModelMove<Self::State>>;
 
-    /// The reduced move set and whether a proper ample set was chosen.
+    /// The reduced move set for `goal`, tagged with the
+    /// [`ExpansionKind`] that describes what the reduction did.
     ///
-    /// The default is **no reduction**: the ample-set argument is only
-    /// proven for the SC interleaving semantics, so every other model
-    /// must explore the full move set regardless of `opts.por` (the
-    /// POR-per-model gating rule).
+    /// The default is **no reduction** for every goal: a model only
+    /// overrides this where its ample-set argument is proven. Overrides
+    /// must honour `opts.por == false` by returning the full expansion.
     fn reduced_moves(
         &self,
         state: &Self::State,
+        goal: ReductionGoal,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> (Vec<ModelMove<Self::State>>, bool) {
-        (self.moves(state, opts, truncated), false)
+    ) -> (Vec<ModelMove<Self::State>>, ExpansionKind) {
+        let _ = goal;
+        (self.moves(state, opts, truncated), ExpansionKind::Full)
     }
 
     /// Action fuel for the behaviour engines: `usize::MAX` when the
@@ -161,6 +189,28 @@ pub trait MemoryModel: Sync {
 /// The previous normal access of the race searches, as
 /// `(thread, location, was_write)`.
 type Prev = Option<(usize, Loc, bool)>;
+
+/// Rebuilds an adjacent §3 witness when the race-carrying access was
+/// detected across interposed ample moves: drains the tail of `path`
+/// starting at the tracked access's event, re-appends only the racing
+/// thread's interposed events (they precede its racing access in
+/// program order and are independent of the tracked access — an ample
+/// move conflicting with it would itself have been reported), then
+/// re-appends the tracked access last. Every dropped event is trailing
+/// work of some other thread, so the result is a prefix of a
+/// Mazurkiewicz-equivalent execution. The caller pushes the racing
+/// event after this returns. `prev_at` is the path length right after
+/// the tracked access's event was pushed; a no-op when nothing was
+/// interposed.
+pub(crate) fn reorder_carried_witness(path: &mut Vec<Event>, prev_at: usize, racing: ThreadId) {
+    if path.len() <= prev_at {
+        return; // nothing interposed: the pair is already adjacent
+    }
+    let mut tail: Vec<Event> = path.drain(prev_at - 1..).collect();
+    let earlier = tail.remove(0);
+    path.extend(tail.into_iter().filter(|e| e.thread() == racing));
+    path.push(earlier);
+}
 
 /// One step of a model execution schedule: which thread moved and what
 /// the move did. Unlike an [`Interleaving`] (actions only), a schedule
@@ -308,8 +358,10 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             return Arc::new(set);
         }
         guard.note_state_tallied(tally);
-        let (moves, ample) = self.model.reduced_moves(&state, opts, truncated);
-        tally.expansion(moves.len(), ample);
+        let (moves, kind) =
+            self.model
+                .reduced_moves(&state, ReductionGoal::Behaviours, opts, truncated);
+        tally.expansion(moves.len(), kind);
         drop(state);
         if fuel == 0 {
             // Out of action fuel. Flush-only suffixes contribute no
@@ -410,8 +462,13 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             |node: &(M::State, usize)| {
                 let (state, fuel) = node;
                 let mut truncated = false;
-                let (moves, ample) = self.model.reduced_moves(state, opts, &mut truncated);
-                guard.metrics().record_expansion(moves.len(), ample);
+                let (moves, kind) = self.model.reduced_moves(
+                    state,
+                    ReductionGoal::Behaviours,
+                    opts,
+                    &mut truncated,
+                );
+                guard.metrics().record_expansion(moves.len(), kind);
                 let mut out = Vec::with_capacity(moves.len());
                 if *fuel == 0 {
                     if moves.iter().any(|m| !m.label.is_flush()) {
@@ -464,6 +521,8 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
         let racy = self.race_dfs(
             self.model.initial(),
             None,
+            0,
+            0,
             self.model.search_fuel(opts),
             opts,
             &mut interner,
@@ -490,11 +549,22 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
         })
     }
 
+    /// Check-before-carry (see `ProgramExplorer::ref_race_dfs` and the
+    /// interleaving crate's `race_dfs`): under an ample expansion the
+    /// moves are still race-checked against `prev` — an invisible move
+    /// can conflict with a *past* access — but `prev` is carried
+    /// through them unchanged, and on detection
+    /// [`reorder_carried_witness`] slides the interposed ample events
+    /// out so the reported pair is adjacent. `prev_at`/`sched_at`
+    /// record where `prev`'s event sits in `path`/`schedule`; they are
+    /// witness bookkeeping only and not part of the visited key.
     #[allow(clippy::too_many_arguments)]
     fn race_dfs(
         &self,
         state: M::State,
         prev: Prev,
+        prev_at: usize,
+        sched_at: usize,
         fuel: usize,
         opts: &ExploreOptions,
         interner: &mut StateInterner<M::State>,
@@ -516,8 +586,10 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             return false;
         }
         guard.note_state_tallied(tally);
-        let (moves, ample) = self.model.reduced_moves(&state, opts, truncated);
-        tally.expansion(moves.len(), ample);
+        let (moves, kind) = self
+            .model
+            .reduced_moves(&state, ReductionGoal::Races, opts, truncated);
+        tally.expansion(moves.len(), kind);
         drop(state);
         for mv in moves {
             let step = ScheduleStep {
@@ -528,8 +600,8 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
                 // A flush: no access, no action fuel, prev unchanged.
                 schedule.push(step);
                 if self.race_dfs(
-                    mv.next, prev, fuel, opts, interner, visited, path, schedule, truncated, guard,
-                    tally,
+                    mv.next, prev, prev_at, sched_at, fuel, opts, interner, visited, path,
+                    schedule, truncated, guard, tally,
                 ) {
                     return true;
                 }
@@ -550,22 +622,62 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
                     && !pl.is_volatile()
                     && (pw || action.is_write())
                 {
+                    if path.len() > prev_at {
+                        // Ample action moves were interposed (only the
+                        // SC reduction does this — race-goal buffered
+                        // expansions are full, so their interpositions
+                        // are flushes, which never enter `path`).
+                        reorder_carried_witness(path, prev_at, tid);
+                        let mut tail: Vec<ScheduleStep> = schedule.drain(sched_at - 1..).collect();
+                        let earlier = tail.remove(0);
+                        schedule.extend(
+                            tail.into_iter()
+                                .filter(|s| s.thread == mv.thread && !s.label.is_flush()),
+                        );
+                        schedule.push(earlier);
+                    }
                     path.push(Event::new(tid, action));
                     schedule.push(step);
                     return true;
                 }
             }
-            let next_prev = match action {
-                Action::Read { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, false)),
-                Action::Write { loc, .. } if !loc.is_volatile() => Some((mv.thread, loc, true)),
-                _ => None,
+            let (next_prev, next_prev_at, next_sched_at) = if kind.is_ample() {
+                if prev.is_some() {
+                    tally.prev_carry();
+                }
+                (prev, prev_at, sched_at)
+            } else {
+                match action {
+                    Action::Read { loc, .. } if !loc.is_volatile() => (
+                        Some((mv.thread, loc, false)),
+                        path.len() + 1,
+                        schedule.len() + 1,
+                    ),
+                    Action::Write { loc, .. } if !loc.is_volatile() => (
+                        Some((mv.thread, loc, true)),
+                        path.len() + 1,
+                        schedule.len() + 1,
+                    ),
+                    _ => (None, 0, 0),
+                }
             };
             let next_fuel = if fuel == usize::MAX { fuel } else { fuel - 1 };
             path.push(Event::new(tid, action));
             schedule.push(step);
             if self.race_dfs(
-                mv.next, next_prev, next_fuel, opts, interner, visited, path, schedule, truncated,
-                guard, tally,
+                mv.next,
+                next_prev,
+                next_prev_at,
+                next_sched_at,
+                next_fuel,
+                opts,
+                interner,
+                visited,
+                path,
+                schedule,
+                truncated,
+                guard,
+                tally,
             ) {
                 return true;
             }
@@ -601,8 +713,10 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
                 let mut truncated = false;
                 let mut found = false;
                 let mut successors = Vec::new();
-                let (moves, ample) = self.model.reduced_moves(state, opts, &mut truncated);
-                guard.metrics().record_expansion(moves.len(), ample);
+                let (moves, kind) =
+                    self.model
+                        .reduced_moves(state, ReductionGoal::Races, opts, &mut truncated);
+                guard.metrics().record_expansion(moves.len(), kind);
                 for mv in moves {
                     let MoveLabel::Action(action) = mv.label else {
                         successors.push((mv.next, *prev, *fuel));
@@ -621,14 +735,24 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
                             break;
                         }
                     }
-                    let next_prev = match action {
-                        Action::Read { loc, .. } if !loc.is_volatile() => {
-                            Some((mv.thread, loc, false))
+                    // Check-before-carry, exactly as in the sequential
+                    // `race_dfs`: an ample move is race-checked above
+                    // but never overwrites the last-access tracker.
+                    let next_prev = if kind.is_ample() {
+                        if prev.is_some() {
+                            guard.metrics().record_prev_carry();
                         }
-                        Action::Write { loc, .. } if !loc.is_volatile() => {
-                            Some((mv.thread, loc, true))
+                        *prev
+                    } else {
+                        match action {
+                            Action::Read { loc, .. } if !loc.is_volatile() => {
+                                Some((mv.thread, loc, false))
+                            }
+                            Action::Write { loc, .. } if !loc.is_volatile() => {
+                                Some((mv.thread, loc, true))
+                            }
+                            _ => None,
                         }
-                        _ => None,
                     };
                     let next_fuel = if *fuel == usize::MAX { *fuel } else { fuel - 1 };
                     successors.push((mv.next, next_prev, next_fuel));
@@ -691,7 +815,7 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             guard.note_state_tallied(&tally);
             let state = interner.get(id).clone();
             let moves = self.model.moves(&state, opts, &mut truncated);
-            tally.expansion(moves.len(), false);
+            tally.expansion(moves.len(), ExpansionKind::Full);
             drop(state);
             for mv in moves {
                 let next_fuel = if mv.label.is_flush() || fuel == usize::MAX {
@@ -739,7 +863,9 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             par::parallel_state_count(jobs, self.model.initial(), guard, |state| {
                 let mut truncated = false;
                 let moves = self.model.moves(state, opts, &mut truncated);
-                guard.metrics().record_expansion(moves.len(), false);
+                guard
+                    .metrics()
+                    .record_expansion(moves.len(), ExpansionKind::Full);
                 moves.into_iter().map(|mv| mv.next).collect()
             })
         };
@@ -756,7 +882,7 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
 
 /// The sequentially consistent backend: a zero-cost adapter over the
 /// compact [`ProgramExplorer`] machine (interned thread configs, word
-/// states, static ample-set POR). [`ProgramExplorer`]'s public entry
+/// states, dynamic ample-set POR). [`ProgramExplorer`]'s public entry
 /// points are thin wrappers over `ModelExplorer<ScModel>`, so this
 /// backend *is* the production SC engine, not a parallel
 /// implementation of it.
@@ -804,10 +930,15 @@ impl MemoryModel for ScModel<'_, '_> {
     fn reduced_moves(
         &self,
         state: &Self::State,
+        _goal: ReductionGoal,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> (Vec<ModelMove<Self::State>>, bool) {
-        let (moves, ample) = self.explorer.por_moves_vec(state, opts, truncated);
+    ) -> (Vec<ModelMove<Self::State>>, ExpansionKind) {
+        // The SC reduction serves both goals: there are no flushes, so
+        // the race-goal witness argument (check-before-carry plus
+        // reorder) holds for the same ample sets that preserve
+        // behaviours.
+        let (moves, kind) = self.explorer.por_moves_vec(state, opts, truncated);
         (
             moves
                 .into_iter()
@@ -817,7 +948,7 @@ impl MemoryModel for ScModel<'_, '_> {
                     next: self.explorer.apply(state, &mv),
                 })
                 .collect(),
-            ample,
+            kind,
         )
     }
 

@@ -37,6 +37,15 @@ pub struct GeneratorConfig {
     pub lock_block_prob: f64,
     /// Probability of generating a conditional.
     pub if_prob: f64,
+    /// Probability of generating a bounded loop (0 disables them, the
+    /// default). Generated loops are terminating by construction: the
+    /// guard is a reserved register (index `regs`, beyond the range any
+    /// other statement can touch) that is cleared before the loop and
+    /// set by the last statement of the body, so the body runs exactly
+    /// once per entry — but the CFG carries a genuine back-edge, which
+    /// is what the POR cycle proviso and the loop-bearing agreement
+    /// tests need.
+    pub loop_prob: f64,
     /// When `true`, every shared access is wrapped in a lock block on a
     /// single global monitor, making the program data race free.
     pub lock_discipline: bool,
@@ -55,6 +64,7 @@ impl Default for GeneratorConfig {
             values: 3,
             lock_block_prob: 0.3,
             if_prob: 0.2,
+            loop_prob: 0.0,
             lock_discipline: false,
         }
     }
@@ -78,6 +88,19 @@ impl GeneratorConfig {
     pub fn with_volatiles() -> Self {
         GeneratorConfig {
             volatile_locs: 1,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// A configuration that mixes bounded loops into the generated
+    /// programs (see [`GeneratorConfig::loop_prob`]). Statement count
+    /// is kept small because each loop multiplies the interleaving
+    /// space.
+    #[must_use]
+    pub fn with_loops() -> Self {
+        GeneratorConfig {
+            loop_prob: 0.4,
+            stmts_per_thread: 3,
             ..GeneratorConfig::default()
         }
     }
@@ -154,7 +177,40 @@ fn wrap_locked(rng: &mut Rng, config: &GeneratorConfig, inner: Vec<Stmt>) -> Stm
     Stmt::Block(body)
 }
 
+/// A terminating loop: the reserved guard register is cleared, then the
+/// body — ending with a guard set — runs under `while (guard == 0)`.
+/// No other generated statement can name the guard (its index is one
+/// past `config.regs`), so the body executes exactly once per entry.
+fn gen_loop(rng: &mut Rng, config: &GeneratorConfig) -> Stmt {
+    let guard = Reg::new(config.regs.max(1));
+    let mut body = vec![gen_access(rng, config)];
+    if rng.gen_bool(0.4) {
+        body.push(gen_access(rng, config));
+    }
+    body.push(Stmt::Move {
+        dst: guard,
+        src: Operand::Const(Value::new(1)),
+    });
+    Stmt::Block(vec![
+        Stmt::Move {
+            dst: guard,
+            src: Operand::Const(Value::ZERO),
+        },
+        Stmt::While {
+            cond: Cond::Eq(Operand::Reg(guard), Operand::Const(Value::ZERO)),
+            body: Box::new(Stmt::Block(body)),
+        },
+    ])
+}
+
 fn gen_stmt(rng: &mut Rng, config: &GeneratorConfig, depth: usize) -> Stmt {
+    // bounded loops (never nested — each one multiplies the state
+    // space). The probability gate keeps loop-free configurations from
+    // consuming a random draw, so their seeds generate the exact same
+    // programs as before the knob existed.
+    if depth < 2 && config.loop_prob > 0.0 && rng.gen_bool(config.loop_prob) {
+        return gen_loop(rng, config);
+    }
     // conditionals (bounded nesting)
     if depth < 3 && rng.gen_bool(config.if_prob) {
         let cond = if rng.gen_bool(0.5) {
@@ -234,6 +290,74 @@ mod tests {
             let p = random_program(seed, &c);
             let b = ProgramExplorer::new(&p).behaviours(&ExploreOptions::default());
             assert!(b.complete, "seed {seed} hit exploration bounds");
+        }
+    }
+}
+
+#[cfg(test)]
+mod loop_tests {
+    use super::*;
+    use transafety_lang::{ExploreOptions, ProgramExplorer};
+
+    fn has_loop(s: &Stmt) -> bool {
+        match s {
+            Stmt::While { .. } => true,
+            Stmt::Block(body) => body.iter().any(has_loop),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => has_loop(then_branch) || has_loop(else_branch),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn loop_configuration_generates_loops() {
+        let c = GeneratorConfig::with_loops();
+        let loopy = (0..20)
+            .filter(|&seed| {
+                random_program(seed, &c)
+                    .threads()
+                    .iter()
+                    .any(|t| t.iter().any(has_loop))
+            })
+            .count();
+        assert!(loopy > 5, "only {loopy}/20 seeds produced a loop");
+    }
+
+    #[test]
+    fn generated_loops_terminate() {
+        // The guard-register construction bounds every loop to one
+        // iteration, so exploration completes without hitting fuel.
+        let c = GeneratorConfig::with_loops();
+        for seed in 0..10 {
+            let p = random_program(seed, &c);
+            let b = ProgramExplorer::new(&p).behaviours(&ExploreOptions::default());
+            assert!(b.complete, "seed {seed} hit exploration bounds:\n{p}");
+        }
+    }
+
+    #[test]
+    fn loop_knob_does_not_disturb_existing_seeds() {
+        // loop_prob = 0 must not consume randomness: the default
+        // configuration generates byte-identical programs whether or
+        // not the knob exists in the struct.
+        let plain = GeneratorConfig::default();
+        let zeroed = GeneratorConfig {
+            loop_prob: 0.0,
+            ..GeneratorConfig::with_loops()
+        };
+        for seed in 0..10 {
+            let a = random_program(seed, &plain);
+            let b = random_program(
+                seed,
+                &GeneratorConfig {
+                    stmts_per_thread: plain.stmts_per_thread,
+                    ..zeroed.clone()
+                },
+            );
+            assert_eq!(a, b, "seed {seed}");
         }
     }
 }

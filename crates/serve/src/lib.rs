@@ -48,4 +48,4 @@ pub use cache::{normalise, CacheEntry, CacheKey, CacheLookup, VerdictCache};
 pub use faults::FaultPlan;
 pub use proto::{parse_request, Cmd, Request, RequestError};
 pub use server::{ServeConfig, ServeSummary, Server};
-pub use stats::ServeStats;
+pub use stats::{LatencyHistogram, ServeStats};

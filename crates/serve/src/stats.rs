@@ -19,6 +19,109 @@
 
 use std::time::Duration;
 
+/// Number of fixed histogram buckets: 64 exact buckets for values
+/// below 64 µs, then 32 log-spaced sub-buckets per power-of-two octave
+/// up to `u64::MAX`.
+const LATENCY_BUCKETS: usize = 1920;
+
+/// Sub-bucket resolution: each octave is split into `2^5 = 32`
+/// sub-buckets, bounding the relative quantisation error at 1/32.
+const SUB_BITS: u32 = 5;
+
+/// A fixed-size log-scale latency histogram.
+///
+/// Replaces the earlier unbounded `Vec<u64>` of raw samples: a serve
+/// session is long-lived, so per-request sample retention grew without
+/// bound. The histogram keeps `count`, `total` and `max` exact and
+/// answers nearest-rank quantiles to within one sub-bucket (≤ 1/32
+/// relative error; exact for samples below 64 µs), in O(1) memory
+/// regardless of how many samples are recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket occupancy, HDR-style: index `v` for `v < 64`, then
+    /// `shift * 32 + (v >> shift)` where `shift = msb(v) - 5`.
+    counts: Box<[u64; LATENCY_BUCKETS]>,
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: Box::new([0; LATENCY_BUCKETS]),
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_index(value: u64) -> usize {
+        let msb = 63 - (value | 1).leading_zeros();
+        let shift = msb.saturating_sub(SUB_BITS);
+        (shift as usize) * 32 + (value >> shift) as usize
+    }
+
+    /// The largest value that maps to `index` (the bucket's inclusive
+    /// upper bound), used as the quantile representative.
+    fn bucket_upper(index: usize) -> u64 {
+        if index < 64 {
+            return index as u64;
+        }
+        let shift = (index / 32 - 1) as u32;
+        let pos = (index - shift as usize * 32) as u64;
+        ((pos + 1) << shift) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, micros: u64) {
+        self.counts[Self::bucket_index(micros)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(micros);
+        self.max = self.max.max(micros);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating), in microseconds.
+    #[must_use]
+    pub fn total_micros(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum sample, in microseconds.
+    #[must_use]
+    pub fn max_micros(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) by nearest-rank over the
+    /// buckets; `0` with no samples. Exact for samples below 64 µs,
+    /// otherwise the upper bound of the hit sub-bucket, clamped to the
+    /// true maximum.
+    #[must_use]
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 /// Counters and latency samples for one serve session. Obtained from
 /// [`Server::run`](crate::Server::run) as part of the summary, or
 /// snapshotted live.
@@ -55,47 +158,42 @@ pub struct ServeStats {
     /// Requests whose budget tripped (responses carried
     /// `verdict:"unknown"` with a truncation reason).
     pub budget_trips: u64,
-    /// Per-request wall latencies in microseconds (admission to
-    /// response write), one sample per `ok`/`error` response.
-    pub latencies_micros: Vec<u64>,
+    /// Per-request wall latency distribution in microseconds
+    /// (admission to response write), one sample per `ok`/`error`
+    /// response, held in a fixed-size log-scale histogram.
+    pub latencies: LatencyHistogram,
 }
 
 impl ServeStats {
     /// Records one completed request's latency.
     pub fn record_latency(&mut self, elapsed: Duration) {
         let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        self.latencies_micros.push(micros);
+        self.latencies.record(micros);
     }
 
     /// Number of latency samples.
     #[must_use]
     pub fn latency_count(&self) -> u64 {
-        self.latencies_micros.len() as u64
+        self.latencies.count()
     }
 
     /// Sum of all latency samples, in microseconds.
     #[must_use]
     pub fn latency_total_micros(&self) -> u64 {
-        self.latencies_micros.iter().copied().sum()
+        self.latencies.total_micros()
     }
 
     /// The `q`-quantile latency (0.0 ≤ q ≤ 1.0) by nearest-rank over
-    /// the recorded samples; `0` with no samples.
+    /// the histogram buckets; `0` with no samples.
     #[must_use]
     pub fn latency_quantile_micros(&self, q: f64) -> u64 {
-        if self.latencies_micros.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.latencies_micros.clone();
-        sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-        sorted[rank]
+        self.latencies.quantile_micros(q)
     }
 
     /// The maximum latency sample, in microseconds.
     #[must_use]
     pub fn latency_max_micros(&self) -> u64 {
-        self.latencies_micros.iter().copied().max().unwrap_or(0)
+        self.latencies.max_micros()
     }
 
     /// Serialises the section to one line of schema-stable JSON. Key
@@ -179,7 +277,7 @@ mod tests {
     fn quantiles_are_nearest_rank() {
         let mut s = ServeStats::default();
         for v in [5u64, 1, 3, 2, 4] {
-            s.latencies_micros.push(v);
+            s.latencies.record(v);
         }
         assert_eq!(s.latency_quantile_micros(0.5), 3);
         assert_eq!(s.latency_quantile_micros(0.99), 5);
@@ -187,6 +285,62 @@ mod tests {
         assert_eq!(s.latency_max_micros(), 5);
         assert_eq!(s.latency_total_micros(), 15);
         assert_eq!(ServeStats::default().latency_quantile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_is_exact_below_64_and_bounded_above() {
+        let mut h = LatencyHistogram::default();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_micros(0.5), 31);
+        assert_eq!(h.quantile_micros(1.0), 63);
+        // A large sample lands in a log bucket: the reported quantile
+        // overestimates by at most one sub-bucket (1/32 relative).
+        let mut big = LatencyHistogram::default();
+        big.record(1_000_000);
+        let q = big.quantile_micros(0.5);
+        assert!(q >= 1_000_000, "quantile {q} under-reports");
+        assert!(
+            q <= 1_000_000 + 1_000_000 / 32 + 1,
+            "quantile {q} off by more than a sub-bucket"
+        );
+        assert_eq!(big.max_micros(), 1_000_000);
+        assert_eq!(
+            big.quantile_micros(1.0),
+            1_000_000,
+            "p100 clamps to the exact max"
+        );
+    }
+
+    #[test]
+    fn a_million_samples_stay_constant_size() {
+        let mut h = LatencyHistogram::default();
+        let fixed =
+            std::mem::size_of::<LatencyHistogram>() + std::mem::size_of_val(h.counts.as_ref());
+        let mut total = 0u64;
+        for i in 0..1_000_000u64 {
+            // Spread samples across seven decades, including u64::MAX.
+            let v = if i % 100_000 == 0 {
+                u64::MAX
+            } else {
+                (i * 37) % 10_000_000
+            };
+            h.record(v);
+            total = total.saturating_add(v);
+        }
+        // The histogram owns no heap storage beyond its fixed bucket
+        // array, so its footprint after a million samples is exactly
+        // its footprint before any: size_of the struct plus the
+        // boxed bucket array.
+        let after =
+            std::mem::size_of::<LatencyHistogram>() + std::mem::size_of_val(h.counts.as_ref());
+        assert_eq!(after, fixed, "bucket storage must not grow with samples");
+        assert_eq!(h.count(), 1_000_000);
+        assert_eq!(h.total_micros(), total);
+        assert_eq!(h.max_micros(), u64::MAX);
+        let p50 = h.quantile_micros(0.5);
+        assert!(p50 > 0 && p50 < 10_000_000 + 10_000_000 / 32);
     }
 
     #[test]

@@ -38,13 +38,15 @@ impl MemoryModelKind {
         }
     }
 
-    /// Whether the ample-set partial-order reduction is proven sound for
-    /// this model. The static singleton-ample argument relies on the SC
-    /// interleaving semantics; for the buffered models it is unproven,
-    /// so exploration must gate POR off.
+    /// Whether a partial-order reduction is available for this model.
+    /// SC reduces every phase with dynamic invisible-singleton ample
+    /// sets; the buffered models reduce the behaviour phase with
+    /// commuting-flush and invisible-act ample sets (their race search
+    /// always runs on the full expansion — the adjacent-conflict
+    /// witness argument needs flush-free interposition).
     #[must_use]
     pub const fn por_supported(self) -> bool {
-        matches!(self, Self::Sc)
+        true
     }
 }
 
@@ -101,9 +103,9 @@ mod tests {
     }
 
     #[test]
-    fn por_is_sc_only() {
-        assert!(MemoryModelKind::Sc.por_supported());
-        assert!(!MemoryModelKind::Tso.por_supported());
-        assert!(!MemoryModelKind::Pso.por_supported());
+    fn por_supported_on_every_model() {
+        for m in MemoryModelKind::ALL {
+            assert!(m.por_supported(), "{m}");
+        }
     }
 }

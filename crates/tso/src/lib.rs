@@ -25,6 +25,6 @@ mod model;
 mod pso;
 
 pub use explain::{explain_tso, tso_fragment, TsoExplanation};
-pub use machine::{TsoExplorer, TsoState};
+pub use machine::TsoState;
 pub use model::{PsoModel, TsoModel};
-pub use pso::{explain_pso, pso_fragment, PsoExplanation, PsoExplorer, PsoState};
+pub use pso::{explain_pso, pso_fragment, PsoExplanation, PsoState};

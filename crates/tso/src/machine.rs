@@ -18,11 +18,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use transafety_interleaving::Behaviours;
-use transafety_lang::{Bounded, ExploreOptions, ModelExplorer, Program, Step, ThreadConfig};
+use transafety_lang::{ExploreOptions, Program, Step, ThreadConfig};
 use transafety_traces::{Action, Domain, Loc, Monitor, Value};
-
-use crate::model::TsoModel;
 
 /// Exhaustive explorer of the TSO executions of a program.
 ///
@@ -48,7 +45,7 @@ use crate::model::TsoModel;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct TsoExplorer<'p> {
+pub(crate) struct TsoExplorer<'p> {
     program: &'p Program,
 }
 
@@ -65,6 +62,24 @@ pub struct TsoState {
     buffers: Vec<VecDeque<(Loc, Value)>>,
     memory: BTreeMap<Loc, Value>,
     holders: BTreeMap<Monitor, usize>,
+}
+
+impl TsoState {
+    /// The configuration of thread `k` (`None` before its start move).
+    pub(crate) fn cfg(&self, k: usize) -> Option<&ThreadConfig> {
+        self.threads[k].as_ref()
+    }
+
+    /// Does thread `k` have a buffered store to `loc`?
+    pub(crate) fn has_buffered(&self, k: usize, loc: Loc) -> bool {
+        self.buffers[k].iter().any(|(l, _)| *l == loc)
+    }
+
+    /// The location thread `k`'s flush move would drain (its oldest
+    /// buffered store), if any.
+    pub(crate) fn flush_loc(&self, k: usize) -> Option<Loc> {
+        self.buffers[k].front().map(|(l, _)| *l)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -85,7 +100,7 @@ pub(crate) enum TsoMove {
 impl<'p> TsoExplorer<'p> {
     /// Creates a TSO explorer for the program.
     #[must_use]
-    pub fn new(program: &'p Program) -> Self {
+    pub(crate) fn new(program: &'p Program) -> Self {
         TsoExplorer { program }
     }
 
@@ -249,31 +264,6 @@ impl<'p> TsoExplorer<'p> {
         }
         next
     }
-
-    /// The TSO behaviours of the program, bounded by `opts.max_actions`
-    /// actions (flushes do not count as actions).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ModelExplorer::new(&TsoModel::new(program))` or \
-                `Analysis::model(MemoryModelKind::Tso)` — this shim runs the \
-                same trait engine ungoverned"
-    )]
-    #[must_use]
-    pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
-        ModelExplorer::new(&TsoModel::new(self.program)).behaviours(opts)
-    }
-
-    /// The number of distinct TSO machine states reachable under the
-    /// bounds.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ModelExplorer::count_reachable_states_governed` over a \
-                `TsoModel` — this shim runs the same trait engine ungoverned"
-    )]
-    #[must_use]
-    pub fn count_reachable_states(&self, opts: &ExploreOptions) -> usize {
-        ModelExplorer::new(&TsoModel::new(self.program)).count_reachable_states(opts)
-    }
 }
 
 /// Resolves the pending read of `cfg` against the concrete value `v` by
@@ -311,10 +301,11 @@ pub(crate) fn program_has_loops(p: &Program) -> bool {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the suite pins the deprecated shims to the trait engine
 mod tests {
     use super::*;
-    use transafety_lang::{parse_program, ProgramExplorer};
+    use crate::model::TsoModel;
+    use transafety_interleaving::Behaviours;
+    use transafety_lang::{parse_program, ModelExplorer, ProgramExplorer};
 
     fn v(n: u32) -> Value {
         Value::new(n)
@@ -322,7 +313,8 @@ mod tests {
 
     fn tso_behaviours(src: &str) -> Behaviours {
         let p = parse_program(src).unwrap().program;
-        let b = TsoExplorer::new(&p).behaviours(&ExploreOptions::default());
+        let model = TsoModel::new(&p);
+        let b = ModelExplorer::new(&model).behaviours(&ExploreOptions::default());
         assert!(b.complete, "TSO exploration truncated");
         b.value
     }
@@ -402,6 +394,7 @@ mod tests {
     #[test]
     fn state_count_positive() {
         let p = parse_program("x := 1; || r1 := x;").unwrap().program;
-        assert!(TsoExplorer::new(&p).count_reachable_states(&ExploreOptions::default()) > 3);
+        let model = TsoModel::new(&p);
+        assert!(ModelExplorer::new(&model).count_reachable_states(&ExploreOptions::default()) > 3);
     }
 }

@@ -6,21 +6,212 @@
 //! the checker's `Analysis` pipeline with budgets, panic isolation,
 //! interning and metrics — runs the buffered semantics unchanged.
 //!
-//! Partial-order reduction is deliberately **not** implemented here:
-//! the inherited [`MemoryModel::reduced_moves`] default explores the
-//! full move set, because the SC ample-set soundness argument does not
-//! transfer to buffered machines (a "private" write still interacts
-//! with the writing thread's own buffer order). Likewise
+//! Partial-order reduction **is** implemented here, for the
+//! [`ReductionGoal::Behaviours`] goal only. Two ample-set shapes are
+//! proven for the buffered machines and checked dynamically per state:
+//!
+//! - **Commuting flush** ([`ExpansionKind::AmpleFlush`]): a flush by
+//!   thread `k` of location `pl` is a singleton ample set when no other
+//!   thread has `pl` in its remaining-code footprint or its own buffer.
+//!   Store-to-load forwarding makes the drain invisible to `k`'s own
+//!   reads, and the condition excludes every other observer, so the
+//!   flush commutes with all concurrently reachable moves; it strictly
+//!   shrinks a buffer, so it can never close a cycle.
+//! - **Invisible act** ([`ExpansionKind::Ample`]): the dynamic
+//!   invisibility of the SC reduction, lifted to buffers — a
+//!   non-volatile write is always invisible (it only appends to the
+//!   writer's own buffer), a read is invisible when forwarded from the
+//!   own buffer or when no other thread can ever write (or has
+//!   buffered) the location, and locks/outputs are invisible when no
+//!   other thread uses the monitor/emits output. The ast-size cycle
+//!   proviso of `transafety-lang` ([`CfgMeta`]) gates the choice, so
+//!   the reduction stays sound on loop-bearing programs.
+//!
+//! For [`ReductionGoal::Races`] both models return the **full**
+//! expansion: the adjacent-conflict witness argument needs the tracked
+//! access and the racing access to be separated only by moves that
+//! never touch their location, and an ample flush of that very
+//! location would change the read values (and can enable/disable the
+//! fence actions) of the reordered witness. Likewise
 //! [`MemoryModel::search_fuel`] keeps its fuel-bounded default: with
 //! loops, store buffers grow without bound, so the race search and the
 //! census must be fuel-layered to terminate (SC overrides this; the
 //! buffered models must not).
 
-use transafety_lang::{ExploreOptions, MemoryModel, ModelMove, MoveLabel, Program};
-use transafety_traces::{Action, MemoryModelKind, ThreadId};
+use std::sync::{Arc, Mutex};
+
+use transafety_interleaving::intern::FxHashMap;
+use transafety_interleaving::metrics::ExpansionKind;
+use transafety_lang::{
+    CfgMeta, ExploreOptions, MemoryModel, ModelMove, MoveLabel, Program, ReductionGoal,
+    ThreadConfig,
+};
+use transafety_traces::{Action, Loc, MemoryModelKind, ThreadId};
 
 use crate::machine::{program_has_loops, TsoExplorer, TsoMove, TsoState};
 use crate::pso::{PsoExplorer, PsoMove, PsoState};
+
+/// Memoised remaining-code footprints ([`CfgMeta`]) keyed by thread
+/// configuration, shared by all phases of one model's exploration. The
+/// meta of a configuration is a pure function of its code, so the memo
+/// only saves recomputation and never changes the reduced move choice.
+#[derive(Debug, Default)]
+struct MetaCache {
+    /// Whole-body metas, one per thread (the footprint of a thread
+    /// that has not started yet).
+    initial: Vec<Arc<CfgMeta>>,
+    memo: Mutex<FxHashMap<ThreadConfig, Arc<CfgMeta>>>,
+}
+
+impl MetaCache {
+    fn new(program: &Program) -> Self {
+        MetaCache {
+            initial: program
+                .threads()
+                .iter()
+                .map(|body| Arc::new(CfgMeta::of_code(body)))
+                .collect(),
+            memo: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The footprint of thread `k`'s remaining code: the whole body
+    /// before its start move, empty once it is done.
+    fn of_slot(&self, slot: Option<&ThreadConfig>, k: usize) -> Arc<CfgMeta> {
+        match slot {
+            None => Arc::clone(&self.initial[k]),
+            Some(cfg) => {
+                let mut memo = self.memo.lock().expect("meta memo poisoned");
+                Arc::clone(
+                    memo.entry(cfg.clone())
+                        .or_insert_with(|| Arc::new(CfgMeta::of_code(cfg.code()))),
+                )
+            }
+        }
+    }
+}
+
+/// What the shared buffered-machine reduction needs from a state: the
+/// per-thread configurations and buffer contents.
+trait BufferedState {
+    fn cfg(&self, k: usize) -> Option<&ThreadConfig>;
+    fn has_buffered(&self, k: usize, loc: Loc) -> bool;
+    /// The location a `Flush(None)` label drains (FIFO machines only;
+    /// per-location machines carry the location in the label).
+    fn fifo_flush_loc(&self, k: usize) -> Option<Loc>;
+}
+
+impl BufferedState for TsoState {
+    fn cfg(&self, k: usize) -> Option<&ThreadConfig> {
+        TsoState::cfg(self, k)
+    }
+    fn has_buffered(&self, k: usize, loc: Loc) -> bool {
+        TsoState::has_buffered(self, k, loc)
+    }
+    fn fifo_flush_loc(&self, k: usize) -> Option<Loc> {
+        TsoState::flush_loc(self, k)
+    }
+}
+
+impl BufferedState for PsoState {
+    fn cfg(&self, k: usize) -> Option<&ThreadConfig> {
+        PsoState::cfg(self, k)
+    }
+    fn has_buffered(&self, k: usize, loc: Loc) -> bool {
+        PsoState::has_buffered(self, k, loc)
+    }
+    fn fifo_flush_loc(&self, _k: usize) -> Option<Loc> {
+        None
+    }
+}
+
+/// The Behaviours-goal reduction shared by the TSO and PSO backends:
+/// prefer a commuting flush, then a dynamically invisible act move
+/// that passes the ast-size cycle proviso, else the full expansion
+/// ([`ExpansionKind::FullProviso`] when only the proviso blocked a
+/// singleton). Every ample move strictly decreases the measure
+/// `Σ 2·ast_size + Σ buffered stores` (a start move fires at most once
+/// per thread), so no cycle of the reduced graph is ample-only and the
+/// ignoring problem cannot arise.
+fn reduce_buffered<S: BufferedState>(
+    cache: &MetaCache,
+    state: &S,
+    threads: usize,
+    mut moves: Vec<ModelMove<S>>,
+) -> (Vec<ModelMove<S>>, ExpansionKind) {
+    let metas: Vec<Arc<CfgMeta>> = (0..threads)
+        .map(|j| cache.of_slot(state.cfg(j), j))
+        .collect();
+    // Commuting-flush singleton: nobody but the flusher can ever
+    // observe the drained location.
+    let ample_flush = moves.iter().position(|mv| {
+        let MoveLabel::Flush(label_loc) = mv.label else {
+            return false;
+        };
+        let k = mv.thread;
+        let pl = label_loc
+            .or_else(|| state.fifo_flush_loc(k))
+            .expect("an enabled flush has a buffered store");
+        (0..threads)
+            .all(|j| j == k || (!metas[j].accesses.contains(&pl) && !state.has_buffered(j, pl)))
+    });
+    if let Some(i) = ample_flush {
+        let mv = moves.swap_remove(i);
+        return (vec![mv], ExpansionKind::AmpleFlush);
+    }
+    // Invisible-act singleton, gated by the cycle proviso.
+    let mut saw_invisible = false;
+    for i in 0..moves.len() {
+        let mv = &moves[i];
+        let MoveLabel::Action(action) = mv.label else {
+            continue;
+        };
+        let k = mv.thread;
+        let invisible = match action {
+            Action::Start(_) => true,
+            Action::Read { loc, .. } | Action::Write { loc, .. } if loc.is_volatile() => false,
+            Action::Read { loc, .. } => {
+                // Forwarded reads are value-fixed by the own buffer;
+                // otherwise no other thread may ever write (or have
+                // buffered) the location.
+                state.has_buffered(k, loc)
+                    || (0..threads).all(|j| {
+                        j == k || (!metas[j].writes.contains(&loc) && !state.has_buffered(j, loc))
+                    })
+            }
+            // A non-volatile write only appends to the writer's own
+            // buffer; its visibility happens at the (separate) flush.
+            Action::Write { .. } => true,
+            Action::Lock(m) | Action::Unlock(m) => {
+                (0..threads).all(|j| j == k || !metas[j].monitors.contains(&m))
+            }
+            Action::External(_) => (0..threads).all(|j| j == k || !metas[j].externals),
+        };
+        if !invisible {
+            continue;
+        }
+        saw_invisible = true;
+        let proviso_ok = match action {
+            // A start can fire at most once per thread, so it can
+            // never lie on a cycle of the reduced graph.
+            Action::Start(_) => true,
+            _ => {
+                let next = cache.of_slot(mv.next.cfg(k), k);
+                next.ast_size < metas[k].ast_size
+            }
+        };
+        if proviso_ok {
+            let mv = moves.swap_remove(i);
+            return (vec![mv], ExpansionKind::Ample);
+        }
+    }
+    let kind = if saw_invisible {
+        ExpansionKind::FullProviso
+    } else {
+        ExpansionKind::Full
+    };
+    (moves, kind)
+}
 
 /// The TSO machine (per-thread FIFO store buffers, store-to-load
 /// forwarding, fencing volatiles/locks) as a [`MemoryModel`] backend.
@@ -49,6 +240,8 @@ use crate::pso::{PsoExplorer, PsoMove, PsoState};
 pub struct TsoModel<'p> {
     explorer: TsoExplorer<'p>,
     loops: bool,
+    threads: usize,
+    meta: MetaCache,
 }
 
 impl<'p> TsoModel<'p> {
@@ -58,6 +251,8 @@ impl<'p> TsoModel<'p> {
         TsoModel {
             explorer: TsoExplorer::new(program),
             loops: program_has_loops(program),
+            threads: program.thread_count(),
+            meta: MetaCache::new(program),
         }
     }
 }
@@ -105,6 +300,20 @@ impl MemoryModel for TsoModel<'_> {
             .collect()
     }
 
+    fn reduced_moves(
+        &self,
+        state: &TsoState,
+        goal: ReductionGoal,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> (Vec<ModelMove<TsoState>>, ExpansionKind) {
+        let moves = self.moves(state, opts, truncated);
+        if !opts.por || goal == ReductionGoal::Races {
+            return (moves, ExpansionKind::Full);
+        }
+        reduce_buffered(&self.meta, state, self.threads, moves)
+    }
+
     fn fuel(&self, opts: &ExploreOptions) -> usize {
         if self.loops {
             opts.max_actions
@@ -123,6 +332,8 @@ impl MemoryModel for TsoModel<'_> {
 pub struct PsoModel<'p> {
     explorer: PsoExplorer<'p>,
     loops: bool,
+    threads: usize,
+    meta: MetaCache,
 }
 
 impl<'p> PsoModel<'p> {
@@ -132,6 +343,8 @@ impl<'p> PsoModel<'p> {
         PsoModel {
             explorer: PsoExplorer::new(program),
             loops: program_has_loops(program),
+            threads: program.thread_count(),
+            meta: MetaCache::new(program),
         }
     }
 }
@@ -179,6 +392,20 @@ impl MemoryModel for PsoModel<'_> {
             .collect()
     }
 
+    fn reduced_moves(
+        &self,
+        state: &PsoState,
+        goal: ReductionGoal,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> (Vec<ModelMove<PsoState>>, ExpansionKind) {
+        let moves = self.moves(state, opts, truncated);
+        if !opts.por || goal == ReductionGoal::Races {
+            return (moves, ExpansionKind::Full);
+        }
+        reduce_buffered(&self.meta, state, self.threads, moves)
+    }
+
     fn fuel(&self, opts: &ExploreOptions) -> usize {
         if self.loops {
             opts.max_actions
@@ -199,26 +426,79 @@ mod tests {
     }
 
     #[test]
-    fn trait_engine_matches_deprecated_shims() {
-        #![allow(deprecated)]
+    fn behaviours_reduction_agrees_with_full_expansion() {
         for src in [
             "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;",
             "x := 1; flag := 1; || r1 := flag; r2 := x; print r1; print r2;",
             "lock m; x := 1; r1 := x; unlock m; print r1; \
              || lock m; x := 2; r2 := x; unlock m; print r2;",
+            "a := 1; a := 2; r0 := a; x := r0; || r1 := x; b := r1; print r1;",
+            "volatile f; x := 1; f := 1; || r1 := f; if (r1 == 1) { r2 := x; print r2; }",
         ] {
             let p = parse_program(src).unwrap().program;
-            let opts = ExploreOptions::default();
+            let on = ExploreOptions::default();
+            let off = ExploreOptions {
+                por: false,
+                ..ExploreOptions::default()
+            };
             let tso_model = TsoModel::new(&p);
-            let via_trait = ModelExplorer::new(&tso_model).behaviours(&opts);
-            let via_shim = TsoExplorer::new(&p).behaviours(&opts);
-            assert_eq!(via_trait.value, via_shim.value, "{src}");
-            assert_eq!(via_trait.complete, via_shim.complete, "{src}");
+            let tso = ModelExplorer::new(&tso_model);
+            assert_eq!(tso.behaviours(&on), tso.behaviours(&off), "tso {src}");
             let pso_model = PsoModel::new(&p);
-            let pso_trait = ModelExplorer::new(&pso_model).behaviours(&opts);
-            let pso_shim = PsoExplorer::new(&p).behaviours(&opts);
-            assert_eq!(pso_trait.value, pso_shim.value, "{src}");
+            let pso = ModelExplorer::new(&pso_model);
+            assert_eq!(pso.behaviours(&on), pso.behaviours(&off), "pso {src}");
         }
+    }
+
+    #[test]
+    fn behaviours_reduction_is_sound_on_loopy_programs() {
+        // Spin loops keep buffered machines fuel-bounded; the ast-size
+        // proviso must keep the reduced truncated behaviour set equal
+        // to the unreduced one at the same fuel.
+        let src = "x := 1; flag := 1; || while (flag != 1) { r9 := r9; } r2 := x; print r2;";
+        let p = parse_program(src).unwrap().program;
+        for max_actions in [4, 6, 8] {
+            let on = ExploreOptions {
+                max_actions,
+                ..ExploreOptions::default()
+            };
+            let off = ExploreOptions {
+                por: false,
+                max_actions,
+                ..ExploreOptions::default()
+            };
+            let tso_model = TsoModel::new(&p);
+            let tso = ModelExplorer::new(&tso_model);
+            assert_eq!(
+                tso.behaviours(&on),
+                tso.behaviours(&off),
+                "tso @{max_actions}"
+            );
+            let pso_model = PsoModel::new(&p);
+            let pso = ModelExplorer::new(&pso_model);
+            assert_eq!(
+                pso.behaviours(&on),
+                pso.behaviours(&off),
+                "pso @{max_actions}"
+            );
+        }
+    }
+
+    #[test]
+    fn race_phase_ignores_por_flag_on_buffered_models() {
+        // The race goal always gets the full expansion, so the witness
+        // is identical with and without POR.
+        let src = "x := 1; r1 := y; print r1; || y := 1; r2 := x; print r2;";
+        let p = parse_program(src).unwrap().program;
+        let on = ExploreOptions::default();
+        let off = ExploreOptions {
+            por: false,
+            ..ExploreOptions::default()
+        };
+        let model = TsoModel::new(&p);
+        let ex = ModelExplorer::new(&model);
+        assert_eq!(ex.race_witness(&on), ex.race_witness(&off));
+        assert!(ex.race_witness(&on).is_some(), "SB races under TSO");
     }
 
     #[test]

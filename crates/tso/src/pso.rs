@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use transafety_interleaving::Behaviours;
 use transafety_lang::{
-    Bounded, ExploreOptions, ModelExplorer, Program, ProgramExplorer, Step, ThreadConfig,
+    ExploreOptions, ModelExplorer, Program, ProgramExplorer, Step, ThreadConfig,
 };
 use transafety_syntactic::{transform_closure_filtered, RuleName};
 use transafety_traces::{Action, Domain, Loc, Monitor, Value};
@@ -46,7 +46,7 @@ use crate::model::PsoModel;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct PsoExplorer<'p> {
+pub(crate) struct PsoExplorer<'p> {
     program: &'p Program,
 }
 
@@ -64,6 +64,18 @@ pub struct PsoState {
     buffers: Vec<BTreeMap<Loc, VecDeque<Value>>>,
     memory: BTreeMap<Loc, Value>,
     holders: BTreeMap<Monitor, usize>,
+}
+
+impl PsoState {
+    /// The configuration of thread `k` (`None` before its start move).
+    pub(crate) fn cfg(&self, k: usize) -> Option<&ThreadConfig> {
+        self.threads[k].as_ref()
+    }
+
+    /// Does thread `k` have a buffered store to `loc`?
+    pub(crate) fn has_buffered(&self, k: usize, loc: Loc) -> bool {
+        self.buffers[k].get(&loc).is_some_and(|q| !q.is_empty())
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -85,7 +97,7 @@ pub(crate) enum PsoMove {
 impl<'p> PsoExplorer<'p> {
     /// Creates a PSO explorer for the program.
     #[must_use]
-    pub fn new(program: &'p Program) -> Self {
+    pub(crate) fn new(program: &'p Program) -> Self {
         PsoExplorer { program }
     }
 
@@ -274,18 +286,6 @@ impl<'p> PsoExplorer<'p> {
         }
         next
     }
-
-    /// The PSO behaviours of the program, bounded by `opts.max_actions`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ModelExplorer::new(&PsoModel::new(program))` or \
-                `Analysis::model(MemoryModelKind::Pso)` — this shim runs the \
-                same trait engine ungoverned"
-    )]
-    #[must_use]
-    pub fn behaviours(&self, opts: &ExploreOptions) -> Bounded<Behaviours> {
-        ModelExplorer::new(&PsoModel::new(self.program)).behaviours(opts)
-    }
 }
 
 /// The PSO rule fragment: TSO's fragment plus write→write reordering.
@@ -344,14 +344,23 @@ pub fn explain_pso(program: &Program, depth: usize, opts: &ExploreOptions) -> Ps
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the suite pins the deprecated shims to the trait engine
 mod tests {
     use super::*;
-    use crate::TsoExplorer;
+    use crate::TsoModel;
     use transafety_lang::parse_program;
 
     fn v(n: u32) -> Value {
         Value::new(n)
+    }
+
+    fn tso_behaviours(p: &Program, opts: &ExploreOptions) -> Behaviours {
+        let model = TsoModel::new(p);
+        ModelExplorer::new(&model).behaviours(opts).value
+    }
+
+    fn pso_behaviours(p: &Program, opts: &ExploreOptions) -> Behaviours {
+        let model = PsoModel::new(p);
+        ModelExplorer::new(&model).behaviours(opts).value
     }
 
     #[test]
@@ -360,8 +369,8 @@ mod tests {
             .unwrap()
             .program;
         let opts = ExploreOptions::default();
-        let tso = TsoExplorer::new(&p).behaviours(&opts).value;
-        let pso = PsoExplorer::new(&p).behaviours(&opts).value;
+        let tso = tso_behaviours(&p, &opts);
+        let pso = pso_behaviours(&p, &opts);
         assert!(tso.is_subset(&pso));
         assert!(pso.contains(&vec![v(0), v(0)]));
     }
@@ -373,10 +382,7 @@ mod tests {
             .program;
         let opts = ExploreOptions::default();
         let stale = vec![v(1), v(0)];
-        assert!(!TsoExplorer::new(&p)
-            .behaviours(&opts)
-            .value
-            .contains(&stale));
+        assert!(!tso_behaviours(&p, &opts).contains(&stale));
         let e = explain_pso(&p, 3, &opts);
         assert!(e.complete);
         assert!(e.relaxed, "PSO reorders the two stores");
@@ -393,7 +399,7 @@ mod tests {
         .unwrap()
         .program;
         let opts = ExploreOptions::default();
-        let pso = PsoExplorer::new(&p).behaviours(&opts).value;
+        let pso = pso_behaviours(&p, &opts);
         assert!(
             !pso.contains(&vec![v(0)]),
             "fenced flag keeps the data visible"

@@ -18,6 +18,7 @@ use transafety::checker::Analysis;
 use transafety::interleaving::ExploreStats;
 use transafety::lang::Program;
 use transafety::litmus::{corpus, random_program, GeneratorConfig};
+use transafety::traces::MemoryModelKind;
 use transafety::{
     AnalysisReport, Budget, BudgetBound, CancelToken, Completeness, TruncationReason, Verdict,
 };
@@ -34,6 +35,7 @@ fn configs() -> Vec<GeneratorConfig> {
             stmts_per_thread: 5,
             ..GeneratorConfig::default()
         },
+        GeneratorConfig::with_loops(),
     ]
 }
 
@@ -197,6 +199,70 @@ fn por_never_increases_visited_states() {
         assert_eq!(
             full.stats.por_ample_hits, 0,
             "{what}: unreduced run reported an ample hit"
+        );
+    }
+}
+
+#[test]
+fn dpor_counters_are_consistent() {
+    let configs = configs();
+    let budget = capped_budget();
+    for seed in 0..SEEDS {
+        let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
+        let program = random_program(seed, config);
+        // Cycle the three models across the seed range.
+        let model = MemoryModelKind::ALL[usize::try_from(seed).unwrap() % 3];
+        let what = format!("seed {seed} model={model}");
+        let reduced = Analysis::new()
+            .model(model)
+            .por(true)
+            .budget(budget)
+            .metrics(true)
+            .run(&program);
+        let full = Analysis::new()
+            .model(model)
+            .por(false)
+            .budget(budget)
+            .metrics(true)
+            .run(&program);
+        assert_well_formed(&reduced, &format!("{what} [por]"));
+        assert_well_formed(&full, &format!("{what} [no-por]"));
+        // The dynamic reduction never inflates the visit count.
+        if reduced.completeness.is_complete() && full.completeness.is_complete() {
+            assert!(
+                reduced.stats.states_visited <= full.stats.states_visited,
+                "{what}: DPOR visited more states ({} > {})",
+                reduced.stats.states_visited,
+                full.stats.states_visited
+            );
+        }
+        // With POR off every dpor counter is silent.
+        for (counter, name) in [
+            (full.stats.por_ample_hits, "por_ample_hits"),
+            (full.stats.dpor_proviso_blocks, "dpor_proviso_blocks"),
+            (full.stats.dpor_flush_ample_hits, "dpor_flush_ample_hits"),
+            (full.stats.dpor_prev_carries, "dpor_prev_carries"),
+        ] {
+            assert_eq!(counter, 0, "{what}: unreduced run reported {name}");
+        }
+        // Flush-ample hits are a buffered-model phenomenon: SC has no
+        // flush moves to single out.
+        if model == MemoryModelKind::Sc {
+            assert_eq!(
+                reduced.stats.dpor_flush_ample_hits, 0,
+                "{what}: SC reported a flush-ample hit"
+            );
+        }
+        // Every flush-ample hit is also an ample hit, and every
+        // proviso block is also a full expansion — the dpor counters
+        // refine the por counters, never exceed them.
+        assert!(
+            reduced.stats.dpor_flush_ample_hits <= reduced.stats.por_ample_hits,
+            "{what}: more flush-ample hits than ample hits"
+        );
+        assert!(
+            reduced.stats.dpor_proviso_blocks <= reduced.stats.por_full_expansions,
+            "{what}: more proviso blocks than full expansions"
         );
     }
 }
