@@ -1,0 +1,336 @@
+//! E20: the await-aware stutter reduction on busy-wait programs.
+//!
+//! E19 measured spin loops and had to exclude them from its gate: a
+//! spin iteration reloads its guard location, which is a visible read
+//! the POR proviso keeps fully expanded, so the dynamic reduction
+//! bought only ~1.2x there and every spin program still truncated at
+//! the per-execution action bound with an `Unknown` verdict.
+//!
+//! The await reduction attacks the stutter directly: a failed re-read
+//! of an await-watched location is an exact self-loop the behaviour
+//! phase drops, the collapsed graph is acyclic, and the exploration
+//! runs fuel-free — so the spin corpus now *completes* with real
+//! `DrfProven`/`Racy` verdicts under SC, TSO and PSO alike. This bench
+//! asserts both halves of that claim before timing anything:
+//!
+//! - at least 10x aggregate state reduction on the DRF spin corpus
+//!   (`mp-spin`, `programs/spinlock_handoff.tsl`,
+//!   `programs/seqlock_reader.tsl`) across all three models;
+//! - completeness: the await-aware runs report zero `trip_actions`
+//!   and conclusive verdicts where the bounded engine truncates;
+//! - the race phase never collapses: the racy-spin probe (its flag is
+//!   a plain location) must keep its witness with the reduction on.
+//!
+//! The measured table and live `await_*` counters are written to
+//! `BENCH_E20.json` (path overridable via the `BENCH_E20_OUT`
+//! environment variable).
+//!
+//! `cargo bench --bench await -- --test` runs the smoke mode: the same
+//! assertions and JSON emission, skipping the criterion timing loops.
+//! The gates run in both modes — state counts are deterministic, so CI
+//! noise cannot flake them.
+
+use std::hint::black_box;
+use transafety_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use transafety::checker::Analysis;
+use transafety::interleaving::{BudgetGuard, ExploreMetrics, ExploreStats};
+use transafety::lang::{
+    parse_program, ExploreOptions, MemoryModel, ModelExplorer, Program, ProgramExplorer, ScModel,
+};
+use transafety::traces::MemoryModelKind;
+use transafety::tso::{PsoModel, TsoModel};
+use transafety::{Budget, CancelToken, Verdict};
+
+fn program(file: &str) -> Program {
+    let path = format!("{}/../../programs/{file}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("readable program file");
+    parse_program(&src).expect("valid .tsl program").program
+}
+
+/// The gated workload: DRF busy-wait programs whose loops are all
+/// recognised awaits. The >= 10x aggregate gate is asserted over
+/// exactly these, under all three models.
+fn spin_corpus() -> Vec<(String, Program)> {
+    let mp = transafety::litmus::by_name("mp-spin").expect("corpus name");
+    vec![
+        ("mp-spin".to_string(), mp.parse().program),
+        (
+            "spinlock_handoff".to_string(),
+            program("spinlock_handoff.tsl"),
+        ),
+        ("seqlock_reader".to_string(), program("seqlock_reader.tsl")),
+    ]
+}
+
+/// The racy-spin probe: the spin flag is a *plain* location, so the
+/// guard reads race with the publishing store. Measured for witness
+/// survival, excluded from the ratio gate (the race phase never
+/// collapses, so gating its states would measure the wrong thing).
+const RACY_SPIN: &str = "x := 1; flag := 1; || while (flag != 1) skip; r2 := x; print r2;";
+
+fn opts(awaits: bool) -> ExploreOptions {
+    ExploreOptions {
+        awaits,
+        ..ExploreOptions::default()
+    }
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+struct Row {
+    name: String,
+    model: &'static str,
+    bounded: usize,
+    collapsed: usize,
+    bounded_complete: bool,
+    collapsed_complete: bool,
+}
+
+impl Row {
+    fn ratio(&self) -> f64 {
+        self.bounded as f64 / self.collapsed.max(1) as f64
+    }
+}
+
+/// Counts the states the behaviour search visits under one backend,
+/// feeding the shared collector so the JSON report carries live
+/// `await_*` counters.
+fn governed_states<M: MemoryModel>(
+    model: &M,
+    awaits: bool,
+    collector: &std::sync::Arc<ExploreMetrics>,
+) -> (usize, bool) {
+    let guard =
+        BudgetGuard::with_metrics(&Budget::unlimited(), CancelToken::new(), collector.clone());
+    let b = ModelExplorer::new(model).behaviours_governed(&opts(awaits), &guard);
+    (guard.states(), b.complete)
+}
+
+/// One corpus entry under one model: behaviour-set equality between
+/// the bounded and collapsed engines (the bounded set is a bounded
+/// under-approximation, so equality is asserted as set equality of
+/// what both saw — on this corpus they coincide), then the state
+/// counts.
+fn measure_model<M: MemoryModel>(
+    name: &str,
+    model_tag: &'static str,
+    model: &M,
+    collector: &std::sync::Arc<ExploreMetrics>,
+) -> Row {
+    let mx = ModelExplorer::new(model);
+    let on = mx.behaviours(&opts(true));
+    let off = mx.behaviours(&opts(false));
+    assert_eq!(
+        on.value, off.value,
+        "{name} [{model_tag}]: the collapse changed the behaviour set"
+    );
+    assert!(
+        on.complete,
+        "{name} [{model_tag}]: await-aware behaviour search truncated"
+    );
+    let (bounded, bounded_complete) = governed_states(model, false, &ExploreMetrics::disabled());
+    let (collapsed, collapsed_complete) = governed_states(model, true, collector);
+    Row {
+        name: name.to_string(),
+        model: model_tag,
+        bounded,
+        collapsed,
+        bounded_complete,
+        collapsed_complete,
+    }
+}
+
+fn measure(corpus: &[(String, Program)], collector: &std::sync::Arc<ExploreMetrics>) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (name, p) in corpus {
+        let ex = ProgramExplorer::new(p);
+        rows.push(measure_model(name, "sc", &ScModel::new(&ex), collector));
+        rows.push(measure_model(name, "tso", &TsoModel::new(p), collector));
+        rows.push(measure_model(name, "pso", &PsoModel::new(p), collector));
+    }
+    rows
+}
+
+/// Full-pipeline verdict check: the bounded engine reports `Unknown`
+/// on every DRF spin program, the collapsed engine proves it — and
+/// the racy-spin probe keeps its witness either way.
+fn assert_verdicts(corpus: &[(String, Program)]) -> (bool, bool) {
+    for (name, p) in corpus {
+        for model in MemoryModelKind::ALL {
+            let on = Analysis::new().model(model).awaits(true).run(p);
+            let off = Analysis::new().model(model).awaits(false).run(p);
+            assert_eq!(
+                on.verdict,
+                Verdict::DrfProven,
+                "{name} [{model}]: await-aware analysis did not prove DRF"
+            );
+            assert_eq!(
+                off.verdict,
+                Verdict::Unknown,
+                "{name} [{model}]: bounded analysis no longer truncates — \
+                 retire this gate or the corpus entry"
+            );
+        }
+    }
+    let racy = parse_program(RACY_SPIN).expect("valid probe").program;
+    let on = Analysis::new().awaits(true).run(&racy);
+    let off = Analysis::new().awaits(false).run(&racy);
+    assert_eq!(
+        on.verdict,
+        Verdict::Racy,
+        "racy-spin: the collapse lost the race verdict"
+    );
+    assert!(
+        on.race.is_some(),
+        "racy-spin: Racy verdict without a witness"
+    );
+    (on.race.is_some(), off.race.is_some())
+}
+
+/// The collapse counters must be live on the measured corpus, and the
+/// await-aware runs must never trip the action fuel (that is the
+/// completeness claim in counter form).
+fn assert_await_counters(stats: &ExploreStats) {
+    assert!(stats.enabled, "measure pass ran with a dead collector");
+    assert!(
+        stats.await_collapsed > 0,
+        "no collapsed re-reads: the await reduction never fired"
+    );
+    assert!(
+        stats.await_wakeups > 0,
+        "no wakeups: every watched read was dropped, including the advancing ones"
+    );
+    assert_eq!(
+        stats.trip_actions, 0,
+        "await-aware exploration tripped the action fuel {} time(s)",
+        stats.trip_actions
+    );
+}
+
+fn print_table(title: &str, rows: &[Row]) {
+    println!(
+        "\n{title}\n{:<20} {:>5} {:>10} {:>10} {:>9}  bounded-complete  collapsed-complete",
+        "program", "model", "bounded", "collapsed", "ratio"
+    );
+    for r in rows {
+        println!(
+            "{:<20} {:>5} {:>10} {:>10} {:>8.2}x  {:<16}  {}",
+            r.name,
+            r.model,
+            r.bounded,
+            r.collapsed,
+            r.ratio(),
+            r.bounded_complete,
+            r.collapsed_complete
+        );
+    }
+}
+
+/// Aggregate reduction: total bounded states over total collapsed
+/// states, so the heavy entries dominate.
+fn aggregate_ratio(rows: &[Row]) -> f64 {
+    let bounded: usize = rows.iter().map(|r| r.bounded).sum();
+    let collapsed: usize = rows.iter().map(|r| r.collapsed).sum();
+    bounded as f64 / collapsed.max(1) as f64
+}
+
+/// Writes the measured reduction as a small hand-rolled JSON report
+/// (the offline build has no serde).
+fn write_report(
+    rows: &[Row],
+    gate: f64,
+    smoke: bool,
+    stats: &ExploreStats,
+    witness_on: bool,
+    witness_off: bool,
+) {
+    let path = std::env::var("BENCH_E20_OUT").unwrap_or_else(|_| "BENCH_E20.json".to_string());
+    let mut out = String::from("{\n  \"experiment\": \"E20\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"aggregate_ratio\": {gate:.3},\n"));
+    out.push_str("  \"ratio_gate\": 10.0,\n");
+    out.push_str(&format!(
+        "  \"racy_spin_witness\": {{\"awaits_on\": {witness_on}, \"awaits_off\": {witness_off}}},\n"
+    ));
+    out.push_str(&format!("  \"await_stats\": {},\n", stats.to_json()));
+    out.push_str("  \"programs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"model\": \"{}\", \"bounded_states\": {}, \
+             \"collapsed_states\": {}, \"ratio\": {:.3}, \"bounded_complete\": {}, \
+             \"collapsed_complete\": {}}}{}\n",
+            r.name,
+            r.model,
+            r.bounded,
+            r.collapsed,
+            r.ratio(),
+            r.bounded_complete,
+            r.collapsed_complete,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out).expect("writable BENCH_E20.json path");
+    println!("E20 report written to {path}");
+}
+
+fn await_reduction(c: &mut Criterion) {
+    let corpus = spin_corpus();
+    let collector = ExploreMetrics::collector();
+    let rows = measure(&corpus, &collector);
+    print_table(
+        "E20/await_states_explored (behaviour search, sequential, gated)",
+        &rows,
+    );
+    let gate = aggregate_ratio(&rows);
+    println!("\nE20 aggregate reduction on the spin corpus: {gate:.2}x (gate: >= 10x)");
+    for r in &rows {
+        assert!(
+            r.collapsed_complete,
+            "{} [{}]: collapsed run truncated",
+            r.name, r.model
+        );
+        assert!(
+            !r.bounded_complete,
+            "{} [{}]: bounded run completed — this entry no longer measures the collapse",
+            r.name, r.model
+        );
+    }
+    let stats = collector.snapshot();
+    assert_await_counters(&stats);
+    let (witness_on, witness_off) = assert_verdicts(&corpus);
+    println!(
+        "E20 counters: {} collapsed re-reads, {} wakeups, {} action-fuel trips; \
+         racy-spin witness on/off: {witness_on}/{witness_off}",
+        stats.await_collapsed, stats.await_wakeups, stats.trip_actions
+    );
+    assert!(
+        gate >= 10.0,
+        "the await reduction must shrink the spin corpus >= 10x, got {gate:.2}x"
+    );
+    write_report(&rows, gate, smoke_mode(), &stats, witness_on, witness_off);
+    if smoke_mode() {
+        return; // smoke mode: assertions + report only, no timing loops
+    }
+    let mut group = c.benchmark_group("E20/await/behaviours");
+    for (name, p) in &corpus {
+        for (tag, awaits) in [("bounded", false), ("collapsed", true)] {
+            let o = opts(awaits);
+            group.bench_with_input(BenchmarkId::new(tag, name), p, |b, p| {
+                b.iter(|| {
+                    ProgramExplorer::new(black_box(p))
+                        .behaviours(&o)
+                        .value
+                        .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, await_reduction);
+criterion_main!(benches);

@@ -240,7 +240,10 @@ fn tso_stats() -> ExploreStats {
         let b = mx.behaviours_governed(&o, &guard);
         assert!(b.complete, "{name}: TSO behaviour search truncated");
     }
-    let stats = collector.snapshot();
+    let mut stats = collector.snapshot();
+    // The collector is model-agnostic and stamps "sc" by default; this
+    // run drove TsoModel, so relabel before the report is written.
+    stats.model = "tso".to_string();
     assert!(
         stats.dpor_flush_ample_hits > 0,
         "no flush-ample hits under TSO: the buffered reduction is dead"

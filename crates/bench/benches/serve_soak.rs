@@ -14,7 +14,7 @@
 //! The bench asserts the isolation contract at scale — every request
 //! answered exactly once, counters consistent, no `drf_proven` from
 //! any degraded path — then prints a JSON report (throughput plus the
-//! serve section of `drfcheck-stats-v1`) and writes it to
+//! serve section of `drfcheck-stats-v2`) and writes it to
 //! `BENCH_SERVE_SOAK.json` (path overridable via `BENCH_SERVE_SOAK_OUT`;
 //! request count via `SERVE_SOAK_REQUESTS`). `--test` runs the smoke
 //! mode: 2 000 requests, same assertions.

@@ -204,6 +204,22 @@ impl Analysis {
         self
     }
 
+    /// Enables or disables the await-aware stutter reduction (default
+    /// on). With it, a failed re-read inside a recognised spin-await
+    /// loop is collapsed into a single stutter state with value-change
+    /// wakeup, and a program whose only loops are awaits is explored
+    /// without an action bound — busy-wait programs get complete
+    /// verdicts instead of budget-truncated ones. Verdicts and
+    /// behaviour sets are unchanged wherever the unreduced exploration
+    /// completes; the race phase never collapses, so spin-read race
+    /// witnesses are unaffected. `awaits(false)` forces the unreduced
+    /// behaviour (the `drfcheck --no-await` escape hatch).
+    #[must_use]
+    pub fn awaits(mut self, enabled: bool) -> Self {
+        self.explore.awaits = enabled;
+        self
+    }
+
     /// Enables or disables metrics collection (default off). See
     /// [`Analysis::metrics`](Analysis#structfield.metrics).
     #[must_use]

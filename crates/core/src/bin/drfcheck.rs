@@ -181,7 +181,7 @@ const EXIT_FAULT_RECOVERED: u8 = 5;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: drfcheck [--model sc|tso|pso] [--jobs N] [--timeout SECS] [--max-states N] \
-         [--max-interleavings N] [--no-por] [--stats[=json]] [--trace-out PATH] \
+         [--max-interleavings N] [--no-por] [--no-await] [--stats[=json]] [--trace-out PATH] \
          <command> [args]\n\
          commands:\n  \
            check <program>                      full analysis report (three-valued verdict)\n  \
@@ -206,6 +206,7 @@ fn usage() -> ExitCode {
            --max-states N         cap on explored states (approximate memory budget)\n  \
            --max-interleavings N  cap on enumerated executions\n  \
            --no-por               disable the partial-order reduction (full exploration)\n  \
+           --no-await             disable the await-aware spin-loop stutter reduction\n  \
            --stats                print exploration metrics on stderr after the analysis\n  \
            --stats=json           one line of schema-stable stats JSON on stdout instead\n  \
            --trace-out PATH       write the phase/event trace (tab-separated) to PATH\n\
@@ -449,6 +450,9 @@ fn parse_flags(args: &[String]) -> Result<(Analysis, StatsFlags, Vec<String>), S
             }
             "--no-por" => {
                 opts = opts.por(false);
+            }
+            "--no-await" => {
+                opts = opts.awaits(false);
             }
             "--model" => {
                 let v = it

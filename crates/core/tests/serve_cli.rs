@@ -177,13 +177,13 @@ fn serve_stats_json_matches_the_golden_schema() {
     assert_eq!(code, Some(0));
     let stats_line = lines
         .iter()
-        .find(|l| l.starts_with("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\""))
+        .find(|l| l.starts_with("{\"schema\":\"drfcheck-stats-v2\",\"section\":\"serve\""))
         .expect("stats line present on stdout");
     // `--stats-out` writes the identical line for CI artifact upload.
     let from_file = std::fs::read_to_string(&stats_out).expect("--stats-out file written");
     assert_eq!(from_file.trim_end(), stats_line.as_str());
     let inner = stats_line
-        .strip_prefix("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\",\"serve\":{")
+        .strip_prefix("{\"schema\":\"drfcheck-stats-v2\",\"section\":\"serve\",\"serve\":{")
         .and_then(|s| s.strip_suffix("}}"))
         .expect("serve section envelope");
     let mut keys = Vec::new();

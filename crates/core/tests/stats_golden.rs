@@ -44,7 +44,7 @@ fn golden_keys() -> Vec<String> {
 fn stats_line(stdout: &str) -> String {
     let mut lines = stdout
         .lines()
-        .filter(|l| l.starts_with("{\"schema\":\"drfcheck-stats-v1\""));
+        .filter(|l| l.starts_with("{\"schema\":\"drfcheck-stats-v2\""));
     let line = lines
         .next()
         .unwrap_or_else(|| panic!("no stats line in: {stdout}"))
@@ -83,7 +83,7 @@ fn assert_schema(line: &str, what: &str) -> Vec<(String, String)> {
     assert_eq!(keys, golden_keys(), "{what}: key set or order drifted");
     for (key, value) in &pairs {
         match key.as_str() {
-            "schema" => assert_eq!(value, "\"drfcheck-stats-v1\"", "{what}"),
+            "schema" => assert_eq!(value, "\"drfcheck-stats-v2\"", "{what}"),
             "enabled" => assert_eq!(value, "true", "{what}: --stats ran disabled"),
             "model" => assert!(
                 matches!(value.as_str(), "\"sc\"" | "\"tso\"" | "\"pso\""),
@@ -241,7 +241,7 @@ fn stats_off_emits_no_stats_line() {
     let path = repo_path("programs/private_staging.tsl");
     let (stdout, _, _) = drfcheck(&["check", &path]);
     assert!(
-        !stdout.contains("drfcheck-stats-v1"),
+        !stdout.contains("drfcheck-stats-v2"),
         "stats emitted without --stats: {stdout}"
     );
 }

@@ -249,11 +249,22 @@ impl<K: Hash + Eq> StateInterner<K> {
         }
     }
 
+    /// The home slot of a hash. A rotate-multiply hash mixes *upward*:
+    /// its low bits see only a few key bits, so masking them (the usual
+    /// `hash & mask`) clusters near-identical states — successive
+    /// exploration states differing in one word — into shared probe
+    /// chains. Index from the top bits instead, where the final
+    /// multiply has diffused every input bit.
+    #[inline]
+    fn home_slot(&self, hash: u64) -> usize {
+        (hash >> (64 - self.table.len().trailing_zeros())) as usize
+    }
+
     /// Finds `key`'s id (`Ok`) or the empty slot where it belongs
     /// (`Err`). The table must be non-empty.
     fn find_slot(&self, hash: u64, key: &K) -> Result<u32, usize> {
         self.probes.set(self.probes.get() + 1);
-        let mut i = (hash as usize) & self.mask;
+        let mut i = self.home_slot(hash);
         loop {
             let slot = self.table[i];
             if slot == EMPTY {
@@ -302,7 +313,7 @@ impl<K: Hash + Eq> StateInterner<K> {
         self.table = vec![EMPTY; new_cap];
         self.mask = new_cap - 1;
         for (id, &hash) in self.hashes.iter().enumerate() {
-            let mut i = (hash as usize) & self.mask;
+            let mut i = (hash >> (64 - new_cap.trailing_zeros())) as usize;
             while self.table[i] != EMPTY {
                 i = (i + 1) & self.mask;
             }

@@ -49,8 +49,10 @@ const STRIPES: usize = 8;
 pub const RING_CAPACITY: usize = 1024;
 
 /// Schema identifier emitted as the `"schema"` key of
-/// [`ExploreStats::to_json`]; bump when the key set changes.
-pub const STATS_SCHEMA: &str = "drfcheck-stats-v1";
+/// [`ExploreStats::to_json`]; bump when the key set changes. (v2 added
+/// the `await_collapsed`/`await_wakeups` counters of the await-aware
+/// stutter reduction.)
+pub const STATS_SCHEMA: &str = "drfcheck-stats-v2";
 
 /// One observable quantity of an exploration run. The discriminant
 /// indexes the counter stripes, so the enum is `#[repr(usize)]`.
@@ -121,10 +123,20 @@ pub enum Counter {
     /// an ample move unchanged (the dynamic reduction's
     /// check-before-carry discipline).
     DporPrevCarries,
+    /// Failed await-loop re-reads dropped by the behaviour-phase
+    /// stutter collapse: the read left the spinning thread's
+    /// configuration (and hence the whole state) unchanged, so the
+    /// self-loop edge is pruned instead of burning a fuel layer.
+    AwaitCollapsed,
+    /// Reads on an await-watched location that *advanced* the spinning
+    /// thread and were therefore kept — the value-change wakeups (plus
+    /// one first-iteration read per spin entry, which materialises the
+    /// guard register).
+    AwaitWakeups,
 }
 
 /// Number of [`Counter`] variants (the stripe width).
-const N_COUNTERS: usize = Counter::DporPrevCarries as usize + 1;
+const N_COUNTERS: usize = Counter::AwaitWakeups as usize + 1;
 
 /// How one state expansion was reduced (or not). Recorded by
 /// [`ExploreMetrics::record_expansion`] / [`CounterTally::expansion`]
@@ -443,6 +455,8 @@ impl ExploreMetrics {
             dpor_proviso_blocks: total(Counter::DporProvisoBlocks),
             dpor_flush_ample_hits: total(Counter::DporFlushAmpleHits),
             dpor_prev_carries: total(Counter::DporPrevCarries),
+            await_collapsed: total(Counter::AwaitCollapsed),
+            await_wakeups: total(Counter::AwaitWakeups),
             graph_build_nanos: self.phase_nanos[Phase::GraphBuild as usize].load(Ordering::Relaxed),
             behaviour_eval_nanos: self.phase_nanos[Phase::BehaviourEval as usize]
                 .load(Ordering::Relaxed),
@@ -639,6 +653,10 @@ pub struct ExploreStats {
     pub dpor_flush_ample_hits: u64,
     /// See [`Counter::DporPrevCarries`].
     pub dpor_prev_carries: u64,
+    /// See [`Counter::AwaitCollapsed`].
+    pub await_collapsed: u64,
+    /// See [`Counter::AwaitWakeups`].
+    pub await_wakeups: u64,
     /// Inclusive wall time of [`Phase::GraphBuild`], in nanoseconds.
     pub graph_build_nanos: u64,
     /// Inclusive wall time of [`Phase::BehaviourEval`], in nanoseconds.
@@ -682,7 +700,7 @@ impl ExploreStats {
     }
 
     /// Serialises the stats to one line of JSON with a stable key
-    /// order, starting with `"schema": "drfcheck-stats-v1"`. The event
+    /// order, starting with `"schema": "drfcheck-stats-v2"`. The event
     /// ring is *not* included (dump it with
     /// [`trace_dump`](ExploreStats::trace_dump) /
     /// `drfcheck --trace-out` instead); `events_dropped` is, so a
@@ -724,6 +742,8 @@ impl ExploreStats {
             ("dpor_proviso_blocks", self.dpor_proviso_blocks),
             ("dpor_flush_ample_hits", self.dpor_flush_ample_hits),
             ("dpor_prev_carries", self.dpor_prev_carries),
+            ("await_collapsed", self.await_collapsed),
+            ("await_wakeups", self.await_wakeups),
             ("graph_build_nanos", self.graph_build_nanos),
             ("behaviour_eval_nanos", self.behaviour_eval_nanos),
             ("race_search_nanos", self.race_search_nanos),
@@ -832,7 +852,7 @@ mod tests {
             ..ExploreStats::default()
         };
         let json = stats.to_json();
-        assert!(json.starts_with("{\"schema\":\"drfcheck-stats-v1\",\"enabled\":true"));
+        assert!(json.starts_with("{\"schema\":\"drfcheck-stats-v2\",\"enabled\":true"));
         assert!(
             json.contains("\"model\":\"sc\""),
             "unstamped stats default to the sc baseline: {json}"

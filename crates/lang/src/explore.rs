@@ -60,6 +60,21 @@ pub struct ExploreOptions {
     /// only: both settings produce the same behaviours and the same
     /// racy/DRF verdict.
     pub por: bool,
+    /// Apply the await-aware stutter reduction to the behaviour phase
+    /// (default: `true`). A failed re-read inside a recognised await
+    /// loop (see [`CfgMeta::awaits`]) maps the state to itself; such
+    /// self-loop moves are dropped, so a spinning thread sleeps until a
+    /// write changes the watched location (value-change wakeup — the
+    /// moves are recomputed per state, so any memory change re-enables
+    /// the read). When *every* loop in the program is await-shaped this
+    /// makes the behaviour state graph acyclic and the exploration runs
+    /// unbounded fuel: spin programs get complete verdicts instead of
+    /// budget-truncated ones. The race phase never collapses (a spin
+    /// read can race; one representative failed read stays adjacent to
+    /// every write of the watched location). Disabling is for
+    /// cross-validation: both settings produce the same behaviours and
+    /// the same racy/DRF verdict wherever the unreduced run completes.
+    pub awaits: bool,
 }
 
 impl Default for ExploreOptions {
@@ -68,6 +83,7 @@ impl Default for ExploreOptions {
             max_actions: 32,
             max_tau: 4096,
             por: true,
+            awaits: true,
         }
     }
 }
@@ -165,6 +181,13 @@ pub struct CfgMeta {
     /// measure of the cycle proviso (any non-looping step strictly
     /// shrinks it; a loop unfolding does not).
     pub ast_size: usize,
+    /// Locations watched by *await loops* in the remaining code: a
+    /// `while` whose body is exactly one shared load (plus `skip` /
+    /// block structure — no stores, locks, prints, moves or nested
+    /// control). Re-reading such a location without a value change is a
+    /// pure stutter; the behaviour phase collapses those self-loops
+    /// (see [`ExploreOptions::awaits`]).
+    pub awaits: std::collections::BTreeSet<Loc>,
 }
 
 impl CfgMeta {
@@ -210,10 +233,34 @@ impl CfgMeta {
                 self.absorb(then_branch);
                 self.absorb(else_branch);
             }
-            Stmt::While { body, .. } => self.absorb(body),
+            Stmt::While { body, .. } => {
+                if let Some(loc) = await_watch(body) {
+                    self.awaits.insert(loc);
+                }
+                self.absorb(body);
+            }
             _ => {}
         }
     }
+}
+
+/// The location a `while` body watches, when the body is await-shaped:
+/// exactly one shared load, wrapped in nothing but `skip`s and blocks.
+/// Anything else (a store, lock, print, register move, nested control, a
+/// second load) has effects a stutter collapse could lose, so the loop
+/// is not recognised.
+fn await_watch(body: &crate::ast::Stmt) -> Option<Loc> {
+    fn scan(s: &crate::ast::Stmt, watch: &mut Option<Loc>) -> bool {
+        use crate::ast::Stmt;
+        match s {
+            Stmt::Skip => true,
+            Stmt::Load { loc, .. } => watch.replace(*loc).is_none(),
+            Stmt::Block(b) => b.iter().all(|s| scan(s, watch)),
+            _ => false,
+        }
+    }
+    let mut watch = None;
+    scan(body, &mut watch).then_some(watch).flatten()
 }
 
 /// What a thread configuration does next, pre-derived from one
@@ -755,12 +802,55 @@ impl<'p> ProgramExplorer<'p> {
         ModelExplorer::new(&ScModel::new(self)).behaviours_governed(opts, guard)
     }
 
+    /// The per-execution action bound of the behaviour phase. Loop-free
+    /// programs need none (every action consumes a statement, so the
+    /// state graph is a DAG). With the await reduction on, a program
+    /// whose *only* loops are await loops needs none either: the only
+    /// moves that could close a cycle are failed await re-reads, the
+    /// second of which is an exact self-loop the collapse drops — so
+    /// the collapsed graph is acyclic and the exploration is exact.
     pub(crate) fn fuel(&self, opts: &ExploreOptions) -> usize {
-        if program_has_loops(self.program) {
-            opts.max_actions
-        } else {
+        if !program_has_loops(self.program)
+            || (opts.awaits && program_loops_are_awaits(self.program))
+        {
             usize::MAX
+        } else {
+            opts.max_actions
         }
+    }
+
+    /// The behaviour-phase stutter collapse: drops every move that is a
+    /// failed re-read of an await-watched location (see
+    /// [`CfgMeta::awaits`]) leaving the state unchanged — applying a
+    /// read patches only the moving thread's cfg word, so `next_cfg ==
+    /// current cfg` is exactly "the successor state is this state".
+    /// Returns `(collapsed, wakeups)`: dropped self-loops, and kept
+    /// reads on a watched location (the spinner advancing — a value
+    /// change, a loop exit, or the first iteration materialising its
+    /// guard register). Never used by the race phase: a spin read can
+    /// race, and the representative failed read must stay adjacent to
+    /// every write of the watched location.
+    pub(crate) fn collapse_awaits(&self, state: &CState, moves: &mut Vec<CMove>) -> (u64, u64) {
+        let mut collapsed = 0u64;
+        let mut wakeups = 0u64;
+        let mut cache = self.lock_cache();
+        moves.retain(|mv| {
+            let Action::Read { loc, .. } = mv.action else {
+                return true;
+            };
+            let cur = state.words[mv.thread];
+            if cur == NOT_STARTED || !self.meta(&mut cache, cur).awaits.contains(&loc) {
+                return true;
+            }
+            if mv.next_cfg == cur {
+                collapsed += 1;
+                false
+            } else {
+                wakeups += 1;
+                true
+            }
+        });
+        (collapsed, wakeups)
     }
 
     /// The bounded behaviours, computed on `jobs` workers.
@@ -1274,6 +1364,39 @@ impl<'p> ProgramExplorer<'p> {
         (moves, kind)
     }
 
+    /// The reference-engine mirror of the behaviour-phase move set:
+    /// [`ref_por_moves`](ProgramExplorer::ref_por_moves) plus the same
+    /// await stutter collapse as
+    /// [`collapse_awaits`](ProgramExplorer::collapse_awaits), computed
+    /// directly on the uncompressed configurations (successor configs
+    /// are already τ-normalised, so `next == current` is exactly the
+    /// compact engine's `next_cfg == cur`). Only the behaviour suffix
+    /// recursion uses this; the reference race search stays uncollapsed
+    /// like the production one.
+    fn ref_behaviour_moves(
+        &self,
+        state: &PState,
+        opts: &ExploreOptions,
+        truncated: &mut bool,
+    ) -> Vec<PMove> {
+        let (mut moves, _) = self.ref_por_moves(state, opts, truncated);
+        if opts.awaits {
+            moves.retain(|mv| {
+                let Action::Read { loc, .. } = mv.action else {
+                    return true;
+                };
+                let Some(cur) = state.threads[mv.thread].as_ref() else {
+                    return true;
+                };
+                if !CfgMeta::of_code(cur.code()).awaits.contains(&loc) {
+                    return true;
+                }
+                mv.next.as_ref().expect("moves carry successor configs") != cur
+            });
+        }
+        moves
+    }
+
     fn ref_apply(&self, state: &PState, mv: &PMove) -> PState {
         let mut next = state.clone();
         let cfg = mv.next.clone().expect("moves carry successor configs");
@@ -1321,7 +1444,7 @@ impl<'p> ProgramExplorer<'p> {
             return Arc::new(set);
         }
         guard.note_state();
-        let (moves, _) = self.ref_por_moves(state, opts, truncated);
+        let moves = self.ref_behaviour_moves(state, opts, truncated);
         if fuel == 0 {
             if !moves.is_empty() {
                 *truncated = true;
@@ -1615,6 +1738,32 @@ pub(crate) fn program_has_loops(p: &Program) -> bool {
         }
     }
     p.threads().iter().flatten().any(stmt_has_loop)
+}
+
+/// Is every `while` loop of the program await-shaped (body = one shared
+/// load plus `skip`/block structure; see [`CfgMeta::awaits`])? When
+/// true and the await reduction is on, the behaviour phase runs without
+/// an action bound: every statement outside a loop is consumed
+/// permanently, await bodies write nothing, and the collapse removes
+/// the only self-loops, so the collapsed state graph is acyclic.
+/// Public so other memory-model backends (the TSO/PSO machines of
+/// `transafety-tso`) apply the same fuel policy — an await-only program
+/// has no store in any loop, so its store buffers are bounded too.
+#[must_use]
+pub fn program_loops_are_awaits(p: &Program) -> bool {
+    fn stmt_ok(s: &crate::ast::Stmt) -> bool {
+        match s {
+            crate::ast::Stmt::While { body, .. } => await_watch(body).is_some(),
+            crate::ast::Stmt::Block(b) => b.iter().all(stmt_ok),
+            crate::ast::Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => stmt_ok(then_branch) && stmt_ok(else_branch),
+            _ => true,
+        }
+    }
+    p.threads().iter().flatten().all(stmt_ok)
 }
 
 #[cfg(test)]

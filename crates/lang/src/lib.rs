@@ -30,10 +30,10 @@ mod parser;
 mod semantics;
 
 pub use ast::{Cond, Operand, Program, Reg, Stmt};
-pub use explore::{Bounded, CfgMeta, ExploreOptions, ProgramExplorer};
+pub use explore::{program_loops_are_awaits, Bounded, CfgMeta, ExploreOptions, ProgramExplorer};
 pub use model::{
-    MemoryModel, ModelExplorer, ModelMove, ModelRaceWitness, MoveLabel, ReductionGoal, ScModel,
-    ScheduleStep,
+    MemoryModel, ModelExplorer, ModelMove, ModelRaceWitness, MoveLabel, Reduced, ReductionGoal,
+    ScModel, ScheduleStep,
 };
 pub use parser::{
     parse_program, parse_program_with_symbols, ParseProgramError, SourceProgram, SymbolTable,

@@ -124,6 +124,46 @@ pub enum ReductionGoal {
     Races,
 }
 
+/// A reduced move set, as returned by
+/// [`MemoryModel::reduced_moves`]: the moves, the [`ExpansionKind`]
+/// describing what the partial-order reduction did, and the await
+/// stutter-collapse tallies of the behaviour goal (see
+/// [`ExploreOptions::awaits`]). The collapse is orthogonal to the POR:
+/// `kind` describes the ample-set choice only, and a state whose
+/// self-loop reads were dropped still reports the kind the POR
+/// selected.
+#[derive(Debug)]
+pub struct Reduced<S> {
+    /// The (possibly reduced) enabled moves.
+    pub moves: Vec<ModelMove<S>>,
+    /// How the partial-order reduction treated this expansion.
+    pub kind: ExpansionKind,
+    /// Failed await re-reads dropped by the stutter collapse (zero for
+    /// [`ReductionGoal::Races`], which never collapses).
+    pub await_collapsed: u64,
+    /// Kept reads on an await-watched location (the spinner advanced).
+    pub await_wakeups: u64,
+}
+
+impl<S> Reduced<S> {
+    /// A reduction result with no await collapse applied.
+    #[must_use]
+    pub fn new(moves: Vec<ModelMove<S>>, kind: ExpansionKind) -> Self {
+        Reduced {
+            moves,
+            kind,
+            await_collapsed: 0,
+            await_wakeups: 0,
+        }
+    }
+
+    /// An unreduced full expansion.
+    #[must_use]
+    pub fn full(moves: Vec<ModelMove<S>>) -> Self {
+        Reduced::new(moves, ExpansionKind::Full)
+    }
+}
+
 /// A memory model as the exploration engines see it: machine states,
 /// enabled moves, and the fuel policy.
 ///
@@ -154,20 +194,24 @@ pub trait MemoryModel: Sync {
     ) -> Vec<ModelMove<Self::State>>;
 
     /// The reduced move set for `goal`, tagged with the
-    /// [`ExpansionKind`] that describes what the reduction did.
+    /// [`ExpansionKind`] that describes what the reduction did and the
+    /// await stutter-collapse tallies.
     ///
     /// The default is **no reduction** for every goal: a model only
     /// overrides this where its ample-set argument is proven. Overrides
-    /// must honour `opts.por == false` by returning the full expansion.
+    /// must honour `opts.por == false` by returning the full expansion,
+    /// and `opts.awaits == false` by not collapsing; the await collapse
+    /// applies only to [`ReductionGoal::Behaviours`] (a spin read can
+    /// race, so the race goal keeps every failed read).
     fn reduced_moves(
         &self,
         state: &Self::State,
         goal: ReductionGoal,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> (Vec<ModelMove<Self::State>>, ExpansionKind) {
+    ) -> Reduced<Self::State> {
         let _ = goal;
-        (self.moves(state, opts, truncated), ExpansionKind::Full)
+        Reduced::full(self.moves(state, opts, truncated))
     }
 
     /// Action fuel for the behaviour engines: `usize::MAX` when the
@@ -358,10 +402,13 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             return Arc::new(set);
         }
         guard.note_state_tallied(tally);
-        let (moves, kind) =
-            self.model
-                .reduced_moves(&state, ReductionGoal::Behaviours, opts, truncated);
-        tally.expansion(moves.len(), kind);
+        let red = self
+            .model
+            .reduced_moves(&state, ReductionGoal::Behaviours, opts, truncated);
+        tally.expansion(red.moves.len(), red.kind);
+        tally.add(Counter::AwaitCollapsed, red.await_collapsed);
+        tally.add(Counter::AwaitWakeups, red.await_wakeups);
+        let moves = red.moves;
         drop(state);
         if fuel == 0 {
             // Out of action fuel. Flush-only suffixes contribute no
@@ -462,13 +509,17 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             |node: &(M::State, usize)| {
                 let (state, fuel) = node;
                 let mut truncated = false;
-                let (moves, kind) = self.model.reduced_moves(
+                let red = self.model.reduced_moves(
                     state,
                     ReductionGoal::Behaviours,
                     opts,
                     &mut truncated,
                 );
-                guard.metrics().record_expansion(moves.len(), kind);
+                let metrics = guard.metrics();
+                metrics.record_expansion(red.moves.len(), red.kind);
+                metrics.add(Counter::AwaitCollapsed, red.await_collapsed);
+                metrics.add(Counter::AwaitWakeups, red.await_wakeups);
+                let moves = red.moves;
                 let mut out = Vec::with_capacity(moves.len());
                 if *fuel == 0 {
                     if moves.iter().any(|m| !m.label.is_flush()) {
@@ -586,9 +637,9 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
             return false;
         }
         guard.note_state_tallied(tally);
-        let (moves, kind) = self
-            .model
-            .reduced_moves(&state, ReductionGoal::Races, opts, truncated);
+        let Reduced { moves, kind, .. } =
+            self.model
+                .reduced_moves(&state, ReductionGoal::Races, opts, truncated);
         tally.expansion(moves.len(), kind);
         drop(state);
         for mv in moves {
@@ -713,7 +764,7 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
                 let mut truncated = false;
                 let mut found = false;
                 let mut successors = Vec::new();
-                let (moves, kind) =
+                let Reduced { moves, kind, .. } =
                     self.model
                         .reduced_moves(state, ReductionGoal::Races, opts, &mut truncated);
                 guard.metrics().record_expansion(moves.len(), kind);
@@ -836,7 +887,12 @@ impl<'m, M: MemoryModel> ModelExplorer<'m, M> {
         drop(tally);
         if metrics.is_enabled() {
             metrics.record_intern(interner.probe_stats());
-            metrics.add(Counter::StatesInterned, interner.len() as u64);
+            // The `(state id, fuel)` visited set is the phase's dedup
+            // structure — mirroring the race phase's convention — so
+            // `states_visited <= states_interned` holds even when fuel
+            // layering revisits a state; the *returned* count is still
+            // the arena's distinct states.
+            metrics.add(Counter::StatesInterned, visited.len() as u64);
         }
         interner.len()
     }
@@ -930,17 +986,27 @@ impl MemoryModel for ScModel<'_, '_> {
     fn reduced_moves(
         &self,
         state: &Self::State,
-        _goal: ReductionGoal,
+        goal: ReductionGoal,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> (Vec<ModelMove<Self::State>>, ExpansionKind) {
-        // The SC reduction serves both goals: there are no flushes, so
-        // the race-goal witness argument (check-before-carry plus
-        // reorder) holds for the same ample sets that preserve
-        // behaviours.
-        let (moves, kind) = self.explorer.por_moves_vec(state, opts, truncated);
-        (
-            moves
+    ) -> Reduced<Self::State> {
+        // The SC POR serves both goals: there are no flushes, so the
+        // race-goal witness argument (check-before-carry plus reorder)
+        // holds for the same ample sets that preserve behaviours.
+        let (mut moves, kind) = self.explorer.por_moves_vec(state, opts, truncated);
+        // The await collapse serves only the behaviour goal: a spin
+        // read can race, so the race search keeps every failed read
+        // adjacent to the writes of the watched location. A self-loop
+        // read never passes the ast-size proviso, so it is never the
+        // ample singleton and collapsing after the POR drops nothing
+        // the reduction relied on.
+        let (await_collapsed, await_wakeups) = if goal == ReductionGoal::Behaviours && opts.awaits {
+            self.explorer.collapse_awaits(state, &mut moves)
+        } else {
+            (0, 0)
+        };
+        Reduced {
+            moves: moves
                 .into_iter()
                 .map(|mv| ModelMove {
                     thread: mv.thread,
@@ -949,7 +1015,9 @@ impl MemoryModel for ScModel<'_, '_> {
                 })
                 .collect(),
             kind,
-        )
+            await_collapsed,
+            await_wakeups,
+        }
     }
 
     fn fuel(&self, opts: &ExploreOptions) -> usize {

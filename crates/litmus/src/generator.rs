@@ -46,6 +46,14 @@ pub struct GeneratorConfig {
     /// is what the POR cycle proviso and the loop-bearing agreement
     /// tests need.
     pub loop_prob: f64,
+    /// Probability of generating a spin-await loop (0 disables them,
+    /// the default). Generated awaits have exactly the shape the
+    /// await recognizer in `transafety_lang` accepts — a prelude load
+    /// into the reserved guard register followed by
+    /// `while (guard != c) { skip; guard := load loc }` — so the
+    /// await-aware stutter reduction collapses their re-reads and the
+    /// state space stays finite even though the loop has no bound.
+    pub await_prob: f64,
     /// When `true`, every shared access is wrapped in a lock block on a
     /// single global monitor, making the program data race free.
     pub lock_discipline: bool,
@@ -65,6 +73,7 @@ impl Default for GeneratorConfig {
             lock_block_prob: 0.3,
             if_prob: 0.2,
             loop_prob: 0.0,
+            await_prob: 0.0,
             lock_discipline: false,
         }
     }
@@ -100,6 +109,21 @@ impl GeneratorConfig {
     pub fn with_loops() -> Self {
         GeneratorConfig {
             loop_prob: 0.4,
+            stmts_per_thread: 3,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// A configuration that mixes spin-await loops into the generated
+    /// programs (see [`GeneratorConfig::await_prob`]). Await loops have
+    /// no iteration bound, so these programs are only explorable with
+    /// the await-aware reduction enabled (the default); statement count
+    /// is kept small because each spinning thread multiplies the
+    /// interleaving space.
+    #[must_use]
+    pub fn with_awaits() -> Self {
+        GeneratorConfig {
+            await_prob: 0.4,
             stmts_per_thread: 3,
             ..GeneratorConfig::default()
         }
@@ -203,7 +227,45 @@ fn gen_loop(rng: &mut Rng, config: &GeneratorConfig) -> Stmt {
     ])
 }
 
+/// A spin-await loop in exactly the shape the await recognizer
+/// accepts: load the watched location into the reserved guard
+/// register, then `while (guard != c) { skip; guard := load loc }`.
+/// The `Block([Skip, Load])` body mirrors the parser's desugaring of
+/// `while (x != c) skip`, so generated and parsed awaits hit the same
+/// recognizer path. The loop has no iteration bound — termination of
+/// exploration relies on the await-aware stutter collapse keeping the
+/// state space finite (a thread whose wait is never satisfied simply
+/// parks at the loop head).
+fn gen_await(rng: &mut Rng, config: &GeneratorConfig) -> Stmt {
+    let watch = gen_loc(rng, config);
+    let target = gen_value(rng, config);
+    let guard = Reg::new(config.regs.max(1));
+    Stmt::Block(vec![
+        Stmt::Load {
+            dst: guard,
+            loc: watch,
+        },
+        Stmt::While {
+            cond: Cond::Ne(Operand::Reg(guard), Operand::Const(target)),
+            body: Box::new(Stmt::Block(vec![
+                Stmt::Skip,
+                Stmt::Load {
+                    dst: guard,
+                    loc: watch,
+                },
+            ])),
+        },
+    ])
+}
+
 fn gen_stmt(rng: &mut Rng, config: &GeneratorConfig, depth: usize) -> Stmt {
+    // spin-await loops (never nested). The probability gate keeps
+    // await-free configurations from consuming a random draw, so their
+    // seeds generate the exact same programs as before the knob
+    // existed.
+    if depth < 2 && config.await_prob > 0.0 && rng.gen_bool(config.await_prob) {
+        return gen_await(rng, config);
+    }
     // bounded loops (never nested — each one multiplies the state
     // space). The probability gate keeps loop-free configurations from
     // consuming a random draw, so their seeds generate the exact same
@@ -358,6 +420,78 @@ mod loop_tests {
                 },
             );
             assert_eq!(a, b, "seed {seed}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod await_tests {
+    use super::*;
+    use transafety_lang::{program_loops_are_awaits, ExploreOptions, ProgramExplorer};
+
+    fn has_while(s: &Stmt) -> bool {
+        match s {
+            Stmt::While { .. } => true,
+            Stmt::Block(body) => body.iter().any(has_while),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => has_while(then_branch) || has_while(else_branch),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn await_configuration_generates_recognised_awaits() {
+        // Every loop `with_awaits` emits must pass the lang-side await
+        // recognizer — otherwise the stutter collapse never fires and
+        // the unbounded spin makes exploration diverge.
+        let c = GeneratorConfig::with_awaits();
+        let mut spinny = 0;
+        for seed in 0..20 {
+            let p = random_program(seed, &c);
+            if p.threads().iter().any(|t| t.iter().any(has_while)) {
+                spinny += 1;
+                assert!(
+                    program_loops_are_awaits(&p),
+                    "seed {seed} generated a loop the recognizer rejects:\n{p}"
+                );
+            }
+        }
+        assert!(spinny > 5, "only {spinny}/20 seeds produced an await");
+    }
+
+    #[test]
+    fn await_programs_are_explorable_with_collapse() {
+        // Awaits have no iteration bound, so completeness here is the
+        // stutter collapse working end to end: failed re-reads fold
+        // into one parked state and the state space is finite.
+        let c = GeneratorConfig::with_awaits();
+        for seed in 0..10 {
+            let p = random_program(seed, &c);
+            let b = ProgramExplorer::new(&p).behaviours(&ExploreOptions::default());
+            assert!(b.complete, "seed {seed} hit exploration bounds:\n{p}");
+        }
+    }
+
+    #[test]
+    fn await_knob_does_not_disturb_existing_seeds() {
+        // await_prob = 0 must not consume randomness: the default
+        // configuration generates byte-identical programs whether or
+        // not the knob exists in the struct.
+        let plain = GeneratorConfig::default();
+        let zeroed = GeneratorConfig {
+            await_prob: 0.0,
+            stmts_per_thread: plain.stmts_per_thread,
+            ..GeneratorConfig::with_awaits()
+        };
+        for seed in 0..10 {
+            assert_eq!(
+                random_program(seed, &plain),
+                random_program(seed, &zeroed),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -27,7 +27,7 @@
 //!   through the production code, not simulated beside it;
 //! * **observability** ([`stats`]) — hit/miss, shed/retry/fault
 //!   counters and per-request latency quantiles, serialised under the
-//!   `drfcheck-stats-v1` schema as a `serve` section.
+//!   `drfcheck-stats-v2` schema as a `serve` section.
 //!
 //! The safety discipline of the underlying checker is preserved at the
 //! service boundary: no degraded path (panic, retry, truncation,

@@ -6,10 +6,10 @@
 //! the things only the *service* can see — shed requests, cache
 //! behaviour, retries, injected faults, per-request latency — and
 //! serialises them under the same stable schema id as the analysis
-//! stats (`drfcheck-stats-v1`), as a dedicated `serve` section:
+//! stats (`drfcheck-stats-v2`), as a dedicated `serve` section:
 //!
 //! ```json
-//! {"schema":"drfcheck-stats-v1","section":"serve","serve":{...}}
+//! {"schema":"drfcheck-stats-v2","section":"serve","serve":{...}}
 //! ```
 //!
 //! Counters are accumulated under one mutex: requests are heavyweight
@@ -203,7 +203,7 @@ impl ServeStats {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
-        s.push_str("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\",\"serve\":{");
+        s.push_str("{\"schema\":\"drfcheck-stats-v2\",\"section\":\"serve\",\"serve\":{");
         let mut first = true;
         for (key, value) in [
             ("requests", self.requests),
@@ -352,7 +352,7 @@ mod tests {
         s.record_latency(Duration::from_micros(250));
         let json = s.to_json();
         assert!(
-            json.starts_with("{\"schema\":\"drfcheck-stats-v1\",\"section\":\"serve\",\"serve\":{")
+            json.starts_with("{\"schema\":\"drfcheck-stats-v2\",\"section\":\"serve\",\"serve\":{")
         );
         assert!(json.contains("\"requests\":3"));
         assert!(json.contains("\"latency_count\":1"));

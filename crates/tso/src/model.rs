@@ -43,8 +43,8 @@ use std::sync::{Arc, Mutex};
 use transafety_interleaving::intern::FxHashMap;
 use transafety_interleaving::metrics::ExpansionKind;
 use transafety_lang::{
-    CfgMeta, ExploreOptions, MemoryModel, ModelMove, MoveLabel, Program, ReductionGoal,
-    ThreadConfig,
+    program_loops_are_awaits, CfgMeta, ExploreOptions, MemoryModel, ModelMove, MoveLabel, Program,
+    Reduced, ReductionGoal, ThreadConfig,
 };
 use transafety_traces::{Action, Loc, MemoryModelKind, ThreadId};
 
@@ -213,6 +213,44 @@ fn reduce_buffered<S: BufferedState>(
     (moves, kind)
 }
 
+/// The behaviour-goal await stutter collapse for the buffered machines
+/// (the analogue of the SC engine's collapse; see
+/// [`ExploreOptions::awaits`]): drops an act-read of an await-watched
+/// location whose successor is exactly the current machine state. The
+/// self-loop test compares *whole* states — configurations, memory
+/// **and buffers** — so a spin that must still observe its own store
+/// buffer is untouched: a forwarded read that exits the loop changes
+/// the configuration, and until the guard register materialises the
+/// first re-read changes it too. Returns `(collapsed, wakeups)`.
+fn collapse_awaits_buffered<S: BufferedState + PartialEq>(
+    cache: &MetaCache,
+    state: &S,
+    moves: &mut Vec<ModelMove<S>>,
+) -> (u64, u64) {
+    let mut collapsed = 0u64;
+    let mut wakeups = 0u64;
+    moves.retain(|mv| {
+        let MoveLabel::Action(Action::Read { loc, .. }) = mv.label else {
+            return true;
+        };
+        if !cache
+            .of_slot(state.cfg(mv.thread), mv.thread)
+            .awaits
+            .contains(&loc)
+        {
+            return true;
+        }
+        if mv.next == *state {
+            collapsed += 1;
+            false
+        } else {
+            wakeups += 1;
+            true
+        }
+    });
+    (collapsed, wakeups)
+}
+
 /// The TSO machine (per-thread FIFO store buffers, store-to-load
 /// forwarding, fencing volatiles/locks) as a [`MemoryModel`] backend.
 ///
@@ -240,6 +278,7 @@ fn reduce_buffered<S: BufferedState>(
 pub struct TsoModel<'p> {
     explorer: TsoExplorer<'p>,
     loops: bool,
+    awaits_only: bool,
     threads: usize,
     meta: MetaCache,
 }
@@ -251,6 +290,7 @@ impl<'p> TsoModel<'p> {
         TsoModel {
             explorer: TsoExplorer::new(program),
             loops: program_has_loops(program),
+            awaits_only: program_loops_are_awaits(program),
             threads: program.thread_count(),
             meta: MetaCache::new(program),
         }
@@ -306,19 +346,43 @@ impl MemoryModel for TsoModel<'_> {
         goal: ReductionGoal,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> (Vec<ModelMove<TsoState>>, ExpansionKind) {
-        let moves = self.moves(state, opts, truncated);
+    ) -> Reduced<TsoState> {
+        let mut moves = self.moves(state, opts, truncated);
+        // The await collapse is orthogonal to the POR: it applies to
+        // the behaviour goal even with `por == false` (it is a stutter
+        // removal, not an ample-set choice), and never to the race
+        // goal (a spin read can race).
+        let (await_collapsed, await_wakeups) = if goal == ReductionGoal::Behaviours && opts.awaits {
+            collapse_awaits_buffered(&self.meta, state, &mut moves)
+        } else {
+            (0, 0)
+        };
         if !opts.por || goal == ReductionGoal::Races {
-            return (moves, ExpansionKind::Full);
+            return Reduced {
+                moves,
+                kind: ExpansionKind::Full,
+                await_collapsed,
+                await_wakeups,
+            };
         }
-        reduce_buffered(&self.meta, state, self.threads, moves)
+        let (moves, kind) = reduce_buffered(&self.meta, state, self.threads, moves);
+        Reduced {
+            moves,
+            kind,
+            await_collapsed,
+            await_wakeups,
+        }
     }
 
     fn fuel(&self, opts: &ExploreOptions) -> usize {
-        if self.loops {
-            opts.max_actions
-        } else {
+        // An await-only program keeps every store outside loops, so
+        // buffers are bounded and the collapsed behaviour graph is
+        // acyclic (see `transafety_lang::program_loops_are_awaits`):
+        // the exploration is exact without an action bound.
+        if !self.loops || (opts.awaits && self.awaits_only) {
             usize::MAX
+        } else {
+            opts.max_actions
         }
     }
 }
@@ -332,6 +396,7 @@ impl MemoryModel for TsoModel<'_> {
 pub struct PsoModel<'p> {
     explorer: PsoExplorer<'p>,
     loops: bool,
+    awaits_only: bool,
     threads: usize,
     meta: MetaCache,
 }
@@ -343,6 +408,7 @@ impl<'p> PsoModel<'p> {
         PsoModel {
             explorer: PsoExplorer::new(program),
             loops: program_has_loops(program),
+            awaits_only: program_loops_are_awaits(program),
             threads: program.thread_count(),
             meta: MetaCache::new(program),
         }
@@ -398,19 +464,39 @@ impl MemoryModel for PsoModel<'_> {
         goal: ReductionGoal,
         opts: &ExploreOptions,
         truncated: &mut bool,
-    ) -> (Vec<ModelMove<PsoState>>, ExpansionKind) {
-        let moves = self.moves(state, opts, truncated);
+    ) -> Reduced<PsoState> {
+        let mut moves = self.moves(state, opts, truncated);
+        // Same split as the TSO backend: collapse for behaviours only,
+        // independent of the POR flag.
+        let (await_collapsed, await_wakeups) = if goal == ReductionGoal::Behaviours && opts.awaits {
+            collapse_awaits_buffered(&self.meta, state, &mut moves)
+        } else {
+            (0, 0)
+        };
         if !opts.por || goal == ReductionGoal::Races {
-            return (moves, ExpansionKind::Full);
+            return Reduced {
+                moves,
+                kind: ExpansionKind::Full,
+                await_collapsed,
+                await_wakeups,
+            };
         }
-        reduce_buffered(&self.meta, state, self.threads, moves)
+        let (moves, kind) = reduce_buffered(&self.meta, state, self.threads, moves);
+        Reduced {
+            moves,
+            kind,
+            await_collapsed,
+            await_wakeups,
+        }
     }
 
     fn fuel(&self, opts: &ExploreOptions) -> usize {
-        if self.loops {
-            opts.max_actions
-        } else {
+        // See `TsoModel::fuel`: await-only programs have bounded
+        // buffers and an acyclic collapsed behaviour graph.
+        if !self.loops || (opts.awaits && self.awaits_only) {
             usize::MAX
+        } else {
+            opts.max_actions
         }
     }
 }

@@ -268,6 +268,103 @@ fn dpor_counters_are_consistent() {
 }
 
 #[test]
+fn await_counters_are_consistent() {
+    // The await-collapse counters: silent when the reduction is off,
+    // live on spinning programs when it is on, and only ever counting
+    // reads the collapse actually examined (every collapsed move is a
+    // generated move that was dropped, so collapsed <= moves_generated).
+    let spin = transafety::litmus::by_name("mp-spin")
+        .expect("mp-spin litmus exists")
+        .parse()
+        .program;
+    let budget = capped_budget();
+    for model in MemoryModelKind::ALL {
+        for jobs in [1, 4] {
+            let what = format!("mp-spin model={model} jobs={jobs}");
+            let on = Analysis::new()
+                .model(model)
+                .jobs(jobs)
+                .awaits(true)
+                .budget(budget)
+                .metrics(true)
+                .run(&spin);
+            let off = Analysis::new()
+                .model(model)
+                .jobs(jobs)
+                .awaits(false)
+                .budget(budget)
+                .metrics(true)
+                .run(&spin);
+            assert_well_formed(&on, &format!("{what} [awaits]"));
+            assert_well_formed(&off, &format!("{what} [no-awaits]"));
+            // With the reduction off both counters are silent.
+            assert_eq!(
+                off.stats.await_collapsed, 0,
+                "{what}: unreduced run reported a collapse"
+            );
+            assert_eq!(
+                off.stats.await_wakeups, 0,
+                "{what}: unreduced run reported a wakeup"
+            );
+            // With it on, the spin loop must actually exercise both
+            // sides of the collapse: failed re-reads dropped, and the
+            // watched read that advances the spinner kept.
+            assert!(
+                on.stats.await_collapsed > 0,
+                "{what}: spin program collapsed nothing"
+            );
+            assert!(
+                on.stats.await_wakeups > 0,
+                "{what}: spin program recorded no wakeup"
+            );
+            assert!(
+                on.stats.await_collapsed <= on.stats.moves_generated,
+                "{what}: collapsed more moves than were generated"
+            );
+            // The collapse makes the spin exploration exact where the
+            // bounded engine trips its action fuel.
+            assert!(
+                on.completeness.is_complete(),
+                "{what}: await-aware run truncated"
+            );
+            assert_eq!(on.stats.trip_actions, 0, "{what}: collapse tripped fuel");
+            assert!(
+                off.stats.trip_actions > 0,
+                "{what}: bounded run never tripped"
+            );
+        }
+    }
+}
+
+#[test]
+fn await_counters_are_silent_on_await_free_programs() {
+    // No recognised await loop anywhere in the default generator
+    // output: the collapse must never fire, on any backend.
+    let configs = configs();
+    let budget = capped_budget();
+    for seed in 0..60u64 {
+        let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
+        let program = random_program(seed, config);
+        let model = MemoryModelKind::ALL[usize::try_from(seed).unwrap() % 3];
+        let what = format!("seed {seed} model={model}");
+        let report = Analysis::new()
+            .model(model)
+            .budget(budget)
+            .metrics(true)
+            .run(&program);
+        assert_well_formed(&report, &what);
+        assert_eq!(
+            report.stats.await_collapsed, 0,
+            "{what}: collapse fired without an await loop"
+        );
+        assert_eq!(
+            report.stats.await_wakeups, 0,
+            "{what}: wakeup recorded without an await loop"
+        );
+    }
+}
+
+#[test]
 fn parallel_totals_agree_with_sequential() {
     let configs = configs();
     let budget = capped_budget();

@@ -219,6 +219,129 @@ fn por_agrees_on_loop_bearing_programs() {
     }
 }
 
+fn run_awaits(
+    program: &Program,
+    model: MemoryModelKind,
+    awaits: bool,
+    jobs: usize,
+    budget: &Budget,
+) -> AnalysisReport {
+    Analysis::new()
+        .model(model)
+        .jobs(jobs)
+        .awaits(awaits)
+        .budget(*budget)
+        .run(program)
+}
+
+fn load_program(rel: &str) -> Program {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{rel}: {e}"));
+    transafety::lang::parse_program(&src)
+        .unwrap_or_else(|e| panic!("{rel}: {e}"))
+        .program
+}
+
+/// The spin corpus: hand-written busy-wait programs whose loops are all
+/// recognised awaits, so the await-aware reduction must complete them
+/// while the unreduced engine truncates at the action bound.
+fn spin_corpus() -> Vec<(String, Program, Verdict)> {
+    let mp_spin = transafety::litmus::by_name("mp-spin")
+        .expect("mp-spin litmus exists")
+        .parse()
+        .program;
+    let racy_spin = transafety::lang::parse_program(
+        // Non-volatile spin flag: the guard reads race with the
+        // publishing store, and the collapse must keep one failed
+        // read adjacent to the write so the witness survives.
+        "x := 1; flag := 1; || while (flag != 1) skip; r2 := x; print r2;",
+    )
+    .expect("racy spin parses")
+    .program;
+    vec![
+        ("mp-spin".to_string(), mp_spin, Verdict::DrfProven),
+        (
+            "spinlock_handoff".to_string(),
+            load_program("programs/spinlock_handoff.tsl"),
+            Verdict::DrfProven,
+        ),
+        (
+            "seqlock_reader".to_string(),
+            load_program("programs/seqlock_reader.tsl"),
+            Verdict::DrfProven,
+        ),
+        ("racy-spin".to_string(), racy_spin, Verdict::Racy),
+    ]
+}
+
+#[test]
+fn await_reduction_completes_and_agrees_on_the_spin_corpus() {
+    let budget = capped_budget();
+    for (name, program, expect) in spin_corpus() {
+        for model in MemoryModelKind::ALL {
+            for jobs in JOBS {
+                let what = format!("spin {name} model={model} jobs={jobs}");
+                let reduced = run_awaits(&program, model, true, jobs, &budget);
+                let full = run_awaits(&program, model, false, jobs, &budget);
+                // The headline claim: the collapse turns the budget-
+                // truncated spin exploration into a complete verdict.
+                assert!(
+                    reduced.completeness.is_complete(),
+                    "{what}: await-aware run truncated ({:?})",
+                    reduced.completeness
+                );
+                assert_eq!(reduced.verdict, expect, "{what}: verdict");
+                if expect == Verdict::Racy {
+                    // The race phase never collapses, so the witness on
+                    // the spinning read must survive the reduction.
+                    assert!(reduced.race.is_some(), "{what}: witness lost");
+                    assert_eq!(
+                        reduced.race.is_some(),
+                        full.race.is_some(),
+                        "{what}: witness presence differs from the unreduced engine"
+                    );
+                }
+                let both_complete =
+                    reduced.completeness.is_complete() && full.completeness.is_complete();
+                if both_complete {
+                    assert_identical(&reduced, &full, &what);
+                }
+                assert_sound(&reduced, &full, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn await_reduction_agrees_on_generated_awaits() {
+    let config = GeneratorConfig::with_awaits();
+    let budget = capped_budget();
+    for seed in 0..60u64 {
+        let program = random_program(seed, &config);
+        // Cycle the three models across the seed range.
+        let model = MemoryModelKind::ALL[usize::try_from(seed).unwrap() % 3];
+        for jobs in JOBS {
+            let what = format!("await seed {seed} model={model} jobs={jobs}");
+            let reduced = run_awaits(&program, model, true, jobs, &budget);
+            let full = run_awaits(&program, model, false, jobs, &budget);
+            // Generated awaits are recognised by construction, so the
+            // reduced exploration is exact — the state-cap budget is
+            // only a guard against pathological seeds.
+            assert!(
+                reduced.completeness.is_complete(),
+                "{what}: await-aware run truncated ({:?})",
+                reduced.completeness
+            );
+            let both_complete =
+                reduced.completeness.is_complete() && full.completeness.is_complete();
+            if both_complete {
+                assert_identical(&reduced, &full, &what);
+            }
+            assert_sound(&reduced, &full, &what);
+        }
+    }
+}
+
 #[test]
 fn por_agrees_on_generated_programs() {
     let configs = configs();
