@@ -13,6 +13,7 @@
 //! $ drfcheck --max-interleavings 10000 executions program.tsl
 //! $ drfcheck --timeout 5 --max-states 1000000 check program.tsl
 //! $ drfcheck litmus               # list the built-in corpus
+//! $ drfcheck --stats=json fuzz --pairs 20000 --witness-dir witnesses/
 //! ```
 //!
 //! `--jobs N` selects the worker count for the parallel exploration
@@ -197,7 +198,9 @@ fn usage() -> ExitCode {
            dot <program>                        Graphviz happens-before graph\n  \
            litmus                               list the built-in corpus\n  \
            serve [serve flags]                  long-running JSON-lines batch service\n                                       \
-                                                (stdin/stdout, or --socket PATH)\n\
+                                                (stdin/stdout, or --socket PATH)\n  \
+           fuzz [fuzz flags]                    differential refinement fuzzing: random\n                                       \
+                                                (program × pipeline) pairs, shrink on failure\n\
          flags:\n  \
            --model sc|tso|pso     memory model for check/races/behaviours (default: sc;\n                         \
                                   tso/pso explore the §8 store-buffer machines, POR off)\n  \
@@ -221,9 +224,21 @@ fn usage() -> ExitCode {
            --fault-plan SPEC      deterministic fault injection, e.g. 'panic@2,corrupt@3'\n                         \
                                   (or set DRFCHECK_FAULTS; see the user guide)\n  \
            --stats-out PATH       write the serve-section stats JSON to PATH on exit\n\
+         fuzz flags:\n  \
+           --pairs N              random (program × pipeline) cases (default 1000)\n  \
+           --fuzz-seed N          master seed; the whole run is a pure function of it\n  \
+           --models LIST          comma-separated models to cycle over (default sc,tso,pso)\n  \
+           --case-timeout-ms N    per-side analysis wall-clock budget (default 100; 0 = off)\n  \
+           --case-max-states N    per-side analysis state cap (default 20000)\n  \
+           --max-passes N         pipeline length bound (default 3)\n  \
+           --shrink-attempts N    oracle re-runs the minimiser may spend per divergence\n  \
+           --max-witnesses N      expected-divergence witnesses to minimise and keep\n  \
+           --witness-dir DIR      save minimised witnesses as .tsl + .pipeline pairs\n  \
+           --skip-seeded          skip the built-in known-unsafe seed cases\n\
          exit codes:\n  \
            0  success / property holds\n  \
-           1  data race or unsafe transformation found\n  \
+           1  data race or unsafe transformation found (for fuzz: a refinement\n     \
+              violation, a missed seeded case, or a panicking case)\n  \
            2  usage or input error\n  \
            3  a state/interleaving cap was exceeded (partial results flushed)\n  \
            4  deadline exceeded or interrupted by SIGINT/SIGTERM (partial results\n     \
@@ -607,6 +622,157 @@ fn serve_cmd(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<Exi
     Ok(ExitCode::SUCCESS)
 }
 
+/// `drfcheck fuzz`: the differential refinement fuzzing soak. Global
+/// flags supply the worker count (`--jobs`) and the POR toggle
+/// (`--no-por`); the flags parsed here configure the run itself.
+fn fuzz_cmd(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode, String> {
+    use transafety::fuzz::{run_soak, SoakConfig};
+
+    let mut config = SoakConfig {
+        jobs: opts.jobs,
+        por: opts.explore.por,
+        ..SoakConfig::default()
+    };
+    let mut case_timeout_ms: u64 = 100;
+    let mut case_max_states: usize = 20_000;
+    let mut witness_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pairs" => {
+                let v = it.next().ok_or("--pairs requires a value")?;
+                config.pairs = v
+                    .parse()
+                    .map_err(|_| format!("--pairs: not a number: {v}"))?;
+            }
+            "--fuzz-seed" => {
+                let v = it.next().ok_or("--fuzz-seed requires a value")?;
+                config.seed = v
+                    .parse()
+                    .map_err(|_| format!("--fuzz-seed: not a number: {v}"))?;
+            }
+            "--models" => {
+                let v = it.next().ok_or("--models requires a list (e.g. sc,tso)")?;
+                config.models = v
+                    .split(',')
+                    .map(|m| m.trim().parse().map_err(|e| format!("--models: {e}")))
+                    .collect::<Result<Vec<MemoryModelKind>, String>>()?;
+                if config.models.is_empty() {
+                    return Err("--models: the list must not be empty".to_string());
+                }
+            }
+            "--case-timeout-ms" => {
+                let v = it.next().ok_or("--case-timeout-ms requires a value")?;
+                case_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("--case-timeout-ms: not a number: {v}"))?;
+            }
+            "--case-max-states" => {
+                let v = it.next().ok_or("--case-max-states requires a value")?;
+                case_max_states = v
+                    .parse()
+                    .map_err(|_| format!("--case-max-states: not a number: {v}"))?;
+                if case_max_states == 0 {
+                    return Err("--case-max-states: must be positive".to_string());
+                }
+            }
+            "--max-passes" => {
+                let v = it.next().ok_or("--max-passes requires a value")?;
+                config.pipeline.max_passes = v
+                    .parse()
+                    .map_err(|_| format!("--max-passes: not a number: {v}"))?;
+            }
+            "--shrink-attempts" => {
+                let v = it.next().ok_or("--shrink-attempts requires a value")?;
+                config.shrink_attempts = v
+                    .parse()
+                    .map_err(|_| format!("--shrink-attempts: not a number: {v}"))?;
+            }
+            "--max-witnesses" => {
+                let v = it.next().ok_or("--max-witnesses requires a value")?;
+                config.max_witnesses = v
+                    .parse()
+                    .map_err(|_| format!("--max-witnesses: not a number: {v}"))?;
+            }
+            "--witness-dir" => {
+                let v = it.next().ok_or("--witness-dir requires a path")?;
+                witness_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--skip-seeded" => config.skip_seeded = true,
+            other => return Err(format!("fuzz: unknown argument {other:?}")),
+        }
+    }
+    let mut budget = transafety::Budget::unlimited().max_states(case_max_states);
+    if case_timeout_ms > 0 {
+        budget = budget.timeout(Duration::from_millis(case_timeout_ms));
+    }
+    config.budget = budget;
+
+    let report = run_soak(&config);
+
+    println!(
+        "fuzz: {} pairs checked under {} — {} refine, {} identity, {} inconclusive, \
+         {} expected divergences, {} violations",
+        report.stats.pairs_checked,
+        config
+            .models
+            .iter()
+            .map(|m| m.as_str())
+            .collect::<Vec<_>>()
+            .join(","),
+        report.stats.refines,
+        report.stats.identity,
+        report.stats.inconclusive,
+        report.stats.expected_divergences,
+        report.stats.violations,
+    );
+    if !config.skip_seeded {
+        println!(
+            "fuzz: seeded known-unsafe cases: {} detected, {} missed",
+            report.stats.seeded_detected, report.stats.seeded_missed
+        );
+    }
+    if report.stats.panics > 0 {
+        println!(
+            "fuzz: {} case(s) panicked inside the fault boundary",
+            report.stats.panics
+        );
+    }
+    if let Some(dir) = &witness_dir {
+        for (i, w) in report.violations.iter().enumerate() {
+            w.save(dir, &format!("violation-{i}"))
+                .map_err(|e| format!("--witness-dir: cannot write {}: {e}", dir.display()))?;
+        }
+        for (i, w) in report.witnesses.iter().enumerate() {
+            w.save(dir, &format!("witness-{i}"))
+                .map_err(|e| format!("--witness-dir: cannot write {}: {e}", dir.display()))?;
+        }
+        println!(
+            "fuzz: saved {} witness pair(s) to {}",
+            report.violations.len() + report.witnesses.len(),
+            dir.display()
+        );
+    }
+    for w in &report.violations {
+        eprintln!(
+            "drfcheck: REFINEMENT VIOLATION under {}:\n{}",
+            w.model, w.program
+        );
+        let rules: Vec<String> = w.rules.iter().map(ToString::to_string).collect();
+        eprintln!("pipeline: {} (rules: {})", w.pipeline, rules.join(", "));
+    }
+    match stats.mode {
+        StatsMode::Off => {}
+        StatsMode::Human => eprintln!("{}", report.stats.to_human()),
+        StatsMode::Json => println!("{}", report.stats.to_json()),
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("check") if args.len() == 2 => {
@@ -864,6 +1030,7 @@ fn run(args: &[String], opts: &Analysis, stats: &StatsFlags) -> Result<ExitCode,
             Ok(ExitCode::SUCCESS)
         }
         Some("serve") => serve_cmd(&args[1..], opts, stats),
+        Some("fuzz") => fuzz_cmd(&args[1..], opts, stats),
         Some("litmus") if args.len() == 1 => {
             for l in transafety::litmus::corpus() {
                 println!(

@@ -21,6 +21,7 @@
 //! | [`checker`] | Theorems 1–5 as decision procedures on concrete programs |
 //! | [`tso`] | store-buffer machine and the §8 "TSO is explained" check |
 //! | [`litmus`] | the program corpus and the random workload generator |
+//! | [`fuzz`] | differential refinement fuzzing: pipelines, oracle, shrinker, soak |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use transafety_checker as checker;
 pub use transafety_interleaving as interleaving;
 
 pub use transafety_checker::{Analysis, AnalysisReport, Verdict};
+pub use transafety_fuzz as fuzz;
 pub use transafety_interleaving::available_jobs;
 pub use transafety_interleaving::{
     Budget, BudgetBound, CancelToken, Completeness, TruncationReason,

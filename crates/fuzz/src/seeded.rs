@@ -1,0 +1,175 @@
+//! Hand-written known-unsafe seed cases.
+//!
+//! Each case is a (program, rule, model) triple for which the
+//! transformation is *flagged* by `classify_transformation_under` and
+//! genuinely diverges under the model — the positive controls of the
+//! fuzzing run.  Every `drfcheck fuzz` invocation replays them first:
+//! a seeded case that is no longer detected means the oracle (or a
+//! machine) lost the divergence, and the run fails loudly rather than
+//! soaking quietly with a blind oracle.
+
+use transafety_lang::{parse_program, Program};
+use transafety_syntactic::RuleName;
+use transafety_traces::MemoryModelKind;
+
+use crate::oracle::{check_pair, OracleConfig};
+use crate::pipeline::Pipeline;
+use crate::shrink::{minimise, statement_count, Minimised};
+use crate::witness::pipeline_for_rules;
+
+/// One seeded known-unsafe case.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededCase {
+    /// Stable name (used for witness files and reporting).
+    pub name: &'static str,
+    /// The original program source.
+    pub source: &'static str,
+    /// The rule whose application must diverge.
+    pub rule: RuleName,
+    /// The model the divergence shows up under.
+    pub model: MemoryModelKind,
+}
+
+/// The built-in known-unsafe corpus.
+///
+/// Register moves are hoisted to the front of each thread so the
+/// Fig. 10/11 side conditions (the intervening segment must not touch
+/// the matched registers) are met on the desugared AST.
+///
+/// * `ewbw_tso`: overwritten-write elimination.  The buffered `x := r0`
+///   forces `x` to be visible no later than `y` under TSO's FIFO store
+///   buffer; eliminating it lets the reader observe `y == 1, x == 0`
+///   and take the guarded print.  Outside the §8 TSO fragment, flagged
+///   as `EliminationKind::OverwrittenWrite`.
+/// * `rrw_tso`: load→store reordering (R-RW).  Both TSO and SC forbid
+///   the load-buffering outcome `r1 == r3 == 1` of the original;
+///   hoisting the store above the load makes it reachable.  Flagged
+///   conservatively (`EliminationThenReordering` is never
+///   `safe_under_model` on relaxed models).
+#[must_use]
+pub fn known_unsafe_cases() -> Vec<SeededCase> {
+    vec![
+        SeededCase {
+            name: "ewbw_tso",
+            source: "r0 := 1; r1 := 1; r2 := 2; x := r0; y := r1; x := r2; \
+                     || r3 := y; r4 := x; if (r4 == 0) print r3;",
+            rule: RuleName::EWbw,
+            model: MemoryModelKind::Tso,
+        },
+        SeededCase {
+            name: "rrw_tso",
+            source: "r0 := 1; r1 := x; y := r0; print r1; \
+                     || r2 := 1; r3 := y; x := r2; print r3;",
+            rule: RuleName::RRw,
+            model: MemoryModelKind::Tso,
+        },
+    ]
+}
+
+/// The result of replaying one seeded case.
+#[derive(Debug)]
+pub struct SeededResult {
+    /// The case.
+    pub case: SeededCase,
+    /// `true` if the oracle saw the divergence.
+    pub detected: bool,
+    /// The minimised witness (only when detected).
+    pub minimised: Option<Minimised>,
+}
+
+impl SeededResult {
+    /// Whether the minimised witness meets the acceptance bound
+    /// (≤ 6 statements, ≤ 2 passes).
+    #[must_use]
+    pub fn within_bounds(&self) -> bool {
+        self.minimised
+            .as_ref()
+            .is_some_and(|m| statement_count(&m.program) <= 6 && m.pipeline.len() <= 2)
+    }
+}
+
+/// Resolve a seeded case to its (program, pipeline) pair.
+///
+/// # Panics
+/// If the built-in source no longer parses or the rule no longer
+/// applies (both would be repo bugs).
+#[must_use]
+pub fn resolve(case: &SeededCase) -> (Program, Pipeline) {
+    let program = parse_program(case.source)
+        .unwrap_or_else(|e| panic!("seeded case {}: {e}", case.name))
+        .program;
+    let pipeline = pipeline_for_rules(&program, &[case.rule])
+        .unwrap_or_else(|| panic!("seeded case {}: {} does not apply", case.name, case.rule));
+    (program, pipeline)
+}
+
+/// Replay one seeded case: run the oracle, demand a divergence, and
+/// minimise it with the case's rule pinned — the shrunk witness must
+/// still diverge *via the named transformation*, not via some other
+/// divergence a shrink step leaves behind.  `shrink_attempts` bounds
+/// the minimiser's oracle re-runs.
+#[must_use]
+pub fn replay(case: &SeededCase, config: &OracleConfig, shrink_attempts: usize) -> SeededResult {
+    let (program, pipeline) = resolve(case);
+    let report = check_pair(&program, &pipeline, config);
+    if !report.outcome.is_divergence() {
+        return SeededResult {
+            case: *case,
+            detected: false,
+            minimised: None,
+        };
+    }
+    let rule = case.rule;
+    let minimised = minimise(
+        &program,
+        &pipeline,
+        config,
+        |r| r.outcome.is_divergence() && r.applied.iter().any(|p| p.rule == rule),
+        shrink_attempts,
+    );
+    SeededResult {
+        case: *case,
+        detected: true,
+        minimised: Some(minimised),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Outcome;
+
+    #[test]
+    fn every_seeded_case_is_detected_and_shrinks_within_bounds() {
+        for case in known_unsafe_cases() {
+            let config = OracleConfig::for_model(case.model);
+            let result = replay(&case, &config, 2_000);
+            assert!(result.detected, "seeded case {} not detected", case.name);
+            assert!(
+                result.within_bounds(),
+                "seeded case {} minimised out of bounds: {:?}",
+                case.name,
+                result
+                    .minimised
+                    .map(|m| (statement_count(&m.program), m.pipeline.len()))
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_divergences_are_expected_not_violations() {
+        // Both seeds have racy originals and flagged transformations:
+        // the oracle must class them ExpectedDivergence, not Violation.
+        for case in known_unsafe_cases() {
+            let (program, pipeline) = resolve(&case);
+            let config = OracleConfig::for_model(case.model);
+            let report = check_pair(&program, &pipeline, &config);
+            match report.outcome {
+                Outcome::ExpectedDivergence(ref d) => {
+                    assert!(!d.classifier_safe, "{}: classifier must flag it", case.name);
+                }
+                ref other => panic!("{}: {other:?}", case.name),
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Delta-debugging minimiser for failing (program, pipeline) pairs.
+//!
+//! Greedy first-improvement search: at each step the minimiser tries
+//! every one-step shrink of the program (statement removal, thread
+//! removal, control-structure simplification, constant simplification)
+//! and then of the pipeline (drop / truncate / halve-pick passes),
+//! re-runs the [oracle](crate::oracle) under the per-case budget, and
+//! keeps the first candidate on which the failure predicate still
+//! holds.  Every accepted step strictly reduces the lexicographic
+//! measure (statement count, constant sum, pipeline weight), so the
+//! search terminates; a hard attempt cap bounds the oracle re-runs.
+
+use transafety_lang::{Operand, Program, Stmt};
+use transafety_traces::Value;
+
+use crate::oracle::{check_pair, CaseReport, OracleConfig, Outcome};
+use crate::pipeline::Pipeline;
+
+/// Count the *action-bearing* statements of a program: loads, stores,
+/// locks, unlocks and prints — the statements that issue an action in
+/// the Fig. 7 semantics.  Register moves and `skip` are trace-invisible
+/// (the REGS rule issues no action; the parser inserts moves freely
+/// when desugaring constants), and control scaffolding tests registers
+/// only, so this is the trace-relevant size of a witness — the measure
+/// the ≤ 6-statement acceptance bound is stated over.
+#[must_use]
+pub fn statement_count(program: &Program) -> usize {
+    fn count(s: &Stmt) -> usize {
+        match s {
+            Stmt::Block(body) => body.iter().map(count).sum(),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => count(then_branch) + count(else_branch),
+            Stmt::While { body, .. } => count(body),
+            Stmt::Move { .. } | Stmt::Skip => 0,
+            Stmt::Store { .. }
+            | Stmt::Load { .. }
+            | Stmt::Lock(_)
+            | Stmt::Unlock(_)
+            | Stmt::Print(_) => 1,
+        }
+    }
+    program
+        .threads()
+        .iter()
+        .flat_map(|t| t.iter())
+        .map(count)
+        .sum()
+}
+
+/// All one-step program shrinks: drop a thread, drop a statement at any
+/// nesting depth, replace a conditional by one branch, a loop by its
+/// body, or a non-zero constant by zero.
+#[must_use]
+pub fn program_shrinks(program: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    if program.thread_count() > 1 {
+        for i in 0..program.thread_count() {
+            let mut threads = program.threads().to_vec();
+            threads.remove(i);
+            out.push(Program::new(threads));
+        }
+    }
+    for t in 0..program.thread_count() {
+        for body in list_shrinks(&program.threads()[t]) {
+            let mut threads = program.threads().to_vec();
+            threads[t] = body;
+            out.push(Program::new(threads));
+        }
+    }
+    out
+}
+
+fn list_shrinks(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for i in 0..stmts.len() {
+        let mut removed = stmts.to_vec();
+        removed.remove(i);
+        out.push(removed);
+        for s in stmt_shrinks(&stmts[i]) {
+            let mut replaced = stmts.to_vec();
+            replaced[i] = s;
+            out.push(replaced);
+        }
+    }
+    out
+}
+
+fn stmt_shrinks(s: &Stmt) -> Vec<Stmt> {
+    match s {
+        Stmt::Block(body) => list_shrinks(body).into_iter().map(Stmt::Block).collect(),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let mut out = vec![(**then_branch).clone(), (**else_branch).clone()];
+            for b in stmt_shrinks(then_branch) {
+                out.push(Stmt::If {
+                    cond: *cond,
+                    then_branch: Box::new(b),
+                    else_branch: else_branch.clone(),
+                });
+            }
+            for b in stmt_shrinks(else_branch) {
+                out.push(Stmt::If {
+                    cond: *cond,
+                    then_branch: then_branch.clone(),
+                    else_branch: Box::new(b),
+                });
+            }
+            out
+        }
+        Stmt::While { cond, body } => {
+            let mut out = vec![(**body).clone()];
+            for b in stmt_shrinks(body) {
+                out.push(Stmt::While {
+                    cond: *cond,
+                    body: Box::new(b),
+                });
+            }
+            out
+        }
+        Stmt::Move { dst, src } => match src {
+            Operand::Const(v) if !v.is_default() => vec![Stmt::Move {
+                dst: *dst,
+                src: Operand::Const(Value::ZERO),
+            }],
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+/// The result of a minimisation run.
+#[derive(Debug, Clone)]
+pub struct Minimised {
+    /// The shrunk program.
+    pub program: Program,
+    /// The shrunk pipeline.
+    pub pipeline: Pipeline,
+    /// The oracle outcome on the shrunk pair (still failing).
+    pub outcome: Outcome,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Oracle runs spent shrinking (accepted + rejected candidates).
+    pub attempts: usize,
+}
+
+/// Shrink `(program, pipeline)` while `keep` holds of the oracle
+/// report, spending at most `max_attempts` oracle re-runs.
+///
+/// `keep` sees the whole [`CaseReport`], not just the outcome, so a
+/// caller can pin the failure mode — e.g. "still a divergence *and*
+/// still applies E-WBW" — and the minimiser cannot wander off to a
+/// smaller but different failure (a shrink step that removes the
+/// interesting rule often leaves some other divergence behind).
+///
+/// The initial pair must satisfy `keep` (callers check the original
+/// failure first); the returned pair always does.
+pub fn minimise(
+    program: &Program,
+    pipeline: &Pipeline,
+    config: &OracleConfig,
+    keep: impl Fn(&CaseReport) -> bool,
+    max_attempts: usize,
+) -> Minimised {
+    let mut best_program = program.clone();
+    let mut best_pipeline = pipeline.clone();
+    let mut best_outcome = check_pair(&best_program, &best_pipeline, config).outcome;
+    let mut steps = 0usize;
+    let mut attempts = 1usize;
+
+    'outer: loop {
+        if attempts >= max_attempts {
+            break;
+        }
+        for candidate in program_shrinks(&best_program) {
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            attempts += 1;
+            let report = check_pair(&candidate, &best_pipeline, config);
+            if keep(&report) {
+                best_program = candidate;
+                best_outcome = report.outcome;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        for candidate in best_pipeline.shrink_candidates() {
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            attempts += 1;
+            let report = check_pair(&best_program, &candidate, config);
+            if keep(&report) {
+                best_pipeline = candidate;
+                best_outcome = report.outcome;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    Minimised {
+        program: best_program,
+        pipeline: best_pipeline,
+        outcome: best_outcome,
+        steps,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transafety_lang::parse_program;
+    use transafety_traces::MemoryModelKind;
+
+    #[test]
+    fn counts_action_statements_through_nesting() {
+        let p = parse_program(
+            "if (r0 == 1) { x := r0; print r0; } else skip; while (r1 != 1) r1 := x;",
+        )
+        .unwrap()
+        .program;
+        // store + print inside the branch, load inside the loop; the
+        // if/while/skip scaffolding and register moves are invisible
+        assert_eq!(statement_count(&p), 3);
+    }
+
+    #[test]
+    fn shrinks_strictly_reduce_the_measure() {
+        let p = parse_program("r0 := 3; if (r0 == 1) { x := r0; } else skip; || y := r1;")
+            .unwrap()
+            .program;
+        // termination measure: AST node count, then total constant mass
+        fn nodes(s: &Stmt) -> usize {
+            match s {
+                Stmt::Block(body) => 1 + body.iter().map(nodes).sum::<usize>(),
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => 1 + nodes(then_branch) + nodes(else_branch),
+                Stmt::While { body, .. } => 1 + nodes(body),
+                _ => 1,
+            }
+        }
+        let measure = |p: &Program| {
+            let consts: u64 = p.constants().iter().map(|c| u64::from(c.get())).sum();
+            let n: usize = p.threads().iter().flatten().map(nodes).sum();
+            (n, consts)
+        };
+        for cand in program_shrinks(&p) {
+            assert!(
+                measure(&cand) < measure(&p),
+                "candidate did not shrink: {cand}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimises_the_overwritten_write_witness() {
+        // Start from a padded variant of the E-WBW/TSO divergence and
+        // check the minimiser gets it down to the acceptance bound
+        // (≤ 6 statements, ≤ 2 passes).
+        let p = parse_program(
+            "r9 := 7; r0 := 1; r1 := 1; r2 := 2; x := r0; y := r1; x := r2; skip; \
+             || r3 := y; r4 := x; if (r4 == 0) print r3;",
+        )
+        .unwrap()
+        .program;
+        let config = OracleConfig::for_model(MemoryModelKind::Tso);
+        // find a pipeline whose first pass is the E-WBW elimination
+        let rewrites = transafety_syntactic::elimination_rewrites(&p);
+        let idx = rewrites
+            .iter()
+            .position(|r| r.rule == transafety_syntactic::RuleName::EWbw)
+            .expect("E-WBW applies");
+        let pipeline = Pipeline {
+            passes: vec![crate::pipeline::Pass {
+                set: crate::pipeline::PassSet::Eliminations,
+                pick: u32::try_from(idx).unwrap(),
+            }],
+        };
+        let first = check_pair(&p, &pipeline, &config);
+        assert!(first.outcome.is_divergence(), "{:?}", first.outcome);
+        // pin the rule: the shrunk pair must still diverge *via E-WBW*,
+        // not via some other divergence a shrink step leaves behind
+        let keeps_ewbw = |r: &CaseReport| {
+            r.outcome.is_divergence()
+                && r.applied
+                    .iter()
+                    .any(|p| p.rule == transafety_syntactic::RuleName::EWbw)
+        };
+        let min = minimise(&p, &pipeline, &config, keeps_ewbw, 2_000);
+        assert!(min.outcome.is_divergence());
+        let applied = min.pipeline.apply(&min.program);
+        assert!(
+            applied
+                .applied
+                .iter()
+                .any(|p| p.rule == transafety_syntactic::RuleName::EWbw),
+            "minimised witness lost the pinned rule"
+        );
+        assert!(
+            statement_count(&min.program) <= 6,
+            "witness still has {} statements:\n{}",
+            statement_count(&min.program),
+            min.program
+        );
+        assert!(min.pipeline.len() <= 2);
+        assert!(min.steps > 0);
+    }
+}

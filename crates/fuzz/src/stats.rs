@@ -1,0 +1,176 @@
+//! Fuzzing-run counters and the `fuzz` section of the
+//! `drfcheck-stats-v2` JSON schema.
+
+use std::time::Duration;
+
+use transafety_serve::LatencyHistogram;
+
+/// Counters for one fuzzing run (seeded cases plus the random soak).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuzzStats {
+    /// (program, pipeline, model) cases checked.
+    pub pairs_checked: u64,
+    /// Cases where no pass changed the program.
+    pub identity: u64,
+    /// Cases where refinement was checked and held.
+    pub refines: u64,
+    /// Cases a per-case budget cut short before a verdict.
+    pub inconclusive: u64,
+    /// Expected divergences: racy original, transformation outside the
+    /// model's fragment (the witnesses that justify the classifier's
+    /// per-model flags).
+    pub expected_divergences: u64,
+    /// Violations: divergence where refinement was required — a
+    /// soundness bug in the rules, machines or classifier.
+    pub violations: u64,
+    /// Worker panics caught at the case boundary.
+    pub panics: u64,
+    /// Seeded known-unsafe cases that were detected and minimised.
+    pub seeded_detected: u64,
+    /// Seeded known-unsafe cases that were *not* detected (must be 0).
+    pub seeded_missed: u64,
+    /// Accepted shrink steps across all minimisations.
+    pub shrink_steps: u64,
+    /// Oracle re-runs spent inside the minimiser.
+    pub shrink_attempts: u64,
+    /// Minimised witnesses produced (expected divergences + violations
+    /// that went through the minimiser).
+    pub witnesses_minimised: u64,
+    /// Per-pair wall latency distribution in microseconds, one sample
+    /// per checked case.
+    pub latencies: LatencyHistogram,
+}
+
+impl FuzzStats {
+    /// Records one completed case's latency.
+    pub fn record_latency(&mut self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.latencies.record(micros);
+    }
+
+    /// Merge another stats block into this one (used to fold per-worker
+    /// stats into the run total).
+    pub fn merge(&mut self, other: &FuzzStats) {
+        self.pairs_checked += other.pairs_checked;
+        self.identity += other.identity;
+        self.refines += other.refines;
+        self.inconclusive += other.inconclusive;
+        self.expected_divergences += other.expected_divergences;
+        self.violations += other.violations;
+        self.panics += other.panics;
+        self.seeded_detected += other.seeded_detected;
+        self.seeded_missed += other.seeded_missed;
+        self.shrink_steps += other.shrink_steps;
+        self.shrink_attempts += other.shrink_attempts;
+        self.witnesses_minimised += other.witnesses_minimised;
+        self.latencies.merge(&other.latencies);
+    }
+
+    /// Serialises the section to one line of schema-stable JSON (the
+    /// same `drfcheck-stats-v2` envelope the explore and serve sections
+    /// use; key order fixed, integer values only).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"schema\":\"drfcheck-stats-v2\",\"section\":\"fuzz\",\"fuzz\":{");
+        let mut first = true;
+        for (key, value) in [
+            ("pairs_checked", self.pairs_checked),
+            ("identity", self.identity),
+            ("refines", self.refines),
+            ("inconclusive", self.inconclusive),
+            ("expected_divergences", self.expected_divergences),
+            ("violations", self.violations),
+            ("panics", self.panics),
+            ("seeded_detected", self.seeded_detected),
+            ("seeded_missed", self.seeded_missed),
+            ("shrink_steps", self.shrink_steps),
+            ("shrink_attempts", self.shrink_attempts),
+            ("witnesses_minimised", self.witnesses_minimised),
+            ("latency_count", self.latencies.count()),
+            ("latency_total_micros", self.latencies.total_micros()),
+            ("latency_p50_micros", self.latencies.quantile_micros(0.50)),
+            ("latency_p99_micros", self.latencies.quantile_micros(0.99)),
+            ("latency_max_micros", self.latencies.max_micros()),
+        ] {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\"{key}\":{value}"));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders a human-readable multi-line summary (what
+    /// `drfcheck fuzz --stats` prints on stderr).
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        format!(
+            "--- fuzz stats ---\n\
+             pairs: {} checked ({} identity, {} refine, {} inconclusive)\n\
+             divergences: {} expected, {} VIOLATIONS, {} panics\n\
+             seeded: {} detected, {} missed\n\
+             shrinking: {} steps over {} oracle re-runs, {} witnesses minimised\n\
+             latency (µs): p50 {}, p99 {}, max {} over {} cases",
+            self.pairs_checked,
+            self.identity,
+            self.refines,
+            self.inconclusive,
+            self.expected_divergences,
+            self.violations,
+            self.panics,
+            self.seeded_detected,
+            self.seeded_missed,
+            self.shrink_steps,
+            self.shrink_attempts,
+            self.witnesses_minimised,
+            self.latencies.quantile_micros(0.50),
+            self.latencies.quantile_micros(0.99),
+            self.latencies.max_micros(),
+            self.latencies.count(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_schema_stable() {
+        let mut s = FuzzStats {
+            pairs_checked: 3,
+            ..FuzzStats::default()
+        };
+        s.record_latency(Duration::from_micros(42));
+        let line = s.to_json();
+        assert!(
+            line.starts_with("{\"schema\":\"drfcheck-stats-v2\",\"section\":\"fuzz\",\"fuzz\":{")
+        );
+        assert!(line.contains("\"pairs_checked\":3"));
+        assert!(line.contains("\"latency_count\":1"));
+        assert!(line.ends_with("}}"));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_latencies() {
+        let mut a = FuzzStats {
+            pairs_checked: 2,
+            ..FuzzStats::default()
+        };
+        a.record_latency(Duration::from_micros(10));
+        let mut b = FuzzStats {
+            pairs_checked: 5,
+            violations: 1,
+            ..FuzzStats::default()
+        };
+        b.record_latency(Duration::from_micros(20));
+        a.merge(&b);
+        assert_eq!(a.pairs_checked, 7);
+        assert_eq!(a.violations, 1);
+        assert_eq!(a.latencies.count(), 2);
+        assert_eq!(a.latencies.total_micros(), 30);
+    }
+}

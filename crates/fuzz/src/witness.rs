@@ -1,0 +1,275 @@
+//! Saving and replaying minimised counterexamples.
+//!
+//! A witness is stored as two sibling files: `<name>.tsl` holds the
+//! minimised *original* program (pretty-printed, so it reparses with
+//! the same volatility), and `<name>.pipeline` holds a small key-value
+//! descriptor:
+//!
+//! ```text
+//! model: tso
+//! pipeline: elim:3
+//! rules: E-WBW
+//! outcome: expected-divergence
+//! ```
+//!
+//! `pipeline:` is the concrete pick sequence the fuzzer minimised to.
+//! `rules:` records which rules those picks resolved to at save time;
+//! replay re-resolves the picks and falls back to searching for the
+//! named rules if the engine's enumeration order has drifted, so
+//! regression files survive refactors of the rewrite engine.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use transafety_lang::{parse_program, Program};
+use transafety_syntactic::{rewrites, RuleName, RuleSet};
+use transafety_traces::MemoryModelKind;
+
+use crate::pipeline::{Pass, PassSet, Pipeline};
+
+/// A self-contained, replayable counterexample.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The (minimised) original program.
+    pub program: Program,
+    /// The (minimised) pipeline.
+    pub pipeline: Pipeline,
+    /// The rules the pipeline resolved to when the witness was found.
+    pub rules: Vec<RuleName>,
+    /// The model the divergence was observed under.
+    pub model: MemoryModelKind,
+    /// `true` if the divergence was a refinement *violation* (required
+    /// refinement broken) rather than an expected racy-original one.
+    pub violation: bool,
+}
+
+impl Witness {
+    /// The descriptor file contents for this witness.
+    #[must_use]
+    pub fn descriptor(&self) -> String {
+        let rules = self
+            .rules
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "model: {}\npipeline: {}\nrules: {}\noutcome: {}\n",
+            self.model,
+            self.pipeline,
+            rules,
+            if self.violation {
+                "violation"
+            } else {
+                "expected-divergence"
+            }
+        )
+    }
+
+    /// Writes `<name>.tsl` and `<name>.pipeline` under `dir`.
+    pub fn save(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{name}.tsl")), self.program.to_string())?;
+        fs::write(dir.join(format!("{name}.pipeline")), self.descriptor())
+    }
+
+    /// Re-derives a pipeline whose applied rules match the recorded
+    /// ones: first tries the stored picks; if their application no
+    /// longer resolves to the recorded rule sequence (the engine's
+    /// enumeration drifted), searches for picks that do.
+    #[must_use]
+    pub fn effective_pipeline(&self) -> Pipeline {
+        let applied = self.pipeline.apply(&self.program);
+        let applied_rules: Vec<RuleName> = applied.applied.iter().map(|p| p.rule).collect();
+        if self.rules.is_empty() || applied_rules == self.rules {
+            return self.pipeline.clone();
+        }
+        pipeline_for_rules(&self.program, &self.rules).unwrap_or_else(|| self.pipeline.clone())
+    }
+}
+
+/// Builds a pipeline that applies exactly the given rules, in order, by
+/// searching the one-step rewrites at each stage for the first match.
+/// Returns `None` if some rule never becomes applicable.
+#[must_use]
+pub fn pipeline_for_rules(program: &Program, rules: &[RuleName]) -> Option<Pipeline> {
+    let mut current = program.clone();
+    let mut passes = Vec::new();
+    for rule in rules {
+        let options = rewrites(&current, RuleSet::All);
+        let idx = options.iter().position(|r| r.rule == *rule)?;
+        passes.push(Pass {
+            set: PassSet::Any,
+            pick: u32::try_from(idx).ok()?,
+        });
+        current = options[idx].result.clone();
+    }
+    Some(Pipeline { passes })
+}
+
+/// Error loading a witness pair from disk.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The `.tsl` program failed to parse.
+    Program(String),
+    /// The `.pipeline` descriptor is malformed.
+    Descriptor(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Program(e) => write!(f, "bad witness program: {e}"),
+            LoadError::Descriptor(e) => write!(f, "bad witness descriptor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn parse_rule(name: &str) -> Option<RuleName> {
+    RuleName::ELIMINATIONS
+        .iter()
+        .chain(RuleName::REORDERINGS.iter())
+        .chain(RuleName::TRACE_PRESERVING.iter())
+        .copied()
+        .find(|r| r.to_string() == name)
+}
+
+/// Loads the witness stored at `<stem>.tsl` / `<stem>.pipeline`.
+pub fn load_witness(tsl_path: &Path) -> Result<Witness, LoadError> {
+    let source = fs::read_to_string(tsl_path)?;
+    let program = parse_program(&source)
+        .map_err(|e| LoadError::Program(format!("{}: {e}", tsl_path.display())))?
+        .program;
+    let descriptor_path = tsl_path.with_extension("pipeline");
+    let descriptor = fs::read_to_string(&descriptor_path)?;
+
+    let mut model = None;
+    let mut pipeline = None;
+    let mut rules = Vec::new();
+    let mut violation = false;
+    for line in descriptor.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| LoadError::Descriptor(format!("missing ':' in `{line}`")))?;
+        let value = value.trim();
+        match key.trim() {
+            "model" => {
+                model = Some(
+                    value
+                        .parse::<MemoryModelKind>()
+                        .map_err(|e| LoadError::Descriptor(e.to_string()))?,
+                );
+            }
+            "pipeline" => {
+                pipeline = Some(
+                    value
+                        .parse::<Pipeline>()
+                        .map_err(|e| LoadError::Descriptor(e.to_string()))?,
+                );
+            }
+            "rules" => {
+                for tok in value.split_whitespace() {
+                    rules.push(
+                        parse_rule(tok).ok_or_else(|| {
+                            LoadError::Descriptor(format!("unknown rule `{tok}`"))
+                        })?,
+                    );
+                }
+            }
+            "outcome" => {
+                violation = match value {
+                    "violation" => true,
+                    "expected-divergence" => false,
+                    other => {
+                        return Err(LoadError::Descriptor(format!("unknown outcome `{other}`")))
+                    }
+                };
+            }
+            other => {
+                return Err(LoadError::Descriptor(format!("unknown key `{other}`")));
+            }
+        }
+    }
+
+    Ok(Witness {
+        program,
+        pipeline: pipeline
+            .ok_or_else(|| LoadError::Descriptor("missing `pipeline:` line".into()))?,
+        rules,
+        model: model.ok_or_else(|| LoadError::Descriptor("missing `model:` line".into()))?,
+        violation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let program = parse_program(
+            "r0 := 1; r1 := 1; r2 := 2; x := r0; y := r1; x := r2; \
+             || r3 := y; r4 := x; if (r4 == 0) print r3;",
+        )
+        .unwrap()
+        .program;
+        let pipeline = pipeline_for_rules(&program, &[RuleName::EWbw]).expect("E-WBW applies");
+        let w = Witness {
+            program: program.clone(),
+            pipeline,
+            rules: vec![RuleName::EWbw],
+            model: MemoryModelKind::Tso,
+            violation: false,
+        };
+        let dir = std::env::temp_dir().join("transafety-fuzz-witness-test");
+        w.save(&dir, "roundtrip").unwrap();
+        let loaded = load_witness(&dir.join("roundtrip.tsl")).unwrap();
+        assert_eq!(loaded.program, program);
+        assert_eq!(loaded.model, MemoryModelKind::Tso);
+        assert_eq!(loaded.rules, vec![RuleName::EWbw]);
+        assert!(!loaded.violation);
+        let applied = loaded.effective_pipeline().apply(&loaded.program);
+        assert_eq!(
+            applied.applied.iter().map(|p| p.rule).collect::<Vec<_>>(),
+            vec![RuleName::EWbw]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn effective_pipeline_recovers_from_pick_drift() {
+        let program = parse_program("r1 := x; r2 := x; print r2;")
+            .unwrap()
+            .program;
+        // deliberately wrong pick: recorded rules win
+        let w = Witness {
+            program: program.clone(),
+            pipeline: "any:999983".parse().unwrap(),
+            rules: vec![RuleName::ERar],
+            model: MemoryModelKind::Sc,
+            violation: false,
+        };
+        let applied = w.effective_pipeline().apply(&program);
+        assert_eq!(
+            applied.applied.iter().map(|p| p.rule).collect::<Vec<_>>(),
+            vec![RuleName::ERar]
+        );
+    }
+}

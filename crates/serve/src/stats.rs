@@ -101,6 +101,18 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Folds another histogram into this one: bucket-wise addition with
+    /// exact `count`/`total`/`max` (used to merge per-worker histograms
+    /// into a run total).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+
     /// The `q`-quantile (0.0 ≤ q ≤ 1.0) by nearest-rank over the
     /// buckets; `0` with no samples. Exact for samples below 64 µs,
     /// otherwise the upper bound of the hit sub-bucket, clamped to the

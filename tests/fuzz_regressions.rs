@@ -1,0 +1,109 @@
+//! Replay of the minimised fuzzing counterexamples checked in under
+//! `tests/regressions/`: every `.tsl` + `.pipeline` pair must still
+//! load, still apply its recorded rules, still diverge under its
+//! recorded model, and still sit within the acceptance bound (≤ 6
+//! action statements, ≤ 2 passes). A witness that stops replaying means
+//! an engine change silently lost a known divergence — exactly the
+//! regression this corpus exists to catch.
+
+use std::path::PathBuf;
+
+use transafety::fuzz::{check_pair, load_witness, statement_count, OracleConfig, Witness};
+use transafety::Budget;
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+/// Load every checked-in witness pair, sorted by name for stable
+/// failure messages.
+fn corpus() -> Vec<(String, Witness)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(regressions_dir()).expect("tests/regressions exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "tsl") {
+            let name = path
+                .file_stem()
+                .expect("named file")
+                .to_string_lossy()
+                .into_owned();
+            let witness = load_witness(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            out.push((name, witness));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Deterministic per-witness oracle: a pure state cap, no wall clock,
+/// so the replay verdicts cannot flake under CI load.
+fn oracle(witness: &Witness) -> OracleConfig {
+    OracleConfig {
+        model: witness.model,
+        budget: Budget::unlimited().max_states(50_000),
+        jobs: 1,
+        por: true,
+    }
+}
+
+#[test]
+fn the_corpus_contains_the_seeded_known_unsafe_cases() {
+    let names: Vec<String> = corpus().into_iter().map(|(n, _)| n).collect();
+    assert!(names.len() >= 2, "regression corpus shrank: {names:?}");
+    for expected in ["ewbw_tso", "rrw_tso"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "seeded regression {expected} missing from {names:?}"
+        );
+    }
+}
+
+#[test]
+fn every_regression_replays_as_the_recorded_divergence() {
+    for (name, witness) in corpus() {
+        assert!(
+            !witness.violation,
+            "{name}: a refinement violation may never be checked in as a regression \
+             without first being fixed"
+        );
+        // The recorded pipeline (pick re-resolved from the rules line if
+        // the engine's rewrite enumeration drifted) must apply exactly
+        // the recorded rules.
+        let pipeline = witness.effective_pipeline();
+        let applied = pipeline.apply(&witness.program);
+        assert_eq!(
+            applied.applied.iter().map(|p| p.rule).collect::<Vec<_>>(),
+            witness.rules,
+            "{name}: pipeline no longer applies the recorded rules"
+        );
+        // The divergence itself must still be there.
+        let report = check_pair(&witness.program, &pipeline, &oracle(&witness));
+        assert!(
+            report.outcome.is_divergence(),
+            "{name}: known divergence lost under {} — oracle said {:?}",
+            witness.model,
+            report.outcome
+        );
+        assert!(
+            !report.outcome.is_violation(),
+            "{name}: expected divergence replayed as a refinement violation: {:?}",
+            report.outcome
+        );
+    }
+}
+
+#[test]
+fn every_regression_is_within_the_acceptance_bound() {
+    for (name, witness) in corpus() {
+        let count = statement_count(&witness.program);
+        assert!(
+            count <= 6,
+            "{name}: witness has {count} action statements (> 6):\n{}",
+            witness.program
+        );
+        assert!(
+            witness.effective_pipeline().len() <= 2,
+            "{name}: pipeline has more than 2 passes"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Tier-1 smoke of the differential fuzzing subsystem through its
+//! public API: a small soak must be clean (no refinement violations, no
+//! escaped panics, every seeded known-unsafe case detected and shrunk
+//! within the acceptance bound), and the whole run must be a pure
+//! function of the master seed. `TRANSAFETY_FUZZ_SEEDS` scales the pair
+//! count — CI's soak job cranks it far beyond this default.
+
+mod support;
+
+use support::seeds_or;
+use transafety::fuzz::{known_unsafe_cases, replay, run_soak, OracleConfig, SoakConfig};
+use transafety::Budget;
+
+/// Deterministic soak configuration: a pure state cap, no wall clock,
+/// so counters are bit-identical across runs and machines.
+fn config(pairs: u64) -> SoakConfig {
+    SoakConfig {
+        pairs,
+        jobs: 4,
+        budget: Budget::unlimited().max_states(20_000),
+        ..SoakConfig::default()
+    }
+}
+
+#[test]
+fn a_small_soak_is_clean() {
+    let report = run_soak(&config(seeds_or(150)));
+    assert!(
+        report.violations.is_empty(),
+        "refinement violations found: {:?}",
+        report
+            .violations
+            .iter()
+            .map(|w| (w.model, w.program.to_string(), w.pipeline.to_string()))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.stats.panics, 0, "cases escaped the fault boundary");
+    assert_eq!(
+        report.stats.seeded_missed, 0,
+        "the oracle lost a seeded known-unsafe divergence"
+    );
+    assert_eq!(report.stats.seeded_detected, 2);
+    assert!(report.clean());
+    // the soak actually did the work it claims
+    assert_eq!(
+        report.stats.pairs_checked,
+        seeds_or(150) + known_unsafe_cases().len() as u64
+    );
+}
+
+#[test]
+fn soak_counters_are_a_pure_function_of_the_seed() {
+    let cfg = config(40);
+    let a = run_soak(&cfg);
+    let b = run_soak(&cfg);
+    assert_eq!(a.stats.refines, b.stats.refines);
+    assert_eq!(a.stats.identity, b.stats.identity);
+    assert_eq!(a.stats.inconclusive, b.stats.inconclusive);
+    assert_eq!(a.stats.expected_divergences, b.stats.expected_divergences);
+    assert_eq!(a.stats.violations, b.stats.violations);
+}
+
+#[test]
+fn seeded_cases_shrink_within_the_acceptance_bound() {
+    for case in known_unsafe_cases() {
+        let oracle = OracleConfig {
+            budget: Budget::unlimited().max_states(50_000),
+            jobs: 1,
+            ..OracleConfig::for_model(case.model)
+        };
+        let result = replay(&case, &oracle, 2_000);
+        assert!(result.detected, "{}: divergence not detected", case.name);
+        assert!(
+            result.within_bounds(),
+            "{}: minimised witness exceeds ≤6 statements / ≤2 passes",
+            case.name
+        );
+    }
+}

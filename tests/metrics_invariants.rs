@@ -12,48 +12,19 @@
 //! - a `Truncated` report carries a non-zero trip counter matching the
 //!   reported truncation cause.
 
+mod support;
+
 use std::time::Duration;
 
+use support::{capped_budget, configs_with_loops as configs, default_por, seeds};
 use transafety::checker::Analysis;
 use transafety::interleaving::ExploreStats;
 use transafety::lang::Program;
-use transafety::litmus::{corpus, random_program, GeneratorConfig};
+use transafety::litmus::{corpus, random_program};
 use transafety::traces::MemoryModelKind;
 use transafety::{
     AnalysisReport, Budget, BudgetBound, CancelToken, Completeness, TruncationReason, Verdict,
 };
-
-const SEEDS: u64 = 200;
-
-fn configs() -> Vec<GeneratorConfig> {
-    vec![
-        GeneratorConfig::default(),
-        GeneratorConfig::drf(),
-        GeneratorConfig::with_volatiles(),
-        GeneratorConfig {
-            threads: 3,
-            stmts_per_thread: 5,
-            ..GeneratorConfig::default()
-        },
-        GeneratorConfig::with_loops(),
-    ]
-}
-
-/// Generous enough that small programs complete, bounded enough that an
-/// adversarial generated program cannot hang the suite.
-fn capped_budget() -> Budget {
-    Budget::unlimited()
-        .max_states(200_000)
-        .timeout(Duration::from_secs(5))
-}
-
-/// The suite's default POR setting; set `TRANSAFETY_NO_POR=1` to push
-/// the whole corpus through the unreduced engine (the CI observability
-/// job runs both variants). The POR-comparison test drives both
-/// settings explicitly regardless.
-fn default_por() -> bool {
-    std::env::var_os("TRANSAFETY_NO_POR").is_none_or(|v| v.is_empty())
-}
 
 fn run(
     program: &Program,
@@ -158,7 +129,7 @@ fn metrics_are_inert_observers_on_the_corpus() {
 fn visited_equals_interned_on_generated_programs() {
     let configs = configs();
     let budget = capped_budget();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
         let program = random_program(seed, config);
         for jobs in [1, 4] {
@@ -173,7 +144,7 @@ fn visited_equals_interned_on_generated_programs() {
 fn por_never_increases_visited_states() {
     let configs = configs();
     let budget = capped_budget();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
         let program = random_program(seed, config);
         let what = format!("seed {seed}");
@@ -207,7 +178,7 @@ fn por_never_increases_visited_states() {
 fn dpor_counters_are_consistent() {
     let configs = configs();
     let budget = capped_budget();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
         let program = random_program(seed, config);
         // Cycle the three models across the seed range.
@@ -368,7 +339,7 @@ fn await_counters_are_silent_on_await_free_programs() {
 fn parallel_totals_agree_with_sequential() {
     let configs = configs();
     let budget = capped_budget();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
         let program = random_program(seed, config);
         let what = format!("seed {seed}");

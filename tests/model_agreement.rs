@@ -5,37 +5,14 @@
 //! hundreds of generated programs, sequentially and in parallel. The
 //! `MemoryModel` redesign is an API seam, never a semantics change.
 
-use std::time::Duration;
+mod support;
 
+use support::{capped_budget, configs, seeds, JOBS};
 use transafety::checker::Analysis;
 use transafety::lang::{ExploreOptions, ModelExplorer, Program, ProgramExplorer, ScModel};
-use transafety::litmus::{corpus, random_program, GeneratorConfig};
+use transafety::litmus::{corpus, random_program};
 use transafety::traces::MemoryModelKind;
 use transafety::{AnalysisReport, Budget};
-
-const SEEDS: u64 = 200;
-const JOBS: [usize; 2] = [1, 4];
-
-fn configs() -> Vec<GeneratorConfig> {
-    vec![
-        GeneratorConfig::default(),
-        GeneratorConfig::drf(),
-        GeneratorConfig::with_volatiles(),
-        GeneratorConfig {
-            threads: 3,
-            stmts_per_thread: 5,
-            ..GeneratorConfig::default()
-        },
-    ]
-}
-
-/// Generous enough that small programs complete, bounded enough that an
-/// adversarial generated program cannot hang the suite.
-fn capped_budget() -> Budget {
-    Budget::unlimited()
-        .max_states(200_000)
-        .timeout(Duration::from_secs(5))
-}
 
 /// Everything in the report except the wall-clock time must coincide.
 /// The governor's raw state tally is only compared on the sequential
@@ -105,7 +82,7 @@ fn sc_backend_is_bit_identical_on_the_litmus_corpus() {
 fn sc_backend_is_bit_identical_on_generated_programs() {
     let configs = configs();
     let budget = capped_budget();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
         let program = random_program(seed, config);
         for jobs in JOBS {

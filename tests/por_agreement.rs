@@ -5,42 +5,14 @@
 //! and in parallel. POR is a pruning of redundant interleavings, never
 //! of observable outcomes.
 
-use std::time::Duration;
+mod support;
 
+use support::{capped_budget, configs_full as configs, seeds, JOBS};
 use transafety::checker::Analysis;
 use transafety::lang::Program;
 use transafety::litmus::{corpus, random_program, GeneratorConfig};
 use transafety::traces::MemoryModelKind;
 use transafety::{AnalysisReport, Budget, Completeness, Verdict};
-
-const SEEDS: u64 = 200;
-const JOBS: [usize; 2] = [1, 4];
-
-fn configs() -> Vec<GeneratorConfig> {
-    vec![
-        GeneratorConfig::default(),
-        GeneratorConfig::drf(),
-        GeneratorConfig::with_volatiles(),
-        GeneratorConfig {
-            threads: 3,
-            stmts_per_thread: 5,
-            ..GeneratorConfig::default()
-        },
-        GeneratorConfig::with_loops(),
-        GeneratorConfig {
-            loop_prob: 0.4,
-            ..GeneratorConfig::with_volatiles()
-        },
-    ]
-}
-
-/// Generous enough that small programs complete, bounded enough that an
-/// adversarial generated program cannot hang the suite.
-fn capped_budget() -> Budget {
-    Budget::unlimited()
-        .max_states(200_000)
-        .timeout(Duration::from_secs(5))
-}
 
 fn run(program: &Program, por: bool, jobs: usize, budget: &Budget) -> AnalysisReport {
     run_model(program, MemoryModelKind::Sc, por, jobs, budget)
@@ -155,7 +127,7 @@ fn por_agrees_on_the_litmus_corpus_under_buffered_models() {
 fn por_agrees_on_generated_programs_under_buffered_models() {
     let configs = configs();
     let budget = capped_budget();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
         let program = random_program(seed, config);
         // Alternate the model per seed: every configuration meets both
@@ -346,7 +318,7 @@ fn await_reduction_agrees_on_generated_awaits() {
 fn por_agrees_on_generated_programs() {
     let configs = configs();
     let budget = capped_budget();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let config = &configs[usize::try_from(seed).unwrap() % configs.len()];
         let program = random_program(seed, config);
         for jobs in JOBS {

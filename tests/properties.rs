@@ -4,9 +4,14 @@
 //! The generators are driven by the repository's own deterministic
 //! [`Rng`](transafety::litmus::Rng) (one seed per case, so failures
 //! reproduce exactly); the offline build environment has no external
-//! property-testing dependency.
+//! property-testing dependency. Case counts are scaled by the shared
+//! `TRANSAFETY_FUZZ_SEEDS` knob (see `tests/support`).
 
+mod support;
+
+use support::seeds_or;
 use transafety::checker::{drf_guarantee, Analysis, DrfVerdict};
+use transafety::fuzz::{check_pair, OracleConfig, Pass, PassSet, Pipeline};
 use transafety::interleaving::Explorer;
 use transafety::lang::{extract_traceset, ExtractOptions};
 use transafety::litmus::{random_program, GeneratorConfig, Rng};
@@ -15,6 +20,7 @@ use transafety::traces::{
     Action, Domain, Loc, Matching, Monitor, ThreadId, Trace, Traceset, Value, WildAction, WildTrace,
 };
 use transafety::transform::{de_permute, eliminable_kinds, reorderable, ReorderingFn};
+use transafety::{Budget, MemoryModelKind};
 
 // ---------- generators ----------------------------------------------------
 
@@ -82,7 +88,7 @@ fn arb_traces(r: &mut Rng, lo: usize, hi: usize) -> Vec<Trace> {
 
 #[test]
 fn traceset_is_prefix_closed() {
-    for case in 0..64u64 {
+    for case in 0..seeds_or(64) {
         let mut r = Rng::seed_from_u64(case);
         let traces = arb_traces(&mut r, 1, 5);
         let ts = Traceset::from_traces(traces.clone()).unwrap();
@@ -104,7 +110,7 @@ fn traceset_is_prefix_closed() {
 
 #[test]
 fn traceset_iteration_roundtrips() {
-    for case in 0..64u64 {
+    for case in 0..seeds_or(64) {
         let mut r = Rng::seed_from_u64(case);
         let traces = arb_traces(&mut r, 1, 4);
         let ts = Traceset::from_traces(traces).unwrap();
@@ -115,7 +121,7 @@ fn traceset_iteration_roundtrips() {
 
 #[test]
 fn wildcard_instances_are_instances() {
-    for case in 0..64u64 {
+    for case in 0..seeds_or(64) {
         let mut r = Rng::seed_from_u64(case);
         let t = arb_trace(&mut r);
         // blank out every non-volatile read
@@ -136,7 +142,7 @@ fn wildcard_instances_are_instances() {
 
 #[test]
 fn belongs_to_iff_all_instances_members() {
-    for case in 0..48u64 {
+    for case in 0..seeds_or(48) {
         let mut r = Rng::seed_from_u64(case);
         let t = arb_trace(&mut r);
         let d = Domain::zero_to(1);
@@ -163,7 +169,7 @@ fn belongs_to_iff_all_instances_members() {
 
 #[test]
 fn matching_compose_inverse_is_identity() {
-    for case in 0..64u64 {
+    for case in 0..seeds_or(64) {
         let mut r = Rng::seed_from_u64(case);
         let n = r.gen_range_usize(0, 6);
         // a random injective partial map on 0..8
@@ -185,7 +191,7 @@ fn matching_compose_inverse_is_identity() {
 
 #[test]
 fn identity_always_de_permutes() {
-    for case in 0..64u64 {
+    for case in 0..seeds_or(64) {
         let mut r = Rng::seed_from_u64(case);
         let t = arb_trace(&mut r);
         let f = ReorderingFn::identity(t.len());
@@ -196,7 +202,7 @@ fn identity_always_de_permutes() {
 
 #[test]
 fn reorderability_classes_are_respected() {
-    for case in 0..128u64 {
+    for case in 0..seeds_or(128) {
         let mut r = Rng::seed_from_u64(case);
         let (a, b) = (arb_action(&mut r), arb_action(&mut r));
         // acquire actions never reorder with anything later
@@ -216,7 +222,7 @@ fn reorderability_classes_are_respected() {
 
 #[test]
 fn eliminable_kinds_only_for_eliminable() {
-    for case in 0..96u64 {
+    for case in 0..seeds_or(96) {
         let mut r = Rng::seed_from_u64(case);
         let t = arb_trace(&mut r);
         let i = r.gen_range_usize(0, 8);
@@ -241,7 +247,7 @@ fn eliminable_kinds_only_for_eliminable() {
 #[test]
 fn safe_rewrites_respect_drf_guarantee() {
     let opts = Analysis::new();
-    for seed in 0..12u64 {
+    for seed in 0..seeds_or(12).min(24) {
         let p = random_program(seed, &GeneratorConfig::drf());
         for rw in all_rewrites(&p).into_iter().take(6) {
             let verdict = drf_guarantee(&rw.result, &p, &opts);
@@ -253,6 +259,41 @@ fn safe_rewrites_respect_drf_guarantee() {
     }
 }
 
+/// The fuzzing subsystem's refinement oracle, asserted directly on each
+/// sampled transformation: a DRF original admits no divergence from any
+/// safe rewrite under any model (Theorems 1–4 + the DRF guarantee — DRF
+/// implies TSO- and PSO-behaviours coincide with SC).
+#[test]
+fn sampled_rewrites_satisfy_the_refinement_oracle() {
+    for seed in 0..seeds_or(12).min(24) {
+        let p = random_program(seed, &GeneratorConfig::drf());
+        let samples = all_rewrites(&p).len().min(6);
+        for model in MemoryModelKind::ALL {
+            let config = OracleConfig {
+                model,
+                budget: Budget::unlimited().max_states(50_000),
+                jobs: 1,
+                por: true,
+            };
+            for pick in 0..samples {
+                let pipe = Pipeline {
+                    passes: vec![Pass {
+                        set: PassSet::Any,
+                        pick: u32::try_from(pick).unwrap(),
+                    }],
+                };
+                let report = check_pair(&p, &pipe, &config);
+                assert!(
+                    !report.outcome.is_divergence(),
+                    "seed {seed} model={model} pick={pick}: safe rewrite diverged on a DRF \
+                     original: {:?}\n{p}",
+                    report.outcome
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn extraction_never_produces_ill_formed_traces() {
     let ex = ExtractOptions {
@@ -260,7 +301,7 @@ fn extraction_never_produces_ill_formed_traces() {
         max_tau: 512,
         ..ExtractOptions::default()
     };
-    for seed in 0..12u64 {
+    for seed in 0..seeds_or(12).min(24) {
         let p = random_program(seed, &GeneratorConfig::default());
         let d = Domain::zero_to(1);
         let e = extract_traceset(&p, &d, &ex);
@@ -277,7 +318,7 @@ fn race_witnesses_from_random_programs_are_valid() {
         max_tau: 512,
         ..ExtractOptions::default()
     };
-    for seed in 0..12u64 {
+    for seed in 0..seeds_or(12).min(24) {
         let p = random_program(seed, &GeneratorConfig::default());
         let d = Domain::zero_to(1);
         let e = extract_traceset(&p, &d, &ex);
@@ -304,7 +345,7 @@ fn rewrites_preserve_origin_freedom() {
         ..ExtractOptions::default()
     };
     let d = Domain::from_values([Value::new(2), magic]);
-    for seed in 0..10u64 {
+    for seed in 0..seeds_or(10).min(24) {
         let p = random_program(seed, &GeneratorConfig::default());
         if p.mentions_constant(magic) {
             continue;
@@ -336,7 +377,7 @@ fn rewrites_preserve_origin_freedom() {
 #[test]
 fn origin_freedom_excludes_value_from_behaviours() {
     let magic = Value::new(41);
-    for seed in 0..10u64 {
+    for seed in 0..seeds_or(10).min(24) {
         let p = random_program(seed, &GeneratorConfig::default());
         if p.mentions_constant(magic) {
             continue;
@@ -360,7 +401,7 @@ fn origin_freedom_excludes_value_from_behaviours() {
 /// `l<i>`/`v<i>`/`m<i>`/`r<i>` naming convention).
 #[test]
 fn parse_print_roundtrip() {
-    for case in 0..24u64 {
+    for case in 0..seeds_or(24) {
         let volatiles = (case % 2) as u32;
         let config = GeneratorConfig {
             volatile_locs: volatiles,

@@ -1,0 +1,94 @@
+//! Shared corpus, budget and environment helpers for the integration
+//! suites that sweep the generated-program corpus.
+//!
+//! The agreement/invariant suites (`por_agreement`, `model_agreement`,
+//! `metrics_invariants`, `properties`, `fuzz_regressions`) all iterate
+//! the same seed range over the same generator mixes under the same
+//! capped budget; this module is the single definition of that corpus
+//! so the suites cannot drift apart.
+//!
+//! Environment knobs (both honoured by CI):
+//! - `TRANSAFETY_FUZZ_SEEDS=N` overrides every suite's seed count —
+//!   crank it up for a deep local soak, down for a quick smoke;
+//! - `TRANSAFETY_NO_POR=1` pushes the corpus through the unreduced
+//!   engine wherever a suite uses the default POR setting.
+
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use transafety::litmus::GeneratorConfig;
+use transafety::Budget;
+
+/// Worker counts every suite cross-checks: the sequential reference
+/// driver and a parallel pool.
+pub const JOBS: [usize; 2] = [1, 4];
+
+/// The default generated-program seed count of the big sweeps.
+pub const DEFAULT_SEEDS: u64 = 200;
+
+/// Seed count with the `TRANSAFETY_FUZZ_SEEDS` override applied.
+pub fn seeds() -> u64 {
+    seeds_or(DEFAULT_SEEDS)
+}
+
+/// Seed count for a suite whose default differs from the big sweeps
+/// (e.g. the heavier property checks); the `TRANSAFETY_FUZZ_SEEDS`
+/// override still wins so one knob scales the whole test tier.
+pub fn seeds_or(default: u64) -> u64 {
+    match std::env::var("TRANSAFETY_FUZZ_SEEDS") {
+        Ok(v) if !v.is_empty() => v
+            .parse()
+            .unwrap_or_else(|_| panic!("TRANSAFETY_FUZZ_SEEDS: not a number: {v}")),
+        _ => default,
+    }
+}
+
+/// The loop-free generator mix every sweep shares: the default shape,
+/// the lock-disciplined shape, volatiles, and a wider 3×5 shape.
+pub fn configs() -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::default(),
+        GeneratorConfig::drf(),
+        GeneratorConfig::with_volatiles(),
+        GeneratorConfig {
+            threads: 3,
+            stmts_per_thread: 5,
+            ..GeneratorConfig::default()
+        },
+    ]
+}
+
+/// [`configs`] plus the loop-bearing shape (the metrics sweep).
+pub fn configs_with_loops() -> Vec<GeneratorConfig> {
+    let mut out = configs();
+    out.push(GeneratorConfig::with_loops());
+    out
+}
+
+/// [`configs_with_loops`] plus a loop-heavy volatile shape (the POR
+/// agreement sweep).
+pub fn configs_full() -> Vec<GeneratorConfig> {
+    let mut out = configs_with_loops();
+    out.push(GeneratorConfig {
+        loop_prob: 0.4,
+        ..GeneratorConfig::with_volatiles()
+    });
+    out
+}
+
+/// Generous enough that small programs complete, bounded enough that an
+/// adversarial generated program cannot hang the suite.
+pub fn capped_budget() -> Budget {
+    Budget::unlimited()
+        .max_states(200_000)
+        .timeout(Duration::from_secs(5))
+}
+
+/// The suite's default POR setting; set `TRANSAFETY_NO_POR=1` to push
+/// the whole corpus through the unreduced engine (the CI observability
+/// job runs both variants). POR-comparison tests drive both settings
+/// explicitly regardless.
+pub fn default_por() -> bool {
+    std::env::var_os("TRANSAFETY_NO_POR").is_none_or(|v| v.is_empty())
+}
